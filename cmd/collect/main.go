@@ -1,0 +1,131 @@
+// Command collect runs a compiled program under profiling, like the
+// paper's collect(1):
+//
+//	collect [-o expt.er] [-p on|off] [-h +ecstall,lo,+ecrm,on]
+//	        [-scaled] [-input file] prog.obj
+//
+// With no arguments it lists the available hardware counters, as the
+// paper describes. The -h counter specification takes up to two
+// counters (the chip has two counter registers); a "+" prefix requests
+// apropos backtracking for memory-related counters. The input file holds
+// one integer per line (the program's input vector).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/collect"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+)
+
+func listCounters() {
+	fmt.Println("Available hardware counters (use with -h name,interval[,name,interval]):")
+	for _, name := range hwc.EventNames() {
+		ev, _ := hwc.ParseEvent(name)
+		kind := "events"
+		if ev.CountsCycles() {
+			kind = "cycles"
+		}
+		bt := ""
+		if ev.MemoryRelated() {
+			bt = " (memory-related; prefix with + for apropos backtracking)"
+		}
+		fmt.Printf("  %-8s %-28s counts %s%s\n", name, ev.Desc(), kind, bt)
+	}
+	fmt.Println("Intervals: 'on', 'high', 'low' or a numeric count (primes recommended).")
+}
+
+func readInput(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		for _, fld := range strings.Fields(sc.Text()) {
+			v, err := strconv.ParseInt(fld, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad input value %q", fld)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "test.1.er", "experiment directory to write")
+	clock := flag.String("p", "on", "clock profiling: on or off")
+	counters := flag.String("h", "", "hardware counter spec, e.g. +ecstall,lo,+ecrm,on")
+	inputPath := flag.String("input", "", "program input file (whitespace-separated integers)")
+	scaled := flag.Bool("scaled", false, "use the scaled machine configuration")
+	flag.Parse()
+
+	if flag.NArg() == 0 && *counters == "" {
+		listCounters()
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "collect: exactly one program object expected")
+		os.Exit(2)
+	}
+	prog, err := asm.LoadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
+		os.Exit(1)
+	}
+	specs, err := collect.ParseCounterSpec(*counters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
+		os.Exit(2)
+	}
+	var input []int64
+	if *inputPath != "" {
+		input, err = readInput(*inputPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "collect: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cfg := machine.DefaultConfig()
+	if *scaled {
+		cfg = machine.ScaledConfig()
+	}
+	res, err := collect.Run(prog, collect.Options{
+		ClockProfile: *clock == "on",
+		Counters:     specs,
+		Machine:      &cfg,
+		Input:        input,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "collect: target failed: %v\n", err)
+		if res == nil {
+			os.Exit(1)
+		}
+	}
+	if err := res.Exp.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
+		os.Exit(1)
+	}
+	st := res.Machine.Stats()
+	fmt.Printf("collect: %s: %d instructions, %d cycles (%.3f s simulated)\n",
+		prog.Name, st.Instrs, st.Cycles, res.Machine.Seconds(st.Cycles))
+	fmt.Printf("collect: wrote experiment %s (%d clock ticks, %d+%d counter events)\n",
+		*out, len(res.Exp.Clock), len(res.Exp.HWC[0]), len(res.Exp.HWC[1]))
+	if text := res.Machine.OutputText(); text != "" {
+		fmt.Print(text)
+	}
+	if longs := res.Machine.OutputLongs(); len(longs) > 0 {
+		fmt.Printf("program output: %v\n", longs)
+	}
+}

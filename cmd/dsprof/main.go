@@ -1,0 +1,125 @@
+// Command dsprof is the one-shot reproduction driver: it runs the paper's
+// MCF case study end to end and writes every figure of the evaluation
+// section to a directory, or reruns the §3.3 optimization experiments.
+//
+//	dsprof study    [-trips 1200] [-o figures/]   # Figures 1-7 + §4 reports
+//	dsprof speedups [-trips 1200]                 # §2.1 overhead + §3.3 speedups
+//
+// The study takes minutes of simulation at the default paper-scale
+// configuration; use -trips 400 for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/core"
+	"dsprof/internal/hwc"
+	"dsprof/internal/mcf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsprof: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	trips := fs.Int("trips", 1200, "instance size (timetabled trips)")
+	outDir := fs.String("o", "figures", "output directory (study)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	switch cmd {
+	case "study":
+		runStudy(*trips, *outDir)
+	case "speedups":
+		runSpeedups(*trips)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dsprof {study|speedups} [-trips N] [-o dir]")
+	os.Exit(2)
+}
+
+func runStudy(trips int, outDir string) {
+	p := core.DefaultStudy()
+	p.Trips = trips
+	log.Printf("running the two-experiment study (trips=%d)...", trips)
+	s, err := core.RunStudy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, f func(io.Writer) error) {
+		path := filepath.Join(outDir, name)
+		file, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f(file); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+	write("fig1-total.txt", func(f io.Writer) error { s.Figure1(f); return nil })
+	write("fig2-functions.txt", func(f io.Writer) error { s.Figure2(f); return nil })
+	write("fig3-annotated-source.txt", s.Figure3)
+	write("fig4-annotated-disasm.txt", s.Figure4)
+	write("fig5-pcs.txt", func(f io.Writer) error { s.Figure5(f, 17); return nil })
+	write("fig6-data-objects.txt", func(f io.Writer) error { s.Figure6(f); return nil })
+	write("fig7-node-members.txt", s.Figure7)
+	write("addrspace.txt", func(f io.Writer) error {
+		s.Analyzer.AddressSpaceReport(f, analyzer.ByEvent(hwc.EvECRdMiss), 10)
+		return nil
+	})
+	write("lines.txt", func(f io.Writer) error {
+		s.Analyzer.LineList(f, analyzer.ByEvent(hwc.EvECStall), 20)
+		return nil
+	})
+	write("feedback.txt", func(f io.Writer) error {
+		s.Analyzer.WriteFeedbackFile(f, 0.01)
+		return nil
+	})
+	log.Printf("solved: cost=%d pivots=%d (%.3f simulated seconds)", s.Output.Cost, s.Output.Pivots, s.Seconds)
+}
+
+func runSpeedups(trips int) {
+	base := core.DefaultStudy()
+	base.Trips = trips
+	variant := func(name string, p core.StudyParams) {
+		cycles, out, err := core.TimeMCF(p)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-36s %14d cycles  cost=%d\n", name, cycles, out.Cost)
+	}
+	fmt.Printf("timing MCF variants (trips=%d, unprofiled)...\n", trips)
+	variant("baseline (-xhwcprof, paper layout)", base)
+	noProf := base
+	noProf.HWCProf = false
+	variant("without -xhwcprof (§2.1)", noProf)
+	opt := base
+	opt.Layout = mcf.LayoutOptimized
+	variant("optimized struct layout (§3.3)", opt)
+	pages := base
+	pages.PageSizeHeap = 512 << 10
+	variant("-xpagesize_heap=512k (§3.3)", pages)
+	both := opt
+	both.PageSizeHeap = 512 << 10
+	variant("combined (§3.3)", both)
+}

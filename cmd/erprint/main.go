@@ -1,0 +1,136 @@
+// Command erprint analyzes experiments, like the paper's er_print:
+//
+//	erprint [-sort metric] [-n 20] report... expt.er...
+//
+// Reports:
+//
+//	total       <Total> metrics (paper Figure 1)
+//	functions   the function list (Figure 2)
+//	source=FN   annotated source of function FN (Figure 3)
+//	disasm=FN   annotated disassembly of FN (Figure 4)
+//	pcs         hot PCs with data-object descriptors (Figure 5)
+//	lines       hot source lines
+//	objects     data objects (Figure 6)
+//	members=T   struct T member expansion (Figure 7)
+//	callers=FN  callers/callees of FN
+//	addrspace   segment/page/cache-line breakdown (paper §4)
+//	feedback    prefetch feedback file (paper §4)
+//	effect      apropos backtracking effectiveness
+//
+// Multiple experiments merge, as with the paper's two collect runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/experiment"
+	"dsprof/internal/hwc"
+)
+
+func main() {
+	sortName := flag.String("sort", "", "sort metric: cpu, ecstall, ecrm, ecref, dtlbm, ...")
+	topN := flag.Int("n", 20, "rows in top-N reports")
+	flag.Parse()
+
+	var reports []string
+	var dirs []string
+	for _, arg := range flag.Args() {
+		if strings.HasSuffix(arg, ".er") || dirExists(arg) {
+			dirs = append(dirs, arg)
+		} else {
+			reports = append(reports, arg)
+		}
+	}
+	if len(dirs) == 0 || len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: erprint [flags] report... experiment.er...")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var exps []*experiment.Experiment
+	for _, d := range dirs {
+		e, err := experiment.Load(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+			os.Exit(1)
+		}
+		exps = append(exps, e)
+	}
+	a, err := analyzer.New(exps...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+		os.Exit(1)
+	}
+
+	sortBy := analyzer.ByUserCPU
+	if !a.HasClock() {
+		sortBy = analyzer.ByEvent(firstEvent(a))
+	}
+	if *sortName != "" && *sortName != "cpu" {
+		ev, err := hwc.ParseEvent(*sortName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+			os.Exit(2)
+		}
+		sortBy = analyzer.ByEvent(ev)
+	}
+
+	for _, rep := range reports {
+		name, arg := rep, ""
+		if i := strings.IndexByte(rep, '='); i >= 0 {
+			name, arg = rep[:i], rep[i+1:]
+		}
+		fmt.Printf("==== %s ====\n", rep)
+		var err error
+		switch name {
+		case "total":
+			a.TotalReport(os.Stdout)
+		case "functions":
+			a.FunctionList(os.Stdout, sortBy)
+		case "source":
+			err = a.AnnotatedSource(os.Stdout, arg)
+		case "disasm":
+			err = a.AnnotatedDisasm(os.Stdout, arg)
+		case "pcs":
+			a.PCList(os.Stdout, sortBy, *topN)
+		case "lines":
+			a.LineList(os.Stdout, sortBy, *topN)
+		case "objects":
+			a.DataObjectList(os.Stdout, sortBy)
+		case "members":
+			err = a.MemberList(os.Stdout, arg)
+		case "callers":
+			a.CallersCalleesReport(os.Stdout, arg)
+		case "addrspace":
+			a.AddressSpaceReport(os.Stdout, sortBy, *topN)
+		case "effect":
+			a.EffectivenessReport(os.Stdout)
+		case "feedback":
+			a.WriteFeedbackFile(os.Stdout, 0.01)
+		default:
+			err = fmt.Errorf("unknown report %q", name)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+func firstEvent(a *analyzer.Analyzer) hwc.Event {
+	for ev := hwc.Event(1); ev < hwc.NumEvents; ev++ {
+		if a.HasEvent(ev) {
+			return ev
+		}
+	}
+	return hwc.EvCycles
+}

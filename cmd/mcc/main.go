@@ -1,0 +1,120 @@
+// Command mcc is the MC compiler driver, the stand-in for the paper's
+// Sun ONE Studio C compiler:
+//
+//	mcc [-o out.obj] [-xhwcprof] [-xdebugformat=dwarf|stabs]
+//	    [-xpagesize_heap=512k] file.mc...
+//
+// It compiles MC sources into a program object file that collect(1) can
+// run and profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+)
+
+func parsePageSize(s string) (uint64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad page size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	out := flag.String("o", "a.obj", "output object file")
+	asmList := flag.Bool("S", false, "print the generated assembly listing instead of writing an object")
+	hwcprof := flag.Bool("xhwcprof", false, "emit memory-profiling support (data xrefs, branch targets, padding)")
+	debugFormat := flag.String("xdebugformat", "dwarf", "debug format: dwarf or stabs")
+	pageSizeHeap := flag.String("xpagesize_heap", "", "heap page size request, e.g. 512k")
+	name := flag.String("name", "", "program name (defaults to first source file)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "mcc: no input files")
+		os.Exit(2)
+	}
+	opts := cc.Options{HWCProf: *hwcprof, Name: *name}
+	switch *debugFormat {
+	case "dwarf":
+		opts.DebugFormat = dwarf.FormatDWARF
+	case "stabs":
+		opts.DebugFormat = dwarf.FormatSTABS
+	default:
+		fmt.Fprintf(os.Stderr, "mcc: unknown debug format %q\n", *debugFormat)
+		os.Exit(2)
+	}
+	if *pageSizeHeap != "" {
+		ps, err := parsePageSize(*pageSizeHeap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
+			os.Exit(2)
+		}
+		opts.PageSizeHeap = ps
+	}
+
+	var srcs []cc.Source
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
+			os.Exit(1)
+		}
+		srcs = append(srcs, cc.Source{Name: filepath.Base(path), Text: string(text)})
+	}
+	prog, err := cc.Compile(srcs, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
+		os.Exit(1)
+	}
+	if *asmList {
+		printListing(prog)
+		return
+	}
+	if err := prog.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mcc: wrote %s (%d instructions, %d bytes data, debug=%v)\n",
+		*out, len(prog.Text), len(prog.Data), prog.Debug.Format)
+}
+
+// printListing dumps the generated code with function headers, source
+// lines, branch-target markers and data-object annotations — the shape of
+// the paper's annotated disassembly, minus the metrics.
+func printListing(prog *asm.Program) {
+	for i := range prog.Text {
+		pc := prog.Base + uint64(i)*isa.InstrBytes
+		if fn := prog.Debug.FuncAt(pc); fn != nil && fn.Start == pc {
+			fmt.Printf("\n%s:  (%s)\n", fn.Name, fn.File)
+		}
+		marker := " "
+		if prog.Debug.BranchTargets[pc] {
+			marker = "*"
+		}
+		fmt.Printf("  [%4d] %8x%s  %s", prog.Debug.Lines[pc], pc, marker, isa.Disasm(prog.Text[i], pc))
+		if x, ok := prog.Debug.Xrefs[pc]; ok {
+			fmt.Printf("   %s", prog.Debug.XrefDisplay(x))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,79 @@
+// Command mcfgen generates MCF inputs: single-depot vehicle-scheduling
+// min-cost-flow instances (the stand-in for the benchmark's proprietary
+// timetable input), plus the MCF program source itself:
+//
+//	mcfgen -trips 1200 -seed 7 -o mcf.in          # instance (input vector)
+//	mcfgen -emit-source -layout paper -o mcf.mc    # the MC program
+//	mcfgen -trips 100 -solve                       # print the optimal cost
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dsprof/internal/mcf"
+)
+
+func main() {
+	trips := flag.Int("trips", 1200, "number of timetabled trips")
+	seed := flag.Uint64("seed", 20030717, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	emitSource := flag.Bool("emit-source", false, "write the MCF program source instead of an instance")
+	layout := flag.String("layout", "paper", "struct layout for -emit-source: paper or optimized")
+	solve := flag.Bool("solve", false, "solve the generated instance with the native solvers and print the optimum")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	if *emitSource {
+		l := mcf.LayoutPaper
+		switch *layout {
+		case "paper":
+		case "optimized":
+			l = mcf.LayoutOptimized
+		default:
+			fmt.Fprintf(os.Stderr, "mcfgen: unknown layout %q\n", *layout)
+			os.Exit(2)
+		}
+		fmt.Fprint(bw, mcf.Source(l))
+		return
+	}
+
+	ins := mcf.Generate(mcf.DefaultGenParams(*trips, *seed))
+	if *solve {
+		ns, stats, err := mcf.SolveNetSimplex(ins)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfgen: netsimplex: %v\n", err)
+			os.Exit(1)
+		}
+		ssp, err := mcf.SolveSSP(ins)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcfgen: ssp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(bw, "trips=%d nodes=%d arcs=%d\n", *trips, ins.N, len(ins.Arcs))
+		fmt.Fprintf(bw, "netsimplex optimum=%d (pivots=%d)\n", ns, stats.Pivots)
+		fmt.Fprintf(bw, "ssp        optimum=%d\n", ssp)
+		if ns != ssp {
+			fmt.Fprintln(os.Stderr, "mcfgen: SOLVERS DISAGREE")
+			os.Exit(1)
+		}
+		return
+	}
+	for _, v := range ins.Encode() {
+		fmt.Fprintln(bw, v)
+	}
+}

@@ -1,0 +1,71 @@
+// mcfanalysis reproduces the paper's §3 walk-through end to end: it
+// compiles the MCF benchmark with memory profiling, collects the two
+// experiments of §3.1, and prints every figure of the evaluation
+// (Figures 1-7) plus the §4 address-space reports.
+//
+//	go run ./examples/mcfanalysis [-trips 600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/core"
+	"dsprof/internal/hwc"
+)
+
+func main() {
+	trips := flag.Int("trips", 600, "instance size (timetabled trips); the paper-scale study uses 1200")
+	flag.Parse()
+
+	p := core.DefaultStudy()
+	p.Trips = *trips
+	fmt.Printf("Running the MCF study: trips=%d layout=%v (two collect runs)...\n\n", p.Trips, p.Layout)
+	s, err := core.RunStudy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MCF solved: cost=%d, %d pivots, %d potential refreshes, %d price-out rounds\n",
+		s.Output.Cost, s.Output.Pivots, s.Output.Refreshes, s.Output.PriceOuts)
+	fmt.Printf("run time: %.3f simulated seconds\n\n", s.Seconds)
+
+	s.Figure1(os.Stdout)
+	fmt.Println()
+	s.Figure2(os.Stdout)
+	fmt.Println()
+	if err := s.Figure3(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := s.Figure4(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	s.Figure5(os.Stdout, 15)
+	fmt.Println()
+	s.Figure6(os.Stdout)
+	fmt.Println()
+	if err := s.Figure7(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n==== §4 future-work reports: address-space breakdown ====")
+	s.Analyzer.AddressSpaceReport(os.Stdout, analyzer.ByEvent(hwc.EvECRdMiss), 8)
+
+	fmt.Println("\n==== §4 future-work reports: hottest node instances ====")
+	inst, err := s.Analyzer.Instances("node", analyzer.ByEvent(hwc.EvECRdMiss), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range inst {
+		split := ""
+		if r.Split {
+			split = "  (split across E$ lines)"
+		}
+		fmt.Printf("  node instance #%d at 0x%08x: %d E$ read-miss events%s\n",
+			r.Index, r.Addr, r.M.Events[hwc.EvECRdMiss], split)
+	}
+}

@@ -1,0 +1,3 @@
+module dsprof
+
+go 1.24

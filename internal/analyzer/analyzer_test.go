@@ -1,0 +1,528 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+	"dsprof/internal/collect"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/experiment"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+)
+
+// The test workload mirrors the shape of the paper's MCF study at small
+// scale: a pointer-chasing traversal (bad locality, like
+// refresh_potential) and a sequential scan (many references, low miss
+// rate, like primal_bea_mpp) over two distinct struct types.
+const workloadSrc = `
+struct item { long weight; struct item *next; long pad1; long pad2; long pad3; long pad4; long pad5; long pad6; };
+struct cell { long a; long b; };
+struct item *items;
+struct cell *cells;
+long nitems;
+void build() {
+	long i;
+	long j;
+	items = (struct item *) malloc(nitems * sizeof(struct item));
+	cells = (struct cell *) malloc(nitems * 4 * sizeof(struct cell));
+	j = 0;
+	for (i = 0; i < nitems; i++) {
+		items[j].weight = i;
+		items[j].next = &items[(j + 97) % nitems];
+		j = (j + 97) % nitems;
+	}
+	for (i = 0; i < nitems * 4; i++) {
+		cells[i].a = i;
+		cells[i].b = 2 * i;
+	}
+}
+long chase(long steps) {
+	struct item *p;
+	long sum;
+	sum = 0;
+	p = items;
+	while (steps > 0) {
+		sum += p->weight;
+		p = p->next;
+		steps--;
+	}
+	return sum;
+}
+long scan(long reps) {
+	long i;
+	long r;
+	long sum;
+	sum = 0;
+	for (r = 0; r < reps; r++) {
+		for (i = 0; i < nitems * 4; i++) {
+			sum += cells[i].a;
+		}
+	}
+	return sum;
+}
+long main() {
+	nitems = read_long();
+	build();
+	write_long(chase(nitems * 4));
+	write_long(scan(2));
+	return 0;
+}
+`
+
+func buildWorkload(t *testing.T, opts cc.Options) *asm.Program {
+	t.Helper()
+	if opts.Name == "" {
+		opts.Name = "workload"
+	}
+	prog, err := cc.Compile([]cc.Source{{Name: "workload.mc", Text: workloadSrc}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func scaledCfg() *machine.Config {
+	cfg := machine.ScaledConfig()
+	cfg.MaxInstrs = 200_000_000
+	return &cfg
+}
+
+// collectPair runs the paper's two experiments: clock + ecstall + ecrm,
+// then ecref + dtlbm.
+func collectPair(t *testing.T, prog *asm.Program, n int64) (*experiment.Experiment, *experiment.Experiment) {
+	t.Helper()
+	specsA, err := collect.ParseCounterSpec("+ecstall,20011,+ecrm,1009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := collect.Run(prog, collect.Options{
+		ClockProfile: true,
+		Counters:     specsA,
+		Machine:      scaledCfg(),
+		Input:        []int64{n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specsB, _ := collect.ParseCounterSpec("+ecref,2003,+dtlbm,503")
+	resB, err := collect.Run(prog, collect.Options{
+		Counters: specsB,
+		Machine:  scaledCfg(),
+		Input:    []int64{n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resA.Exp, resB.Exp
+}
+
+func newAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	prog := buildWorkload(t, cc.Options{HWCProf: true})
+	expA, expB := collectPair(t, prog, 30000)
+	a, err := New(expA, expB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+var cached *Analyzer
+
+func analyzerForTest(t *testing.T) *Analyzer {
+	t.Helper()
+	if cached == nil {
+		cached = newAnalyzer(t)
+	}
+	return cached
+}
+
+func TestMergedExperimentsHaveAllMetrics(t *testing.T) {
+	a := analyzerForTest(t)
+	for _, ev := range []hwc.Event{hwc.EvECStall, hwc.EvECRdMiss, hwc.EvECRef, hwc.EvDTLBMiss} {
+		if !a.HasEvent(ev) {
+			t.Errorf("event %v missing after merge", ev)
+		}
+		if a.total.Events[ev] == 0 {
+			t.Errorf("no %v weight accumulated", ev)
+		}
+	}
+	if !a.HasClock() || a.total.Ticks == 0 {
+		t.Error("no clock profile data")
+	}
+}
+
+func TestFunctionListShape(t *testing.T) {
+	a := analyzerForTest(t)
+	rows := a.Functions(ByEvent(hwc.EvECStall))
+	if rows[0].Name != "<Total>" {
+		t.Fatal("first row must be <Total>")
+	}
+	if rows[1].Name != "chase" {
+		t.Errorf("top E$-stall function = %s, want chase (pointer chasing)", rows[1].Name)
+	}
+	// chase must dominate E$ stall; scan must dominate E$ refs relative
+	// to its misses (the primal_bea_mpp pattern).
+	var chase, scan *Metrics
+	for i := range rows {
+		switch rows[i].Name {
+		case "chase":
+			chase = &rows[i].M
+		case "scan":
+			scan = &rows[i].M
+		}
+	}
+	if chase == nil || scan == nil {
+		t.Fatal("chase/scan missing from function list")
+	}
+	if chase.Events[hwc.EvECStall] <= scan.Events[hwc.EvECStall] {
+		t.Error("chase should out-stall scan")
+	}
+	// Miss rate shape: chase's miss/ref ratio must exceed scan's.
+	chaseRate := float64(a.Count(hwc.EvECRdMiss, chase.Events[hwc.EvECRdMiss])) /
+		float64(a.Count(hwc.EvECRef, chase.Events[hwc.EvECRef])+1)
+	scanRate := float64(a.Count(hwc.EvECRdMiss, scan.Events[hwc.EvECRdMiss])) /
+		float64(a.Count(hwc.EvECRef, scan.Events[hwc.EvECRef])+1)
+	if chaseRate <= scanRate {
+		t.Errorf("miss-rate shape wrong: chase %.3f <= scan %.3f", chaseRate, scanRate)
+	}
+}
+
+func TestDataObjectAttribution(t *testing.T) {
+	a := analyzerForTest(t)
+	rows := a.DataObjects(ByEvent(hwc.EvECStall))
+	if rows[0].Name != "<Total>" {
+		t.Fatal("first row must be <Total>")
+	}
+	var item, cell, unknown *Metrics
+	for i := range rows {
+		switch rows[i].Name {
+		case "{structure:item -}":
+			item = &rows[i].M
+		case "{structure:cell -}":
+			cell = &rows[i].M
+		case "<Unknown>":
+			unknown = &rows[i].M
+		}
+	}
+	if item == nil {
+		t.Fatal("structure:item missing from data-object list")
+	}
+	if cell == nil {
+		t.Fatal("structure:cell missing from data-object list")
+	}
+	// The pointer-chased item struct dominates stall; the scanned cell
+	// struct dominates E$ references less dramatically but must appear.
+	if item.Events[hwc.EvECStall] <= cell.Events[hwc.EvECStall] {
+		t.Error("item should dominate E$ stall")
+	}
+	total := a.total.Events[hwc.EvECStall]
+	if unknown != nil && 10*unknown.Events[hwc.EvECStall] > total {
+		t.Errorf("<Unknown> E$ stall share too large: %d of %d", unknown.Events[hwc.EvECStall], total)
+	}
+}
+
+func TestMemberExpansion(t *testing.T) {
+	a := analyzerForTest(t)
+	id, _ := a.Tab.TypeByName("item")
+	rows := a.Members(id)
+	if len(rows) != 8 {
+		t.Fatalf("item has %d member rows, want 8", len(rows))
+	}
+	byName := map[string]*MemberRow{}
+	for i := range rows {
+		name := rows[i].Name
+		byName[name] = &rows[i]
+	}
+	// weight (offset 0) and next (offset 8) take all the misses; pads none.
+	w := byName["{long weight}"]
+	n := byName["{pointer+structure:item next}"]
+	if w == nil || n == nil {
+		t.Fatalf("member rows missing: %v", byName)
+	}
+	if w.M.Events[hwc.EvECStall]+n.M.Events[hwc.EvECStall] == 0 {
+		t.Error("no stall attributed to weight/next")
+	}
+	if p := byName["{long pad3}"]; p != nil && p.M.Events[hwc.EvECStall] > w.M.Events[hwc.EvECStall] {
+		t.Error("padding member out-stalls the hot member")
+	}
+	if rows[0].Off != 0 || rows[1].Off != 8 {
+		t.Error("member rows not ordered by offset")
+	}
+}
+
+func TestEffectiveness(t *testing.T) {
+	a := analyzerForTest(t)
+	// Stall/miss events: nearly all events resolve (paper: >99%, ~100%).
+	for _, ev := range []hwc.Event{hwc.EvECStall, hwc.EvECRdMiss, hwc.EvDTLBMiss} {
+		if eff := a.Effectiveness(ev); eff < 0.95 {
+			t.Errorf("%v effectiveness %.1f%%, want >= 95%%", ev, 100*eff)
+		}
+	}
+	// DTLB is precise: ~100%.
+	if eff := a.Effectiveness(hwc.EvDTLBMiss); eff < 0.995 {
+		t.Errorf("DTLB effectiveness %.2f%%, want ~100%%", 100*eff)
+	}
+	// EC refs have the widest skid; effectiveness is lower but still
+	// high (paper: ~94%).
+	if eff := a.Effectiveness(hwc.EvECRef); eff < 0.75 || eff > 1.0 {
+		t.Errorf("EC ref effectiveness %.1f%% out of plausible range", 100*eff)
+	}
+}
+
+func TestPCListAndXrefs(t *testing.T) {
+	a := analyzerForTest(t)
+	rows := a.PCs(ByEvent(hwc.EvECRdMiss), 10)
+	if len(rows) == 0 {
+		t.Fatal("empty PC list")
+	}
+	top := rows[0]
+	name := a.PCName(top.PC, top.Artificial)
+	if !strings.Contains(name, "chase") {
+		t.Errorf("top miss PC %s not in chase", name)
+	}
+	if !top.Artificial {
+		if _, ok := a.Tab.Xrefs[top.PC]; !ok {
+			t.Error("top PC has no data-object xref")
+		}
+	}
+}
+
+func TestCallersCallees(t *testing.T) {
+	a := analyzerForTest(t)
+	_, incl, callers, _ := a.CallersCallees("chase")
+	if incl.IsZero() {
+		t.Fatal("no inclusive metrics for chase")
+	}
+	foundMain := false
+	for _, c := range callers {
+		if c.Name == "main" {
+			foundMain = true
+		}
+	}
+	if !foundMain {
+		t.Error("main not recorded as caller of chase")
+	}
+	_, _, _, callees := a.CallersCallees("main")
+	names := map[string]bool{}
+	for _, c := range callees {
+		names[c.Name] = true
+	}
+	if !names["chase"] || !names["scan"] {
+		t.Errorf("main's callees = %v, want chase and scan", names)
+	}
+}
+
+func TestRenderedReportsContainPaperElements(t *testing.T) {
+	a := analyzerForTest(t)
+	var b strings.Builder
+	a.TotalReport(&b)
+	total := b.String()
+	for _, want := range []string{"Exclusive Total LWP Time", "E$ Stall Cycles", "count", "E$ Read Miss Rate"} {
+		if !strings.Contains(total, want) {
+			t.Errorf("TotalReport missing %q:\n%s", want, total)
+		}
+	}
+	b.Reset()
+	a.FunctionList(&b, ByUserCPU)
+	if !strings.Contains(b.String(), "<Total>") || !strings.Contains(b.String(), "chase") {
+		t.Errorf("FunctionList malformed:\n%s", b.String())
+	}
+	b.Reset()
+	a.DataObjectList(&b, ByEvent(hwc.EvECStall))
+	if !strings.Contains(b.String(), "{structure:item -}") {
+		t.Errorf("DataObjectList missing struct row:\n%s", b.String())
+	}
+	b.Reset()
+	if err := a.MemberList(&b, "item"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "+56") || !strings.Contains(b.String(), "{long weight}") {
+		t.Errorf("MemberList malformed:\n%s", b.String())
+	}
+	b.Reset()
+	a.PCList(&b, ByEvent(hwc.EvECRdMiss), 5)
+	if !strings.Contains(b.String(), "chase + 0x") {
+		t.Errorf("PCList missing func+offset rows:\n%s", b.String())
+	}
+	b.Reset()
+	if err := a.AnnotatedSource(&b, "chase"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "p->next") || !strings.Contains(b.String(), "##") {
+		t.Errorf("AnnotatedSource missing source/hot markers:\n%s", b.String())
+	}
+	b.Reset()
+	if err := a.AnnotatedDisasm(&b, "chase"); err != nil {
+		t.Fatal(err)
+	}
+	dis := b.String()
+	for _, want := range []string{"ldx", "<branch target>", "{structure:item -}{pointer+structure:item next}"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("AnnotatedDisasm missing %q:\n%s", want, dis)
+		}
+	}
+	b.Reset()
+	a.EffectivenessReport(&b)
+	if !strings.Contains(b.String(), "effectiveness") {
+		t.Errorf("EffectivenessReport malformed:\n%s", b.String())
+	}
+}
+
+func TestAddressSpaceReports(t *testing.T) {
+	a := analyzerForTest(t)
+	segs := a.Segments()
+	var heapStall, otherStall uint64
+	for _, s := range segs {
+		if s.Seg == machine.SegHeap {
+			heapStall = s.M.Events[hwc.EvECStall]
+		} else {
+			otherStall += s.M.Events[hwc.EvECStall]
+		}
+	}
+	if heapStall == 0 || heapStall < otherStall {
+		t.Errorf("heap should dominate stall: heap=%d other=%d", heapStall, otherStall)
+	}
+	pages := a.Pages(ByEvent(hwc.EvECRdMiss), 10)
+	if len(pages) == 0 {
+		t.Error("no page aggregation")
+	}
+	lines := a.CacheLines(ByEvent(hwc.EvECRdMiss), 10)
+	if len(lines) == 0 {
+		t.Error("no cache-line aggregation")
+	}
+	for _, l := range lines {
+		if l.Base%512 != 0 {
+			t.Errorf("cache line base %#x not 512-aligned", l.Base)
+		}
+	}
+}
+
+func TestInstancesAndSplitObjects(t *testing.T) {
+	a := analyzerForTest(t)
+	inst, err := a.Instances("item", ByEvent(hwc.EvECRdMiss), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst) == 0 {
+		t.Fatal("no instances resolved")
+	}
+	// 64-byte items at 16-aligned malloc: instances never split across
+	// 512-byte lines when the array starts line-aligned... they can split
+	// if the array base is not 512-aligned. Verify the geometry fields
+	// are consistent rather than a specific value.
+	st, err := a.SplitObjects("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total == 0 {
+		t.Fatal("split analysis found no item arrays")
+	}
+	if st.Split < 0 || st.Split > st.Total {
+		t.Errorf("split stats inconsistent: %+v", st)
+	}
+	// 64-byte objects in 512-byte lines: either 0 (aligned) or 1/8 of
+	// objects split, depending on base alignment.
+	f := st.Fraction()
+	if f > 0.2 {
+		t.Errorf("64B-in-512B split fraction %.2f implausible", f)
+	}
+	if _, err := a.Instances("nosuch", ByUserCPU, 5); err == nil {
+		t.Error("Instances accepted unknown struct")
+	}
+}
+
+func TestSTABSGivesUnascertainable(t *testing.T) {
+	prog := buildWorkload(t, cc.Options{HWCProf: true, DebugFormat: dwarf.FormatSTABS, Name: "workload"})
+	specs, _ := collect.ParseCounterSpec("+ecrm,1009")
+	res, err := collect.Run(prog, collect.Options{Counters: specs, Machine: scaledCfg(), Input: []int64{30000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(res.Exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := a.DataObjects(ByEvent(hwc.EvECRdMiss))
+	for _, r := range rows {
+		if strings.HasPrefix(r.Name, "{structure:") {
+			t.Errorf("STABS experiment attributed struct objects: %s", r.Name)
+		}
+	}
+	found := false
+	for _, r := range rows {
+		if r.Name == "(Unascertainable)" && r.M.Events[hwc.EvECRdMiss] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("STABS events not bucketed as (Unascertainable)")
+	}
+}
+
+func TestNoBacktrackAblation(t *testing.T) {
+	// Without apropos backtracking, data-object attribution collapses:
+	// structure:item should receive far less weight than with it.
+	prog := buildWorkload(t, cc.Options{HWCProf: true, Name: "workload"})
+	specsNB, _ := collect.ParseCounterSpec("ecrm,1009")
+	resNB, err := collect.Run(prog, collect.Options{Counters: specsNB, Machine: scaledCfg(), Input: []int64{30000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNB, err := New(resNB.Exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyzerForTest(t)
+
+	frac := func(an *Analyzer) float64 {
+		id, _ := an.Tab.TypeByName("item")
+		m := an.ObjMetrics(id)
+		total := an.total.Events[hwc.EvECRdMiss]
+		if total == 0 {
+			return 0
+		}
+		return float64(m.Events[hwc.EvECRdMiss]) / float64(total)
+	}
+	withBT, withoutBT := frac(a), frac(aNB)
+	if withBT < 0.5 {
+		t.Errorf("with backtracking, item gets only %.1f%% of misses", 100*withBT)
+	}
+	if withoutBT >= withBT {
+		t.Errorf("ablation: attribution without backtracking (%.2f) should be worse than with (%.2f)",
+			withoutBT, withBT)
+	}
+}
+
+func TestAnalyzerRejectsMismatchedExperiments(t *testing.T) {
+	progA := buildWorkload(t, cc.Options{HWCProf: true, Name: "aaa"})
+	progB := buildWorkload(t, cc.Options{HWCProf: true, Name: "bbb"})
+	specs, _ := collect.ParseCounterSpec("+ecrm,1009")
+	small := scaledCfg()
+	resA, err := collect.Run(progA, collect.Options{Counters: specs, Machine: small, Input: []int64{5000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := collect.Run(progB, collect.Options{Counters: specs, Machine: small, Input: []int64{5000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(resA.Exp, resB.Exp); err == nil {
+		t.Error("analyzer accepted experiments over different targets")
+	}
+	if _, err := New(); err == nil {
+		t.Error("analyzer accepted zero experiments")
+	}
+	// Conflicting intervals for the same event.
+	specs2, _ := collect.ParseCounterSpec("+ecrm,2003")
+	resC, err := collect.Run(progA, collect.Options{Counters: specs2, Machine: small, Input: []int64{5000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(resA.Exp, resC.Exp); err == nil {
+		t.Error("analyzer accepted conflicting intervals")
+	}
+}

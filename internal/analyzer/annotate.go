@@ -1,0 +1,110 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+
+	"dsprof/internal/isa"
+)
+
+// Annotated source and disassembly listings — the paper's Figures 3 and 4.
+
+// hotMark is prepended to lines whose metric share is high, like the
+// paper's "##" annotations.
+const hotMark = "## "
+
+// AnnotatedSource renders the source of fn with per-line metrics.
+func (a *Analyzer) AnnotatedSource(w io.Writer, fnName string) error {
+	fn := a.Tab.FuncByName(fnName)
+	if fn == nil {
+		return fmt.Errorf("analyzer: no function %q", fnName)
+	}
+	src := a.Tab.Source[fn.File]
+	if len(src) == 0 {
+		return fmt.Errorf("analyzer: no source for file %q", fn.File)
+	}
+	// Line range covered by the function.
+	lo, hi := int32(1<<30), int32(0)
+	for pc := fn.Start; pc < fn.End; pc += isa.InstrBytes {
+		if ln := a.Tab.Lines[pc]; ln > 0 {
+			if ln < lo {
+				lo = ln
+			}
+			if ln > hi {
+				hi = ln
+			}
+		}
+	}
+	if hi == 0 {
+		return fmt.Errorf("analyzer: no line information for %q", fnName)
+	}
+	a.renderHeader(w)
+	for ln := lo; ln <= hi; ln++ {
+		var m Metrics
+		if mm := a.byLine[lineKey{fn.File, ln}]; mm != nil {
+			m = *mm
+		}
+		mark := "   "
+		if a.isHot(&m) {
+			mark = hotMark
+		}
+		fmt.Fprintf(w, "%s", mark)
+		a.renderMetrics(w, &m)
+		text := ""
+		if int(ln) <= len(src) {
+			text = src[ln-1]
+		}
+		fmt.Fprintf(w, "%4d. %s\n", ln, text)
+	}
+	return nil
+}
+
+// isHot reports whether a row deserves the ## marker: >= 5% of any
+// collected metric.
+func (a *Analyzer) isHot(m *Metrics) bool {
+	if a.total.Ticks > 0 && 20*m.Ticks >= a.total.Ticks {
+		return true
+	}
+	for ev, n := range m.Events {
+		if a.total.Events[ev] > 0 && 20*n >= a.total.Events[ev] {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnotatedDisasm renders the disassembly of fn with per-PC metrics,
+// artificial <branch target> rows, and data-object descriptor
+// annotations — the paper's Figure 4.
+func (a *Analyzer) AnnotatedDisasm(w io.Writer, fnName string) error {
+	fn := a.Tab.FuncByName(fnName)
+	if fn == nil {
+		return fmt.Errorf("analyzer: no function %q", fnName)
+	}
+	a.renderHeader(w)
+	for pc := fn.Start; pc < fn.End; pc += isa.InstrBytes {
+		// Artificial branch-target row: metrics attributed to the join
+		// node because backtracking was blocked.
+		if a.Tab.BranchTargets[pc] {
+			var m Metrics
+			if mm := a.byArtPC[pc]; mm != nil {
+				m = *mm
+			}
+			a.renderMetrics(w, &m)
+			fmt.Fprintf(w, "[%3d] %8x*  <branch target>   <--- <<<\n", a.Tab.Lines[pc], pc)
+		}
+		var m Metrics
+		if mm := a.byPC[pc]; mm != nil {
+			m = *mm
+		}
+		a.renderMetrics(w, &m)
+		in := a.Prog.InstrAt(pc)
+		line := a.Tab.Lines[pc]
+		fmt.Fprintf(w, "[%3d] %8x:  %s", line, pc, isa.Disasm(*in, pc))
+		if x, ok := a.Tab.Xrefs[pc]; ok {
+			fmt.Fprintf(w, "\n%s    %s", pad(a, 0), a.Tab.XrefDisplay(x))
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	return nil
+}

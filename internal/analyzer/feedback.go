@@ -1,0 +1,63 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dsprof/internal/hwc"
+)
+
+// Feedback-directed prefetching, the first extension in the paper's
+// future work (§4): "the experiments contain the information necessary
+// to know which memory references cause the cache-misses, the data can
+// be used to construct a feedback file, allowing a recompilation of the
+// target to be done with the insertion of prefetch instructions."
+
+// PrefetchFeedback returns, per source file, the lines whose attributed
+// E$ read-miss share meets minShare — the feedback file handed back to
+// the compiler (cc.Options.PrefetchFeedback).
+func (a *Analyzer) PrefetchFeedback(minShare float64) map[string]map[int]bool {
+	total := a.total.Events[hwc.EvECRdMiss]
+	if total == 0 {
+		return nil
+	}
+	out := make(map[string]map[int]bool)
+	for key, m := range a.byLine {
+		share := float64(m.Events[hwc.EvECRdMiss]) / float64(total)
+		if share < minShare {
+			continue
+		}
+		if out[key.file] == nil {
+			out[key.file] = make(map[int]bool)
+		}
+		out[key.file][int(key.line)] = true
+	}
+	return out
+}
+
+// WriteFeedbackFile renders the feedback in a human-readable form
+// (file:line plus the miss share), sorted by share.
+func (a *Analyzer) WriteFeedbackFile(w io.Writer, minShare float64) {
+	total := a.total.Events[hwc.EvECRdMiss]
+	if total == 0 {
+		fmt.Fprintln(w, "# no E$ read-miss data collected")
+		return
+	}
+	type row struct {
+		key   lineKey
+		share float64
+	}
+	var rows []row
+	for key, m := range a.byLine {
+		share := float64(m.Events[hwc.EvECRdMiss]) / float64(total)
+		if share >= minShare {
+			rows = append(rows, row{key, share})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].share > rows[j].share })
+	fmt.Fprintf(w, "# prefetch feedback: source lines by E$ read-miss share (threshold %.1f%%)\n", 100*minShare)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s:%d  %.1f%%\n", r.key.file, r.key.line, 100*r.share)
+	}
+}

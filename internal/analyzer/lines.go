@@ -1,0 +1,66 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Source-line aggregation: the "lines" view of er_print, ranking source
+// lines across all files by a metric.
+
+// LineRow is one source line's aggregated metrics.
+type LineRow struct {
+	File string
+	Line int32
+	Text string // source text, if available
+	M    Metrics
+}
+
+// Lines returns source lines sorted by the metric, descending, limited
+// to the top n (0 = all).
+func (a *Analyzer) Lines(s SortBy, n int) []LineRow {
+	rows := make([]LineRow, 0, len(a.byLine))
+	for key, m := range a.byLine {
+		r := LineRow{File: key.file, Line: key.line, M: *m}
+		if src := a.Tab.Source[key.file]; int(key.line) <= len(src) && key.line > 0 {
+			r.Text = src[key.line-1]
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		wi, wj := a.weight(&rows[i].M, s), a.weight(&rows[j].M, s)
+		if wi != wj {
+			return wi > wj
+		}
+		if rows[i].File != rows[j].File {
+			return rows[i].File < rows[j].File
+		}
+		return rows[i].Line < rows[j].Line
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// LineList renders the hot-lines report.
+func (a *Analyzer) LineList(w io.Writer, s SortBy, n int) {
+	a.renderHeader(w)
+	a.renderMetrics(w, &a.total)
+	fmt.Fprintf(w, "<Total>\n")
+	for _, r := range a.Lines(s, n) {
+		a.renderMetrics(w, &r.M)
+		fmt.Fprintf(w, "%s:%d  %s\n", r.File, r.Line, trimLine(r.Text))
+	}
+}
+
+func trimLine(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

@@ -1,0 +1,229 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"dsprof/internal/experiment"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+)
+
+// Renderer tests on synthetic experiments (no machine run).
+
+func synthAnalyzerWithEvents(t *testing.T) *Analyzer {
+	t.Helper()
+	prog, _ := synthProgram(true)
+	exp := synthExperiment(prog, true, []experiment.HWCEvent{
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0), EA: machine.HeapBase + 0x10, HasEA: true,
+			Callstack: []uint64{pcAt(6)}},
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0), EA: machine.HeapBase + 0x1010, HasEA: true},
+		{DeliveredPC: pcAt(5), CandidatePC: pcAt(3), EA: machine.DataBase + 8, HasEA: true},
+	})
+	exp.Allocs = []machine.Alloc{{Addr: machine.HeapBase, Size: 120 * 64, Seq: 0}}
+	exp.Meta.ECacheLine = 512
+	exp.Meta.DCacheLine = 32
+	exp.Meta.HeapPageSize = 8192
+	a, err := New(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCallersCalleesReportRenders(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	var b strings.Builder
+	a.CallersCalleesReport(&b, "f")
+	out := b.String()
+	if !strings.Contains(out, "*f (exclusive)") || !strings.Contains(out, "*f (inclusive)") {
+		t.Errorf("callers-callees report malformed:\n%s", out)
+	}
+	// The event with a callstack frame inside f makes f its own caller
+	// (the synthetic callstack points at pc 6 which lies inside f).
+	if !strings.Contains(out, "(caller)") {
+		t.Errorf("no caller rows:\n%s", out)
+	}
+}
+
+func TestAddressSpaceReportRenders(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	var b strings.Builder
+	a.AddressSpaceReport(&b, ByEvent(hwc.EvECRdMiss), 4)
+	out := b.String()
+	for _, want := range []string{"By segment:", "Heap", "Data", "Top 4 pages:", "page 0x", "Top 4 E$ lines:", "line 0x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("address-space report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPagesAndCacheLinesAggregation(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	pages := a.Pages(ByEvent(hwc.EvECRdMiss), 0)
+	// heap+0x10 and heap+0x1010 share the first 8K heap page; data+8 is
+	// a second page.
+	if len(pages) != 2 {
+		t.Fatalf("pages = %d, want 2", len(pages))
+	}
+	for _, p := range pages {
+		if p.Base%8192 != 0 {
+			t.Errorf("page base %#x not aligned", p.Base)
+		}
+	}
+	lines := a.CacheLines(ByEvent(hwc.EvECRdMiss), 0)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	// Sorted by weight descending: equal weights fall back to address.
+	for i := 1; i < len(lines); i++ {
+		wi := lines[i-1].M.Events[hwc.EvECRdMiss]
+		wj := lines[i].M.Events[hwc.EvECRdMiss]
+		if wi < wj {
+			t.Error("cache lines not sorted by weight")
+		}
+	}
+}
+
+func TestInstancesOnSyntheticAllocs(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	inst, err := a.Instances("node", ByEvent(hwc.EvECRdMiss), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two heap EAs hit the 120-byte-node array at indices 0 and 34.
+	if len(inst) != 2 {
+		t.Fatalf("instances = %+v", inst)
+	}
+	idx := map[int64]bool{}
+	for _, r := range inst {
+		idx[r.Index] = true
+	}
+	if !idx[0] || !idx[0x1010/120] {
+		t.Errorf("instance indices wrong: %+v", inst)
+	}
+}
+
+func TestSplitObjectsSynthetic(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	st, err := a.SplitObjects("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 nodes of 120 bytes from a 512-aligned base: nodes split when
+	// they straddle a 512 boundary. Compute expected directly.
+	var want int64
+	for i := int64(0); i < 64; i++ {
+		addr := uint64(machine.HeapBase) + uint64(i*120)
+		if addr/512 != (addr+119)/512 {
+			want++
+		}
+	}
+	if st.Split != want || st.Total != 64 {
+		t.Errorf("split = %d/%d, want %d/64", st.Split, st.Total, want)
+	}
+	if _, err := a.SplitObjects("nosuch"); err == nil {
+		t.Error("SplitObjects accepted unknown type")
+	}
+}
+
+func TestAnnotatedSourceMissingFunction(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	if err := a.AnnotatedSource(&strings.Builder{}, "nope"); err == nil {
+		t.Error("AnnotatedSource accepted unknown function")
+	}
+	if err := a.AnnotatedDisasm(&strings.Builder{}, "nope"); err == nil {
+		t.Error("AnnotatedDisasm accepted unknown function")
+	}
+	if err := a.MemberList(&strings.Builder{}, "nope"); err == nil {
+		t.Error("MemberList accepted unknown struct")
+	}
+}
+
+func TestTotalReportSyntheticValues(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	var b strings.Builder
+	a.TotalReport(&b)
+	out := b.String()
+	// 3 overflow events at interval 1000 = 3000 estimated misses.
+	if !strings.Contains(out, "3000") {
+		t.Errorf("estimated miss count missing:\n%s", out)
+	}
+}
+
+func TestPCNameFormats(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	name := a.PCName(pcAt(3), false)
+	if !strings.Contains(name, "f + 0x") {
+		t.Errorf("PCName = %q", name)
+	}
+	art := a.PCName(pcAt(3), true)
+	if !strings.Contains(art, "<branch target>") {
+		t.Errorf("artificial PCName = %q", art)
+	}
+	outside := a.PCName(0x50, false)
+	if !strings.HasPrefix(outside, "0x") {
+		t.Errorf("outside PCName = %q", outside)
+	}
+}
+
+func TestLineListRenders(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	rows := a.Lines(ByEvent(hwc.EvECRdMiss), 0)
+	if len(rows) == 0 {
+		t.Fatal("no line rows")
+	}
+	// Top line must carry the doubled orientation events (line 10).
+	if rows[0].Line != 10 || rows[0].M.Events[hwc.EvECRdMiss] != 2 {
+		t.Errorf("top line = %+v", rows[0])
+	}
+	var b strings.Builder
+	a.LineList(&b, ByEvent(hwc.EvECRdMiss), 5)
+	if !strings.Contains(b.String(), "f.mc:10") || !strings.Contains(b.String(), "<Total>") {
+		t.Errorf("LineList malformed:\n%s", b.String())
+	}
+}
+
+func TestTrimLine(t *testing.T) {
+	if got := trimLine("\t\t  x = 1;"); got != "x = 1;" {
+		t.Errorf("trimLine = %q", got)
+	}
+	long := strings.Repeat("a", 100)
+	if got := trimLine(long); len(got) != 60 || !strings.HasSuffix(got, "...") {
+		t.Errorf("trimLine long = %q (%d)", got, len(got))
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	before := synthAnalyzerWithEvents(t)
+	// "After": same program, fewer events on the hot line.
+	prog, _ := synthProgram(true)
+	after, err := New(synthExperiment(prog, true, []experiment.HWCEvent{
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0)},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := CompareFunctions(before, after, ByEvent(hwc.EvECRdMiss))
+	if rows[0].Name != "<Total>" {
+		t.Fatal("first row must be <Total>")
+	}
+	if rows[0].Before.Events[hwc.EvECRdMiss] != 3 || rows[0].After.Events[hwc.EvECRdMiss] != 1 {
+		t.Errorf("totals = %d -> %d", rows[0].Before.Events[hwc.EvECRdMiss], rows[0].After.Events[hwc.EvECRdMiss])
+	}
+	var b strings.Builder
+	if err := CompareReport(&b, before, after, ByEvent(hwc.EvECRdMiss), 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "<Total>") || !strings.Contains(out, "-66.7%") {
+		t.Errorf("compare report malformed:\n%s", out)
+	}
+	// Mismatched metrics are rejected.
+	if err := CompareReport(&b, before, after, ByEvent(hwc.EvDTLBMiss), 10); err == nil {
+		t.Error("compare accepted a metric missing from both experiments")
+	}
+	if err := CompareReport(&b, before, after, ByUserCPU, 10); err == nil {
+		t.Error("compare accepted missing clock profiles")
+	}
+}

@@ -1,0 +1,135 @@
+// Package asm provides the program builder used by the compiler backend
+// (and by tests that hand-write machine code): it assembles instructions
+// with symbolic labels, resolves branch/call fixups, and packages the
+// result together with its debug tables into a loadable Program.
+package asm
+
+import (
+	"fmt"
+
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+)
+
+// Builder accumulates a text segment with symbolic labels.
+type Builder struct {
+	base   uint64
+	instrs []isa.Instr
+	labels map[string]int
+	fixups []fixup
+}
+
+type fixup struct {
+	at    int // instruction index of the branch/call
+	label string
+}
+
+// NewBuilder returns a builder whose first instruction will live at base.
+func NewBuilder(base uint64) *Builder {
+	return &Builder{base: base, labels: make(map[string]int)}
+}
+
+// PC returns the address the next emitted instruction will have.
+func (b *Builder) PC() uint64 {
+	return b.base + uint64(len(b.instrs))*isa.InstrBytes
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// AddrOf returns the PC of instruction index i.
+func (b *Builder) AddrOf(i int) uint64 {
+	return b.base + uint64(i)*isa.InstrBytes
+}
+
+// Label defines name at the current position. Redefinition is an error.
+func (b *Builder) Label(name string) error {
+	if _, dup := b.labels[name]; dup {
+		return fmt.Errorf("asm: label %q redefined", name)
+	}
+	b.labels[name] = len(b.instrs)
+	return nil
+}
+
+// LabelAddr returns the address of a defined label.
+func (b *Builder) LabelAddr(name string) (uint64, bool) {
+	i, ok := b.labels[name]
+	if !ok {
+		return 0, false
+	}
+	return b.AddrOf(i), true
+}
+
+// Emit appends one instruction and returns its index.
+func (b *Builder) Emit(in isa.Instr) int {
+	b.instrs = append(b.instrs, in)
+	return len(b.instrs) - 1
+}
+
+// Instr returns a pointer to the instruction at index i for patching.
+func (b *Builder) Instr(i int) *isa.Instr { return &b.instrs[i] }
+
+// EmitBranch appends a branch to a (possibly not yet defined) label and
+// returns its index. The displacement is fixed up in Finish.
+func (b *Builder) EmitBranch(op isa.Op, label string) int {
+	i := b.Emit(isa.Instr{Op: op, UseImm: true})
+	b.fixups = append(b.fixups, fixup{at: i, label: label})
+	return i
+}
+
+// EmitCall appends a call to a label.
+func (b *Builder) EmitCall(label string) int {
+	i := b.Emit(isa.Instr{Op: isa.Call, Rd: isa.O7, UseImm: true})
+	b.fixups = append(b.fixups, fixup{at: i, label: label})
+	return i
+}
+
+// Finish resolves all fixups and returns the text segment.
+func (b *Builder) Finish() ([]isa.Instr, error) {
+	for _, f := range b.fixups {
+		ti, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		disp := ti - f.at
+		if disp < isa.DispMin || disp > isa.DispMax {
+			return nil, fmt.Errorf("asm: branch to %q out of range (%d words)", f.label, disp)
+		}
+		b.instrs[f.at].Imm = int32(disp)
+	}
+	b.fixups = nil
+	return b.instrs, nil
+}
+
+// Program is a loadable executable: text, initialized data, entry point
+// and debug tables. It corresponds to the paper's a.out-plus-symbol-tables
+// artifact.
+type Program struct {
+	Name  string
+	Text  []isa.Instr
+	Data  []byte
+	Entry uint64
+	Base  uint64 // address of Text[0]
+	Debug *dwarf.Table
+
+	// HeapPageSize is the page size the program requests for its heap
+	// segment (-xpagesize_heap); 0 means the system default.
+	HeapPageSize uint64
+}
+
+// InstrAt returns the instruction at pc, or nil if pc is outside text.
+func (p *Program) InstrAt(pc uint64) *isa.Instr {
+	if pc < p.Base || pc%isa.InstrBytes != 0 {
+		return nil
+	}
+	i := (pc - p.Base) / isa.InstrBytes
+	if i >= uint64(len(p.Text)) {
+		return nil
+	}
+	return &p.Text[i]
+}
+
+// End returns one past the last text PC.
+func (p *Program) End() uint64 {
+	return p.Base + uint64(len(p.Text))*isa.InstrBytes
+}

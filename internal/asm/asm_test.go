@@ -1,0 +1,172 @@
+package asm
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+)
+
+func TestLabelsAndFixups(t *testing.T) {
+	b := NewBuilder(0x1000)
+	if err := b.Label("start"); err != nil {
+		t.Fatal(err)
+	}
+	b.Emit(isa.Instr{Op: isa.Nop})
+	i := b.EmitBranch(isa.Ba, "end")
+	b.Emit(isa.Instr{Op: isa.Nop})
+	b.Label("end")
+	b.Emit(isa.Instr{Op: isa.Halt})
+	text, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text[i].Imm != 2 {
+		t.Errorf("forward branch displacement = %d, want 2", text[i].Imm)
+	}
+	if addr, ok := b.LabelAddr("end"); !ok || addr != 0x1000+3*isa.InstrBytes {
+		t.Errorf("LabelAddr(end) = %#x, %v", addr, ok)
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	b := NewBuilder(0)
+	b.Label("top")
+	b.Emit(isa.Instr{Op: isa.Nop})
+	i := b.EmitBranch(isa.Bne, "top")
+	text, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text[i].Imm != -1 {
+		t.Errorf("backward displacement = %d, want -1", text[i].Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.EmitBranch(isa.Ba, "nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish accepted undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder(0)
+	if err := b.Label("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Label("x"); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}
+
+func TestPCAndAddrOf(t *testing.T) {
+	b := NewBuilder(0x2000)
+	if b.PC() != 0x2000 {
+		t.Errorf("initial PC = %#x", b.PC())
+	}
+	b.Emit(isa.Instr{Op: isa.Nop})
+	if b.PC() != 0x2004 || b.AddrOf(0) != 0x2000 || b.Len() != 1 {
+		t.Errorf("PC=%#x AddrOf(0)=%#x Len=%d", b.PC(), b.AddrOf(0), b.Len())
+	}
+}
+
+func TestProgramInstrAt(t *testing.T) {
+	p := &Program{
+		Base: 0x1000,
+		Text: []isa.Instr{{Op: isa.Nop}, {Op: isa.Halt}},
+	}
+	if in := p.InstrAt(0x1004); in == nil || in.Op != isa.Halt {
+		t.Error("InstrAt(0x1004) wrong")
+	}
+	for _, pc := range []uint64{0xffc, 0x1008, 0x1002} {
+		if p.InstrAt(pc) != nil {
+			t.Errorf("InstrAt(%#x) should be nil", pc)
+		}
+	}
+	if p.End() != 0x1008 {
+		t.Errorf("End = %#x", p.End())
+	}
+}
+
+func makeProgram() *Program {
+	tab := dwarf.NewTable(dwarf.FormatDWARF)
+	long := tab.AddType(dwarf.Type{Name: "long", Kind: dwarf.KindBase, Size: 8})
+	node := tab.AddType(dwarf.Type{
+		Name: "node", Kind: dwarf.KindStruct, Size: 16,
+		Members: []dwarf.Member{{Name: "a", Off: 0, Type: long}, {Name: "b", Off: 8, Type: long}},
+	})
+	tab.AddFunc(dwarf.Func{Name: "main", Start: 0x1000, End: 0x1008, HWCProf: true})
+	tab.Lines[0x1000] = 3
+	tab.Xrefs[0x1000] = dwarf.DataXref{Type: node, Member: 1}
+	tab.BranchTargets[0x1004] = true
+	tab.Source["main.mc"] = []string{"line1", "line2", "line3"}
+	return &Program{
+		Name:  "test",
+		Base:  0x1000,
+		Entry: 0x1000,
+		Text:  []isa.Instr{{Op: isa.LdX, Rd: isa.O0, Rs1: isa.O1, UseImm: true, Imm: 8}, {Op: isa.Halt}},
+		Data:  []byte{1, 2, 3},
+		Debug: tab,
+	}
+}
+
+func TestObjectFileRoundtrip(t *testing.T) {
+	p := makeProgram()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry || q.Base != p.Base {
+		t.Error("header fields lost")
+	}
+	if len(q.Text) != 2 || q.Text[0] != p.Text[0] {
+		t.Errorf("text lost: %+v", q.Text)
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Error("data lost")
+	}
+	if q.Debug == nil || q.Debug.Format != dwarf.FormatDWARF {
+		t.Fatal("debug table lost")
+	}
+	if q.Debug.Lines[0x1000] != 3 || !q.Debug.BranchTargets[0x1004] {
+		t.Error("debug details lost")
+	}
+	if x, ok := q.Debug.Xrefs[0x1000]; !ok || x.Member != 1 {
+		t.Error("xrefs lost")
+	}
+	if f := q.Debug.FuncAt(0x1004); f == nil || f.Name != "main" {
+		t.Error("funcs lost")
+	}
+}
+
+func TestObjectFileOnDisk(t *testing.T) {
+	p := makeProgram()
+	path := filepath.Join(t.TempDir(), "test.obj")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "test" {
+		t.Error("roundtrip through file failed")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.obj")); err == nil {
+		t.Error("LoadFile of missing path succeeded")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an object file"))); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}

@@ -1,0 +1,93 @@
+package asm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+)
+
+// Object file container. The text segment is stored in its binary encoded
+// form (one 32-bit word per instruction), so a saved program is a genuine
+// machine-code image; loading decodes it back.
+
+const objMagic = "dsprof-obj-1"
+
+type objWire struct {
+	Magic        string
+	Name         string
+	TextImg      []byte
+	Data         []byte
+	Entry        uint64
+	Base         uint64
+	Debug        *dwarf.Table
+	HeapPageSize uint64
+}
+
+// Save writes the program as an object file.
+func (p *Program) Save(w io.Writer) error {
+	img, err := isa.EncodeText(p.Text)
+	if err != nil {
+		return fmt.Errorf("asm: encoding text: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(&objWire{
+		Magic:        objMagic,
+		Name:         p.Name,
+		TextImg:      img,
+		Data:         p.Data,
+		Entry:        p.Entry,
+		Base:         p.Base,
+		Debug:        p.Debug,
+		HeapPageSize: p.HeapPageSize,
+	})
+}
+
+// Load reads a program object file written by Save.
+func Load(r io.Reader) (*Program, error) {
+	var w objWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("asm: decoding object: %w", err)
+	}
+	if w.Magic != objMagic {
+		return nil, fmt.Errorf("asm: bad object magic %q", w.Magic)
+	}
+	text, err := isa.DecodeText(w.TextImg)
+	if err != nil {
+		return nil, fmt.Errorf("asm: decoding text: %w", err)
+	}
+	return &Program{
+		Name:         w.Name,
+		Text:         text,
+		Data:         w.Data,
+		Entry:        w.Entry,
+		Base:         w.Base,
+		Debug:        w.Debug,
+		HeapPageSize: w.HeapPageSize,
+	}, nil
+}
+
+// SaveFile writes the program to path.
+func (p *Program) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a program from path.
+func LoadFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

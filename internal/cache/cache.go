@@ -1,0 +1,158 @@
+// Package cache models the processor cache hierarchy: a small write-through
+// level-1 data cache (D$) backed by a large write-back external cache (E$),
+// following the UltraSPARC-III Cu organization the paper's experiments ran
+// on (64 KB 4-way 32 B-line D$, 8 MB 2-way 512 B-line E$).
+//
+// The model is a timing and event model, not a coherence model: each access
+// reports which levels hit, which counter events it generated, and how many
+// stall cycles the pipeline lost. Geometry and miss costs are configurable
+// so experiments can run with scaled-down caches while preserving the
+// working-set-to-cache ratios that drive the paper's results.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks geometry invariants.
+func (c *Config) Validate() error {
+	if !isPow2(c.SizeBytes) || !isPow2(c.LineBytes) || !isPow2(c.Assoc) {
+		return fmt.Errorf("cache %s: size, line and associativity must be powers of two", c.Name)
+	}
+	if c.LineBytes*c.Assoc > c.SizeBytes {
+		return fmt.Errorf("cache %s: size %d too small for %d-way %d-byte lines", c.Name, c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c *Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Cache is one set-associative cache level with true-LRU replacement.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	tags      []uint64 // sets*assoc line tags (full line address >> lineShift)
+	valid     []bool
+	dirty     []bool
+	use       []uint64 // LRU stamps
+	tick      uint64
+
+	// Statistics (cumulative).
+	Reads       uint64
+	Writes      uint64
+	ReadMisses  uint64
+	WriteMisses uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	n := sets * cfg.Assoc
+	var shift uint
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		assoc:     cfg.Assoc,
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		use:       make([]uint64, n),
+	}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// lineOf returns the line number (full address >> lineShift).
+func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Access performs a read or write access to addr. allocate controls
+// whether a miss installs the line (write-through no-write-allocate D$
+// stores pass allocate=false). It reports whether the access hit, and
+// whether installing the line evicted a dirty victim (write-back traffic).
+func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) {
+	line := c.lineOf(addr)
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	c.tick++
+	if write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+	victim := base
+	for i := base; i < base+c.assoc; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.use[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			return true, false
+		}
+		if !c.valid[victim] {
+			continue // keep first invalid way as victim
+		}
+		if !c.valid[i] || c.use[i] < c.use[victim] {
+			victim = i
+		}
+	}
+	if write {
+		c.WriteMisses++
+	} else {
+		c.ReadMisses++
+	}
+	if !allocate {
+		return false, false
+	}
+	writeback = c.valid[victim] && c.dirty[victim]
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.use[victim] = c.tick
+	return false, writeback
+}
+
+// Contains probes for addr without disturbing LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.lineOf(addr)
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.use[i] = 0
+	}
+	c.tick = 0
+	c.Reads, c.Writes, c.ReadMisses, c.WriteMisses = 0, 0, 0, 0
+}

@@ -1,0 +1,237 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsprof/internal/xrand"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "x", SizeBytes: 100, LineBytes: 32, Assoc: 2},
+		{Name: "x", SizeBytes: 1024, LineBytes: 24, Assoc: 2},
+		{Name: "x", SizeBytes: 1024, LineBytes: 32, Assoc: 3},
+		{Name: "x", SizeBytes: 32, LineBytes: 32, Assoc: 2},
+		{Name: "x", SizeBytes: 0, LineBytes: 32, Assoc: 2},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted bad config", cfg)
+		}
+	}
+	good := Config{Name: "d", SizeBytes: 64 << 10, LineBytes: 32, Assoc: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v): %v", good, err)
+	}
+	if got := good.Sets(); got != 512 {
+		t.Errorf("Sets = %d, want 512", got)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	if hit, _ := c.Access(0x1000, false, true); hit {
+		t.Error("cold access hit")
+	}
+	if hit, _ := c.Access(0x1000, false, true); !hit {
+		t.Error("second access missed")
+	}
+	// Same line, different offset.
+	if hit, _ := c.Access(0x101f, false, true); !hit {
+		t.Error("same-line access missed")
+	}
+	// Next line misses.
+	if hit, _ := c.Access(0x1020, false, true); hit {
+		t.Error("next-line access hit")
+	}
+	if c.Reads != 4 || c.ReadMisses != 2 {
+		t.Errorf("stats reads=%d misses=%d", c.Reads, c.ReadMisses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 32B lines, 2 sets (128 B total).
+	c := mustNew(t, Config{Name: "t", SizeBytes: 128, LineBytes: 32, Assoc: 2})
+	// Three lines mapping to set 0: line numbers 0, 2, 4 -> addrs 0, 64, 128.
+	c.Access(0, false, true)
+	c.Access(64, false, true)
+	c.Access(0, false, true)   // touch 0 so 64 is LRU
+	c.Access(128, false, true) // evicts 64
+	if !c.Contains(0) || c.Contains(64) || !c.Contains(128) {
+		t.Errorf("LRU eviction wrong: 0=%v 64=%v 128=%v",
+			c.Contains(0), c.Contains(64), c.Contains(128))
+	}
+}
+
+func TestNoAllocate(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	if hit, _ := c.Access(0x40, true, false); hit {
+		t.Error("cold store hit")
+	}
+	if c.Contains(0x40) {
+		t.Error("no-allocate store installed a line")
+	}
+	if c.WriteMisses != 1 {
+		t.Errorf("WriteMisses = %d", c.WriteMisses)
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	// Direct-mapped single set: 1 line of 32 B.
+	c := mustNew(t, Config{Name: "t", SizeBytes: 32, LineBytes: 32, Assoc: 1})
+	c.Access(0, true, true) // install dirty
+	_, wb := c.Access(32, false, true)
+	if !wb {
+		t.Error("evicting dirty line reported no writeback")
+	}
+	_, wb = c.Access(64, false, true) // clean victim
+	if wb {
+		t.Error("evicting clean line reported writeback")
+	}
+	// Read-installed then written: dirty on eviction.
+	c.Flush()
+	c.Access(0, false, true)
+	c.Access(0, true, true)
+	if _, wb := c.Access(32, false, true); !wb {
+		t.Error("written line not dirty on eviction")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+	c.Access(0x100, false, true)
+	c.Flush()
+	if c.Contains(0x100) {
+		t.Error("Flush left valid line")
+	}
+	if c.Reads != 0 || c.ReadMisses != 0 {
+		t.Error("Flush left stats")
+	}
+}
+
+// Property: the cache never holds more distinct lines than its capacity,
+// and an access to a just-installed line always hits.
+func TestCapacityProperty(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", SizeBytes: 512, LineBytes: 32, Assoc: 4})
+	r := xrand.New(7)
+	f := func() bool {
+		addr := uint64(r.Intn(1 << 20))
+		c.Access(addr, r.Intn(2) == 0, true)
+		if !c.Contains(addr) {
+			return false
+		}
+		hit, _ := c.Access(addr, false, true)
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a working set that fits, steady state has no misses.
+func TestFittingWorkingSetNoMisses(t *testing.T) {
+	c := mustNew(t, Config{Name: "t", SizeBytes: 4096, LineBytes: 32, Assoc: 4})
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 4096; a += 32 {
+			c.Access(a, false, true)
+		}
+	}
+	if c.ReadMisses != 4096/32 {
+		t.Errorf("misses = %d, want compulsory %d", c.ReadMisses, 4096/32)
+	}
+}
+
+func TestHierarchyLoadPath(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Name: "D$", SizeBytes: 1024, LineBytes: 32, Assoc: 4},
+		Config{Name: "E$", SizeBytes: 8192, LineBytes: 512, Assoc: 2},
+		DefaultCosts(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold load: misses both.
+	r := h.Load(0x10000)
+	if !r.DCRdMiss || !r.ECRef || !r.ECRdMiss || r.Stall != DefaultCosts().MemStall {
+		t.Errorf("cold load result %+v", r)
+	}
+	// Hot load: D$ hit, nothing else.
+	r = h.Load(0x10000)
+	if !r.DCHit || r.ECRef || r.Stall != 0 {
+		t.Errorf("hot load result %+v", r)
+	}
+	// Same E$ line (512 B), different D$ line: D$ miss, E$ hit.
+	r = h.Load(0x10000 + 64)
+	if !r.DCRdMiss || !r.ECRef || r.ECRdMiss || r.Stall != DefaultCosts().EHitStall {
+		t.Errorf("E$-hit load result %+v", r)
+	}
+	if h.ECStallCycles != uint64(DefaultCosts().MemStall+DefaultCosts().EHitStall) {
+		t.Errorf("ECStallCycles = %d", h.ECStallCycles)
+	}
+}
+
+func TestHierarchyStorePath(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Name: "D$", SizeBytes: 1024, LineBytes: 32, Assoc: 4},
+		Config{Name: "E$", SizeBytes: 8192, LineBytes: 512, Assoc: 2},
+		DefaultCosts(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold store: D$ miss (no allocate), E$ write-allocate miss.
+	r := h.Store(0x20000)
+	if r.DCHit || !r.ECRef || !r.ECMiss || r.ECRdMiss || r.Stall != DefaultCosts().StoreMissStall {
+		t.Errorf("cold store result %+v", r)
+	}
+	if h.D.Contains(0x20000) {
+		t.Error("store allocated into D$")
+	}
+	if !h.E.Contains(0x20000) {
+		t.Error("store did not allocate into E$")
+	}
+	// Store again: still D$ miss (never allocated), but E$ hit now.
+	r = h.Store(0x20000)
+	if !r.ECRef || r.ECMiss || r.Stall != 0 {
+		t.Errorf("warm store result %+v", r)
+	}
+	// Load it into D$, then store: absorbed, no E$ ref.
+	h.Load(0x20000)
+	r = h.Store(0x20000)
+	if !r.DCHit || r.ECRef {
+		t.Errorf("D$-hit store result %+v", r)
+	}
+}
+
+func TestHierarchyPrefetch(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Name: "D$", SizeBytes: 1024, LineBytes: 32, Assoc: 4},
+		Config{Name: "E$", SizeBytes: 8192, LineBytes: 512, Assoc: 2},
+		DefaultCosts(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Prefetch(0x30000)
+	if r.Stall != 0 || r.ECRdMiss {
+		t.Errorf("prefetch result %+v", r)
+	}
+	if h.ECStallCycles != 0 {
+		t.Error("prefetch accumulated stall")
+	}
+	// Demand load after prefetch hits.
+	r = h.Load(0x30000)
+	if !r.DCHit {
+		t.Errorf("load after prefetch: %+v", r)
+	}
+}

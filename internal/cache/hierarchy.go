@@ -1,0 +1,139 @@
+package cache
+
+// Costs holds the stall-cycle model of the hierarchy. Values are pipeline
+// cycles lost beyond the instruction's base cost. Defaults approximate a
+// 900 MHz UltraSPARC-III Cu.
+type Costs struct {
+	EHitStall      int // D$ miss that hits E$
+	MemStall       int // E$ read miss serviced from memory
+	StoreMissStall int // store that misses E$ (partially hidden by the store queue)
+	WritebackStall int // dirty E$ victim writeback
+}
+
+// DefaultCosts is the UltraSPARC-III-like cost model.
+func DefaultCosts() Costs {
+	return Costs{EHitStall: 14, MemStall: 180, StoreMissStall: 30, WritebackStall: 8}
+}
+
+// Result reports the counter events and stall of a single data access.
+type Result struct {
+	DCHit    bool
+	DCRdMiss bool // D$ read miss (loads only)
+	ECRef    bool // E$ reference (D$ miss, load or store)
+	ECRdMiss bool // E$ read miss (loads only)
+	ECMiss   bool // any E$ miss
+	Stall    int  // cycles lost waiting on E$/memory
+}
+
+// Hierarchy combines the two cache levels with the cost model.
+//
+// Policy, matching the UltraSPARC-III:
+//   - D$ is write-through, no-write-allocate. Store hits update D$; store
+//     misses do not install a D$ line.
+//   - Stores that hit D$ are absorbed by the write cache and do not
+//     reference E$; stores that miss D$ reference E$ (write-allocate).
+//   - E$ is write-back, write-allocate.
+//   - Prefetches install lines in both levels but never stall and are not
+//     counted as demand read misses.
+type Hierarchy struct {
+	D     *Cache
+	E     *Cache
+	Costs Costs
+
+	// Cumulative stall cycles attributed to E$ misses (the "E$ Stall
+	// Cycles" counter counts these).
+	ECStallCycles uint64
+}
+
+// DefaultDCache is the UltraSPARC-III Cu level-1 data cache: 64 KB,
+// 4-way, 32-byte lines.
+func DefaultDCache() Config {
+	return Config{Name: "D$", SizeBytes: 64 << 10, LineBytes: 32, Assoc: 4}
+}
+
+// DefaultECache is the UltraSPARC-III Cu external cache: 8 MB, 2-way,
+// 512-byte lines.
+func DefaultECache() Config {
+	return Config{Name: "E$", SizeBytes: 8 << 20, LineBytes: 512, Assoc: 2}
+}
+
+// NewHierarchy builds the two-level hierarchy.
+func NewHierarchy(d, e Config, costs Costs) (*Hierarchy, error) {
+	dc, err := New(d)
+	if err != nil {
+		return nil, err
+	}
+	ec, err := New(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{D: dc, E: ec, Costs: costs}, nil
+}
+
+// Load performs a demand load access.
+func (h *Hierarchy) Load(addr uint64) Result {
+	var r Result
+	hit, _ := h.D.Access(addr, false, true)
+	if hit {
+		r.DCHit = true
+		return r
+	}
+	r.DCRdMiss = true
+	r.ECRef = true
+	ehit, wb := h.E.Access(addr, false, true)
+	if ehit {
+		r.Stall = h.Costs.EHitStall
+	} else {
+		r.ECRdMiss = true
+		r.ECMiss = true
+		r.Stall = h.Costs.MemStall
+	}
+	if wb {
+		r.Stall += h.Costs.WritebackStall
+	}
+	h.ECStallCycles += uint64(r.Stall)
+	return r
+}
+
+// Store performs a store access.
+func (h *Hierarchy) Store(addr uint64) Result {
+	var r Result
+	hit, _ := h.D.Access(addr, true, false)
+	if hit {
+		// Write-through, but the write cache coalesces the E$ traffic;
+		// no architectural stall and no counted E$ reference.
+		r.DCHit = true
+		return r
+	}
+	r.ECRef = true
+	ehit, wb := h.E.Access(addr, true, true)
+	if !ehit {
+		r.ECMiss = true
+		r.Stall = h.Costs.StoreMissStall
+	}
+	if wb {
+		r.Stall += h.Costs.WritebackStall
+	}
+	h.ECStallCycles += uint64(r.Stall)
+	return r
+}
+
+// Prefetch performs a software prefetch: fills both levels, never stalls.
+func (h *Hierarchy) Prefetch(addr uint64) Result {
+	var r Result
+	hit, _ := h.D.Access(addr, false, true)
+	if hit {
+		r.DCHit = true
+		return r
+	}
+	r.ECRef = true
+	h.E.Access(addr, false, true)
+	return r
+}
+
+// Flush invalidates both levels and clears statistics.
+func (h *Hierarchy) Flush() {
+	h.D.Flush()
+	h.E.Flush()
+	h.ECStallCycles = 0
+}

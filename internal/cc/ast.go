@@ -1,0 +1,243 @@
+package cc
+
+// Source is one input translation-unit file.
+type Source struct {
+	Name string
+	Text string
+}
+
+// file is a parsed source file.
+type file struct {
+	name  string
+	decls []topDecl
+	lines []string // source text split into lines, for annotated listings
+}
+
+// topDecl is a top-level declaration.
+type topDecl interface{ declNode() }
+
+// structDecl declares (or completes) a struct type.
+type structDecl struct {
+	name    string
+	fields  []paramDecl // reuse: name+type pairs
+	line    int
+	forward bool // "struct name;" with no body
+}
+
+// typedefDecl introduces a type alias.
+type typedefDecl struct {
+	name string
+	typ  typeExpr
+	line int
+}
+
+// varDecl declares a global variable.
+type varDecl struct {
+	name string
+	typ  typeExpr
+	init expr // nil or constant
+	line int
+}
+
+// funcDecl declares a function.
+type funcDecl struct {
+	name   string
+	ret    typeExpr
+	params []paramDecl
+	body   *blockStmt // nil for forward declarations
+	line   int
+}
+
+func (*structDecl) declNode()  {}
+func (*typedefDecl) declNode() {}
+func (*varDecl) declNode()     {}
+func (*funcDecl) declNode()    {}
+
+// paramDecl is a name/type pair (function parameter or struct field).
+type paramDecl struct {
+	name string
+	typ  typeExpr
+	line int
+}
+
+// typeExpr is an unresolved syntactic type: base name plus deriving
+// suffixes. Resolved to *CType by sema.
+type typeExpr struct {
+	base     string // "long", "int", "char", "void", "struct:NAME" or typedef name
+	ptrDepth int
+	arrayLen int64 // -1 if not an array (only outermost array supported)
+	line     int
+}
+
+// --- statements ---
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct {
+	stmts []stmt
+	line  int
+}
+
+type declStmt struct { // local variable declaration
+	name string
+	typ  typeExpr
+	init expr // optional
+	line int
+}
+
+type exprStmt struct {
+	x    expr
+	line int
+}
+
+type assignStmt struct {
+	lhs  expr
+	op   string // "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="
+	rhs  expr
+	line int
+}
+
+type incDecStmt struct {
+	lhs  expr
+	op   string // "++" or "--"
+	line int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els stmt // els may be nil
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+	line int
+}
+
+type doWhileStmt struct {
+	body stmt
+	cond expr
+	line int
+}
+
+type forStmt struct {
+	init stmt // nil, declStmt, assignStmt, exprStmt or incDecStmt
+	cond expr // nil means true
+	post stmt // nil, assignStmt, exprStmt or incDecStmt
+	body stmt
+	line int
+}
+
+type returnStmt struct {
+	x    expr // nil for void
+	line int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+func (*blockStmt) stmtNode()    {}
+func (*declStmt) stmtNode()     {}
+func (*exprStmt) stmtNode()     {}
+func (*assignStmt) stmtNode()   {}
+func (*incDecStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*doWhileStmt) stmtNode()  {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+
+// --- expressions ---
+
+type expr interface {
+	exprNode()
+	pos() int
+}
+
+type intLit struct {
+	val  int64
+	line int
+}
+
+type strLit struct {
+	val  string
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "!", "~", "*", "&"
+	x    expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string // arithmetic/comparison/logical
+	x, y expr
+	line int
+}
+
+type condExpr struct { // c ? a : b
+	cond, then, els expr
+	line            int
+}
+
+type callExpr struct {
+	fn   string
+	args []expr
+	line int
+}
+
+type indexExpr struct { // a[i]
+	x, idx expr
+	line   int
+}
+
+type memberExpr struct { // x.name or x->name
+	x     expr
+	name  string
+	arrow bool
+	line  int
+}
+
+type castExpr struct {
+	typ  typeExpr
+	x    expr
+	line int
+}
+
+type sizeofExpr struct {
+	typ  typeExpr
+	line int
+}
+
+func (*intLit) exprNode()     {}
+func (*strLit) exprNode()     {}
+func (*identExpr) exprNode()  {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}
+func (*condExpr) exprNode()   {}
+func (*callExpr) exprNode()   {}
+func (*indexExpr) exprNode()  {}
+func (*memberExpr) exprNode() {}
+func (*castExpr) exprNode()   {}
+func (*sizeofExpr) exprNode() {}
+
+func (e *intLit) pos() int     { return e.line }
+func (e *strLit) pos() int     { return e.line }
+func (e *identExpr) pos() int  { return e.line }
+func (e *unaryExpr) pos() int  { return e.line }
+func (e *binaryExpr) pos() int { return e.line }
+func (e *condExpr) pos() int   { return e.line }
+func (e *callExpr) pos() int   { return e.line }
+func (e *indexExpr) pos() int  { return e.line }
+func (e *memberExpr) pos() int { return e.line }
+func (e *castExpr) pos() int   { return e.line }
+func (e *sizeofExpr) pos() int { return e.line }

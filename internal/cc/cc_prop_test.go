@@ -1,0 +1,280 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+	"dsprof/internal/xrand"
+)
+
+// Differential property test: generate random integer expressions, compile
+// and run them, and compare against direct Go evaluation. This exercises
+// the lexer, parser, constant folder, code generator and the machine ALU
+// end to end.
+
+type exprGen struct {
+	r    *xrand.Rand
+	vars []string
+	vals map[string]int64
+}
+
+// gen returns the expression source and its expected value. Division and
+// remainder are excluded (trap semantics differ from Go only at MinInt64,
+// but zero divisors would need guards); shifts use bounded counts.
+func (eg *exprGen) gen(depth int) (string, int64) {
+	if depth == 0 || eg.r.Intn(4) == 0 {
+		if len(eg.vars) > 0 && eg.r.Intn(2) == 0 {
+			v := eg.vars[eg.r.Intn(len(eg.vars))]
+			return v, eg.vals[v]
+		}
+		c := int64(eg.r.Intn(2000) - 1000)
+		if c < 0 {
+			return fmt.Sprintf("(%d)", c), c
+		}
+		return fmt.Sprintf("%d", c), c
+	}
+	switch eg.r.Intn(10) {
+	case 0, 1:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		return fmt.Sprintf("(%s + %s)", x, y), xv + yv
+	case 2, 3:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		return fmt.Sprintf("(%s - %s)", x, y), xv - yv
+	case 4:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		return fmt.Sprintf("(%s * %s)", x, y), xv * yv
+	case 5:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		return fmt.Sprintf("(%s & %s)", x, y), xv & yv
+	case 6:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		return fmt.Sprintf("(%s | %s)", x, y), xv | yv
+	case 7:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		return fmt.Sprintf("(%s ^ %s)", x, y), xv ^ yv
+	case 8:
+		x, xv := eg.gen(depth - 1)
+		sh := eg.r.Intn(8)
+		return fmt.Sprintf("(%s << %d)", x, sh), xv << sh
+	default:
+		x, xv := eg.gen(depth - 1)
+		y, yv := eg.gen(depth - 1)
+		cmp := []string{"<", "<=", ">", ">=", "==", "!="}[eg.r.Intn(6)]
+		var b int64
+		switch cmp {
+		case "<":
+			b = b2i(xv < yv)
+		case "<=":
+			b = b2i(xv <= yv)
+		case ">":
+			b = b2i(xv > yv)
+		case ">=":
+			b = b2i(xv >= yv)
+		case "==":
+			b = b2i(xv == yv)
+		case "!=":
+			b = b2i(xv != yv)
+		}
+		return fmt.Sprintf("(%s %s %s)", x, cmp, y), b
+	}
+}
+
+func TestRandomExpressionsDifferential(t *testing.T) {
+	r := xrand.New(20260706)
+	for trial := 0; trial < 60; trial++ {
+		eg := &exprGen{r: r, vals: make(map[string]int64)}
+		var decls strings.Builder
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("v%d", i)
+			v := int64(r.Intn(5000) - 2500)
+			eg.vars = append(eg.vars, name)
+			eg.vals[name] = v
+			fmt.Fprintf(&decls, "\tlong %s;\n\t%s = %d;\n", name, name, v)
+		}
+		var outs strings.Builder
+		var want []int64
+		for i := 0; i < 5; i++ {
+			src, v := eg.gen(4)
+			fmt.Fprintf(&outs, "\twrite_long(%s);\n", src)
+			want = append(want, v)
+		}
+		src := fmt.Sprintf("long main() {\n%s%s\treturn 0;\n}\n", decls.String(), outs.String())
+		prog, err := Compile([]Source{{Name: "prop.mc", Text: src}}, Options{HWCProf: trial%2 == 0})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\nsource:\n%s", trial, err, src)
+		}
+		cfg := machine.DefaultConfig()
+		cfg.MaxInstrs = 10_000_000
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d: run: %v\nsource:\n%s", trial, err, src)
+		}
+		got := m.OutputLongs()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d outputs, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d output %d: got %d, want %d\nsource:\n%s", trial, i, got[i], want[i], src)
+			}
+		}
+	}
+}
+
+// Differential test for the ternary and logical operators with side-effect
+// free operands under many random inputs.
+func TestLogicalOpsDifferential(t *testing.T) {
+	src := `
+long f(long a, long b) {
+	long r;
+	r = 0;
+	if (a > 0 && b > 0) { r += 1; }
+	if (a > 0 || b > 0) { r += 10; }
+	if (!(a == b)) { r += 100; }
+	r += (a > b) ? 1000 : 2000;
+	r += (a != 0) * 7;
+	return r;
+}
+long main() {
+	long a;
+	long b;
+	a = read_long();
+	b = read_long();
+	write_long(f(a, b));
+	return 0;
+}`
+	prog, err := Compile([]Source{{Name: "logic.mc", Text: src}}, Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(a, b int64) int64 {
+		var r int64
+		if a > 0 && b > 0 {
+			r++
+		}
+		if a > 0 || b > 0 {
+			r += 10
+		}
+		if a != b {
+			r += 100
+		}
+		if a > b {
+			r += 1000
+		} else {
+			r += 2000
+		}
+		if a != 0 {
+			r += 7
+		}
+		return r
+	}
+	r := xrand.New(9)
+	for i := 0; i < 50; i++ {
+		a, b := int64(r.Intn(7)-3), int64(r.Intn(7)-3)
+		cfg := machine.DefaultConfig()
+		m, _ := machine.New(cfg)
+		if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+			t.Fatal(err)
+		}
+		m.SetInput([]int64{a, b})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.OutputLongs()[0]; got != ref(a, b) {
+			t.Fatalf("f(%d,%d) = %d, want %d", a, b, got, ref(a, b))
+		}
+	}
+}
+
+// The generated code must never leak temporaries: every function returns
+// with the same callee-saved register contents it was called with. Run a
+// program that calls a complex function repeatedly and verify results stay
+// consistent.
+func TestCalleeSavedDiscipline(t *testing.T) {
+	out := run(t, `
+long mix(long a, long b) {
+	long t1; long t2; long t3; long t4; long t5;
+	t1 = a + b; t2 = a - b; t3 = a * 2; t4 = b * 3; t5 = t1 * t2;
+	return t5 + t3 - t4;
+}
+long main() {
+	long i;
+	long acc;
+	long keep;
+	keep = 12345;
+	acc = 0;
+	for (i = 0; i < 10; i++) {
+		acc += mix(i, i + 1);
+	}
+	write_long(acc);
+	write_long(keep);
+	return 0;
+}`)
+	var acc int64
+	for i := int64(0); i < 10; i++ {
+		a, b := i, i+1
+		t1, t2, t3, t4 := a+b, a-b, a*2, b*3
+		acc += t1*t2 + t3 - t4
+	}
+	expect(t, out, acc, 12345)
+}
+
+// Sanity: the paper's node struct layout (Figure 7) reproduces exactly in
+// our struct layout engine.
+func TestPaperNodeLayout(t *testing.T) {
+	src := `
+typedef long cost_t;
+typedef long flow_t;
+struct arc { long dummy; };
+struct node {
+	long number;
+	char *ident;
+	struct node *pred;
+	struct node *child;
+	struct node *sibling;
+	struct node *sibling_prev;
+	long depth;
+	long orientation;
+	struct arc *basic_arc;
+	struct arc *firstout;
+	struct arc *firstin;
+	cost_t potential;
+	flow_t flow;
+	long mark;
+	long time;
+};
+long main() { return sizeof(struct node); }
+`
+	prog := compileSrc(t, src, Options{HWCProf: true})
+	m := runProg(t, prog, nil)
+	if m.Regs[isa.O0] != 120 {
+		t.Fatalf("sizeof(node) = %d, want 120 (paper)", m.Regs[isa.O0])
+	}
+	_, node := prog.Debug.TypeByName("node")
+	wantOffs := map[string]int64{
+		"number": 0, "ident": 8, "pred": 16, "child": 24, "sibling": 32,
+		"sibling_prev": 40, "depth": 48, "orientation": 56, "basic_arc": 64,
+		"firstout": 72, "firstin": 80, "potential": 88, "flow": 96,
+		"mark": 104, "time": 112,
+	}
+	for _, mem := range node.Members {
+		if want, ok := wantOffs[mem.Name]; !ok || mem.Off != want {
+			t.Errorf("member %s at offset %d, want %d", mem.Name, mem.Off, wantOffs[mem.Name])
+		}
+	}
+}

@@ -1,0 +1,767 @@
+package cc
+
+import (
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+// compileSrc compiles one source file with default profiling options.
+func compileSrc(t *testing.T, src string, opts Options) *asm.Program {
+	t.Helper()
+	prog, err := Compile([]Source{{Name: "test.mc", Text: src}}, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+// runProg executes a compiled program and returns the machine.
+func runProg(t *testing.T, prog *asm.Program, input []int64) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.MaxInstrs = 50_000_000
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(input)
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+// run compiles and executes, returning the long output vector.
+func run(t *testing.T, src string, input ...int64) []int64 {
+	t.Helper()
+	prog := compileSrc(t, src, Options{HWCProf: true})
+	m := runProg(t, prog, input)
+	return m.OutputLongs()
+}
+
+// exitCode compiles and executes, returning main's return value.
+func exitCode(t *testing.T, src string) int64 {
+	t.Helper()
+	prog := compileSrc(t, src, Options{HWCProf: true})
+	m := runProg(t, prog, nil)
+	return m.Regs[isa.O0]
+}
+
+func expect(t *testing.T, got []int64, want ...int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	if got := exitCode(t, `long main() { return 42; }`); got != 42 {
+		t.Errorf("exit = %d", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	out := run(t, `
+long main() {
+	write_long(2 + 3 * 4);
+	write_long((2 + 3) * 4);
+	write_long(100 / 7);
+	write_long(100 % 7);
+	write_long(1 << 10);
+	write_long(-96 >> 3);
+	write_long(0xff & 0x0f);
+	write_long(0xf0 | 0x0f);
+	write_long(0xff ^ 0x0f);
+	write_long(~0);
+	write_long(-(5));
+	return 0;
+}`)
+	expect(t, out, 14, 20, 14, 2, 1024, -12, 0x0f, 0xff, 0xf0, -1, -5)
+}
+
+func TestVariablesAndCompoundAssign(t *testing.T) {
+	out := run(t, `
+long main() {
+	long x;
+	long y;
+	x = 10;
+	y = x;
+	x += 5; write_long(x);
+	x -= 3; write_long(x);
+	x *= 2; write_long(x);
+	x /= 4; write_long(x);
+	x %= 4; write_long(x);
+	x = 3;
+	x <<= 2; write_long(x);
+	x >>= 1; write_long(x);
+	x |= 8; write_long(x);
+	x &= 12; write_long(x);
+	x ^= 5; write_long(x);
+	x++; write_long(x);
+	x--; x--; write_long(x);
+	write_long(y);
+	return 0;
+}`)
+	expect(t, out, 15, 12, 24, 6, 2, 12, 6, 14, 12, 9, 10, 8, 10)
+}
+
+func TestControlFlow(t *testing.T) {
+	out := run(t, `
+long main() {
+	long i;
+	long sum;
+	sum = 0;
+	for (i = 1; i <= 10; i++) {
+		sum += i;
+	}
+	write_long(sum);
+	sum = 0;
+	i = 0;
+	while (i < 20) {
+		i++;
+		if (i % 2 == 0) { continue; }
+		if (i > 15) { break; }
+		sum += i;
+	}
+	write_long(sum);
+	i = 5;
+	do { i--; } while (i > 0);
+	write_long(i);
+	if (1 < 2 && 3 < 4 || 0) { write_long(111); } else { write_long(222); }
+	if (!(5 == 5)) { write_long(1); } else { write_long(2); }
+	return 0;
+}`)
+	// odd numbers 1..15: 1+3+5+7+9+11+13+15 = 64
+	expect(t, out, 55, 64, 0, 111, 2)
+}
+
+func TestTernaryAndBoolValues(t *testing.T) {
+	out := run(t, `
+long main() {
+	long a;
+	a = 7;
+	write_long(a > 5 ? 100 : 200);
+	write_long(a < 5 ? 100 : 200);
+	write_long(a == 7);
+	write_long(a != 7);
+	write_long(a > 100 || a < 10);
+	write_long(a > 100 && a < 10);
+	return 0;
+}`)
+	expect(t, out, 100, 200, 1, 0, 1, 0)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := run(t, `
+long add3(long a, long b, long c) { return a + b + c; }
+long fib(long n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+long main() {
+	write_long(add3(1, 2, 3));
+	write_long(fib(15));
+	return 0;
+}`)
+	expect(t, out, 6, 610)
+}
+
+func TestGlobals(t *testing.T) {
+	out := run(t, `
+long counter = 100;
+long table[8];
+long bump(long n) { counter += n; return counter; }
+long main() {
+	long i;
+	write_long(counter);
+	write_long(bump(5));
+	write_long(counter);
+	for (i = 0; i < 8; i++) { table[i] = i * i; }
+	write_long(table[0] + table[3] + table[7]);
+	return 0;
+}`)
+	expect(t, out, 100, 105, 105, 58)
+}
+
+func TestStructsOnHeap(t *testing.T) {
+	out := run(t, `
+struct point { long x; long y; };
+struct point *mk(long x, long y) {
+	struct point *p;
+	p = (struct point *) malloc(sizeof(struct point));
+	p->x = x;
+	p->y = y;
+	return p;
+}
+long main() {
+	struct point *a;
+	struct point *b;
+	a = mk(3, 4);
+	b = mk(10, 20);
+	write_long(a->x + a->y);
+	write_long(b->x * b->y);
+	a->x += b->x;
+	write_long(a->x);
+	free((char *) a);
+	free((char *) b);
+	return 0;
+}`)
+	expect(t, out, 7, 200, 13)
+}
+
+func TestLinkedList(t *testing.T) {
+	out := run(t, `
+struct node { long value; struct node *next; };
+long main() {
+	struct node *head;
+	struct node *n;
+	long i;
+	long sum;
+	head = 0;
+	for (i = 1; i <= 5; i++) {
+		n = (struct node *) malloc(sizeof(struct node));
+		n->value = i * 10;
+		n->next = head;
+		head = n;
+	}
+	sum = 0;
+	n = head;
+	while (n) {
+		sum += n->value;
+		n = n->next;
+	}
+	write_long(sum);
+	return 0;
+}`)
+	expect(t, out, 150)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	out := run(t, `
+long main() {
+	long *a;
+	long *p;
+	long *q;
+	long i;
+	a = (long *) malloc(10 * sizeof(long));
+	for (i = 0; i < 10; i++) { a[i] = i + 1; }
+	p = a + 2;
+	q = a + 7;
+	write_long(*p);
+	write_long(*q);
+	write_long(q - p);
+	p += 3;
+	write_long(*p);
+	write_long(*(a + 9));
+	return 0;
+}`)
+	expect(t, out, 3, 8, 5, 6, 10)
+}
+
+func TestNestedStructsAndChains(t *testing.T) {
+	out := run(t, `
+struct inner { long v; };
+struct outer { long pad; struct inner *in; struct outer *next; };
+long main() {
+	struct outer *a;
+	struct outer *b;
+	a = (struct outer *) malloc(sizeof(struct outer));
+	b = (struct outer *) malloc(sizeof(struct outer));
+	a->in = (struct inner *) malloc(sizeof(struct inner));
+	b->in = (struct inner *) malloc(sizeof(struct inner));
+	a->next = b;
+	b->next = 0;
+	a->in->v = 11;
+	b->in->v = 22;
+	write_long(a->in->v + a->next->in->v);
+	return 0;
+}`)
+	expect(t, out, 33)
+}
+
+func TestStructArraysAndDotAccess(t *testing.T) {
+	out := run(t, `
+struct pair { long a; long b; };
+struct pair ps[4];
+long main() {
+	long i;
+	long sum;
+	for (i = 0; i < 4; i++) {
+		ps[i].a = i;
+		ps[i].b = i * 100;
+	}
+	sum = 0;
+	for (i = 0; i < 4; i++) { sum += ps[i].a + ps[i].b; }
+	write_long(sum);
+	return 0;
+}`)
+	expect(t, out, 606)
+}
+
+func TestAddressOfLocal(t *testing.T) {
+	out := run(t, `
+void bump(long *p) { *p += 7; }
+long main() {
+	long x;
+	x = 10;
+	bump(&x);
+	write_long(x);
+	return 0;
+}`)
+	expect(t, out, 17)
+}
+
+func TestTypedefs(t *testing.T) {
+	out := run(t, `
+typedef long cost_t;
+struct arc { cost_t cost; };
+typedef struct arc arc;
+long main() {
+	arc *a;
+	cost_t c;
+	a = (arc *) malloc(sizeof(struct arc));
+	a->cost = 99;
+	c = a->cost + 1;
+	write_long(c);
+	return 0;
+}`)
+	expect(t, out, 100)
+}
+
+func TestCharAndIntTruncation(t *testing.T) {
+	out := run(t, `
+long main() {
+	char c;
+	int i;
+	c = (char) 300;
+	write_long(c);
+	i = (int) 0x100000001;
+	write_long(i);
+	c = (char) 200;
+	write_long(c);
+	return 0;
+}`)
+	expect(t, out, 44, 1, -56)
+}
+
+func TestCharArrayBytes(t *testing.T) {
+	out := run(t, `
+long main() {
+	char *buf;
+	buf = malloc(16);
+	buf[0] = 65;
+	buf[1] = 66;
+	buf[2] = 0;
+	puts(buf);
+	write_long(buf[0] + buf[1]);
+	return 0;
+}`)
+	expect(t, out, 131)
+}
+
+func TestStringsAndPuts(t *testing.T) {
+	prog := compileSrc(t, `
+long main() {
+	puts("hello, ");
+	puts("world\n");
+	putc(33);
+	return 0;
+}`, Options{})
+	m := runProg(t, prog, nil)
+	if got := m.OutputText(); got != "hello, world\n!" {
+		t.Errorf("text output = %q", got)
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	out := run(t, `
+long main() {
+	long n;
+	long sum;
+	n = read_long();
+	sum = 0;
+	while (n > 0) {
+		sum += read_long();
+		n--;
+	}
+	write_long(sum);
+	write_long(input_left());
+	return 0;
+}`, 3, 10, 20, 30, 99)
+	expect(t, out, 60, 1)
+}
+
+func TestInsertionSort(t *testing.T) {
+	out := run(t, `
+long a[16];
+void sort(long n) {
+	long i;
+	long j;
+	long key;
+	for (i = 1; i < n; i++) {
+		key = a[i];
+		j = i - 1;
+		while (j >= 0 && a[j] > key) {
+			a[j + 1] = a[j];
+			j--;
+		}
+		a[j + 1] = key;
+	}
+}
+long main() {
+	long i;
+	a[0] = 5; a[1] = 2; a[2] = 9; a[3] = 1; a[4] = 7;
+	sort(5);
+	for (i = 0; i < 5; i++) { write_long(a[i]); }
+	return 0;
+}`)
+	expect(t, out, 1, 2, 5, 7, 9)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out := run(t, `
+long a = 7;
+long b = -3;
+long c = 0x10;
+char d = 65;
+int e = 100000;
+long main() {
+	write_long(a);
+	write_long(b);
+	write_long(c);
+	write_long(d);
+	write_long(e);
+	return 0;
+}`)
+	expect(t, out, 7, -3, 16, 65, 100000)
+}
+
+func TestManyLocalsSpillToStack(t *testing.T) {
+	// More scalar locals than callee-saved registers: the extras live on
+	// the stack and everything still works.
+	out := run(t, `
+long main() {
+	long a1; long a2; long a3; long a4; long a5; long a6; long a7; long a8;
+	long b1; long b2; long b3; long b4; long b5; long b6; long b7; long b8;
+	a1=1; a2=2; a3=3; a4=4; a5=5; a6=6; a7=7; a8=8;
+	b1=10; b2=20; b3=30; b4=40; b5=50; b6=60; b7=70; b8=80;
+	write_long(a1+a2+a3+a4+a5+a6+a7+a8+b1+b2+b3+b4+b5+b6+b7+b8);
+	return 0;
+}`)
+	expect(t, out, 396)
+}
+
+func TestDeepExpression(t *testing.T) {
+	out := run(t, `
+long main() {
+	write_long(((1+2)*(3+4)) + ((5+6)*(7+8)) + ((9+10)*(11+12)) - (((13+14)*(15+16))));
+	return 0;
+}`)
+	expect(t, out, 3*7+11*15+19*23-27*31)
+}
+
+func TestCallsInsideExpressions(t *testing.T) {
+	out := run(t, `
+long sq(long x) { return x * x; }
+long main() {
+	write_long(sq(3) + sq(4) * sq(2));
+	write_long(sq(sq(2)) + 1);
+	return 0;
+}`)
+	expect(t, out, 9+16*4, 17)
+}
+
+func TestPrefetchBuiltin(t *testing.T) {
+	prog := compileSrc(t, `
+long main() {
+	long *p;
+	p = (long *) malloc(64);
+	prefetch(p);
+	*p = 5;
+	write_long(*p);
+	return 0;
+}`, Options{})
+	found := false
+	for _, in := range prog.Text {
+		if in.Op == isa.Prefetch {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no prefetch instruction emitted")
+	}
+	m := runProg(t, prog, nil)
+	expect(t, m.OutputLongs(), 5)
+}
+
+func TestDebugTables(t *testing.T) {
+	prog := compileSrc(t, `
+struct node { long number; struct node *next; long value; };
+struct node *head;
+long walk() {
+	struct node *n;
+	long sum;
+	sum = 0;
+	n = head;
+	while (n) {
+		sum += n->value;
+		n = n->next;
+	}
+	return sum;
+}
+long main() {
+	long i;
+	struct node *n;
+	for (i = 0; i < 3; i++) {
+		n = (struct node *) malloc(sizeof(struct node));
+		n->value = i;
+		n->next = head;
+		head = n;
+	}
+	write_long(walk());
+	return 0;
+}`, Options{HWCProf: true, DebugFormat: dwarf.FormatDWARF})
+
+	tab := prog.Debug
+	if tab.Format != dwarf.FormatDWARF {
+		t.Fatal("wrong debug format")
+	}
+	// Functions present with proper ranges.
+	for _, name := range []string{"__start", "walk", "main"} {
+		f := tab.FuncByName(name)
+		if f == nil {
+			t.Fatalf("function %s missing from debug table", name)
+		}
+		if f.End <= f.Start {
+			t.Errorf("function %s has empty range", name)
+		}
+		if !f.HWCProf {
+			t.Errorf("function %s not marked HWCProf", name)
+		}
+	}
+	// The node struct type exists with correct member offsets.
+	id, ty := tab.TypeByName("node")
+	if ty == nil || ty.Kind != dwarf.KindStruct || ty.Size != 24 {
+		t.Fatalf("node type wrong: %+v", ty)
+	}
+	if len(ty.Members) != 3 || ty.Members[1].Name != "next" || ty.Members[1].Off != 8 {
+		t.Errorf("node members wrong: %+v", ty.Members)
+	}
+	// There are xrefs to node members inside walk.
+	walk := tab.FuncByName("walk")
+	memberRefs := 0
+	for pc := walk.Start; pc < walk.End; pc += isa.InstrBytes {
+		if x, ok := tab.Xrefs[pc]; ok && x.Type == id && x.Member >= 0 {
+			memberRefs++
+		}
+	}
+	if memberRefs < 2 {
+		t.Errorf("only %d member xrefs inside walk; want >= 2 (value, next)", memberRefs)
+	}
+	// Line table covers walk.
+	lines := 0
+	for pc := walk.Start; pc < walk.End; pc += isa.InstrBytes {
+		if tab.Lines[pc] > 0 {
+			lines++
+		}
+	}
+	if lines == 0 {
+		t.Error("no line info inside walk")
+	}
+	// Branch targets recorded (loop head at least).
+	if len(tab.BranchTargets) == 0 {
+		t.Error("no branch targets recorded")
+	}
+	// Source stored.
+	if len(tab.Source["test.mc"]) == 0 {
+		t.Error("source text not stored")
+	}
+}
+
+func TestSTABSHasNoXrefs(t *testing.T) {
+	src := `
+struct s { long a; };
+long main() {
+	struct s *p;
+	p = (struct s *) malloc(sizeof(struct s));
+	p->a = 1;
+	return p->a;
+}`
+	prog := compileSrc(t, src, Options{HWCProf: true, DebugFormat: dwarf.FormatSTABS})
+	if len(prog.Debug.Xrefs) != 0 {
+		t.Errorf("STABS tables carry %d xrefs; want 0", len(prog.Debug.Xrefs))
+	}
+	if prog.Debug.FuncByName("main") == nil {
+		t.Error("STABS should still carry functions")
+	}
+	if len(prog.Debug.Lines) == 0 {
+		t.Error("STABS should still carry line info")
+	}
+}
+
+func TestHWCProfPadding(t *testing.T) {
+	src := `
+long g;
+long main() {
+	long i;
+	long sum;
+	sum = 0;
+	for (i = 0; i < 10; i++) { sum += g; }
+	return sum;
+}`
+	with := compileSrc(t, src, Options{HWCProf: true})
+	without := compileSrc(t, src, Options{HWCProf: false})
+	nWith, nWithout := 0, 0
+	for _, in := range with.Text {
+		if in.Op == isa.Nop {
+			nWith++
+		}
+	}
+	for _, in := range without.Text {
+		if in.Op == isa.Nop {
+			nWithout++
+		}
+	}
+	if nWith <= nWithout {
+		t.Errorf("hwcprof padding missing: %d nops with, %d without", nWith, nWithout)
+	}
+	if len(without.Debug.BranchTargets) != 0 {
+		t.Error("branch targets recorded without -xhwcprof")
+	}
+	// Both versions still compute the same result.
+	m1 := runProg(t, with, nil)
+	m2 := runProg(t, without, nil)
+	if m1.Regs[isa.O0] != m2.Regs[isa.O0] {
+		t.Error("hwcprof changed program semantics")
+	}
+}
+
+func TestNoMemOpsInDelaySlots(t *testing.T) {
+	prog := compileSrc(t, `
+struct n { long v; struct n *next; };
+long main() {
+	long i;
+	long s;
+	struct n *p;
+	s = 0;
+	for (i = 0; i < 4; i++) {
+		p = (struct n *) malloc(sizeof(struct n));
+		p->v = i;
+		s += p->v;
+	}
+	return s;
+}`, Options{HWCProf: true})
+	for i, in := range prog.Text {
+		if in.Op.IsCTI() && i+1 < len(prog.Text) {
+			if prog.Text[i+1].Op.IsMem() {
+				t.Errorf("memory op in delay slot at instruction %d", i+1)
+			}
+		}
+	}
+}
+
+func TestPageSizeHeapFlag(t *testing.T) {
+	prog := compileSrc(t, `long main() { return 0; }`, Options{PageSizeHeap: 512 << 10})
+	if prog.HeapPageSize != 512<<10 {
+		t.Errorf("HeapPageSize = %d", prog.HeapPageSize)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"undefined var", `long main() { return x; }`},
+		{"undefined func", `long main() { return f(); }`},
+		{"no main", `long f() { return 1; }`},
+		{"bad member", `struct s { long a; }; long main() { struct s *p; p = 0; return p->b; }`},
+		{"arrow on non-pointer", `long main() { long x; x = 1; return x->a; }`},
+		{"assign to rvalue", `long main() { 3 = 4; return 0; }`},
+		{"redefined func", `long main() { return 0; } long main() { return 1; }`},
+		{"redefined global", `long g; long g; long main() { return 0; }`},
+		{"wrong arg count", `long f(long a) { return a; } long main() { return f(1, 2); }`},
+		{"ptr assign mismatch", `struct a { long x; }; struct b { long y; };
+			long main() { struct a *p; struct b *q; q = (struct b *) malloc(8); p = q; return 0; }`},
+		{"void in expr", `void f() { } long main() { return f() + 1; }`},
+		{"break outside loop", `long main() { break; return 0; }`},
+		{"struct value", `struct s { long a; }; struct s g; long main() { struct s h; h = g; return 0; }`},
+		{"syntax error", `long main() { return 1 +; }`},
+		{"unterminated comment", `/* long main() { return 0; }`},
+		{"7 params", `long f(long a, long b, long c, long d, long e, long f2, long g) { return 0; }
+			long main() { return 0; }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile([]Source{{Name: "t.mc", Text: c.src}}, Options{}); err == nil {
+				t.Errorf("compile succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestMultipleFiles(t *testing.T) {
+	srcs := []Source{
+		{Name: "a.mc", Text: `
+typedef long money_t;
+struct acct { money_t bal; };
+struct acct *mk(money_t m);
+long main() {
+	struct acct *a;
+	a = mk(250);
+	return a->bal;
+}`},
+		{Name: "b.mc", Text: `
+struct acct *mk(money_t m) {
+	struct acct *a;
+	a = (struct acct *) malloc(sizeof(struct acct));
+	a->bal = m;
+	return a;
+}`},
+	}
+	prog, err := Compile(srcs, Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runProg(t, prog, nil)
+	if m.Regs[isa.O0] != 250 {
+		t.Errorf("exit = %d", m.Regs[isa.O0])
+	}
+	// Per-file function attribution.
+	if f := prog.Debug.FuncByName("mk"); f == nil || f.File != "b.mc" {
+		t.Errorf("mk attributed to %v", f)
+	}
+}
+
+func TestTypedefDisplayName(t *testing.T) {
+	prog := compileSrc(t, `
+typedef long cost_t;
+struct arc { cost_t cost; long ident; };
+long main() {
+	struct arc *a;
+	a = (struct arc *) malloc(sizeof(struct arc));
+	a->cost = 1;
+	return a->cost;
+}`, Options{HWCProf: true})
+	tab := prog.Debug
+	_, arc := tab.TypeByName("arc")
+	if arc == nil {
+		t.Fatal("arc type missing")
+	}
+	costT := tab.TypeByID(arc.Members[0].Type)
+	if costT == nil || costT.Name != "cost_t=long" {
+		t.Errorf("cost member type = %+v, want cost_t=long", costT)
+	}
+}

@@ -1,0 +1,575 @@
+package cc
+
+import (
+	"fmt"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+)
+
+// Register conventions of the generated code:
+//
+//	%g0          hardwired zero
+//	%g1-%g5      expression temporaries (caller-saved)
+//	%o0-%o5      arguments / results / expression temporaries (caller-saved)
+//	%o7          return address at call sites
+//	%l0-%l7,
+//	%i0-%i5      register homes for scalar locals (callee-saved)
+//	%sp          stack pointer (frame allocated in the prologue)
+//	%fp (%i6)    unused, reserved
+var calleeSaved = []isa.Reg{
+	isa.L0, isa.L1, isa.L2, isa.L3, isa.L4, isa.L5, isa.L6, isa.L7,
+	isa.I0, isa.I1, isa.I2, isa.I3, isa.I4, isa.I5,
+}
+
+var tempPool = []isa.Reg{
+	isa.G1, isa.G2, isa.G3, isa.G4, isa.G5,
+	isa.O0, isa.O1, isa.O2, isa.O3, isa.O4, isa.O5,
+}
+
+var argRegs = []isa.Reg{isa.O0, isa.O1, isa.O2, isa.O3, isa.O4, isa.O5}
+
+// val is an expression operand: a register plus whether it is a
+// temporary this code owns (may write to / must free) or a long-lived
+// home register (read-only here).
+type val struct {
+	reg  isa.Reg
+	temp bool
+}
+
+// fnGen generates code for one function.
+type fnGen struct {
+	co  *compiler
+	b   *asm.Builder
+	fn  *Function
+	chk *checked
+
+	homeReg  map[*LocalVar]isa.Reg
+	stackOff map[*LocalVar]int64
+	usedSave []isa.Reg
+
+	tempFree  []isa.Reg
+	tempInUse map[isa.Reg]bool
+
+	saveBytes  int64 // %o7 + callee-saved save area
+	localBytes int64 // stack-resident locals
+	maxSpill   int   // high-water mark of concurrent temp spills
+	slotFloor  int   // first spill slot free for use (raised while call arguments are parked, so nested calls cannot clobber them)
+	frameSize  int64 // patched into prologue/epilogue at the end
+
+	prologueSub int // instruction index to patch
+	epilogueAdd int
+
+	breakLbls []string
+	contLbls  []string
+	retLbl    string
+	lblN      int
+
+	curLine  int32
+	sinceMem int // instructions since the last memory op (hwcprof padding)
+}
+
+func newFnGen(co *compiler, fn *Function) *fnGen {
+	return &fnGen{
+		co:        co,
+		b:         co.b,
+		fn:        fn,
+		chk:       co.chk,
+		homeReg:   make(map[*LocalVar]isa.Reg),
+		stackOff:  make(map[*LocalVar]int64),
+		tempInUse: make(map[isa.Reg]bool),
+		sinceMem:  1 << 20,
+	}
+}
+
+func (g *fnGen) errf(line int, format string, args ...any) error {
+	return &semaError{file: g.fn.File, line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// emit appends an instruction and maintains the line table and hwcprof
+// padding bookkeeping.
+func (g *fnGen) emit(in isa.Instr) int {
+	i := g.b.Emit(in)
+	if g.curLine > 0 {
+		g.co.tab.Lines[g.b.AddrOf(i)] = g.curLine
+	}
+	if in.Op.IsMem() {
+		g.sinceMem = 0
+	} else {
+		g.sinceMem++
+	}
+	return i
+}
+
+// emitMem appends a memory instruction, recording its data-object xref.
+func (g *fnGen) emitMem(in isa.Instr, xref *dwarf.DataXref) int {
+	i := g.emit(in)
+	if xref != nil && g.co.xrefsEnabled() {
+		g.co.tab.Xrefs[g.b.AddrOf(i)] = *xref
+	}
+	return i
+}
+
+// tempXref marks a compiler-temporary spill access ((Unidentified)).
+var tempXref = &dwarf.DataXref{Type: dwarf.NoType, Member: -1}
+
+// padJoin emits the -xhwcprof nop padding: before any join node (label)
+// or control transfer, ensure the last two instructions are not memory
+// operations, so a counter-overflow event for a memory op is delivered
+// while still inside the basic block.
+func (g *fnGen) padJoin() {
+	if !g.co.opts.HWCProf {
+		return
+	}
+	for g.sinceMem < 2 {
+		g.emit(isa.Instr{Op: isa.Nop})
+	}
+}
+
+// label defines a join node (with padding first).
+func (g *fnGen) label(name string) error {
+	g.padJoin()
+	return g.b.Label(name)
+}
+
+// branch emits a branch (with padding first) and its delay-slot nop.
+func (g *fnGen) branch(op isa.Op, target string) {
+	g.padJoin()
+	i := g.b.EmitBranch(op, target)
+	if g.curLine > 0 {
+		g.co.tab.Lines[g.b.AddrOf(i)] = g.curLine
+	}
+	g.sinceMem++
+	g.emit(isa.Instr{Op: isa.Nop}) // delay slot: never a memory op
+}
+
+func (g *fnGen) newLabel(kind string) string {
+	g.lblN++
+	return fmt.Sprintf(".%s.%s.%d", g.fn.Name, kind, g.lblN)
+}
+
+// --- temporaries ---
+
+func (g *fnGen) allocTemp(line int) (isa.Reg, error) {
+	if len(g.tempFree) == 0 {
+		return 0, g.errf(line, "expression too complex (out of temporary registers)")
+	}
+	r := g.tempFree[len(g.tempFree)-1]
+	g.tempFree = g.tempFree[:len(g.tempFree)-1]
+	g.tempInUse[r] = true
+	return r, nil
+}
+
+func (g *fnGen) free(v val) {
+	if !v.temp {
+		return
+	}
+	if !g.tempInUse[v.reg] {
+		return
+	}
+	delete(g.tempInUse, v.reg)
+	g.tempFree = append(g.tempFree, v.reg)
+}
+
+// target returns a register that may be written with the result of an
+// operation consuming v: v's own register if it is a temp, else a new
+// temp.
+func (g *fnGen) target(v val, line int) (val, error) {
+	if v.temp {
+		return v, nil
+	}
+	r, err := g.allocTemp(line)
+	if err != nil {
+		return val{}, err
+	}
+	return val{reg: r, temp: true}, nil
+}
+
+// --- frame construction ---
+
+func (g *fnGen) generate() error {
+	fn := g.fn
+	g.retLbl = g.newLabel("ret")
+	g.tempFree = append([]isa.Reg(nil), tempPool...)
+
+	// Assign register homes: scalar locals whose address is never taken,
+	// in declaration order (parameters first), while registers last.
+	pool := append([]isa.Reg(nil), calleeSaved...)
+	for _, lv := range fn.Locals {
+		if lv.Type.IsScalar() && !lv.AddrTaken && len(pool) > 0 {
+			g.homeReg[lv] = pool[0]
+			g.usedSave = append(g.usedSave, pool[0])
+			pool = pool[1:]
+		}
+	}
+	// Stack slots for everything else.
+	g.saveBytes = 8 * int64(1+len(g.usedSave))
+	off := g.saveBytes
+	for _, lv := range fn.Locals {
+		if _, inReg := g.homeReg[lv]; inReg {
+			continue
+		}
+		a := lv.Type.Align()
+		off = (off + a - 1) &^ (a - 1)
+		g.stackOff[lv] = off
+		off += lv.Type.Size()
+	}
+	g.localBytes = off
+	if g.localBytes > 3500 {
+		return g.errf(fn.Line, "function %s: frame too large (%d bytes); use globals or the heap", fn.Name, g.localBytes)
+	}
+
+	// Prologue.
+	start := g.b.PC()
+	if err := g.b.Label(fn.Name); err != nil {
+		return err
+	}
+	g.curLine = int32(fn.Line)
+	g.prologueSub = g.emit(isa.Instr{Op: isa.Sub, Rd: isa.SP, Rs1: isa.SP, UseImm: true})
+	g.emitMem(isa.Instr{Op: isa.StX, Rd: isa.O7, Rs1: isa.SP, UseImm: true, Imm: 0}, nil)
+	for i, r := range g.usedSave {
+		g.emitMem(isa.Instr{Op: isa.StX, Rd: r, Rs1: isa.SP, UseImm: true, Imm: int32(8 * (i + 1))}, nil)
+	}
+	for i, p := range fn.Params {
+		if home, ok := g.homeReg[p]; ok {
+			g.emit(isa.Instr{Op: isa.Or, Rd: home, Rs1: isa.G0, Rs2: argRegs[i]})
+		} else {
+			g.storeScalar(p.Type, argRegs[i], isa.SP, int32(g.stackOff[p]), g.localXref(p))
+		}
+	}
+
+	// Body.
+	if err := g.genStmt(fn.Body); err != nil {
+		return err
+	}
+
+	// Implicit return path (fall off the end): return 0 for non-void.
+	if fn.Ret.Kind != KVoid {
+		g.emit(isa.Instr{Op: isa.Or, Rd: isa.O0, Rs1: isa.G0, UseImm: true, Imm: 0})
+	}
+
+	// Epilogue.
+	if err := g.label(g.retLbl); err != nil {
+		return err
+	}
+	g.emitMem(isa.Instr{Op: isa.LdX, Rd: isa.O7, Rs1: isa.SP, UseImm: true, Imm: 0}, nil)
+	for i, r := range g.usedSave {
+		g.emitMem(isa.Instr{Op: isa.LdX, Rd: r, Rs1: isa.SP, UseImm: true, Imm: int32(8 * (i + 1))}, nil)
+	}
+	g.padJoin()
+	g.emit(isa.Instr{Op: isa.Jmpl, Rd: isa.G0, Rs1: isa.O7, UseImm: true, Imm: 8})
+	g.epilogueAdd = g.emit(isa.Instr{Op: isa.Add, Rd: isa.SP, Rs1: isa.SP, UseImm: true}) // delay slot
+
+	// Patch the frame size.
+	g.frameSize = (g.localBytes + int64(g.maxSpill)*8 + 15) &^ 15
+	if g.frameSize > 4095 {
+		return g.errf(fn.Line, "function %s: frame too large (%d bytes)", fn.Name, g.frameSize)
+	}
+	g.b.Instr(g.prologueSub).Imm = int32(g.frameSize)
+	g.b.Instr(g.epilogueAdd).Imm = int32(g.frameSize)
+
+	g.co.tab.AddFunc(dwarf.Func{
+		Name:    fn.Name,
+		Start:   start,
+		End:     g.b.PC(),
+		File:    fn.File,
+		HWCProf: g.co.xrefsEnabled(),
+	})
+	return nil
+}
+
+// localXref builds the xref for a stack-resident named local.
+func (g *fnGen) localXref(lv *LocalVar) *dwarf.DataXref {
+	t := lv.Type
+	if t.Kind == KArray {
+		t = t.Elem
+	}
+	if t.Kind == KStruct {
+		return &dwarf.DataXref{Type: g.co.typeID(t), Member: -1, Var: lv.Name}
+	}
+	return &dwarf.DataXref{Type: g.co.typeID(t), Member: -1, Var: lv.Name}
+}
+
+// spillSlotOff returns the stack offset of spill slot i, growing the
+// high-water mark.
+func (g *fnGen) spillSlotOff(i int) int32 {
+	if i+1 > g.maxSpill {
+		g.maxSpill = i + 1
+	}
+	return int32(g.localBytes + int64(i)*8)
+}
+
+// loadOpFor/storeOpFor select access width by type.
+func loadOpFor(t *CType) isa.Op {
+	switch t.Size() {
+	case 1:
+		return isa.LdB
+	case 4:
+		return isa.LdW
+	default:
+		return isa.LdX
+	}
+}
+
+func storeOpFor(t *CType) isa.Op {
+	switch t.Size() {
+	case 1:
+		return isa.StB
+	case 4:
+		return isa.StW
+	default:
+		return isa.StX
+	}
+}
+
+func (g *fnGen) storeScalar(t *CType, src isa.Reg, base isa.Reg, off int32, xref *dwarf.DataXref) {
+	g.emitMem(isa.Instr{Op: storeOpFor(t), Rd: src, Rs1: base, UseImm: true, Imm: off}, xref)
+}
+
+// --- statements ---
+
+func (g *fnGen) genStmt(s stmt) error {
+	switch s := s.(type) {
+	case *blockStmt:
+		if s.line > 0 {
+			g.curLine = int32(s.line)
+		}
+		for _, st := range s.stmts {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+	case *declStmt:
+		g.curLine = int32(s.line)
+		lv := g.chk.declVar[s]
+		if s.init == nil {
+			return nil
+		}
+		v, err := g.genExpr(s.init)
+		if err != nil {
+			return err
+		}
+		if home, ok := g.homeReg[lv]; ok {
+			g.emit(isa.Instr{Op: isa.Or, Rd: home, Rs1: isa.G0, Rs2: v.reg})
+		} else {
+			g.storeScalar(lv.Type, v.reg, isa.SP, int32(g.stackOff[lv]), g.localXref(lv))
+		}
+		g.free(v)
+	case *exprStmt:
+		g.curLine = int32(s.line)
+		v, err := g.genExpr(s.x)
+		if err != nil {
+			return err
+		}
+		g.free(v)
+	case *assignStmt:
+		g.curLine = int32(s.line)
+		return g.genAssign(s)
+	case *incDecStmt:
+		g.curLine = int32(s.line)
+		op := "+="
+		if s.op == "--" {
+			op = "-="
+		}
+		return g.genAssign(&assignStmt{lhs: s.lhs, op: op, rhs: &intLit{val: 1, line: s.line}, line: s.line})
+	case *ifStmt:
+		g.curLine = int32(s.line)
+		elseL := g.newLabel("else")
+		endL := g.newLabel("endif")
+		if s.els == nil {
+			if err := g.condFalse(s.cond, endL); err != nil {
+				return err
+			}
+			if err := g.genStmt(s.then); err != nil {
+				return err
+			}
+			return g.label(endL)
+		}
+		if err := g.condFalse(s.cond, elseL); err != nil {
+			return err
+		}
+		if err := g.genStmt(s.then); err != nil {
+			return err
+		}
+		g.branch(isa.Ba, endL)
+		if err := g.label(elseL); err != nil {
+			return err
+		}
+		if err := g.genStmt(s.els); err != nil {
+			return err
+		}
+		return g.label(endL)
+	case *whileStmt:
+		g.curLine = int32(s.line)
+		headL := g.newLabel("while")
+		exitL := g.newLabel("endwhile")
+		if err := g.label(headL); err != nil {
+			return err
+		}
+		g.curLine = int32(s.line)
+		if err := g.condFalse(s.cond, exitL); err != nil {
+			return err
+		}
+		g.breakLbls = append(g.breakLbls, exitL)
+		g.contLbls = append(g.contLbls, headL)
+		err := g.genStmt(s.body)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		if err != nil {
+			return err
+		}
+		g.branch(isa.Ba, headL)
+		return g.label(exitL)
+	case *doWhileStmt:
+		g.curLine = int32(s.line)
+		headL := g.newLabel("do")
+		condL := g.newLabel("docond")
+		exitL := g.newLabel("enddo")
+		if err := g.label(headL); err != nil {
+			return err
+		}
+		g.breakLbls = append(g.breakLbls, exitL)
+		g.contLbls = append(g.contLbls, condL)
+		err := g.genStmt(s.body)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		if err != nil {
+			return err
+		}
+		if err := g.label(condL); err != nil {
+			return err
+		}
+		g.curLine = int32(s.line)
+		if err := g.condTrue(s.cond, headL); err != nil {
+			return err
+		}
+		return g.label(exitL)
+	case *forStmt:
+		g.curLine = int32(s.line)
+		headL := g.newLabel("for")
+		postL := g.newLabel("forpost")
+		exitL := g.newLabel("endfor")
+		if s.init != nil {
+			if err := g.genStmt(s.init); err != nil {
+				return err
+			}
+		}
+		if err := g.label(headL); err != nil {
+			return err
+		}
+		g.curLine = int32(s.line)
+		if s.cond != nil {
+			if err := g.condFalse(s.cond, exitL); err != nil {
+				return err
+			}
+		}
+		g.breakLbls = append(g.breakLbls, exitL)
+		g.contLbls = append(g.contLbls, postL)
+		err := g.genStmt(s.body)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		if err != nil {
+			return err
+		}
+		if err := g.label(postL); err != nil {
+			return err
+		}
+		if s.post != nil {
+			if err := g.genStmt(s.post); err != nil {
+				return err
+			}
+		}
+		g.branch(isa.Ba, headL)
+		return g.label(exitL)
+	case *returnStmt:
+		g.curLine = int32(s.line)
+		if s.x != nil {
+			v, err := g.genExpr(s.x)
+			if err != nil {
+				return err
+			}
+			if v.reg != isa.O0 {
+				g.emit(isa.Instr{Op: isa.Or, Rd: isa.O0, Rs1: isa.G0, Rs2: v.reg})
+			}
+			g.free(v)
+		}
+		g.branch(isa.Ba, g.retLbl)
+	case *breakStmt:
+		if len(g.breakLbls) == 0 {
+			return g.errf(s.line, "break outside loop")
+		}
+		g.branch(isa.Ba, g.breakLbls[len(g.breakLbls)-1])
+	case *continueStmt:
+		if len(g.contLbls) == 0 {
+			return g.errf(s.line, "continue outside loop")
+		}
+		g.branch(isa.Ba, g.contLbls[len(g.contLbls)-1])
+	}
+	return nil
+}
+
+// genAssign compiles an assignment or compound assignment.
+func (g *fnGen) genAssign(s *assignStmt) error {
+	lt := g.chk.exprType[s.lhs]
+	// Register-homed scalar local on the left?
+	if id, ok := s.lhs.(*identExpr); ok {
+		if lv, ok := g.chk.identRef[id].(*LocalVar); ok {
+			if home, inReg := g.homeReg[lv]; inReg {
+				return g.assignToReg(home, lt, s)
+			}
+		}
+	}
+	// Memory lvalue.
+	base, off, xref, err := g.genAddr(s.lhs)
+	if err != nil {
+		return err
+	}
+	if s.op == "=" {
+		v, err := g.genExpr(s.rhs)
+		if err != nil {
+			return err
+		}
+		g.emitMem(isa.Instr{Op: storeOpFor(lt), Rd: v.reg, Rs1: base.reg, UseImm: true, Imm: off}, xref)
+		g.free(v)
+		g.free(base)
+		return nil
+	}
+	// Compound: load, op, store.
+	cur, err := g.allocTemp(s.line)
+	if err != nil {
+		return err
+	}
+	g.emitMem(isa.Instr{Op: loadOpFor(lt), Rd: cur, Rs1: base.reg, UseImm: true, Imm: off}, xref)
+	res, err := g.genBinOpInto(val{reg: cur, temp: true}, s.op[:len(s.op)-1], s.rhs, lt, s.line)
+	if err != nil {
+		return err
+	}
+	g.emitMem(isa.Instr{Op: storeOpFor(lt), Rd: res.reg, Rs1: base.reg, UseImm: true, Imm: off}, xref)
+	g.free(res)
+	g.free(base)
+	return nil
+}
+
+// assignToReg compiles an assignment whose target is a register-homed
+// local.
+func (g *fnGen) assignToReg(home isa.Reg, lt *CType, s *assignStmt) error {
+	if s.op == "=" {
+		v, err := g.genExpr(s.rhs)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.Or, Rd: home, Rs1: isa.G0, Rs2: v.reg})
+		g.free(v)
+		return nil
+	}
+	res, err := g.genBinOpInto(val{reg: home, temp: false}, s.op[:len(s.op)-1], s.rhs, lt, s.line)
+	if err != nil {
+		return err
+	}
+	if res.reg != home {
+		g.emit(isa.Instr{Op: isa.Or, Rd: home, Rs1: isa.G0, Rs2: res.reg})
+	}
+	g.free(res)
+	return nil
+}

@@ -1,0 +1,150 @@
+package cc
+
+import (
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+// genAddr computes the address of an lvalue as base register + constant
+// offset, together with the data-object cross reference describing what
+// lives there.
+func (g *fnGen) genAddr(e expr) (val, int32, *dwarf.DataXref, error) {
+	switch e := e.(type) {
+	case *identExpr:
+		switch ref := g.chk.identRef[e].(type) {
+		case *Global:
+			base, err := g.materialize(int64(machine.DataBase)+ref.Off, e.line)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			return base, 0, g.globalXref(ref), nil
+		case *LocalVar:
+			if _, inReg := g.homeReg[ref]; inReg {
+				return val{}, 0, nil, g.errf(e.line, "internal: address of register variable %s", e.name)
+			}
+			off := g.stackOff[ref]
+			return val{reg: isa.SP, temp: false}, int32(off), g.localXref(ref), nil
+		}
+		return val{}, 0, nil, g.errf(e.line, "cannot take address of %s", e.name)
+	case *memberExpr:
+		var base val
+		var off int64
+		var si *StructInfo
+		if e.arrow {
+			v, err := g.genExpr(e.x)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			base = v
+			si = decay(g.chk.exprType[e.x]).Elem.Struct
+		} else {
+			b, o, _, err := g.genAddr(e.x)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			base = b
+			off = int64(o)
+			si = g.chk.exprType[e.x].Struct
+		}
+		idx, f := si.Field(e.name)
+		off += f.Off
+		if !fitsImm13(off) {
+			nb, err := g.lea(base, 0, e.line)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			m, err := g.materialize(off, e.line)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			tgt, err := g.target(nb, e.line)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			g.emit(isa.Instr{Op: isa.Add, Rd: tgt.reg, Rs1: nb.reg, Rs2: m.reg})
+			g.free(m)
+			base, off = tgt, 0
+		}
+		xref := &dwarf.DataXref{Type: g.co.typeID(&CType{Kind: KStruct, Struct: si}), Member: int32(idx)}
+		return base, int32(off), xref, nil
+	case *indexExpr:
+		vx, err := g.genExpr(e.x) // decayed pointer value
+		if err != nil {
+			return val{}, 0, nil, err
+		}
+		elemT := g.chk.exprType[e]
+		size := elemT.Size()
+		xref := g.elemXref(elemT, e.x)
+		if c, ok := g.constOf(e.idx); ok {
+			total := c * size
+			if fitsImm13(total) {
+				return vx, int32(total), xref, nil
+			}
+			m, err := g.materialize(total, e.line)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			tgt, err := g.target(vx, e.line)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			g.emit(isa.Instr{Op: isa.Add, Rd: tgt.reg, Rs1: vx.reg, Rs2: m.reg})
+			g.free(m)
+			return tgt, 0, xref, nil
+		}
+		vi, err := g.genExpr(e.idx)
+		if err != nil {
+			return val{}, 0, nil, err
+		}
+		vi, err = g.scaleBy(vi, size, e.line)
+		if err != nil {
+			return val{}, 0, nil, err
+		}
+		tgt, err := g.target(vx, e.line)
+		if err != nil {
+			return val{}, 0, nil, err
+		}
+		g.emit(isa.Instr{Op: isa.Add, Rd: tgt.reg, Rs1: vx.reg, Rs2: vi.reg})
+		g.free(vi)
+		if tgt.reg != vx.reg {
+			g.free(vx)
+		}
+		return tgt, 0, xref, nil
+	case *unaryExpr:
+		if e.op == "*" {
+			v, err := g.genExpr(e.x)
+			if err != nil {
+				return val{}, 0, nil, err
+			}
+			elemT := decay(g.chk.exprType[e.x]).Elem
+			return v, 0, g.elemXref(elemT, e.x), nil
+		}
+	case *castExpr:
+		// (type *)expr used as an lvalue target via deref happens through
+		// unaryExpr; a bare cast is not addressable.
+	}
+	return val{}, 0, nil, g.errf(e.pos(), "expression is not addressable")
+}
+
+// globalXref describes a direct global access.
+func (g *fnGen) globalXref(gl *Global) *dwarf.DataXref {
+	t := gl.Type
+	if t.Kind == KArray {
+		t = t.Elem
+	}
+	return &dwarf.DataXref{Type: g.co.typeID(t), Member: -1, Var: gl.Name}
+}
+
+// elemXref describes an access to an element reached through a pointer or
+// array: a struct element or a named scalar array element.
+func (g *fnGen) elemXref(elemT *CType, through expr) *dwarf.DataXref {
+	if elemT.Kind == KStruct {
+		return &dwarf.DataXref{Type: g.co.typeID(elemT), Member: -1}
+	}
+	var name string
+	if id, ok := through.(*identExpr); ok {
+		name = id.name
+	}
+	return &dwarf.DataXref{Type: g.co.typeID(elemT), Member: -1, Var: name}
+}

@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"sort"
+
+	"dsprof/internal/isa"
+)
+
+// genCall compiles a function or builtin call.
+//
+// Calling sequence: each argument is evaluated and spilled to a dedicated
+// stack slot; every other live temporary is spilled as well (the
+// temporary registers are caller-saved); the arguments are then reloaded
+// into %o0..%o5, the call is emitted with a nop delay slot, the %o0 result
+// is moved into a fresh temporary, and the spilled live temporaries are
+// restored.
+func (g *fnGen) genCall(e *callExpr) (val, error) {
+	if b, ok := builtins[e.fn]; ok {
+		return g.genBuiltin(e, b)
+	}
+	if len(e.args) > len(argRegs) {
+		return val{}, g.errf(e.line, "too many arguments")
+	}
+
+	// Evaluate and park each argument in its slot. The slot floor rises
+	// as arguments are parked so that calls nested in later arguments
+	// allocate their own slots above ours.
+	base := g.slotFloor
+	for i, a := range e.args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitMem(isa.Instr{Op: isa.StX, Rd: v.reg, Rs1: isa.SP, UseImm: true, Imm: g.spillSlotOff(base + i)}, tempXref)
+		g.free(v)
+		g.slotFloor = base + i + 1
+	}
+	// Spill every remaining live temporary.
+	spills := g.spillLive()
+	// Load arguments into the argument registers.
+	for i := range e.args {
+		g.emitMem(isa.Instr{Op: isa.LdX, Rd: argRegs[i], Rs1: isa.SP, UseImm: true, Imm: g.spillSlotOff(base + i)}, tempXref)
+	}
+	g.padJoin()
+	ci := g.b.EmitCall(e.fn)
+	if g.curLine > 0 {
+		g.co.tab.Lines[g.b.AddrOf(ci)] = g.curLine
+	}
+	g.sinceMem++
+	g.emit(isa.Instr{Op: isa.Nop}) // delay slot
+
+	res, err := g.finishCall(e, spills)
+	g.slotFloor = base
+	return res, err
+}
+
+// spillLive stores all currently live temporaries to spill slots above
+// the current slot floor and returns the (register, slot) pairs. No
+// nested expression evaluation happens between the spill and the restore,
+// so these slots cannot be clobbered.
+type spillPair struct {
+	reg  isa.Reg
+	slot int
+}
+
+func (g *fnGen) spillLive() []spillPair {
+	regs := make([]isa.Reg, 0, len(g.tempInUse))
+	for r := range g.tempInUse {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	spills := make([]spillPair, 0, len(regs))
+	for i, r := range regs {
+		slot := g.slotFloor + i
+		g.emitMem(isa.Instr{Op: isa.StX, Rd: r, Rs1: isa.SP, UseImm: true, Imm: g.spillSlotOff(slot)}, tempXref)
+		spills = append(spills, spillPair{reg: r, slot: slot})
+	}
+	return spills
+}
+
+// finishCall captures the %o0 result and restores spilled temporaries.
+func (g *fnGen) finishCall(e *callExpr, spills []spillPair) (val, error) {
+	res, err := g.allocTemp(e.line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Or, Rd: res, Rs1: isa.G0, Rs2: isa.O0})
+	for _, s := range spills {
+		g.emitMem(isa.Instr{Op: isa.LdX, Rd: s.reg, Rs1: isa.SP, UseImm: true, Imm: g.spillSlotOff(s.slot)}, tempXref)
+	}
+	return val{reg: res, temp: true}, nil
+}
+
+// genBuiltin compiles a runtime-service builtin.
+func (g *fnGen) genBuiltin(e *callExpr, b *builtin) (val, error) {
+	if b.name == "prefetch" {
+		v, err := g.genExpr(e.args[0])
+		if err != nil {
+			return val{}, err
+		}
+		g.emitMem(isa.Instr{Op: isa.Prefetch, Rs1: v.reg, UseImm: true, Imm: 0}, nil)
+		g.free(v)
+		return val{reg: isa.G0, temp: false}, nil
+	}
+	base := g.slotFloor
+	for i, a := range e.args {
+		v, err := g.genExpr(a)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitMem(isa.Instr{Op: isa.StX, Rd: v.reg, Rs1: isa.SP, UseImm: true, Imm: g.spillSlotOff(base + i)}, tempXref)
+		g.free(v)
+		g.slotFloor = base + i + 1
+	}
+	spills := g.spillLive()
+	for i := range e.args {
+		g.emitMem(isa.Instr{Op: isa.LdX, Rd: argRegs[i], Rs1: isa.SP, UseImm: true, Imm: g.spillSlotOff(base + i)}, tempXref)
+	}
+	g.padJoin()
+	g.emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: int32(b.service)})
+	res, err := g.finishCall(e, spills)
+	g.slotFloor = base
+	return res, err
+}

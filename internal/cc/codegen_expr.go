@@ -1,0 +1,591 @@
+package cc
+
+import (
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+var aluOps = map[string]isa.Op{
+	"+": isa.Add, "-": isa.Sub, "*": isa.Mul, "/": isa.Div, "%": isa.Rem,
+	"&": isa.And, "|": isa.Or, "^": isa.Xor,
+	"<<": isa.Sll, ">>": isa.Sra,
+}
+
+var cmpBranch = map[string]isa.Op{
+	"==": isa.Be, "!=": isa.Bne, "<": isa.Bl, "<=": isa.Ble,
+	">": isa.Bg, ">=": isa.Bge,
+}
+
+var negBranch = map[isa.Op]isa.Op{
+	isa.Be: isa.Bne, isa.Bne: isa.Be, isa.Bl: isa.Bge, isa.Bge: isa.Bl,
+	isa.Bg: isa.Ble, isa.Ble: isa.Bg,
+}
+
+func fitsImm13(v int64) bool { return v >= isa.ImmMin && v <= isa.ImmMax }
+
+// constOf reports the compile-time constant value of e, if any. It covers
+// both sema-folded expressions and literals synthesized by codegen
+// rewrites (e.g. i++ -> i += 1).
+func (g *fnGen) constOf(e expr) (int64, bool) {
+	if c, ok := g.chk.constVal[e]; ok {
+		return c, true
+	}
+	if il, ok := e.(*intLit); ok {
+		return il.val, true
+	}
+	return 0, false
+}
+
+// materialize loads constant c into a fresh temporary.
+func (g *fnGen) materialize(c int64, line int) (val, error) {
+	r, err := g.allocTemp(line)
+	if err != nil {
+		return val{}, err
+	}
+	if err := g.loadConst(r, c, line); err != nil {
+		return val{}, err
+	}
+	return val{reg: r, temp: true}, nil
+}
+
+// loadConst emits code setting r to c.
+func (g *fnGen) loadConst(r isa.Reg, c int64, line int) error {
+	switch {
+	case fitsImm13(c):
+		g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, UseImm: true, Imm: int32(c)})
+	case c > 0 && c < 1<<32:
+		// sethi covers bits [31:11]; or the low 11 bits.
+		g.emit(isa.Instr{Op: isa.SetHi, Rd: r, UseImm: true, Imm: int32(c >> isa.SetHiShift)})
+		if low := c & (1<<isa.SetHiShift - 1); low != 0 {
+			g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: r, UseImm: true, Imm: int32(low)})
+		}
+	case c < 0 && c != -c: // -c does not overflow
+		if err := g.loadConst(r, -c, line); err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.Sub, Rd: r, Rs1: isa.G0, Rs2: r})
+	case c == -c: // MinInt64
+		g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, UseImm: true, Imm: 1})
+		g.emit(isa.Instr{Op: isa.Sll, Rd: r, Rs1: r, UseImm: true, Imm: 63})
+	default:
+		// Large positive 64-bit constant: build it 11 bits at a time
+		// (each chunk fits the unsigned range of the 13-bit immediate).
+		var chunks []int32
+		for v := c; v != 0; v >>= 11 {
+			chunks = append(chunks, int32(v&0x7ff))
+		}
+		g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, UseImm: true, Imm: chunks[len(chunks)-1]})
+		for i := len(chunks) - 2; i >= 0; i-- {
+			g.emit(isa.Instr{Op: isa.Sll, Rd: r, Rs1: r, UseImm: true, Imm: 11})
+			if chunks[i] != 0 {
+				g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: r, UseImm: true, Imm: chunks[i]})
+			}
+		}
+	}
+	return nil
+}
+
+// genExpr evaluates e into a register.
+func (g *fnGen) genExpr(e expr) (val, error) {
+	if c, ok := g.constOf(e); ok {
+		return g.materialize(c, e.pos())
+	}
+	switch e := e.(type) {
+	case *intLit:
+		return g.materialize(e.val, e.line)
+	case *strLit:
+		return g.materialize(int64(machine.DataBase)+g.chk.strOff[e], e.line)
+	case *identExpr:
+		switch ref := g.chk.identRef[e].(type) {
+		case *LocalVar:
+			if home, ok := g.homeReg[ref]; ok {
+				return val{reg: home, temp: false}, nil
+			}
+			if ref.Type.Kind == KArray {
+				return g.lea(val{reg: isa.SP, temp: false}, int32(g.stackOff[ref]), e.line)
+			}
+			r, err := g.allocTemp(e.line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emitMem(isa.Instr{Op: loadOpFor(ref.Type), Rd: r, Rs1: isa.SP, UseImm: true, Imm: int32(g.stackOff[ref])}, g.localXref(ref))
+			return val{reg: r, temp: true}, nil
+		case *Global:
+			base, off, xref, err := g.genAddr(e)
+			if err != nil {
+				return val{}, err
+			}
+			if ref.Type.Kind == KArray {
+				return g.lea(base, off, e.line)
+			}
+			tgt, err := g.target(base, e.line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emitMem(isa.Instr{Op: loadOpFor(ref.Type), Rd: tgt.reg, Rs1: base.reg, UseImm: true, Imm: off}, xref)
+			return tgt, nil
+		}
+		return val{}, g.errf(e.line, "unresolved identifier %s", e.name)
+	case *unaryExpr:
+		return g.genUnary(e)
+	case *binaryExpr:
+		return g.genBinary(e)
+	case *condExpr:
+		return g.genCond(e)
+	case *callExpr:
+		return g.genCall(e)
+	case *memberExpr, *indexExpr:
+		t := g.chk.exprType[e.(expr)]
+		base, off, xref, err := g.genAddr(e)
+		if err != nil {
+			return val{}, err
+		}
+		if t.Kind == KArray {
+			return g.lea(base, off, e.pos())
+		}
+		if t.Kind == KStruct {
+			return val{}, g.errf(e.pos(), "struct values are not supported; use pointers")
+		}
+		tgt, err := g.target(base, e.pos())
+		if err != nil {
+			return val{}, err
+		}
+		g.emitMem(isa.Instr{Op: loadOpFor(t), Rd: tgt.reg, Rs1: base.reg, UseImm: true, Imm: off}, xref)
+		g.maybePrefetch(t, tgt.reg)
+		return tgt, nil
+	case *castExpr:
+		v, err := g.genExpr(e.x)
+		if err != nil {
+			return val{}, err
+		}
+		to := g.chk.exprType[e]
+		switch to.Kind {
+		case KChar:
+			return g.truncate(v, 56, e.line)
+		case KInt:
+			return g.truncate(v, 32, e.line)
+		}
+		return v, nil
+	}
+	return val{}, g.errf(e.pos(), "unsupported expression in codegen")
+}
+
+// maybePrefetch implements feedback-directed prefetch insertion (the
+// paper's §4): when the just-emitted load sits on a source line the
+// profile feedback marked as miss-heavy and it produced a pointer, emit a
+// software prefetch of the pointed-to object.
+func (g *fnGen) maybePrefetch(t *CType, reg isa.Reg) {
+	fb := g.co.opts.PrefetchFeedback
+	if fb == nil || t == nil || t.Kind != KPtr {
+		return
+	}
+	if lines := fb[g.fn.File]; lines != nil && lines[int(g.curLine)] {
+		g.emitMem(isa.Instr{Op: isa.Prefetch, Rs1: reg, UseImm: true, Imm: 0}, nil)
+	}
+}
+
+// truncate sign-extends the low bits of v (shift left then arithmetic
+// shift right by n).
+func (g *fnGen) truncate(v val, n int32, line int) (val, error) {
+	tgt, err := g.target(v, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Sll, Rd: tgt.reg, Rs1: v.reg, UseImm: true, Imm: n})
+	g.emit(isa.Instr{Op: isa.Sra, Rd: tgt.reg, Rs1: tgt.reg, UseImm: true, Imm: n})
+	if tgt.reg != v.reg {
+		g.free(v)
+	}
+	return tgt, nil
+}
+
+// lea computes base+off into a register.
+func (g *fnGen) lea(base val, off int32, line int) (val, error) {
+	if off == 0 && base.temp {
+		return base, nil
+	}
+	tgt, err := g.target(base, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Add, Rd: tgt.reg, Rs1: base.reg, UseImm: true, Imm: off})
+	return tgt, nil
+}
+
+func (g *fnGen) genUnary(e *unaryExpr) (val, error) {
+	switch e.op {
+	case "-":
+		v, err := g.genExpr(e.x)
+		if err != nil {
+			return val{}, err
+		}
+		tgt, err := g.target(v, e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Instr{Op: isa.Sub, Rd: tgt.reg, Rs1: isa.G0, Rs2: v.reg})
+		return tgt, nil
+	case "~":
+		v, err := g.genExpr(e.x)
+		if err != nil {
+			return val{}, err
+		}
+		tgt, err := g.target(v, e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Instr{Op: isa.Xor, Rd: tgt.reg, Rs1: v.reg, UseImm: true, Imm: -1})
+		return tgt, nil
+	case "!":
+		return g.boolValue(e)
+	case "*":
+		t := g.chk.exprType[e]
+		if t.Kind == KStruct {
+			return val{}, g.errf(e.line, "struct values are not supported; use pointers")
+		}
+		base, off, xref, err := g.genAddr(e)
+		if err != nil {
+			return val{}, err
+		}
+		tgt, err := g.target(base, e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emitMem(isa.Instr{Op: loadOpFor(t), Rd: tgt.reg, Rs1: base.reg, UseImm: true, Imm: off}, xref)
+		g.maybePrefetch(t, tgt.reg)
+		return tgt, nil
+	case "&":
+		base, off, _, err := g.genAddr(e.x)
+		if err != nil {
+			return val{}, err
+		}
+		return g.lea(base, off, e.line)
+	}
+	return val{}, g.errf(e.line, "unsupported unary %s", e.op)
+}
+
+func (g *fnGen) genBinary(e *binaryExpr) (val, error) {
+	switch e.op {
+	case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+		return g.boolValue(e)
+	}
+	xt := decay(g.chk.exprType[e.x])
+	yt := decay(g.chk.exprType[e.y])
+	// Pointer arithmetic.
+	if e.op == "-" && xt.Kind == KPtr && yt.Kind == KPtr {
+		vx, err := g.genExpr(e.x)
+		if err != nil {
+			return val{}, err
+		}
+		vy, err := g.genExpr(e.y)
+		if err != nil {
+			return val{}, err
+		}
+		tgt, err := g.target(vx, e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Instr{Op: isa.Sub, Rd: tgt.reg, Rs1: vx.reg, Rs2: vy.reg})
+		g.free(vy)
+		if tgt.reg != vx.reg {
+			g.free(vx)
+		}
+		return g.divideByConst(tgt, xt.Elem.Size(), e.line)
+	}
+	if xt.IsInteger() && yt.Kind == KPtr && e.op == "+" {
+		// int + ptr: evaluate in order, scale the integer side.
+		vx, err := g.genExpr(e.x)
+		if err != nil {
+			return val{}, err
+		}
+		vx, err = g.scaleBy(vx, yt.Elem.Size(), e.line)
+		if err != nil {
+			return val{}, err
+		}
+		vy, err := g.genExpr(e.y)
+		if err != nil {
+			return val{}, err
+		}
+		tgt, err := g.target(vx, e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Instr{Op: isa.Add, Rd: tgt.reg, Rs1: vx.reg, Rs2: vy.reg})
+		g.free(vy)
+		return tgt, nil
+	}
+	// ptr ± int and plain integer arithmetic share the tail path.
+	vx, err := g.genExpr(e.x)
+	if err != nil {
+		return val{}, err
+	}
+	return g.genBinOpInto(vx, e.op, e.y, xt, e.line)
+}
+
+// genBinOpInto computes lhs <op> rhs into a target register, consuming
+// lhs. lt is the (decayed) type of the left side, used for pointer
+// operand scaling.
+func (g *fnGen) genBinOpInto(lhs val, op string, rhs expr, lt *CType, line int) (val, error) {
+	aop, ok := aluOps[op]
+	if !ok {
+		return val{}, g.errf(line, "unsupported operator %s", op)
+	}
+	scale := int64(1)
+	if lt != nil && lt.Kind == KPtr && (op == "+" || op == "-") {
+		scale = lt.Elem.Size()
+	}
+	// Constant right operand folds into the immediate when possible.
+	if c, isConst := g.constOf(rhs); isConst {
+		c *= scale
+		useImm := fitsImm13(c)
+		if op == "<<" || op == ">>" {
+			useImm = c >= 0 && c < 64
+		}
+		if (op == "/" || op == "%") && c == 0 {
+			useImm = false // let runtime trap handle it uniformly
+		}
+		if useImm {
+			tgt, err := g.target(lhs, line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit(isa.Instr{Op: aop, Rd: tgt.reg, Rs1: lhs.reg, UseImm: true, Imm: int32(c)})
+			return tgt, nil
+		}
+	}
+	v, err := g.genExpr(rhs)
+	if err != nil {
+		return val{}, err
+	}
+	v, err = g.scaleBy(v, scale, line)
+	if err != nil {
+		return val{}, err
+	}
+	tgt, err := g.target(lhs, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: aop, Rd: tgt.reg, Rs1: lhs.reg, Rs2: v.reg})
+	g.free(v)
+	if tgt.reg != lhs.reg {
+		g.free(lhs)
+	}
+	return tgt, nil
+}
+
+// scaleBy multiplies v by a constant element size (pointer arithmetic).
+func (g *fnGen) scaleBy(v val, scale int64, line int) (val, error) {
+	if scale == 1 {
+		return v, nil
+	}
+	tgt, err := g.target(v, line)
+	if err != nil {
+		return val{}, err
+	}
+	if scale&(scale-1) == 0 {
+		sh := int32(0)
+		for 1<<sh != scale {
+			sh++
+		}
+		g.emit(isa.Instr{Op: isa.Sll, Rd: tgt.reg, Rs1: v.reg, UseImm: true, Imm: sh})
+		return tgt, nil
+	}
+	m, err := g.materialize(scale, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Mul, Rd: tgt.reg, Rs1: v.reg, Rs2: m.reg})
+	g.free(m)
+	return tgt, nil
+}
+
+// divideByConst divides v by a constant element size (pointer
+// difference).
+func (g *fnGen) divideByConst(v val, size int64, line int) (val, error) {
+	if size == 1 {
+		return v, nil
+	}
+	tgt, err := g.target(v, line)
+	if err != nil {
+		return val{}, err
+	}
+	if fitsImm13(size) {
+		g.emit(isa.Instr{Op: isa.Div, Rd: tgt.reg, Rs1: v.reg, UseImm: true, Imm: int32(size)})
+		return tgt, nil
+	}
+	m, err := g.materialize(size, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Div, Rd: tgt.reg, Rs1: v.reg, Rs2: m.reg})
+	g.free(m)
+	return tgt, nil
+}
+
+// genCond compiles the ternary operator.
+func (g *fnGen) genCond(e *condExpr) (val, error) {
+	elseL := g.newLabel("celse")
+	endL := g.newLabel("cend")
+	r, err := g.allocTemp(e.line)
+	if err != nil {
+		return val{}, err
+	}
+	res := val{reg: r, temp: true}
+	if err := g.condFalse(e.cond, elseL); err != nil {
+		return val{}, err
+	}
+	v, err := g.genExpr(e.then)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, Rs2: v.reg})
+	g.free(v)
+	g.branch(isa.Ba, endL)
+	if err := g.label(elseL); err != nil {
+		return val{}, err
+	}
+	v, err = g.genExpr(e.els)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, Rs2: v.reg})
+	g.free(v)
+	if err := g.label(endL); err != nil {
+		return val{}, err
+	}
+	return res, nil
+}
+
+// boolValue materializes a comparison/logical expression as 0 or 1.
+func (g *fnGen) boolValue(e expr) (val, error) {
+	r, err := g.allocTemp(e.pos())
+	if err != nil {
+		return val{}, err
+	}
+	res := val{reg: r, temp: true}
+	falseL := g.newLabel("bfalse")
+	endL := g.newLabel("bend")
+	if err := g.condFalse(e, falseL); err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, UseImm: true, Imm: 1})
+	g.branch(isa.Ba, endL)
+	if err := g.label(falseL); err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Or, Rd: r, Rs1: isa.G0, UseImm: true, Imm: 0})
+	if err := g.label(endL); err != nil {
+		return val{}, err
+	}
+	return res, nil
+}
+
+// condFalse branches to falseL when e evaluates false.
+func (g *fnGen) condFalse(e expr, falseL string) error {
+	if c, ok := g.constOf(e); ok {
+		if c == 0 {
+			g.branch(isa.Ba, falseL)
+		}
+		return nil
+	}
+	switch e := e.(type) {
+	case *binaryExpr:
+		if br, ok := cmpBranch[e.op]; ok {
+			return g.emitCmpBranch(e, negBranch[br], falseL)
+		}
+		if e.op == "&&" {
+			if err := g.condFalse(e.x, falseL); err != nil {
+				return err
+			}
+			return g.condFalse(e.y, falseL)
+		}
+		if e.op == "||" {
+			tL := g.newLabel("or")
+			if err := g.condTrue(e.x, tL); err != nil {
+				return err
+			}
+			if err := g.condFalse(e.y, falseL); err != nil {
+				return err
+			}
+			return g.label(tL)
+		}
+	case *unaryExpr:
+		if e.op == "!" {
+			return g.condTrue(e.x, falseL)
+		}
+	}
+	v, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.Cmp, Rs1: v.reg, UseImm: true, Imm: 0})
+	g.free(v)
+	g.branch(isa.Be, falseL)
+	return nil
+}
+
+// condTrue branches to trueL when e evaluates true.
+func (g *fnGen) condTrue(e expr, trueL string) error {
+	if c, ok := g.constOf(e); ok {
+		if c != 0 {
+			g.branch(isa.Ba, trueL)
+		}
+		return nil
+	}
+	switch e := e.(type) {
+	case *binaryExpr:
+		if br, ok := cmpBranch[e.op]; ok {
+			return g.emitCmpBranch(e, br, trueL)
+		}
+		if e.op == "&&" {
+			fL := g.newLabel("and")
+			if err := g.condFalse(e.x, fL); err != nil {
+				return err
+			}
+			if err := g.condTrue(e.y, trueL); err != nil {
+				return err
+			}
+			return g.label(fL)
+		}
+		if e.op == "||" {
+			if err := g.condTrue(e.x, trueL); err != nil {
+				return err
+			}
+			return g.condTrue(e.y, trueL)
+		}
+	case *unaryExpr:
+		if e.op == "!" {
+			return g.condFalse(e.x, trueL)
+		}
+	}
+	v, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	g.emit(isa.Instr{Op: isa.Cmp, Rs1: v.reg, UseImm: true, Imm: 0})
+	g.free(v)
+	g.branch(isa.Bne, trueL)
+	return nil
+}
+
+// emitCmpBranch compiles `x <cmp> y` followed by a branch to target.
+func (g *fnGen) emitCmpBranch(e *binaryExpr, br isa.Op, target string) error {
+	vx, err := g.genExpr(e.x)
+	if err != nil {
+		return err
+	}
+	if c, ok := g.constOf(e.y); ok && fitsImm13(c) {
+		g.emit(isa.Instr{Op: isa.Cmp, Rs1: vx.reg, UseImm: true, Imm: int32(c)})
+		g.free(vx)
+	} else {
+		vy, err := g.genExpr(e.y)
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Instr{Op: isa.Cmp, Rs1: vx.reg, Rs2: vy.reg})
+		g.free(vx)
+		g.free(vy)
+	}
+	g.branch(br, target)
+	return nil
+}

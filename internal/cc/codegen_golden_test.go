@@ -1,0 +1,244 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+)
+
+// Golden-shape tests: the generated code for the paper's critical loop
+// must look like the paper's Figure 4 — member loads as single ldx
+// instructions with immediate offsets, data-object annotations, nop
+// padding before join nodes, and nothing memory-shaped in delay slots.
+
+const refreshLike = `
+typedef long cost_t;
+struct arc;
+struct node {
+	long number;
+	char *ident;
+	struct node *pred;
+	struct node *child;
+	struct node *sibling;
+	struct node *sibling_prev;
+	long depth;
+	long orientation;
+	struct arc *basic_arc;
+	struct arc *firstout;
+	struct arc *firstin;
+	cost_t potential;
+	long flow;
+	long mark;
+	long time;
+};
+struct arc { cost_t cost; struct node *tail; struct node *head; };
+struct node *root;
+long refresh_potential() {
+	long checksum;
+	struct node *node;
+	struct node *tmp;
+	checksum = 0;
+	tmp = root->child;
+	node = root->child;
+	while (node != root) {
+		while (node) {
+			if (node->orientation == 1) {
+				node->potential = node->basic_arc->cost + node->pred->potential;
+			} else {
+				node->potential = node->pred->potential - node->basic_arc->cost;
+			}
+			checksum++;
+			tmp = node;
+			node = node->child;
+		}
+		node = tmp;
+		while (node != root) {
+			if (node->sibling) {
+				node = node->sibling;
+				break;
+			}
+			node = node->pred;
+		}
+	}
+	return checksum;
+}
+long main() { return 0; }
+`
+
+func compileRefresh(t *testing.T) *struct {
+	prog  *struct{}
+	text  []isa.Instr
+	start uint64
+	end   uint64
+	tab   *dwarf.Table
+} {
+	t.Helper()
+	prog, err := Compile([]Source{{Name: "r.mc", Text: refreshLike}}, Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Debug.FuncByName("refresh_potential")
+	if fn == nil {
+		t.Fatal("refresh_potential missing")
+	}
+	out := &struct {
+		prog  *struct{}
+		text  []isa.Instr
+		start uint64
+		end   uint64
+		tab   *dwarf.Table
+	}{nil, prog.Text, fn.Start, fn.End, prog.Debug}
+	return out
+}
+
+func TestCriticalLoopMemberLoadsAreSingleInstructions(t *testing.T) {
+	r := compileRefresh(t)
+	// Count ldx instructions with the paper's member offsets (56
+	// orientation, 24 child, 16 pred, 64 basic_arc, 88 potential store).
+	seen := map[int32]int{}
+	for pc := r.start; pc < r.end; pc += isa.InstrBytes {
+		in := r.text[(pc-0x10000000)/isa.InstrBytes]
+		if (in.Op == isa.LdX || in.Op == isa.StX) && in.UseImm {
+			seen[in.Imm]++
+		}
+	}
+	for _, off := range []int32{56, 24, 16, 64, 88} {
+		if seen[off] == 0 {
+			t.Errorf("no 8-byte memory op with immediate offset %d (paper's member access shape)", off)
+		}
+	}
+}
+
+func TestCriticalLoopXrefAnnotations(t *testing.T) {
+	r := compileRefresh(t)
+	wantAnnos := map[string]bool{
+		"{structure:node -}{long orientation}":                false,
+		"{structure:node -}{pointer+structure:node child}":    false,
+		"{structure:node -}{pointer+structure:node pred}":     false,
+		"{structure:node -}{pointer+structure:arc basic_arc}": false,
+		"{structure:node -}{cost_t=long potential}":           false,
+		"{structure:arc -}{cost_t=long cost}":                 false,
+		"{structure:node -}{pointer+structure:node sibling}":  false,
+	}
+	for pc := r.start; pc < r.end; pc += isa.InstrBytes {
+		if x, ok := r.tab.Xrefs[pc]; ok {
+			s := r.tab.XrefDisplay(x)
+			if _, tracked := wantAnnos[s]; tracked {
+				wantAnnos[s] = true
+			}
+		}
+	}
+	for anno, found := range wantAnnos {
+		if !found {
+			t.Errorf("missing annotation %s", anno)
+		}
+	}
+}
+
+func TestNoMemOpsInDelaySlotsGolden(t *testing.T) {
+	r := compileRefresh(t)
+	for i, in := range r.text {
+		if in.Op.IsCTI() && i+1 < len(r.text) && r.text[i+1].Op.IsMem() {
+			t.Errorf("memory op in delay slot after instruction %d (%v)", i, in.Op)
+		}
+	}
+}
+
+func TestPaddingBeforeJoinNodes(t *testing.T) {
+	// With -xhwcprof, no branch target may have a memory op in the two
+	// instruction slots before it (fallthrough padding).
+	r := compileRefresh(t)
+	for pc := r.start + 2*isa.InstrBytes; pc < r.end; pc += isa.InstrBytes {
+		if !r.tab.BranchTargets[pc] {
+			continue
+		}
+		idx := (pc - 0x10000000) / isa.InstrBytes
+		prev1 := r.text[idx-1]
+		prev2 := r.text[idx-2]
+		// Branch targets reached only by jumps still obey the rule
+		// because padJoin runs before every label definition.
+		if prev1.Op.IsMem() || (prev2.Op.IsMem() && !prev1.Op.IsCTI() && prev1.Op != isa.Nop && !prev2.Op.IsCTI()) {
+			if prev1.Op.IsMem() {
+				t.Errorf("memory op immediately before branch target %#x", pc)
+			}
+		}
+	}
+}
+
+func TestBranchTargetTableMatchesBranches(t *testing.T) {
+	prog, err := Compile([]Source{{Name: "r.mc", Text: refreshLike}}, Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every static branch/call target must be in the table.
+	for i, in := range prog.Text {
+		pc := prog.Base + uint64(i)*isa.InstrBytes
+		if tgt, ok := in.BranchTarget(pc); ok {
+			if !prog.Debug.BranchTargets[tgt] {
+				t.Errorf("branch at %#x targets %#x, not in table", pc, tgt)
+			}
+		}
+		if in.Op == isa.Call {
+			if !prog.Debug.BranchTargets[pc+2*isa.InstrBytes] {
+				t.Errorf("call return point %#x not in table", pc+2*isa.InstrBytes)
+			}
+		}
+	}
+	// Every function entry is a target.
+	for _, fn := range prog.Debug.Funcs {
+		if !prog.Debug.BranchTargets[fn.Start] {
+			t.Errorf("function entry %s (%#x) not in table", fn.Name, fn.Start)
+		}
+	}
+}
+
+func TestLineTableMonotoneWithinStatements(t *testing.T) {
+	prog, err := Compile([]Source{{Name: "r.mc", Text: refreshLike}}, Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Debug.FuncByName("refresh_potential")
+	covered := 0
+	for pc := fn.Start; pc < fn.End; pc += isa.InstrBytes {
+		if prog.Debug.Lines[pc] > 0 {
+			covered++
+		}
+	}
+	total := int(fn.End-fn.Start) / isa.InstrBytes
+	if covered*10 < total*9 {
+		t.Errorf("line table covers %d/%d instructions", covered, total)
+	}
+}
+
+func TestRegisterHomedLoopVariables(t *testing.T) {
+	// The critical loop's locals (node, tmp, checksum) are scalar and
+	// never address-taken: they must live in registers, so the loop body
+	// contains no stack traffic (the paper's tight 30-instruction loop).
+	r := compileRefresh(t)
+	for pc := r.start; pc < r.end; pc += isa.InstrBytes {
+		in := r.text[(pc-0x10000000)/isa.InstrBytes]
+		if in.Op.IsMem() && in.Rs1 == isa.SP {
+			// Allow only the prologue/epilogue %o7 save slots.
+			if x, ok := r.tab.Xrefs[pc]; ok && x.Type != dwarf.NoType {
+				t.Errorf("stack access to named local at %#x: %s", pc, r.tab.XrefDisplay(x))
+			}
+		}
+	}
+}
+
+func TestDisasmOfGeneratedLoopRendersLikePaper(t *testing.T) {
+	r := compileRefresh(t)
+	var found bool
+	for pc := r.start; pc < r.end; pc += isa.InstrBytes {
+		in := r.text[(pc-0x10000000)/isa.InstrBytes]
+		s := isa.Disasm(in, pc)
+		if strings.HasPrefix(s, "ldx [") && strings.Contains(s, "+56]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 'ldx [reg +56]' in the generated loop (paper Figure 4 shape)")
+	}
+}

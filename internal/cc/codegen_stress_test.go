@@ -1,0 +1,171 @@
+package cc
+
+import "testing"
+
+// Adversarial codegen cases: calls inside expressions under register
+// pressure, compound assignments with call right-hand sides, temp
+// spilling around nested calls, and mixed-width memory traffic.
+
+func TestCallInCompoundAssign(t *testing.T) {
+	out := run(t, `
+long f(long x) { return x * 3; }
+long g;
+long main() {
+	long a;
+	a = 10;
+	a += f(2);
+	g = 5;
+	g *= f(a);
+	write_long(a);
+	write_long(g);
+	return 0;
+}`)
+	expect(t, out, 16, 5*48)
+}
+
+func TestNestedCallsUnderPressure(t *testing.T) {
+	out := run(t, `
+long f(long a, long b) { return a * 10 + b; }
+long main() {
+	long r;
+	r = f(f(1, 2), f(3, f(4, 5))) + f(6, 7) * f(8, 9);
+	write_long(r);
+	return 0;
+}`)
+	f := func(a, b int64) int64 { return a*10 + b }
+	expect(t, out, f(f(1, 2), f(3, f(4, 5)))+f(6, 7)*f(8, 9))
+}
+
+func TestCallArgsEvaluatedInOrder(t *testing.T) {
+	out := run(t, `
+long seq;
+long next() { seq++; return seq; }
+long f(long a, long b, long c) { return a * 100 + b * 10 + c; }
+long main() {
+	write_long(f(next(), next(), next()));
+	return 0;
+}`)
+	expect(t, out, 123)
+}
+
+func TestCallClobberProtection(t *testing.T) {
+	// A live temporary (the partially evaluated sum) must survive the
+	// call in the middle of the expression.
+	out := run(t, `
+long f() { return 7; }
+long main() {
+	long a;
+	long b;
+	a = 100;
+	b = (a + 1) + f() + (a + 2);
+	write_long(b);
+	return 0;
+}`)
+	expect(t, out, 101+7+102)
+}
+
+func TestRecursionWithLocalsAcrossCalls(t *testing.T) {
+	out := run(t, `
+long sumto(long n) {
+	long half;
+	if (n <= 0) { return 0; }
+	half = n / 2;
+	return n + sumto(n - 1) + half - half;
+}
+long main() {
+	write_long(sumto(50));
+	return 0;
+}`)
+	expect(t, out, 50*51/2)
+}
+
+func TestMixedWidthGlobals(t *testing.T) {
+	out := run(t, `
+char cbuf[8];
+int ibuf[4];
+long main() {
+	long i;
+	for (i = 0; i < 8; i++) { cbuf[i] = (char) (200 + i); }
+	for (i = 0; i < 4; i++) { ibuf[i] = (int) (100000 * (i + 1)); }
+	write_long(cbuf[0]);
+	write_long(cbuf[7]);
+	write_long(ibuf[3]);
+	return 0;
+}`)
+	expect(t, out, -56, -49, 400000)
+}
+
+func TestTernaryWithCalls(t *testing.T) {
+	out := run(t, `
+long f(long x) { return x + 1; }
+long main() {
+	long a;
+	a = 5;
+	write_long(a > 3 ? f(10) : f(20));
+	write_long(a < 3 ? f(10) : f(20));
+	return 0;
+}`)
+	expect(t, out, 11, 21)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	out := run(t, `
+long calls;
+long truthy() { calls++; return 1; }
+long falsy() { calls++; return 0; }
+long main() {
+	if (falsy() && truthy()) { }
+	write_long(calls);
+	calls = 0;
+	if (truthy() || falsy()) { }
+	write_long(calls);
+	calls = 0;
+	if (truthy() && falsy()) { }
+	write_long(calls);
+	return 0;
+}`)
+	expect(t, out, 1, 1, 2)
+}
+
+func TestDoWhileAndBreakInNestedLoops(t *testing.T) {
+	out := run(t, `
+long main() {
+	long i;
+	long j;
+	long n;
+	n = 0;
+	i = 0;
+	do {
+		j = 0;
+		while (1) {
+			j++;
+			if (j >= 3) { break; }
+		}
+		n += j;
+		i++;
+	} while (i < 4);
+	write_long(n);
+	return 0;
+}`)
+	expect(t, out, 12)
+}
+
+func TestGlobalPointerToGlobalArray(t *testing.T) {
+	out := run(t, `
+long table[6];
+long *cursor;
+long main() {
+	long sum;
+	long i;
+	for (i = 0; i < 6; i++) { table[i] = i * i; }
+	cursor = table;
+	sum = 0;
+	while (cursor < table + 6) {
+		sum += *cursor;
+		cursor++;
+	}
+	write_long(sum);
+	return 0;
+}`)
+	expect(t, out, 0+1+4+9+16+25)
+}

@@ -1,0 +1,233 @@
+package cc
+
+import (
+	"fmt"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+// Options are the compiler flags, mirroring the paper's:
+//
+//	-xhwcprof            -> HWCProf
+//	-xdebugformat=dwarf  -> DebugFormat
+//	-xpagesize_heap=512k -> PageSizeHeap
+type Options struct {
+	Name         string       // program name
+	HWCProf      bool         // emit memory-profiling support
+	DebugFormat  dwarf.Format // defaults to DWARF
+	PageSizeHeap uint64       // heap page size request; 0 = system default
+
+	// PrefetchFeedback lists source lines (per file) whose loads should
+	// be followed by a software prefetch of the loaded value — the
+	// feedback-directed prefetching sketched in the paper's future work.
+	// Only loads that produce a pointer are prefetched.
+	PrefetchFeedback map[string]map[int]bool
+}
+
+// Compile translates the MC sources into a loadable program.
+func Compile(srcs []Source, opts Options) (*asm.Program, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("cc: no input files")
+	}
+	if opts.DebugFormat == dwarf.FormatNone {
+		opts.DebugFormat = dwarf.FormatDWARF
+	}
+	if opts.Name == "" {
+		opts.Name = srcs[0].Name
+	}
+	typedefs := make(map[string]bool)
+	files := make([]*file, len(srcs))
+	for i, s := range srcs {
+		f, err := parse(s, typedefs)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	chk, err := analyze(files)
+	if err != nil {
+		return nil, err
+	}
+	co := &compiler{
+		opts:      opts,
+		chk:       chk,
+		b:         asm.NewBuilder(machine.TextBase),
+		tab:       dwarf.NewTable(opts.DebugFormat),
+		structIDs: make(map[*StructInfo]dwarf.TypeID),
+		namedIDs:  make(map[string]dwarf.TypeID),
+	}
+	return co.run()
+}
+
+// compiler drives whole-program code generation.
+type compiler struct {
+	opts Options
+	chk  *checked
+	b    *asm.Builder
+	tab  *dwarf.Table
+
+	structIDs map[*StructInfo]dwarf.TypeID
+	namedIDs  map[string]dwarf.TypeID
+}
+
+// xrefsEnabled reports whether data-object cross references are recorded:
+// requires both -xhwcprof and DWARF (STABS cannot carry them).
+func (co *compiler) xrefsEnabled() bool {
+	return co.opts.HWCProf && co.opts.DebugFormat == dwarf.FormatDWARF
+}
+
+func (co *compiler) run() (*asm.Program, error) {
+	// Pre-register all struct types so xrefs are available everywhere.
+	if co.opts.DebugFormat == dwarf.FormatDWARF {
+		for _, f := range co.chk.files {
+			for _, d := range f.decls {
+				if sd, ok := d.(*structDecl); ok {
+					co.typeID(&CType{Kind: KStruct, Struct: co.chk.structs[sd.name]})
+				}
+			}
+		}
+	}
+
+	// Runtime startup stub: call main, exit(result), halt.
+	if err := co.b.Label("__start"); err != nil {
+		return nil, err
+	}
+	co.b.EmitCall("main")
+	co.b.Emit(isa.Instr{Op: isa.Nop})
+	co.b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: machine.SysExit})
+	co.b.Emit(isa.Instr{Op: isa.Halt})
+	co.tab.AddFunc(dwarf.Func{
+		Name:    "__start",
+		Start:   machine.TextBase,
+		End:     co.b.PC(),
+		File:    "<runtime>",
+		HWCProf: co.xrefsEnabled(),
+	})
+
+	for _, fn := range co.chk.funcs {
+		g := newFnGen(co, fn)
+		if err := g.generate(); err != nil {
+			return nil, err
+		}
+	}
+
+	text, err := co.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	co.tab.SortFuncs()
+
+	// Branch-target tables are part of the memory-profiling support and,
+	// like the data xrefs, require DWARF: STABS cannot carry them, so a
+	// STABS build behaves as if -xhwcprof had not been given (the paper's
+	// (Unascertainable) case).
+	if co.xrefsEnabled() {
+		co.recordBranchTargets(text)
+	}
+	for _, f := range co.chk.files {
+		co.tab.Source[f.name] = f.lines
+	}
+
+	return &asm.Program{
+		Name:         co.opts.Name,
+		Text:         text,
+		Data:         co.buildData(),
+		Entry:        machine.TextBase,
+		Base:         machine.TextBase,
+		Debug:        co.tab,
+		HeapPageSize: co.opts.PageSizeHeap,
+	}, nil
+}
+
+// buildData assembles the final data segment: global initializers plus
+// interned string literals.
+func (co *compiler) buildData() []byte {
+	data := make([]byte, co.chk.dataSize)
+	copy(data, co.chk.data)
+	for s, off := range co.chk.strOff {
+		copy(data[off:], s.val)
+		// NUL terminator is the zero already there.
+	}
+	return data
+}
+
+// recordBranchTargets fills the -xhwcprof branch-target table: targets of
+// branches and calls, plus call return points (pc of call + 8, skipping
+// the delay slot).
+func (co *compiler) recordBranchTargets(text []isa.Instr) {
+	for i := range text {
+		pc := machine.TextBase + uint64(i)*isa.InstrBytes
+		in := &text[i]
+		if t, ok := in.BranchTarget(pc); ok {
+			co.tab.BranchTargets[t] = true
+		}
+		if in.Op == isa.Call {
+			co.tab.BranchTargets[pc+2*isa.InstrBytes] = true
+		}
+		if in.Op == isa.Jmpl {
+			// The instruction after an indirect jump's delay slot is
+			// unreachable by fallthrough, but any function entry is a
+			// potential target; entries are recorded separately below.
+			continue
+		}
+	}
+	for i := range co.tab.Funcs {
+		co.tab.BranchTargets[co.tab.Funcs[i].Start] = true
+	}
+}
+
+// typeID maps a CType to its dwarf table entry, creating it on demand.
+func (co *compiler) typeID(t *CType) dwarf.TypeID {
+	if co.opts.DebugFormat != dwarf.FormatDWARF || t == nil {
+		return dwarf.NoType
+	}
+	switch t.Kind {
+	case KStruct:
+		if id, ok := co.structIDs[t.Struct]; ok {
+			return id
+		}
+		// Register first so self-referential members terminate.
+		id := co.tab.AddType(dwarf.Type{
+			Name: t.Struct.Name,
+			Kind: dwarf.KindStruct,
+			Size: t.Struct.Size,
+		})
+		co.structIDs[t.Struct] = id
+		members := make([]dwarf.Member, len(t.Struct.Fields))
+		for i, f := range t.Struct.Fields {
+			members[i] = dwarf.Member{Name: f.Name, Off: f.Off, Type: co.typeID(f.Type)}
+		}
+		co.tab.Types[id].Members = members
+		return id
+	case KPtr:
+		elem := co.typeID(t.Elem)
+		key := fmt.Sprintf("ptr:%d", elem)
+		if id, ok := co.namedIDs[key]; ok {
+			return id
+		}
+		id := co.tab.AddType(dwarf.Type{Kind: dwarf.KindPointer, Size: 8, Elem: elem})
+		co.namedIDs[key] = id
+		return id
+	case KArray:
+		elem := co.typeID(t.Elem)
+		key := fmt.Sprintf("arr:%d:%d", elem, t.Count)
+		if id, ok := co.namedIDs[key]; ok {
+			return id
+		}
+		id := co.tab.AddType(dwarf.Type{Kind: dwarf.KindArray, Size: t.Size(), Elem: elem, Count: t.Count})
+		co.namedIDs[key] = id
+		return id
+	case KLong, KInt, KChar:
+		name := t.displayName()
+		if id, ok := co.namedIDs[name]; ok {
+			return id
+		}
+		id := co.tab.AddType(dwarf.Type{Name: name, Kind: dwarf.KindBase, Size: t.Size()})
+		co.namedIDs[name] = id
+		return id
+	}
+	return dwarf.NoType
+}

@@ -1,0 +1,120 @@
+package cc
+
+import "testing"
+
+func lexOK(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex("t.mc", src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexOK(t, "long x = 42;")
+	kinds := []tokKind{tokKeyword, tokIdent, tokPunct, tokNumber, tokPunct, tokEOF}
+	texts := []string{"long", "x", "=", "", ";", ""}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i := range kinds {
+		if toks[i].kind != kinds[i] {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].kind, kinds[i])
+		}
+		if texts[i] != "" && toks[i].text != texts[i] {
+			t.Errorf("token %d text = %q, want %q", i, toks[i].text, texts[i])
+		}
+	}
+	if toks[3].val != 42 {
+		t.Errorf("number value = %d", toks[3].val)
+	}
+}
+
+func TestLexHexAndLineNumbers(t *testing.T) {
+	toks := lexOK(t, "0x10\n0xFF\n7")
+	if toks[0].val != 16 || toks[1].val != 255 || toks[2].val != 7 {
+		t.Errorf("values: %d %d %d", toks[0].val, toks[1].val, toks[2].val)
+	}
+	if toks[0].line != 1 || toks[1].line != 2 || toks[2].line != 3 {
+		t.Errorf("lines: %d %d %d", toks[0].line, toks[1].line, toks[2].line)
+	}
+}
+
+func TestLexMaximalMunch(t *testing.T) {
+	toks := lexOK(t, "a->b <<= 1 >> 2 <= 3 == 4 && x++")
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokPunct {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"->", "<<=", ">>", "<=", "==", "&&", "++"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexOK(t, `
+// line comment with long and struct keywords
+a /* block
+comment */ b`)
+	if len(toks) != 3 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Errorf("tokens = %v", toks)
+	}
+	if toks[1].line != 4 {
+		t.Errorf("b on line %d, want 4 (block comment newlines counted)", toks[1].line)
+	}
+}
+
+func TestLexStringsAndChars(t *testing.T) {
+	toks := lexOK(t, `"hi\n\t\"x\"" 'A' '\n' '\\'`)
+	if toks[0].kind != tokString || toks[0].text != "hi\n\t\"x\"" {
+		t.Errorf("string = %q", toks[0].text)
+	}
+	if toks[1].val != 'A' || toks[2].val != '\n' || toks[3].val != '\\' {
+		t.Errorf("chars = %d %d %d", toks[1].val, toks[2].val, toks[3].val)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`'a`,
+		`'\q'`,
+		"/* unterminated",
+		"`",
+		`"bad \q escape"`,
+	} {
+		if _, err := lex("t.mc", src); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := lex("file.mc", "a\nb\n\"oops")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	le, ok := err.(*lexError)
+	if !ok || le.line != 3 || le.file != "file.mc" {
+		t.Errorf("error position = %v", err)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := lexOK(t, "while whilex longlong struct structs")
+	wantKinds := []tokKind{tokKeyword, tokIdent, tokIdent, tokKeyword, tokIdent}
+	for i, k := range wantKinds {
+		if toks[i].kind != k {
+			t.Errorf("token %q kind = %v, want %v", toks[i].text, toks[i].kind, k)
+		}
+	}
+}

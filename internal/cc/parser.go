@@ -1,0 +1,658 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parser is a recursive-descent parser for MC.
+type parser struct {
+	file     string
+	toks     []token
+	pos      int
+	typedefs map[string]bool // typedef names seen so far (needed to parse)
+}
+
+type parseError struct {
+	file string
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.msg)
+}
+
+func parse(src Source, typedefs map[string]bool) (*file, error) {
+	toks, err := lex(src.Name, src.Text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: src.Name, toks: toks, typedefs: typedefs}
+	f := &file{name: src.Name, lines: strings.Split(src.Text, "\n")}
+	for !p.at(tokEOF, "") {
+		d, err := p.topDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.decls = append(f.decls, d)
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+	}
+	return token{}, p.errf("expected %q, found %q", want, p.cur().String())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &parseError{file: p.file, line: p.cur().line, msg: fmt.Sprintf(format, args...)}
+}
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "long", "int", "char", "void", "struct":
+			return true
+		}
+	}
+	return t.kind == tokIdent && p.typedefs[t.text]
+}
+
+// parseType parses a type: base, pointer stars. Array suffixes are parsed
+// by the declarator sites.
+func (p *parser) parseType() (typeExpr, error) {
+	te := typeExpr{arrayLen: -1, line: p.cur().line}
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "long" || t.text == "int" || t.text == "char" || t.text == "void"):
+		te.base = t.text
+		p.pos++
+	case t.kind == tokKeyword && t.text == "struct":
+		p.pos++
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return te, err
+		}
+		te.base = "struct:" + name.text
+	case t.kind == tokIdent && p.typedefs[t.text]:
+		te.base = t.text
+		p.pos++
+	default:
+		return te, p.errf("expected type, found %q", t.String())
+	}
+	for p.accept(tokPunct, "*") {
+		te.ptrDepth++
+	}
+	return te, nil
+}
+
+// arraySuffix parses an optional [N] after a declarator name.
+func (p *parser) arraySuffix(te *typeExpr) error {
+	if !p.accept(tokPunct, "[") {
+		return nil
+	}
+	n, err := p.expect(tokNumber, "")
+	if err != nil {
+		return err
+	}
+	if n.val <= 0 {
+		return p.errf("array length must be positive")
+	}
+	te.arrayLen = n.val
+	_, err = p.expect(tokPunct, "]")
+	return err
+}
+
+func (p *parser) topDecl() (topDecl, error) {
+	line := p.cur().line
+	// typedef TYPE NAME;
+	if p.accept(tokKeyword, "typedef") {
+		te, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		p.typedefs[name.text] = true
+		return &typedefDecl{name: name.text, typ: te, line: line}, nil
+	}
+	// struct NAME; (forward declaration — a no-op, since struct types
+	// may be referenced through pointers before their definition)
+	if p.at(tokKeyword, "struct") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == ";" {
+		p.pos += 3
+		return &structDecl{name: p.toks[p.pos-2].text, fields: nil, line: line, forward: true}, nil
+	}
+	// struct NAME { ... };
+	if p.at(tokKeyword, "struct") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == "{" {
+		p.pos++
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		var fields []paramDecl
+		for !p.accept(tokPunct, "}") {
+			fl := p.cur().line
+			te, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			fname, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.arraySuffix(&te); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			fields = append(fields, paramDecl{name: fname.text, typ: te, line: fl})
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &structDecl{name: name.text, fields: fields, line: line}, nil
+	}
+	// TYPE NAME ( function ) or TYPE NAME [= init] ; (global)
+	te, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "(") {
+		var params []paramDecl
+		if !p.accept(tokPunct, ")") {
+			if p.accept(tokKeyword, "void") {
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			} else {
+				for {
+					pl := p.cur().line
+					pt, err := p.parseType()
+					if err != nil {
+						return nil, err
+					}
+					pn, err := p.expect(tokIdent, "")
+					if err != nil {
+						return nil, err
+					}
+					params = append(params, paramDecl{name: pn.text, typ: pt, line: pl})
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		fd := &funcDecl{name: name.text, ret: te, params: params, line: line}
+		if p.accept(tokPunct, ";") {
+			return fd, nil // forward declaration
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		fd.body = body
+		return fd, nil
+	}
+	// Global variable.
+	if err := p.arraySuffix(&te); err != nil {
+		return nil, err
+	}
+	vd := &varDecl{name: name.text, typ: te, line: line}
+	if p.accept(tokPunct, "=") {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vd.init = init
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	line := p.cur().line
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{line: line}
+	for !p.accept(tokPunct, "}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.accept(tokPunct, ";"):
+		return &blockStmt{line: line}, nil
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: line}
+		if p.accept(tokKeyword, "else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+		return s, nil
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+	case p.accept(tokKeyword, "do"):
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &doWhileStmt{body: body, cond: cond, line: line}, nil
+	case p.accept(tokKeyword, "for"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := &forStmt{line: line}
+		if !p.accept(tokPunct, ";") {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.init = init
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.at(tokPunct, ";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.cond = cond
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ")") {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.post = post
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.body = body
+		return s, nil
+	case p.accept(tokKeyword, "return"):
+		s := &returnStmt{line: line}
+		if !p.at(tokPunct, ";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.x = x
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.accept(tokKeyword, "break"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{line: line}, nil
+	case p.accept(tokKeyword, "continue"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{line: line}, nil
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt parses a declaration, assignment, ++/-- or expression
+// statement (without the trailing semicolon).
+func (p *parser) simpleStmt() (stmt, error) {
+	line := p.cur().line
+	if p.atTypeStart() && !p.at(tokKeyword, "void") {
+		te, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.arraySuffix(&te); err != nil {
+			return nil, err
+		}
+		d := &declStmt{name: name.text, typ: te, line: line}
+		if p.accept(tokPunct, "=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = init
+		}
+		return d, nil
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.pos++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{lhs: lhs, op: t.text, rhs: rhs, line: line}, nil
+		case "++", "--":
+			p.pos++
+			return &incDecStmt{lhs: lhs, op: t.text, line: line}, nil
+		}
+	}
+	return &exprStmt{x: lhs, line: line}, nil
+}
+
+// --- expressions, precedence climbing ---
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (expr, error) { return p.ternary() }
+
+func (p *parser) ternary() (expr, error) {
+	cond, err := p.binary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, "?") {
+		return cond, nil
+	}
+	line := p.cur().line
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &condExpr{cond: cond, then: then, els: els, line: line}, nil
+}
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: t.text, x: lhs, y: rhs, line: t.line}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+		case "(":
+			// Cast? Look ahead for a type.
+			save := p.pos
+			p.pos++
+			if p.atTypeStart() {
+				te, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if p.accept(tokPunct, ")") {
+					x, err := p.unary()
+					if err != nil {
+						return nil, err
+					}
+					return &castExpr{typ: te, x: x, line: t.line}, nil
+				}
+			}
+			p.pos = save
+		}
+	}
+	if t.kind == tokKeyword && t.text == "sizeof" {
+		p.pos++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		te, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &sizeofExpr{typ: te, line: t.line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return x, nil
+		}
+		switch t.text {
+		case "[":
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{x: x, idx: idx, line: t.line}
+		case ".", "->":
+			p.pos++
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &memberExpr{x: x, name: name.text, arrow: t.text == "->", line: t.line}
+		case "(":
+			id, ok := x.(*identExpr)
+			if !ok {
+				return nil, p.errf("call of non-function expression")
+			}
+			p.pos++
+			var args []expr
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			x = &callExpr{fn: id.name, args: args, line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		return &intLit{val: t.val, line: t.line}, nil
+	case tokChar:
+		p.pos++
+		return &intLit{val: t.val, line: t.line}, nil
+	case tokString:
+		p.pos++
+		return &strLit{val: t.text, line: t.line}, nil
+	case tokIdent:
+		p.pos++
+		return &identExpr{name: t.text, line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.String())
+}

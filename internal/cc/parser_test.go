@@ -1,0 +1,199 @@
+package cc
+
+import (
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *file {
+	t.Helper()
+	f, err := parse(Source{Name: "t.mc", Text: src}, map[string]bool{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParseTopLevelKinds(t *testing.T) {
+	f := parseOK(t, `
+typedef long cost_t;
+struct node;
+struct node { long v; struct node *next; };
+long g = 5;
+long table[4];
+long add(long a, long b);
+long add(long a, long b) { return a + b; }
+long main() { return add(g, 1); }
+`)
+	var typedefs, structs, vars, funcs int
+	for _, d := range f.decls {
+		switch d.(type) {
+		case *typedefDecl:
+			typedefs++
+		case *structDecl:
+			structs++
+		case *varDecl:
+			vars++
+		case *funcDecl:
+			funcs++
+		}
+	}
+	if typedefs != 1 || structs != 2 || vars != 2 || funcs != 3 {
+		t.Errorf("decl counts: typedefs=%d structs=%d vars=%d funcs=%d", typedefs, structs, vars, funcs)
+	}
+}
+
+func TestParsePrecedenceShape(t *testing.T) {
+	f := parseOK(t, `long main() { return 1 + 2 * 3; }`)
+	fd := f.decls[0].(*funcDecl)
+	ret := fd.body.stmts[0].(*returnStmt)
+	add, ok := ret.x.(*binaryExpr)
+	if !ok || add.op != "+" {
+		t.Fatalf("root op = %+v", ret.x)
+	}
+	mul, ok := add.y.(*binaryExpr)
+	if !ok || mul.op != "*" {
+		t.Fatalf("rhs = %+v", add.y)
+	}
+}
+
+func TestParseUnaryBindsTighterThanBinary(t *testing.T) {
+	f := parseOK(t, `long main() { return -1 + 2; }`)
+	ret := f.decls[0].(*funcDecl).body.stmts[0].(*returnStmt)
+	add, ok := ret.x.(*binaryExpr)
+	if !ok || add.op != "+" {
+		t.Fatalf("root = %+v", ret.x)
+	}
+	if _, ok := add.x.(*unaryExpr); !ok {
+		t.Fatalf("lhs = %+v, want unary", add.x)
+	}
+}
+
+func TestParseMemberChains(t *testing.T) {
+	f := parseOK(t, `
+struct s { long a; struct s *next; };
+long main() { struct s *p; return p->next->next->a; }`)
+	ret := f.decls[1].(*funcDecl).body.stmts[1].(*returnStmt)
+	m1, ok := ret.x.(*memberExpr)
+	if !ok || m1.name != "a" || !m1.arrow {
+		t.Fatalf("outer member = %+v", ret.x)
+	}
+	m2, ok := m1.x.(*memberExpr)
+	if !ok || m2.name != "next" {
+		t.Fatalf("middle member = %+v", m1.x)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f := parseOK(t, `
+struct s { long a; };
+long main() {
+	long x;
+	x = (long) 5;
+	x = (x + 1);
+	return x;
+}`)
+	body := f.decls[1].(*funcDecl).body.stmts
+	cast := body[1].(*assignStmt)
+	if _, ok := cast.rhs.(*castExpr); !ok {
+		t.Errorf("(long)5 parsed as %+v", cast.rhs)
+	}
+	paren := body[2].(*assignStmt)
+	if _, ok := paren.rhs.(*binaryExpr); !ok {
+		t.Errorf("(x+1) parsed as %+v", paren.rhs)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	parseOK(t, `long main() {
+	long i;
+	for (;;) { break; }
+	for (i = 0; ; i++) { break; }
+	for (; i < 10;) { i++; }
+	for (long j = 0; j < 3; j++) { }
+	return 0;
+}`)
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	f := parseOK(t, `long main() {
+	if (1)
+		if (2) { return 1; }
+		else { return 2; }
+	return 3;
+}`)
+	outer := f.decls[0].(*funcDecl).body.stmts[0].(*ifStmt)
+	if outer.els != nil {
+		t.Error("else bound to outer if; must bind to nearest")
+	}
+	inner := outer.then.(*ifStmt)
+	if inner.els == nil {
+		t.Error("inner if lost its else")
+	}
+}
+
+func TestParseErrorsWithPositions(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		{"long main() {\n\treturn 1 +;\n}", 2},
+		{"long main() {\n\tlong 5x;\n}", 2},
+		{"struct s { long a };\nlong main() { return 0; }", 1},
+		{"long f(long) { return 0; }", 1},
+		{"long main() { while 1 { } }", 1},
+		{"long main() { x = ; }", 1},
+		{"long main() { a[; }", 1},
+		{"long main() { return 0; } }", 1},
+	}
+	for _, c := range cases {
+		_, err := parse(Source{Name: "t.mc", Text: c.src}, map[string]bool{})
+		if err == nil {
+			t.Errorf("parse(%q) succeeded", c.src)
+			continue
+		}
+		if pe, ok := err.(*parseError); ok && c.line > 0 && pe.line != c.line {
+			t.Errorf("parse(%q) error on line %d, want %d: %v", c.src, pe.line, c.line, err)
+		}
+	}
+}
+
+func TestParseTypedefNameUsableAfterDecl(t *testing.T) {
+	typedefs := map[string]bool{}
+	_, err := parse(Source{Name: "a.mc", Text: `
+typedef long money_t;
+money_t balance;
+long main() { money_t x; x = balance; return x; }
+`}, typedefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !typedefs["money_t"] {
+		t.Error("typedef not registered for later files")
+	}
+}
+
+func TestParseArraySuffixes(t *testing.T) {
+	f := parseOK(t, `
+long flat[10];
+struct s { long a; };
+struct s table[4];
+long main() { return 0; }`)
+	vd := f.decls[0].(*varDecl)
+	if vd.typ.arrayLen != 10 {
+		t.Errorf("flat arrayLen = %d", vd.typ.arrayLen)
+	}
+	if _, err := parse(Source{Name: "t.mc", Text: "long bad[0];"}, map[string]bool{}); err == nil {
+		t.Error("zero-length array accepted")
+	}
+	if _, err := parse(Source{Name: "t.mc", Text: "long bad[x];"}, map[string]bool{}); err == nil {
+		t.Error("non-constant array length accepted")
+	}
+}
+
+func TestParseVoidParamList(t *testing.T) {
+	f := parseOK(t, `long f(void) { return 1; } long main() { return f(); }`)
+	fd := f.decls[0].(*funcDecl)
+	if len(fd.params) != 0 {
+		t.Errorf("f(void) has %d params", len(fd.params))
+	}
+}

@@ -1,0 +1,285 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsprof/internal/machine"
+	"dsprof/internal/xrand"
+)
+
+// Whole-program differential fuzzing: generate random structured programs
+// (assignments, compound assignments, if/else, bounded loops over a fixed
+// set of long variables), compile and run them, and compare every
+// write_long against a direct Go interpretation of the same program.
+
+type progGen struct {
+	r    *xrand.Rand
+	vars []string
+}
+
+// interp mirrors the generated program's semantics over variable state.
+type interpState struct {
+	vars map[string]int64
+	out  []int64
+}
+
+// stmtSpec is a tiny AST the generator both prints as MC and interprets.
+type stmtSpec interface{ exec(*interpState) }
+
+type assignSpec struct {
+	lhs string
+	op  string
+	rhs exprSpec
+}
+
+type ifSpec struct {
+	cond      exprSpec
+	then, els []stmtSpec
+}
+
+type loopSpec struct {
+	v     string
+	count int64
+	body  []stmtSpec
+}
+
+type writeSpec struct{ x exprSpec }
+
+type exprSpec struct {
+	// kind: 0 literal, 1 var, 2 binary
+	kind int
+	lit  int64
+	v    string
+	op   string
+	l, r *exprSpec
+}
+
+func (e *exprSpec) eval(st *interpState) int64 {
+	switch e.kind {
+	case 0:
+		return e.lit
+	case 1:
+		return st.vars[e.v]
+	}
+	a, b := e.l.eval(st), e.r.eval(st)
+	switch e.op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "<":
+		if a < b {
+			return 1
+		}
+		return 0
+	case "==":
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func (e *exprSpec) String() string {
+	switch e.kind {
+	case 0:
+		if e.lit < 0 {
+			return fmt.Sprintf("(%d)", e.lit)
+		}
+		return fmt.Sprintf("%d", e.lit)
+	case 1:
+		return e.v
+	}
+	return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r)
+}
+
+func (s *assignSpec) exec(st *interpState) {
+	v := s.rhs.eval(st)
+	switch s.op {
+	case "=":
+		st.vars[s.lhs] = v
+	case "+=":
+		st.vars[s.lhs] += v
+	case "-=":
+		st.vars[s.lhs] -= v
+	case "^=":
+		st.vars[s.lhs] ^= v
+	}
+}
+
+func (s *ifSpec) exec(st *interpState) {
+	body := s.els
+	if s.cond.eval(st) != 0 {
+		body = s.then
+	}
+	for _, t := range body {
+		t.exec(st)
+	}
+}
+
+func (s *loopSpec) exec(st *interpState) {
+	for st.vars[s.v] = 0; st.vars[s.v] < s.count; st.vars[s.v]++ {
+		for _, t := range s.body {
+			t.exec(st)
+		}
+	}
+}
+
+func (s *writeSpec) exec(st *interpState) {
+	st.out = append(st.out, s.x.eval(st))
+}
+
+func (g *progGen) expr(depth int) exprSpec {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return exprSpec{kind: 0, lit: int64(g.r.Intn(200) - 100)}
+		}
+		return exprSpec{kind: 1, v: g.vars[g.r.Intn(len(g.vars))]}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", "=="}
+	l, r := g.expr(depth-1), g.expr(depth-1)
+	return exprSpec{kind: 2, op: ops[g.r.Intn(len(ops))], l: &l, r: &r}
+}
+
+func (g *progGen) stmts(n, depth int) []stmtSpec {
+	var out []stmtSpec
+	for i := 0; i < n; i++ {
+		switch k := g.r.Intn(10); {
+		case k < 5:
+			ops := []string{"=", "+=", "-=", "^="}
+			out = append(out, &assignSpec{
+				lhs: g.vars[g.r.Intn(len(g.vars))],
+				op:  ops[g.r.Intn(len(ops))],
+				rhs: g.expr(2),
+			})
+		case k < 7 && depth > 0:
+			out = append(out, &ifSpec{
+				cond: g.expr(2),
+				then: g.stmts(1+g.r.Intn(2), depth-1),
+				els:  g.stmts(g.r.Intn(2), depth-1),
+			})
+		case k < 8 && depth > 0:
+			// Loop variable is dedicated (v0) to keep semantics simple:
+			// the generator never assigns v0 inside loop bodies.
+			out = append(out, &loopSpec{
+				v:     "v0",
+				count: int64(1 + g.r.Intn(5)),
+				body:  g.loopBody(1+g.r.Intn(2), depth-1),
+			})
+		default:
+			out = append(out, &writeSpec{x: g.expr(2)})
+		}
+	}
+	return out
+}
+
+// loopBody generates statements that never touch the loop variable v0.
+func (g *progGen) loopBody(n, depth int) []stmtSpec {
+	saved := g.vars
+	g.vars = g.vars[1:] // drop v0 from assignment targets
+	defer func() { g.vars = saved }()
+	var out []stmtSpec
+	for i := 0; i < n; i++ {
+		if g.r.Intn(2) == 0 {
+			ops := []string{"=", "+=", "-=", "^="}
+			out = append(out, &assignSpec{
+				lhs: g.vars[g.r.Intn(len(g.vars))],
+				op:  ops[g.r.Intn(len(ops))],
+				rhs: g.exprNoV0(2),
+			})
+		} else {
+			out = append(out, &writeSpec{x: g.exprNoV0(2)})
+		}
+	}
+	return out
+}
+
+// exprNoV0 is like expr but may still read v0 — reading is fine.
+func (g *progGen) exprNoV0(depth int) exprSpec { return g.expr(depth) }
+
+func renderStmts(sb *strings.Builder, stmts []stmtSpec, indent string) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *assignSpec:
+			fmt.Fprintf(sb, "%s%s %s %s;\n", indent, s.lhs, s.op, s.rhs.String())
+		case *ifSpec:
+			fmt.Fprintf(sb, "%sif (%s) {\n", indent, s.cond.String())
+			renderStmts(sb, s.then, indent+"\t")
+			fmt.Fprintf(sb, "%s} else {\n", indent)
+			renderStmts(sb, s.els, indent+"\t")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *loopSpec:
+			fmt.Fprintf(sb, "%sfor (%s = 0; %s < %d; %s++) {\n", indent, s.v, s.v, s.count, s.v)
+			renderStmts(sb, s.body, indent+"\t")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case *writeSpec:
+			fmt.Fprintf(sb, "%swrite_long(%s);\n", indent, s.x.String())
+		}
+	}
+}
+
+func TestRandomProgramsDifferential(t *testing.T) {
+	r := xrand.New(987654)
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{r: r, vars: []string{"v0", "v1", "v2", "v3"}}
+		prog := g.stmts(6+r.Intn(6), 2)
+
+		// Interpret.
+		st := &interpState{vars: map[string]int64{}}
+		for _, s := range prog {
+			s.exec(st)
+		}
+
+		// Render, compile, run.
+		var sb strings.Builder
+		sb.WriteString("long main() {\n")
+		for _, v := range g.vars {
+			fmt.Fprintf(&sb, "\tlong %s;\n\t%s = 0;\n", v, v)
+		}
+		renderStmts(&sb, prog, "\t")
+		sb.WriteString("\treturn 0;\n}\n")
+		src := sb.String()
+
+		compiled, err := Compile([]Source{{Name: "fuzz.mc", Text: src}}, Options{HWCProf: trial%2 == 0})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		cfg := machine.DefaultConfig()
+		cfg.MaxInstrs = 10_000_000
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadProgram(compiled.Text, compiled.Data, compiled.Entry); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d: run: %v\n%s", trial, err, src)
+		}
+		got := m.OutputLongs()
+		if len(got) != len(st.out) {
+			t.Fatalf("trial %d: %d outputs, interpreter %d\n%s", trial, len(got), len(st.out), src)
+		}
+		for i := range got {
+			if got[i] != st.out[i] {
+				t.Fatalf("trial %d output %d: machine %d, interpreter %d\n%s",
+					trial, i, got[i], st.out[i], src)
+			}
+		}
+	}
+}

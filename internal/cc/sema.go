@@ -1,0 +1,548 @@
+package cc
+
+import (
+	"fmt"
+)
+
+// checked is the semantically analyzed program handed to codegen.
+type checked struct {
+	files    []*file
+	structs  map[string]*StructInfo
+	typedefs map[string]*CType
+	globals  []*Global
+	globalBy map[string]*Global
+	funcs    []*Function
+	funcBy   map[string]*Function
+
+	exprType map[expr]*CType
+	identRef map[*identExpr]any // *LocalVar or *Global
+	declVar  map[*declStmt]*LocalVar
+	constVal map[expr]int64 // folded integer constants
+	strOff   map[*strLit]int64
+	dataSize int64
+	data     []byte
+}
+
+// Global is a global variable after layout.
+type Global struct {
+	Name    string
+	Type    *CType
+	Off     int64 // offset within the data segment
+	Init    int64
+	HasInit bool
+	File    string
+	Line    int
+}
+
+// Function is a checked function.
+type Function struct {
+	Name   string
+	Ret    *CType
+	Params []*LocalVar
+	Locals []*LocalVar // includes params
+	Body   *blockStmt
+	File   string
+	Line   int
+	src    *file
+}
+
+// LocalVar is a local variable or parameter.
+type LocalVar struct {
+	Name      string
+	Type      *CType
+	AddrTaken bool
+	IsParam   bool
+}
+
+// builtin describes a runtime builtin function.
+type builtin struct {
+	name    string
+	params  []*CType // nil entry means "any pointer"
+	ret     *CType
+	service int64 // machine syscall number, or special handling
+}
+
+type semaError struct {
+	file string
+	line int
+	msg  string
+}
+
+func (e *semaError) Error() string { return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.msg) }
+
+type checker struct {
+	*checked
+	curFile *file
+	curFn   *Function
+	scopes  []map[string]*LocalVar
+}
+
+func (c *checker) errf(line int, format string, args ...any) error {
+	name := "?"
+	if c.curFile != nil {
+		name = c.curFile.name
+	}
+	return &semaError{file: name, line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// analyze type-checks the parsed files and lays out globals.
+func analyze(files []*file) (*checked, error) {
+	c := &checker{checked: &checked{
+		files:    files,
+		structs:  make(map[string]*StructInfo),
+		typedefs: make(map[string]*CType),
+		globalBy: make(map[string]*Global),
+		funcBy:   make(map[string]*Function),
+		exprType: make(map[expr]*CType),
+		identRef: make(map[*identExpr]any),
+		declVar:  make(map[*declStmt]*LocalVar),
+		constVal: make(map[expr]int64),
+		strOff:   make(map[*strLit]int64),
+	}}
+	// Pass 1: types (structs, typedefs) in order of appearance.
+	for _, f := range files {
+		c.curFile = f
+		for _, d := range f.decls {
+			switch d := d.(type) {
+			case *structDecl:
+				if err := c.declStruct(d); err != nil {
+					return nil, err
+				}
+			case *typedefDecl:
+				ty, err := c.resolveType(d.typ)
+				if err != nil {
+					return nil, err
+				}
+				if ty.IsInteger() && ty.Typedef == "" {
+					alias := *ty
+					alias.Typedef = d.name
+					ty = &alias
+				}
+				if _, dup := c.typedefs[d.name]; dup {
+					return nil, c.errf(d.line, "typedef %s redefined", d.name)
+				}
+				c.typedefs[d.name] = ty
+			}
+		}
+	}
+	// Pass 2: globals and function signatures.
+	for _, f := range files {
+		c.curFile = f
+		for _, d := range f.decls {
+			switch d := d.(type) {
+			case *varDecl:
+				if err := c.declGlobal(d); err != nil {
+					return nil, err
+				}
+			case *funcDecl:
+				if err := c.declFunc(d); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Pass 3: function bodies.
+	for _, fn := range c.funcs {
+		if fn.Body == nil {
+			return nil, &semaError{file: fn.File, line: fn.Line, msg: fmt.Sprintf("function %s declared but never defined", fn.Name)}
+		}
+		c.curFile = fn.src
+		c.curFn = fn
+		c.scopes = []map[string]*LocalVar{make(map[string]*LocalVar)}
+		for _, p := range fn.Params {
+			c.scopes[0][p.Name] = p
+		}
+		if err := c.checkStmt(fn.Body); err != nil {
+			return nil, err
+		}
+	}
+	if main := c.funcBy["main"]; main == nil {
+		return nil, &semaError{file: files[0].name, line: 1, msg: "no main function"}
+	}
+	// Globals were laid out during pass 2; finalize the data image.
+	c.buildData()
+	return c.checked, nil
+}
+
+func (c *checker) declStruct(d *structDecl) error {
+	if d.forward {
+		if _, ok := c.structs[d.name]; !ok {
+			c.structs[d.name] = &StructInfo{Name: d.name}
+		}
+		return nil
+	}
+	if prev, dup := c.structs[d.name]; dup && prev.Complete {
+		return c.errf(d.line, "struct %s redefined", d.name)
+	}
+	si := c.structs[d.name]
+	if si == nil {
+		si = &StructInfo{Name: d.name}
+		c.structs[d.name] = si // visible to its own fields (via pointers)
+	}
+	for _, fd := range d.fields {
+		ty, err := c.resolveType(fd.typ)
+		if err != nil {
+			return err
+		}
+		if ty.Kind == KStruct && !ty.Struct.Complete {
+			return c.errf(fd.line, "field %s has incomplete type struct %s", fd.name, ty.Struct.Name)
+		}
+		if ty.Kind == KVoid {
+			return c.errf(fd.line, "field %s has void type", fd.name)
+		}
+		if _, f := si.Field(fd.name); f != nil {
+			return c.errf(fd.line, "duplicate field %s in struct %s", fd.name, d.name)
+		}
+		si.Fields = append(si.Fields, Field{Name: fd.name, Type: ty})
+	}
+	if err := si.layout(); err != nil {
+		return c.errf(d.line, "%v", err)
+	}
+	return nil
+}
+
+// resolveType converts a syntactic type to a *CType. Structs may be
+// referenced before definition only through pointers.
+func (c *checker) resolveType(te typeExpr) (*CType, error) {
+	var base *CType
+	switch te.base {
+	case "long":
+		base = tyLong
+	case "int":
+		base = tyInt
+	case "char":
+		base = tyChar
+	case "void":
+		base = tyVoid
+	default:
+		if len(te.base) > 7 && te.base[:7] == "struct:" {
+			name := te.base[7:]
+			si, ok := c.structs[name]
+			if !ok {
+				if te.ptrDepth == 0 {
+					return nil, c.errf(te.line, "unknown struct %s", name)
+				}
+				// Forward reference through a pointer.
+				si = &StructInfo{Name: name}
+				c.structs[name] = si
+			}
+			base = &CType{Kind: KStruct, Struct: si}
+		} else if td, ok := c.typedefs[te.base]; ok {
+			base = td
+		} else {
+			return nil, c.errf(te.line, "unknown type %s", te.base)
+		}
+	}
+	for i := 0; i < te.ptrDepth; i++ {
+		base = ptrTo(base)
+	}
+	if te.arrayLen >= 0 {
+		if base.Kind == KVoid {
+			return nil, c.errf(te.line, "array of void")
+		}
+		base = &CType{Kind: KArray, Elem: base, Count: te.arrayLen}
+	}
+	if base.Kind == KVoid && te.ptrDepth > 0 {
+		return nil, c.errf(te.line, "void pointers are not supported; use char *")
+	}
+	return base, nil
+}
+
+func (c *checker) declGlobal(d *varDecl) error {
+	if _, dup := c.globalBy[d.name]; dup {
+		return c.errf(d.line, "global %s redefined", d.name)
+	}
+	ty, err := c.resolveType(d.typ)
+	if err != nil {
+		return err
+	}
+	if ty.Kind == KVoid || ty.Size() == 0 {
+		return c.errf(d.line, "global %s has invalid type %s", d.name, ty)
+	}
+	g := &Global{Name: d.name, Type: ty, File: c.curFile.name, Line: d.line}
+	if d.init != nil {
+		v, ok := c.foldConst(d.init)
+		if !ok {
+			return c.errf(d.line, "global initializer for %s must be a constant", d.name)
+		}
+		if !ty.IsScalar() {
+			return c.errf(d.line, "cannot initialize aggregate %s", d.name)
+		}
+		g.Init, g.HasInit = v, true
+	}
+	a := ty.Align()
+	c.dataSize = (c.dataSize + a - 1) &^ (a - 1)
+	g.Off = c.dataSize
+	c.dataSize += ty.Size()
+	c.globals = append(c.globals, g)
+	c.globalBy[d.name] = g
+	return nil
+}
+
+func (c *checker) declFunc(d *funcDecl) error {
+	ret, err := c.resolveType(d.ret)
+	if err != nil {
+		return err
+	}
+	if ret.Kind != KVoid && !ret.IsScalar() {
+		return c.errf(d.line, "function %s returns non-scalar type %s", d.name, ret)
+	}
+	if len(d.params) > 6 {
+		return c.errf(d.line, "function %s has more than 6 parameters", d.name)
+	}
+	prev := c.funcBy[d.name]
+	var fn *Function
+	if prev != nil {
+		if prev.Body != nil && d.body != nil {
+			return c.errf(d.line, "function %s redefined", d.name)
+		}
+		fn = prev
+	} else {
+		fn = &Function{Name: d.name, Ret: ret, File: c.curFile.name, Line: d.line}
+		for _, pd := range d.params {
+			pt, err := c.resolveType(pd.typ)
+			if err != nil {
+				return err
+			}
+			if !pt.IsScalar() {
+				return c.errf(pd.line, "parameter %s has non-scalar type %s", pd.name, pt)
+			}
+			lv := &LocalVar{Name: pd.name, Type: pt, IsParam: true}
+			fn.Params = append(fn.Params, lv)
+			fn.Locals = append(fn.Locals, lv)
+		}
+		c.funcs = append(c.funcs, fn)
+		c.funcBy[d.name] = fn
+	}
+	if d.body != nil {
+		fn.Body = d.body
+		fn.src = c.curFile
+		fn.File = c.curFile.name
+		fn.Line = d.line
+	}
+	return nil
+}
+
+// buildData materializes the data segment image: global initializers and
+// string literals.
+func (c *checker) buildData() {
+	c.data = make([]byte, c.dataSize)
+	for _, g := range c.globals {
+		if !g.HasInit {
+			continue
+		}
+		v := uint64(g.Init)
+		for i := int64(0); i < g.Type.Size(); i++ {
+			c.data[g.Off+i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// internString appends a string literal to the data segment (NUL
+// terminated) and records its offset.
+func (c *checker) internString(s *strLit) int64 {
+	if off, ok := c.strOff[s]; ok {
+		return off
+	}
+	off := c.dataSize
+	c.strOff[s] = off
+	c.dataSize += int64(len(s.val)) + 1
+	return off
+}
+
+// --- statements ---
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*LocalVar)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *LocalVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if lv, ok := c.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s stmt) error {
+	switch s := s.(type) {
+	case *blockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, st := range s.stmts {
+			if err := c.checkStmt(st); err != nil {
+				return err
+			}
+		}
+	case *declStmt:
+		ty, err := c.resolveType(s.typ)
+		if err != nil {
+			return err
+		}
+		if ty.Kind == KVoid || ty.Size() == 0 {
+			return c.errf(s.line, "local %s has invalid type %s", s.name, ty)
+		}
+		if _, dup := c.scopes[len(c.scopes)-1][s.name]; dup {
+			return c.errf(s.line, "local %s redeclared in this scope", s.name)
+		}
+		lv := &LocalVar{Name: s.name, Type: ty}
+		c.scopes[len(c.scopes)-1][s.name] = lv
+		c.curFn.Locals = append(c.curFn.Locals, lv)
+		c.declVar[s] = lv
+		if s.init != nil {
+			it, err := c.checkExpr(s.init)
+			if err != nil {
+				return err
+			}
+			if err := c.assignable(ty, it, s.init, s.line); err != nil {
+				return err
+			}
+		}
+	case *exprStmt:
+		_, err := c.checkExpr(s.x)
+		return err
+	case *assignStmt:
+		lt, err := c.checkExpr(s.lhs)
+		if err != nil {
+			return err
+		}
+		if !c.isLvalue(s.lhs) {
+			return c.errf(s.line, "assignment to non-lvalue")
+		}
+		rt, err := c.checkExpr(s.rhs)
+		if err != nil {
+			return err
+		}
+		if s.op == "=" {
+			return c.assignable(lt, rt, s.rhs, s.line)
+		}
+		// Compound: lhs op rhs must type-check like the binary op.
+		if lt.Kind == KPtr && (s.op == "+=" || s.op == "-=") {
+			if !rt.IsInteger() {
+				return c.errf(s.line, "pointer %s requires integer operand", s.op)
+			}
+			return nil
+		}
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return c.errf(s.line, "compound assignment requires integer operands")
+		}
+	case *incDecStmt:
+		lt, err := c.checkExpr(s.lhs)
+		if err != nil {
+			return err
+		}
+		if !c.isLvalue(s.lhs) {
+			return c.errf(s.line, "%s of non-lvalue", s.op)
+		}
+		if !lt.IsInteger() && lt.Kind != KPtr {
+			return c.errf(s.line, "%s requires integer or pointer", s.op)
+		}
+	case *ifStmt:
+		if err := c.checkCond(s.cond, s.line); err != nil {
+			return err
+		}
+		if err := c.checkStmt(s.then); err != nil {
+			return err
+		}
+		if s.els != nil {
+			return c.checkStmt(s.els)
+		}
+	case *whileStmt:
+		if err := c.checkCond(s.cond, s.line); err != nil {
+			return err
+		}
+		return c.checkStmt(s.body)
+	case *doWhileStmt:
+		if err := c.checkStmt(s.body); err != nil {
+			return err
+		}
+		return c.checkCond(s.cond, s.line)
+	case *forStmt:
+		c.pushScope()
+		defer c.popScope()
+		if s.init != nil {
+			if err := c.checkStmt(s.init); err != nil {
+				return err
+			}
+		}
+		if s.cond != nil {
+			if err := c.checkCond(s.cond, s.line); err != nil {
+				return err
+			}
+		}
+		if s.post != nil {
+			if err := c.checkStmt(s.post); err != nil {
+				return err
+			}
+		}
+		return c.checkStmt(s.body)
+	case *returnStmt:
+		if c.curFn.Ret.Kind == KVoid {
+			if s.x != nil {
+				return c.errf(s.line, "void function %s returns a value", c.curFn.Name)
+			}
+			return nil
+		}
+		if s.x == nil {
+			return c.errf(s.line, "function %s must return a value", c.curFn.Name)
+		}
+		rt, err := c.checkExpr(s.x)
+		if err != nil {
+			return err
+		}
+		return c.assignable(c.curFn.Ret, rt, s.x, s.line)
+	case *breakStmt, *continueStmt:
+		// Loop-nesting validation happens in codegen, which tracks labels.
+	}
+	return nil
+}
+
+func (c *checker) checkCond(e expr, line int) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if !t.IsScalar() {
+		return c.errf(line, "condition has non-scalar type %s", t)
+	}
+	return nil
+}
+
+// assignable checks whether a value of type from can be assigned to type
+// to. Integer types interconvert; pointers must match exactly, except the
+// constant 0 and char* (the malloc result type) convert to any pointer.
+func (c *checker) assignable(to, from *CType, fromExpr expr, line int) error {
+	if to.IsInteger() && from.IsInteger() {
+		return nil
+	}
+	if to.Kind == KPtr {
+		if from.Kind == KPtr && (to.Elem.same(from.Elem) || from.Elem.Kind == KChar || to.Elem.Kind == KChar) {
+			return nil
+		}
+		if v, ok := c.constVal[fromExpr]; ok && v == 0 {
+			return nil
+		}
+		if from.Kind == KArray && to.Elem.same(from.Elem) {
+			return nil
+		}
+	}
+	return c.errf(line, "cannot assign %s to %s", from, to)
+}
+
+func (c *checker) isLvalue(e expr) bool {
+	switch e := e.(type) {
+	case *identExpr:
+		_, isVar := c.identRef[e].(*LocalVar)
+		_, isGlob := c.identRef[e].(*Global)
+		if t := c.exprType[e]; t != nil && t.Kind == KArray {
+			return false
+		}
+		return isVar || isGlob
+	case *unaryExpr:
+		return e.op == "*"
+	case *memberExpr, *indexExpr:
+		return true
+	}
+	return false
+}

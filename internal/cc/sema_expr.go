@@ -1,0 +1,406 @@
+package cc
+
+import "dsprof/internal/machine"
+
+// builtins available to MC programs, mapped to runtime services.
+var builtins = map[string]*builtin{
+	"malloc":     {name: "malloc", params: []*CType{tyLong}, ret: ptrTo(tyChar), service: machine.SysMalloc},
+	"calloc":     {name: "calloc", params: []*CType{tyLong, tyLong}, ret: ptrTo(tyChar), service: machine.SysCalloc},
+	"free":       {name: "free", params: []*CType{nil}, ret: tyVoid, service: machine.SysFree},
+	"read_long":  {name: "read_long", params: nil, ret: tyLong, service: machine.SysReadLong},
+	"write_long": {name: "write_long", params: []*CType{tyLong}, ret: tyVoid, service: machine.SysWriteLong},
+	"puts":       {name: "puts", params: []*CType{ptrTo(tyChar)}, ret: tyVoid, service: machine.SysPuts},
+	"putc":       {name: "putc", params: []*CType{tyLong}, ret: tyVoid, service: machine.SysPutc},
+	"exit":       {name: "exit", params: []*CType{tyLong}, ret: tyVoid, service: machine.SysExit},
+	"cycles":     {name: "cycles", params: nil, ret: tyLong, service: machine.SysCycles},
+	"input_left": {name: "input_left", params: nil, ret: tyLong, service: machine.SysInputLeft},
+	// prefetch compiles to a Prefetch instruction, not a syscall.
+	"prefetch": {name: "prefetch", params: []*CType{nil}, ret: tyVoid, service: -1},
+}
+
+// checkExpr type-checks e, memoizing the type, and folds constants.
+func (c *checker) checkExpr(e expr) (*CType, error) {
+	t, err := c.checkExprInner(e)
+	if err != nil {
+		return nil, err
+	}
+	c.exprType[e] = t
+	if v, ok := c.fold(e); ok {
+		c.constVal[e] = v
+	}
+	return t, nil
+}
+
+// decay converts array-typed expressions to element pointers.
+func decay(t *CType) *CType {
+	if t.Kind == KArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+func (c *checker) checkExprInner(e expr) (*CType, error) {
+	switch e := e.(type) {
+	case *intLit:
+		return tyLong, nil
+	case *strLit:
+		c.internString(e)
+		return ptrTo(tyChar), nil
+	case *identExpr:
+		if lv := c.lookup(e.name); lv != nil {
+			c.identRef[e] = lv
+			return lv.Type, nil
+		}
+		if g := c.globalBy[e.name]; g != nil {
+			c.identRef[e] = g
+			return g.Type, nil
+		}
+		return nil, c.errf(e.line, "undefined identifier %s", e.name)
+	case *unaryExpr:
+		xt, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case "-", "~":
+			if !xt.IsInteger() {
+				return nil, c.errf(e.line, "unary %s requires integer", e.op)
+			}
+			return tyLong, nil
+		case "!":
+			if !decay(xt).IsScalar() {
+				return nil, c.errf(e.line, "! requires scalar")
+			}
+			return tyLong, nil
+		case "*":
+			xt = decay(xt)
+			if xt.Kind != KPtr {
+				return nil, c.errf(e.line, "dereference of non-pointer %s", xt)
+			}
+			return xt.Elem, nil
+		case "&":
+			if !c.isLvalue(e.x) {
+				// &array is permitted and yields the element pointer.
+				if t := c.exprType[e.x]; t != nil && t.Kind == KArray {
+					return ptrTo(t.Elem), nil
+				}
+				return nil, c.errf(e.line, "address of non-lvalue")
+			}
+			if id, ok := e.x.(*identExpr); ok {
+				if lv, ok := c.identRef[id].(*LocalVar); ok {
+					lv.AddrTaken = true
+				}
+			}
+			return ptrTo(xt), nil
+		}
+		return nil, c.errf(e.line, "unknown unary operator %s", e.op)
+	case *binaryExpr:
+		xt, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		yt, err := c.checkExpr(e.y)
+		if err != nil {
+			return nil, err
+		}
+		xt, yt = decay(xt), decay(yt)
+		switch e.op {
+		case "+":
+			if xt.Kind == KPtr && yt.IsInteger() {
+				return xt, nil
+			}
+			if yt.Kind == KPtr && xt.IsInteger() {
+				return yt, nil
+			}
+		case "-":
+			if xt.Kind == KPtr && yt.IsInteger() {
+				return xt, nil
+			}
+			if xt.Kind == KPtr && yt.Kind == KPtr {
+				if !xt.Elem.same(yt.Elem) {
+					return nil, c.errf(e.line, "pointer subtraction of incompatible types")
+				}
+				return tyLong, nil
+			}
+		case "==", "!=", "<", "<=", ">", ">=":
+			okPtr := xt.Kind == KPtr && (yt.Kind == KPtr || c.isZero(e.y)) ||
+				yt.Kind == KPtr && (xt.Kind == KPtr || c.isZero(e.x))
+			if okPtr || (xt.IsInteger() && yt.IsInteger()) {
+				return tyLong, nil
+			}
+			return nil, c.errf(e.line, "invalid comparison %s %s %s", xt, e.op, yt)
+		case "&&", "||":
+			if xt.IsScalar() && yt.IsScalar() {
+				return tyLong, nil
+			}
+			return nil, c.errf(e.line, "logical %s requires scalars", e.op)
+		}
+		if xt.IsInteger() && yt.IsInteger() {
+			return tyLong, nil
+		}
+		return nil, c.errf(e.line, "invalid operands to %s: %s and %s", e.op, xt, yt)
+	case *condExpr:
+		if err := c.checkCond(e.cond, e.line); err != nil {
+			return nil, err
+		}
+		tt, err := c.checkExpr(e.then)
+		if err != nil {
+			return nil, err
+		}
+		et, err := c.checkExpr(e.els)
+		if err != nil {
+			return nil, err
+		}
+		tt, et = decay(tt), decay(et)
+		if tt.IsInteger() && et.IsInteger() {
+			return tyLong, nil
+		}
+		if tt.same(et) {
+			return tt, nil
+		}
+		if tt.Kind == KPtr && c.isZero(e.els) {
+			return tt, nil
+		}
+		if et.Kind == KPtr && c.isZero(e.then) {
+			return et, nil
+		}
+		return nil, c.errf(e.line, "mismatched ?: arms: %s and %s", tt, et)
+	case *callExpr:
+		if b, ok := builtins[e.fn]; ok {
+			return c.checkBuiltin(e, b)
+		}
+		fn := c.funcBy[e.fn]
+		if fn == nil {
+			return nil, c.errf(e.line, "call of undefined function %s", e.fn)
+		}
+		if len(e.args) != len(fn.Params) {
+			return nil, c.errf(e.line, "%s takes %d arguments, got %d", e.fn, len(fn.Params), len(e.args))
+		}
+		for i, a := range e.args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.assignable(fn.Params[i].Type, decay(at), a, e.line); err != nil {
+				return nil, err
+			}
+		}
+		return fn.Ret, nil
+	case *indexExpr:
+		xt, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		it, err := c.checkExpr(e.idx)
+		if err != nil {
+			return nil, err
+		}
+		xt = decay(xt)
+		if xt.Kind != KPtr {
+			return nil, c.errf(e.line, "indexing non-pointer %s", xt)
+		}
+		if !it.IsInteger() {
+			return nil, c.errf(e.line, "array index must be integer")
+		}
+		return xt.Elem, nil
+	case *memberExpr:
+		xt, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		var si *StructInfo
+		if e.arrow {
+			xt = decay(xt)
+			if xt.Kind != KPtr || xt.Elem.Kind != KStruct {
+				return nil, c.errf(e.line, "-> on non-struct-pointer %s", xt)
+			}
+			si = xt.Elem.Struct
+		} else {
+			if xt.Kind != KStruct {
+				return nil, c.errf(e.line, ". on non-struct %s", xt)
+			}
+			si = xt.Struct
+		}
+		if !si.Complete {
+			return nil, c.errf(e.line, "struct %s is incomplete", si.Name)
+		}
+		_, f := si.Field(e.name)
+		if f == nil {
+			return nil, c.errf(e.line, "struct %s has no field %s", si.Name, e.name)
+		}
+		return f.Type, nil
+	case *castExpr:
+		to, err := c.resolveType(e.typ)
+		if err != nil {
+			return nil, err
+		}
+		xt, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		xt = decay(xt)
+		if !to.IsScalar() || !xt.IsScalar() {
+			return nil, c.errf(e.line, "invalid cast from %s to %s", xt, to)
+		}
+		return to, nil
+	case *sizeofExpr:
+		t, err := c.resolveType(e.typ)
+		if err != nil {
+			return nil, err
+		}
+		if t.Size() == 0 {
+			return nil, c.errf(e.line, "sizeof incomplete type")
+		}
+		return tyLong, nil
+	}
+	return nil, c.errf(e.pos(), "unsupported expression")
+}
+
+func (c *checker) checkBuiltin(e *callExpr, b *builtin) (*CType, error) {
+	if len(e.args) != len(b.params) {
+		return nil, c.errf(e.line, "%s takes %d arguments, got %d", b.name, len(b.params), len(e.args))
+	}
+	for i, a := range e.args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		at = decay(at)
+		want := b.params[i]
+		if want == nil { // any pointer
+			if at.Kind != KPtr && !c.isZero(a) {
+				return nil, c.errf(e.line, "%s argument %d must be a pointer", b.name, i+1)
+			}
+			continue
+		}
+		if want.IsInteger() && at.IsInteger() {
+			continue
+		}
+		if want.Kind == KPtr && at.Kind == KPtr {
+			continue
+		}
+		return nil, c.errf(e.line, "%s argument %d: cannot pass %s", b.name, i+1, at)
+	}
+	return b.ret, nil
+}
+
+func (c *checker) isZero(e expr) bool {
+	v, ok := c.constVal[e]
+	return ok && v == 0
+}
+
+// fold attempts compile-time evaluation of e (using already-computed
+// constVal entries for subexpressions).
+func (c *checker) fold(e expr) (int64, bool) {
+	switch e := e.(type) {
+	case *intLit:
+		return e.val, true
+	case *sizeofExpr:
+		t, err := c.resolveType(e.typ)
+		if err != nil {
+			return 0, false
+		}
+		return t.Size(), true
+	case *unaryExpr:
+		v, ok := c.constVal[e.x]
+		if !ok {
+			return 0, false
+		}
+		switch e.op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *binaryExpr:
+		x, okx := c.constVal[e.x]
+		y, oky := c.constVal[e.y]
+		if !okx || !oky {
+			return 0, false
+		}
+		// Only fold pure integer arithmetic (not pointer arithmetic).
+		if t := c.exprType[e.x]; t != nil && !t.IsInteger() {
+			return 0, false
+		}
+		switch e.op {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y != 0 {
+				return x / y, true
+			}
+		case "%":
+			if y != 0 {
+				return x % y, true
+			}
+		case "<<":
+			return x << (uint64(y) & 63), true
+		case ">>":
+			return x >> (uint64(y) & 63), true
+		case "&":
+			return x & y, true
+		case "|":
+			return x | y, true
+		case "^":
+			return x ^ y, true
+		case "==":
+			return b2i(x == y), true
+		case "!=":
+			return b2i(x != y), true
+		case "<":
+			return b2i(x < y), true
+		case "<=":
+			return b2i(x <= y), true
+		case ">":
+			return b2i(x > y), true
+		case ">=":
+			return b2i(x >= y), true
+		case "&&":
+			return b2i(x != 0 && y != 0), true
+		case "||":
+			return b2i(x != 0 || y != 0), true
+		}
+	case *castExpr:
+		v, ok := c.constVal[e.x]
+		if !ok {
+			return 0, false
+		}
+		if t := c.exprType[e]; t != nil {
+			switch t.Kind {
+			case KChar:
+				return int64(int8(v)), true
+			case KInt:
+				return int64(int32(v)), true
+			case KLong:
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// foldConst folds an expression that has not yet been checked (global
+// initializers).
+func (c *checker) foldConst(e expr) (int64, bool) {
+	if _, err := c.checkExpr(e); err != nil {
+		return 0, false
+	}
+	v, ok := c.constVal[e]
+	return v, ok
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyzeSrc(t *testing.T, src string) (*checked, error) {
+	t.Helper()
+	f, err := parse(Source{Name: "t.mc", Text: src}, map[string]bool{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return analyze([]*file{f})
+}
+
+func TestStructLayoutRules(t *testing.T) {
+	chk, err := analyzeSrc(t, `
+struct mixed { char c; long l; int i; char d; };
+long main() { return sizeof(struct mixed); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := chk.structs["mixed"]
+	// c at 0, l at 8 (aligned), i at 16, d at 20; size rounds to 24.
+	offs := map[string]int64{"c": 0, "l": 8, "i": 16, "d": 20}
+	for _, f := range si.Fields {
+		if f.Off != offs[f.Name] {
+			t.Errorf("field %s at %d, want %d", f.Name, f.Off, offs[f.Name])
+		}
+	}
+	if si.Size != 24 || si.Align != 8 {
+		t.Errorf("size=%d align=%d", si.Size, si.Align)
+	}
+}
+
+func TestStructArrayFieldLayout(t *testing.T) {
+	chk, err := analyzeSrc(t, `
+struct v { char name[13]; long x; };
+long main() { return sizeof(struct v); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := chk.structs["v"]
+	if si.Fields[1].Off != 16 || si.Size != 24 {
+		t.Errorf("array field layout: x at %d, size %d", si.Fields[1].Off, si.Size)
+	}
+}
+
+func TestGlobalLayoutAlignment(t *testing.T) {
+	chk, err := analyzeSrc(t, `
+char a;
+long b;
+char c;
+int d;
+long main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := map[string]int64{}
+	for _, g := range chk.globals {
+		offs[g.Name] = g.Off
+	}
+	if offs["a"] != 0 || offs["b"] != 8 || offs["c"] != 16 || offs["d"] != 20 {
+		t.Errorf("global offsets: %v", offs)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"deref non-pointer", `long main() { long x; x = 0; return *x; }`, "dereference"},
+		{"index non-pointer", `long main() { long x; x = 0; return x[0]; }`, "indexing"},
+		{"bad field", `struct s { long a; }; long main() { struct s *p; p = 0; return p->zzz; }`, "no field"},
+		{"dot on pointer", `struct s { long a; }; long main() { struct s *p; p = 0; return p.a; }`, ". on non-struct"},
+		{"void local", `long main() { void v; return 0; }`, ""},
+		{"incomplete struct value", `struct fwd; long main() { struct fwd x; return 0; }`, ""},
+		{"dup field", `struct s { long a; long a; }; long main() { return 0; }`, "duplicate field"},
+		{"dup local", `long main() { long x; long x; return 0; }`, "redeclared"},
+		{"undeclared", `long main() { return nope; }`, "undefined identifier"},
+		{"assign struct ptr mismatch", `struct a { long x; }; struct b { long x; };
+			long main() { struct a *p; struct b *q; p = 0; q = p; return 0; }`, "cannot assign"},
+		{"return value from void", `void f() { return 5; } long main() { return 0; }`, "returns a value"},
+		{"missing return value", `long f() { return; } long main() { return f(); }`, "must return"},
+		{"ptr plus ptr", `long main() { long *a; long *b; a = 0; b = 0; return (long)(a + b); }`, "invalid operands"},
+		{"incompatible ptr diff", `struct a { long x; }; struct b { long y; };
+			long main() { struct a *p; struct b *q; p = 0; q = 0; return p - q; }`, "incompatible"},
+		{"sizeof incomplete", `struct fwd; long main() { return sizeof(struct fwd); }`, ""},
+		{"nonconst global init", `long g = h; long h; long main() { return 0; }`, "constant"},
+		{"typedef redef", `typedef long a; typedef long a; long main() { return 0; }`, "redefined"},
+		{"continue outside loop", `long main() { continue; return 0; }`, "outside loop"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile([]Source{{Name: "t.mc", Text: c.src}}, Options{}); err == nil {
+				t.Errorf("compile succeeded")
+			} else if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q missing %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestImplicitConversionsAllowed(t *testing.T) {
+	srcs := []string{
+		// integer widths interconvert
+		`long main() { char c; int i; long l; c = 1; i = c; l = i; c = (char) l; return l; }`,
+		// 0 converts to any pointer
+		`struct s { long a; }; long main() { struct s *p; p = 0; return p == 0; }`,
+		// char* (malloc) converts to any pointer and back
+		`struct s { long a; }; long main() { struct s *p; char *raw;
+			p = (struct s *) malloc(8); raw = (char *) p; free(raw); return 0; }`,
+		// arrays decay in calls and arithmetic
+		`long sum(long *p, long n) { long i; long s; s = 0; for (i = 0; i < n; i++) { s += p[i]; } return s; }
+		 long a[4]; long main() { return sum(a, 4); }`,
+		// address-of member and element
+		`struct s { long a; long b; }; struct s g;
+		 long main() { long *p; p = &g.b; *p = 7; return g.b; }`,
+	}
+	for i, src := range srcs {
+		if _, err := Compile([]Source{{Name: "t.mc", Text: src}}, Options{}); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	chk, err := analyzeSrc(t, `
+long a = 2 + 3 * 4;
+long b = 1 << 10;
+long c = -(7);
+long d = 100 / 3;
+long e = (5 > 3) * 10;
+long main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"a": 14, "b": 1024, "c": -7, "d": 33, "e": 10}
+	for _, g := range chk.globals {
+		if w, ok := want[g.Name]; ok {
+			if !g.HasInit || g.Init != w {
+				t.Errorf("global %s = %d (init=%v), want %d", g.Name, g.Init, g.HasInit, w)
+			}
+		}
+	}
+}
+
+func TestAddrTakenForcesStack(t *testing.T) {
+	chk, err := analyzeSrc(t, `
+void f(long *p) { *p = 1; }
+long main() {
+	long x;
+	long y;
+	x = 0;
+	y = 0;
+	f(&x);
+	return x + y;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := chk.funcBy["main"]
+	var x, y *LocalVar
+	for _, lv := range main.Locals {
+		switch lv.Name {
+		case "x":
+			x = lv
+		case "y":
+			y = lv
+		}
+	}
+	if x == nil || !x.AddrTaken {
+		t.Error("x should be marked address-taken")
+	}
+	if y == nil || y.AddrTaken {
+		t.Error("y should not be address-taken")
+	}
+}

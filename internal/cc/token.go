@@ -1,0 +1,243 @@
+// Package cc implements a compiler for MC, a C subset sufficient to
+// express the paper's workloads (structs, pointers, 64-bit integer
+// arithmetic, loops, functions), targeting the simulated ISA.
+//
+// The compiler implements the paper's profiling-support options:
+//
+//   - HWCProf (-xhwcprof): emit data-object cross references for every
+//     memory operation, branch-target tables, and nop padding between
+//     loads and join nodes; never schedule memory operations in branch
+//     delay slots.
+//   - DebugFormat (-xdebugformat=dwarf|stabs): DWARF tables carry type
+//     and member information; STABS tables carry only functions and
+//     lines, so memory profiling cannot attribute data objects
+//     (the analyzer reports (Unascertainable)).
+//   - PageSizeHeap (-xpagesize_heap=512k): request a larger heap page
+//     size from the runtime.
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct   // operators and punctuation
+	tokKeyword // reserved words
+)
+
+var keywords = map[string]bool{
+	"struct": true, "typedef": true, "long": true, "int": true,
+	"char": true, "void": true, "if": true, "else": true, "while": true,
+	"for": true, "do": true, "return": true, "break": true,
+	"continue": true, "sizeof": true,
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // numeric / char value
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return t.text
+	}
+}
+
+// multi-character punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// lexError reports a lexical error with position.
+type lexError struct {
+	file string
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.msg)
+}
+
+// lex scans src into tokens.
+func lex(file, src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	errf := func(format string, args ...any) error {
+		return &lexError{file: file, line: line, msg: fmt.Sprintf(format, args...)}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for {
+				if i+1 >= n {
+					return nil, errf("unterminated block comment")
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					i += 2
+					break
+				}
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (isIdentChar(src[i])) {
+				i++
+			}
+			text := src[start:i]
+			k := tokIdent
+			if keywords[text] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: text, line: line})
+		case c >= '0' && c <= '9':
+			start := i
+			base := int64(10)
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+			}
+			for i < n && isNumChar(src[i], base) {
+				i++
+			}
+			text := src[start:i]
+			var v int64
+			var err error
+			if base == 16 {
+				_, err = fmt.Sscanf(strings.ToLower(text), "0x%x", &v)
+			} else {
+				_, err = fmt.Sscanf(text, "%d", &v)
+			}
+			if err != nil {
+				return nil, errf("bad numeric literal %q", text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line})
+		case c == '"':
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n || src[i] == '\n' {
+					return nil, errf("unterminated string literal")
+				}
+				if src[i] == '"' {
+					i++
+					break
+				}
+				ch, next, err := unescape(src, i)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				sb.WriteByte(ch)
+				i = next
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+		case c == '\'':
+			i++
+			if i >= n {
+				return nil, errf("unterminated char literal")
+			}
+			ch, next, err := unescape(src, i)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			i = next
+			if i >= n || src[i] != '\'' {
+				return nil, errf("unterminated char literal")
+			}
+			i++
+			toks = append(toks, token{kind: tokChar, text: string(ch), val: int64(ch), line: line})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf("unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isNumChar(c byte, base int64) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if base == 16 {
+		return c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return false
+}
+
+func unescape(src string, i int) (byte, int, error) {
+	if src[i] != '\\' {
+		return src[i], i + 1, nil
+	}
+	if i+1 >= len(src) {
+		return 0, i, fmt.Errorf("dangling backslash")
+	}
+	switch src[i+1] {
+	case 'n':
+		return '\n', i + 2, nil
+	case 't':
+		return '\t', i + 2, nil
+	case 'r':
+		return '\r', i + 2, nil
+	case '0':
+		return 0, i + 2, nil
+	case '\\':
+		return '\\', i + 2, nil
+	case '\'':
+		return '\'', i + 2, nil
+	case '"':
+		return '"', i + 2, nil
+	}
+	return 0, i, fmt.Errorf("unknown escape \\%c", src[i+1])
+}

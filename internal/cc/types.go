@@ -1,0 +1,202 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CKind classifies MC types.
+type CKind uint8
+
+// Type kinds.
+const (
+	KVoid CKind = iota
+	KChar       // 1 byte, signed
+	KInt        // 4 bytes, signed
+	KLong       // 8 bytes, signed
+	KPtr
+	KStruct
+	KArray
+)
+
+// CType is an MC type. Types are compared structurally.
+type CType struct {
+	Kind    CKind
+	Elem    *CType      // pointee / array element
+	Count   int64       // array length
+	Struct  *StructInfo // for KStruct
+	Typedef string      // typedef display name, e.g. "cost_t" for a long
+}
+
+// StructInfo describes a struct layout.
+type StructInfo struct {
+	Name     string
+	Fields   []Field
+	Size     int64
+	Align    int64
+	Complete bool
+}
+
+// Field is one struct member after layout.
+type Field struct {
+	Name string
+	Type *CType
+	Off  int64
+}
+
+// Predefined types.
+var (
+	tyVoid = &CType{Kind: KVoid}
+	tyChar = &CType{Kind: KChar}
+	tyInt  = &CType{Kind: KInt}
+	tyLong = &CType{Kind: KLong}
+)
+
+// ptrTo returns a pointer type.
+func ptrTo(t *CType) *CType { return &CType{Kind: KPtr, Elem: t} }
+
+// Size returns the storage size in bytes (0 for void/incomplete).
+func (t *CType) Size() int64 {
+	switch t.Kind {
+	case KChar:
+		return 1
+	case KInt:
+		return 4
+	case KLong, KPtr:
+		return 8
+	case KStruct:
+		if t.Struct != nil {
+			return t.Struct.Size
+		}
+	case KArray:
+		if t.Elem != nil {
+			return t.Elem.Size() * t.Count
+		}
+	}
+	return 0
+}
+
+// Align returns the required alignment.
+func (t *CType) Align() int64 {
+	switch t.Kind {
+	case KChar:
+		return 1
+	case KInt:
+		return 4
+	case KLong, KPtr:
+		return 8
+	case KStruct:
+		if t.Struct != nil {
+			return t.Struct.Align
+		}
+	case KArray:
+		if t.Elem != nil {
+			return t.Elem.Align()
+		}
+	}
+	return 1
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *CType) IsInteger() bool {
+	return t.Kind == KChar || t.Kind == KInt || t.Kind == KLong
+}
+
+// IsScalar reports whether t fits in a register (integer or pointer).
+func (t *CType) IsScalar() bool { return t.IsInteger() || t.Kind == KPtr }
+
+// Field looks up a member by name.
+func (s *StructInfo) Field(name string) (int, *Field) {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return i, &s.Fields[i]
+		}
+	}
+	return -1, nil
+}
+
+// layout computes field offsets, size and alignment. Natural alignment,
+// size rounded up to alignment — the usual C ABI rules the paper's
+// analysis of node/arc offsets depends on.
+func (s *StructInfo) layout() error {
+	var off, maxAlign int64 = 0, 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		if f.Type.Size() == 0 {
+			return fmt.Errorf("struct %s: field %s has incomplete type", s.Name, f.Name)
+		}
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = (off + a - 1) &^ (a - 1)
+		f.Off = off
+		off += f.Type.Size()
+	}
+	s.Align = maxAlign
+	s.Size = (off + maxAlign - 1) &^ (maxAlign - 1)
+	s.Complete = true
+	return nil
+}
+
+// same reports structural type equality.
+func (t *CType) same(u *CType) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KPtr:
+		return t.Elem.same(u.Elem)
+	case KArray:
+		return t.Count == u.Count && t.Elem.same(u.Elem)
+	case KStruct:
+		return t.Struct == u.Struct
+	}
+	return true
+}
+
+// String renders the type in C-ish syntax.
+func (t *CType) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KChar:
+		return "char"
+	case KInt:
+		return "int"
+	case KLong:
+		if t.Typedef != "" {
+			return t.Typedef
+		}
+		return "long"
+	case KPtr:
+		return t.Elem.String() + " *"
+	case KStruct:
+		return "struct " + t.Struct.Name
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Count)
+	}
+	return "?"
+}
+
+// displayName renders the type the way the paper's dwarf annotations do:
+// "cost_t=long" for typedefs of base types.
+func (t *CType) displayName() string {
+	switch t.Kind {
+	case KLong, KInt, KChar:
+		base := map[CKind]string{KLong: "long", KInt: "int", KChar: "char"}[t.Kind]
+		if t.Typedef != "" && t.Typedef != base {
+			return t.Typedef + "=" + base
+		}
+		return base
+	case KVoid:
+		return "void"
+	}
+	return strings.TrimSpace(t.String())
+}

@@ -1,0 +1,164 @@
+package collect
+
+import (
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+// Unit tests for the apropos backtracking search and effective-address
+// recovery on hand-built instruction sequences.
+
+func makeProg(instrs ...isa.Instr) *asm.Program {
+	return &asm.Program{
+		Name: "synthetic",
+		Base: machine.TextBase,
+		Text: instrs,
+	}
+}
+
+func pc(i int) uint64 { return machine.TextBase + uint64(i)*isa.InstrBytes }
+
+func TestBacktrackFindsNearestLoad(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, UseImm: true, Imm: 56}, // 0
+		isa.Instr{Op: isa.Add, Rd: isa.O2, Rs1: isa.O1, UseImm: true, Imm: 1},  // 1
+		isa.Instr{Op: isa.Nop},  // 2
+		isa.Instr{Op: isa.Halt}, // 3
+	)
+	cand, ok := Backtrack(prog, pc(2), hwc.EvECRdMiss, 8)
+	if !ok || cand != pc(0) {
+		t.Errorf("Backtrack = %#x, %v; want %#x", cand, ok, pc(0))
+	}
+}
+
+func TestBacktrackLoadsOnlySkipsStores(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, UseImm: true, Imm: 0}, // 0
+		isa.Instr{Op: isa.StX, Rd: isa.O1, Rs1: isa.O4, UseImm: true, Imm: 8}, // 1
+		isa.Instr{Op: isa.Nop}, // 2
+	)
+	// Read-miss counters are loads-only: skip the store at 1, find 0.
+	cand, ok := Backtrack(prog, pc(2), hwc.EvECRdMiss, 8)
+	if !ok || cand != pc(0) {
+		t.Errorf("loads-only Backtrack = %#x, %v", cand, ok)
+	}
+	// E$ refs can come from stores too: find the store at 1.
+	cand, ok = Backtrack(prog, pc(2), hwc.EvECRef, 8)
+	if !ok || cand != pc(1) {
+		t.Errorf("refs Backtrack = %#x, %v", cand, ok)
+	}
+}
+
+func TestBacktrackRespectsWindow(t *testing.T) {
+	instrs := []isa.Instr{{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, UseImm: true}}
+	for i := 0; i < 10; i++ {
+		instrs = append(instrs, isa.Instr{Op: isa.Add, Rd: isa.O2, Rs1: isa.O2, UseImm: true, Imm: 1})
+	}
+	prog := makeProg(instrs...)
+	if _, ok := Backtrack(prog, pc(9), hwc.EvECRdMiss, 4); ok {
+		t.Error("found a trigger beyond the window")
+	}
+	if cand, ok := Backtrack(prog, pc(9), hwc.EvECRdMiss, 16); !ok || cand != pc(0) {
+		t.Errorf("wide window Backtrack = %#x, %v", cand, ok)
+	}
+}
+
+func TestBacktrackStopsAtTextStart(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.Nop},
+		isa.Instr{Op: isa.Nop},
+	)
+	if _, ok := Backtrack(prog, pc(1), hwc.EvECRdMiss, 8); ok {
+		t.Error("walked past the start of text")
+	}
+}
+
+func TestRecoverEASimple(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, UseImm: true, Imm: 56}, // candidate
+		isa.Instr{Op: isa.Add, Rd: isa.O2, Rs1: isa.O1, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.Nop},
+	)
+	var regs [isa.NumRegs]int64
+	regs[isa.O3] = 0x40001000
+	ea, ok := RecoverEA(prog, pc(0), pc(2), &regs)
+	if !ok || ea != 0x40001000+56 {
+		t.Errorf("RecoverEA = %#x, %v", ea, ok)
+	}
+}
+
+func TestRecoverEARegisterIndexed(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, Rs2: isa.O4},
+		isa.Instr{Op: isa.Nop},
+	)
+	var regs [isa.NumRegs]int64
+	regs[isa.O3] = 0x40002000
+	regs[isa.O4] = 0x80
+	ea, ok := RecoverEA(prog, pc(0), pc(1), &regs)
+	if !ok || ea != 0x40002080 {
+		t.Errorf("RecoverEA = %#x, %v", ea, ok)
+	}
+}
+
+func TestRecoverEARefusesClobberedBase(t *testing.T) {
+	// The load overwrites its own base register (pointer chasing):
+	// the register content at delivery is the loaded value, not the
+	// address, so the collector must refuse.
+	prog := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O3, Rs1: isa.O3, UseImm: true, Imm: 8},
+		isa.Instr{Op: isa.Nop},
+	)
+	var regs [isa.NumRegs]int64
+	regs[isa.O3] = 0x40001000
+	if _, ok := RecoverEA(prog, pc(0), pc(1), &regs); ok {
+		t.Error("recovered an EA from a clobbered base register")
+	}
+}
+
+func TestRecoverEARefusesIntermediateWrite(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, UseImm: true, Imm: 0},
+		isa.Instr{Op: isa.Add, Rd: isa.O3, Rs1: isa.O3, UseImm: true, Imm: 64}, // clobbers base
+		isa.Instr{Op: isa.Nop},
+	)
+	var regs [isa.NumRegs]int64
+	regs[isa.O3] = 0x40003000
+	if _, ok := RecoverEA(prog, pc(0), pc(2), &regs); ok {
+		t.Error("recovered an EA across an intervening base-register write")
+	}
+	// But a write to an unrelated register is fine.
+	prog2 := makeProg(
+		isa.Instr{Op: isa.LdX, Rd: isa.O1, Rs1: isa.O3, UseImm: true, Imm: 0},
+		isa.Instr{Op: isa.Add, Rd: isa.O5, Rs1: isa.O5, UseImm: true, Imm: 64},
+		isa.Instr{Op: isa.Nop},
+	)
+	if ea, ok := RecoverEA(prog2, pc(0), pc(2), &regs); !ok || ea != 0x40003000 {
+		t.Errorf("unrelated write blocked EA recovery: %#x, %v", ea, ok)
+	}
+}
+
+func TestRecoverEANonMemoryCandidate(t *testing.T) {
+	prog := makeProg(
+		isa.Instr{Op: isa.Add, Rd: isa.O1, Rs1: isa.O3, UseImm: true, Imm: 1},
+		isa.Instr{Op: isa.Nop},
+	)
+	var regs [isa.NumRegs]int64
+	if _, ok := RecoverEA(prog, pc(0), pc(1), &regs); ok {
+		t.Error("recovered an EA from a non-memory instruction")
+	}
+}
+
+func TestDefaultClockInterval(t *testing.T) {
+	iv := DefaultClockIntervalCycles(900_000_000)
+	if iv < 8_000_000 || iv > 10_000_000 {
+		t.Errorf("default clock interval %d not ~10ms", iv)
+	}
+	if iv%2 == 0 {
+		t.Error("interval should be odd (prime-ish, per the paper)")
+	}
+}

@@ -1,0 +1,282 @@
+// Package collect implements the data collector: it runs a target program
+// on the simulated machine with clock profiling and/or hardware counter
+// overflow profiling, performs the apropos backtracking search and
+// effective-address recovery at signal-delivery time, and writes the
+// resulting experiment.
+//
+// This is the paper's collect(1) command. The two hardware counter
+// registers limit one run to two counters; profiling all four counters of
+// the paper's MCF study takes two collect runs, exactly as in the paper.
+package collect
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/experiment"
+	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+// Options configure one profiled run.
+type Options struct {
+	// ClockProfile enables clock profiling (-p on).
+	ClockProfile bool
+	// ClockIntervalCycles overrides the ~10ms default tick (0 = default).
+	ClockIntervalCycles uint64
+	// Counters arms up to two hardware counters (-h spec,interval,...).
+	Counters []experiment.CounterSpec
+	// Machine selects the simulated system; zero value means the default
+	// UltraSPARC-III-like configuration.
+	Machine *machine.Config
+	// Input is the program's input vector.
+	Input []int64
+	// MaxBacktrack bounds the apropos backtracking search, in
+	// instructions (0 = default 8).
+	MaxBacktrack int
+}
+
+// Truth is the per-event ground truth the simulator knows but a real
+// machine would not. It is returned to the caller for test validation and
+// never written into the experiment.
+type Truth struct {
+	PIC    int
+	TruePC uint64
+	TrueEA uint64
+	HasEA  bool
+}
+
+// Result is the outcome of a profiled run.
+type Result struct {
+	Exp     *experiment.Experiment
+	Machine *machine.Machine
+	// Truth holds ground truth for HWC events, parallel to
+	// Exp.HWC[pic] (Truth[pic][i] matches Exp.HWC[pic][i]).
+	Truth [2][]Truth
+}
+
+// DefaultClockIntervalCycles is ~10 ms at the configured clock, as a
+// prime count of cycles (the paper chooses prime intervals to avoid
+// correlated samples).
+func DefaultClockIntervalCycles(clockHz uint64) uint64 {
+	c := clockHz / 100
+	if c%2 == 0 {
+		c++
+	}
+	return c
+}
+
+// ParseCounterSpec parses a collect -h style counter list:
+// "+ecstall,lo,+ecrm,on" — pairs of (counter, interval) where a leading
+// "+" requests apropos backtracking.
+func ParseCounterSpec(spec string) ([]experiment.CounterSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts)%2 != 0 {
+		return nil, fmt.Errorf("collect: counter spec %q must be name,interval pairs", spec)
+	}
+	var out []experiment.CounterSpec
+	for i := 0; i < len(parts); i += 2 {
+		name := parts[i]
+		bt := strings.HasPrefix(name, "+")
+		name = strings.TrimPrefix(name, "+")
+		ev, err := hwc.ParseEvent(name)
+		if err != nil {
+			return nil, err
+		}
+		ivName := parts[i+1]
+		// Accept the paper's abbreviations.
+		switch ivName {
+		case "lo":
+			ivName = "low"
+		case "hi":
+			ivName = "high"
+		}
+		iv, err := hwc.ParseInterval(ivName, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, experiment.CounterSpec{Event: ev, Interval: iv, Backtrack: bt})
+	}
+	if len(out) > 2 {
+		return nil, fmt.Errorf("collect: at most two counters (two counter registers), got %d", len(out))
+	}
+	return out, nil
+}
+
+// Run executes prog under profiling and returns the experiment.
+func Run(prog *asm.Program, opts Options) (*Result, error) {
+	cfg := machine.DefaultConfig()
+	if opts.Machine != nil {
+		cfg = *opts.Machine
+	}
+	if prog.HeapPageSize != 0 {
+		cfg.HeapPageSize = prog.HeapPageSize
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+		return nil, err
+	}
+	m.SetInput(opts.Input)
+
+	maxBT := opts.MaxBacktrack
+	if maxBT == 0 {
+		maxBT = 8
+	}
+
+	exp := &experiment.Experiment{Prog: prog}
+	res := &Result{Exp: exp, Machine: m}
+	exp.Meta.Counters = make([]experiment.CounterSpec, 2)
+
+	var cmd strings.Builder
+	cmd.WriteString("collect")
+
+	if opts.ClockProfile {
+		tick := opts.ClockIntervalCycles
+		if tick == 0 {
+			tick = DefaultClockIntervalCycles(cfg.ClockHz)
+		}
+		m.ClockTickCycles = tick
+		exp.Meta.ClockProfiling = true
+		exp.Meta.ClockTickCycles = tick
+		m.OnClockTick = func(ct *machine.ClockTick) {
+			exp.Clock = append(exp.Clock, experiment.ClockEvent{
+				PC: ct.PC, Callstack: ct.Callstack, Cycles: ct.Cycles,
+			})
+		}
+		cmd.WriteString(" -p on")
+	} else {
+		cmd.WriteString(" -p off")
+	}
+
+	if len(opts.Counters) > 2 {
+		return nil, fmt.Errorf("collect: at most two counters")
+	}
+	backtrack := [2]bool{}
+	for pic, cs := range opts.Counters {
+		if cs.Event == hwc.EvNone {
+			continue
+		}
+		if err := m.ArmCounter(pic, cs.Event, cs.Interval); err != nil {
+			return nil, err
+		}
+		exp.Meta.Counters[pic] = cs
+		backtrack[pic] = cs.Backtrack && cs.Event.MemoryRelated()
+		if pic == 0 {
+			cmd.WriteString(" -h ")
+		} else {
+			cmd.WriteString(",")
+		}
+		cmd.WriteString(cs.String())
+	}
+	cmd.WriteString(" " + prog.Name)
+
+	m.OnOverflow = func(e *machine.OverflowEvent) {
+		rec := experiment.HWCEvent{
+			PIC:         e.PIC,
+			DeliveredPC: e.DeliveredPC,
+			Callstack:   e.Callstack,
+			Cycles:      e.Cycles,
+		}
+		if backtrack[e.PIC] {
+			if cand, ok := Backtrack(prog, e.DeliveredPC, e.Event, maxBT); ok {
+				rec.CandidatePC = cand
+				if ea, ok := RecoverEA(prog, cand, e.DeliveredPC, &e.Regs); ok {
+					rec.EA = ea
+					rec.HasEA = true
+				}
+			}
+		}
+		exp.HWC[e.PIC] = append(exp.HWC[e.PIC], rec)
+		res.Truth[e.PIC] = append(res.Truth[e.PIC], Truth{
+			PIC: e.PIC, TruePC: e.TruePC, TrueEA: e.TrueEA, HasEA: e.TrueHasEA,
+		})
+	}
+
+	exp.Meta.ProgName = prog.Name
+	exp.Meta.Command = cmd.String()
+	exp.Meta.When = time.Now()
+	exp.Meta.ClockHz = cfg.ClockHz
+	exp.Meta.HeapPageSize = cfg.HeapPageSize
+	exp.Meta.DCacheLine = cfg.DCache.LineBytes
+	exp.Meta.ECacheLine = cfg.ECache.LineBytes
+
+	runErr := m.Run()
+	exp.Meta.Stats = m.Stats()
+	exp.Allocs = m.Allocs()
+	if runErr != nil {
+		exp.Meta.ExitStatus = runErr.Error()
+		return res, runErr
+	}
+	exp.Meta.ExitStatus = "ok"
+	return res, nil
+}
+
+// Backtrack performs the apropos backtracking search: starting from the
+// instruction preceding the delivered PC, walk backwards in address order
+// until a memory-reference instruction of the class that can raise ev is
+// found. The result is the *candidate* trigger PC; it is validated against
+// branch-target information during analysis, not here (the paper: "It is
+// too expensive to locate branch targets at data collection time").
+func Backtrack(prog *asm.Program, deliveredPC uint64, ev hwc.Event, maxInstrs int) (uint64, bool) {
+	loadsOnly := ev.LoadsOnly()
+	pc := deliveredPC
+	for i := 0; i < maxInstrs; i++ {
+		pc -= isa.InstrBytes
+		in := prog.InstrAt(pc)
+		if in == nil {
+			return 0, false
+		}
+		if in.Op.IsMem() {
+			if loadsOnly && !in.Op.IsLoad() {
+				continue
+			}
+			return pc, true
+		}
+	}
+	return 0, false
+}
+
+// RecoverEA attempts to compute the candidate trigger instruction's
+// effective address from the register contents at delivery time. The
+// address registers must not have been written by any instruction between
+// the candidate and the delivered PC (in address order — the collector
+// cannot know the executed path); otherwise the address is unknown.
+func RecoverEA(prog *asm.Program, candidatePC, deliveredPC uint64, regs *[isa.NumRegs]int64) (uint64, bool) {
+	in := prog.InstrAt(candidatePC)
+	if in == nil {
+		return 0, false
+	}
+	base, idx, hasIdx, ok := in.AddrRegs()
+	if !ok {
+		return 0, false
+	}
+	for pc := candidatePC; pc < deliveredPC; pc += isa.InstrBytes {
+		mid := prog.InstrAt(pc)
+		if mid == nil {
+			return 0, false
+		}
+		// The candidate itself may overwrite its own base register
+		// (load into the address register, e.g. pointer chasing); in
+		// that case the base value at delivery is already the loaded
+		// value, not the address.
+		if w, writes := mid.Writes(); writes && (w == base || (hasIdx && w == idx)) {
+			return 0, false
+		}
+	}
+	ea := uint64(regs[base])
+	if hasIdx {
+		ea += uint64(regs[idx])
+	} else {
+		ea += uint64(int64(in.Imm))
+	}
+	return ea, true
+}

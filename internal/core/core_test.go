@@ -1,0 +1,341 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/cc"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+	"dsprof/internal/mcf"
+)
+
+// Tests run a reduced-scale study (the benchmarks in bench_test.go run
+// the full paper-scale study); the qualitative shape assertions here are
+// the ones the paper's figures rest on.
+
+const testTrips = 500
+
+var testStudy *Study
+
+func studyForTest(t *testing.T) *Study {
+	t.Helper()
+	if testStudy == nil {
+		p := DefaultStudy()
+		p.Trips = testTrips
+		// Scale the TLB down with the instance so the DTLB shape of the
+		// paper-scale study (whose node array exceeds the TLB reach)
+		// also appears at test scale.
+		cfg := StudyMachine()
+		cfg.TLB.Entries = 8
+		p.Machine = &cfg
+		s, err := RunStudy(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testStudy = s
+	}
+	return testStudy
+}
+
+func TestStudySolvesCorrectly(t *testing.T) {
+	s := studyForTest(t)
+	// The profiled program's answer must equal the independent Go
+	// solvers' optimum.
+	ins := mcf.Generate(mcf.DefaultGenParams(testTrips, s.Params.Seed))
+	want, err := mcf.SolveSSP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Output.Cost != want {
+		t.Fatalf("profiled MCF cost %d, SSP optimum %d", s.Output.Cost, want)
+	}
+	goCost, goStats, err := mcf.SolveNetSimplex(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goCost != want || int64(goStats.Pivots) != s.Output.Pivots {
+		t.Fatalf("Go twin disagrees: cost=%d pivots=%d vs MC pivots=%d", goCost, goStats.Pivots, s.Output.Pivots)
+	}
+}
+
+func TestStudyFunctionShape(t *testing.T) {
+	s := studyForTest(t)
+	// refresh_potential and primal_bea_mpp must dominate, with
+	// refresh_potential owning the majority of E$ stall and DTLB misses
+	// (paper Figure 2: 62% and 88%).
+	refreshStall := s.FunctionShare("refresh_potential", hwc.EvECStall, false)
+	beaStall := s.FunctionShare("primal_bea_mpp", hwc.EvECStall, false)
+	if refreshStall < 0.3 {
+		t.Errorf("refresh_potential E$ stall share %.2f, want >= 0.3", refreshStall)
+	}
+	if refreshStall+beaStall < 0.7 {
+		t.Errorf("top-2 functions E$ stall share %.2f, want >= 0.7", refreshStall+beaStall)
+	}
+	// At full study scale refresh_potential owns the large majority of
+	// DTLB misses (paper: 88%; the paper-scale study in bench_test.go
+	// measures ~85%). At this reduced test scale the node:arc page ratio
+	// shifts, so only require a substantial share.
+	refreshDTLB := s.FunctionShare("refresh_potential", hwc.EvDTLBMiss, false)
+	if refreshDTLB < 0.2 {
+		t.Errorf("refresh_potential DTLB share %.2f, want >= 0.2", refreshDTLB)
+	}
+	// primal_bea_mpp: many E$ refs relative to its read misses — the
+	// paper's sequential-scan signature (0.6%% miss rate vs 10.3%% for
+	// refresh_potential).
+	beaRefs := s.FunctionShare("primal_bea_mpp", hwc.EvECRef, false)
+	beaMiss := s.FunctionShare("primal_bea_mpp", hwc.EvECRdMiss, false)
+	refreshRefs := s.FunctionShare("refresh_potential", hwc.EvECRef, false)
+	refreshMiss := s.FunctionShare("refresh_potential", hwc.EvECRdMiss, false)
+	if beaMiss/beaRefs >= refreshMiss/refreshRefs {
+		t.Errorf("miss-per-ref shape wrong: bea %.2f >= refresh %.2f",
+			beaMiss/beaRefs, refreshMiss/refreshRefs)
+	}
+}
+
+func TestStudyDataObjectShape(t *testing.T) {
+	s := studyForTest(t)
+	arc := s.ObjectShare("arc", hwc.EvECStall)
+	node := s.ObjectShare("node", hwc.EvECStall)
+	// Paper Figure 6: arc 56%, node 42%, everything else negligible.
+	if arc+node < 0.85 {
+		t.Errorf("arc+node stall share %.2f, want >= 0.85 (paper: 98%%)", arc+node)
+	}
+	if arc < 0.25 || node < 0.25 {
+		t.Errorf("arc %.2f / node %.2f: both must carry substantial stall", arc, node)
+	}
+}
+
+func TestStudyMemberShape(t *testing.T) {
+	s := studyForTest(t)
+	id, _ := s.Analyzer.Tab.TypeByName("node")
+	rows := s.Analyzer.Members(id)
+	stallOf := func(name string) uint64 {
+		for _, r := range rows {
+			if strings.Contains(r.Name, " "+name+"}") {
+				return r.M.Events[hwc.EvECStall]
+			}
+		}
+		return 0
+	}
+	// Paper Figure 7: child, orientation and potential dominate node
+	// stall; cold members (number, mark) are negligible.
+	hot := stallOf("child") + stallOf("orientation") + stallOf("potential") +
+		stallOf("pred") + stallOf("basic_arc")
+	cold := stallOf("number") + stallOf("mark") + stallOf("firstout") + stallOf("firstin")
+	if hot == 0 {
+		t.Fatal("no stall attributed to hot node members")
+	}
+	if cold*5 > hot {
+		t.Errorf("cold members too hot: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestStudyEffectiveness(t *testing.T) {
+	s := studyForTest(t)
+	a := s.Analyzer
+	// Paper §3.2.5: >99% for E$ stall, ~100% for E$ read misses, 100%
+	// for DTLB (precise), ~94% for E$ refs (widest skid).
+	if eff := a.Effectiveness(hwc.EvECStall); eff < 0.97 {
+		t.Errorf("E$ stall effectiveness %.3f, want >= 0.97", eff)
+	}
+	if eff := a.Effectiveness(hwc.EvECRdMiss); eff < 0.97 {
+		t.Errorf("E$ read miss effectiveness %.3f, want >= 0.97", eff)
+	}
+	if eff := a.Effectiveness(hwc.EvDTLBMiss); eff < 0.995 {
+		t.Errorf("DTLB effectiveness %.3f, want ~1 (precise)", eff)
+	}
+	ecref := a.Effectiveness(hwc.EvECRef)
+	if ecref < 0.75 || ecref >= a.Effectiveness(hwc.EvECRdMiss) {
+		t.Errorf("E$ ref effectiveness %.3f: must be high but below the stall/miss metrics", ecref)
+	}
+}
+
+func TestStudyFiguresRender(t *testing.T) {
+	s := studyForTest(t)
+	var b strings.Builder
+	s.Figure1(&b)
+	if !strings.Contains(b.String(), "E$ Read Miss Rate") {
+		t.Error("Figure 1 incomplete")
+	}
+	b.Reset()
+	s.Figure2(&b)
+	if !strings.Contains(b.String(), "refresh_potential") {
+		t.Error("Figure 2 incomplete")
+	}
+	b.Reset()
+	if err := s.Figure3(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "node->orientation == 1") {
+		t.Errorf("Figure 3 missing critical-loop source:\n%s", b.String())
+	}
+	b.Reset()
+	if err := s.Figure4(&b); err != nil {
+		t.Fatal(err)
+	}
+	dis := b.String()
+	for _, want := range []string{"ldx", "{structure:node -}{long orientation}", "<branch target>"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("Figure 4 missing %q", want)
+		}
+	}
+	b.Reset()
+	s.Figure5(&b, 10)
+	if !strings.Contains(b.String(), "{structure:") {
+		t.Error("Figure 5 missing data-object descriptors")
+	}
+	b.Reset()
+	s.Figure6(&b)
+	if !strings.Contains(b.String(), "{structure:arc -}") || !strings.Contains(b.String(), "effectiveness") {
+		t.Error("Figure 6 incomplete")
+	}
+	b.Reset()
+	if err := s.Figure7(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "+56") || !strings.Contains(b.String(), "split across") {
+		t.Errorf("Figure 7 incomplete:\n%s", b.String())
+	}
+}
+
+func TestFigure4CriticalLoopLooksLikeThePaper(t *testing.T) {
+	// The annotated disassembly of refresh_potential's critical loop must
+	// show the paper's signature: costly metrics on the orientation and
+	// cost loads, with data-object descriptors naming them.
+	s := studyForTest(t)
+	var b strings.Builder
+	if err := s.Figure4(&b); err != nil {
+		t.Fatal(err)
+	}
+	dis := b.String()
+	for _, want := range []string{
+		"{structure:node -}{long orientation}",
+		"{structure:node -}{pointer+structure:node child}",
+		"{structure:arc -}{cost_t=long cost}",
+		"{structure:node -}{cost_t=long potential}",
+		"{structure:node -}{pointer+structure:node pred}",
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("critical loop missing annotation %q", want)
+		}
+	}
+}
+
+func TestSplitObjectsPaperLayout(t *testing.T) {
+	s := studyForTest(t)
+	st, err := s.Analyzer.SplitObjects("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 120 || st.LineBytes != 512 {
+		t.Fatalf("split stats geometry wrong: %+v", st)
+	}
+	// 120-byte objects on a 16-byte-aligned base: roughly one in five
+	// straddles a 512-byte line (the paper reports 28% for its layout).
+	if f := st.Fraction(); f < 0.10 || f > 0.35 {
+		t.Errorf("split fraction %.2f outside the plausible band", f)
+	}
+}
+
+func TestPaperIntervalDefaults(t *testing.T) {
+	iv := PaperIntervals{}.withDefaults()
+	if iv.ECStall == 0 || iv.ECRdMiss == 0 || iv.ECRef == 0 || iv.DTLBMiss == 0 {
+		t.Error("defaults incomplete")
+	}
+	iv2 := PaperIntervals{ECStall: 5}.withDefaults()
+	if iv2.ECStall != 5 {
+		t.Error("explicit interval overridden")
+	}
+}
+
+func TestCompileDefaultsToHWCProf(t *testing.T) {
+	prog, err := Compile("t", []cc.Source{{Name: "t.mc", Text: "long main() { return 0; }"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := prog.Debug.FuncByName("main"); f == nil || !f.HWCProf {
+		t.Error("Compile default did not enable memory profiling")
+	}
+}
+
+func TestRunOnceAppliesHeapPageSize(t *testing.T) {
+	src := `
+long main() {
+	long *p;
+	long i;
+	long s;
+	p = (long *) malloc(1024 * 1024 * 16);
+	s = 0;
+	for (i = 0; i < 16384; i++) { s += p[i * 128]; }
+	return s;
+}`
+	small, err := Compile("t", []cc.Source{{Name: "t.mc", Text: src}}, &cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Compile("t", []cc.Source{{Name: "t.mc", Text: src}}, &cc.Options{HWCProf: true, PageSizeHeap: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.ScaledConfig()
+	m1, err := RunOnce(small, nil, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RunOnce(big, nil, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats().DTLBMisses*10 >= m1.Stats().DTLBMisses {
+		t.Errorf("512K pages: %d misses vs %d with 8K — expected >10x reduction",
+			m2.Stats().DTLBMisses, m1.Stats().DTLBMisses)
+	}
+}
+
+func TestCollectRunSpec(t *testing.T) {
+	prog, err := Compile("t", []cc.Source{{Name: "t.mc", Text: "long main() { return 0; }"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.ScaledConfig()
+	res, err := CollectRun(prog, nil, &cfg, true, "+ecrm,1009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exp.Meta.ClockProfiling {
+		t.Error("clock profiling not enabled")
+	}
+	if _, err := CollectRun(prog, nil, &cfg, false, "nonsense,1"); err == nil {
+		t.Error("bad counter spec accepted")
+	}
+}
+
+func TestAblationNoPaddingReducesValidation(t *testing.T) {
+	// Compile MCF without -xhwcprof but with DWARF: xrefs and branch
+	// targets are absent, so every backtracked event is (Unascertainable)
+	// and the data-object view collapses — the compiler-support ablation.
+	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := mcf.Generate(mcf.DefaultGenParams(300, 7))
+	cfg := StudyMachine()
+	res, err := CollectRun(prog, ins.Encode(), &cfg, false, "+ecstall,20011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res.Exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := a.Effectiveness(hwc.EvECStall); eff > 0.10 {
+		t.Errorf("without -xhwcprof, effectiveness should collapse; got %.2f", eff)
+	}
+	for _, r := range a.DataObjects(analyzer.ByEvent(hwc.EvECStall)) {
+		if strings.HasPrefix(r.Name, "{structure:") && r.M.Events[hwc.EvECStall] > 0 {
+			t.Errorf("struct attribution %s without compiler support", r.Name)
+		}
+	}
+}

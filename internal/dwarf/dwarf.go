@@ -1,0 +1,217 @@
+// Package dwarf implements the debug symbol tables the memory-profiling
+// pipeline depends on: type descriptions, struct members with offsets,
+// per-instruction data-object cross references, source line tables,
+// branch-target tables and function tables.
+//
+// The paper requires -xdebugformat=dwarf because STABS symbol tables
+// cannot carry the data-reference cross references; the Format field
+// models that distinction — a STABS table carries functions and lines but
+// no data xrefs, and the analyzer reports its memory events as
+// (Unascertainable).
+package dwarf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Format is the debug symbol table format.
+type Format uint8
+
+// Symbol table formats.
+const (
+	FormatNone Format = iota
+	FormatSTABS
+	FormatDWARF
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatSTABS:
+		return "stabs"
+	case FormatDWARF:
+		return "dwarf"
+	}
+	return "none"
+}
+
+// TypeID indexes Table.Types. 0 is reserved for "no type".
+type TypeID int32
+
+// NoType is the zero TypeID.
+const NoType TypeID = 0
+
+// TypeKind classifies a type.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	KindBase TypeKind = iota
+	KindPointer
+	KindStruct
+	KindArray
+)
+
+// Member is one struct member.
+type Member struct {
+	Name string
+	Off  int64
+	Type TypeID
+}
+
+// Type describes a source-level type.
+type Type struct {
+	Name    string // e.g. "long", "node", "arc"
+	Kind    TypeKind
+	Size    int64
+	Elem    TypeID   // pointee / array element
+	Count   int64    // array length
+	Members []Member // struct members, by increasing offset
+}
+
+// Func describes one function's text range.
+type Func struct {
+	Name    string
+	Start   uint64 // first PC
+	End     uint64 // one past last PC
+	File    string
+	HWCProf bool // compiled with -xhwcprof (xrefs and branch targets valid)
+}
+
+// DataXref cross-references one memory instruction with the data object
+// it accesses: the containing object type and, for struct accesses, the
+// member.
+//
+// A DataXref with Type == NoType marks a reference the compiler knows is
+// a compiler temporary (register spill); the analyzer buckets these as
+// (Unidentified). A memory instruction with no xref entry at all gets
+// (Unspecified).
+type DataXref struct {
+	Type   TypeID // containing object's type (a struct or scalar type)
+	Member int32  // index into the struct's Members; -1 for non-struct
+	Var    string // variable name for scalar/array objects, if known
+}
+
+// Table is the full debug information of one program.
+type Table struct {
+	Format Format
+	Types  []Type // Types[0] is a placeholder invalid entry
+	Funcs  []Func // sorted by Start
+
+	// Lines maps each instruction PC to its source line (0 if unknown).
+	Lines map[uint64]int32
+	// Xrefs maps memory-instruction PCs to data objects (DWARF +
+	// -xhwcprof only).
+	Xrefs map[uint64]DataXref
+	// BranchTargets is the set of PCs that are targets of control
+	// transfers (-xhwcprof only); the analyzer uses it to validate
+	// candidate trigger PCs.
+	BranchTargets map[uint64]bool
+
+	// Source holds the program source text by file name, for annotated
+	// source listings.
+	Source map[string][]string
+}
+
+// NewTable returns an empty table of the given format.
+func NewTable(format Format) *Table {
+	return &Table{
+		Format:        format,
+		Types:         []Type{{Name: "<invalid>"}},
+		Lines:         make(map[uint64]int32),
+		Xrefs:         make(map[uint64]DataXref),
+		BranchTargets: make(map[uint64]bool),
+		Source:        make(map[string][]string),
+	}
+}
+
+// AddType appends t and returns its ID.
+func (t *Table) AddType(ty Type) TypeID {
+	t.Types = append(t.Types, ty)
+	return TypeID(len(t.Types) - 1)
+}
+
+// TypeByID returns the type, or nil for NoType / out of range.
+func (t *Table) TypeByID(id TypeID) *Type {
+	if id <= 0 || int(id) >= len(t.Types) {
+		return nil
+	}
+	return &t.Types[id]
+}
+
+// TypeByName finds a type by name (first match).
+func (t *Table) TypeByName(name string) (TypeID, *Type) {
+	for i := 1; i < len(t.Types); i++ {
+		if t.Types[i].Name == name {
+			return TypeID(i), &t.Types[i]
+		}
+	}
+	return NoType, nil
+}
+
+// AddFunc records a function; call SortFuncs when done adding.
+func (t *Table) AddFunc(f Func) { t.Funcs = append(t.Funcs, f) }
+
+// SortFuncs sorts the function table by start PC.
+func (t *Table) SortFuncs() {
+	sort.Slice(t.Funcs, func(i, j int) bool { return t.Funcs[i].Start < t.Funcs[j].Start })
+}
+
+// FuncAt returns the function containing pc, or nil.
+func (t *Table) FuncAt(pc uint64) *Func {
+	i := sort.Search(len(t.Funcs), func(i int) bool { return t.Funcs[i].End > pc })
+	if i < len(t.Funcs) && t.Funcs[i].Start <= pc {
+		return &t.Funcs[i]
+	}
+	return nil
+}
+
+// FuncByName finds a function by name.
+func (t *Table) FuncByName(name string) *Func {
+	for i := range t.Funcs {
+		if t.Funcs[i].Name == name {
+			return &t.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// TypeDisplay renders a type name the way the paper's listings do:
+// structs as "structure:node", pointers as "pointer+structure:node".
+func (t *Table) TypeDisplay(id TypeID) string {
+	ty := t.TypeByID(id)
+	if ty == nil {
+		return "?"
+	}
+	switch ty.Kind {
+	case KindStruct:
+		return "structure:" + ty.Name
+	case KindPointer:
+		return "pointer+" + t.TypeDisplay(ty.Elem)
+	case KindArray:
+		return fmt.Sprintf("array[%d]+%s", ty.Count, t.TypeDisplay(ty.Elem))
+	default:
+		return ty.Name
+	}
+}
+
+// XrefDisplay renders the annotation shown next to a memory instruction,
+// e.g. "{structure:node -}{long orientation}" for a member access or
+// "{long basket_size}" for a scalar.
+func (t *Table) XrefDisplay(x DataXref) string {
+	ty := t.TypeByID(x.Type)
+	if ty == nil {
+		if x.Type == NoType {
+			return "{<compiler temporary>}"
+		}
+		return ""
+	}
+	if ty.Kind == KindStruct && x.Member >= 0 && int(x.Member) < len(ty.Members) {
+		m := ty.Members[x.Member]
+		return fmt.Sprintf("{%s -}{%s %s}", t.TypeDisplay(x.Type), t.TypeDisplay(m.Type), m.Name)
+	}
+	if x.Var != "" {
+		return fmt.Sprintf("{%s %s}", t.TypeDisplay(x.Type), x.Var)
+	}
+	return fmt.Sprintf("{%s}", t.TypeDisplay(x.Type))
+}

@@ -1,0 +1,116 @@
+package dwarf
+
+import "testing"
+
+func buildTable() (*Table, TypeID, TypeID) {
+	t := NewTable(FormatDWARF)
+	long := t.AddType(Type{Name: "long", Kind: KindBase, Size: 8})
+	node := t.AddType(Type{Name: "node", Kind: KindStruct, Size: 120})
+	nodePtr := t.AddType(Type{Name: "", Kind: KindPointer, Size: 8, Elem: node})
+	t.Types[node].Members = []Member{
+		{Name: "number", Off: 0, Type: long},
+		{Name: "pred", Off: 16, Type: nodePtr},
+		{Name: "orientation", Off: 56, Type: long},
+	}
+	return t, long, node
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatDWARF.String() != "dwarf" || FormatSTABS.String() != "stabs" || FormatNone.String() != "none" {
+		t.Error("format names wrong")
+	}
+}
+
+func TestTypeLookup(t *testing.T) {
+	tab, long, node := buildTable()
+	if ty := tab.TypeByID(long); ty == nil || ty.Name != "long" {
+		t.Error("TypeByID failed")
+	}
+	if tab.TypeByID(NoType) != nil || tab.TypeByID(99) != nil {
+		t.Error("TypeByID out-of-range not nil")
+	}
+	if id, ty := tab.TypeByName("node"); id != node || ty.Size != 120 {
+		t.Error("TypeByName failed")
+	}
+	if id, _ := tab.TypeByName("missing"); id != NoType {
+		t.Error("TypeByName found missing type")
+	}
+}
+
+func TestTypeDisplay(t *testing.T) {
+	tab, long, node := buildTable()
+	if got := tab.TypeDisplay(long); got != "long" {
+		t.Errorf("base display = %q", got)
+	}
+	if got := tab.TypeDisplay(node); got != "structure:node" {
+		t.Errorf("struct display = %q", got)
+	}
+	ptr := tab.Types[node].Members[1].Type
+	if got := tab.TypeDisplay(ptr); got != "pointer+structure:node" {
+		t.Errorf("pointer display = %q", got)
+	}
+	if got := tab.TypeDisplay(NoType); got != "?" {
+		t.Errorf("invalid display = %q", got)
+	}
+}
+
+func TestXrefDisplay(t *testing.T) {
+	tab, long, node := buildTable()
+	// Member access, like the paper's "{structure:node -}{long orientation}".
+	got := tab.XrefDisplay(DataXref{Type: node, Member: 2})
+	if got != "{structure:node -}{long orientation}" {
+		t.Errorf("member xref = %q", got)
+	}
+	// Pointer member renders the pointer type.
+	got = tab.XrefDisplay(DataXref{Type: node, Member: 1})
+	if got != "{structure:node -}{pointer+structure:node pred}" {
+		t.Errorf("pointer member xref = %q", got)
+	}
+	// Scalar.
+	got = tab.XrefDisplay(DataXref{Type: long, Member: -1})
+	if got != "{long}" {
+		t.Errorf("scalar xref = %q", got)
+	}
+	if got := tab.XrefDisplay(DataXref{Type: NoType}); got != "{<compiler temporary>}" {
+		t.Errorf("temporary xref = %q", got)
+	}
+	if got := tab.XrefDisplay(DataXref{Type: long, Member: -1, Var: "basket_size"}); got != "{long basket_size}" {
+		t.Errorf("named scalar xref = %q", got)
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	tab := NewTable(FormatDWARF)
+	tab.AddFunc(Func{Name: "b", Start: 0x2000, End: 0x3000})
+	tab.AddFunc(Func{Name: "a", Start: 0x1000, End: 0x2000})
+	tab.SortFuncs()
+	cases := []struct {
+		pc   uint64
+		want string
+	}{
+		{0x1000, "a"}, {0x1ffc, "a"}, {0x2000, "b"}, {0x2fff, "b"},
+	}
+	for _, c := range cases {
+		if f := tab.FuncAt(c.pc); f == nil || f.Name != c.want {
+			t.Errorf("FuncAt(%#x) = %v, want %s", c.pc, f, c.want)
+		}
+	}
+	if tab.FuncAt(0x0) != nil || tab.FuncAt(0x3000) != nil {
+		t.Error("FuncAt outside ranges not nil")
+	}
+	if f := tab.FuncByName("b"); f == nil || f.Start != 0x2000 {
+		t.Error("FuncByName failed")
+	}
+	if tab.FuncByName("zzz") != nil {
+		t.Error("FuncByName found missing")
+	}
+}
+
+func TestArrayDisplay(t *testing.T) {
+	tab := NewTable(FormatDWARF)
+	long := tab.AddType(Type{Name: "long", Kind: KindBase, Size: 8})
+	arr := tab.AddType(Type{Kind: KindArray, Size: 80, Elem: long, Count: 10})
+	if got := tab.TypeDisplay(arr); got != "array[10]+long" {
+		t.Errorf("array display = %q", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package experiment defines the on-disk experiment format produced by
+// the collector and consumed by the analyzer — the equivalent of the
+// paper's experiment directories: a log file, the load-object
+// description, and one data file per kind of profile data, plus a copy of
+// the profiled program (text and symbol tables).
+//
+// Crucially, the experiment carries no ground truth about which
+// instruction actually triggered each counter overflow: exactly like the
+// real hardware, only the delivered PC, the collector's candidate trigger
+// PC from apropos backtracking, and the recovered effective address are
+// recorded.
+package experiment
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+)
+
+// CounterSpec is one armed hardware counter, as given to collect -h.
+type CounterSpec struct {
+	Event     hwc.Event
+	Interval  uint64
+	Backtrack bool // "+" prefix: apropos backtracking requested
+}
+
+// String renders the spec in collect syntax, e.g. "+ecstall,on".
+func (c CounterSpec) String() string {
+	s := ""
+	if c.Backtrack {
+		s = "+"
+	}
+	return fmt.Sprintf("%s%v,%d", s, c.Event, c.Interval)
+}
+
+// HWCEvent is one counter-overflow profile record.
+type HWCEvent struct {
+	PIC         int
+	DeliveredPC uint64
+	CandidatePC uint64 // candidate trigger PC from backtracking; 0 if none
+	EA          uint64 // recovered effective address
+	HasEA       bool
+	Callstack   []uint64
+	Cycles      uint64 // machine time of delivery
+}
+
+// ClockEvent is one clock-profiling tick record.
+type ClockEvent struct {
+	PC        uint64
+	Callstack []uint64
+	Cycles    uint64
+}
+
+// Meta is the experiment header (the log/loadobjects information).
+type Meta struct {
+	ProgName        string
+	Command         string
+	When            time.Time
+	ClockHz         uint64
+	ClockProfiling  bool
+	ClockTickCycles uint64
+	Counters        []CounterSpec // indexed by PIC
+	Stats           machine.Stats
+	HeapPageSize    uint64
+	DCacheLine      int // D$ line size of the machine profiled on
+	ECacheLine      int // E$ line size
+	ExitStatus      string
+}
+
+// Experiment is a complete experiment, in memory.
+type Experiment struct {
+	Meta   Meta
+	Clock  []ClockEvent
+	HWC    [2][]HWCEvent
+	Allocs []machine.Alloc
+	Prog   *asm.Program
+}
+
+// Interval returns the overflow interval for the counter on PIC pic.
+func (e *Experiment) Interval(pic int) uint64 {
+	if pic < 0 || pic >= len(e.Meta.Counters) {
+		return 0
+	}
+	return e.Meta.Counters[pic].Interval
+}
+
+const (
+	logFile    = "log.txt"
+	metaFile   = "meta.gob"
+	clockFile  = "clock.gob"
+	hwcFile0   = "hwc0.gob"
+	hwcFile1   = "hwc1.gob"
+	allocsFile = "allocs.gob"
+	progFile   = "program.obj"
+)
+
+func writeGob(dir, name string, v any) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readGob(dir, name string, v any) error {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewDecoder(f).Decode(v)
+}
+
+// Save writes the experiment as a directory.
+func (e *Experiment) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeGob(dir, metaFile, &e.Meta); err != nil {
+		return err
+	}
+	if err := writeGob(dir, clockFile, e.Clock); err != nil {
+		return err
+	}
+	if err := writeGob(dir, hwcFile0, e.HWC[0]); err != nil {
+		return err
+	}
+	if err := writeGob(dir, hwcFile1, e.HWC[1]); err != nil {
+		return err
+	}
+	if err := writeGob(dir, allocsFile, e.Allocs); err != nil {
+		return err
+	}
+	if e.Prog != nil {
+		if err := e.Prog.SaveFile(filepath.Join(dir, progFile)); err != nil {
+			return err
+		}
+	}
+	return e.writeLog(dir)
+}
+
+// writeLog writes the human-readable log.txt.
+func (e *Experiment) writeLog(dir string) error {
+	f, err := os.Create(filepath.Join(dir, logFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "experiment: %s\n", e.Meta.Command)
+	fmt.Fprintf(f, "target: %s\n", e.Meta.ProgName)
+	fmt.Fprintf(f, "when: %s\n", e.Meta.When.Format(time.RFC3339))
+	fmt.Fprintf(f, "clock: %d Hz\n", e.Meta.ClockHz)
+	if e.Meta.ClockProfiling {
+		fmt.Fprintf(f, "clock-profiling: every %d cycles, %d ticks\n",
+			e.Meta.ClockTickCycles, len(e.Clock))
+	}
+	for pic, c := range e.Meta.Counters {
+		if c.Event != hwc.EvNone {
+			fmt.Fprintf(f, "counter %d: %s, %d overflow events\n", pic, c, len(e.HWC[pic]))
+		}
+	}
+	fmt.Fprintf(f, "instructions: %d\ncycles: %d\n", e.Meta.Stats.Instrs, e.Meta.Stats.Cycles)
+	fmt.Fprintf(f, "exit: %s\n", e.Meta.ExitStatus)
+	return f.Close()
+}
+
+// Load reads an experiment directory written by Save.
+func Load(dir string) (*Experiment, error) {
+	e := &Experiment{}
+	if err := readGob(dir, metaFile, &e.Meta); err != nil {
+		return nil, fmt.Errorf("experiment: reading meta: %w", err)
+	}
+	if err := readGob(dir, clockFile, &e.Clock); err != nil {
+		return nil, fmt.Errorf("experiment: reading clock data: %w", err)
+	}
+	if err := readGob(dir, hwcFile0, &e.HWC[0]); err != nil {
+		return nil, fmt.Errorf("experiment: reading hwc0 data: %w", err)
+	}
+	if err := readGob(dir, hwcFile1, &e.HWC[1]); err != nil {
+		return nil, fmt.Errorf("experiment: reading hwc1 data: %w", err)
+	}
+	if err := readGob(dir, allocsFile, &e.Allocs); err != nil {
+		return nil, fmt.Errorf("experiment: reading allocs: %w", err)
+	}
+	prog, err := asm.LoadFile(filepath.Join(dir, progFile))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: reading program: %w", err)
+	}
+	e.Prog = prog
+	return e, nil
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
+)
+
+func sample() *Experiment {
+	tab := dwarf.NewTable(dwarf.FormatDWARF)
+	tab.AddFunc(dwarf.Func{Name: "main", Start: machine.TextBase, End: machine.TextBase + 8, HWCProf: true})
+	prog := &asm.Program{
+		Name:  "sample",
+		Base:  machine.TextBase,
+		Entry: machine.TextBase,
+		Text:  []isa.Instr{{Op: isa.Nop}, {Op: isa.Halt}},
+		Debug: tab,
+	}
+	e := &Experiment{Prog: prog}
+	e.Meta = Meta{
+		ProgName:        "sample",
+		Command:         "collect -p on -h +ecstall,lo sample",
+		When:            time.Date(2003, 7, 17, 12, 0, 0, 0, time.UTC),
+		ClockHz:         900_000_000,
+		ClockProfiling:  true,
+		ClockTickCycles: 9_000_011,
+		Counters: []CounterSpec{
+			{Event: hwc.EvECStall, Interval: 100003, Backtrack: true},
+			{},
+		},
+		Stats:        machine.Stats{Instrs: 1000, Cycles: 5000},
+		HeapPageSize: 8192,
+		DCacheLine:   32,
+		ECacheLine:   512,
+		ExitStatus:   "ok",
+	}
+	e.Clock = []ClockEvent{{PC: machine.TextBase, Cycles: 100}}
+	e.HWC[0] = []HWCEvent{{
+		PIC: 0, DeliveredPC: machine.TextBase + 4, CandidatePC: machine.TextBase,
+		EA: 0x40000000, HasEA: true, Callstack: []uint64{machine.TextBase}, Cycles: 42,
+	}}
+	e.Allocs = []machine.Alloc{{Addr: 0x40000000, Size: 128, Seq: 0}}
+	return e
+}
+
+func TestCounterSpecString(t *testing.T) {
+	cs := CounterSpec{Event: hwc.EvECStall, Interval: 100003, Backtrack: true}
+	if got := cs.String(); got != "+ecstall,100003" {
+		t.Errorf("String = %q", got)
+	}
+	cs.Backtrack = false
+	if got := cs.String(); got != "ecstall,100003" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	e := sample()
+	if e.Interval(0) != 100003 {
+		t.Errorf("Interval(0) = %d", e.Interval(0))
+	}
+	if e.Interval(1) != 0 || e.Interval(-1) != 0 || e.Interval(5) != 0 {
+		t.Error("out-of-range Interval should be 0")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta.Command != e.Meta.Command || back.Meta.ECacheLine != 512 {
+		t.Errorf("meta lost: %+v", back.Meta)
+	}
+	if len(back.Clock) != 1 || len(back.HWC[0]) != 1 || len(back.HWC[1]) != 0 {
+		t.Error("events lost")
+	}
+	ev := back.HWC[0][0]
+	if ev.CandidatePC != machine.TextBase || !ev.HasEA || ev.EA != 0x40000000 {
+		t.Errorf("event fields lost: %+v", ev)
+	}
+	if len(back.Allocs) != 1 || back.Allocs[0].Size != 128 {
+		t.Error("allocs lost")
+	}
+	if back.Prog == nil || back.Prog.Debug.FuncByName("main") == nil {
+		t.Error("program lost")
+	}
+}
+
+func TestLogFileWritten(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	log, err := os.ReadFile(filepath.Join(dir, "log.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"experiment:", "target: sample", "counter 0: +ecstall,100003", "exit: ok", "clock-profiling"} {
+		if !strings.Contains(string(log), want) {
+			t.Errorf("log.txt missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.er")); err == nil {
+		t.Error("Load of missing directory succeeded")
+	}
+}
+
+func TestLoadCorrupted(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.gob"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("Load of corrupted experiment succeeded")
+	}
+}

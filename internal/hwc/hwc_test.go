@@ -1,0 +1,134 @@
+package hwc
+
+import (
+	"testing"
+)
+
+func TestEventNamesAndParse(t *testing.T) {
+	for e := Event(1); e < NumEvents; e++ {
+		got, err := ParseEvent(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEvent(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEvent("bogus"); err == nil {
+		t.Error("ParseEvent accepted bogus name")
+	}
+	names := EventNames()
+	if len(names) != int(NumEvents)-1 {
+		t.Errorf("EventNames returned %d names", len(names))
+	}
+}
+
+func TestEventClassification(t *testing.T) {
+	if !EvCycles.CountsCycles() || !EvECStall.CountsCycles() {
+		t.Error("cycle counters misclassified")
+	}
+	if EvECRdMiss.CountsCycles() || EvDTLBMiss.CountsCycles() {
+		t.Error("event counters misclassified as cycles")
+	}
+	for _, e := range []Event{EvDCRdMiss, EvECRef, EvECRdMiss, EvECStall, EvDTLBMiss} {
+		if !e.MemoryRelated() {
+			t.Errorf("%v should be memory related", e)
+		}
+	}
+	for _, e := range []Event{EvCycles, EvInstrs, EvICMiss} {
+		if e.MemoryRelated() {
+			t.Errorf("%v should not be memory related", e)
+		}
+	}
+	if !EvECRdMiss.LoadsOnly() || !EvDCRdMiss.LoadsOnly() {
+		t.Error("read-miss events should be loads-only")
+	}
+	if EvECRef.LoadsOnly() || EvECStall.LoadsOnly() || EvDTLBMiss.LoadsOnly() {
+		t.Error("LoadsOnly too broad")
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	for _, preset := range []string{"on", "high", "low"} {
+		n, err := ParseInterval(preset, EvECRdMiss)
+		if err != nil || n == 0 {
+			t.Errorf("ParseInterval(%q) = %d, %v", preset, n, err)
+		}
+		c, err := ParseInterval(preset, EvCycles)
+		if err != nil || c == 0 {
+			t.Errorf("ParseInterval(%q, cycles) = %d, %v", preset, c, err)
+		}
+		if c == n {
+			t.Errorf("preset %q: cycle and event intervals should differ", preset)
+		}
+	}
+	if n, err := ParseInterval("12345", EvECRef); err != nil || n != 12345 {
+		t.Errorf("numeric interval = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "x", "0", "-5"} {
+		if _, err := ParseInterval(bad, EvECRef); err == nil {
+			t.Errorf("ParseInterval(%q) accepted", bad)
+		}
+	}
+	// high fires more often than on, which fires more often than low.
+	hi, _ := ParseInterval("high", EvECRdMiss)
+	on, _ := ParseInterval("on", EvECRdMiss)
+	lo, _ := ParseInterval("low", EvECRdMiss)
+	if !(hi < on && on < lo) {
+		t.Errorf("preset ordering wrong: high=%d on=%d low=%d", hi, on, lo)
+	}
+}
+
+func TestCounterOverflow(t *testing.T) {
+	c := NewCounter(EvECRdMiss, 10)
+	if over := c.Add(9); over != 0 {
+		t.Errorf("Add(9) overflowed %d times", over)
+	}
+	if over := c.Add(1); over != 1 {
+		t.Errorf("Add(1) at boundary overflowed %d times", over)
+	}
+	if over := c.Add(25); over != 2 {
+		t.Errorf("Add(25) overflowed %d times, want 2", over)
+	}
+	if c.Total != 35 {
+		t.Errorf("Total = %d", c.Total)
+	}
+}
+
+func TestCounterLargeDelta(t *testing.T) {
+	// A single stall larger than the interval must fire multiple times.
+	c := NewCounter(EvECStall, 100)
+	if over := c.Add(350); over != 3 {
+		t.Errorf("Add(350) overflowed %d times, want 3", over)
+	}
+}
+
+func TestSkidProperties(t *testing.T) {
+	s := NewSkid(42)
+	for i := 0; i < 1000; i++ {
+		if got := s.Instrs(EvDTLBMiss); got != 1 {
+			t.Fatalf("DTLB skid = %d, want 1 (precise)", got)
+		}
+	}
+	maxOf := func(ev Event) int {
+		max := 0
+		for i := 0; i < 2000; i++ {
+			if k := s.Instrs(ev); k > max {
+				max = k
+			}
+			if k := s.Instrs(ev); k < 1 {
+				t.Fatalf("%v skid < 1", ev)
+			}
+		}
+		return max
+	}
+	if maxOf(EvECRef) <= maxOf(EvECRdMiss) {
+		t.Error("EC ref skid should exceed EC read-miss skid (paper: greater skid)")
+	}
+}
+
+func TestSkidDeterminism(t *testing.T) {
+	a, b := NewSkid(7), NewSkid(7)
+	for i := 0; i < 100; i++ {
+		if a.Instrs(EvECStall) != b.Instrs(EvECStall) {
+			t.Fatal("skid not deterministic for equal seeds")
+		}
+	}
+}

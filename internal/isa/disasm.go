@@ -1,0 +1,70 @@
+package isa
+
+import "fmt"
+
+// String renders the instruction in assembler syntax without PC context;
+// branch and call targets print as relative word displacements. Use
+// Disasm for absolute targets.
+func (in Instr) String() string { return in.disasm(0, false) }
+
+// Disasm renders the instruction as it would appear in an annotated
+// disassembly listing at address pc, with absolute branch/call targets.
+func Disasm(in Instr, pc uint64) string { return in.disasm(pc, true) }
+
+func (in Instr) disasm(pc uint64, abs bool) string {
+	src2 := func() string {
+		if in.UseImm {
+			return fmt.Sprintf("%d", in.Imm)
+		}
+		return in.Rs2.String()
+	}
+	ea := func() string {
+		if in.UseImm {
+			if in.Imm == 0 {
+				return fmt.Sprintf("[%v]", in.Rs1)
+			}
+			return fmt.Sprintf("[%v %+d]", in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("[%v + %v]", in.Rs1, in.Rs2)
+	}
+	target := func() string {
+		if abs {
+			t, _ := in.BranchTarget(pc)
+			return fmt.Sprintf("0x%x", t)
+		}
+		return fmt.Sprintf(".%+d", in.Imm)
+	}
+	switch {
+	case in.Op == Nop:
+		return "nop"
+	case in.Op == Halt:
+		return "halt"
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%v %s, %v", in.Op, ea(), in.Rd)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%v %v, %s", in.Op, in.Rd, ea())
+	case in.Op == Prefetch:
+		return fmt.Sprintf("prefetch %s", ea())
+	case in.Op == SetHi:
+		return fmt.Sprintf("sethi %%hi(%#x), %v", uint64(in.Imm)<<SetHiShift, in.Rd)
+	case in.Op == Cmp:
+		return fmt.Sprintf("cmp %v, %s", in.Rs1, src2())
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%v %s", in.Op, target())
+	case in.Op == Call:
+		return fmt.Sprintf("call %s", target())
+	case in.Op == Jmpl:
+		if in.Rd == G0 && in.Rs1 == O7 && in.UseImm && in.Imm == 8 {
+			return "retl"
+		}
+		return fmt.Sprintf("jmpl %v %+d, %v", in.Rs1, in.Imm, in.Rd)
+	case in.Op == Syscall:
+		return fmt.Sprintf("ta %d", in.Imm)
+	case in.Op == Or && in.Rs1 == G0 && in.UseImm:
+		return fmt.Sprintf("mov %d, %v", in.Imm, in.Rd)
+	case in.Op == Or && in.Rs1 == G0 && !in.UseImm:
+		return fmt.Sprintf("mov %v, %v", in.Rs2, in.Rd)
+	default: // ALU
+		return fmt.Sprintf("%v %v, %s, %v", in.Op, in.Rs1, src2(), in.Rd)
+	}
+}

@@ -1,0 +1,89 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every opcode must render to something readable, for both immediate and
+// register forms where applicable.
+func TestDisasmCoversAllOpcodes(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		imm := Instr{Op: op, Rd: O1, Rs1: O2, UseImm: true, Imm: 8}
+		reg := Instr{Op: op, Rd: O1, Rs1: O2, Rs2: O3}
+		for _, in := range []Instr{imm, reg} {
+			s := Disasm(in, 0x10000000)
+			if s == "" || strings.Contains(s, "?") {
+				t.Errorf("Disasm(%v form of %v) = %q", in.UseImm, op, s)
+			}
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+	if Op(200).String() == Nop.String() {
+		t.Error("out-of-range op collides with nop")
+	}
+}
+
+func TestDisasmMemForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: LdB, Rd: O1, Rs1: O2, UseImm: true, Imm: -4}, "ldsb [%o2 -4], %o1"},
+		{Instr{Op: LdUB, Rd: O1, Rs1: O2, UseImm: true, Imm: 1}, "ldub [%o2 +1], %o1"},
+		{Instr{Op: LdW, Rd: O1, Rs1: O2, Rs2: O3}, "ldsw [%o2 + %o3], %o1"},
+		{Instr{Op: StW, Rd: O1, Rs1: O2, UseImm: true, Imm: 12}, "stw %o1, [%o2 +12]"},
+		{Instr{Op: StB, Rd: O1, Rs1: O2, Rs2: O3}, "stb %o1, [%o2 + %o3]"},
+		{Instr{Op: Prefetch, Rs1: O2, UseImm: true, Imm: 512}, "prefetch [%o2 +512]"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in, 0); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDisasmALUForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Add, Rd: G1, Rs1: G2, UseImm: true, Imm: 5}, "add %g2, 5, %g1"},
+		{Instr{Op: Sub, Rd: G1, Rs1: G2, Rs2: G3}, "sub %g2, %g3, %g1"},
+		{Instr{Op: Mul, Rd: L0, Rs1: L1, UseImm: true, Imm: 24}, "mulx %l1, 24, %l0"},
+		{Instr{Op: Div, Rd: L0, Rs1: L1, UseImm: true, Imm: 64}, "sdivx %l1, 64, %l0"},
+		{Instr{Op: Sll, Rd: I0, Rs1: I1, UseImm: true, Imm: 3}, "sllx %i1, 3, %i0"},
+		{Instr{Op: Sra, Rd: I0, Rs1: I1, UseImm: true, Imm: 63}, "srax %i1, 63, %i0"},
+		{Instr{Op: SetHi, Rd: G1, UseImm: true, Imm: 0x8000}, "sethi %hi(0x4000000), %g1"},
+		{Instr{Op: Xor, Rd: G1, Rs1: G1, UseImm: true, Imm: -1}, "xor %g1, -1, %g1"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in, 0); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDisasmCallAndJmpl(t *testing.T) {
+	call := Instr{Op: Call, Rd: O7, UseImm: true, Imm: 16}
+	if got := Disasm(call, 0x10000000); got != "call 0x10000040" {
+		t.Errorf("call disasm = %q", got)
+	}
+	ind := Instr{Op: Jmpl, Rd: O1, Rs1: G3, UseImm: true, Imm: 0}
+	if got := Disasm(ind, 0); !strings.HasPrefix(got, "jmpl ") {
+		t.Errorf("jmpl disasm = %q", got)
+	}
+}

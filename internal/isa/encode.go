@@ -1,0 +1,145 @@
+package isa
+
+import "fmt"
+
+// Binary instruction encoding. Every instruction encodes to exactly one
+// 32-bit word. Three formats, selected by the opcode:
+//
+//	Format A (ALU, memory, cmp, jmpl, syscall, nop, halt):
+//	  [31:26] op  [25:21] rd  [20:16] rs1  [15] useImm
+//	  imm form:   [14:13] must be sign bits matching imm  [12:0] imm13
+//	  reg form:   [4:0] rs2
+//
+//	Format B (sethi):
+//	  [31:26] op  [25:21] rd  [20:0] imm21 (unsigned)
+//
+//	Format C (branches, call):
+//	  [31:26] op  [25:21] rd  [20:0] disp21 (signed word displacement)
+//
+// The two's-complement 13-bit immediate of format A is stored sign
+// extended through bit 14 so decoding is unambiguous.
+
+// EncodeErr describes an instruction that does not fit the encoding.
+type EncodeErr struct {
+	In  Instr
+	Why string
+}
+
+func (e *EncodeErr) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: %s", e.In, e.Why)
+}
+
+func format(op Op) int {
+	switch {
+	case op == SetHi:
+		return 'B'
+	case op.IsBranch() || op == Call:
+		return 'C'
+	default:
+		return 'A'
+	}
+}
+
+// Encode packs in into its 32-bit word form.
+func Encode(in Instr) (uint32, error) {
+	if in.Op >= NumOps {
+		return 0, &EncodeErr{in, "invalid opcode"}
+	}
+	w := uint32(in.Op) << 26
+	switch format(in.Op) {
+	case 'B':
+		if in.Imm < 0 || in.Imm > SetHiMax {
+			return 0, &EncodeErr{in, "sethi immediate out of range"}
+		}
+		w |= uint32(in.Rd&31) << 21
+		w |= uint32(in.Imm) & 0x1fffff
+	case 'C':
+		if in.Imm < DispMin || in.Imm > DispMax {
+			return 0, &EncodeErr{in, "branch displacement out of range"}
+		}
+		w |= uint32(in.Rd&31) << 21
+		w |= uint32(in.Imm) & 0x1fffff
+	default: // 'A'
+		w |= uint32(in.Rd&31) << 21
+		w |= uint32(in.Rs1&31) << 16
+		if in.UseImm {
+			if in.Imm < ImmMin || in.Imm > ImmMax {
+				return 0, &EncodeErr{in, "immediate out of range"}
+			}
+			w |= 1 << 15
+			w |= uint32(in.Imm) & 0x7fff // sign bits 14:13 ride along
+		} else {
+			w |= uint32(in.Rs2 & 31)
+		}
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word into an Instr. It is the inverse of Encode
+// for every word Encode can produce.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 26)
+	if op >= NumOps {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", uint8(op), w)
+	}
+	in := Instr{Op: op}
+	switch format(op) {
+	case 'B':
+		in.Rd = Reg(w >> 21 & 31)
+		in.Imm = int32(w & 0x1fffff)
+		in.UseImm = true
+	case 'C':
+		in.Rd = Reg(w >> 21 & 31)
+		disp := int32(w & 0x1fffff)
+		if disp&(1<<20) != 0 { // sign extend 21 bits
+			disp |= ^int32(0x1fffff)
+		}
+		in.Imm = disp
+		in.UseImm = true
+	default:
+		in.Rd = Reg(w >> 21 & 31)
+		in.Rs1 = Reg(w >> 16 & 31)
+		if w&(1<<15) != 0 {
+			in.UseImm = true
+			imm := int32(w & 0x7fff)
+			if imm&(1<<14) != 0 { // sign extend 15 bits
+				imm |= ^int32(0x7fff)
+			}
+			in.Imm = imm
+		} else {
+			in.Rs2 = Reg(w & 31)
+		}
+	}
+	return in, nil
+}
+
+// EncodeText encodes a whole text segment to its binary image, 4 bytes per
+// instruction, little endian.
+func EncodeText(text []Instr) ([]byte, error) {
+	buf := make([]byte, 0, len(text)*InstrBytes)
+	for i := range text {
+		w, err := Encode(text[i])
+		if err != nil {
+			return nil, fmt.Errorf("at instruction %d: %w", i, err)
+		}
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return buf, nil
+}
+
+// DecodeText decodes a binary text image produced by EncodeText.
+func DecodeText(img []byte) ([]Instr, error) {
+	if len(img)%InstrBytes != 0 {
+		return nil, fmt.Errorf("isa: text image length %d not a multiple of %d", len(img), InstrBytes)
+	}
+	text := make([]Instr, len(img)/InstrBytes)
+	for i := range text {
+		w := uint32(img[i*4]) | uint32(img[i*4+1])<<8 | uint32(img[i*4+2])<<16 | uint32(img[i*4+3])<<24
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at instruction %d: %w", i, err)
+		}
+		text[i] = in
+	}
+	return text, nil
+}

@@ -1,0 +1,289 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{G0, "%g0"}, {O0, "%o0"}, {SP, "%sp"}, {O7, "%o7"},
+		{L3, "%l3"}, {I0, "%i0"}, {FP, "%fp"}, {I7, "%i7"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+	if got := Reg(40).String(); !strings.Contains(got, "40") {
+		t.Errorf("out-of-range reg name = %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	loads := []Op{LdB, LdUB, LdW, LdX}
+	stores := []Op{StB, StW, StX}
+	for _, op := range loads {
+		if !op.IsLoad() || op.IsStore() || !op.IsMem() {
+			t.Errorf("%v misclassified as load", op)
+		}
+	}
+	for _, op := range stores {
+		if op.IsLoad() || !op.IsStore() || !op.IsMem() {
+			t.Errorf("%v misclassified as store", op)
+		}
+	}
+	if !Prefetch.IsMem() || Prefetch.IsLoad() || Prefetch.IsStore() {
+		t.Error("Prefetch misclassified")
+	}
+	for _, op := range []Op{Add, Sub, Nop, Cmp, Ba, Call, Halt, Syscall} {
+		if op.IsMem() {
+			t.Errorf("%v wrongly classified as memory op", op)
+		}
+	}
+	for _, op := range []Op{Ba, Be, Bleu} {
+		if !op.IsBranch() || !op.IsCTI() {
+			t.Errorf("%v not classified as branch", op)
+		}
+	}
+	for _, op := range []Op{Call, Jmpl} {
+		if op.IsBranch() || !op.IsCTI() {
+			t.Errorf("%v CTI classification wrong", op)
+		}
+	}
+	if Cmp.IsALU() || !Add.IsALU() || !SetHi.IsALU() || Nop.IsALU() {
+		t.Error("ALU classification wrong")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Op]int{
+		LdB: 1, LdUB: 1, StB: 1, LdW: 4, StW: 4, LdX: 8, StX: 8,
+		Prefetch: 8, Add: 0, Nop: 0, Ba: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemBytes(); got != want {
+			t.Errorf("%v.MemBytes() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestWrites(t *testing.T) {
+	cases := []struct {
+		in  Instr
+		reg Reg
+		ok  bool
+	}{
+		{Instr{Op: LdX, Rd: O1, Rs1: O2, UseImm: true}, O1, true},
+		{Instr{Op: Add, Rd: L0, Rs1: L1, Rs2: L2}, L0, true},
+		{Instr{Op: Add, Rd: G0, Rs1: L1, Rs2: L2}, 0, false},
+		{Instr{Op: StX, Rd: O1, Rs1: O2, UseImm: true}, 0, false},
+		{Instr{Op: Call, Imm: 4}, O7, true},
+		{Instr{Op: Jmpl, Rd: G0, Rs1: O7, Imm: 8, UseImm: true}, 0, false},
+		{Instr{Op: Cmp, Rs1: O0, UseImm: true, Imm: 1}, 0, false},
+		{Instr{Op: Syscall, Imm: 1, UseImm: true}, O0, true},
+		{Instr{Op: Prefetch, Rs1: O0, UseImm: true}, 0, false},
+	}
+	for _, c := range cases {
+		r, ok := c.in.Writes()
+		if ok != c.ok || (ok && r != c.reg) {
+			t.Errorf("%v.Writes() = %v,%v want %v,%v", c.in, r, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestAddrRegs(t *testing.T) {
+	in := Instr{Op: LdX, Rd: O0, Rs1: O3, UseImm: true, Imm: 56}
+	base, _, hasIdx, ok := in.AddrRegs()
+	if !ok || base != O3 || hasIdx {
+		t.Errorf("imm-form AddrRegs wrong: %v %v %v", base, hasIdx, ok)
+	}
+	in = Instr{Op: StX, Rd: O0, Rs1: O3, Rs2: L1}
+	base, idx, hasIdx, ok := in.AddrRegs()
+	if !ok || base != O3 || !hasIdx || idx != L1 {
+		t.Errorf("reg-form AddrRegs wrong: %v %v %v %v", base, idx, hasIdx, ok)
+	}
+	if _, _, _, ok := (&Instr{Op: Add}).AddrRegs(); ok {
+		t.Error("AddrRegs ok for non-memory instruction")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Instr{Op: Be, Imm: -3, UseImm: true}
+	if tgt, ok := in.BranchTarget(0x1000); !ok || tgt != 0x1000-12 {
+		t.Errorf("BranchTarget = %#x,%v", tgt, ok)
+	}
+	in = Instr{Op: Call, Imm: 5, UseImm: true}
+	if tgt, ok := in.BranchTarget(0x2000); !ok || tgt != 0x2000+20 {
+		t.Errorf("Call target = %#x,%v", tgt, ok)
+	}
+	if _, ok := (&Instr{Op: Jmpl}).BranchTarget(0); ok {
+		t.Error("Jmpl should have no static target")
+	}
+}
+
+func TestEncodeDecodeExamples(t *testing.T) {
+	examples := []Instr{
+		{Op: Nop},
+		{Op: Halt},
+		{Op: LdX, Rd: O2, Rs1: O3, UseImm: true, Imm: 56},
+		{Op: LdX, Rd: O4, Rs1: O3, Rs2: L5},
+		{Op: StB, Rd: O0, Rs1: SP, UseImm: true, Imm: -120},
+		{Op: Add, Rd: G1, Rs1: G4, Rs2: G5},
+		{Op: Sub, Rd: G2, Rs1: G2, UseImm: true, Imm: ImmMin},
+		{Op: Add, Rd: G2, Rs1: G2, UseImm: true, Imm: ImmMax},
+		{Op: SetHi, Rd: G1, UseImm: true, Imm: SetHiMax},
+		{Op: SetHi, Rd: G1, UseImm: true, Imm: 0},
+		{Op: Cmp, Rs1: O2, UseImm: true, Imm: 1},
+		{Op: Bne, UseImm: true, Imm: -40},
+		{Op: Ba, UseImm: true, Imm: DispMax},
+		{Op: Be, UseImm: true, Imm: DispMin},
+		{Op: Call, Rd: O7, UseImm: true, Imm: 1234},
+		{Op: Jmpl, Rd: G0, Rs1: O7, UseImm: true, Imm: 8},
+		{Op: Syscall, UseImm: true, Imm: 3},
+		{Op: Prefetch, Rs1: O1, UseImm: true, Imm: 512},
+	}
+	for _, in := range examples {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != in {
+			t.Errorf("roundtrip %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instr{
+		{Op: Add, Rd: G1, Rs1: G1, UseImm: true, Imm: ImmMax + 1},
+		{Op: Add, Rd: G1, Rs1: G1, UseImm: true, Imm: ImmMin - 1},
+		{Op: SetHi, Rd: G1, UseImm: true, Imm: SetHiMax + 1},
+		{Op: SetHi, Rd: G1, UseImm: true, Imm: -1},
+		{Op: Ba, UseImm: true, Imm: DispMax + 1},
+		{Op: Ba, UseImm: true, Imm: DispMin - 1},
+		{Op: NumOps, UseImm: true},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) unexpectedly succeeded", in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	w := uint32(uint8(NumOps)) << 26
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted invalid opcode")
+	}
+}
+
+// randInstr generates a random encodable instruction.
+func randInstr(r *rand.Rand) Instr {
+	for {
+		in := Instr{Op: Op(r.Intn(int(NumOps)))}
+		switch format(in.Op) {
+		case 'B':
+			in.Rd = Reg(r.Intn(32))
+			in.Imm = int32(r.Intn(SetHiMax + 1))
+			in.UseImm = true
+		case 'C':
+			in.Rd = Reg(r.Intn(32))
+			in.Imm = int32(r.Intn(DispMax-DispMin+1) + DispMin)
+			in.UseImm = true
+		default:
+			in.Rd = Reg(r.Intn(32))
+			in.Rs1 = Reg(r.Intn(32))
+			if r.Intn(2) == 0 {
+				in.UseImm = true
+				in.Imm = int32(r.Intn(ImmMax-ImmMin+1) + ImmMin)
+			} else {
+				in.Rs2 = Reg(r.Intn(32))
+			}
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundtripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randInstr(r)
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeTextRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	text := make([]Instr, 257)
+	for i := range text {
+		text[i] = randInstr(r)
+	}
+	img, err := EncodeText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != len(text)*InstrBytes {
+		t.Fatalf("image size %d, want %d", len(img), len(text)*InstrBytes)
+	}
+	back, err := DecodeText(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range text {
+		if back[i] != text[i] {
+			t.Fatalf("instruction %d: %v != %v", i, back[i], text[i])
+		}
+	}
+	if _, err := DecodeText(img[:5]); err == nil {
+		t.Error("DecodeText accepted truncated image")
+	}
+}
+
+func TestDisasmStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		pc   uint64
+		want string
+	}{
+		{Instr{Op: LdX, Rd: O2, Rs1: O3, UseImm: true, Imm: 56}, 0, "ldx [%o3 +56], %o2"},
+		{Instr{Op: StX, Rd: G2, Rs1: O3, UseImm: true, Imm: 88}, 0, "stx %g2, [%o3 +88]"},
+		{Instr{Op: LdX, Rd: O2, Rs1: O3, UseImm: true, Imm: 0}, 0, "ldx [%o3], %o2"},
+		{Instr{Op: Cmp, Rs1: O2, UseImm: true, Imm: 1}, 0, "cmp %o2, 1"},
+		{Instr{Op: Nop}, 0, "nop"},
+		{Instr{Op: Jmpl, Rd: G0, Rs1: O7, UseImm: true, Imm: 8}, 0, "retl"},
+		{Instr{Op: Or, Rd: O5, Rs1: G0, UseImm: true, Imm: 7}, 0, "mov 7, %o5"},
+		{Instr{Op: Or, Rd: O5, Rs1: G0, Rs2: O3}, 0, "mov %o3, %o5"},
+		{Instr{Op: Syscall, UseImm: true, Imm: 2}, 0, "ta 2"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in, c.pc); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Branch target must render absolute with PC context.
+	b := Instr{Op: Bne, UseImm: true, Imm: -4}
+	if got := Disasm(b, 0x100003000); got != "bne 0x100002ff0" {
+		t.Errorf("branch disasm = %q", got)
+	}
+	if got := b.String(); got != "bne .-4" {
+		t.Errorf("branch String = %q", got)
+	}
+}

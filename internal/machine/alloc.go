@@ -1,0 +1,74 @@
+package machine
+
+// allocator is the runtime heap allocator backing the malloc/calloc/free
+// syscalls: a bump allocator with a first-fit free list. Allocation
+// metadata lives host-side (not in simulated memory), so the addresses
+// handed to the program are exactly the object addresses — important for
+// the paper's object-alignment analyses. Freed blocks are reused but not
+// coalesced; the workloads allocate large long-lived arrays, so
+// fragmentation is not a concern.
+type allocator struct {
+	base  uint64
+	limit uint64
+	brk   uint64
+
+	live map[uint64]uint64 // addr -> size
+	free []block           // reusable blocks
+}
+
+type block struct {
+	addr, size uint64
+}
+
+const allocAlign = 16
+
+func newAllocator(base, limit uint64) *allocator {
+	return &allocator{base: base, limit: limit, brk: base, live: make(map[uint64]uint64)}
+}
+
+// alloc returns the address of a fresh block of at least size bytes, or 0
+// if the heap is exhausted.
+func (a *allocator) alloc(size uint64) uint64 {
+	if size == 0 {
+		size = allocAlign
+	}
+	size = (size + allocAlign - 1) &^ uint64(allocAlign-1)
+	for i, b := range a.free {
+		if b.size >= size {
+			a.free[i] = a.free[len(a.free)-1]
+			a.free = a.free[:len(a.free)-1]
+			a.live[b.addr] = b.size
+			return b.addr
+		}
+	}
+	if a.brk+size > a.limit {
+		return 0
+	}
+	addr := a.brk
+	a.brk += size
+	a.live[addr] = size
+	return addr
+}
+
+// release returns a block to the free list. Unknown addresses are ignored
+// (free(NULL) and double-free both tolerated, like the paper-era libc).
+func (a *allocator) release(addr uint64) {
+	size, ok := a.live[addr]
+	if !ok {
+		return
+	}
+	delete(a.live, addr)
+	a.free = append(a.free, block{addr, size})
+}
+
+// sizeOf reports the size of a live block (0 if unknown).
+func (a *allocator) sizeOf(addr uint64) uint64 { return a.live[addr] }
+
+// inUse reports the total bytes currently allocated.
+func (a *allocator) inUse() uint64 {
+	var n uint64
+	for _, s := range a.live {
+		n += s
+	}
+	return n
+}

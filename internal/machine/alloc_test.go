@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"testing"
+
+	"dsprof/internal/xrand"
+)
+
+func TestAllocatorBasic(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	p1 := a.alloc(100)
+	p2 := a.alloc(100)
+	if p1 == 0 || p2 == 0 || p1 == p2 {
+		t.Fatalf("allocations: %#x %#x", p1, p2)
+	}
+	if p1%allocAlign != 0 || p2%allocAlign != 0 {
+		t.Error("allocations not aligned")
+	}
+	if p2 < p1+100 {
+		t.Error("allocations overlap")
+	}
+	if a.sizeOf(p1) < 100 {
+		t.Errorf("sizeOf = %d", a.sizeOf(p1))
+	}
+}
+
+func TestAllocatorZeroSize(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	p := a.alloc(0)
+	if p == 0 {
+		t.Fatal("alloc(0) failed")
+	}
+	if a.sizeOf(p) == 0 {
+		t.Error("zero-size allocation has no block")
+	}
+}
+
+func TestAllocatorReuseAfterFree(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	p := a.alloc(256)
+	a.release(p)
+	q := a.alloc(200) // fits in the freed block
+	if q != p {
+		t.Errorf("freed block not reused: %#x vs %#x", q, p)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := newAllocator(0x1000, 0x1100) // 256 bytes
+	if p := a.alloc(512); p != 0 {
+		t.Errorf("oversized allocation succeeded: %#x", p)
+	}
+	p := a.alloc(128)
+	q := a.alloc(112)
+	if p == 0 || q == 0 {
+		t.Fatal("allocations within capacity failed")
+	}
+	if r := a.alloc(64); r != 0 {
+		t.Error("allocation beyond capacity succeeded")
+	}
+}
+
+func TestAllocatorDoubleFreeTolerated(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	p := a.alloc(64)
+	a.release(p)
+	a.release(p)    // double free: ignored
+	a.release(0)    // free(NULL): ignored
+	a.release(9999) // unknown address: ignored
+	if got := len(a.free); got != 1 {
+		t.Errorf("free list has %d entries, want 1", got)
+	}
+}
+
+func TestAllocatorInUse(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	a.alloc(64)
+	p := a.alloc(128)
+	if got := a.inUse(); got != 64+128 {
+		t.Errorf("inUse = %d", got)
+	}
+	a.release(p)
+	if got := a.inUse(); got != 64 {
+		t.Errorf("inUse after free = %d", got)
+	}
+}
+
+// Property: live allocations never overlap and stay within the heap
+// bounds, across random alloc/free sequences.
+func TestAllocatorNoOverlapProperty(t *testing.T) {
+	a := newAllocator(0x4000_0000, 0x4100_0000)
+	r := xrand.New(77)
+	live := map[uint64]uint64{} // addr -> requested size
+	var addrs []uint64
+	for i := 0; i < 3000; i++ {
+		if len(addrs) > 0 && r.Intn(3) == 0 {
+			k := r.Intn(len(addrs))
+			addr := addrs[k]
+			a.release(addr)
+			delete(live, addr)
+			addrs[k] = addrs[len(addrs)-1]
+			addrs = addrs[:len(addrs)-1]
+			continue
+		}
+		size := uint64(1 + r.Intn(4096))
+		p := a.alloc(size)
+		if p == 0 {
+			t.Fatal("heap exhausted unexpectedly")
+		}
+		if p < 0x4000_0000 || p+size > 0x4100_0000 {
+			t.Fatalf("allocation [%#x,%#x) outside heap", p, p+size)
+		}
+		for other, osize := range live {
+			if p < other+osize && other < p+size {
+				t.Fatalf("overlap: [%#x,%#x) with [%#x,%#x)", p, p+size, other, other+osize)
+			}
+		}
+		live[p] = size
+		addrs = append(addrs, p)
+	}
+}

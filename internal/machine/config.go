@@ -1,0 +1,139 @@
+// Package machine implements the simulated processor and its runtime: a
+// SPARC-like 64-bit core with branch delay slots, a two-level data cache
+// hierarchy and DTLB with cycle accounting, two hardware performance
+// counter registers with overflow interrupts and counter skid, a simple
+// process address space (text/data/heap/stack) with a free-list heap
+// allocator, and a syscall interface for I/O.
+//
+// The machine is the substrate standing in for the paper's 900 MHz
+// UltraSPARC-III Cu running Solaris 9: everything the profiling pipeline
+// observes (PCs, counter overflow signals, register contents, memory
+// behaviour) is produced here.
+package machine
+
+import (
+	"fmt"
+
+	"dsprof/internal/cache"
+	"dsprof/internal/tlb"
+)
+
+// Address space layout. Everything lives below 2^31 so that any address
+// can be materialized with the two-instruction sethi+or idiom; the text
+// base is chosen so PCs look like the paper's listings (0x100031b0).
+const (
+	TextBase  = 0x1000_0000
+	DataBase  = 0x2000_0000
+	HeapBase  = 0x4000_0000
+	StackTop  = 0x7f00_0000
+	PageAlign = 8192 // minimum page size
+)
+
+// SegmentID identifies an address-space segment.
+type SegmentID uint8
+
+// Segments of the simulated address space.
+const (
+	SegNone SegmentID = iota
+	SegText
+	SegData
+	SegHeap
+	SegStack
+)
+
+var segNames = []string{"none", "Text", "Data", "Heap", "Stack"}
+
+func (s SegmentID) String() string {
+	if int(s) < len(segNames) {
+		return segNames[s]
+	}
+	return "seg?"
+}
+
+// Config describes the simulated system.
+type Config struct {
+	ClockHz uint64 // simulated clock; "seconds" metrics are cycles/ClockHz
+
+	DCache cache.Config
+	ECache cache.Config
+	ICache cache.Config
+	// ICMissStall is the pipeline stall of an instruction fetch miss.
+	ICMissStall int
+	Costs       cache.Costs
+	TLB         tlb.Config
+
+	// Per-segment page sizes (power of two, >= PageAlign). HeapPageSize
+	// is what -xpagesize_heap=512k changes.
+	TextPageSize  uint64
+	DataPageSize  uint64
+	HeapPageSize  uint64
+	StackPageSize uint64
+
+	StackBytes uint64 // stack segment size
+	HeapBytes  uint64 // maximum heap size
+
+	MaxInstrs uint64 // instruction budget; 0 means unlimited
+	SkidSeed  uint64 // seed for the counter skid model
+}
+
+// DefaultConfig is the UltraSPARC-III Cu-like system of the paper:
+// 900 MHz, 64 KB/4-way/32 B D$, 8 MB/2-way/512 B E$, 8 KB pages.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:       900_000_000,
+		DCache:        cache.DefaultDCache(),
+		ECache:        cache.DefaultECache(),
+		ICache:        cache.Config{Name: "I$", SizeBytes: 32 << 10, LineBytes: 32, Assoc: 4},
+		ICMissStall:   12,
+		Costs:         cache.DefaultCosts(),
+		TLB:           tlb.DefaultConfig(),
+		TextPageSize:  8192,
+		DataPageSize:  8192,
+		HeapPageSize:  8192,
+		StackPageSize: 8192,
+		StackBytes:    8 << 20,
+		HeapBytes:     StackTop - 16<<20 - HeapBase, // up to just below the stack
+		SkidSeed:      1,
+	}
+}
+
+// ScaledConfig is a proportionally scaled-down system for fast
+// experiments: caches are 1/8 the paper's size with identical line sizes
+// and associativities, and the TLB is smaller. Workloads sized so that
+// working-set:cache ratios match the paper reproduce the paper's shape at
+// a fraction of the simulation cost.
+func ScaledConfig() Config {
+	c := DefaultConfig()
+	c.DCache.SizeBytes = 8 << 10
+	c.ECache.SizeBytes = 1 << 20
+	c.ICache.SizeBytes = 8 << 10
+	c.TLB.Entries = 64
+	return c
+}
+
+func isPow2u(n uint64) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.ClockHz == 0 {
+		return fmt.Errorf("machine: zero clock rate")
+	}
+	for _, ps := range []uint64{c.TextPageSize, c.DataPageSize, c.HeapPageSize, c.StackPageSize} {
+		if !isPow2u(ps) || ps < PageAlign {
+			return fmt.Errorf("machine: page size %d invalid (power of two >= %d)", ps, PageAlign)
+		}
+	}
+	if c.StackBytes < 64<<10 {
+		return fmt.Errorf("machine: stack too small")
+	}
+	if err := c.DCache.Validate(); err != nil {
+		return err
+	}
+	if err := c.ECache.Validate(); err != nil {
+		return err
+	}
+	if err := c.ICache.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

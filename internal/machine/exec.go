@@ -1,0 +1,345 @@
+package machine
+
+import (
+	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+	"dsprof/internal/tlb"
+)
+
+// Base pipeline cost of each opcode, in cycles, before memory stalls.
+var baseCost = func() [isa.NumOps]uint8 {
+	var c [isa.NumOps]uint8
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		switch {
+		case op.IsLoad():
+			c[op] = 2
+		case op == isa.Mul:
+			c[op] = 6
+		case op == isa.Div || op == isa.Rem:
+			c[op] = 40
+		default:
+			c[op] = 1
+		}
+	}
+	return c
+}()
+
+// Run executes instructions until the program halts or a trap occurs.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	// Deliver profiling interrupts whose skid has elapsed: the delivered
+	// PC is the next instruction to issue, i.e. the current PC.
+	if len(m.pending) > 0 {
+		m.deliverPending()
+	}
+	if m.ClockTickCycles > 0 && m.stats.Cycles >= m.nextTick {
+		for m.stats.Cycles >= m.nextTick {
+			m.nextTick += m.ClockTickCycles
+			m.stats.ClockTicks++
+		}
+		if m.OnClockTick != nil {
+			m.OnClockTick(&ClockTick{PC: m.PC, Callstack: m.Callstack(), Cycles: m.stats.Cycles})
+		}
+	}
+
+	pc := m.PC
+	if pc < TextBase || pc >= m.textEnd || pc%isa.InstrBytes != 0 {
+		return &Trap{Kind: TrapBadPC, PC: pc}
+	}
+	in := &m.text[(pc-TextBase)/isa.InstrBytes]
+
+	m.stats.Instrs++
+	if m.Cfg.MaxInstrs > 0 && m.stats.Instrs > m.Cfg.MaxInstrs {
+		return &Trap{Kind: TrapBudget, PC: pc}
+	}
+
+	cost := uint64(baseCost[in.Op])
+
+	// Instruction fetch: probe the I$ only when leaving the current
+	// fetch line (sequential fetches within a line are free).
+	if line := pc / uint64(m.Cfg.ICache.LineBytes); line != m.lastFetchLine {
+		m.lastFetchLine = line
+		if hit, _ := m.IC.Access(pc, false, true); !hit {
+			m.stats.ICMisses++
+			cost += uint64(m.Cfg.ICMissStall)
+			m.count(hwc.EvICMiss, 1, pc, 0, false)
+		}
+	}
+	nextNPC := m.NPC + isa.InstrBytes
+	var src2 int64
+	if in.UseImm {
+		src2 = int64(in.Imm)
+	} else {
+		src2 = m.Regs[in.Rs2]
+	}
+
+	switch {
+	case in.Op == isa.Nop:
+		// nothing
+	case in.Op.IsMem():
+		addr := uint64(m.Regs[in.Rs1] + src2)
+		extra, err := m.access(in, pc, addr)
+		if err != nil {
+			return err
+		}
+		cost += extra
+	case in.Op.IsALU():
+		m.wreg(in.Rd, m.alu(in.Op, m.Regs[in.Rs1], src2, pc))
+		if m.trapped != nil {
+			t := m.trapped
+			m.trapped = nil
+			return t
+		}
+	case in.Op == isa.Cmp:
+		m.setCC(m.Regs[in.Rs1], src2)
+	case in.Op.IsBranch():
+		if m.cond(in.Op) {
+			t, _ := in.BranchTarget(pc)
+			nextNPC = t
+		}
+	case in.Op == isa.Call:
+		m.Regs[isa.O7] = int64(pc)
+		m.callstack = append(m.callstack, pc)
+		t, _ := in.BranchTarget(pc)
+		nextNPC = t
+	case in.Op == isa.Jmpl:
+		target := uint64(m.Regs[in.Rs1] + src2)
+		m.wreg(in.Rd, int64(pc))
+		if in.Rd == isa.G0 && in.Rs1 == isa.O7 && len(m.callstack) > 0 {
+			m.callstack = m.callstack[:len(m.callstack)-1]
+		}
+		nextNPC = target
+	case in.Op == isa.Syscall:
+		res, extra, err := m.doSyscall(src2)
+		if err != nil {
+			return err
+		}
+		m.wreg(isa.O0, res)
+		cost += extra
+		m.stats.SyscallCycles += extra
+	case in.Op == isa.Halt:
+		m.halted = true
+	}
+
+	m.stats.Cycles += cost
+	m.count(hwc.EvInstrs, 1, pc, 0, false)
+	m.count(hwc.EvCycles, cost, pc, 0, false)
+
+	m.PC = m.NPC
+	m.NPC = nextNPC
+	return nil
+}
+
+func (m *Machine) alu(op isa.Op, a, b int64, pc uint64) int64 {
+	switch op {
+	case isa.Add:
+		return a + b
+	case isa.Sub:
+		return a - b
+	case isa.Mul:
+		return a * b
+	case isa.Div:
+		if b == 0 {
+			m.trapped = &Trap{Kind: TrapDivZero, PC: pc}
+			return 0
+		}
+		return a / b
+	case isa.Rem:
+		if b == 0 {
+			m.trapped = &Trap{Kind: TrapDivZero, PC: pc}
+			return 0
+		}
+		return a % b
+	case isa.And:
+		return a & b
+	case isa.Or:
+		return a | b
+	case isa.Xor:
+		return a ^ b
+	case isa.Sll:
+		return a << (uint64(b) & 63)
+	case isa.Srl:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case isa.Sra:
+		return a >> (uint64(b) & 63)
+	case isa.SetHi:
+		return b << isa.SetHiShift
+	}
+	return 0
+}
+
+func (m *Machine) wreg(r isa.Reg, v int64) {
+	if r != isa.G0 {
+		m.Regs[r] = v
+	}
+}
+
+func (m *Machine) setCC(a, b int64) {
+	r := a - b
+	m.ccZ = r == 0
+	m.ccN = r < 0
+	m.ccV = (a < 0) != (b < 0) && (r < 0) != (a < 0)
+	m.ccC = uint64(a) < uint64(b)
+}
+
+func (m *Machine) cond(op isa.Op) bool {
+	switch op {
+	case isa.Ba:
+		return true
+	case isa.Be:
+		return m.ccZ
+	case isa.Bne:
+		return !m.ccZ
+	case isa.Bg:
+		return !(m.ccZ || (m.ccN != m.ccV))
+	case isa.Bge:
+		return m.ccN == m.ccV
+	case isa.Bl:
+		return m.ccN != m.ccV
+	case isa.Ble:
+		return m.ccZ || (m.ccN != m.ccV)
+	case isa.Bgu:
+		return !(m.ccC || m.ccZ)
+	case isa.Bgeu:
+		return !m.ccC
+	case isa.Blu:
+		return m.ccC
+	case isa.Bleu:
+		return m.ccC || m.ccZ
+	}
+	return false
+}
+
+// access performs the memory reference of in at effective address addr
+// and returns the extra stall cycles.
+func (m *Machine) access(in *isa.Instr, pc, addr uint64) (uint64, error) {
+	size := in.Op.MemBytes()
+	if in.Op != isa.Prefetch && addr%uint64(size) != 0 {
+		return 0, &Trap{Kind: TrapMisaligned, PC: pc, Addr: addr}
+	}
+	seg, pageSize := m.segment(addr)
+	if seg == SegNone {
+		if in.Op == isa.Prefetch {
+			return 0, nil // prefetches never fault
+		}
+		return 0, &Trap{Kind: TrapSegv, PC: pc, Addr: addr}
+	}
+
+	var stall uint64
+	if !m.DTLB.Lookup(addr&^(pageSize-1), pageSize) {
+		m.stats.DTLBMisses++
+		stall += tlb.MissPenaltyCycles
+		m.count(hwc.EvDTLBMiss, 1, pc, addr, true)
+	}
+
+	var r struct {
+		ecRef, ecRdMiss, dcRdMiss bool
+		stall                     int
+	}
+	switch {
+	case in.Op.IsLoad():
+		m.stats.Loads++
+		res := m.Hier.Load(addr)
+		r.ecRef, r.ecRdMiss, r.dcRdMiss, r.stall = res.ECRef, res.ECRdMiss, res.DCRdMiss, res.Stall
+	case in.Op.IsStore():
+		m.stats.Stores++
+		res := m.Hier.Store(addr)
+		r.ecRef, r.stall = res.ECRef, res.Stall
+	default: // prefetch
+		res := m.Hier.Prefetch(addr)
+		r.ecRef = res.ECRef
+	}
+	if r.dcRdMiss {
+		m.stats.DCRdMisses++
+		m.count(hwc.EvDCRdMiss, 1, pc, addr, true)
+	}
+	if r.ecRef {
+		m.stats.ECRefs++
+		m.count(hwc.EvECRef, 1, pc, addr, true)
+	}
+	if r.ecRdMiss {
+		m.stats.ECRdMisses++
+		m.count(hwc.EvECRdMiss, 1, pc, addr, true)
+	}
+	if r.stall > 0 {
+		m.stats.ECStallCycles += uint64(r.stall)
+		m.count(hwc.EvECStall, uint64(r.stall), pc, addr, true)
+	}
+	stall += uint64(r.stall)
+
+	// Perform the architectural access.
+	switch in.Op {
+	case isa.LdB:
+		m.wreg(in.Rd, int64(int8(m.Mem.Read8(addr))))
+	case isa.LdUB:
+		m.wreg(in.Rd, int64(m.Mem.Read8(addr)))
+	case isa.LdW:
+		m.wreg(in.Rd, int64(int32(m.Mem.Read32(addr))))
+	case isa.LdX:
+		m.wreg(in.Rd, int64(m.Mem.Read64(addr)))
+	case isa.StB:
+		m.Mem.Write8(addr, uint8(m.Regs[in.Rd]))
+	case isa.StW:
+		m.Mem.Write32(addr, uint32(m.Regs[in.Rd]))
+	case isa.StX:
+		m.Mem.Write64(addr, uint64(m.Regs[in.Rd]))
+	}
+	return stall, nil
+}
+
+// count feeds n events into whichever PIC registers are armed for ev, and
+// schedules overflow signal delivery with per-event skid.
+func (m *Machine) count(ev hwc.Event, n uint64, trigPC, ea uint64, hasEA bool) {
+	for pic := 0; pic < 2; pic++ {
+		c := m.counters[pic]
+		if c == nil || c.Event != ev {
+			continue
+		}
+		overflows := c.Add(n)
+		for i := 0; i < overflows; i++ {
+			m.pending = append(m.pending, pendingSig{
+				remaining: m.skid.Instrs(ev),
+				ev: OverflowEvent{
+					PIC:       pic,
+					Event:     ev,
+					TruePC:    trigPC,
+					TrueEA:    ea,
+					TrueHasEA: hasEA,
+				},
+			})
+		}
+	}
+}
+
+// deliverPending ages pending overflow signals and fires those whose skid
+// has elapsed. Delivered state (PC, registers, callstack) is the live
+// machine state at delivery time.
+func (m *Machine) deliverPending() {
+	kept := m.pending[:0]
+	for i := range m.pending {
+		p := &m.pending[i]
+		p.remaining--
+		if p.remaining > 0 {
+			kept = append(kept, *p)
+			continue
+		}
+		if m.OnOverflow != nil {
+			e := p.ev
+			e.DeliveredPC = m.PC
+			e.Regs = m.Regs
+			e.Callstack = m.Callstack()
+			e.Cycles = m.stats.Cycles
+			m.OnOverflow(&e)
+		}
+	}
+	m.pending = kept
+}

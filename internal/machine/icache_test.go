@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+)
+
+func TestICacheTightLoopMostlyHits(t *testing.T) {
+	// A tight loop fits one or two I$ lines: after warmup there are no
+	// more I$ misses regardless of iteration count.
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Emit(movImm(isa.O1, 100000))
+		b.Label("loop")
+		b.Emit(isa.Instr{Op: isa.Sub, Rd: isa.O1, Rs1: isa.O1, UseImm: true, Imm: 1})
+		b.Emit(isa.Instr{Op: isa.Cmp, Rs1: isa.O1, UseImm: true, Imm: 0})
+		b.EmitBranch(isa.Bg, "loop")
+		b.Emit(isa.Instr{Op: isa.Nop})
+		b.Emit(isa.Instr{Op: isa.Halt})
+	})
+	run(t, m)
+	if m.Stats().ICMisses > 3 {
+		t.Errorf("tight loop took %d I$ misses, want <= 3 (compulsory)", m.Stats().ICMisses)
+	}
+}
+
+func TestICacheCountsCompulsoryMisses(t *testing.T) {
+	// Straight-line code across many lines: one compulsory miss per
+	// 32-byte line (8 instructions).
+	const n = 256
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		for i := 0; i < n; i++ {
+			b.Emit(isa.Instr{Op: isa.Add, Rd: isa.O0, Rs1: isa.O0, UseImm: true, Imm: 1})
+		}
+		b.Emit(isa.Instr{Op: isa.Halt})
+	})
+	run(t, m)
+	want := uint64((n + 1 + 7) / 8)
+	got := m.Stats().ICMisses
+	if got < want-1 || got > want+1 {
+		t.Errorf("ICMisses = %d, want ~%d", got, want)
+	}
+}
+
+func TestICacheMissCounterEvent(t *testing.T) {
+	var events int
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		for i := 0; i < 256; i++ {
+			b.Emit(isa.Instr{Op: isa.Nop})
+		}
+		b.Emit(isa.Instr{Op: isa.Halt})
+	})
+	if err := m.ArmCounter(0, hwc.EvICMiss, 8); err != nil {
+		t.Fatal(err)
+	}
+	m.OnOverflow = func(e *OverflowEvent) {
+		if e.Event == hwc.EvICMiss {
+			events++
+		}
+	}
+	run(t, m)
+	if events == 0 {
+		t.Error("icm counter never overflowed")
+	}
+}
+
+func TestICacheMissesCostCycles(t *testing.T) {
+	prog := func(b *asm.Builder) {
+		for i := 0; i < 512; i++ {
+			b.Emit(isa.Instr{Op: isa.Nop})
+		}
+		b.Emit(isa.Instr{Op: isa.Halt})
+	}
+	cfg := DefaultConfig()
+	m1 := build(t, cfg, prog)
+	run(t, m1)
+	cfg.ICMissStall = 100
+	m2 := build(t, cfg, prog)
+	run(t, m2)
+	if m2.Stats().Cycles <= m1.Stats().Cycles {
+		t.Errorf("higher I$ miss cost did not increase cycles: %d vs %d",
+			m2.Stats().Cycles, m1.Stats().Cycles)
+	}
+}

@@ -1,0 +1,258 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+
+	"dsprof/internal/cache"
+	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+	"dsprof/internal/mem"
+	"dsprof/internal/tlb"
+)
+
+// OverflowEvent is delivered to the profiling layer when an armed counter
+// overflows. Mirroring real hardware, the delivered PC is the address of
+// the *next instruction to issue* at trap-delivery time — the counter has
+// skidded an unknown number of instructions past the trigger. The register
+// snapshot is the live register file at delivery.
+//
+// TruePC/TrueEA are a ground-truth side channel recorded by the simulator
+// for test validation only; the collector and analyzer never read them
+// (the paper's hardware does not provide them, which is the entire reason
+// apropos backtracking exists).
+type OverflowEvent struct {
+	PIC         int
+	Event       hwc.Event
+	DeliveredPC uint64
+	Regs        [isa.NumRegs]int64
+	Callstack   []uint64 // call-site PCs, outermost first
+	Cycles      uint64   // machine cycle count at delivery
+
+	TruePC    uint64 // ground truth: the triggering instruction
+	TrueEA    uint64 // ground truth: its effective address
+	TrueHasEA bool
+}
+
+// ClockTick is delivered to the profiling layer on each clock-profiling
+// tick. Like real clock interrupts, the PC is the next instruction to
+// issue, and no backtracking correction is possible.
+type ClockTick struct {
+	PC        uint64
+	Callstack []uint64
+	Cycles    uint64
+}
+
+// Alloc records one heap allocation, for the analyzer's address-space and
+// per-instance reports.
+type Alloc struct {
+	Addr uint64
+	Size uint64
+	Seq  int
+}
+
+// Stats are cumulative execution statistics.
+type Stats struct {
+	Instrs        uint64
+	Cycles        uint64
+	ICMisses      uint64
+	SyscallCycles uint64
+	Loads         uint64
+	Stores        uint64
+	DCRdMisses    uint64
+	ECRefs        uint64
+	ECRdMisses    uint64
+	ECStallCycles uint64
+	DTLBMisses    uint64
+	ClockTicks    uint64
+}
+
+type pendingSig struct {
+	remaining int
+	ev        OverflowEvent
+}
+
+// Machine is one simulated processor plus its process address space.
+type Machine struct {
+	Cfg Config
+
+	// Architectural state.
+	Regs [isa.NumRegs]int64
+	PC   uint64
+	NPC  uint64
+	ccN  bool // negative
+	ccZ  bool // zero
+	ccV  bool // overflow
+	ccC  bool // carry
+
+	Mem  *mem.Memory
+	Hier *cache.Hierarchy
+	IC   *cache.Cache
+	DTLB *tlb.TLB
+
+	// lastFetchLine caches the current instruction-fetch line: sequential
+	// fetches within one I$ line cost nothing and are not re-probed.
+	lastFetchLine uint64
+
+	text     []isa.Instr
+	textEnd  uint64
+	dataEnd  uint64
+	stackLow uint64
+
+	heap *allocator
+
+	input   []int64
+	inPos   int
+	outLong []int64
+	outText bytes.Buffer
+
+	// Profiling hooks.
+	OnOverflow      func(*OverflowEvent)
+	OnClockTick     func(*ClockTick)
+	ClockTickCycles uint64
+
+	counters [2]*hwc.Counter
+	skid     *hwc.Skid
+	pending  []pendingSig
+	nextTick uint64
+
+	callstack []uint64
+	allocs    []Alloc
+
+	stats   Stats
+	halted  bool
+	trapped *Trap // trap raised from inside an ALU helper (div by zero)
+}
+
+// New builds a machine from cfg. Load a program with LoadProgram before
+// running.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := cache.NewHierarchy(cfg.DCache, cfg.ECache, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, err
+	}
+	t, err := tlb.New(cfg.TLB)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:           cfg,
+		Mem:           mem.New(),
+		Hier:          h,
+		IC:            ic,
+		DTLB:          t,
+		lastFetchLine: ^uint64(0),
+		skid:          hwc.NewSkid(cfg.SkidSeed),
+		stackLow:      StackTop - cfg.StackBytes,
+	}
+	m.heap = newAllocator(HeapBase, HeapBase+cfg.HeapBytes)
+	return m, nil
+}
+
+// LoadProgram installs the text segment and initialized data, and resets
+// architectural state with the PC at entry (an absolute address within
+// text).
+func (m *Machine) LoadProgram(text []isa.Instr, data []byte, entry uint64) error {
+	if len(text) == 0 {
+		return fmt.Errorf("machine: empty text")
+	}
+	m.text = text
+	m.textEnd = TextBase + uint64(len(text))*isa.InstrBytes
+	if entry < TextBase || entry >= m.textEnd || entry%isa.InstrBytes != 0 {
+		return fmt.Errorf("machine: entry %#x outside text [%#x,%#x)", entry, TextBase, m.textEnd)
+	}
+	m.Mem.WriteBytes(DataBase, data)
+	m.dataEnd = DataBase + uint64(len(data))
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	m.Regs[isa.SP] = int64(StackTop - 64)
+	m.Regs[isa.FP] = int64(StackTop - 64)
+	m.PC = entry
+	m.NPC = entry + isa.InstrBytes
+	m.halted = false
+	return nil
+}
+
+// SetInput provides the program's input vector, consumed by SysReadLong.
+func (m *Machine) SetInput(in []int64) { m.input = in; m.inPos = 0 }
+
+// OutputLongs returns the values the program emitted with SysWriteLong.
+func (m *Machine) OutputLongs() []int64 { return m.outLong }
+
+// OutputText returns the text the program emitted with SysPuts/SysPutc.
+func (m *Machine) OutputText() string { return m.outText.String() }
+
+// Stats returns cumulative execution statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Allocs returns the heap allocation log.
+func (m *Machine) Allocs() []Alloc { return m.allocs }
+
+// Seconds converts a cycle count to simulated seconds.
+func (m *Machine) Seconds(cycles uint64) float64 {
+	return float64(cycles) / float64(m.Cfg.ClockHz)
+}
+
+// ArmCounter programs PIC register pic (0 or 1) to count ev and overflow
+// every interval counts. Mirrors the two-counter limit of the hardware.
+func (m *Machine) ArmCounter(pic int, ev hwc.Event, interval uint64) error {
+	if pic < 0 || pic > 1 {
+		return fmt.Errorf("machine: PIC %d out of range (two counter registers)", pic)
+	}
+	if ev == hwc.EvNone || ev >= hwc.NumEvents {
+		return fmt.Errorf("machine: invalid event")
+	}
+	if interval == 0 {
+		return fmt.Errorf("machine: zero overflow interval")
+	}
+	if other := m.counters[1-pic]; other != nil && other.Event == ev {
+		return fmt.Errorf("machine: event %v already armed on the other register", ev)
+	}
+	m.counters[pic] = hwc.NewCounter(ev, interval)
+	return nil
+}
+
+// CounterTotal returns the cumulative count of the armed counter.
+func (m *Machine) CounterTotal(pic int) uint64 {
+	if pic < 0 || pic > 1 || m.counters[pic] == nil {
+		return 0
+	}
+	return m.counters[pic].Total
+}
+
+// Callstack returns a copy of the current shadow call stack (call-site
+// PCs, outermost first).
+func (m *Machine) Callstack() []uint64 {
+	cs := make([]uint64, len(m.callstack))
+	copy(cs, m.callstack)
+	return cs
+}
+
+// segment classifies an address and returns its segment's page size.
+func (m *Machine) segment(addr uint64) (SegmentID, uint64) {
+	switch {
+	case addr >= HeapBase && addr < m.heap.brk:
+		return SegHeap, m.Cfg.HeapPageSize
+	case addr >= m.stackLow && addr < StackTop:
+		return SegStack, m.Cfg.StackPageSize
+	case addr >= DataBase && addr < m.dataEnd:
+		return SegData, m.Cfg.DataPageSize
+	case addr >= TextBase && addr < m.textEnd:
+		return SegText, m.Cfg.TextPageSize
+	}
+	return SegNone, 0
+}
+
+// SegmentOf reports the segment containing addr (for analysis tools).
+func (m *Machine) SegmentOf(addr uint64) SegmentID {
+	s, _ := m.segment(addr)
+	return s
+}

@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/isa"
+)
+
+func TestSegmentClassification(t *testing.T) {
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Emit(movImm(isa.O0, 4096))
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc})
+		b.Emit(isa.Instr{Op: isa.Halt})
+	})
+	run(t, m)
+	heapPtr := uint64(m.Regs[isa.O0])
+
+	cases := []struct {
+		addr uint64
+		want SegmentID
+	}{
+		{TextBase, SegText},
+		{TextBase + 4, SegText},
+		{heapPtr, SegHeap},
+		{heapPtr + 4095, SegHeap},
+		{StackTop - 8, SegStack},
+		{StackTop - DefaultConfig().StackBytes, SegStack},
+		{0, SegNone},
+		{StackTop, SegNone},
+		{HeapBase + 1<<30, SegNone}, // beyond brk
+	}
+	for _, c := range cases {
+		if got := m.SegmentOf(c.addr); got != c.want {
+			t.Errorf("SegmentOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestSegmentNamesRender(t *testing.T) {
+	names := map[SegmentID]string{
+		SegText: "Text", SegData: "Data", SegHeap: "Heap", SegStack: "Stack", SegNone: "none",
+	}
+	for seg, want := range names {
+		if seg.String() != want {
+			t.Errorf("%d.String() = %q, want %q", seg, seg.String(), want)
+		}
+	}
+}
+
+func TestDataSegmentClassifiedWhenPresent(t *testing.T) {
+	b := asm.NewBuilder(TextBase)
+	b.Emit(isa.Instr{Op: isa.Halt})
+	text, _ := b.Finish()
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(text, make([]byte, 64), TextBase); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SegmentOf(DataBase); got != SegData {
+		t.Errorf("SegmentOf(DataBase) = %v", got)
+	}
+	if got := m.SegmentOf(DataBase + 64); got != SegNone {
+		t.Errorf("SegmentOf past data end = %v", got)
+	}
+}
+
+func TestHeapPageSizeAffectsTLBMisses(t *testing.T) {
+	prog := func(b *asm.Builder) {
+		b.Emit(movImm(isa.O0, 1))
+		b.Emit(isa.Instr{Op: isa.Sll, Rd: isa.O0, Rs1: isa.O0, UseImm: true, Imm: 24}) // 16 MB
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc})
+		b.Emit(isa.Instr{Op: isa.Or, Rd: isa.L0, Rs1: isa.G0, Rs2: isa.O0})
+		b.Emit(movImm(isa.O1, 2000))
+		b.Label("loop")
+		b.Emit(isa.Instr{Op: isa.LdX, Rd: isa.O2, Rs1: isa.L0, UseImm: true, Imm: 0})
+		b.Emit(isa.Instr{Op: isa.Add, Rd: isa.L0, Rs1: isa.L0, Rs2: isa.O4})
+		b.Emit(isa.Instr{Op: isa.Sub, Rd: isa.O1, Rs1: isa.O1, UseImm: true, Imm: 1})
+		b.Emit(isa.Instr{Op: isa.Cmp, Rs1: isa.O1, UseImm: true, Imm: 0})
+		b.EmitBranch(isa.Bg, "loop")
+		b.Emit(isa.Instr{Op: isa.Nop})
+		b.Emit(isa.Instr{Op: isa.Halt})
+	}
+	misses := func(pageSize uint64) uint64 {
+		cfg := DefaultConfig()
+		cfg.HeapPageSize = pageSize
+		m := build(t, cfg, prog)
+		m.Regs[isa.O4] = 8192 // stride one small page
+		run(t, m)
+		return m.Stats().DTLBMisses
+	}
+	small := misses(8192)
+	large := misses(512 << 10)
+	if large*20 >= small {
+		t.Errorf("512K pages: %d misses vs %d at 8K; want >20x reduction", large, small)
+	}
+}
+
+func TestStackGrowthWithinSegment(t *testing.T) {
+	// Deep call chain: the stack stays within the stack segment and
+	// unwinds cleanly.
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Emit(movImm(isa.O0, 200)) // depth
+		b.EmitCall("rec")
+		b.Emit(isa.Instr{Op: isa.Nop})
+		b.Emit(isa.Instr{Op: isa.Halt})
+		b.Label("rec")
+		// prologue: sub sp, 32; save o7
+		b.Emit(isa.Instr{Op: isa.Sub, Rd: isa.SP, Rs1: isa.SP, UseImm: true, Imm: 32})
+		b.Emit(isa.Instr{Op: isa.StX, Rd: isa.O7, Rs1: isa.SP, UseImm: true, Imm: 0})
+		b.Emit(isa.Instr{Op: isa.Cmp, Rs1: isa.O0, UseImm: true, Imm: 0})
+		b.EmitBranch(isa.Ble, "out")
+		b.Emit(isa.Instr{Op: isa.Nop})
+		b.Emit(isa.Instr{Op: isa.Sub, Rd: isa.O0, Rs1: isa.O0, UseImm: true, Imm: 1})
+		b.EmitCall("rec")
+		b.Emit(isa.Instr{Op: isa.Nop})
+		b.Emit(isa.Instr{Op: isa.Add, Rd: isa.O0, Rs1: isa.O0, UseImm: true, Imm: 1})
+		b.Label("out")
+		b.Emit(isa.Instr{Op: isa.LdX, Rd: isa.O7, Rs1: isa.SP, UseImm: true, Imm: 0})
+		b.Emit(isa.Instr{Op: isa.Jmpl, Rd: isa.G0, Rs1: isa.O7, UseImm: true, Imm: 8})
+		b.Emit(isa.Instr{Op: isa.Add, Rd: isa.SP, Rs1: isa.SP, UseImm: true, Imm: 32})
+	})
+	run(t, m)
+	if m.Regs[isa.O0] != 200 {
+		t.Errorf("recursion result = %d, want 200", m.Regs[isa.O0])
+	}
+	if uint64(m.Regs[isa.SP]) != StackTop-64 {
+		t.Errorf("stack not unwound: sp = %#x", m.Regs[isa.SP])
+	}
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"fmt"
+
+	"dsprof/internal/isa"
+)
+
+// Runtime service numbers for the Syscall instruction. Arguments are
+// passed in %o0..%o5; the result, if any, is returned in %o0.
+const (
+	SysExit      = 1  // exit(%o0)
+	SysMalloc    = 2  // %o0 = malloc(%o0)
+	SysFree      = 3  // free(%o0)
+	SysCalloc    = 4  // %o0 = calloc(%o0 elements, %o1 bytes each), zeroed
+	SysReadLong  = 5  // %o0 = next input long; traps when input is exhausted
+	SysWriteLong = 6  // append %o0 to the long output vector
+	SysPuts      = 7  // write NUL-terminated string at %o0 to text output
+	SysPutc      = 8  // write byte %o0 to text output
+	SysCycles    = 9  // %o0 = current cycle count
+	SysInputLeft = 10 // %o0 = number of unread input longs
+)
+
+// Nominal syscall costs in cycles, charged as system time.
+const (
+	syscallBaseCycles  = 60
+	callocCycleDivisor = 16 // zeroing cost: size/divisor cycles
+)
+
+// doSyscall executes the runtime service and returns its extra cycle
+// cost. The service result is written to %o0 by the caller via the normal
+// destination-register path.
+func (m *Machine) doSyscall(service int64) (result int64, cost uint64, err error) {
+	cost = syscallBaseCycles
+	switch service {
+	case SysExit:
+		m.halted = true
+		return m.Regs[isa.O0], cost, nil
+	case SysMalloc:
+		addr := m.heap.alloc(uint64(m.Regs[isa.O0]))
+		if addr == 0 {
+			return 0, cost, &Trap{Kind: TrapOutOfMemory, PC: m.PC}
+		}
+		m.allocs = append(m.allocs, Alloc{Addr: addr, Size: uint64(m.Regs[isa.O0]), Seq: len(m.allocs)})
+		return int64(addr), cost, nil
+	case SysCalloc:
+		n := uint64(m.Regs[isa.O0]) * uint64(m.Regs[isa.O1])
+		addr := m.heap.alloc(n)
+		if addr == 0 {
+			return 0, cost, &Trap{Kind: TrapOutOfMemory, PC: m.PC}
+		}
+		// Fresh simulated memory is already zero, but blocks reused from
+		// the free list are not.
+		m.Mem.WriteBytes(addr, make([]byte, n))
+		m.allocs = append(m.allocs, Alloc{Addr: addr, Size: n, Seq: len(m.allocs)})
+		return int64(addr), cost + n/callocCycleDivisor, nil
+	case SysFree:
+		m.heap.release(uint64(m.Regs[isa.O0]))
+		return 0, cost, nil
+	case SysReadLong:
+		if m.inPos >= len(m.input) {
+			return 0, cost, &Trap{Kind: TrapInputExhausted, PC: m.PC}
+		}
+		v := m.input[m.inPos]
+		m.inPos++
+		return v, cost, nil
+	case SysWriteLong:
+		m.outLong = append(m.outLong, m.Regs[isa.O0])
+		return 0, cost, nil
+	case SysPuts:
+		s := m.Mem.ReadCString(uint64(m.Regs[isa.O0]), 1<<16)
+		m.outText.WriteString(s)
+		return 0, cost + uint64(len(s)), nil
+	case SysPutc:
+		m.outText.WriteByte(byte(m.Regs[isa.O0]))
+		return 0, cost, nil
+	case SysCycles:
+		return int64(m.stats.Cycles), cost, nil
+	case SysInputLeft:
+		return int64(len(m.input) - m.inPos), cost, nil
+	}
+	return 0, cost, &Trap{Kind: TrapBadSyscall, PC: m.PC, Extra: fmt.Sprintf("service %d", service)}
+}

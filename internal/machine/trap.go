@@ -1,0 +1,51 @@
+package machine
+
+import "fmt"
+
+// TrapKind classifies fatal execution traps.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone TrapKind = iota
+	TrapBadPC
+	TrapMisaligned
+	TrapSegv
+	TrapDivZero
+	TrapBadSyscall
+	TrapInputExhausted
+	TrapOutOfMemory
+	TrapBudget
+)
+
+var trapNames = []string{
+	"none", "bad PC", "misaligned access", "segmentation violation",
+	"division by zero", "bad syscall", "input exhausted", "out of memory",
+	"instruction budget exceeded",
+}
+
+func (k TrapKind) String() string {
+	if int(k) < len(trapNames) {
+		return trapNames[k]
+	}
+	return "trap?"
+}
+
+// Trap is the error returned when execution stops abnormally.
+type Trap struct {
+	Kind  TrapKind
+	PC    uint64
+	Addr  uint64 // faulting address for memory traps
+	Extra string
+}
+
+func (t *Trap) Error() string {
+	s := fmt.Sprintf("machine: %v at pc=%#x", t.Kind, t.PC)
+	if t.Kind == TrapMisaligned || t.Kind == TrapSegv {
+		s += fmt.Sprintf(" addr=%#x", t.Addr)
+	}
+	if t.Extra != "" {
+		s += ": " + t.Extra
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package mcf
+
+import (
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+	"dsprof/internal/machine"
+	"dsprof/internal/xrand"
+)
+
+// Randomized cross-validation: the MC program, the Go network simplex and
+// the SSP solver must agree on many random instances, including
+// degenerate shapes (single trip, no connections possible, fully dormant
+// connection sets).
+func TestFuzzMCAgainstSolvers(t *testing.T) {
+	prog, err := Program(LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(271828)
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := GenParams{
+			Trips:      1 + r.Intn(60),
+			Seed:       r.Uint64(),
+			Horizon:    int64(300 + r.Intn(900)),
+			MaxConns:   r.Intn(16),
+			ActiveFrac: r.Float64(),
+		}
+		ins := Generate(p)
+		want, err := SolveSSP(ins)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): ssp: %v", trial, p, err)
+		}
+		goCost, goStats, err := SolveNetSimplex(ins)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): netsimplex: %v", trial, p, err)
+		}
+		if goCost != want {
+			t.Fatalf("trial %d (%+v): netsimplex %d != ssp %d", trial, p, goCost, want)
+		}
+
+		cfg := machine.ScaledConfig()
+		cfg.MaxInstrs = 500_000_000
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+			t.Fatal(err)
+		}
+		m.SetInput(ins.Encode())
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d (%+v): MC run: %v", trial, p, err)
+		}
+		out, err := ParseOutput(m.OutputLongs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Status != 0 {
+			t.Fatalf("trial %d (%+v): MC status %d", trial, p, out.Status)
+		}
+		if out.Cost != want {
+			t.Fatalf("trial %d (%+v): MC cost %d, want %d", trial, p, out.Cost, want)
+		}
+		if out.Pivots != int64(goStats.Pivots) {
+			t.Fatalf("trial %d (%+v): MC pivots %d != Go twin %d", trial, p, out.Pivots, goStats.Pivots)
+		}
+	}
+}
+
+// The refresh checksum counts tree nodes per refresh: every refresh must
+// have visited exactly n nodes (tree connectivity invariant).
+func TestRefreshChecksumCountsAllNodes(t *testing.T) {
+	prog, err := Program(LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Generate(DefaultGenParams(40, 5))
+	cfg := machine.ScaledConfig()
+	cfg.MaxInstrs = 500_000_000
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(ins.Encode())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseOutput(m.OutputLongs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RefreshChecksum != out.Refreshes*int64(ins.N) {
+		t.Errorf("refresh checksum %d != refreshes %d * nodes %d (tree lost nodes?)",
+			out.RefreshChecksum, out.Refreshes, ins.N)
+	}
+}
+
+// Layout invariance under fuzzing: paper and optimized layouts must
+// produce identical algorithmic traces on random instances.
+func TestFuzzLayoutInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	paper, err := Program(LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Program(LayoutOptimized, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(31415)
+	for trial := 0; trial < 4; trial++ {
+		ins := Generate(DefaultGenParams(10+r.Intn(50), r.Uint64()))
+		var outs []*Output
+		for _, prog := range []*asm.Program{paper, opt} {
+			cfg := machine.ScaledConfig()
+			cfg.MaxInstrs = 500_000_000
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+				t.Fatal(err)
+			}
+			m.SetInput(ins.Encode())
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			out, err := ParseOutput(m.OutputLongs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, out)
+		}
+		if *outs[0] != *outs[1] {
+			t.Fatalf("trial %d: layouts diverge: %+v vs %+v", trial, outs[0], outs[1])
+		}
+	}
+}

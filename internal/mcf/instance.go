@@ -1,0 +1,184 @@
+// Package mcf provides the paper's case-study workload: MCF, the
+// single-depot vehicle scheduling problem formulated as min-cost flow and
+// solved with a network simplex algorithm (Löbel; SPEC CPU2000 181.mcf).
+//
+// The package contains:
+//
+//   - a vehicle-scheduling instance generator (standing in for the SPEC
+//     reference input, which is not redistributable),
+//   - the MCF program written in the MC source dialect, with the struct
+//     layout as a parameter so the paper's §3.3 layout optimization is a
+//     compile-time variant,
+//   - two independent Go solvers (network simplex mirroring the MC code,
+//     and successive shortest paths) used to validate solutions.
+package mcf
+
+import (
+	"fmt"
+
+	"dsprof/internal/xrand"
+)
+
+// Arc is one instance arc.
+type Arc struct {
+	Tail   int32 // 1-based node id
+	Head   int32
+	Cost   int64
+	Active bool // initially active (not dormant) for column generation
+}
+
+// Instance is a min-cost flow instance: nodes 1..N with supplies, arcs
+// with unit capacity. Node 1 is the depot.
+type Instance struct {
+	N      int     // number of nodes
+	Supply []int64 // length N+1, 1-based; sums to zero
+	Arcs   []Arc
+	Trips  int // number of timetabled trips (for reporting)
+}
+
+// GenParams control the vehicle-scheduling generator.
+type GenParams struct {
+	Trips    int    // timetabled trips
+	Seed     uint64 // PRNG seed
+	Horizon  int64  // planning horizon in minutes
+	MaxConns int    // max successor connections generated per trip
+	// ActiveFrac is the fraction of connection arcs initially active
+	// (the rest are dormant until price_out_impl activates them).
+	ActiveFrac float64
+}
+
+// DefaultGenParams sizes an instance of the given trip count like the
+// vehicle-scheduling inputs of the paper's benchmark.
+func DefaultGenParams(trips int, seed uint64) GenParams {
+	return GenParams{
+		Trips:      trips,
+		Seed:       seed,
+		Horizon:    18 * 60,
+		MaxConns:   12,
+		ActiveFrac: 0.3,
+	}
+}
+
+// Generate builds a single-depot vehicle-scheduling min-cost-flow
+// instance:
+//
+//   - each timetabled trip i contributes a start node s_i (demand 1) and
+//     an end node e_i (supply 1);
+//   - a pull-out arc depot->s_i (vehicle cost + deadhead) and a pull-in
+//     arc e_i->depot;
+//   - connection arcs e_i->s_j when trip j can follow trip i in one
+//     vehicle's schedule (end_i + deadhead <= start_j).
+//
+// A fleet of vehicles circulating through the depot covers every trip;
+// minimizing cost trades vehicle count (expensive pull-outs) against
+// deadhead connections — the structure of Löbel's formulation.
+func Generate(p GenParams) *Instance {
+	if p.Trips < 1 {
+		p.Trips = 1
+	}
+	r := xrand.New(p.Seed)
+	type trip struct{ start, end int64 }
+	trips := make([]trip, p.Trips)
+	for i := range trips {
+		s := int64(r.Intn(int(p.Horizon - 120)))
+		d := int64(20 + r.Intn(90)) // trip duration
+		trips[i] = trip{start: s, end: s + d}
+	}
+
+	// Node ids: depot = 1; trip i has start node 2+2i, end node 3+2i.
+	n := 1 + 2*p.Trips
+	ins := &Instance{N: n, Supply: make([]int64, n+1), Trips: p.Trips}
+	startNode := func(i int) int32 { return int32(2 + 2*i) }
+	endNode := func(i int) int32 { return int32(3 + 2*i) }
+	for i := 0; i < p.Trips; i++ {
+		ins.Supply[startNode(i)] = -1
+		ins.Supply[endNode(i)] = 1
+	}
+
+	const vehicleCost = 5000
+	for i := 0; i < p.Trips; i++ {
+		// Pull-out and pull-in arcs are always active: they make every
+		// instance feasible.
+		ins.Arcs = append(ins.Arcs,
+			Arc{Tail: 1, Head: startNode(i), Cost: vehicleCost + int64(r.Intn(200)), Active: true},
+			Arc{Tail: endNode(i), Head: 1, Cost: int64(50 + r.Intn(100)), Active: true},
+		)
+	}
+	// Connection arcs: e_i -> s_j for compatible trips, nearest-first.
+	// Collect candidate successors per trip and keep the closest few.
+	for i := 0; i < p.Trips; i++ {
+		conns := 0
+		// Probe trips in a pseudo-random order for successor candidates.
+		probe := r.Intn(p.Trips)
+		for k := 0; k < p.Trips && conns < p.MaxConns; k++ {
+			j := (probe + k) % p.Trips
+			if j == i {
+				continue
+			}
+			dead := int64(5 + r.Intn(30))
+			if trips[i].end+dead <= trips[j].start {
+				ins.Arcs = append(ins.Arcs, Arc{
+					Tail:   endNode(i),
+					Head:   startNode(j),
+					Cost:   dead * 10,
+					Active: r.Float64() < p.ActiveFrac,
+				})
+				conns++
+			}
+		}
+	}
+	return ins
+}
+
+// Encode serializes the instance as the input vector of the MC program:
+//
+//	n, m,
+//	supply[1..n],
+//	m * (tail, head, cost, active)
+func (ins *Instance) Encode() []int64 {
+	out := make([]int64, 0, 2+ins.N+4*len(ins.Arcs))
+	out = append(out, int64(ins.N), int64(len(ins.Arcs)))
+	for i := 1; i <= ins.N; i++ {
+		out = append(out, ins.Supply[i])
+	}
+	for _, a := range ins.Arcs {
+		act := int64(0)
+		if a.Active {
+			act = 1
+		}
+		out = append(out, int64(a.Tail), int64(a.Head), a.Cost, act)
+	}
+	return out
+}
+
+// Decode parses an encoded instance (inverse of Encode).
+func Decode(in []int64) (*Instance, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("mcf: truncated instance")
+	}
+	n, m := int(in[0]), int(in[1])
+	if n < 1 || m < 0 || len(in) != 2+n+4*m {
+		return nil, fmt.Errorf("mcf: malformed instance (n=%d m=%d len=%d)", n, m, len(in))
+	}
+	ins := &Instance{N: n, Supply: make([]int64, n+1)}
+	for i := 1; i <= n; i++ {
+		ins.Supply[i] = in[1+i]
+	}
+	off := 2 + n
+	var sum int64
+	for i := 1; i <= n; i++ {
+		sum += ins.Supply[i]
+	}
+	if sum != 0 {
+		return nil, fmt.Errorf("mcf: supplies sum to %d, not zero", sum)
+	}
+	for i := 0; i < m; i++ {
+		t, h, c, act := in[off], in[off+1], in[off+2], in[off+3]
+		off += 4
+		if t < 1 || t > int64(n) || h < 1 || h > int64(n) || t == h {
+			return nil, fmt.Errorf("mcf: bad arc %d -> %d", t, h)
+		}
+		ins.Arcs = append(ins.Arcs, Arc{Tail: int32(t), Head: int32(h), Cost: c, Active: act != 0})
+	}
+	return ins, nil
+}

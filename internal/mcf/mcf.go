@@ -1,0 +1,49 @@
+package mcf
+
+import (
+	"fmt"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+)
+
+// Program compiles the MCF program with the given struct layout and
+// compiler options (the paper compiles with -xhwcprof
+// -xdebugformat=dwarf; pass the corresponding cc.Options).
+func Program(l Layout, opts cc.Options) (*asm.Program, error) {
+	if opts.Name == "" {
+		opts.Name = "mcf-" + l.String()
+	}
+	return cc.Compile([]cc.Source{{Name: "mcf.mc", Text: Source(l)}}, opts)
+}
+
+// Output is the decoded output vector of an MCF run.
+type Output struct {
+	Status          int64 // 0 = optimal
+	Cost            int64
+	Pivots          int64
+	Refreshes       int64
+	PriceOuts       int64
+	Activated       int64
+	ArcsWithFlow    int64
+	FlowChecksum    int64
+	RefreshChecksum int64
+}
+
+// ParseOutput decodes the output longs written by the MC program.
+func ParseOutput(out []int64) (*Output, error) {
+	if len(out) != 9 {
+		return nil, fmt.Errorf("mcf: expected 9 output values, got %d", len(out))
+	}
+	return &Output{
+		Status:          out[0],
+		Cost:            out[1],
+		Pivots:          out[2],
+		Refreshes:       out[3],
+		PriceOuts:       out[4],
+		Activated:       out[5],
+		ArcsWithFlow:    out[6],
+		FlowChecksum:    out[7],
+		RefreshChecksum: out[8],
+	}, nil
+}

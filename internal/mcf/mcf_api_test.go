@@ -1,0 +1,70 @@
+package mcf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOutputValidation(t *testing.T) {
+	if _, err := ParseOutput([]int64{1, 2, 3}); err == nil {
+		t.Error("short output accepted")
+	}
+	out, err := ParseOutput([]int64{0, 110, 5, 2, 1, 3, 2, 777, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cost != 110 || out.Pivots != 5 || out.RefreshChecksum != 12 {
+		t.Errorf("parsed = %+v", out)
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	if Source(LayoutPaper) != Source(LayoutPaper) {
+		t.Error("Source not deterministic")
+	}
+	if Source(LayoutPaper) == Source(LayoutOptimized) {
+		t.Error("layouts produce identical source")
+	}
+	for _, l := range []Layout{LayoutPaper, LayoutOptimized} {
+		src := Source(l)
+		for _, fn := range []string{"refresh_potential", "primal_bea_mpp", "price_out_impl",
+			"sort_basket", "update_tree", "primal_iminus", "dual_feasible", "flow_cost",
+			"write_circulations", "primal_start_artificial", "primal_net_simplex"} {
+			if !strings.Contains(src, fn+"(") {
+				t.Errorf("layout %v: function %s missing from source", l, fn)
+			}
+		}
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if LayoutPaper.String() != "paper" || LayoutOptimized.String() != "optimized" {
+		t.Error("layout names wrong")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	a := Generate(DefaultGenParams(50, 9)).Encode()
+	b := Generate(DefaultGenParams(50, 9)).Encode()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+	c := Generate(DefaultGenParams(50, 10)).Encode()
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}

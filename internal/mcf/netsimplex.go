@@ -1,0 +1,610 @@
+package mcf
+
+import "fmt"
+
+// netsimplex.go is the Go twin of the MC-dialect MCF program: a primal
+// network simplex with multiple partial pricing (primal_bea_mpp), column
+// generation (price_out_impl) and periodic potential refresh, operating
+// on the same node/arc structures (pred/child/sibling threaded spanning
+// tree, orientation flags, basic-arc flows). The MC program in source.go
+// is a line-by-line port of this implementation; tests validate both
+// against the independent SSP solver.
+
+// Arc idents (SPEC mcf naming).
+const (
+	identDormant = 0 // priced out of the current problem (column generation)
+	identAtLower = 1
+	identAtUpper = 2
+	identBasic   = 3
+)
+
+// Tree arc orientations.
+const (
+	orientUp   = 1 // basic arc points from node to pred
+	orientDown = 2 // basic arc points from pred to node
+)
+
+// BigM is the artificial-arc cost: larger than any real path cost.
+const BigM = int64(1) << 30
+
+// Pricing parameters (SPEC mcf's pbeampp.c uses K=50, B=50).
+const (
+	basketTarget = 50
+	groupSize    = 300
+	maxGroups    = 3 // groups scanned per pricing call once candidates exist
+	refreshGap   = 8 // full potential refresh every this many pivots
+)
+
+type nsNode struct {
+	number      int64
+	pred        *nsNode
+	child       *nsNode
+	sibling     *nsNode
+	siblingPrev *nsNode
+	depth       int64
+	orientation int64
+	basicArc    *nsArc
+	firstout    *nsArc // unused by the solver; kept for struct parity
+	firstin     *nsArc
+	potential   int64
+	flow        int64
+	mark        int64
+	time        int64
+}
+
+type nsArc struct {
+	cost    int64
+	tail    *nsNode
+	head    *nsNode
+	ident   int64
+	flow    int64
+	upper   int64
+	orgCost int64
+	mark    int64
+}
+
+// NSStats reports solver effort.
+type NSStats struct {
+	Pivots     int
+	Refreshes  int
+	PriceOuts  int
+	Activated  int
+	Degenerate int
+}
+
+// netSimplex holds the solver state.
+type netSimplex struct {
+	nodes  []nsNode // [0] is the artificial root
+	arcs   []nsArc  // [0..m) real, [m..m+n) artificial
+	n, m   int
+	cursor int // pricing scan position
+	basket []*nsArc
+	stats  NSStats
+}
+
+// SolveNetSimplex solves the instance, returning the optimal cost.
+func SolveNetSimplex(ins *Instance) (int64, NSStats, error) {
+	s := &netSimplex{
+		nodes: make([]nsNode, ins.N+1),
+		arcs:  make([]nsArc, len(ins.Arcs)+ins.N),
+		n:     ins.N,
+		m:     len(ins.Arcs),
+	}
+	for i, a := range ins.Arcs {
+		arc := &s.arcs[i]
+		arc.cost = a.Cost
+		arc.orgCost = a.Cost
+		arc.tail = &s.nodes[a.Tail]
+		arc.head = &s.nodes[a.Head]
+		arc.upper = 1
+		if a.Active {
+			arc.ident = identAtLower
+		} else {
+			arc.ident = identDormant
+		}
+	}
+	for i := 1; i <= ins.N; i++ {
+		s.nodes[i].number = int64(i)
+		s.nodes[i].flow = ins.Supply[i] // stash supply; rewritten by start
+	}
+	s.startArtificial()
+
+	for {
+		if err := s.primalNetSimplex(); err != nil {
+			return 0, s.stats, err
+		}
+		if s.priceOutImpl() == 0 {
+			break
+		}
+	}
+	if !s.dualFeasible() {
+		return 0, s.stats, fmt.Errorf("mcf: solution not dual feasible")
+	}
+	for i := 0; i < s.n; i++ {
+		art := &s.arcs[s.m+i]
+		if art.flow != 0 {
+			return 0, s.stats, fmt.Errorf("mcf: infeasible (artificial arc carries flow)")
+		}
+	}
+	return s.flowCost(), s.stats, nil
+}
+
+// startArtificial builds the initial spanning tree of artificial arcs
+// (primal_start_artificial).
+func (s *netSimplex) startArtificial() {
+	root := &s.nodes[0]
+	root.basicArc = nil
+	root.pred = nil
+	root.potential = 0
+	root.depth = 0
+	var lastChild *nsNode
+	for i := 1; i <= s.n; i++ {
+		v := &s.nodes[i]
+		supply := v.flow
+		art := &s.arcs[s.m+i-1]
+		art.cost = BigM
+		art.orgCost = BigM
+		art.upper = 1 << 40
+		art.ident = identBasic
+		if supply >= 0 {
+			art.tail = v
+			art.head = root
+			v.orientation = orientUp
+			v.potential = BigM
+		} else {
+			art.tail = root
+			art.head = v
+			v.orientation = orientDown
+			v.potential = -BigM
+		}
+		flow := supply
+		if flow < 0 {
+			flow = -flow
+		}
+		art.flow = flow
+		v.flow = flow
+		v.basicArc = art
+		v.pred = root
+		v.child = nil
+		v.depth = 1
+		v.sibling = nil
+		v.siblingPrev = lastChild
+		if lastChild != nil {
+			lastChild.sibling = v
+		} else {
+			root.child = v
+		}
+		lastChild = v
+	}
+}
+
+// redCost is cost - potential(tail) + potential(head); zero on basic arcs.
+func redCost(a *nsArc) int64 {
+	return a.cost - a.tail.potential + a.head.potential
+}
+
+// eligible reports whether a nonbasic arc can improve the objective.
+func eligible(a *nsArc) bool {
+	switch a.ident {
+	case identAtLower:
+		return redCost(a) < 0
+	case identAtUpper:
+		return redCost(a) > 0
+	}
+	return false
+}
+
+// refreshPotential recomputes every node potential by walking the tree —
+// the paper's Figure 3 loop, ported verbatim. Returns the number of
+// nodes visited (the checksum).
+func (s *netSimplex) refreshPotential() int64 {
+	s.stats.Refreshes++
+	root := &s.nodes[0]
+	var checksum int64
+	tmp := root.child
+	node := root.child
+	for node != root {
+		for node != nil {
+			if node.orientation == orientUp {
+				node.potential = node.basicArc.cost + node.pred.potential
+			} else { // == DOWN
+				node.potential = node.pred.potential - node.basicArc.cost
+			}
+			checksum++
+			tmp = node
+			node = node.child
+		}
+		node = tmp
+		for node != root {
+			if node.sibling != nil {
+				node = node.sibling
+				break
+			}
+			node = node.pred
+		}
+	}
+	return checksum
+}
+
+// primalBeaMpp implements multiple partial pricing: re-validate the
+// basket, top it up by scanning arc groups cyclically, sort by descending
+// |reduced cost| and return the best candidate (nil at optimality for the
+// active arc set).
+func (s *netSimplex) primalBeaMpp() *nsArc {
+	// Re-validate basket entries from the previous call.
+	kept := s.basket[:0]
+	for _, a := range s.basket {
+		if eligible(a) {
+			kept = append(kept, a)
+		}
+	}
+	s.basket = kept
+	// Scan whole groups (the cursor is always group-aligned) until the
+	// basket is full or one complete pass over the arc array (including
+	// the artificial arcs, which may become attractive again under the
+	// big-M method) found nothing more.
+	mAll := len(s.arcs)
+	nGroups := (mAll + groupSize - 1) / groupSize
+	// At most maxGroups groups per call once candidates exist; a full
+	// pass happens only when the basket is empty (optimality test).
+	for g := 0; len(s.basket) < basketTarget && g < nGroups && (g < maxGroups || len(s.basket) == 0); g++ {
+		end := s.cursor + groupSize
+		for i := s.cursor; i < end && i < mAll && len(s.basket) < basketTarget; i++ {
+			a := &s.arcs[i]
+			if eligible(a) {
+				s.basket = append(s.basket, a)
+			}
+		}
+		s.cursor += groupSize
+		if s.cursor >= mAll {
+			s.cursor = 0
+		}
+	}
+	if len(s.basket) == 0 {
+		return nil
+	}
+	s.sortBasket()
+	best := s.basket[0]
+	s.basket = s.basket[1:]
+	if len(s.basket) > basketTarget {
+		s.basket = s.basket[:basketTarget]
+	}
+	return best
+}
+
+// sortBasket orders the basket by decreasing |reduced cost| (SPEC's
+// sort_basket, a quicksort; insertion sort here since the basket is
+// small and nearly sorted between calls).
+func (s *netSimplex) sortBasket() {
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for i := 1; i < len(s.basket); i++ {
+		a := s.basket[i]
+		key := abs(redCost(a))
+		j := i - 1
+		for j >= 0 && abs(redCost(s.basket[j])) < key {
+			s.basket[j+1] = s.basket[j]
+			j--
+		}
+		s.basket[j+1] = a
+	}
+}
+
+// primalNetSimplex pivots until no active arc is eligible.
+func (s *netSimplex) primalNetSimplex() error {
+	s.refreshPotential()
+	sincePivot := 0
+	for {
+		enter := s.primalBeaMpp()
+		if enter == nil {
+			return nil
+		}
+		s.pivot(enter)
+		s.stats.Pivots++
+		sincePivot++
+		if sincePivot >= refreshGap {
+			s.refreshPotential()
+			sincePivot = 0
+		}
+		if s.stats.Pivots > 300*(s.n+s.m)+100000 {
+			return fmt.Errorf("mcf: pivot limit exceeded (cycling?)")
+		}
+	}
+}
+
+// pivot performs one simplex pivot on the entering arc.
+func (s *netSimplex) pivot(enter *nsArc) {
+	// Push direction: increasing flow on the entering arc when it sits
+	// at its lower bound; decreasing when at upper.
+	increase := enter.ident == identAtLower
+	t, h := enter.tail, enter.head
+	// The cycle sends flow t->h through the entering arc when
+	// increasing; equivalently h->t when decreasing — swap endpoints so
+	// the tree paths below are always "flow runs tailSide -> headSide".
+	tailSide, headSide := t, h
+	if !increase {
+		tailSide, headSide = h, t
+	}
+
+	join := commonAncestor(tailSide, headSide)
+
+	// Find the bottleneck (primal_iminus): entering residual first, then
+	// the tail-side path (cycle runs against pred direction), then the
+	// head-side path.
+	var delta int64
+	if increase {
+		delta = enter.upper - enter.flow
+	} else {
+		delta = enter.flow
+	}
+	var leavingNode *nsNode // node whose basic arc leaves; nil = entering leaves
+	leavingOnTailSide := false
+	for x := tailSide; x != join; x = x.pred {
+		// Cycle direction on the tail side is pred -> x.
+		var res int64
+		if x.orientation == orientUp {
+			res = x.flow // against the basic arc
+		} else {
+			res = x.basicArc.upper - x.flow
+		}
+		if res < delta {
+			delta = res
+			leavingNode = x
+			leavingOnTailSide = true
+		}
+	}
+	for y := headSide; y != join; y = y.pred {
+		// Cycle direction on the head side is y -> pred.
+		var res int64
+		if y.orientation == orientUp {
+			res = y.basicArc.upper - y.flow
+		} else {
+			res = y.flow
+		}
+		if res < delta {
+			delta = res
+			leavingNode = y
+			leavingOnTailSide = false
+		}
+	}
+	if delta == 0 {
+		s.stats.Degenerate++
+	}
+
+	// Update flows around the cycle.
+	if increase {
+		enter.flow += delta
+	} else {
+		enter.flow -= delta
+	}
+	for x := tailSide; x != join; x = x.pred {
+		if x.orientation == orientUp {
+			x.flow -= delta
+		} else {
+			x.flow += delta
+		}
+		x.basicArc.flow = x.flow
+	}
+	for y := headSide; y != join; y = y.pred {
+		if y.orientation == orientUp {
+			y.flow += delta
+		} else {
+			y.flow -= delta
+		}
+		y.basicArc.flow = y.flow
+	}
+
+	if leavingNode == nil {
+		// Bound flip: the entering arc itself blocks.
+		if enter.ident == identAtLower {
+			enter.ident = identAtUpper
+		} else {
+			enter.ident = identAtLower
+		}
+		return
+	}
+
+	leaving := leavingNode.basicArc
+	// The endpoint of the entering arc inside the cut subtree.
+	q := headSide
+	if leavingOnTailSide {
+		q = tailSide
+	}
+	s.updateTree(q, leavingNode, enter)
+	if leaving.flow == 0 {
+		leaving.ident = identAtLower
+	} else {
+		leaving.ident = identAtUpper
+	}
+	enter.ident = identBasic
+}
+
+// commonAncestor walks both nodes to equal depth, then up in lockstep.
+func commonAncestor(a, b *nsNode) *nsNode {
+	for a.depth > b.depth {
+		a = a.pred
+	}
+	for b.depth > a.depth {
+		b = b.pred
+	}
+	for a != b {
+		a = a.pred
+		b = b.pred
+	}
+	return a
+}
+
+// cutChild removes v from its parent's child list.
+func cutChild(v *nsNode) {
+	if v.siblingPrev != nil {
+		v.siblingPrev.sibling = v.sibling
+	} else if v.pred != nil {
+		v.pred.child = v.sibling
+	}
+	if v.sibling != nil {
+		v.sibling.siblingPrev = v.siblingPrev
+	}
+	v.sibling = nil
+	v.siblingPrev = nil
+}
+
+// attachChild links v as the first child of p.
+func attachChild(v, p *nsNode) {
+	v.sibling = p.child
+	if p.child != nil {
+		p.child.siblingPrev = v
+	}
+	v.siblingPrev = nil
+	p.child = v
+	v.pred = p
+}
+
+// updateTree re-roots the subtree cut by removing leavingNode's basic arc
+// at q (an endpoint of the entering arc inside that subtree) and hangs it
+// under the entering arc's other endpoint — SPEC mcf's update_tree.
+func (s *netSimplex) updateTree(q, leavingNode *nsNode, enter *nsArc) {
+	// The new parent of q is the entering arc's endpoint outside the
+	// subtree.
+	p := enter.tail
+	if p == q {
+		p = enter.head
+	}
+
+	// Walk the pred chain q .. leavingNode, reversing it. Each node's
+	// old basic arc becomes its old parent's basic arc with flipped
+	// orientation.
+	cur := q
+	oldPred := cur.pred
+	oldArc := cur.basicArc
+	oldOrient := cur.orientation
+	oldFlow := cur.flow
+
+	cutChild(cur)
+	attachChild(cur, p)
+	cur.basicArc = enter
+	if enter.tail == cur {
+		cur.orientation = orientUp
+	} else {
+		cur.orientation = orientDown
+	}
+	cur.flow = enter.flow
+
+	for cur != leavingNode {
+		next := oldPred
+		nOldPred := next.pred
+		nOldArc := next.basicArc
+		nOldOrient := next.orientation
+		nOldFlow := next.flow
+
+		cutChild(next)
+		attachChild(next, cur)
+		next.basicArc = oldArc
+		if oldOrient == orientUp {
+			next.orientation = orientDown
+		} else {
+			next.orientation = orientUp
+		}
+		next.flow = oldFlow
+
+		cur = next
+		oldPred = nOldPred
+		oldArc = nOldArc
+		oldOrient = nOldOrient
+		oldFlow = nOldFlow
+	}
+
+	// Fix depths and shift potentials across the moved subtree.
+	var newPot int64
+	if q.orientation == orientUp {
+		newPot = q.basicArc.cost + p.potential
+	} else {
+		newPot = p.potential - q.basicArc.cost
+	}
+	potDelta := newPot - q.potential
+	fixSubtree(q, potDelta)
+}
+
+// fixSubtree walks the subtree rooted at q (iteratively, via the
+// child/sibling threading — the MC port has a bounded stack) setting
+// depths and shifting potentials.
+func fixSubtree(q *nsNode, potDelta int64) {
+	q.depth = q.pred.depth + 1
+	q.potential += potDelta
+	v := q.child
+	for v != nil {
+		v.depth = v.pred.depth + 1
+		v.potential += potDelta
+		if v.child != nil {
+			v = v.child
+			continue
+		}
+		for v != q && v.sibling == nil {
+			v = v.pred
+		}
+		if v == q {
+			break
+		}
+		v = v.sibling
+	}
+}
+
+// priceOutImpl scans the whole arc array (including dormant arcs) and
+// activates dormant arcs whose reduced cost is attractive — column
+// generation. Like SPEC's implicit.c, each round admits only a bounded
+// number of new arcs, so the simplex and the pricing rounds interleave.
+// Returns how many arcs it activated.
+func (s *netSimplex) priceOutImpl() int {
+	s.stats.PriceOuts++
+	limit := s.m/200 + 25
+	activated := 0
+	for i := 0; i < s.m && activated < limit; i++ {
+		a := &s.arcs[i]
+		if a.ident != identDormant {
+			continue
+		}
+		if redCost(a) < 0 {
+			a.ident = identAtLower
+			activated++
+		}
+	}
+	s.stats.Activated += activated
+	return activated
+}
+
+// dualFeasible verifies complementary slackness over all active arcs
+// (SPEC's dual_feasible check).
+func (s *netSimplex) dualFeasible() bool {
+	for i := range s.arcs {
+		a := &s.arcs[i]
+		red := redCost(a)
+		switch a.ident {
+		case identAtLower:
+			if red < 0 {
+				return false
+			}
+		case identAtUpper:
+			if red > 0 {
+				return false
+			}
+		case identBasic:
+			if red != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// flowCost sums cost*flow over all arcs (SPEC's flow_cost).
+func (s *netSimplex) flowCost() int64 {
+	var total int64
+	for i := 0; i < s.m; i++ {
+		a := &s.arcs[i]
+		total += a.orgCost * a.flow
+	}
+	return total
+}

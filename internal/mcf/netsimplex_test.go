@@ -1,0 +1,190 @@
+package mcf
+
+import (
+	"testing"
+
+	"dsprof/internal/xrand"
+)
+
+func TestTinyHandInstance(t *testing.T) {
+	// depot(1), one trip: start node 2 (demand 1), end node 3 (supply 1).
+	// Pull-out 1->2 cost 100, pull-in 3->1 cost 10. Optimal = 110.
+	ins := &Instance{
+		N:      3,
+		Supply: []int64{0, 0, -1, 1},
+		Arcs: []Arc{
+			{Tail: 1, Head: 2, Cost: 100, Active: true},
+			{Tail: 3, Head: 1, Cost: 10, Active: true},
+		},
+	}
+	want := int64(110)
+	got, _, err := SolveNetSimplex(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("netsimplex cost = %d, want %d", got, want)
+	}
+	ssp, err := SolveSSP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssp != want {
+		t.Errorf("ssp cost = %d, want %d", ssp, want)
+	}
+}
+
+func TestChainSharingVehicle(t *testing.T) {
+	// Two trips that one vehicle can cover via a cheap connection:
+	// depot 1; trip A nodes 2,3; trip B nodes 4,5; connection 3->4.
+	ins := &Instance{
+		N:      5,
+		Supply: []int64{0, 0, -1, 1, -1, 1},
+		Arcs: []Arc{
+			{Tail: 1, Head: 2, Cost: 5000, Active: true},
+			{Tail: 3, Head: 1, Cost: 50, Active: true},
+			{Tail: 1, Head: 4, Cost: 5000, Active: true},
+			{Tail: 5, Head: 1, Cost: 50, Active: true},
+			{Tail: 3, Head: 4, Cost: 30, Active: true}, // connection
+		},
+	}
+	// One vehicle: 1->2 (5000), trips, 3->4 (30), 5->1 (50) = 5080.
+	want := int64(5080)
+	got, _, err := SolveNetSimplex(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("netsimplex cost = %d, want %d", got, want)
+	}
+}
+
+func TestDormantArcsActivate(t *testing.T) {
+	// Same as above but the money-saving connection starts dormant:
+	// price_out_impl must activate it.
+	ins := &Instance{
+		N:      5,
+		Supply: []int64{0, 0, -1, 1, -1, 1},
+		Arcs: []Arc{
+			{Tail: 1, Head: 2, Cost: 5000, Active: true},
+			{Tail: 3, Head: 1, Cost: 50, Active: true},
+			{Tail: 1, Head: 4, Cost: 5000, Active: true},
+			{Tail: 5, Head: 1, Cost: 50, Active: true},
+			{Tail: 3, Head: 4, Cost: 30, Active: false},
+		},
+	}
+	got, stats, err := SolveNetSimplex(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5080 {
+		t.Errorf("cost = %d, want 5080", got)
+	}
+	if stats.Activated == 0 {
+		t.Error("column generation never activated a dormant arc")
+	}
+}
+
+func TestGeneratorProducesValidInstances(t *testing.T) {
+	for _, trips := range []int{1, 5, 50, 300} {
+		ins := Generate(DefaultGenParams(trips, uint64(trips)))
+		if ins.N != 1+2*trips {
+			t.Errorf("trips=%d: N=%d", trips, ins.N)
+		}
+		var sum int64
+		for i := 1; i <= ins.N; i++ {
+			sum += ins.Supply[i]
+		}
+		if sum != 0 {
+			t.Errorf("trips=%d: supplies sum to %d", trips, sum)
+		}
+		// Every trip must have its pull-out/pull-in arcs (feasibility).
+		outs := map[int32]bool{}
+		ins2 := map[int32]bool{}
+		for _, a := range ins.Arcs {
+			if a.Tail == 1 {
+				outs[a.Head] = true
+			}
+			if a.Head == 1 {
+				ins2[a.Tail] = true
+			}
+		}
+		for i := 0; i < trips; i++ {
+			if !outs[int32(2+2*i)] || !ins2[int32(3+2*i)] {
+				t.Fatalf("trips=%d: trip %d lacks depot arcs", trips, i)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	ins := Generate(DefaultGenParams(40, 7))
+	enc := ins.Encode()
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != ins.N || len(back.Arcs) != len(ins.Arcs) {
+		t.Fatal("shape lost in roundtrip")
+	}
+	for i := range ins.Arcs {
+		if back.Arcs[i] != ins.Arcs[i] {
+			t.Fatalf("arc %d: %+v != %+v", i, back.Arcs[i], ins.Arcs[i])
+		}
+	}
+	// Corrupt encodings must be rejected.
+	if _, err := Decode(enc[:5]); err == nil {
+		t.Error("truncated instance accepted")
+	}
+	bad := append([]int64(nil), enc...)
+	bad[2]++ // break the zero-sum property
+	if _, err := Decode(bad); err == nil {
+		t.Error("non-zero-sum instance accepted")
+	}
+}
+
+// The central validation: network simplex and SSP agree on the optimal
+// cost over many random vehicle-scheduling instances.
+func TestNetSimplexMatchesSSPOnRandomInstances(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 25; trial++ {
+		trips := 3 + r.Intn(120)
+		p := DefaultGenParams(trips, uint64(trial)*1000+7)
+		p.ActiveFrac = []float64{0, 0.3, 1.0}[trial%3]
+		ins := Generate(p)
+		want, err := SolveSSP(ins)
+		if err != nil {
+			t.Fatalf("trial %d: ssp: %v", trial, err)
+		}
+		got, stats, err := SolveNetSimplex(ins)
+		if err != nil {
+			t.Fatalf("trial %d (trips=%d): netsimplex: %v", trial, trips, err)
+		}
+		if got != want {
+			t.Errorf("trial %d (trips=%d): netsimplex=%d ssp=%d", trial, trips, got, want)
+		}
+		if stats.Pivots == 0 && trips > 1 {
+			t.Errorf("trial %d: no pivots recorded", trial)
+		}
+	}
+}
+
+func TestNetSimplexLargerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ins := Generate(DefaultGenParams(800, 12345))
+	want, err := SolveSSP(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := SolveNetSimplex(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("netsimplex=%d ssp=%d", got, want)
+	}
+	t.Logf("800 trips: pivots=%d refreshes=%d priceouts=%d activated=%d degenerate=%d",
+		stats.Pivots, stats.Refreshes, stats.PriceOuts, stats.Activated, stats.Degenerate)
+}

@@ -1,0 +1,802 @@
+package mcf
+
+import "fmt"
+
+// Layout selects the memory layout of the node and arc structures.
+//
+// LayoutPaper is SPEC 181.mcf's layout, the one the paper profiles: the
+// 120-byte node with orientation at offset 56, child at 24 and potential
+// at 88 (Figure 7), and the 64-byte arc.
+//
+// LayoutOptimized applies the paper's §3.3 optimization: the most
+// referenced members are packed contiguously into the first 32 bytes
+// (one D$ line), the node is padded by 8 bytes to 128 so that only whole
+// objects map into 512-byte E$ lines, and the node array is aligned to
+// the padded size.
+type Layout int
+
+// Layouts.
+const (
+	LayoutPaper Layout = iota
+	LayoutOptimized
+)
+
+func (l Layout) String() string {
+	if l == LayoutOptimized {
+		return "optimized"
+	}
+	return "paper"
+}
+
+// nodeStruct returns the MC declaration of struct node for the layout.
+func nodeStruct(l Layout) string {
+	if l == LayoutOptimized {
+		// Hot members (paper Figure 7: orientation, child, potential,
+		// then pred and basic_arc) packed first; 8 bytes of padding
+		// bring the struct to 128 bytes.
+		return `struct node {
+	struct node *child;
+	long orientation;
+	cost_t potential;
+	struct node *pred;
+	struct arc *basic_arc;
+	long depth;
+	struct node *sibling;
+	struct node *sibling_prev;
+	long number;
+	char *ident;
+	struct arc *firstout;
+	struct arc *firstin;
+	flow_t flow;
+	long mark;
+	long time;
+	long pad;
+};`
+	}
+	// SPEC layout: 120 bytes, offsets exactly as in the paper's Figure 7.
+	return `struct node {
+	long number;
+	char *ident;
+	struct node *pred;
+	struct node *child;
+	struct node *sibling;
+	struct node *sibling_prev;
+	long depth;
+	long orientation;
+	struct arc *basic_arc;
+	struct arc *firstout;
+	struct arc *firstin;
+	cost_t potential;
+	flow_t flow;
+	long mark;
+	long time;
+};`
+}
+
+// arcStruct returns the MC declaration of struct arc for the layout.
+func arcStruct(l Layout) string {
+	if l == LayoutOptimized {
+		// Pricing-hot members (ident, cost) first.
+		return `struct arc {
+	long ident;
+	cost_t cost;
+	struct node *tail;
+	struct node *head;
+	flow_t flow;
+	flow_t upper;
+	cost_t org_cost;
+	long mark;
+};`
+	}
+	return `struct arc {
+	cost_t cost;
+	struct node *tail;
+	struct node *head;
+	long ident;
+	flow_t flow;
+	flow_t upper;
+	cost_t org_cost;
+	long mark;
+};`
+}
+
+// nodeAlloc returns the MC statements allocating the node array. The
+// optimized layout aligns the array to the (power of two) struct size so
+// no object straddles an E$ line.
+func nodeAlloc(l Layout) string {
+	if l == LayoutOptimized {
+		return `	nodes_raw = malloc((n_nodes + 2) * sizeof(struct node));
+	nodes = (struct node *) (((long) nodes_raw + 127) & (0 - 128));`
+	}
+	return `	nodes_raw = calloc(n_nodes + 1, sizeof(struct node));
+	nodes = (struct node *) nodes_raw;`
+}
+
+// Source returns the MCF program in the MC dialect for the given struct
+// layout. The program is a faithful port of SPEC 181.mcf's network
+// simplex (see netsimplex.go for the Go twin): primal_start_artificial,
+// primal_net_simplex with primal_bea_mpp multiple pricing and sort_basket,
+// refresh_potential (the paper's Figure 3 critical loop), update_tree,
+// price_out_impl column generation, dual_feasible and flow_cost checks,
+// and write_circulations output.
+//
+// Input (longs): n, m, supply[1..n], then m arcs (tail, head, cost,
+// active). Output (longs): status, cost, pivots, refreshes, priceouts,
+// activated, arcs-with-flow, flow checksum, refresh checksum.
+func Source(l Layout) string {
+	return fmt.Sprintf(srcTemplate, nodeStruct(l), arcStruct(l), nodeAlloc(l))
+}
+
+const srcTemplate = `/* mcf.mc - single-depot vehicle scheduling as min-cost flow,
+ * solved with a primal network simplex (port of SPEC CPU2000 181.mcf). */
+
+typedef long cost_t;
+typedef long flow_t;
+
+struct arc;
+
+%s
+
+%s
+
+struct basket {
+	struct arc *a;
+	cost_t cost;
+	cost_t abs_cost;
+};
+
+long n_nodes;
+long m_arcs;
+char *nodes_raw;
+struct node *nodes;
+struct arc *arcs;
+
+long bigm = 1 << 30;
+
+struct basket baskets[52];
+struct basket *perm[52];
+long basket_size;
+long group_pos;
+
+long pivots;
+long refreshes;
+long priceouts;
+long activated;
+long degenerates;
+long refresh_checksum;
+
+flow_t pv_delta;
+struct node *pv_leave;
+long pv_on_tail;
+
+/* ---- input ---- */
+
+void read_min() {
+	long i;
+	long t;
+	long h;
+	long c;
+	long act;
+	struct arc *a;
+	n_nodes = read_long();
+	m_arcs = read_long();
+%s
+	arcs = (struct arc *) calloc(m_arcs + n_nodes, sizeof(struct arc));
+	for (i = 1; i <= n_nodes; i++) {
+		nodes[i].number = i;
+		nodes[i].flow = read_long();
+	}
+	for (i = 0; i < m_arcs; i++) {
+		t = read_long();
+		h = read_long();
+		c = read_long();
+		act = read_long();
+		a = arcs + i;
+		a->cost = c;
+		a->org_cost = c;
+		a->tail = nodes + t;
+		a->head = nodes + h;
+		a->upper = 1;
+		if (act) {
+			a->ident = 1;
+		} else {
+			a->ident = 0;
+		}
+	}
+}
+
+/* ---- initial basis: star of artificial arcs (big-M) ---- */
+
+void primal_start_artificial() {
+	long i;
+	flow_t s;
+	struct node *root;
+	struct node *v;
+	struct node *last;
+	struct arc *a;
+	root = nodes;
+	root->basic_arc = 0;
+	root->pred = 0;
+	root->potential = 0;
+	root->depth = 0;
+	root->child = 0;
+	last = 0;
+	for (i = 1; i <= n_nodes; i++) {
+		v = nodes + i;
+		s = v->flow;
+		a = arcs + m_arcs + i - 1;
+		a->cost = bigm;
+		a->org_cost = bigm;
+		a->upper = 1 << 40;
+		a->ident = 3;
+		if (s >= 0) {
+			a->tail = v;
+			a->head = root;
+			v->orientation = 1;
+			v->potential = bigm;
+		} else {
+			a->tail = root;
+			a->head = v;
+			v->orientation = 2;
+			v->potential = 0 - bigm;
+			s = -s;
+		}
+		a->flow = s;
+		v->flow = s;
+		v->basic_arc = a;
+		v->pred = root;
+		v->child = 0;
+		v->depth = 1;
+		v->sibling = 0;
+		v->sibling_prev = last;
+		if (last) {
+			last->sibling = v;
+		} else {
+			root->child = v;
+		}
+		last = v;
+	}
+}
+
+/* ---- the paper's Figure 3 critical loop ---- */
+
+long refresh_potential() {
+	long checksum;
+	struct node *root;
+	struct node *node;
+	struct node *tmp;
+	refreshes++;
+	checksum = 0;
+	root = nodes;
+	tmp = root->child;
+	node = root->child;
+	while (node != root) {
+		while (node) {
+			if (node->orientation == 1) {
+				node->potential = node->basic_arc->cost + node->pred->potential;
+			} else {
+				node->potential = node->pred->potential - node->basic_arc->cost;
+			}
+			checksum++;
+			tmp = node;
+			node = node->child;
+		}
+		node = tmp;
+		while (node != root) {
+			if (node->sibling) {
+				node = node->sibling;
+				break;
+			}
+			node = node->pred;
+		}
+	}
+	return checksum;
+}
+
+/* ---- multiple partial pricing (SPEC pbeampp.c) ---- */
+
+void sort_basket(long lo, long hi) {
+	long i;
+	long j;
+	struct basket *key;
+	for (i = lo + 1; i <= hi; i++) {
+		key = perm[i];
+		j = i - 1;
+		while (j >= lo && perm[j]->abs_cost < key->abs_cost) {
+			perm[j + 1] = perm[j];
+			j--;
+		}
+		perm[j + 1] = key;
+	}
+}
+
+struct arc *primal_bea_mpp() {
+	long i;
+	long g;
+	long ngroups;
+	long mall;
+	long kept;
+	long end;
+	struct arc *a;
+	cost_t red;
+	struct basket *tmpb;
+
+	/* revalidate the basket kept from the previous call; perm[] is a
+	 * permutation of &baskets[], so compaction swaps pointers */
+	kept = 0;
+	for (i = 0; i < basket_size; i++) {
+		a = perm[i]->a;
+		red = a->cost - a->tail->potential + a->head->potential;
+		if ((a->ident == 1 && red < 0) || (a->ident == 2 && red > 0)) {
+			tmpb = perm[kept];
+			perm[kept] = perm[i];
+			perm[i] = tmpb;
+			perm[kept]->cost = red;
+			if (red < 0) {
+				perm[kept]->abs_cost = -red;
+			} else {
+				perm[kept]->abs_cost = red;
+			}
+			kept++;
+		}
+	}
+	basket_size = kept;
+
+	/* scan whole groups until the basket fills or a pass finds nothing */
+	mall = m_arcs + n_nodes;
+	ngroups = (mall + 299) / 300;
+	g = 0;
+	while (basket_size < 50 && g < ngroups && (g < 3 || basket_size == 0)) {
+		end = group_pos + 300;
+		i = group_pos;
+		while (i < end && i < mall && basket_size < 50) {
+			a = arcs + i;
+			if (a->ident == 1) {
+				red = a->cost - a->tail->potential + a->head->potential;
+				if (red < 0) {
+					perm[basket_size]->a = a;
+					perm[basket_size]->cost = red;
+					perm[basket_size]->abs_cost = -red;
+					basket_size++;
+				}
+			} else if (a->ident == 2) {
+				red = a->cost - a->tail->potential + a->head->potential;
+				if (red > 0) {
+					perm[basket_size]->a = a;
+					perm[basket_size]->cost = red;
+					perm[basket_size]->abs_cost = red;
+					basket_size++;
+				}
+			}
+			i++;
+		}
+		group_pos = group_pos + 300;
+		if (group_pos >= mall) {
+			group_pos = 0;
+		}
+		g++;
+	}
+	if (basket_size == 0) {
+		return (struct arc *) 0;
+	}
+	sort_basket(0, basket_size - 1);
+	a = perm[0]->a;
+	/* pop the best: rotate its slot pointer to the end, keep <= 50 */
+	tmpb = perm[0];
+	for (i = 0; i < basket_size - 1; i++) {
+		perm[i] = perm[i + 1];
+	}
+	perm[basket_size - 1] = tmpb;
+	basket_size--;
+	if (basket_size > 50) {
+		basket_size = 50;
+	}
+	return a;
+}
+
+/* ---- leaving-arc search (SPEC primal_iminus) ---- */
+
+void primal_iminus(struct node *tailside, struct node *headside, struct node *join, flow_t enter_res) {
+	struct node *x;
+	flow_t res;
+	pv_delta = enter_res;
+	pv_leave = (struct node *) 0;
+	pv_on_tail = 0;
+	x = tailside;
+	while (x != join) {
+		if (x->orientation == 1) {
+			res = x->flow;
+		} else {
+			res = x->basic_arc->upper - x->flow;
+		}
+		if (res < pv_delta) {
+			pv_delta = res;
+			pv_leave = x;
+			pv_on_tail = 1;
+		}
+		x = x->pred;
+	}
+	x = headside;
+	while (x != join) {
+		if (x->orientation == 1) {
+			res = x->basic_arc->upper - x->flow;
+		} else {
+			res = x->flow;
+		}
+		if (res < pv_delta) {
+			pv_delta = res;
+			pv_leave = x;
+			pv_on_tail = 0;
+		}
+		x = x->pred;
+	}
+}
+
+/* ---- tree maintenance ---- */
+
+void cut_child(struct node *v) {
+	if (v->sibling_prev) {
+		v->sibling_prev->sibling = v->sibling;
+	} else if (v->pred) {
+		v->pred->child = v->sibling;
+	}
+	if (v->sibling) {
+		v->sibling->sibling_prev = v->sibling_prev;
+	}
+	v->sibling = (struct node *) 0;
+	v->sibling_prev = (struct node *) 0;
+}
+
+void attach_child(struct node *v, struct node *p) {
+	v->sibling = p->child;
+	if (p->child) {
+		p->child->sibling_prev = v;
+	}
+	v->sibling_prev = (struct node *) 0;
+	p->child = v;
+	v->pred = p;
+}
+
+void update_tree(struct node *q, struct node *leave, struct arc *enter) {
+	struct node *p;
+	struct node *cur;
+	struct node *old_pred;
+	struct node *next;
+	struct node *n_old_pred;
+	struct arc *old_arc;
+	struct arc *n_old_arc;
+	long old_orient;
+	long n_old_orient;
+	flow_t old_flow;
+	flow_t n_old_flow;
+	cost_t newpot;
+	cost_t potdelta;
+	struct node *v;
+
+	p = enter->tail;
+	if (p == q) {
+		p = enter->head;
+	}
+
+	cur = q;
+	old_pred = cur->pred;
+	old_arc = cur->basic_arc;
+	old_orient = cur->orientation;
+	old_flow = cur->flow;
+
+	cut_child(cur);
+	attach_child(cur, p);
+	cur->basic_arc = enter;
+	if (enter->tail == cur) {
+		cur->orientation = 1;
+	} else {
+		cur->orientation = 2;
+	}
+	cur->flow = enter->flow;
+
+	while (cur != leave) {
+		next = old_pred;
+		n_old_pred = next->pred;
+		n_old_arc = next->basic_arc;
+		n_old_orient = next->orientation;
+		n_old_flow = next->flow;
+
+		cut_child(next);
+		attach_child(next, cur);
+		next->basic_arc = old_arc;
+		if (old_orient == 1) {
+			next->orientation = 2;
+		} else {
+			next->orientation = 1;
+		}
+		next->flow = old_flow;
+
+		cur = next;
+		old_pred = n_old_pred;
+		old_arc = n_old_arc;
+		old_orient = n_old_orient;
+		old_flow = n_old_flow;
+	}
+
+	/* fix depths and shift potentials over the moved subtree */
+	if (q->orientation == 1) {
+		newpot = q->basic_arc->cost + p->potential;
+	} else {
+		newpot = p->potential - q->basic_arc->cost;
+	}
+	potdelta = newpot - q->potential;
+	q->depth = q->pred->depth + 1;
+	q->potential = q->potential + potdelta;
+	v = q->child;
+	while (v) {
+		v->depth = v->pred->depth + 1;
+		v->potential = v->potential + potdelta;
+		if (v->child) {
+			v = v->child;
+			continue;
+		}
+		while (v != q && !v->sibling) {
+			v = v->pred;
+		}
+		if (v == q) {
+			break;
+		}
+		v = v->sibling;
+	}
+}
+
+/* ---- one pivot ---- */
+
+void primal_update(struct arc *enter) {
+	long increase;
+	struct node *t;
+	struct node *h;
+	struct node *tailside;
+	struct node *headside;
+	struct node *a;
+	struct node *b;
+	struct node *join;
+	struct node *x;
+	struct node *q;
+	struct arc *leavearc;
+	flow_t enter_res;
+	flow_t delta;
+
+	if (enter->ident == 1) {
+		increase = 1;
+	} else {
+		increase = 0;
+	}
+	t = enter->tail;
+	h = enter->head;
+	tailside = t;
+	headside = h;
+	if (!increase) {
+		tailside = h;
+		headside = t;
+	}
+
+	/* common ancestor */
+	a = tailside;
+	b = headside;
+	while (a->depth > b->depth) {
+		a = a->pred;
+	}
+	while (b->depth > a->depth) {
+		b = b->pred;
+	}
+	while (a != b) {
+		a = a->pred;
+		b = b->pred;
+	}
+	join = a;
+
+	if (increase) {
+		enter_res = enter->upper - enter->flow;
+	} else {
+		enter_res = enter->flow;
+	}
+	primal_iminus(tailside, headside, join, enter_res);
+	delta = pv_delta;
+	if (delta == 0) {
+		degenerates++;
+	}
+
+	/* flow updates around the cycle */
+	if (increase) {
+		enter->flow = enter->flow + delta;
+	} else {
+		enter->flow = enter->flow - delta;
+	}
+	x = tailside;
+	while (x != join) {
+		if (x->orientation == 1) {
+			x->flow = x->flow - delta;
+		} else {
+			x->flow = x->flow + delta;
+		}
+		x->basic_arc->flow = x->flow;
+		x = x->pred;
+	}
+	x = headside;
+	while (x != join) {
+		if (x->orientation == 1) {
+			x->flow = x->flow + delta;
+		} else {
+			x->flow = x->flow - delta;
+		}
+		x->basic_arc->flow = x->flow;
+		x = x->pred;
+	}
+
+	if (!pv_leave) {
+		/* bound flip on the entering arc */
+		if (enter->ident == 1) {
+			enter->ident = 2;
+		} else {
+			enter->ident = 1;
+		}
+		return;
+	}
+
+	leavearc = pv_leave->basic_arc;
+	q = headside;
+	if (pv_on_tail) {
+		q = tailside;
+	}
+	update_tree(q, pv_leave, enter);
+	if (leavearc->flow == 0) {
+		leavearc->ident = 1;
+	} else {
+		leavearc->ident = 2;
+	}
+	enter->ident = 3;
+}
+
+/* ---- simplex driver ---- */
+
+long primal_net_simplex() {
+	struct arc *enter;
+	long since;
+	refresh_checksum = refresh_checksum + refresh_potential();
+	since = 0;
+	while (1) {
+		enter = primal_bea_mpp();
+		if (!enter) {
+			return 0;
+		}
+		primal_update(enter);
+		pivots++;
+		since++;
+		if (since >= 8) {
+			refresh_checksum = refresh_checksum + refresh_potential();
+			since = 0;
+		}
+		if (pivots > 300 * (n_nodes + m_arcs) + 100000) {
+			return 1;
+		}
+	}
+}
+
+/* ---- column generation (SPEC implicit.c price_out_impl) ---- */
+
+long price_out_impl() {
+	long i;
+	long found;
+	long limit;
+	struct arc *a;
+	cost_t red;
+	priceouts++;
+	limit = m_arcs / 200 + 25;
+	found = 0;
+	i = 0;
+	while (i < m_arcs && found < limit) {
+		a = arcs + i;
+		if (a->ident == 0) {
+			red = a->cost - a->tail->potential + a->head->potential;
+			if (red < 0) {
+				a->ident = 1;
+				found++;
+			}
+		}
+		i++;
+	}
+	activated = activated + found;
+	return found;
+}
+
+/* ---- checks and output ---- */
+
+long dual_feasible() {
+	long i;
+	long mall;
+	struct arc *a;
+	cost_t red;
+	mall = m_arcs + n_nodes;
+	for (i = 0; i < mall; i++) {
+		a = arcs + i;
+		red = a->cost - a->tail->potential + a->head->potential;
+		if (a->ident == 1 && red < 0) {
+			return 0;
+		}
+		if (a->ident == 2 && red > 0) {
+			return 0;
+		}
+		if (a->ident == 3 && red != 0) {
+			return 0;
+		}
+	}
+	return 1;
+}
+
+cost_t flow_cost() {
+	long i;
+	cost_t total;
+	struct arc *a;
+	total = 0;
+	for (i = 0; i < m_arcs; i++) {
+		a = arcs + i;
+		total = total + a->org_cost * a->flow;
+	}
+	return total;
+}
+
+void write_circulations() {
+	long i;
+	long used;
+	long check;
+	struct arc *a;
+	used = 0;
+	check = 0;
+	for (i = 0; i < m_arcs; i++) {
+		a = arcs + i;
+		if (a->flow > 0) {
+			used++;
+			check = check + (a->tail->number * 31 + a->head->number) * a->flow;
+		}
+	}
+	write_long(used);
+	write_long(check %% 1000000007);
+}
+
+long main() {
+	long status;
+	long i;
+	struct arc *a;
+	status = 0;
+	for (i = 0; i < 52; i++) {
+		perm[i] = &baskets[i];
+	}
+	read_min();
+	primal_start_artificial();
+	while (1) {
+		if (primal_net_simplex()) {
+			status = 3;
+			break;
+		}
+		if (price_out_impl() == 0) {
+			break;
+		}
+	}
+	if (status == 0 && !dual_feasible()) {
+		status = 1;
+	}
+	if (status == 0) {
+		for (i = 0; i < n_nodes; i++) {
+			a = arcs + m_arcs + i;
+			if (a->flow != 0) {
+				status = 2;
+			}
+		}
+	}
+	write_long(status);
+	write_long(flow_cost());
+	write_long(pivots);
+	write_long(refreshes);
+	write_long(priceouts);
+	write_long(activated);
+	write_circulations();
+	write_long(refresh_checksum);
+	return status;
+}
+`

@@ -1,0 +1,152 @@
+package mcf
+
+import (
+	"testing"
+
+	"dsprof/internal/cc"
+	"dsprof/internal/machine"
+)
+
+// runMC compiles and executes the MC MCF program on an instance.
+func runMC(t *testing.T, l Layout, ins *Instance) *Output {
+	t.Helper()
+	prog, err := Program(l, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatalf("compile mcf (%v): %v", l, err)
+	}
+	cfg := machine.ScaledConfig()
+	cfg.MaxInstrs = 2_000_000_000
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(ins.Encode())
+	if err := m.Run(); err != nil {
+		t.Fatalf("mcf run (%v): %v", l, err)
+	}
+	out, err := ParseOutput(m.OutputLongs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMCSourceCompiles(t *testing.T) {
+	for _, l := range []Layout{LayoutPaper, LayoutOptimized} {
+		prog, err := Program(l, cc.Options{HWCProf: true})
+		if err != nil {
+			t.Fatalf("layout %v: %v", l, err)
+		}
+		if prog.Debug.FuncByName("refresh_potential") == nil {
+			t.Fatalf("layout %v: refresh_potential missing", l)
+		}
+		_, node := prog.Debug.TypeByName("node")
+		if node == nil {
+			t.Fatalf("layout %v: node type missing", l)
+		}
+		switch l {
+		case LayoutPaper:
+			if node.Size != 120 {
+				t.Errorf("paper node size = %d, want 120", node.Size)
+			}
+			// Offsets from the paper's Figure 7.
+			for _, m := range node.Members {
+				switch m.Name {
+				case "orientation":
+					if m.Off != 56 {
+						t.Errorf("orientation at %d, want 56", m.Off)
+					}
+				case "child":
+					if m.Off != 24 {
+						t.Errorf("child at %d, want 24", m.Off)
+					}
+				case "potential":
+					if m.Off != 88 {
+						t.Errorf("potential at %d, want 88", m.Off)
+					}
+				}
+			}
+		case LayoutOptimized:
+			if node.Size != 128 {
+				t.Errorf("optimized node size = %d, want 128", node.Size)
+			}
+			// Hot members in the first 32 bytes.
+			for _, m := range node.Members {
+				switch m.Name {
+				case "child", "orientation", "potential", "pred":
+					if m.Off >= 32 {
+						t.Errorf("hot member %s at %d, want < 32", m.Name, m.Off)
+					}
+				}
+			}
+		}
+		_, arc := prog.Debug.TypeByName("arc")
+		if arc == nil || arc.Size != 64 {
+			t.Fatalf("layout %v: arc size = %v, want 64", l, arc)
+		}
+	}
+}
+
+func TestMCSolvesTinyInstance(t *testing.T) {
+	ins := &Instance{
+		N:      3,
+		Supply: []int64{0, 0, -1, 1},
+		Arcs: []Arc{
+			{Tail: 1, Head: 2, Cost: 100, Active: true},
+			{Tail: 3, Head: 1, Cost: 10, Active: true},
+		},
+	}
+	out := runMC(t, LayoutPaper, ins)
+	if out.Status != 0 {
+		t.Fatalf("status = %d", out.Status)
+	}
+	if out.Cost != 110 {
+		t.Errorf("cost = %d, want 110", out.Cost)
+	}
+}
+
+func TestMCMatchesGoSolvers(t *testing.T) {
+	for trial, trips := range []int{3, 10, 40, 120} {
+		p := DefaultGenParams(trips, uint64(trial)*7919+3)
+		p.ActiveFrac = []float64{0, 0.3, 1}[trial%3]
+		ins := Generate(p)
+		want, err := SolveSSP(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goCost, goStats, err := SolveNetSimplex(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if goCost != want {
+			t.Fatalf("trips=%d: go netsimplex %d != ssp %d", trips, goCost, want)
+		}
+		out := runMC(t, LayoutPaper, ins)
+		if out.Status != 0 {
+			t.Fatalf("trips=%d: MC status %d", trips, out.Status)
+		}
+		if out.Cost != want {
+			t.Errorf("trips=%d: MC cost %d, want %d", trips, out.Cost, want)
+		}
+		// The MC program is a faithful port: pivot counts must match the
+		// Go twin exactly.
+		if out.Pivots != int64(goStats.Pivots) {
+			t.Errorf("trips=%d: MC pivots %d, Go twin %d", trips, out.Pivots, goStats.Pivots)
+		}
+	}
+}
+
+func TestLayoutsGiveIdenticalResults(t *testing.T) {
+	ins := Generate(DefaultGenParams(60, 424242))
+	a := runMC(t, LayoutPaper, ins)
+	b := runMC(t, LayoutOptimized, ins)
+	if a.Status != 0 || b.Status != 0 {
+		t.Fatalf("status: paper=%d optimized=%d", a.Status, b.Status)
+	}
+	if a.Cost != b.Cost || a.Pivots != b.Pivots || a.FlowChecksum != b.FlowChecksum {
+		t.Errorf("layouts disagree: paper=%+v optimized=%+v", a, b)
+	}
+}

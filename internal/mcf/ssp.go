@@ -1,0 +1,118 @@
+package mcf
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// SolveSSP computes the minimum-cost flow of an instance with the
+// successive-shortest-paths algorithm (Dijkstra with Johnson potentials).
+// It is an implementation completely independent of the network simplex
+// code and serves as the validation oracle in tests and experiment
+// harnesses. All instance arcs have unit capacity. It returns the optimal
+// cost, or an error if the supplies cannot be routed.
+func SolveSSP(ins *Instance) (int64, error) {
+	// Residual network with super source 0 and super sink N+1.
+	// Node ids 1..N as-is.
+	src, dst := 0, ins.N+1
+	nn := ins.N + 2
+
+	type edge struct {
+		to   int
+		cap  int64
+		cost int64
+		rev  int // index of reverse edge in adj[to]
+	}
+	adj := make([][]edge, nn)
+	addEdge := func(u, v int, cap, cost int64) {
+		adj[u] = append(adj[u], edge{to: v, cap: cap, cost: cost, rev: len(adj[v])})
+		adj[v] = append(adj[v], edge{to: u, cap: 0, cost: -cost, rev: len(adj[u]) - 1})
+	}
+	var need int64
+	for i := 1; i <= ins.N; i++ {
+		s := ins.Supply[i]
+		if s > 0 {
+			addEdge(src, i, s, 0)
+			need += s
+		} else if s < 0 {
+			addEdge(i, dst, -s, 0)
+		}
+	}
+	for _, a := range ins.Arcs {
+		addEdge(int(a.Tail), int(a.Head), 1, a.Cost)
+	}
+
+	pot := make([]int64, nn)
+	dist := make([]int64, nn)
+	prevE := make([]int, nn)
+	prevV := make([]int, nn)
+
+	var total int64
+	var sent int64
+	for sent < need {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.MaxInt64
+			prevV[i] = -1
+		}
+		dist[src] = 0
+		pq := &distHeap{{0, src}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(distItem)
+			if it.d > dist[it.v] {
+				continue
+			}
+			for ei := range adj[it.v] {
+				e := &adj[it.v][ei]
+				if e.cap <= 0 {
+					continue
+				}
+				nd := it.d + e.cost + pot[it.v] - pot[e.to]
+				if nd < dist[e.to] {
+					dist[e.to] = nd
+					prevV[e.to] = it.v
+					prevE[e.to] = ei
+					heap.Push(pq, distItem{nd, e.to})
+				}
+			}
+		}
+		if prevV[dst] == -1 {
+			return 0, fmt.Errorf("mcf: infeasible instance (routed %d of %d units)", sent, need)
+		}
+		for i := 0; i < nn; i++ {
+			if dist[i] < math.MaxInt64 {
+				pot[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		delta := int64(math.MaxInt64)
+		for v := dst; v != src; v = prevV[v] {
+			e := adj[prevV[v]][prevE[v]]
+			if e.cap < delta {
+				delta = e.cap
+			}
+		}
+		for v := dst; v != src; v = prevV[v] {
+			e := &adj[prevV[v]][prevE[v]]
+			e.cap -= delta
+			adj[v][e.rev].cap += delta
+			total += delta * e.cost
+		}
+		sent += delta
+	}
+	return total, nil
+}
+
+type distItem struct {
+	d int64
+	v int
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

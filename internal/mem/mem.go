@@ -1,0 +1,139 @@
+// Package mem implements the sparse simulated memory of the machine.
+//
+// Memory is allocated lazily in fixed-size host pages, so a 64-bit
+// simulated address space costs only what the target actually touches.
+// All multi-byte values are little endian. Accesses must be naturally
+// aligned; the machine layer enforces that and turns violations into
+// alignment traps before calling into this package.
+package mem
+
+const (
+	// HostPageBits is the log2 size of the host-side backing pages.
+	// This is an implementation detail of the simulator and independent
+	// of the simulated TLB page sizes.
+	HostPageBits = 16
+	hostPageSize = 1 << HostPageBits
+	hostPageMask = hostPageSize - 1
+)
+
+// Memory is a sparse byte-addressable simulated memory.
+type Memory struct {
+	pages map[uint64][]byte
+
+	// One-entry lookup cache: the vast majority of consecutive accesses
+	// hit the same host page.
+	lastBase uint64
+	lastPage []byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+func (m *Memory) page(addr uint64) []byte {
+	base := addr &^ uint64(hostPageMask)
+	if m.lastPage != nil && base == m.lastBase {
+		return m.lastPage
+	}
+	p, ok := m.pages[base]
+	if !ok {
+		p = make([]byte, hostPageSize)
+		m.pages[base] = p
+	}
+	m.lastBase, m.lastPage = base, p
+	return p
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint64) uint8 {
+	return m.page(addr)[addr&hostPageMask]
+}
+
+// Write8 writes one byte.
+func (m *Memory) Write8(addr uint64, v uint8) {
+	m.page(addr)[addr&hostPageMask] = v
+}
+
+// Read32 reads a naturally aligned 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 {
+	p := m.page(addr)
+	off := addr & hostPageMask
+	return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+}
+
+// Write32 writes a naturally aligned 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	p := m.page(addr)
+	off := addr & hostPageMask
+	p[off] = byte(v)
+	p[off+1] = byte(v >> 8)
+	p[off+2] = byte(v >> 16)
+	p[off+3] = byte(v >> 24)
+}
+
+// Read64 reads a naturally aligned 64-bit value.
+func (m *Memory) Read64(addr uint64) uint64 {
+	p := m.page(addr)
+	off := addr & hostPageMask
+	return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+		uint64(p[off+4])<<32 | uint64(p[off+5])<<40 | uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+}
+
+// Write64 writes a naturally aligned 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	p := m.page(addr)
+	off := addr & hostPageMask
+	p[off] = byte(v)
+	p[off+1] = byte(v >> 8)
+	p[off+2] = byte(v >> 16)
+	p[off+3] = byte(v >> 24)
+	p[off+4] = byte(v >> 32)
+	p[off+5] = byte(v >> 40)
+	p[off+6] = byte(v >> 48)
+	p[off+7] = byte(v >> 56)
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice. It may cross
+// host page boundaries.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		p := m.page(addr + uint64(i))
+		off := (addr + uint64(i)) & hostPageMask
+		c := copy(out[i:], p[off:])
+		i += c
+	}
+	return out
+}
+
+// WriteBytes copies b into memory starting at addr. It may cross host page
+// boundaries.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i := 0; i < len(b); {
+		p := m.page(addr + uint64(i))
+		off := (addr + uint64(i)) & hostPageMask
+		c := copy(p[off:], b[i:])
+		i += c
+	}
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes.
+func (m *Memory) ReadCString(addr uint64, max int) string {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := m.Read8(addr + uint64(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// PagesTouched reports how many host pages have been materialized.
+func (m *Memory) PagesTouched() int { return len(m.pages) }
+
+// Footprint reports the backing store size in bytes.
+func (m *Memory) Footprint() int64 { return int64(len(m.pages)) * hostPageSize }

@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	m.Write8(0x1000, 0xab)
+	if got := m.Read8(0x1000); got != 0xab {
+		t.Errorf("Read8 = %#x", got)
+	}
+	m.Write32(0x2000, 0xdeadbeef)
+	if got := m.Read32(0x2000); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	m.Write64(0x3000, 0x0123456789abcdef)
+	if got := m.Read64(0x3000); got != 0x0123456789abcdef {
+		t.Errorf("Read64 = %#x", got)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New()
+	if m.Read64(0xffff_0000_0000) != 0 {
+		t.Error("fresh memory not zero")
+	}
+	if m.Read8(0) != 0 {
+		t.Error("address 0 not zero")
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New()
+	m.Write64(0x100, 0x0807060504030201)
+	for i := 0; i < 8; i++ {
+		if got := m.Read8(0x100 + uint64(i)); got != uint8(i+1) {
+			t.Errorf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+	if got := m.Read32(0x100); got != 0x04030201 {
+		t.Errorf("Read32 of low half = %#x", got)
+	}
+}
+
+func TestBytesAcrossPages(t *testing.T) {
+	m := New()
+	// Straddle a host page boundary.
+	addr := uint64(1<<HostPageBits) - 3
+	data := []byte{1, 2, 3, 4, 5, 6, 7}
+	m.WriteBytes(addr, data)
+	if got := m.ReadBytes(addr, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("cross-page ReadBytes = %v", got)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	m := New()
+	m.WriteBytes(0x500, []byte("hello\x00world"))
+	if got := m.ReadCString(0x500, 64); got != "hello" {
+		t.Errorf("ReadCString = %q", got)
+	}
+	if got := m.ReadCString(0x500, 3); got != "hel" {
+		t.Errorf("capped ReadCString = %q", got)
+	}
+}
+
+func TestFootprintSparse(t *testing.T) {
+	m := New()
+	m.Write8(0, 1)
+	m.Write8(1<<40, 1)
+	if n := m.PagesTouched(); n != 2 {
+		t.Errorf("PagesTouched = %d, want 2", n)
+	}
+	if f := m.Footprint(); f != 2<<HostPageBits {
+		t.Errorf("Footprint = %d", f)
+	}
+}
+
+// Property: a 64-bit write followed by a 64-bit read at the same aligned
+// address returns the value, and writes to disjoint addresses do not
+// interfere.
+func TestWriteReadProperty(t *testing.T) {
+	m := New()
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a := (r.Uint64() % (1 << 34)) &^ 7
+		b := (r.Uint64() % (1 << 34)) &^ 7
+		if a == b {
+			return true
+		}
+		va, vb := r.Uint64(), r.Uint64()
+		m.Write64(a, va)
+		m.Write64(b, vb)
+		return m.Read64(a) == va && m.Read64(b) == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

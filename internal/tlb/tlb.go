@@ -1,0 +1,99 @@
+// Package tlb models the data translation lookaside buffer (DTLB).
+//
+// The TLB caches virtual page translations. Page size is a property of the
+// memory segment being accessed (the machine passes the page base of each
+// access), which is how -xpagesize_heap=512k reduces DTLB misses: larger
+// heap pages mean one entry covers more of the working set.
+package tlb
+
+import "fmt"
+
+// Config describes TLB geometry.
+type Config struct {
+	Entries int // total entries
+	Assoc   int // associativity; Entries/Assoc sets
+}
+
+// DefaultConfig approximates the UltraSPARC-III Cu DTLB scaled to the
+// simulator's workload sizes: 128 entries, 2-way.
+func DefaultConfig() Config { return Config{Entries: 128, Assoc: 2} }
+
+// MissPenaltyCycles is the paper's estimate of the cost of one DTLB miss
+// ("estimating the cost of a DTLB Miss as 100 cycles").
+const MissPenaltyCycles = 100
+
+type entry struct {
+	base  uint64
+	valid bool
+	use   uint64
+}
+
+// TLB is a set-associative translation cache with LRU replacement.
+type TLB struct {
+	sets    [][]entry
+	setMask uint64
+	tick    uint64
+
+	Lookups uint64
+	Misses  uint64
+}
+
+// New builds a TLB.
+func New(cfg Config) (*TLB, error) {
+	if cfg.Entries <= 0 || cfg.Assoc <= 0 || cfg.Entries%cfg.Assoc != 0 {
+		return nil, fmt.Errorf("tlb: bad geometry %+v", cfg)
+	}
+	nsets := cfg.Entries / cfg.Assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("tlb: set count %d not a power of two", nsets)
+	}
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, cfg.Assoc)
+	}
+	return &TLB{sets: sets, setMask: uint64(nsets - 1)}, nil
+}
+
+// Lookup translates the page starting at pageBase (already aligned to
+// pageSize by the caller). It reports whether the translation hit; misses
+// install the entry.
+func (t *TLB) Lookup(pageBase, pageSize uint64) bool {
+	t.Lookups++
+	t.tick++
+	// Index by the page number so pages of any size spread over the sets.
+	set := t.sets[(pageBase/pageSize)&t.setMask]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].base == pageBase {
+			set[i].use = t.tick
+			return true
+		}
+		if set[victim].valid && (!set[i].valid || set[i].use < set[victim].use) {
+			victim = i
+		}
+	}
+	t.Misses++
+	set[victim] = entry{base: pageBase, valid: true, use: t.tick}
+	return false
+}
+
+// Contains probes without side effects.
+func (t *TLB) Contains(pageBase, pageSize uint64) bool {
+	set := t.sets[(pageBase/pageSize)&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].base == pageBase {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all entries and clears statistics.
+func (t *TLB) Flush() {
+	for _, s := range t.sets {
+		for i := range s {
+			s[i] = entry{}
+		}
+	}
+	t.tick, t.Lookups, t.Misses = 0, 0, 0
+}

@@ -1,0 +1,139 @@
+package tlb
+
+import (
+	"testing"
+
+	"dsprof/internal/xrand"
+)
+
+func TestBadGeometry(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 0, Assoc: 1},
+		{Entries: 8, Assoc: 3},
+		{Entries: 24, Assoc: 2}, // 12 sets, not a power of two
+		{Entries: 4, Assoc: 0},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted bad geometry", cfg)
+		}
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	tl, err := New(Config{Entries: 8, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Lookup(0x2000, 8192) {
+		t.Error("cold lookup hit")
+	}
+	if !tl.Lookup(0x2000, 8192) {
+		t.Error("warm lookup missed")
+	}
+	if tl.Lookups != 2 || tl.Misses != 1 {
+		t.Errorf("stats lookups=%d misses=%d", tl.Lookups, tl.Misses)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2 entries, 1 set would be simplest but sets must be pow2; use
+	// Entries=2 Assoc=2 -> 1 set.
+	tl, err := New(Config{Entries: 2, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := uint64(0x0000), uint64(0x2000), uint64(0x4000)
+	tl.Lookup(a, 8192)
+	tl.Lookup(b, 8192)
+	tl.Lookup(a, 8192) // b is LRU
+	tl.Lookup(c, 8192) // evicts b
+	if !tl.Contains(a, 8192) || tl.Contains(b, 8192) || !tl.Contains(c, 8192) {
+		t.Errorf("LRU wrong: a=%v b=%v c=%v", tl.Contains(a, 8192), tl.Contains(b, 8192), tl.Contains(c, 8192))
+	}
+}
+
+func TestLargePagesReduceMisses(t *testing.T) {
+	// Sweep a 16 MB region. With 8 KB pages a 128-entry TLB (1 MB reach)
+	// thrashes; with 512 KB pages (64 MB reach) only compulsory misses.
+	sweep := func(pageSize uint64) (misses uint64) {
+		tl, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			for addr := uint64(0); addr < 16<<20; addr += 8192 {
+				tl.Lookup(addr&^(pageSize-1), pageSize)
+			}
+		}
+		return tl.Misses
+	}
+	small := sweep(8 << 10)
+	large := sweep(512 << 10)
+	if large*100 >= small {
+		t.Errorf("large pages: %d misses, small pages: %d; want >100x reduction", large, small)
+	}
+	// 512 KB pages: 32 pages cover 16 MB, fits in 128 entries -> exactly
+	// compulsory misses.
+	if large != 32 {
+		t.Errorf("large-page misses = %d, want 32", large)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl, _ := New(Config{Entries: 8, Assoc: 2})
+	tl.Lookup(0x2000, 8192)
+	tl.Flush()
+	if tl.Contains(0x2000, 8192) || tl.Lookups != 0 || tl.Misses != 0 {
+		t.Error("Flush incomplete")
+	}
+}
+
+// Property: after Lookup(p), Contains(p) holds.
+func TestInstallProperty(t *testing.T) {
+	tl, _ := New(DefaultConfig())
+	r := xrand.New(11)
+	for i := 0; i < 5000; i++ {
+		p := (uint64(r.Intn(1 << 28))) &^ 8191
+		tl.Lookup(p, 8192)
+		if !tl.Contains(p, 8192) {
+			t.Fatalf("page %#x not present after Lookup", p)
+		}
+	}
+}
+
+// Reference-model property test: the set-associative TLB must behave
+// exactly like a naive per-set LRU list simulation across random access
+// streams.
+func TestMatchesReferenceLRUModel(t *testing.T) {
+	cfg := Config{Entries: 16, Assoc: 4}
+	tl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsets := uint64(cfg.Entries / cfg.Assoc)
+	ref := make(map[uint64][]uint64, nsets) // set -> pages, MRU first
+	r := xrand.New(123)
+	const pageSize = 8192
+	for i := 0; i < 20000; i++ {
+		page := uint64(r.Intn(40)) * pageSize
+		set := (page / pageSize) & (nsets - 1)
+		// Reference lookup.
+		refHit := false
+		lst := ref[set]
+		for k, p := range lst {
+			if p == page {
+				refHit = true
+				lst = append(lst[:k], lst[k+1:]...)
+				break
+			}
+		}
+		lst = append([]uint64{page}, lst...)
+		if len(lst) > cfg.Assoc {
+			lst = lst[:cfg.Assoc]
+		}
+		ref[set] = lst
+		if got := tl.Lookup(page, pageSize); got != refHit {
+			t.Fatalf("access %d (page %#x): tlb hit=%v, reference hit=%v", i, page, got, refHit)
+		}
+	}
+}
