@@ -16,18 +16,22 @@
 package dsprof_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"dsprof/internal/analyzer"
 	"dsprof/internal/cc"
 	"dsprof/internal/core"
 	"dsprof/internal/hwc"
 	"dsprof/internal/mcf"
+	"dsprof/internal/profd"
 )
 
 // benchTrips scales the study; override with DSPROF_TRIPS for quicker
@@ -335,6 +339,98 @@ func BenchmarkAblationNoBacktrack(b *testing.B) {
 	withBT := s.ObjectShare("arc", hwc.EvECStall) + s.ObjectShare("node", hwc.EvECStall)
 	b.ReportMetric(100*share, "%arc+nodeAttrib(noBacktrack)")
 	b.ReportMetric(100*withBT, "%arc+nodeAttrib(withBacktrack)")
+}
+
+// --- profiling service (internal/profd) ---
+
+// BenchmarkParallelCollect runs the paper's A+B experiment pair through
+// the profd scheduler (experiments collected concurrently on the worker
+// pool) against the same pair collected serially, checks the merged
+// objects report is byte-identical either way, and reports the
+// wall-clock speedup of the parallel collection.
+func BenchmarkParallelCollect(b *testing.B) {
+	trips := benchTrips()
+	const (
+		countersA = "+ecstall,100003,+ecrm,2003"
+		countersB = "+ecref,10007,+dtlbm,997"
+	)
+	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := mcf.Generate(mcf.DefaultGenParams(trips, 20030717)).Encode()
+	cfg := core.StudyMachine()
+
+	renderObjects := func(a *analyzer.Analyzer) []byte {
+		var buf bytes.Buffer
+		if err := a.Render(&buf, "objects", analyzer.RenderOpts{}); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	var serialDur, parallelDur time.Duration
+	var serialOut, parallelOut []byte
+	for i := 0; i < b.N; i++ {
+		// Serial reference: the two collect runs back to back.
+		t0 := time.Now()
+		resA, err := core.CollectRun(prog, input, &cfg, true, countersA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resB, err := core.CollectRun(prog, input, &cfg, false, countersB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialDur = time.Since(t0)
+		an, err := core.Analyze(resA.Exp, resB.Exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialOut = renderObjects(an)
+
+		// Parallel: the same pair as profd jobs on a 4-worker pool.
+		store, err := profd.OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched := profd.NewScheduler(store, profd.SchedulerConfig{Workers: 4})
+		t0 = time.Now()
+		ja, err := sched.Submit(profd.JobSpec{
+			Program: "mcf", Trips: trips, Clock: true, Counters: countersA,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jb, err := sched.Submit(profd.JobSpec{
+			Program: "mcf", Trips: trips, Counters: countersB,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sched.WaitAll(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		parallelDur = time.Since(t0)
+		sa, sb := ja.Status(), jb.Status()
+		if sa.State != profd.JobDone || sb.State != profd.JobDone {
+			b.Fatalf("jobs finished %v (%s) / %v (%s)", sa.State, sa.Error, sb.State, sb.Error)
+		}
+		pa, err := store.Analyzer([]string{sa.Experiment, sb.Experiment})
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelOut = renderObjects(pa)
+		sched.Close()
+	}
+
+	if !bytes.Equal(serialOut, parallelOut) {
+		b.Fatalf("parallel objects report differs from serial\n--- parallel ---\n%s\n--- serial ---\n%s",
+			parallelOut, serialOut)
+	}
+	b.ReportMetric(serialDur.Seconds()/parallelDur.Seconds(), "xSpeedupOverSerial")
+	b.ReportMetric(parallelDur.Seconds(), "parallelSec")
+	b.ReportMetric(serialDur.Seconds(), "serialSec")
 }
 
 // BenchmarkAblationNoPadding measures the effect of dropping the

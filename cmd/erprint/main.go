@@ -1,6 +1,6 @@
 // Command erprint analyzes experiments, like the paper's er_print:
 //
-//	erprint [-sort metric] [-n 20] report... expt.er...
+//	erprint [-sort metric] [-n 20] [-o FILE] report... expt.er...
 //
 // Reports:
 //
@@ -18,11 +18,15 @@
 //	effect      apropos backtracking effectiveness
 //
 // Multiple experiments merge, as with the paper's two collect runs.
+// Unknown report names are rejected up front with the list of valid
+// reports; an argument that is neither a known report nor an existing
+// experiment directory is an error, never silently ignored.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,19 +38,26 @@ import (
 func main() {
 	sortName := flag.String("sort", "", "sort metric: cpu, ecstall, ecrm, ecref, dtlbm, ...")
 	topN := flag.Int("n", 20, "rows in top-N reports")
+	outPath := flag.String("o", "", "write report output to FILE instead of stdout")
 	flag.Parse()
 
 	var reports []string
 	var dirs []string
 	for _, arg := range flag.Args() {
-		if strings.HasSuffix(arg, ".er") || dirExists(arg) {
-			dirs = append(dirs, arg)
-		} else {
+		name, _ := analyzer.SplitReport(arg)
+		switch {
+		case analyzer.ValidReport(name):
 			reports = append(reports, arg)
+		case strings.HasSuffix(arg, ".er") || dirExists(arg):
+			dirs = append(dirs, arg)
+		default:
+			fmt.Fprintf(os.Stderr, "erprint: %q is neither a report nor an experiment directory\nvalid reports:\n%s", arg, analyzer.ReportUsage())
+			os.Exit(2)
 		}
 	}
 	if len(dirs) == 0 || len(reports) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: erprint [flags] report... experiment.er...")
+		fmt.Fprintf(os.Stderr, "valid reports:\n%s", analyzer.ReportUsage())
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -65,72 +76,53 @@ func main() {
 		os.Exit(1)
 	}
 
-	sortBy := analyzer.ByUserCPU
-	if !a.HasClock() {
-		sortBy = analyzer.ByEvent(firstEvent(a))
-	}
-	if *sortName != "" && *sortName != "cpu" {
-		ev, err := hwc.ParseEvent(*sortName)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-			os.Exit(2)
+	opts := analyzer.RenderOpts{TopN: *topN}
+	if *sortName != "" {
+		sortBy := analyzer.ByUserCPU
+		if *sortName != "cpu" {
+			ev, err := hwc.ParseEvent(*sortName)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+				os.Exit(2)
+			}
+			sortBy = analyzer.ByEvent(ev)
 		}
-		sortBy = analyzer.ByEvent(ev)
+		opts.Sort = &sortBy
 	}
 
-	for _, rep := range reports {
-		name, arg := rep, ""
-		if i := strings.IndexByte(rep, '='); i >= 0 {
-			name, arg = rep[:i], rep[i+1:]
-		}
-		fmt.Printf("==== %s ====\n", rep)
-		var err error
-		switch name {
-		case "total":
-			a.TotalReport(os.Stdout)
-		case "functions":
-			a.FunctionList(os.Stdout, sortBy)
-		case "source":
-			err = a.AnnotatedSource(os.Stdout, arg)
-		case "disasm":
-			err = a.AnnotatedDisasm(os.Stdout, arg)
-		case "pcs":
-			a.PCList(os.Stdout, sortBy, *topN)
-		case "lines":
-			a.LineList(os.Stdout, sortBy, *topN)
-		case "objects":
-			a.DataObjectList(os.Stdout, sortBy)
-		case "members":
-			err = a.MemberList(os.Stdout, arg)
-		case "callers":
-			a.CallersCalleesReport(os.Stdout, arg)
-		case "addrspace":
-			a.AddressSpaceReport(os.Stdout, sortBy, *topN)
-		case "effect":
-			a.EffectivenessReport(os.Stdout)
-		case "feedback":
-			a.WriteFeedbackFile(os.Stdout, 0.01)
-		default:
-			err = fmt.Errorf("unknown report %q", name)
-		}
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		out = f
+	}
+
+	// A single report renders bare (byte-identical to the profd HTTP
+	// report endpoint, and pipeable); multiple reports get banners.
+	for _, rep := range reports {
+		if len(reports) > 1 {
+			fmt.Fprintf(out, "==== %s ====\n", rep)
+		}
+		if err := a.Render(out, rep, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
+			os.Exit(1)
+		}
+		if len(reports) > 1 {
+			fmt.Fprintln(out)
+		}
 	}
 }
 
 func dirExists(path string) bool {
 	st, err := os.Stat(path)
 	return err == nil && st.IsDir()
-}
-
-func firstEvent(a *analyzer.Analyzer) hwc.Event {
-	for ev := hwc.Event(1); ev < hwc.NumEvents; ev++ {
-		if a.HasEvent(ev) {
-			return ev
-		}
-	}
-	return hwc.EvCycles
 }

@@ -1,0 +1,73 @@
+// Command profd runs the profiling service: a long-running daemon that
+// schedules profiling jobs onto a bounded pool of VM workers, persists
+// completed experiments under a managed root, and serves the paper's
+// reports over HTTP.
+//
+//	profd [-addr :7070] [-root profd.data] [-workers 4] [-queue 256] [-timeout 0]
+//
+// Submit the paper's two-experiment MCF study and read Figure 6:
+//
+//	curl -s -X POST localhost:7070/jobs -d '{"program":"mcf","trips":1200,
+//	      "clock":true,"counters":"+ecstall,100003,+ecrm,2003"}'
+//	curl -s -X POST localhost:7070/jobs -d '{"program":"mcf","trips":1200,
+//	      "counters":"+ecref,10007,+dtlbm,997"}'
+//	curl -s localhost:7070/jobs                     # wait for "done"
+//	curl -s 'localhost:7070/reports/objects?exp=exp-1,exp-2&sort=ecstall'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsprof/internal/profd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profd: ")
+	addr := flag.String("addr", ":7070", "HTTP listen address")
+	root := flag.String("root", "profd.data", "managed experiment root directory")
+	workers := flag.Int("workers", 4, "concurrent VM workers")
+	queue := flag.Int("queue", 256, "job queue depth")
+	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	flag.Parse()
+
+	store, err := profd.OpenStore(*root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := profd.NewScheduler(store, profd.SchedulerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: profd.NewServer(sched, store).Handler(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving on %s (root=%s, workers=%d, %d experiments indexed)",
+		*addr, *root, *workers, len(store.List()))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	sched.Close()
+	log.Print("stopped")
+}

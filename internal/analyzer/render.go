@@ -1,0 +1,303 @@
+package analyzer
+
+// render.go is the named-report entry point shared by every report
+// consumer — cmd/erprint's command tokens and internal/profd's HTTP
+// report endpoints dispatch through Render, so the two surfaces are
+// byte-identical by construction.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dsprof/internal/hwc"
+)
+
+// RenderOpts configure a named report rendering.
+type RenderOpts struct {
+	// Sort orders rows in top-N style reports. The zero value means the
+	// analyzer's natural default: User CPU time when clock profiles are
+	// present, otherwise the first collected counter event.
+	Sort *SortBy
+	// TopN limits pcs/lines/addrspace rows (0 = the er_print default, 20).
+	TopN int
+	// FeedbackMinShare is the feedback report's inclusion threshold
+	// (0 = the default, 0.01).
+	FeedbackMinShare float64
+}
+
+// DefaultSort is the sort erprint applies when the user names none:
+// User CPU time if any experiment carries clock profiles, otherwise the
+// first hardware counter event that was collected.
+func (a *Analyzer) DefaultSort() SortBy {
+	if a.HasClock() {
+		return ByUserCPU
+	}
+	for ev := hwc.Event(1); ev < hwc.NumEvents; ev++ {
+		if a.HasEvent(ev) {
+			return ByEvent(ev)
+		}
+	}
+	return ByEvent(hwc.EvCycles)
+}
+
+func (o RenderOpts) normalize(a *Analyzer) (SortBy, int, float64) {
+	s := a.DefaultSort()
+	if o.Sort != nil {
+		s = *o.Sort
+	}
+	n := o.TopN
+	if n == 0 {
+		n = 20
+	}
+	min := o.FeedbackMinShare
+	if min == 0 {
+		min = 0.01
+	}
+	return s, n, min
+}
+
+// reportInfo describes one named report.
+type reportInfo struct {
+	name     string
+	needsArg bool
+	desc     string
+}
+
+// reportTable is the registry of every report the analyzer renders, in
+// presentation order (the paper's figure order).
+var reportTable = []reportInfo{
+	{"total", false, "<Total> metrics (paper Figure 1)"},
+	{"functions", false, "the function list (Figure 2)"},
+	{"source", true, "source=FN: annotated source of function FN (Figure 3)"},
+	{"disasm", true, "disasm=FN: annotated disassembly of FN (Figure 4)"},
+	{"pcs", false, "hot PCs with data-object descriptors (Figure 5)"},
+	{"lines", false, "hot source lines"},
+	{"objects", false, "data objects (Figure 6)"},
+	{"members", true, "members=T: struct T member expansion (Figure 7)"},
+	{"callers", true, "callers=FN: callers/callees of FN"},
+	{"addrspace", false, "segment/page/cache-line breakdown (paper §4)"},
+	{"feedback", false, "prefetch feedback file (paper §4)"},
+	{"effect", false, "apropos backtracking effectiveness"},
+}
+
+// ReportNames lists every valid report name, in presentation order.
+func ReportNames() []string {
+	names := make([]string, len(reportTable))
+	for i, r := range reportTable {
+		names[i] = r.name
+	}
+	return names
+}
+
+// ValidReport reports whether name (without any =ARG suffix) names a
+// known report.
+func ValidReport(name string) bool {
+	for _, r := range reportTable {
+		if r.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReportUsage renders the one-line-per-report help listing used by
+// erprint's usage text and profd's error responses.
+func ReportUsage() string {
+	var b strings.Builder
+	for _, r := range reportTable {
+		name := r.name
+		if r.needsArg {
+			name += "=ARG"
+		}
+		fmt.Fprintf(&b, "  %-12s %s\n", name, r.desc)
+	}
+	return b.String()
+}
+
+// SplitReport splits a report token like "members=node" into its name
+// and argument.
+func SplitReport(token string) (name, arg string) {
+	if i := strings.IndexByte(token, '='); i >= 0 {
+		return token[:i], token[i+1:]
+	}
+	return token, ""
+}
+
+// Render writes the named report — a token like "objects" or
+// "members=node" — to w. Unknown names and missing required arguments
+// are errors, so callers can reject bad requests up front with
+// ValidReport and still handle argument errors here.
+func (a *Analyzer) Render(w io.Writer, report string, opts RenderOpts) error {
+	name, arg := SplitReport(report)
+	sortBy, topN, minShare := opts.normalize(a)
+	switch name {
+	case "total":
+		a.TotalReport(w)
+	case "functions":
+		a.FunctionList(w, sortBy)
+	case "source":
+		return a.AnnotatedSource(w, arg)
+	case "disasm":
+		return a.AnnotatedDisasm(w, arg)
+	case "pcs":
+		a.PCList(w, sortBy, topN)
+	case "lines":
+		a.LineList(w, sortBy, topN)
+	case "objects":
+		a.DataObjectList(w, sortBy)
+	case "members":
+		return a.MemberList(w, arg)
+	case "callers":
+		a.CallersCalleesReport(w, arg)
+	case "addrspace":
+		a.AddressSpaceReport(w, sortBy, topN)
+	case "effect":
+		a.EffectivenessReport(w)
+	case "feedback":
+		a.WriteFeedbackFile(w, minShare)
+	default:
+		return fmt.Errorf("analyzer: unknown report %q; valid reports:\n%s", name, ReportUsage())
+	}
+	return nil
+}
+
+// --- JSON renderings ---
+
+// EventJSON is one hardware-counter metric in a JSON report row.
+type EventJSON struct {
+	Overflows uint64  `json:"overflows"`
+	Count     uint64  `json:"count"`
+	Seconds   float64 `json:"seconds,omitempty"`
+}
+
+// MetricsJSON is the JSON form of a Metrics row.
+type MetricsJSON struct {
+	Ticks      uint64               `json:"ticks,omitempty"`
+	UserCPUSec float64              `json:"userCpuSec,omitempty"`
+	Events     map[string]EventJSON `json:"events,omitempty"`
+}
+
+// NamedRowJSON is one {name, metrics} row of a JSON report.
+type NamedRowJSON struct {
+	Name string      `json:"name"`
+	M    MetricsJSON `json:"metrics"`
+}
+
+func (a *Analyzer) metricsJSON(m *Metrics) MetricsJSON {
+	out := MetricsJSON{}
+	if a.HasClock() {
+		out.Ticks = m.Ticks
+		out.UserCPUSec = a.TickSeconds(m.Ticks)
+	}
+	for _, ev := range a.columnSet() {
+		n := m.Events[ev]
+		e := EventJSON{Overflows: n, Count: a.Count(ev, n)}
+		if ev.CountsCycles() {
+			e.Seconds = a.Seconds(ev, n)
+		}
+		if out.Events == nil {
+			out.Events = make(map[string]EventJSON)
+		}
+		out.Events[ev.String()] = e
+	}
+	return out
+}
+
+// RenderJSON returns the named report as a JSON-marshallable value, for
+// reports with a natural row structure. Reports that only exist as
+// rendered text (annotated source/disassembly, the feedback file)
+// return an error directing callers to the text rendering.
+func (a *Analyzer) RenderJSON(report string, opts RenderOpts) (any, error) {
+	name, arg := SplitReport(report)
+	sortBy, topN, _ := opts.normalize(a)
+	rows := func(n int) []NamedRowJSON { return make([]NamedRowJSON, 0, n) }
+	switch name {
+	case "total":
+		return map[string]any{"total": a.metricsJSON(&a.total)}, nil
+	case "functions":
+		out := rows(0)
+		for _, r := range a.Functions(sortBy) {
+			out = append(out, NamedRowJSON{Name: r.Name, M: a.metricsJSON(&r.M)})
+		}
+		return map[string]any{"functions": out}, nil
+	case "objects":
+		out := rows(0)
+		for _, r := range a.DataObjects(sortBy) {
+			out = append(out, NamedRowJSON{Name: r.Name, M: a.metricsJSON(&r.M)})
+		}
+		return map[string]any{"objects": out}, nil
+	case "members":
+		id, ty := a.Tab.TypeByName(arg)
+		if ty == nil {
+			return nil, fmt.Errorf("analyzer: no struct type %q", arg)
+		}
+		type memberJSON struct {
+			Offset int64       `json:"offset"`
+			Name   string      `json:"name"`
+			M      MetricsJSON `json:"metrics"`
+		}
+		var out []memberJSON
+		for _, r := range a.Members(id) {
+			out = append(out, memberJSON{Offset: r.Off, Name: r.Name, M: a.metricsJSON(&r.M)})
+		}
+		total := a.ObjMetrics(id)
+		return map[string]any{
+			"struct":  ty.Name,
+			"total":   a.metricsJSON(&total),
+			"members": out,
+		}, nil
+	case "pcs":
+		type pcJSON struct {
+			PC         string      `json:"pc"`
+			Name       string      `json:"name"`
+			Artificial bool        `json:"artificial,omitempty"`
+			Object     string      `json:"object,omitempty"`
+			M          MetricsJSON `json:"metrics"`
+		}
+		var out []pcJSON
+		for _, r := range a.PCs(sortBy, topN) {
+			row := pcJSON{
+				PC:         fmt.Sprintf("0x%08x", r.PC),
+				Name:       a.PCName(r.PC, r.Artificial),
+				Artificial: r.Artificial,
+				M:          a.metricsJSON(&r.M),
+			}
+			if x, ok := a.Tab.Xrefs[r.PC]; ok && !r.Artificial {
+				row.Object = a.Tab.XrefDisplay(x)
+			}
+			out = append(out, row)
+		}
+		return map[string]any{"pcs": out}, nil
+	case "lines":
+		type lineJSON struct {
+			File string      `json:"file"`
+			Line int32       `json:"line"`
+			M    MetricsJSON `json:"metrics"`
+		}
+		var out []lineJSON
+		for _, r := range a.Lines(sortBy, topN) {
+			out = append(out, lineJSON{File: r.File, Line: r.Line, M: a.metricsJSON(&r.M)})
+		}
+		return map[string]any{"lines": out}, nil
+	case "effect":
+		out := map[string]float64{}
+		evs := make([]hwc.Event, 0, len(a.Intervals))
+		for ev := range a.Intervals {
+			evs = append(evs, ev)
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
+		for _, ev := range evs {
+			if ev.MemoryRelated() {
+				out[ev.String()] = a.Effectiveness(ev)
+			}
+		}
+		return map[string]any{"effectiveness": out}, nil
+	default:
+		if !ValidReport(name) {
+			return nil, fmt.Errorf("analyzer: unknown report %q; valid reports:\n%s", name, ReportUsage())
+		}
+		return nil, fmt.Errorf("analyzer: report %q has no JSON rendering; request the text format", name)
+	}
+}

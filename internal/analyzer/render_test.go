@@ -1,0 +1,106 @@
+package analyzer
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dsprof/internal/cc"
+	"dsprof/internal/hwc"
+)
+
+func renderAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	prog := buildWorkload(t, cc.Options{HWCProf: true})
+	ea, eb := collectPair(t, prog, 400)
+	a, err := New(ea, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestRenderMatchesDirectCalls checks the named dispatcher is
+// byte-identical to calling each report method directly — the property
+// that makes erprint and the profd HTTP API agree.
+func TestRenderMatchesDirectCalls(t *testing.T) {
+	a := renderAnalyzer(t)
+	sortBy := a.DefaultSort()
+	direct := map[string]func(w *bytes.Buffer){
+		"total":     func(w *bytes.Buffer) { a.TotalReport(w) },
+		"functions": func(w *bytes.Buffer) { a.FunctionList(w, sortBy) },
+		"pcs":       func(w *bytes.Buffer) { a.PCList(w, sortBy, 20) },
+		"lines":     func(w *bytes.Buffer) { a.LineList(w, sortBy, 20) },
+		"objects":   func(w *bytes.Buffer) { a.DataObjectList(w, sortBy) },
+		"addrspace": func(w *bytes.Buffer) { a.AddressSpaceReport(w, sortBy, 20) },
+		"effect":    func(w *bytes.Buffer) { a.EffectivenessReport(w) },
+		"feedback":  func(w *bytes.Buffer) { a.WriteFeedbackFile(w, 0.01) },
+		"members=item": func(w *bytes.Buffer) {
+			if err := a.MemberList(w, "item"); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"callers=chase": func(w *bytes.Buffer) { a.CallersCalleesReport(w, "chase") },
+	}
+	for rep, f := range direct {
+		var want, got bytes.Buffer
+		f(&want)
+		if err := a.Render(&got, rep, RenderOpts{}); err != nil {
+			t.Fatalf("Render(%s): %v", rep, err)
+		}
+		if want.Len() == 0 {
+			t.Fatalf("report %s rendered nothing", rep)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("Render(%s) differs from direct call", rep)
+		}
+	}
+}
+
+func TestRenderUnknownReport(t *testing.T) {
+	a := renderAnalyzer(t)
+	var w bytes.Buffer
+	err := a.Render(&w, "bogus", RenderOpts{})
+	if err == nil {
+		t.Fatal("Render accepted unknown report")
+	}
+	if !strings.Contains(err.Error(), "objects") {
+		t.Errorf("error should list valid reports: %v", err)
+	}
+	if ValidReport("bogus") || !ValidReport("objects") {
+		t.Error("ValidReport misclassifies")
+	}
+	if len(ReportNames()) < 10 {
+		t.Errorf("ReportNames too short: %v", ReportNames())
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	a := renderAnalyzer(t)
+	for _, rep := range []string{"total", "functions", "objects", "members=item", "pcs", "lines", "effect"} {
+		v, err := a.RenderJSON(rep, RenderOpts{})
+		if err != nil {
+			t.Fatalf("RenderJSON(%s): %v", rep, err)
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", rep, err)
+		}
+		if len(b) < 10 {
+			t.Errorf("JSON %s suspiciously small: %s", rep, b)
+		}
+	}
+	// The function list carries the stall counter for the hot chase loop.
+	v, _ := a.RenderJSON("functions", RenderOpts{})
+	b, _ := json.Marshal(v)
+	if !strings.Contains(string(b), "chase") || !strings.Contains(string(b), hwc.EvECStall.String()) {
+		t.Errorf("functions JSON missing expected content: %s", b)
+	}
+	if _, err := a.RenderJSON("disasm=chase", RenderOpts{}); err == nil {
+		t.Error("disasm should have no JSON rendering")
+	}
+	if _, err := a.RenderJSON("bogus", RenderOpts{}); err == nil {
+		t.Error("unknown report accepted")
+	}
+}

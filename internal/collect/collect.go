@@ -10,6 +10,7 @@
 package collect
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -111,6 +112,39 @@ func ParseCounterSpec(spec string) ([]experiment.CounterSpec, error) {
 
 // Run executes prog under profiling and returns the experiment.
 func Run(prog *asm.Program, opts Options) (*Result, error) {
+	return RunContext(context.Background(), prog, opts)
+}
+
+// cancelCheckStride is how many instructions execute between context
+// cancellation checks in RunContext: coarse enough that the check is
+// free relative to simulation, fine enough that cancellation lands
+// within a millisecond of wall-clock time.
+const cancelCheckStride = 1 << 15
+
+// runMachine drives m to completion, honouring ctx cancellation. With a
+// non-cancellable context it defers to the machine's own run loop.
+func runMachine(ctx context.Context, m *machine.Machine) error {
+	if ctx.Done() == nil {
+		return m.Run()
+	}
+	for !m.Halted() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("collect: run aborted: %w", err)
+		}
+		for i := 0; i < cancelCheckStride && !m.Halted(); i++ {
+			if err := m.Step(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunContext is Run with job-level cancellation: the profiled run stops
+// (with the context's error) as soon as ctx is cancelled or times out.
+// The returned Result still carries the partial experiment so callers
+// can inspect it, but nothing is written to disk here.
+func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, error) {
 	cfg := machine.DefaultConfig()
 	if opts.Machine != nil {
 		cfg = *opts.Machine
@@ -209,7 +243,7 @@ func Run(prog *asm.Program, opts Options) (*Result, error) {
 	exp.Meta.DCacheLine = cfg.DCache.LineBytes
 	exp.Meta.ECacheLine = cfg.ECache.LineBytes
 
-	runErr := m.Run()
+	runErr := runMachine(ctx, m)
 	exp.Meta.Stats = m.Stats()
 	exp.Allocs = m.Allocs()
 	if runErr != nil {

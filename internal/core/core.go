@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dsprof/internal/analyzer"
@@ -45,6 +46,24 @@ func CollectRun(prog *asm.Program, input []int64, cfg *machine.Config, clockProf
 		Counters:     specs,
 		Machine:      cfg,
 		Input:        input,
+	})
+}
+
+// CollectRunContext is CollectRun with job-level cancellation and an
+// explicit clock-profiling interval — the entry point profiling services
+// (internal/profd) use for each scheduled run. A zero clockTick picks
+// the collector's default.
+func CollectRunContext(ctx context.Context, prog *asm.Program, input []int64, cfg *machine.Config, clockProfile bool, clockTick uint64, counterSpec string) (*collect.Result, error) {
+	specs, err := collect.ParseCounterSpec(counterSpec)
+	if err != nil {
+		return nil, err
+	}
+	return collect.RunContext(ctx, prog, collect.Options{
+		ClockProfile:        clockProfile,
+		ClockIntervalCycles: clockTick,
+		Counters:            specs,
+		Machine:             cfg,
+		Input:               input,
 	})
 }
 

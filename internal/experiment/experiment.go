@@ -23,6 +23,10 @@ import (
 	"dsprof/internal/machine"
 )
 
+// NumPICs is the number of hardware counter registers (the chip has
+// two); Meta.Counters and Experiment.HWC are indexed by PIC.
+const NumPICs = 2
+
 // CounterSpec is one armed hardware counter, as given to collect -h.
 type CounterSpec struct {
 	Event     hwc.Event
@@ -57,8 +61,15 @@ type ClockEvent struct {
 	Cycles    uint64
 }
 
+// FormatVersion is the current on-disk experiment format version. It is
+// written into Meta by Save; Load rejects any other version so that a
+// truncated meta file (version 0) or a future format never decodes into
+// silently wrong data.
+const FormatVersion = 1
+
 // Meta is the experiment header (the log/loadobjects information).
 type Meta struct {
+	FormatVersion   int
 	ProgName        string
 	Command         string
 	When            time.Time
@@ -77,7 +88,7 @@ type Meta struct {
 type Experiment struct {
 	Meta   Meta
 	Clock  []ClockEvent
-	HWC    [2][]HWCEvent
+	HWC    [NumPICs][]HWCEvent
 	Allocs []machine.Alloc
 	Prog   *asm.Program
 }
@@ -112,20 +123,33 @@ func writeGob(dir, name string, v any) error {
 	return f.Close()
 }
 
-func readGob(dir, name string, v any) error {
+// readGob decodes one data file. Decoding never panics even on
+// truncated or corrupted input: gob's decoder can panic on some
+// malformed streams, so the recover turns that into a plain error.
+func readGob(dir, name string, v any) (err error) {
 	f, err := os.Open(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return gob.NewDecoder(f).Decode(v)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("corrupted %s: %v", name, r)
+		}
+	}()
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("corrupted %s: %w", name, err)
+	}
+	return nil
 }
 
-// Save writes the experiment as a directory.
+// Save writes the experiment as a directory, stamping the current
+// format version into the meta header.
 func (e *Experiment) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	e.Meta.FormatVersion = FormatVersion
 	if err := writeGob(dir, metaFile, &e.Meta); err != nil {
 		return err
 	}
@@ -174,28 +198,56 @@ func (e *Experiment) writeLog(dir string) error {
 	return f.Close()
 }
 
-// Load reads an experiment directory written by Save.
+// Load reads an experiment directory written by Save. It never panics:
+// a missing directory, a missing or truncated data file, a format
+// version mismatch, or an internally inconsistent meta header all
+// produce a descriptive error.
 func Load(dir string) (*Experiment, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", dir, err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("experiment %s: not a directory", dir)
+	}
 	e := &Experiment{}
 	if err := readGob(dir, metaFile, &e.Meta); err != nil {
-		return nil, fmt.Errorf("experiment: reading meta: %w", err)
+		return nil, fmt.Errorf("experiment %s: reading meta: %w", dir, err)
+	}
+	if e.Meta.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("experiment %s: format version %d, want %d (re-collect the experiment)",
+			dir, e.Meta.FormatVersion, FormatVersion)
+	}
+	if n := len(e.Meta.Counters); n != NumPICs {
+		return nil, fmt.Errorf("experiment %s: corrupted meta: %d counter slots, want %d", dir, n, NumPICs)
 	}
 	if err := readGob(dir, clockFile, &e.Clock); err != nil {
-		return nil, fmt.Errorf("experiment: reading clock data: %w", err)
+		return nil, fmt.Errorf("experiment %s: reading clock data: %w", dir, err)
 	}
 	if err := readGob(dir, hwcFile0, &e.HWC[0]); err != nil {
-		return nil, fmt.Errorf("experiment: reading hwc0 data: %w", err)
+		return nil, fmt.Errorf("experiment %s: reading hwc0 data: %w", dir, err)
 	}
 	if err := readGob(dir, hwcFile1, &e.HWC[1]); err != nil {
-		return nil, fmt.Errorf("experiment: reading hwc1 data: %w", err)
+		return nil, fmt.Errorf("experiment %s: reading hwc1 data: %w", dir, err)
 	}
 	if err := readGob(dir, allocsFile, &e.Allocs); err != nil {
-		return nil, fmt.Errorf("experiment: reading allocs: %w", err)
+		return nil, fmt.Errorf("experiment %s: reading allocs: %w", dir, err)
 	}
-	prog, err := asm.LoadFile(filepath.Join(dir, progFile))
+	prog, err := loadProgram(filepath.Join(dir, progFile))
 	if err != nil {
-		return nil, fmt.Errorf("experiment: reading program: %w", err)
+		return nil, fmt.Errorf("experiment %s: reading program: %w", dir, err)
 	}
 	e.Prog = prog
 	return e, nil
+}
+
+// loadProgram reads the saved program object, converting any decoder
+// panic on a corrupted file into an error.
+func loadProgram(path string) (prog *asm.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("corrupted program object: %v", r)
+		}
+	}()
+	return asm.LoadFile(path)
 }

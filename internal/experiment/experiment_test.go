@@ -136,3 +136,98 @@ func TestLoadCorrupted(t *testing.T) {
 		t.Error("Load of corrupted experiment succeeded")
 	}
 }
+
+// TestLoadNeverPanics corrupts every data file in turn — truncation,
+// garbage, and emptiness — and checks Load returns an error naming the
+// bad file instead of panicking.
+func TestLoadNeverPanics(t *testing.T) {
+	files := []string{"meta.gob", "clock.gob", "hwc0.gob", "hwc1.gob", "allocs.gob", "program.obj"}
+	corruptions := map[string]func(path string) error{
+		"truncated": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, b[:len(b)/2], 0o644)
+		},
+		"garbage": func(path string) error {
+			return os.WriteFile(path, []byte{0xff, 0x13, 0x01, 0xfe, 0x00, 0x7f}, 0o644)
+		},
+		"empty": func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		},
+		"missing": os.Remove,
+	}
+	for how, corrupt := range corruptions {
+		for _, name := range files {
+			t.Run(how+"/"+name, func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Load panicked: %v", r)
+					}
+				}()
+				dir := filepath.Join(t.TempDir(), "s.er")
+				if err := sample().Save(dir); err != nil {
+					t.Fatal(err)
+				}
+				if err := corrupt(filepath.Join(dir, name)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := Load(dir); err == nil {
+					t.Errorf("Load of %s %s experiment succeeded", how, name)
+				}
+			})
+		}
+	}
+}
+
+func TestFormatVersion(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if e.Meta.FormatVersion != FormatVersion {
+		t.Fatalf("Save stamped version %d, want %d", e.Meta.FormatVersion, FormatVersion)
+	}
+	// Rewrite the meta header with a mismatching version: Load must
+	// reject it with an error that names both versions.
+	bad := e.Meta
+	bad.FormatVersion = FormatVersion + 7
+	if err := writeGob(dir, "meta.gob", &bad); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir)
+	if err == nil {
+		t.Fatal("Load accepted a mismatched format version")
+	}
+	if !strings.Contains(err.Error(), "format version") {
+		t.Errorf("unhelpful version error: %v", err)
+	}
+}
+
+func TestLoadRejectsBadCounterSlots(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	bad := e.Meta
+	bad.Counters = bad.Counters[:1]
+	if err := writeGob(dir, "meta.gob", &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "counter slots") {
+		t.Errorf("Load of truncated counter table: %v", err)
+	}
+}
+
+func TestLoadFileInsteadOfDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "not a directory") {
+		t.Errorf("Load of a plain file: %v", err)
+	}
+}

@@ -193,6 +193,11 @@ func (m *Machine) OutputText() string { return m.outText.String() }
 // Stats returns cumulative execution statistics.
 func (m *Machine) Stats() Stats { return m.stats }
 
+// Halted reports whether the program has executed Halt. Callers that
+// drive the machine with Step (instead of Run) use it as the loop
+// condition, e.g. to interleave cancellation checks.
+func (m *Machine) Halted() bool { return m.halted }
+
 // Allocs returns the heap allocation log.
 func (m *Machine) Allocs() []Alloc { return m.allocs }
 

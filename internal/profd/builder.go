@@ -1,0 +1,147 @@
+package profd
+
+// builder.go resolves job specs into runnable (program, input, machine)
+// triples, memoizing compiles and generated MCF instances so a sweep of
+// N jobs over one program compiles once and generates each distinct
+// instance once, no matter how many workers race on it.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+	"dsprof/internal/core"
+	"dsprof/internal/machine"
+	"dsprof/internal/mcf"
+)
+
+// progEntry is one memoized compile (singleflight: the first goroutine
+// to want the key compiles, the rest wait on the Once).
+type progEntry struct {
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+type inputEntry struct {
+	once  sync.Once
+	input []int64
+}
+
+type builder struct {
+	mu     sync.Mutex
+	progs  map[string]*progEntry
+	inputs map[string]*inputEntry
+}
+
+func newBuilder() *builder {
+	return &builder{
+		progs:  make(map[string]*progEntry),
+		inputs: make(map[string]*inputEntry),
+	}
+}
+
+func (b *builder) progEntryFor(key string) *progEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.progs[key]
+	if e == nil {
+		e = &progEntry{}
+		b.progs[key] = e
+	}
+	return e
+}
+
+func (b *builder) inputEntryFor(key string) *inputEntry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.inputs[key]
+	if e == nil {
+		e = &inputEntry{}
+		b.inputs[key] = e
+	}
+	return e
+}
+
+// Resolve turns a validated spec into the program, input vector and
+// machine configuration for one collect run. Compiled programs are
+// shared across jobs: they are read-only during simulation.
+func (b *builder) Resolve(spec *JobSpec) (*asm.Program, []int64, *machine.Config, error) {
+	prog, err := b.program(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	input := spec.Input
+	if spec.Program == ProgramMCF && len(input) == 0 {
+		input = b.mcfInput(spec)
+	}
+	cfg := machineFor(spec.MachineConfig)
+	return prog, input, cfg, nil
+}
+
+func (b *builder) program(spec *JobSpec) (*asm.Program, error) {
+	switch {
+	case spec.Program == ProgramMCF:
+		key := fmt.Sprintf("mcf/%s/%d", spec.Layout, spec.PageSizeHeap)
+		e := b.progEntryFor(key)
+		e.once.Do(func() {
+			e.prog, e.err = mcf.Program(spec.mcfLayout(), cc.Options{
+				HWCProf:      true,
+				PageSizeHeap: spec.PageSizeHeap,
+			})
+		})
+		return e.prog, e.err
+	case spec.Source != "":
+		name := spec.Name
+		if name == "" {
+			name = "job"
+		}
+		sum := sha256.Sum256([]byte(spec.Source))
+		key := fmt.Sprintf("src/%s/%d/%s", name, spec.PageSizeHeap, hex.EncodeToString(sum[:8]))
+		e := b.progEntryFor(key)
+		e.once.Do(func() {
+			e.prog, e.err = core.Compile(name, []cc.Source{{Name: name + ".mc", Text: spec.Source}},
+				&cc.Options{Name: name, HWCProf: true, PageSizeHeap: spec.PageSizeHeap})
+		})
+		return e.prog, e.err
+	default:
+		// A path to a compiled object file; loaded fresh each time so
+		// on-disk changes between jobs are picked up.
+		return asm.LoadFile(spec.Program)
+	}
+}
+
+func (b *builder) mcfInput(spec *JobSpec) []int64 {
+	trips := spec.Trips
+	if trips == 0 {
+		trips = 1200
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 20030717
+	}
+	key := fmt.Sprintf("mcf/%d/%d", trips, seed)
+	e := b.inputEntryFor(key)
+	e.once.Do(func() {
+		e.input = mcf.Generate(mcf.DefaultGenParams(trips, seed)).Encode()
+	})
+	return e.input
+}
+
+// machineFor maps the spec's machine selector to a configuration. The
+// default is the paper-scale study machine, matching core.RunStudy.
+func machineFor(name string) *machine.Config {
+	var cfg machine.Config
+	switch name {
+	case "default":
+		cfg = machine.DefaultConfig()
+	case "scaled":
+		cfg = machine.ScaledConfig()
+	default: // "study", ""
+		cfg = core.StudyMachine()
+	}
+	return &cfg
+}

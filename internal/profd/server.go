@@ -1,0 +1,224 @@
+package profd
+
+// server.go is the HTTP surface of the profiling service (stdlib
+// net/http only):
+//
+//	POST /jobs                submit a profiling job (JSON JobSpec)
+//	GET  /jobs                list jobs
+//	GET  /jobs/{id}           one job's status
+//	POST /jobs/{id}/cancel    cancel a queued or running job
+//	GET  /experiments         list stored experiments
+//	GET  /reports/{name}      a named report over ?exp=id,id,...
+//	GET  /metrics             service counters (Prometheus text format)
+//	GET  /healthz             liveness
+//
+// Report renderings dispatch through analyzer.Render — the exact code
+// path cmd/erprint uses — so the text bodies are byte-identical to
+// erprint's output over the same experiment directories. ?format=json
+// selects the JSON rendering where one exists.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/hwc"
+)
+
+// Server serves the profiling service API.
+type Server struct {
+	sched *Scheduler
+	store *Store
+}
+
+// NewServer wires the API over a scheduler and its store.
+func NewServer(sched *Scheduler, store *Store) *Server {
+	return &Server{sched: sched, store: store}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /reports/{name}", s.handleReport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	j, err := s.sched.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j, _ := s.sched.Get(id)
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+// expIDs parses the ?exp= selection: repeated params and/or
+// comma-separated lists.
+func expIDs(r *http.Request) []string {
+	var ids []string
+	for _, v := range r.URL.Query()["exp"] {
+		for _, id := range strings.Split(v, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !analyzer.ValidReport(name) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown report %q; valid reports:\n%s", name, analyzer.ReportUsage()))
+		return
+	}
+	ids := expIDs(r)
+	if len(ids) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("select experiments with ?exp=id,id,..."))
+		return
+	}
+	q := r.URL.Query()
+
+	opts := analyzer.RenderOpts{}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		opts.TopN = n
+	}
+	if v := q.Get("sort"); v != "" {
+		sortBy := analyzer.ByUserCPU
+		if v != "cpu" {
+			ev, err := hwc.ParseEvent(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			sortBy = analyzer.ByEvent(ev)
+		}
+		opts.Sort = &sortBy
+	}
+
+	a, err := s.store.Analyzer(ids)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "no experiment") {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+
+	report := name
+	if arg := q.Get("arg"); arg != "" {
+		report = name + "=" + arg
+	}
+
+	if q.Get("format") == "json" {
+		v, err := a.RenderJSON(report, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	// Render into a buffer first so argument errors (e.g. members of an
+	// unknown struct) still produce a clean 400 instead of a half-sent
+	// 200; the buffered bytes reach the client untouched.
+	var buf bytes.Buffer
+	if err := a.Render(&buf, report, opts); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.sched.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "profd_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "profd_workers_busy %d\n", m.Busy)
+	fmt.Fprintf(w, "profd_jobs_queued %d\n", m.Queued)
+	fmt.Fprintf(w, "profd_jobs_running %d\n", m.Running)
+	fmt.Fprintf(w, "profd_jobs_done %d\n", m.Done)
+	fmt.Fprintf(w, "profd_jobs_failed %d\n", m.Failed)
+	fmt.Fprintf(w, "profd_jobs_canceled %d\n", m.Canceled)
+	fmt.Fprintf(w, "profd_jobs_retried %d\n", m.Retried)
+	fmt.Fprintf(w, "profd_simulated_cycles_total %d\n", m.SimulatedCycles)
+	fmt.Fprintf(w, "profd_analyzer_cache_hits %d\n", m.CacheHits)
+	fmt.Fprintf(w, "profd_analyzer_cache_misses %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "profd_experiments %d\n", m.Experiments)
+}

@@ -1,0 +1,297 @@
+package profd
+
+// store.go is the experiment store/registry: completed experiment
+// directories persist under a managed root, indexed by program/config
+// hash, and reduced analyzer.Analyzer results are memoized so repeated
+// report queries never re-aggregate events.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/experiment"
+)
+
+// ExpRecord is one completed experiment in the store's index.
+type ExpRecord struct {
+	ID       string    `json:"id"`
+	Dir      string    `json:"dir"` // directory name under the store root
+	Hash     string    `json:"hash"`
+	Program  string    `json:"program"`
+	Counters string    `json:"counters"`
+	Command  string    `json:"command"`
+	When     time.Time `json:"when"`
+	Cycles   uint64    `json:"cycles"`
+}
+
+const indexFile = "index.json"
+
+// maxCachedAnalyzers bounds the analyzer memo; reduction results are
+// large (every attributed event), so the cache evicts beyond this.
+const maxCachedAnalyzers = 32
+
+type analyzerEntry struct {
+	once sync.Once
+	a    *analyzer.Analyzer
+	err  error
+}
+
+// Store is the on-disk experiment registry plus the analyzer memo.
+type Store struct {
+	root string
+
+	mu   sync.Mutex
+	exps map[string]*ExpRecord // by ID
+	seq  int
+
+	cacheMu   sync.Mutex
+	analyzers map[string]*analyzerEntry
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+}
+
+// OpenStore opens (creating if needed) a managed experiment root and
+// loads its index. Experiments recorded in the index whose directories
+// have vanished are dropped; stray *.tmp directories from interrupted
+// writes are removed.
+func OpenStore(root string) (*Store, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("profd: store root: %w", err)
+	}
+	s := &Store{
+		root:      root,
+		exps:      make(map[string]*ExpRecord),
+		analyzers: make(map[string]*analyzerEntry),
+	}
+	if err := s.loadIndex(); err != nil {
+		return nil, err
+	}
+	// Sweep leftovers from interrupted Put calls.
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("profd: store root: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.RemoveAll(filepath.Join(root, e.Name()))
+		}
+	}
+	return s, nil
+}
+
+// Root returns the managed root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) loadIndex() error {
+	b, err := os.ReadFile(filepath.Join(s.root, indexFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("profd: reading index: %w", err)
+	}
+	var recs []*ExpRecord
+	if err := json.Unmarshal(b, &recs); err != nil {
+		return fmt.Errorf("profd: corrupted index %s: %w", filepath.Join(s.root, indexFile), err)
+	}
+	for _, r := range recs {
+		if st, err := os.Stat(filepath.Join(s.root, r.Dir)); err != nil || !st.IsDir() {
+			continue // experiment vanished; drop from index
+		}
+		s.exps[r.ID] = r
+		if n := seqOf(r.ID); n > s.seq {
+			s.seq = n
+		}
+	}
+	return nil
+}
+
+// seqOf extracts the numeric suffix of an "exp-N" id (0 if none).
+func seqOf(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "exp-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// writeIndex persists the index atomically (write-temp-then-rename).
+// Callers hold s.mu.
+func (s *Store) writeIndex() error {
+	recs := make([]*ExpRecord, 0, len(s.exps))
+	for _, r := range s.exps {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return seqOf(recs[i].ID) < seqOf(recs[j].ID) })
+	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.root, indexFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.root, indexFile))
+}
+
+// Put persists a completed experiment under the managed root and
+// indexes it. The directory write is atomic: the experiment is saved to
+// a temporary directory and renamed into place, so a crash or
+// cancellation mid-write never leaves a partial experiment visible.
+func (s *Store) Put(spec *JobSpec, exp *experiment.Experiment) (*ExpRecord, error) {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("exp-%d", s.seq)
+	s.mu.Unlock()
+
+	rec := &ExpRecord{
+		ID:       id,
+		Dir:      fmt.Sprintf("%s-%s.er", id, spec.ConfigHash()),
+		Hash:     spec.ConfigHash(),
+		Program:  exp.Meta.ProgName,
+		Counters: spec.Counters,
+		Command:  exp.Meta.Command,
+		When:     exp.Meta.When,
+		Cycles:   exp.Meta.Stats.Cycles,
+	}
+	final := filepath.Join(s.root, rec.Dir)
+	tmp := final + ".tmp"
+	if err := exp.Save(tmp); err != nil {
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("profd: saving experiment: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("profd: committing experiment: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exps[id] = rec
+	if err := s.writeIndex(); err != nil {
+		return nil, fmt.Errorf("profd: writing index: %w", err)
+	}
+	return rec, nil
+}
+
+// Get looks up one experiment by ID.
+func (s *Store) Get(id string) (*ExpRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.exps[id]
+	return r, ok
+}
+
+// List returns every indexed experiment, oldest first.
+func (s *Store) List() []*ExpRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]*ExpRecord, 0, len(s.exps))
+	for _, r := range s.exps {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return seqOf(recs[i].ID) < seqOf(recs[j].ID) })
+	return recs
+}
+
+// ByHash returns the experiments recorded for one program/config hash,
+// oldest first — e.g. every run of the paper's experiment A.
+func (s *Store) ByHash(hash string) []*ExpRecord {
+	var out []*ExpRecord
+	for _, r := range s.List() {
+		if r.Hash == hash {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dirs resolves experiment IDs to their on-disk directories.
+func (s *Store) Dirs(ids []string) ([]string, error) {
+	dirs := make([]string, 0, len(ids))
+	for _, id := range ids {
+		r, ok := s.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("profd: no experiment %q", id)
+		}
+		dirs = append(dirs, filepath.Join(s.root, r.Dir))
+	}
+	return dirs, nil
+}
+
+// Analyzer returns the merged, reduced analyzer over the given
+// experiment IDs, memoized: the first query for a set of experiments
+// loads and reduces them; repeated queries (any order of the same IDs)
+// hit the cache and never re-aggregate events.
+func (s *Store) Analyzer(ids []string) (*analyzer.Analyzer, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("profd: no experiments selected")
+	}
+	key := cacheKey(ids)
+
+	s.cacheMu.Lock()
+	e := s.analyzers[key]
+	if e == nil {
+		e = &analyzerEntry{}
+		// Bound the memo: evict an arbitrary entry when full. Entries
+		// are cheap to rebuild relative to a profiled run.
+		if len(s.analyzers) >= maxCachedAnalyzers {
+			for k := range s.analyzers {
+				delete(s.analyzers, k)
+				break
+			}
+		}
+		s.analyzers[key] = e
+		s.misses.Add(1)
+	} else {
+		s.hits.Add(1)
+	}
+	s.cacheMu.Unlock()
+
+	e.once.Do(func() {
+		dirs, err := s.Dirs(ids)
+		if err != nil {
+			e.err = err
+			return
+		}
+		exps := make([]*experiment.Experiment, 0, len(dirs))
+		for _, d := range dirs {
+			exp, err := experiment.Load(d)
+			if err != nil {
+				e.err = err
+				return
+			}
+			exps = append(exps, exp)
+		}
+		e.a, e.err = analyzer.New(exps...)
+	})
+	if e.err != nil {
+		// Don't pin failures in the cache: a later query retries.
+		s.cacheMu.Lock()
+		if s.analyzers[key] == e {
+			delete(s.analyzers, key)
+		}
+		s.cacheMu.Unlock()
+	}
+	return e.a, e.err
+}
+
+// cacheKey canonicalizes an ID set (order-insensitive).
+func cacheKey(ids []string) string {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}
+
+// CacheStats returns the analyzer memo's hit/miss counters.
+func (s *Store) CacheStats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}

@@ -1,0 +1,209 @@
+package profd
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"dsprof/internal/core"
+	"dsprof/internal/experiment"
+)
+
+// testExperiment runs one quick profiled collect of the test workload
+// (memoized across tests — the store tests only need a valid
+// experiment, not distinct ones).
+var (
+	testExpOnce sync.Once
+	testExpA    *experiment.Experiment
+	testExpB    *experiment.Experiment
+	testExpErr  error
+)
+
+func testExperiments(t *testing.T) (*experiment.Experiment, *experiment.Experiment) {
+	t.Helper()
+	testExpOnce.Do(func() {
+		a, b := specA(32), specB(32)
+		prog, input, cfg, err := newBuilder().Resolve(&a)
+		if err != nil {
+			testExpErr = err
+			return
+		}
+		resA, err := core.CollectRunContext(context.Background(), prog, input, cfg,
+			a.Clock, a.ClockIntervalCycles, a.Counters)
+		if err != nil {
+			testExpErr = err
+			return
+		}
+		resB, err := core.CollectRunContext(context.Background(), prog, input, cfg,
+			b.Clock, b.ClockIntervalCycles, b.Counters)
+		if err != nil {
+			testExpErr = err
+			return
+		}
+		testExpA, testExpB = resA.Exp, resB.Exp
+	})
+	if testExpErr != nil {
+		t.Fatal(testExpErr)
+	}
+	return testExpA, testExpB
+}
+
+func TestStorePutGetReopen(t *testing.T) {
+	expA, expB := testExperiments(t)
+	root := t.TempDir()
+	store, err := OpenStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := specA(32), specB(32)
+	recA, err := store.Put(&sa, expA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := store.Put(&sb, expB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recA.ID != "exp-1" || recB.ID != "exp-2" {
+		t.Errorf("ids = %s, %s; want exp-1, exp-2", recA.ID, recB.ID)
+	}
+	if recA.Hash == recB.Hash {
+		t.Error("different configs share a hash")
+	}
+
+	// Reopen from disk: index survives, seq continues.
+	store2, err := OpenStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store2.List()); got != 2 {
+		t.Fatalf("reopened store holds %d experiments, want 2", got)
+	}
+	if r, ok := store2.Get("exp-1"); !ok || r.Hash != recA.Hash {
+		t.Error("exp-1 lost or changed across reopen")
+	}
+	rec3, err := store2.Put(&sa, expA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.ID != "exp-3" {
+		t.Errorf("seq after reopen gave %s, want exp-3", rec3.ID)
+	}
+	if got := store2.ByHash(recA.Hash); len(got) != 2 {
+		t.Errorf("ByHash found %d runs of config A, want 2", len(got))
+	}
+
+	dirs, err := store2.Dirs([]string{"exp-1", "exp-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if _, err := experiment.Load(d); err != nil {
+			t.Errorf("stored experiment %s does not load: %v", d, err)
+		}
+	}
+	if _, err := store2.Dirs([]string{"exp-1", "exp-99"}); err == nil {
+		t.Error("Dirs resolved a missing experiment")
+	}
+}
+
+// TestAnalyzerMemo: the first report query reduces, repeats (in any ID
+// order) hit the cache without re-running the reduction.
+func TestAnalyzerMemo(t *testing.T) {
+	expA, expB := testExperiments(t)
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := specA(32), specB(32)
+	recA, _ := store.Put(&sa, expA)
+	recB, _ := store.Put(&sb, expB)
+
+	a1, err := store.Analyzer([]string{recA.ID, recB.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := store.CacheStats(); h != 0 || m != 1 {
+		t.Errorf("after first query: hits=%d misses=%d, want 0/1", h, m)
+	}
+	// Same set, reversed order: must be the identical reduced analyzer.
+	a2, err := store.Analyzer([]string{recB.ID, recA.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("repeat query re-ran the reduction (distinct analyzer)")
+	}
+	if h, m := store.CacheStats(); h != 1 || m != 1 {
+		t.Errorf("after repeat query: hits=%d misses=%d, want 1/1", h, m)
+	}
+	// A different subset is a distinct reduction.
+	if _, err := store.Analyzer([]string{recA.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := store.CacheStats(); h != 1 || m != 2 {
+		t.Errorf("after subset query: hits=%d misses=%d, want 1/2", h, m)
+	}
+	// Failures are not pinned: the bad query errors every time.
+	if _, err := store.Analyzer([]string{"exp-99"}); err == nil {
+		t.Fatal("analyzer over missing experiment succeeded")
+	}
+	if _, err := store.Analyzer([]string{"exp-99"}); err == nil {
+		t.Fatal("analyzer over missing experiment succeeded on retry")
+	}
+	if _, err := store.Analyzer(nil); err == nil {
+		t.Error("analyzer over empty selection succeeded")
+	}
+}
+
+func TestOpenStoreSweepsTmp(t *testing.T) {
+	root := t.TempDir()
+	stray := filepath.Join(root, "exp-9-deadbeef.er.tmp")
+	if err := os.MkdirAll(stray, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("stray .tmp directory survived OpenStore")
+	}
+}
+
+func TestOpenStoreCorruptIndex(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, indexFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenStore(root)
+	if err == nil || !strings.Contains(err.Error(), "corrupted index") {
+		t.Errorf("OpenStore on corrupt index = %v, want descriptive error", err)
+	}
+}
+
+func TestOpenStoreDropsVanishedDirs(t *testing.T) {
+	expA, _ := testExperiments(t)
+	root := t.TempDir()
+	store, err := OpenStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := specA(32)
+	rec, err := store.Put(&sa, expA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(root, rec.Dir)); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(store2.List()); got != 0 {
+		t.Errorf("vanished experiment still indexed (%d records)", got)
+	}
+}
