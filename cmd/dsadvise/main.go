@@ -1,0 +1,186 @@
+// Command dsadvise is the closed-loop data-layout advisor: it turns a
+// data-space profile into ranked struct layout recommendations
+// (member reordering, hot/cold splitting, padding) and validates them
+// by recompiling with the proposed layout and measuring the re-run.
+//
+//	dsadvise advice [-n 20] [-o FILE] expt.er...
+//	    render the advice report for existing experiments
+//	    (byte-identical to `erprint advice` and profd's /reports/advice)
+//
+//	dsadvise loop [-trips 1200] [-seed S] [-layout paper] [-machine study]
+//	              [-window 16] [-minshare 0.05] [-n 20] [-o FILE]
+//	    full loop on the bundled MCF workload: profile a baseline,
+//	    derive recommendations, re-run each with the layout override
+//	    applied, and report measured accepted/rejected verdicts
+//
+// Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
+// (unknown command, bad token) — erprint's conventions.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dsprof/internal/advisor"
+	"dsprof/internal/analyzer"
+	"dsprof/internal/core"
+	"dsprof/internal/experiment"
+	"dsprof/internal/machine"
+	"dsprof/internal/mcf"
+	"dsprof/internal/version"
+)
+
+func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "-version" {
+		version.Print(os.Stdout, "dsadvise")
+		return
+	}
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "advice":
+		runAdvice(os.Args[2:])
+	case "loop":
+		runLoop(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "dsadvise: unknown command %q\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dsadvise {advice|loop} [flags]
+  advice [-n 20] [-o FILE] expt.er...                    advise from existing experiments
+  loop   [-trips N] [-seed S] [-layout L] [-machine M]   closed loop on the MCF workload
+         [-window W] [-minshare F] [-n 20] [-o FILE]
+  -version                                               print the suite version`)
+	os.Exit(2)
+}
+
+// openOut returns the report destination and a close func that exits on
+// write-back failure, matching erprint's -o handling.
+func openOut(path string) (io.Writer, func()) {
+	if path == "" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dsadvise: %v\n", err)
+	os.Exit(1)
+}
+
+func runAdvice(args []string) {
+	fs := flag.NewFlagSet("advice", flag.ExitOnError)
+	topN := fs.Int("n", 20, "maximum recommendations")
+	outPath := fs.String("o", "", "write the report to FILE instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range fs.Args() {
+		if strings.HasSuffix(arg, ".er") || dirExists(arg) {
+			dirs = append(dirs, arg)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "dsadvise: %q is not an experiment directory\nvalid reports:\n%s", arg, analyzer.ReportUsage())
+		os.Exit(2)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dsadvise advice [-n 20] [-o FILE] expt.er...")
+		os.Exit(2)
+	}
+	var exps []*experiment.Experiment
+	for _, d := range dirs {
+		e, err := experiment.Load(d)
+		if err != nil {
+			fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	a, err := analyzer.New(exps...)
+	if err != nil {
+		fatal(err)
+	}
+	out, closeOut := openOut(*outPath)
+	if err := a.Render(out, "advice", analyzer.RenderOpts{TopN: *topN}); err != nil {
+		fatal(err)
+	}
+	closeOut()
+}
+
+func runLoop(args []string) {
+	fs := flag.NewFlagSet("loop", flag.ExitOnError)
+	trips := fs.Int("trips", 1200, "MCF instance size (timetabled trips)")
+	seed := fs.Uint64("seed", 20030717, "MCF instance seed")
+	layout := fs.String("layout", "paper", "baseline struct layout: paper or optimized")
+	machineName := fs.String("machine", "study", "machine configuration: study, scaled or default")
+	window := fs.Int("window", 16, "co-access affinity window (events)")
+	minShare := fs.Float64("minshare", 0.05, "minimum metric share for a struct to be considered")
+	topN := fs.Int("n", 20, "maximum recommendations")
+	outPath := fs.String("o", "", "write the report to FILE instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "dsadvise: loop takes no positional arguments, got %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	var l mcf.Layout
+	switch *layout {
+	case "paper":
+		l = mcf.LayoutPaper
+	case "optimized":
+		l = mcf.LayoutOptimized
+	default:
+		fmt.Fprintf(os.Stderr, "dsadvise: unknown layout %q (paper or optimized)\n", *layout)
+		os.Exit(2)
+	}
+	var cfg machine.Config
+	switch *machineName {
+	case "study":
+		cfg = core.StudyMachine()
+	case "scaled":
+		cfg = machine.ScaledConfig()
+	case "default":
+		cfg = machine.DefaultConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "dsadvise: unknown machine %q (study, scaled or default)\n", *machineName)
+		os.Exit(2)
+	}
+
+	run, err := core.AdviseMCF(context.Background(), core.AdviseParams{
+		Study: core.StudyParams{
+			Trips: *trips, Seed: *seed, Layout: l, HWCProf: true, Machine: &cfg,
+		},
+		Intervals: core.ScaledIntervals(*trips),
+		Advisor:   advisor.Options{Window: *window, MinShare: *minShare, MaxRecs: *topN},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	out, closeOut := openOut(*outPath)
+	if err := run.WriteReport(out, *topN); err != nil {
+		fatal(err)
+	}
+	closeOut()
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

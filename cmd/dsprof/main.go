@@ -21,6 +21,7 @@ import (
 	"dsprof/internal/core"
 	"dsprof/internal/hwc"
 	"dsprof/internal/mcf"
+	"dsprof/internal/version"
 )
 
 func main() {
@@ -28,6 +29,10 @@ func main() {
 	log.SetPrefix("dsprof: ")
 	if len(os.Args) < 2 {
 		usage()
+	}
+	if os.Args[1] == "-version" {
+		version.Print(os.Stdout, "dsprof")
+		return
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -48,6 +53,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: dsprof {study|speedups} [-trips N] [-o dir]")
+	fmt.Fprintln(os.Stderr, "       dsprof -version")
 	os.Exit(2)
 }
 

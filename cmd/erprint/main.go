@@ -16,6 +16,7 @@
 //	addrspace   segment/page/cache-line breakdown (paper §4)
 //	feedback    prefetch feedback file (paper §4)
 //	effect      apropos backtracking effectiveness
+//	advice      ranked data-layout recommendations (internal/advisor)
 //
 // Multiple experiments merge, as with the paper's two collect runs.
 // Unknown report names are rejected up front with the list of valid
@@ -30,16 +31,23 @@ import (
 	"os"
 	"strings"
 
+	_ "dsprof/internal/advisor" // registers the "advice" report
 	"dsprof/internal/analyzer"
 	"dsprof/internal/experiment"
 	"dsprof/internal/hwc"
+	"dsprof/internal/version"
 )
 
 func main() {
 	sortName := flag.String("sort", "", "sort metric: cpu, ecstall, ecrm, ecref, dtlbm, ...")
 	topN := flag.Int("n", 20, "rows in top-N reports")
 	outPath := flag.String("o", "", "write report output to FILE instead of stdout")
+	showVersion := flag.Bool("version", false, "print the suite version and exit")
 	flag.Parse()
+	if *showVersion {
+		version.Print(os.Stdout, "erprint")
+		return
+	}
 
 	var reports []string
 	var dirs []string

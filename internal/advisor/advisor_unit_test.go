@@ -1,0 +1,38 @@
+package advisor
+
+import "testing"
+
+func TestAdvisorOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Window != 16 || o.MinShare != 0.05 || o.HotCoverage != 0.90 {
+		t.Errorf("defaults = %+v", o)
+	}
+	custom := Options{Window: 4, MinShare: 0.2, HotCoverage: 0.5}.withDefaults()
+	if custom.Window != 4 || custom.MinShare != 0.2 || custom.HotCoverage != 0.5 {
+		t.Errorf("explicit values overwritten: %+v", custom)
+	}
+}
+
+func TestAdvisorNextPow2(t *testing.T) {
+	cases := map[int64]int64{1: 1, 2: 2, 3: 4, 120: 128, 128: 128, 129: 256}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAdvisorRecommendationOverride(t *testing.T) {
+	reorder := Recommendation{Kind: KindReorder, Order: []string{"b", "a"}}
+	if ov := reorder.Override(); ov == nil || len(ov.Order) != 2 || ov.PadTo != 0 {
+		t.Errorf("reorder override = %+v", reorder.Override())
+	}
+	split := Recommendation{Kind: KindSplit, Order: []string{"b", "a"}}
+	if ov := split.Override(); ov == nil || len(ov.Order) != 2 {
+		t.Errorf("split override = %+v", split.Override())
+	}
+	pad := Recommendation{Kind: KindPad, PadTo: 128}
+	if ov := pad.Override(); ov == nil || ov.PadTo != 128 || ov.Order != nil {
+		t.Errorf("pad override = %+v", pad.Override())
+	}
+}

@@ -1,0 +1,85 @@
+package advisor
+
+import (
+	"fmt"
+	"io"
+
+	"dsprof/internal/analyzer"
+)
+
+// The "advice" report plugs into the analyzer's report registry, so it
+// renders byte-identically through every consumer — erprint command
+// tokens, profd's HTTP report endpoint, and the dsadvise CLI all
+// dispatch through analyzer.Render.
+func init() {
+	analyzer.RegisterReport(analyzer.RegisteredReport{
+		Name: "advice",
+		Desc: "ranked data-layout recommendations (reorder/split/pad)",
+		Text: renderAdvice,
+		JSON: adviceJSON,
+	})
+}
+
+// reportOptions maps the generic render options onto advisor options.
+// TopN caps the recommendation list (the 0 = 20 default matches the
+// other top-N reports); sort order is ignored — recommendations are
+// always ranked by score on the advisor's auto-picked metric, so the
+// report does not change shape with the caller's sort flag.
+func reportOptions(opts analyzer.RenderOpts) Options {
+	o := Options{}.withDefaults()
+	o.MaxRecs = opts.TopN
+	if o.MaxRecs == 0 {
+		o.MaxRecs = 20
+	}
+	return o
+}
+
+func renderAdvice(a *analyzer.Analyzer, w io.Writer, arg string, opts analyzer.RenderOpts) error {
+	adv, err := Analyze(a, reportOptions(opts))
+	if err != nil {
+		return err
+	}
+	WriteAdvice(w, adv)
+	return nil
+}
+
+func adviceJSON(a *analyzer.Analyzer, arg string, opts analyzer.RenderOpts) (any, error) {
+	adv, err := Analyze(a, reportOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return adv, nil
+}
+
+// WriteAdvice renders the advice as text, one ranked block per
+// recommendation.
+func WriteAdvice(w io.Writer, adv *Advice) {
+	fmt.Fprintf(w, "Data-layout advice (metric %s, window %d, min share %.0f%%): %d recommendation(s)\n",
+		adv.Metric, adv.Window, 100*adv.MinShare, len(adv.Recs))
+	for i := range adv.Recs {
+		r := &adv.Recs[i]
+		fmt.Fprintf(w, "\n%2d. %-7s struct %s  score %.4f  (%.1f%% of %s, %d bytes)\n",
+			i+1, r.Kind, r.Struct, r.Score, 100*r.Share, adv.Metric, r.Size)
+		fmt.Fprintf(w, "    %s\n", r.Rationale)
+		switch r.Kind {
+		case KindReorder:
+			fmt.Fprintf(w, "    order: %s\n", joinNames(r.Order))
+		case KindSplit:
+			fmt.Fprintf(w, "    hot:  %s\n", joinNames(r.Hot))
+			fmt.Fprintf(w, "    cold: %s\n", joinNames(r.Cold))
+		case KindPad:
+			fmt.Fprintf(w, "    pad: %d -> %d bytes\n", r.Size, r.PadTo)
+		}
+	}
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,12 @@ import (
 	"dsprof/internal/dwarf"
 	"dsprof/internal/machine"
 )
+
+// ErrNoAllocations reports that a struct type exists in the debug tables
+// but no heap allocation of the profiled run can hold instances of it —
+// e.g. a declared-but-never-allocated type. Instance-level analyses
+// return it (wrapped, with context) instead of silently empty results.
+var ErrNoAllocations = errors.New("no heap allocations hold it")
 
 // Address-space analyses from the paper's future work (§4): "Event data
 // addresses can be further analyzed by corresponding machine entities,
@@ -149,6 +156,16 @@ func (a *Analyzer) Instances(structName string, s SortBy, n int) ([]InstanceRow,
 		return nil, fmt.Errorf("analyzer: no struct type %q", structName)
 	}
 	allocs := a.Exps[0].Allocs
+	matching := 0
+	for _, al := range allocs {
+		if al.Size%uint64(ty.Size) == 0 {
+			matching++
+		}
+	}
+	if matching == 0 {
+		return nil, fmt.Errorf("analyzer: struct %q (%d bytes): %w (no allocation size is a multiple of the struct size)",
+			structName, ty.Size, ErrNoAllocations)
+	}
 	type ikey struct {
 		seq int
 		idx int64
@@ -259,6 +276,10 @@ func (a *Analyzer) SplitObjects(structName string) (SplitStats, error) {
 				st.Split++
 			}
 		}
+	}
+	if st.Total == 0 {
+		return st, fmt.Errorf("analyzer: struct %q (%d bytes): %w (no array allocations of at least 4 elements)",
+			structName, ty.Size, ErrNoAllocations)
 	}
 	return st, nil
 }

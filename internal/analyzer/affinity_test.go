@@ -1,0 +1,112 @@
+package analyzer
+
+import (
+	"testing"
+
+	"dsprof/internal/experiment"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+)
+
+// Member heat and co-access affinity, the advisor's raw material.
+
+func TestMemberHeatsGeometry(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	node, _ := a.Tab.TypeByName("node")
+	heats, err := a.MemberHeats(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heats) != 3 {
+		t.Fatalf("heats = %+v", heats)
+	}
+	wantOff := []int64{0, 24, 56}
+	for i, h := range heats {
+		if h.Index != i || h.Off != wantOff[i] || h.Size != 8 {
+			t.Errorf("heat[%d] = %+v, want off %d size 8", i, h, wantOff[i])
+		}
+	}
+	// Two events attribute to member 2 (orientation), one to member 1.
+	if heats[2].M.Events[hwc.EvECRdMiss] != 2 || heats[1].M.Events[hwc.EvECRdMiss] != 1 {
+		t.Errorf("member weights wrong: %+v", heats)
+	}
+	if d := heats[2].Density(a, ByEvent(hwc.EvECRdMiss)); d != 2.0/8.0 {
+		t.Errorf("density = %v, want 0.25", d)
+	}
+	// Non-struct types are rejected.
+	long, _ := a.Tab.TypeByName("long")
+	if _, err := a.MemberHeats(long); err == nil {
+		t.Error("MemberHeats accepted a base type")
+	}
+}
+
+// affinityAnalyzer builds three node events with controlled timestamps:
+//
+//	t=10  orientation (member 2) of instance 0
+//	t=20  child       (member 1) of instance 0   → same instance as t=10: weight 2
+//	t=30  child       (member 1) of instance 1   → same E$ line as t=10: weight 1
+func affinityAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	prog, _ := synthProgram(true)
+	exp := synthExperiment(prog, true, []experiment.HWCEvent{
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0), EA: machine.HeapBase + 56, HasEA: true, Cycles: 10},
+		{DeliveredPC: pcAt(5), CandidatePC: pcAt(3), EA: machine.HeapBase + 24, HasEA: true, Cycles: 20},
+		{DeliveredPC: pcAt(5), CandidatePC: pcAt(3), EA: machine.HeapBase + 120 + 24, HasEA: true, Cycles: 30},
+	})
+	exp.Allocs = []machine.Alloc{{Addr: machine.HeapBase, Size: 120 * 64, Seq: 0}}
+	exp.Meta.ECacheLine = 512
+	a, err := New(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMemberAffinityWeights(t *testing.T) {
+	a := affinityAnalyzer(t)
+	node, _ := a.Tab.TypeByName("node")
+	am, err := a.MemberAffinity(node, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same instance (2) + same cache line (1).
+	if got := am.Pair(1, 2); got != 3 {
+		t.Errorf("Pair(1,2) = %d, want 3", got)
+	}
+	if am.Pair(1, 2) != am.Pair(2, 1) {
+		t.Error("affinity matrix not symmetric")
+	}
+	if am.Pair(1, 1) != 0 || am.Pair(2, 2) != 0 {
+		t.Error("diagonal must stay zero (same-member pairs skipped)")
+	}
+	if am.Pair(0, 1) != 0 || am.Pair(-1, 2) != 0 || am.Pair(1, 99) != 0 {
+		t.Error("untouched or out-of-range pairs must be zero")
+	}
+}
+
+func TestMemberAffinityWindow(t *testing.T) {
+	a := affinityAnalyzer(t)
+	node, _ := a.Tab.TypeByName("node")
+	// Window 1: the t=30 event only sees t=20 (same member, skipped), so
+	// only the t=10/t=20 same-instance pair survives.
+	am, err := a.MemberAffinity(node, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Pair(1, 2); got != 2 {
+		t.Errorf("Pair(1,2) window=1 = %d, want 2", got)
+	}
+	// Window <= 0 falls back to the default of 16.
+	am, err = a.MemberAffinity(node, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Window != 16 || am.Pair(1, 2) != 3 {
+		t.Errorf("default window = %d, Pair = %d", am.Window, am.Pair(1, 2))
+	}
+	// Non-struct types are rejected.
+	long, _ := a.Tab.TypeByName("long")
+	if _, err := a.MemberAffinity(long, 16); err == nil {
+		t.Error("MemberAffinity accepted a base type")
+	}
+}

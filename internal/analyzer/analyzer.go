@@ -123,6 +123,7 @@ type AEvent struct {
 	EA         uint64
 	HasEA      bool
 	Callstack  []uint64
+	Cycles     uint64 // machine time of delivery
 }
 
 type lineKey struct {
@@ -330,6 +331,7 @@ func (a *Analyzer) attribute(spec experiment.CounterSpec, he experiment.HWCEvent
 		EA:        he.EA,
 		HasEA:     he.HasEA,
 		Callstack: he.Callstack,
+		Cycles:    he.Cycles,
 	}
 	if !spec.Backtrack || !spec.Event.MemoryRelated() {
 		ae.PC = he.DeliveredPC

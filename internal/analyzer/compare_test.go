@@ -1,0 +1,81 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"dsprof/internal/experiment"
+	"dsprof/internal/hwc"
+)
+
+// Edge cases of the before/after comparison: an analyzer with no events
+// at all, and two analyses whose function sets do not overlap.
+
+func TestCompareEmptyAnalyzer(t *testing.T) {
+	before := synthAnalyzerWithEvents(t)
+	prog, _ := synthProgram(true)
+	// The "after" run collected the same counter but recorded no
+	// overflows — an empty but metric-compatible analysis.
+	after, err := New(synthExperiment(prog, true, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := CompareFunctions(before, after, ByEvent(hwc.EvECRdMiss))
+	if rows[0].Name != "<Total>" || rows[0].Before.Events[hwc.EvECRdMiss] != 3 || rows[0].After.Events[hwc.EvECRdMiss] != 0 {
+		t.Fatalf("total row = %+v", rows[0])
+	}
+	var b strings.Builder
+	if err := CompareReport(&b, before, after, ByEvent(hwc.EvECRdMiss), 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "-100.0%") {
+		t.Errorf("empty after should read as -100.0%%:\n%s", b.String())
+	}
+	// Reversed: an empty baseline makes every populated row "new".
+	b.Reset()
+	if err := CompareReport(&b, after, before, ByEvent(hwc.EvECRdMiss), 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "new") {
+		t.Errorf("empty before should read as new:\n%s", b.String())
+	}
+}
+
+func TestCompareDisjointFunctionSets(t *testing.T) {
+	before := synthAnalyzerWithEvents(t)
+	// Same code, but the after image names its function "g": the joined
+	// rows must cover the union, with "f" dropping to zero and "g"
+	// appearing as new.
+	prog, _ := synthProgram(true)
+	prog.Debug.Funcs[0].Name = "g"
+	after, err := New(synthExperiment(prog, true, []experiment.HWCEvent{
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0)},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := CompareFunctions(before, after, ByEvent(hwc.EvECRdMiss))
+	got := map[string]CompareRow{}
+	for _, r := range rows {
+		got[r.Name] = r
+	}
+	f, okf := got["f"]
+	g, okg := got["g"]
+	if !okf || !okg {
+		t.Fatalf("rows missing union of function sets: %+v", rows)
+	}
+	if f.Before.Events[hwc.EvECRdMiss] != 3 || f.After.Events[hwc.EvECRdMiss] != 0 {
+		t.Errorf("f row = %+v", f)
+	}
+	if g.Before.Events[hwc.EvECRdMiss] != 0 || g.After.Events[hwc.EvECRdMiss] != 1 {
+		t.Errorf("g row = %+v", g)
+	}
+	var b strings.Builder
+	if err := CompareReport(&b, before, after, ByEvent(hwc.EvECRdMiss), 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "-100.0%") || !strings.Contains(out, "new") {
+		t.Errorf("disjoint compare report malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,70 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+)
+
+// Prefetch-feedback threshold behavior. The synthetic profile has three
+// E$ read-miss events: two on f.mc:10 (share 2/3) and one on f.mc:13
+// (share 1/3).
+
+func TestFeedbackMinShareBoundary(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	// A line exactly at the threshold is included (share >= minShare).
+	fb := a.PrefetchFeedback(2.0 / 3.0)
+	if !fb["f.mc"][10] {
+		t.Errorf("line at exactly minShare excluded: %v", fb)
+	}
+	if fb["f.mc"][13] {
+		t.Errorf("line below minShare included: %v", fb)
+	}
+	// Lowering the threshold to the smaller share picks up both lines.
+	fb = a.PrefetchFeedback(1.0 / 3.0)
+	if !fb["f.mc"][10] || !fb["f.mc"][13] {
+		t.Errorf("both lines should meet 1/3: %v", fb)
+	}
+	// Above every share: nothing qualifies.
+	if fb := a.PrefetchFeedback(0.9); len(fb) != 0 {
+		t.Errorf("no line reaches 90%%: %v", fb)
+	}
+}
+
+func TestWriteFeedbackFileBoundary(t *testing.T) {
+	a := synthAnalyzerWithEvents(t)
+	var b strings.Builder
+	a.WriteFeedbackFile(&b, 2.0/3.0)
+	out := b.String()
+	if !strings.Contains(out, "f.mc:10  66.7%") {
+		t.Errorf("threshold line missing:\n%s", out)
+	}
+	if strings.Contains(out, "f.mc:13") {
+		t.Errorf("below-threshold line present:\n%s", out)
+	}
+	// Sorted by share, descending: with the threshold lowered, line 10
+	// must precede line 13.
+	b.Reset()
+	a.WriteFeedbackFile(&b, 0.01)
+	out = b.String()
+	i10 := strings.Index(out, "f.mc:10")
+	i13 := strings.Index(out, "f.mc:13")
+	if i10 < 0 || i13 < 0 || i10 > i13 {
+		t.Errorf("feedback not sorted by share:\n%s", out)
+	}
+}
+
+func TestFeedbackNoData(t *testing.T) {
+	prog, _ := synthProgram(true)
+	a, err := New(synthExperiment(prog, true, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := a.PrefetchFeedback(0.01); fb != nil {
+		t.Errorf("feedback without data = %v, want nil", fb)
+	}
+	var b strings.Builder
+	a.WriteFeedbackFile(&b, 0.01)
+	if !strings.Contains(b.String(), "no E$ read-miss data") {
+		t.Errorf("missing no-data marker:\n%s", b.String())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"dsprof/internal/hwc"
 )
@@ -82,36 +83,110 @@ var reportTable = []reportInfo{
 	{"effect", false, "apropos backtracking effectiveness"},
 }
 
-// ReportNames lists every valid report name, in presentation order.
+// RegisteredReport is a report contributed by another package through
+// RegisterReport — the extension point that lets subsystems built on top
+// of the analyzer (e.g. internal/advisor's "advice" report) plug into
+// the same dispatcher erprint and profd share, so their output stays
+// byte-identical across every consumer without an import cycle.
+type RegisteredReport struct {
+	Name     string
+	NeedsArg bool
+	Desc     string
+	// Text renders the report; it must be deterministic for fixed
+	// experiments and options.
+	Text func(a *Analyzer, w io.Writer, arg string, opts RenderOpts) error
+	// JSON returns the report as a JSON-marshallable value; nil means
+	// the report only exists as rendered text.
+	JSON func(a *Analyzer, arg string, opts RenderOpts) (any, error)
+}
+
+var (
+	extraMu      sync.RWMutex
+	extraReports []RegisteredReport
+)
+
+// RegisterReport adds a report to the registry, after the built-ins.
+// Registration normally happens from the providing package's init; a
+// duplicate or malformed registration panics, since it is a programming
+// error that would silently shadow an existing report.
+func RegisterReport(r RegisteredReport) {
+	if r.Name == "" || r.Text == nil {
+		panic("analyzer: RegisterReport needs a name and a Text renderer")
+	}
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	if builtinReport(r.Name) != nil || lookupExtraLocked(r.Name) != nil {
+		panic(fmt.Sprintf("analyzer: report %q registered twice", r.Name))
+	}
+	extraReports = append(extraReports, r)
+}
+
+func builtinReport(name string) *reportInfo {
+	for i := range reportTable {
+		if reportTable[i].name == name {
+			return &reportTable[i]
+		}
+	}
+	return nil
+}
+
+func lookupExtraLocked(name string) *RegisteredReport {
+	for i := range extraReports {
+		if extraReports[i].Name == name {
+			return &extraReports[i]
+		}
+	}
+	return nil
+}
+
+// registeredReport returns the extension report named name, or nil.
+func registeredReport(name string) *RegisteredReport {
+	extraMu.RLock()
+	defer extraMu.RUnlock()
+	return lookupExtraLocked(name)
+}
+
+// ReportNames lists every valid report name, in presentation order
+// (built-ins first, then registered extensions in registration order).
 func ReportNames() []string {
-	names := make([]string, len(reportTable))
-	for i, r := range reportTable {
-		names[i] = r.name
+	names := make([]string, 0, len(reportTable))
+	for _, r := range reportTable {
+		names = append(names, r.name)
+	}
+	extraMu.RLock()
+	defer extraMu.RUnlock()
+	for _, r := range extraReports {
+		names = append(names, r.Name)
 	}
 	return names
 }
 
 // ValidReport reports whether name (without any =ARG suffix) names a
-// known report.
+// known report, built-in or registered.
 func ValidReport(name string) bool {
-	for _, r := range reportTable {
-		if r.name == name {
-			return true
-		}
+	if builtinReport(name) != nil {
+		return true
 	}
-	return false
+	return registeredReport(name) != nil
 }
 
 // ReportUsage renders the one-line-per-report help listing used by
 // erprint's usage text and profd's error responses.
 func ReportUsage() string {
 	var b strings.Builder
-	for _, r := range reportTable {
-		name := r.name
-		if r.needsArg {
+	line := func(name string, needsArg bool, desc string) {
+		if needsArg {
 			name += "=ARG"
 		}
-		fmt.Fprintf(&b, "  %-12s %s\n", name, r.desc)
+		fmt.Fprintf(&b, "  %-12s %s\n", name, desc)
+	}
+	for _, r := range reportTable {
+		line(r.name, r.needsArg, r.desc)
+	}
+	extraMu.RLock()
+	defer extraMu.RUnlock()
+	for _, r := range extraReports {
+		line(r.Name, r.NeedsArg, r.Desc)
 	}
 	return b.String()
 }
@@ -158,6 +233,9 @@ func (a *Analyzer) Render(w io.Writer, report string, opts RenderOpts) error {
 	case "feedback":
 		a.WriteFeedbackFile(w, minShare)
 	default:
+		if r := registeredReport(name); r != nil {
+			return r.Text(a, w, arg, opts)
+		}
 		return fmt.Errorf("analyzer: unknown report %q; valid reports:\n%s", name, ReportUsage())
 	}
 	return nil
@@ -295,6 +373,9 @@ func (a *Analyzer) RenderJSON(report string, opts RenderOpts) (any, error) {
 		}
 		return map[string]any{"effectiveness": out}, nil
 	default:
+		if r := registeredReport(name); r != nil && r.JSON != nil {
+			return r.JSON(a, arg, opts)
+		}
 		if !ValidReport(name) {
 			return nil, fmt.Errorf("analyzer: unknown report %q; valid reports:\n%s", name, ReportUsage())
 		}

@@ -1,0 +1,49 @@
+package analyzer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dsprof/internal/dwarf"
+	"dsprof/internal/experiment"
+	"dsprof/internal/machine"
+)
+
+// A struct that exists in the debug tables but was never allocated must
+// produce a descriptive ErrNoAllocations from the instance-level
+// analyses, not silently empty rows.
+
+func TestInstancesNoAllocations(t *testing.T) {
+	prog, _ := synthProgram(true)
+	// 7-byte struct: the single 120*64-byte heap allocation is not a
+	// multiple of it, so no allocation can hold orphan instances.
+	orphan := prog.Debug.AddType(dwarf.Type{Name: "orphan", Kind: dwarf.KindStruct, Size: 7})
+	long, _ := prog.Debug.TypeByName("long")
+	prog.Debug.Types[orphan].Members = []dwarf.Member{{Name: "a", Off: 0, Type: long}}
+
+	exp := synthExperiment(prog, true, []experiment.HWCEvent{
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0), EA: machine.HeapBase + 0x10, HasEA: true},
+	})
+	exp.Allocs = []machine.Alloc{{Addr: machine.HeapBase, Size: 120 * 64, Seq: 0}}
+	exp.Meta.ECacheLine = 512
+	a, err := New(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := a.Instances("orphan", ByUserCPU, 0); !errors.Is(err, ErrNoAllocations) {
+		t.Errorf("Instances error = %v, want ErrNoAllocations", err)
+	}
+	if _, err := a.SplitObjects("orphan"); !errors.Is(err, ErrNoAllocations) {
+		t.Errorf("SplitObjects error = %v, want ErrNoAllocations", err)
+	}
+	// The error names the struct so the report is actionable.
+	if _, err := a.SplitObjects("orphan"); err == nil || !strings.Contains(err.Error(), "orphan") {
+		t.Errorf("error %v does not name the struct", err)
+	}
+	// A struct that is allocated still works.
+	if _, err := a.Instances("node", ByUserCPU, 0); err != nil {
+		t.Errorf("allocated struct errored: %v", err)
+	}
+}

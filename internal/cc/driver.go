@@ -25,6 +25,12 @@ type Options struct {
 	// feedback-directed prefetching sketched in the paper's future work.
 	// Only loads that produce a pointer are prefetched.
 	PrefetchFeedback map[string]map[int]bool
+
+	// LayoutOverrides replaces the natural layout of the named structs
+	// (member order, padded size) — the hook the data-layout advisor
+	// uses to apply a recommendation on recompile. An override naming a
+	// struct the program does not define is a compile error.
+	LayoutOverrides map[string]*LayoutOverride
 }
 
 // Compile translates the MC sources into a loadable program.
@@ -47,7 +53,7 @@ func Compile(srcs []Source, opts Options) (*asm.Program, error) {
 		}
 		files[i] = f
 	}
-	chk, err := analyze(files)
+	chk, err := analyze(files, opts.LayoutOverrides)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,57 @@
+package cc
+
+import "fmt"
+
+// LayoutOverride rewrites one struct's memory layout at compile time
+// without touching the source: the data-layout transformations of the
+// paper's §3.3 MCF study (member reordering, padding to a power of two)
+// expressed as a compiler flag, so an advisor can propose a layout and
+// have the compiler apply it mechanically.
+type LayoutOverride struct {
+	// Order lists every field name in the desired declaration order. It
+	// must be a permutation of the struct's fields; nil keeps the source
+	// order.
+	Order []string
+	// PadTo, when nonzero, pads the struct size up to this many bytes.
+	// It must be at least the natural size and a multiple of the struct
+	// alignment, so arrays of the struct stay correctly aligned.
+	PadTo int64
+}
+
+// applyOverride re-lays-out the struct under the override. The fields
+// must already be collected (offsets need not be computed).
+func (s *StructInfo) applyOverride(ov *LayoutOverride) error {
+	if ov.Order != nil {
+		if len(ov.Order) != len(s.Fields) {
+			return fmt.Errorf("struct %s: layout override lists %d fields, struct has %d",
+				s.Name, len(ov.Order), len(s.Fields))
+		}
+		reordered := make([]Field, 0, len(s.Fields))
+		seen := make(map[string]bool, len(ov.Order))
+		for _, name := range ov.Order {
+			if seen[name] {
+				return fmt.Errorf("struct %s: layout override repeats field %s", s.Name, name)
+			}
+			seen[name] = true
+			i, f := s.Field(name)
+			if i < 0 {
+				return fmt.Errorf("struct %s: layout override names unknown field %s", s.Name, name)
+			}
+			reordered = append(reordered, *f)
+		}
+		s.Fields = reordered
+	}
+	if err := s.layout(); err != nil {
+		return err
+	}
+	if ov.PadTo != 0 {
+		if ov.PadTo < s.Size {
+			return fmt.Errorf("struct %s: pad-to %d below natural size %d", s.Name, ov.PadTo, s.Size)
+		}
+		if ov.PadTo%s.Align != 0 {
+			return fmt.Errorf("struct %s: pad-to %d not a multiple of alignment %d", s.Name, ov.PadTo, s.Align)
+		}
+		s.Size = ov.PadTo
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// The advisor's layout-override hook: same program, transformed struct
+// layout, identical observable behavior.
+
+const layoutSrc = `
+struct point { long x; long y; long z; };
+long main() {
+	struct point *p;
+	p = (struct point *) malloc(sizeof(struct point));
+	p->x = 3;
+	p->y = 40;
+	p->z = 500;
+	write_long(p->x + p->y + p->z);
+	write_long(p->z - p->x);
+	free((char *) p);
+	return 0;
+}`
+
+func TestLayoutOverrideReorder(t *testing.T) {
+	base := compileSrc(t, layoutSrc, Options{HWCProf: true})
+	prog := compileSrc(t, layoutSrc, Options{
+		HWCProf: true,
+		LayoutOverrides: map[string]*LayoutOverride{
+			"point": {Order: []string{"z", "x", "y"}},
+		},
+	})
+	_, ty := prog.Debug.TypeByName("point")
+	if ty == nil {
+		t.Fatal("struct point missing from debug tables")
+	}
+	off := map[string]int64{}
+	for _, m := range ty.Members {
+		off[m.Name] = m.Off
+	}
+	if off["z"] != 0 || off["x"] != 8 || off["y"] != 16 {
+		t.Errorf("reordered offsets = %v, want z=0 x=8 y=16", off)
+	}
+	// The transformation is observation-equivalent: both programs write
+	// the same longs.
+	want := runProg(t, base, nil).OutputLongs()
+	got := runProg(t, prog, nil).OutputLongs()
+	if len(want) != len(got) {
+		t.Fatalf("output %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLayoutOverridePad(t *testing.T) {
+	prog := compileSrc(t, layoutSrc, Options{
+		HWCProf: true,
+		LayoutOverrides: map[string]*LayoutOverride{
+			"point": {PadTo: 32},
+		},
+	})
+	_, ty := prog.Debug.TypeByName("point")
+	if ty == nil || ty.Size != 32 {
+		t.Fatalf("padded struct = %+v, want size 32", ty)
+	}
+	m := runProg(t, prog, nil)
+	out := m.OutputLongs()
+	if len(out) != 2 || out[0] != 543 || out[1] != 497 {
+		t.Errorf("padded program output = %v", out)
+	}
+}
+
+func TestLayoutOverrideErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		ov   map[string]*LayoutOverride
+		want string
+	}{
+		{"undefined struct", map[string]*LayoutOverride{"ghost": {PadTo: 32}}, "undefined struct"},
+		{"unknown field", map[string]*LayoutOverride{"point": {Order: []string{"x", "y", "w"}}}, "unknown field"},
+		{"repeated field", map[string]*LayoutOverride{"point": {Order: []string{"x", "x", "y"}}}, "repeats"},
+		{"missing field", map[string]*LayoutOverride{"point": {Order: []string{"x", "y"}}}, "struct has 3"},
+		{"pad below size", map[string]*LayoutOverride{"point": {PadTo: 16}}, "below natural size"},
+		{"pad misaligned", map[string]*LayoutOverride{"point": {PadTo: 36}}, "multiple"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(
+				[]Source{{Name: "test.mc", Text: layoutSrc}},
+				Options{HWCProf: true, LayoutOverrides: tc.ov},
+			)
+			if err == nil {
+				t.Fatalf("compile accepted bad override %v", tc.ov)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -72,9 +72,11 @@ func (e *semaError) Error() string { return fmt.Sprintf("%s:%d: %s", e.file, e.l
 
 type checker struct {
 	*checked
-	curFile *file
-	curFn   *Function
-	scopes  []map[string]*LocalVar
+	curFile   *file
+	curFn     *Function
+	scopes    []map[string]*LocalVar
+	overrides map[string]*LayoutOverride
+	usedOv    map[string]bool
 }
 
 func (c *checker) errf(line int, format string, args ...any) error {
@@ -85,9 +87,12 @@ func (c *checker) errf(line int, format string, args ...any) error {
 	return &semaError{file: name, line: line, msg: fmt.Sprintf(format, args...)}
 }
 
-// analyze type-checks the parsed files and lays out globals.
-func analyze(files []*file) (*checked, error) {
-	c := &checker{checked: &checked{
+// analyze type-checks the parsed files and lays out globals. overrides
+// (keyed by struct name) replace the natural layout of the named
+// structs; an override naming a struct the program never defines is an
+// error, so a stale advisor recommendation cannot silently no-op.
+func analyze(files []*file, overrides map[string]*LayoutOverride) (*checked, error) {
+	c := &checker{overrides: overrides, usedOv: make(map[string]bool), checked: &checked{
 		files:    files,
 		structs:  make(map[string]*StructInfo),
 		typedefs: make(map[string]*CType),
@@ -123,6 +128,12 @@ func analyze(files []*file) (*checked, error) {
 				}
 				c.typedefs[d.name] = ty
 			}
+		}
+	}
+	for name := range overrides {
+		if !c.usedOv[name] {
+			return nil, &semaError{file: files[0].name, line: 1,
+				msg: fmt.Sprintf("layout override for undefined struct %s", name)}
 		}
 	}
 	// Pass 2: globals and function signatures.
@@ -194,6 +205,13 @@ func (c *checker) declStruct(d *structDecl) error {
 			return c.errf(fd.line, "duplicate field %s in struct %s", fd.name, d.name)
 		}
 		si.Fields = append(si.Fields, Field{Name: fd.name, Type: ty})
+	}
+	if ov := c.overrides[d.name]; ov != nil {
+		c.usedOv[d.name] = true
+		if err := si.applyOverride(ov); err != nil {
+			return c.errf(d.line, "%v", err)
+		}
+		return nil
 	}
 	if err := si.layout(); err != nil {
 		return c.errf(d.line, "%v", err)

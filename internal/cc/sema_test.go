@@ -11,7 +11,7 @@ func analyzeSrc(t *testing.T, src string) (*checked, error) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	return analyze([]*file{f})
+	return analyze([]*file{f}, nil)
 }
 
 func TestStructLayoutRules(t *testing.T) {

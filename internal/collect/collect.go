@@ -38,6 +38,9 @@ type Options struct {
 	// MaxBacktrack bounds the apropos backtracking search, in
 	// instructions (0 = default 8).
 	MaxBacktrack int
+	// Label tags the experiment's provenance (e.g. "baseline",
+	// "reorder:arc"); it is recorded in the experiment meta.
+	Label string
 }
 
 // Truth is the per-event ground truth the simulator knows but a real
@@ -242,10 +245,12 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	exp.Meta.HeapPageSize = cfg.HeapPageSize
 	exp.Meta.DCacheLine = cfg.DCache.LineBytes
 	exp.Meta.ECacheLine = cfg.ECache.LineBytes
+	exp.Meta.Label = opts.Label
 
 	runErr := runMachine(ctx, m)
 	exp.Meta.Stats = m.Stats()
 	exp.Allocs = m.Allocs()
+	exp.Meta.Output = m.OutputLongs()
 	if runErr != nil {
 		exp.Meta.ExitStatus = runErr.Error()
 		return res, runErr

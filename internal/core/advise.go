@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"dsprof/internal/advisor"
+	"dsprof/internal/analyzer"
+	"dsprof/internal/cc"
+	"dsprof/internal/mcf"
+)
+
+// advise.go is the closed-loop MCF harness shared by cmd/dsadvise and
+// internal/profd: profile a baseline, run the data-layout advisor over
+// it, and validate every recommendation with a measured re-run.
+
+// MCFTarget builds the advisor's rebuild-and-re-run target for an MCF
+// study configuration.
+func MCFTarget(p StudyParams) advisor.Target {
+	cfg := StudyMachine()
+	if p.Machine != nil {
+		cfg = *p.Machine
+	}
+	return advisor.Target{
+		Sources: []cc.Source{{Name: "mcf.mc", Text: mcf.Source(p.Layout)}},
+		Options: cc.Options{
+			Name:         "mcf-" + p.Layout.String(),
+			HWCProf:      p.HWCProf,
+			PageSizeHeap: p.PageSizeHeap,
+		},
+		Input:   mcf.Generate(mcf.DefaultGenParams(p.Trips, p.Seed)).Encode(),
+		Machine: &cfg,
+	}
+}
+
+// ScaledIntervals picks baseline overflow intervals matched to the run
+// length: paper-scale instances use the paper's intervals, smoke-scale
+// instances use proportionally smaller primes so even a trips≈100 run
+// yields enough events to rank members.
+func ScaledIntervals(trips int) PaperIntervals {
+	if trips >= 600 {
+		return PaperIntervals{}
+	}
+	return PaperIntervals{ECStall: 20011, ECRdMiss: 1009, ECRef: 4001, DTLBMiss: 503}
+}
+
+// AdviseParams configure one closed advisor loop.
+type AdviseParams struct {
+	Study     StudyParams
+	Intervals PaperIntervals // baseline collection intervals
+	Advisor   advisor.Options
+}
+
+// AdviseRun is a completed loop: baseline profile, ranked advice, and
+// the measured validation of each recommendation.
+type AdviseRun struct {
+	Baseline *analyzer.Analyzer
+	Output   *mcf.Output
+	Advice   *advisor.Advice
+	Valid    *advisor.Validation
+}
+
+// AdviseMCF runs the full closed loop on MCF: baseline two-experiment
+// profile (the paper's A+B collection), advisor analysis, and one
+// validation re-run per recommendation plus a combined run.
+func AdviseMCF(ctx context.Context, p AdviseParams) (*AdviseRun, error) {
+	if p.Study.Trips == 0 {
+		p.Study = DefaultStudy()
+	}
+	target := MCFTarget(p.Study)
+	prog, err := cc.Compile(target.Sources, target.Options)
+	if err != nil {
+		return nil, err
+	}
+	a, resA, _, err := ProfilePaperStyle(prog, target.Input, target.Machine, p.Intervals)
+	if err != nil {
+		return nil, err
+	}
+	out, err := mcf.ParseOutput(resA.Machine.OutputLongs())
+	if err != nil {
+		return nil, err
+	}
+	if out.Status != 0 {
+		return nil, fmt.Errorf("mcf baseline run failed with status %d", out.Status)
+	}
+	adv, err := advisor.Analyze(a, p.Advisor)
+	if err != nil {
+		return nil, err
+	}
+	valid, err := advisor.Validate(ctx, target, adv, a)
+	if err != nil {
+		return nil, err
+	}
+	return &AdviseRun{Baseline: a, Output: out, Advice: adv, Valid: valid}, nil
+}
+
+// WriteReport renders the loop's report: the advice report (through the
+// analyzer's report registry, so it is byte-identical to erprint's and
+// profd's "advice" rendering) followed by the validation verdicts and
+// the before/after function comparison.
+func (r *AdviseRun) WriteReport(w io.Writer, topN int) error {
+	if err := r.Baseline.Render(w, "advice", analyzer.RenderOpts{TopN: topN}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return r.Valid.Render(w, r.Baseline, topN)
+}

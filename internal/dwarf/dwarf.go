@@ -149,6 +149,75 @@ func (t *Table) TypeByName(name string) (TypeID, *Type) {
 	return NoType, nil
 }
 
+// MemberIndex returns the index of the named member, or -1.
+func (ty *Type) MemberIndex(name string) int {
+	for i := range ty.Members {
+		if ty.Members[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MemberSize returns the storage size of member i of struct id, resolved
+// through the member's type. When the member type is unknown the gap to
+// the next member (or the struct end) is used, so a partially populated
+// table still yields usable byte counts.
+func (t *Table) MemberSize(id TypeID, i int) int64 {
+	ty := t.TypeByID(id)
+	if ty == nil || i < 0 || i >= len(ty.Members) {
+		return 0
+	}
+	if mt := t.TypeByID(ty.Members[i].Type); mt != nil && mt.Size > 0 {
+		return mt.Size
+	}
+	end := ty.Size
+	if i+1 < len(ty.Members) {
+		end = ty.Members[i+1].Off
+	}
+	if end > ty.Members[i].Off {
+		return end - ty.Members[i].Off
+	}
+	return 0
+}
+
+// MemberAlign returns the natural alignment of member i of struct id:
+// the size for base and pointer types, the element alignment for arrays,
+// and the maximum member alignment for nested structs (capped at 8, the
+// machine word).
+func (t *Table) MemberAlign(id TypeID, i int) int64 {
+	ty := t.TypeByID(id)
+	if ty == nil || i < 0 || i >= len(ty.Members) {
+		return 1
+	}
+	return t.alignOf(ty.Members[i].Type)
+}
+
+func (t *Table) alignOf(id TypeID) int64 {
+	ty := t.TypeByID(id)
+	if ty == nil {
+		return 1
+	}
+	switch ty.Kind {
+	case KindBase, KindPointer:
+		if ty.Size >= 1 && ty.Size <= 8 {
+			return ty.Size
+		}
+		return 8
+	case KindArray:
+		return t.alignOf(ty.Elem)
+	case KindStruct:
+		var a int64 = 1
+		for i := range ty.Members {
+			if ma := t.alignOf(ty.Members[i].Type); ma > a {
+				a = ma
+			}
+		}
+		return a
+	}
+	return 1
+}
+
 // AddFunc records a function; call SortFuncs when done adding.
 func (t *Table) AddFunc(f Func) { t.Funcs = append(t.Funcs, f) }
 

@@ -1,0 +1,75 @@
+package dwarf
+
+import "testing"
+
+// Member geometry helpers used by the data-layout advisor.
+
+func TestMemberIndex(t *testing.T) {
+	tab, _, node := buildTable()
+	ty := tab.TypeByID(node)
+	if i := ty.MemberIndex("pred"); i != 1 {
+		t.Errorf("MemberIndex(pred) = %d, want 1", i)
+	}
+	if i := ty.MemberIndex("missing"); i != -1 {
+		t.Errorf("MemberIndex(missing) = %d, want -1", i)
+	}
+}
+
+func TestMemberSize(t *testing.T) {
+	tab, _, node := buildTable()
+	// Members with typed sizes report the member type's size.
+	for i, want := range []int64{8, 8, 8} {
+		if got := tab.MemberSize(node, i); got != want {
+			t.Errorf("MemberSize(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// A member of unknown type falls back to the gap to the next member,
+	// or to the struct end for the last member.
+	gap := tab.AddType(Type{Name: "gappy", Kind: KindStruct, Size: 32})
+	tab.Types[gap].Members = []Member{
+		{Name: "a", Off: 0, Type: NoType},
+		{Name: "b", Off: 24, Type: NoType},
+	}
+	if got := tab.MemberSize(gap, 0); got != 24 {
+		t.Errorf("gap size = %d, want 24", got)
+	}
+	if got := tab.MemberSize(gap, 1); got != 8 {
+		t.Errorf("tail size = %d, want 8", got)
+	}
+	if got := tab.MemberSize(gap, 9); got != 0 {
+		t.Errorf("out-of-range size = %d, want 0", got)
+	}
+	if got := tab.MemberSize(NoType, 0); got != 0 {
+		t.Errorf("invalid type size = %d, want 0", got)
+	}
+}
+
+func TestMemberAlign(t *testing.T) {
+	tab, long, node := buildTable()
+	small := tab.AddType(Type{Name: "char", Kind: KindBase, Size: 1})
+	arr := tab.AddType(Type{Name: "", Kind: KindArray, Size: 24, Elem: long})
+	mixed := tab.AddType(Type{Name: "mixed", Kind: KindStruct, Size: 40})
+	tab.Types[mixed].Members = []Member{
+		{Name: "c", Off: 0, Type: small},
+		{Name: "v", Off: 8, Type: arr},
+		{Name: "n", Off: 32, Type: tab.Types[node].Members[1].Type}, // pointer
+	}
+	if got := tab.MemberAlign(mixed, 0); got != 1 {
+		t.Errorf("char align = %d, want 1", got)
+	}
+	if got := tab.MemberAlign(mixed, 1); got != 8 {
+		t.Errorf("array-of-long align = %d, want 8", got)
+	}
+	if got := tab.MemberAlign(mixed, 2); got != 8 {
+		t.Errorf("pointer align = %d, want 8", got)
+	}
+	// A struct member aligns to its widest member.
+	outer := tab.AddType(Type{Name: "outer", Kind: KindStruct, Size: 48})
+	tab.Types[outer].Members = []Member{{Name: "m", Off: 0, Type: mixed}}
+	if got := tab.MemberAlign(outer, 0); got != 8 {
+		t.Errorf("struct align = %d, want 8", got)
+	}
+	if got := tab.MemberAlign(outer, 7); got != 1 {
+		t.Errorf("out-of-range align = %d, want 1", got)
+	}
+}

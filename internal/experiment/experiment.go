@@ -82,6 +82,8 @@ type Meta struct {
 	DCacheLine      int // D$ line size of the machine profiled on
 	ECacheLine      int // E$ line size
 	ExitStatus      string
+	Label           string  // caller-supplied provenance tag (e.g. "baseline", "reorder:arc")
+	Output          []int64 // the program's output longs, for transform validation
 }
 
 // Experiment is a complete experiment, in memory.
@@ -183,6 +185,9 @@ func (e *Experiment) writeLog(dir string) error {
 	fmt.Fprintf(f, "experiment: %s\n", e.Meta.Command)
 	fmt.Fprintf(f, "target: %s\n", e.Meta.ProgName)
 	fmt.Fprintf(f, "when: %s\n", e.Meta.When.Format(time.RFC3339))
+	if e.Meta.Label != "" {
+		fmt.Fprintf(f, "label: %s\n", e.Meta.Label)
+	}
 	fmt.Fprintf(f, "clock: %d Hz\n", e.Meta.ClockHz)
 	if e.Meta.ClockProfiling {
 		fmt.Fprintf(f, "clock-profiling: every %d cycles, %d ticks\n",

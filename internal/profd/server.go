@@ -7,6 +7,10 @@ package profd
 //	GET  /jobs                list jobs
 //	GET  /jobs/{id}           one job's status
 //	POST /jobs/{id}/cancel    cancel a queued or running job
+//	POST /advise              run the closed data-layout advisor loop
+//	GET  /advise              list advise jobs
+//	GET  /advise/{id}         one advise job's status
+//	GET  /advise/{id}/report  the finished loop's text report
 //	GET  /experiments         list stored experiments
 //	GET  /reports/{name}      a named report over ?exp=id,id,...
 //	GET  /metrics             service counters (Prometheus text format)
@@ -31,13 +35,14 @@ import (
 
 // Server serves the profiling service API.
 type Server struct {
-	sched *Scheduler
-	store *Store
+	sched   *Scheduler
+	store   *Store
+	adviser *Adviser
 }
 
 // NewServer wires the API over a scheduler and its store.
 func NewServer(sched *Scheduler, store *Store) *Server {
-	return &Server{sched: sched, store: store}
+	return &Server{sched: sched, store: store, adviser: NewAdviser(sched, store)}
 }
 
 // Handler returns the service's HTTP handler.
@@ -47,6 +52,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /advise", s.handleAdviseSubmit)
+	mux.HandleFunc("GET /advise", s.handleAdviseList)
+	mux.HandleFunc("GET /advise/{id}", s.handleAdvise)
+	mux.HandleFunc("GET /advise/{id}/report", s.handleAdviseReport)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("GET /reports/{name}", s.handleReport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -114,6 +123,60 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j, _ := s.sched.Get(id)
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleAdviseSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec AdviseSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding advise spec: %w", err))
+		return
+	}
+	j, err := s.adviser.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleAdviseList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.adviser.Jobs()
+	out := make([]AdviseStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.adviser.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no advise job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleAdviseReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.adviser.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no advise job %q", r.PathValue("id")))
+		return
+	}
+	st := j.Status()
+	if st.State == JobFailed {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("advise job %s failed: %s", st.ID, st.Error))
+		return
+	}
+	report, ok := j.Report()
+	if !ok {
+		writeError(w, http.StatusConflict, fmt.Errorf("advise job %s is %s; report not ready", st.ID, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(report)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -221,4 +284,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "profd_analyzer_cache_hits %d\n", m.CacheHits)
 	fmt.Fprintf(w, "profd_analyzer_cache_misses %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "profd_experiments %d\n", m.Experiments)
+	ar, ad, af := s.adviser.Counters()
+	fmt.Fprintf(w, "profd_advise_jobs_running %d\n", ar)
+	fmt.Fprintf(w, "profd_advise_jobs_done %d\n", ad)
+	fmt.Fprintf(w, "profd_advise_jobs_failed %d\n", af)
 }

@@ -28,6 +28,7 @@ type ExpRecord struct {
 	Program  string    `json:"program"`
 	Counters string    `json:"counters"`
 	Command  string    `json:"command"`
+	Label    string    `json:"label,omitempty"` // collector provenance (e.g. "reorder:node")
 	When     time.Time `json:"when"`
 	Cycles   uint64    `json:"cycles"`
 }
@@ -159,6 +160,7 @@ func (s *Store) Put(spec *JobSpec, exp *experiment.Experiment) (*ExpRecord, erro
 		Program:  exp.Meta.ProgName,
 		Counters: spec.Counters,
 		Command:  exp.Meta.Command,
+		Label:    exp.Meta.Label,
 		When:     exp.Meta.When,
 		Cycles:   exp.Meta.Stats.Cycles,
 	}

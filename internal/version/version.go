@@ -1,0 +1,17 @@
+// Package version carries the shared release identity of the dsprof
+// tool suite, so every binary answers -version consistently.
+package version
+
+import (
+	"fmt"
+	"io"
+)
+
+// Version is the suite version. Bumped when the experiment format or a
+// tool's command-line surface changes.
+const Version = "0.3.0"
+
+// Print writes the standard one-line -version output for a tool.
+func Print(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s version %s (dsprof data-space profiling suite)\n", tool, Version)
+}
