@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -29,6 +31,7 @@ import (
 	"dsprof/internal/analyzer"
 	"dsprof/internal/cc"
 	"dsprof/internal/core"
+	"dsprof/internal/experiment"
 	"dsprof/internal/hwc"
 	"dsprof/internal/mcf"
 	"dsprof/internal/profd"
@@ -431,6 +434,146 @@ func BenchmarkParallelCollect(b *testing.B) {
 	b.ReportMetric(serialDur.Seconds()/parallelDur.Seconds(), "xSpeedupOverSerial")
 	b.ReportMetric(parallelDur.Seconds(), "parallelSec")
 	b.ReportMetric(serialDur.Seconds(), "serialSec")
+}
+
+// --- experiment format v2: streaming + sharded parallel reduction ---
+
+// shardedBenchExperiment builds (once) a >=1M-event synthetic experiment
+// by tiling a real profiled MCF run's counter-event stream — event
+// content stays realistic (valid PCs, EAs into live allocations) while
+// the volume reaches the scale the sharded reduction targets. Saved in
+// v2 format so both the streaming and the eager path read it.
+var (
+	shardedBenchOnce sync.Once
+	shardedBenchDir  string
+	shardedBenchN    int
+	shardedBenchErr  error
+)
+
+func shardedBenchExperiment(b *testing.B) (dir string, events int) {
+	b.Helper()
+	shardedBenchOnce.Do(func() {
+		fail := func(err error) { shardedBenchErr = err }
+		prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
+		if err != nil {
+			fail(err)
+			return
+		}
+		input := mcf.Generate(mcf.DefaultGenParams(200, 20030717)).Encode()
+		cfg := core.StudyMachine()
+		res, err := core.CollectRun(prog, input, &cfg, true, "+ecstall,1009,+ecrm,503")
+		if err != nil {
+			fail(err)
+			return
+		}
+		base := res.Exp
+		total := 0
+		for pic := range base.HWC {
+			total += len(base.HWC[pic])
+		}
+		if total == 0 {
+			fail(fmt.Errorf("seed collect recorded no counter events"))
+			return
+		}
+		const target = 1 << 20
+		reps := (target + total - 1) / total
+		synth := &experiment.Experiment{
+			Meta: base.Meta, Clock: base.Clock, Allocs: base.Allocs, Prog: base.Prog,
+		}
+		for pic := range base.HWC {
+			src := base.HWC[pic]
+			if len(src) == 0 {
+				continue
+			}
+			span := src[len(src)-1].Cycles + 1
+			out := make([]experiment.HWCEvent, 0, reps*len(src))
+			for r := 0; r < reps; r++ {
+				for _, ev := range src {
+					ev.Cycles += uint64(r) * span
+					out = append(out, ev)
+				}
+			}
+			synth.HWC[pic] = out
+		}
+		shardedBenchN = reps * total
+		root, err := os.MkdirTemp("", "dsprof-shardbench")
+		if err != nil {
+			fail(err)
+			return
+		}
+		shardedBenchDir = filepath.Join(root, "synth.er")
+		shardedBenchErr = synth.Save(shardedBenchDir)
+	})
+	if shardedBenchErr != nil {
+		b.Fatal(shardedBenchErr)
+	}
+	return shardedBenchDir, shardedBenchN
+}
+
+// peakHeapDuring samples the live heap while f runs and returns the
+// high-water mark.
+func peakHeapDuring(f func()) uint64 {
+	runtime.GC()
+	var peak uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	f()
+	close(done)
+	wg.Wait()
+	return peak
+}
+
+// BenchmarkShardedReduce times the sharded reduction of a >=1M-event
+// streaming (Open) experiment at 1 worker vs 4 workers, and compares the
+// peak heap of the streaming reduction against the eager (Load) path.
+func BenchmarkShardedReduce(b *testing.B) {
+	dir, n := shardedBenchExperiment(b)
+	build := func(workers int, eager bool) time.Duration {
+		var e *experiment.Experiment
+		var err error
+		if eager {
+			e, err = experiment.Load(dir)
+		} else {
+			e, err = experiment.Open(dir)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := analyzer.NewWithConfig(analyzer.Config{Workers: workers}, e); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	var serial, par time.Duration
+	for i := 0; i < b.N; i++ {
+		serial = build(1, false)
+		par = build(4, false)
+	}
+	peakEager := peakHeapDuring(func() { build(1, true) })
+	peakStream := peakHeapDuring(func() { build(4, false) })
+	b.ReportMetric(float64(n), "events")
+	b.ReportMetric(serial.Seconds(), "serialSec")
+	b.ReportMetric(par.Seconds(), "parallelSec")
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "xSpeedup4Workers")
+	b.ReportMetric(float64(peakEager)/(1<<20), "peakHeapMBEager")
+	b.ReportMetric(float64(peakStream)/(1<<20), "peakHeapMBStreaming")
 }
 
 // BenchmarkAblationNoPadding measures the effect of dropping the

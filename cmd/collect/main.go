@@ -101,11 +101,19 @@ func main() {
 	if *scaled {
 		cfg = machine.ScaledConfig()
 	}
+	// Spool counter events straight into the output directory as they
+	// are produced: memory stays flat on long runs, and Save finds the
+	// shard files already in place.
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
+		os.Exit(1)
+	}
 	res, err := collect.Run(prog, collect.Options{
 		ClockProfile: *clock == "on",
 		Counters:     specs,
 		Machine:      &cfg,
 		Input:        input,
+		SpoolDir:     *out,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "collect: target failed: %v\n", err)
@@ -121,7 +129,7 @@ func main() {
 	fmt.Printf("collect: %s: %d instructions, %d cycles (%.3f s simulated)\n",
 		prog.Name, st.Instrs, st.Cycles, res.Machine.Seconds(st.Cycles))
 	fmt.Printf("collect: wrote experiment %s (%d clock ticks, %d+%d counter events)\n",
-		*out, len(res.Exp.Clock), len(res.Exp.HWC[0]), len(res.Exp.HWC[1]))
+		*out, len(res.Exp.Clock), res.Exp.EventCount(0), res.Exp.EventCount(1))
 	if text := res.Machine.OutputText(); text != "" {
 		fmt.Print(text)
 	}

@@ -106,7 +106,8 @@ func runAdvice(args []string) {
 	}
 	var exps []*experiment.Experiment
 	for _, d := range dirs {
-		e, err := experiment.Load(d)
+		// Open streams v2 counter events from disk during reduction.
+		e, err := experiment.Open(d)
 		if err != nil {
 			fatal(err)
 		}

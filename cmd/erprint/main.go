@@ -71,7 +71,9 @@ func main() {
 	}
 	var exps []*experiment.Experiment
 	for _, d := range dirs {
-		e, err := experiment.Load(d)
+		// Open, not Load: format-v2 counter events stay on disk and the
+		// analyzer's sharded reduction streams them in parallel.
+		e, err := experiment.Open(d)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
 			os.Exit(1)

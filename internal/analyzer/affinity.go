@@ -114,7 +114,25 @@ func (a *Analyzer) MemberAffinity(t dwarf.TypeID, window int) (*AffinityMatrix, 
 		}
 		evs = append(evs, e)
 	}
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].cycles < evs[j].cycles })
+	// Total order, not just by cycles: two experiments can record
+	// events at the same machine cycle, and a stable sort alone would
+	// leave such ties in experiment-argument order, making the matrix
+	// depend on which experiment is listed first. Breaking ties on the
+	// event's own fields makes the merged timeline — and therefore the
+	// matrix — independent of argument order.
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.cycles != b.cycles {
+			return a.cycles < b.cycles
+		}
+		if a.member != b.member {
+			return a.member < b.member
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.inst < b.inst
+	})
 
 	for i, e := range evs {
 		lo := i - window

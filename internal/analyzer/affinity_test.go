@@ -84,6 +84,61 @@ func TestMemberAffinityWeights(t *testing.T) {
 	}
 }
 
+// TestMemberAffinityMergeOrderIndependent: two experiments whose event
+// streams interleave — including exact Cycles ties across experiments —
+// must produce the same affinity matrix whichever order they are passed
+// to New. The merged stream is sorted by a total order (cycles, member,
+// line, instance), not by cycles alone, so cross-experiment ties cannot
+// fall back to argument order.
+func TestMemberAffinityMergeOrderIndependent(t *testing.T) {
+	prog, _ := synthProgram(true)
+	allocs := []machine.Alloc{{Addr: machine.HeapBase, Size: 120 * 64, Seq: 0}}
+	mkExp := func(events []experiment.HWCEvent) *experiment.Experiment {
+		exp := synthExperiment(prog, true, events)
+		exp.Allocs = allocs
+		exp.Meta.ECacheLine = 512
+		return exp
+	}
+	// Cycle 10 appears in BOTH experiments, on the same member but
+	// different instances. With window 1 each event pairs only with its
+	// immediate predecessor, so whichever tied event sorts first
+	// determines whether the t=5 child event pairs with the
+	// same-instance orientation access (weight 2) or the far-away one
+	// (weight 0).
+	e1 := mkExp([]experiment.HWCEvent{
+		{DeliveredPC: pcAt(5), CandidatePC: pcAt(3), EA: machine.HeapBase + 24, HasEA: true, Cycles: 5},
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0), EA: machine.HeapBase + 56, HasEA: true, Cycles: 10},
+	})
+	e2 := mkExp([]experiment.HWCEvent{
+		{DeliveredPC: pcAt(2), CandidatePC: pcAt(0), EA: machine.HeapBase + 9*120 + 56, HasEA: true, Cycles: 10},
+	})
+	matrix := func(first, second *experiment.Experiment) *AffinityMatrix {
+		a, err := New(first, second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, _ := a.Tab.TypeByName("node")
+		// Window 1: each event pairs only with its immediate
+		// predecessor, so the order taken within a cycle tie is visible
+		// in the result.
+		am, err := a.MemberAffinity(node, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return am
+	}
+	am12 := matrix(e1, e2)
+	am21 := matrix(e2, e1)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if am12.Pair(i, j) != am21.Pair(i, j) {
+				t.Errorf("Pair(%d,%d) = %d merged as (e1,e2) but %d as (e2,e1)",
+					i, j, am12.Pair(i, j), am21.Pair(i, j))
+			}
+		}
+	}
+}
+
 func TestMemberAffinityWindow(t *testing.T) {
 	a := affinityAnalyzer(t)
 	node, _ := a.Tab.TypeByName("node")

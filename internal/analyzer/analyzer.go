@@ -165,8 +165,17 @@ type Analyzer struct {
 	unknownPerEv [hwc.NumEvents]map[ObjKind]uint64
 }
 
-// New builds an analyzer over one or more experiments on the same target.
+// New builds an analyzer over one or more experiments on the same
+// target, with the default (parallel) reduction configuration.
 func New(exps ...*experiment.Experiment) (*Analyzer, error) {
+	return NewWithConfig(Config{}, exps...)
+}
+
+// NewWithConfig builds an analyzer with an explicit reduction
+// configuration — worker count and optional per-shard memoization. The
+// configuration affects only speed: reports are byte-identical for
+// every worker count.
+func NewWithConfig(cfg Config, exps ...*experiment.Experiment) (*Analyzer, error) {
 	if len(exps) == 0 {
 		return nil, fmt.Errorf("analyzer: no experiments")
 	}
@@ -215,55 +224,10 @@ func New(exps ...*experiment.Experiment) (*Analyzer, error) {
 			a.Intervals[cs.Event] = cs.Interval
 		}
 	}
-	a.reduce()
+	if err := a.reduce(cfg); err != nil {
+		return nil, err
+	}
 	return a, nil
-}
-
-// reduce performs the full data reduction.
-func (a *Analyzer) reduce() {
-	for _, e := range a.Exps {
-		// LWP/system time comes from the run's statistics: the analyzer
-		// displays them in the <Total> header like the paper's Figure 1.
-		a.totalLWP += float64(e.Meta.Stats.Cycles) / float64(a.ClockHz)
-		a.totalSys += float64(e.Meta.Stats.SyscallCycles) / float64(a.ClockHz)
-
-		for _, ce := range e.Clock {
-			m := &Metrics{Ticks: 1}
-			a.accumulate(ce.PC, false, m, ce.Callstack)
-		}
-		for pic := 0; pic < 2; pic++ {
-			spec := e.Meta.Counters[pic]
-			if spec.Event == hwc.EvNone {
-				continue
-			}
-			for _, he := range e.HWC[pic] {
-				ae := a.attribute(spec, he)
-				a.Events = append(a.Events, ae)
-				var m Metrics
-				m.Events[spec.Event] = 1
-				a.accumulate(ae.PC, ae.Artificial, &m, ae.Callstack)
-				bumpMap(a.byObj, ae.Obj, &m)
-				if ae.Obj.Kind == OKStruct && ae.Member >= 0 {
-					bumpMap(a.byMember, memberKey{ae.Obj.Type, ae.Member}, &m)
-				}
-				a.totalPerEv[spec.Event]++
-				if ae.Obj.Kind.IsUnknown() {
-					a.unknownPerEv[spec.Event][ae.Obj.Kind]++
-				}
-				if ae.HasEA {
-					a.eaEvents = append(a.eaEvents, ae)
-				}
-			}
-		}
-	}
-	// <Total> row: LWP seconds are known; total metric weight is the sum
-	// over all attributed weight.
-	for _, m := range a.byPC {
-		a.total.Add(m)
-	}
-	for _, m := range a.byArtPC {
-		a.total.Add(m)
-	}
 }
 
 func bumpMap[K comparable](mm map[K]*Metrics, k K, m *Metrics) {
@@ -273,53 +237,6 @@ func bumpMap[K comparable](mm map[K]*Metrics, k K, m *Metrics) {
 		mm[k] = cur
 	}
 	cur.Add(m)
-}
-
-// accumulate attributes metric weight m to pc (and derived function and
-// line buckets) plus caller/callee edges from the callstack. Artificial
-// branch-target attributions keep a separate PC map so a PC that is both
-// a real trigger and a blocked join node reports both, like the paper's
-// Figure 4.
-func (a *Analyzer) accumulate(pc uint64, artificial bool, m *Metrics, callstack []uint64) {
-	if artificial {
-		bumpMap(a.byArtPC, pc, m)
-	} else {
-		bumpMap(a.byPC, pc, m)
-	}
-	fn := a.Tab.FuncAt(pc)
-	fname := "<unknown>"
-	if fn != nil {
-		fname = fn.Name
-		if ln := a.Tab.Lines[pc]; ln > 0 {
-			bumpMap(a.byLine, lineKey{fn.File, ln}, m)
-		}
-	}
-	bumpMap(a.byFunc, fname, m)
-
-	// Inclusive metrics and caller/callee edges.
-	bumpMap(a.byFuncIncl, fname, m)
-	seen := map[string]bool{fname: true}
-	prev := fname
-	for i := len(callstack) - 1; i >= 0; i-- {
-		cf := a.Tab.FuncAt(callstack[i])
-		cn := "<unknown>"
-		if cf != nil {
-			cn = cf.Name
-		}
-		if a.callerOf[prev] == nil {
-			a.callerOf[prev] = make(map[string]*Metrics)
-		}
-		bumpMap(a.callerOf[prev], cn, m)
-		if a.calleeOf[cn] == nil {
-			a.calleeOf[cn] = make(map[string]*Metrics)
-		}
-		bumpMap(a.calleeOf[cn], prev, m)
-		if !seen[cn] {
-			seen[cn] = true
-			bumpMap(a.byFuncIncl, cn, m)
-		}
-		prev = cn
-	}
 }
 
 // attribute resolves one raw event record into an attributed event —
@@ -362,15 +279,27 @@ func (a *Analyzer) attribute(spec experiment.CounterSpec, he experiment.HWCEvent
 		ae.Obj = ObjKey{Kind: OKUnverifiable}
 		return ae
 	}
-	// Validate: no branch target may lie in (candidate, delivered].
+	// Validate: no branch target may lie in (candidate, delivered] —
+	// otherwise the candidate does not postdominate the delivered PC
+	// within its basic block, and execution may never have reached it.
+	// The event is then attributed to an artificial PC at the *last*
+	// such target: that is the entry of the delivered PC's basic block,
+	// the only PC in the window provably executed (any jump into the
+	// block past its entry would itself require a later branch target).
+	// Attributing to the first target instead — a join node possibly in
+	// a different function, never on the executed path — was a bug.
+	var bt uint64
 	for pc := he.CandidatePC + isa.InstrBytes; pc <= he.DeliveredPC; pc += isa.InstrBytes {
 		if a.Tab.BranchTargets[pc] {
-			ae.PC = pc
-			ae.Artificial = true
-			ae.Val = VArtificialBT
-			ae.Obj = ObjKey{Kind: OKUnresolvable}
-			return ae
+			bt = pc
 		}
+	}
+	if bt != 0 {
+		ae.PC = bt
+		ae.Artificial = true
+		ae.Val = VArtificialBT
+		ae.Obj = ObjKey{Kind: OKUnresolvable}
+		return ae
 	}
 	ae.PC = he.CandidatePC
 	ae.Val = VOK

@@ -131,6 +131,30 @@ func TestAttributeArtificialBranchTarget(t *testing.T) {
 	}
 }
 
+// TestArtificialBranchTargetAtBlockEntry: with several branch targets
+// inside the skid window, the artificial PC must be the *last* one —
+// the entry of the delivered PC's basic block, the only join provably
+// on the executed path. (The old code picked the first, a join node
+// that execution may never have reached.)
+func TestArtificialBranchTargetAtBlockEntry(t *testing.T) {
+	prog, _ := synthProgram(true)
+	prog.Debug.BranchTargets[pcAt(5)] = true // second join, after pcAt(3)
+	a := analyzeEvents(t, prog, true, []experiment.HWCEvent{
+		{DeliveredPC: pcAt(6), CandidatePC: pcAt(0)},
+	})
+	ae := a.Events[0]
+	if ae.Val != VArtificialBT || !ae.Artificial {
+		t.Fatalf("attribution = %+v, want artificial BT", ae)
+	}
+	if ae.PC != pcAt(5) {
+		t.Fatalf("artificial PC = %#x, want block entry %#x (last target), not the first target %#x",
+			ae.PC, pcAt(5), pcAt(3))
+	}
+	if ae.Obj.Kind != OKUnresolvable || ae.Member >= 0 {
+		t.Errorf("object = %v member %d, want (Unresolvable) without member", ae.Obj.Kind, ae.Member)
+	}
+}
+
 func TestAttributeNotFound(t *testing.T) {
 	prog, _ := synthProgram(true)
 	a := analyzeEvents(t, prog, true, []experiment.HWCEvent{

@@ -1,0 +1,373 @@
+package analyzer
+
+// reduce.go implements the sharded data reduction. The event streams of
+// the loaded experiments are split into work units — one unit per
+// experiment's clock stream, one per counter-event shard (experiment
+// format v2 stores shards on disk; eager experiments expose synthetic
+// shards over memory) — and N workers each build a private partial
+// aggregate over disjoint units. The partials are then merged in
+// deterministic unit order, which makes every report byte-identical to
+// the single-worker reduction:
+//
+//   - the ordered outputs (Events, eaEvents) are concatenated in unit
+//     order, which is exactly the order the serial loop appends them;
+//   - the map-shaped aggregates add uint64 weights, and integer
+//     addition is commutative and associative;
+//   - the only floating-point sums (total LWP/system seconds) are
+//     accumulated serially per experiment before the fan-out, so their
+//     rounding never depends on worker count.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsprof/internal/hwc"
+)
+
+// Config tunes the reduction. The zero value — parallel with a
+// CPU-bound default worker count, no memoization — is what New uses.
+type Config struct {
+	// Workers is the reduction worker count: 0 means
+	// min(GOMAXPROCS, 8); 1 runs the serial reference path. Any count
+	// produces byte-identical reports.
+	Workers int
+	// Cache, when non-nil, memoizes per-unit partial aggregates across
+	// analyzer builds (profd uses this so incremental experiment sets
+	// don't re-reduce old shards). Requires Keys.
+	Cache PartialCache
+	// Keys gives each experiment a stable identity prefix for cache
+	// keys (e.g. profd store IDs), parallel to the experiment list. If
+	// it is absent or mismatched, the cache is not consulted.
+	Keys []string
+}
+
+// ShardPartial is an opaque memoized partial aggregate for one work
+// unit. Cached partials are immutable: merging reads from them but
+// never writes, so one cached partial may serve many analyzers.
+type ShardPartial struct {
+	p *partial
+}
+
+// PartialCache memoizes per-unit partial aggregates. Implementations
+// must be safe for concurrent use; the analyzer calls Get/Put from its
+// reduction workers.
+type PartialCache interface {
+	Get(key string) (*ShardPartial, bool)
+	Put(key string, sp *ShardPartial)
+}
+
+// unitKind distinguishes the two work-unit shapes.
+type unitKind uint8
+
+const (
+	unitClock unitKind = iota // one experiment's whole clock stream
+	unitHWC                   // one counter-event shard
+)
+
+// unit is one independently reducible slice of profile data.
+type unit struct {
+	kind   unitKind
+	expIdx int
+	pic    int
+	shard  int
+	key    string // cache key; "" when the unit is not cacheable
+}
+
+// partial is one worker's private aggregate over a set of units'
+// events. Its fields mirror the Analyzer's aggregation state; merge
+// folds a partial into the analyzer without mutating it.
+type partial struct {
+	err          error
+	events       []AEvent
+	eaEvents     []AEvent
+	byPC         map[uint64]*Metrics
+	byArtPC      map[uint64]*Metrics
+	byFunc       map[string]*Metrics
+	byFuncIncl   map[string]*Metrics
+	byLine       map[lineKey]*Metrics
+	byObj        map[ObjKey]*Metrics
+	byMember     map[memberKey]*Metrics
+	callerOf     map[string]map[string]*Metrics
+	calleeOf     map[string]map[string]*Metrics
+	totalPerEv   [hwc.NumEvents]uint64
+	unknownPerEv [hwc.NumEvents]map[ObjKind]uint64
+}
+
+func newPartial() *partial {
+	p := &partial{
+		byPC:       make(map[uint64]*Metrics),
+		byArtPC:    make(map[uint64]*Metrics),
+		byFunc:     make(map[string]*Metrics),
+		byFuncIncl: make(map[string]*Metrics),
+		byLine:     make(map[lineKey]*Metrics),
+		byObj:      make(map[ObjKey]*Metrics),
+		byMember:   make(map[memberKey]*Metrics),
+		callerOf:   make(map[string]map[string]*Metrics),
+		calleeOf:   make(map[string]map[string]*Metrics),
+	}
+	for i := range p.unknownPerEv {
+		p.unknownPerEv[i] = make(map[ObjKind]uint64)
+	}
+	return p
+}
+
+// accumulate attributes metric weight m to pc (and derived function and
+// line buckets) plus caller/callee edges from the callstack, reading
+// only immutable analyzer state (the symbol tables). Artificial
+// branch-target attributions keep a separate PC map so a PC that is
+// both a real trigger and a blocked join node reports both, like the
+// paper's Figure 4.
+func (p *partial) accumulate(a *Analyzer, pc uint64, artificial bool, m *Metrics, callstack []uint64) {
+	if artificial {
+		bumpMap(p.byArtPC, pc, m)
+	} else {
+		bumpMap(p.byPC, pc, m)
+	}
+	fn := a.Tab.FuncAt(pc)
+	fname := "<unknown>"
+	if fn != nil {
+		fname = fn.Name
+		if ln := a.Tab.Lines[pc]; ln > 0 {
+			bumpMap(p.byLine, lineKey{fn.File, ln}, m)
+		}
+	}
+	bumpMap(p.byFunc, fname, m)
+
+	// Inclusive metrics and caller/callee edges.
+	bumpMap(p.byFuncIncl, fname, m)
+	seen := map[string]bool{fname: true}
+	prev := fname
+	for i := len(callstack) - 1; i >= 0; i-- {
+		cf := a.Tab.FuncAt(callstack[i])
+		cn := "<unknown>"
+		if cf != nil {
+			cn = cf.Name
+		}
+		if p.callerOf[prev] == nil {
+			p.callerOf[prev] = make(map[string]*Metrics)
+		}
+		bumpMap(p.callerOf[prev], cn, m)
+		if p.calleeOf[cn] == nil {
+			p.calleeOf[cn] = make(map[string]*Metrics)
+		}
+		bumpMap(p.calleeOf[cn], prev, m)
+		if !seen[cn] {
+			seen[cn] = true
+			bumpMap(p.byFuncIncl, cn, m)
+		}
+		prev = cn
+	}
+}
+
+// units lists the reduction's work in the canonical order: per
+// experiment (in argument order), the clock stream, then PIC 0's shards,
+// then PIC 1's. Merging partials in this order reproduces the serial
+// loop's event order exactly.
+func (a *Analyzer) units(cfg Config) []unit {
+	keyed := cfg.Cache != nil && len(cfg.Keys) == len(a.Exps)
+	var units []unit
+	for xi, e := range a.Exps {
+		if len(e.Clock) > 0 {
+			u := unit{kind: unitClock, expIdx: xi}
+			if keyed {
+				u.key = fmt.Sprintf("%s/clock/%d/%d", cfg.Keys[xi], len(e.Clock), e.Clock[len(e.Clock)-1].Cycles)
+			}
+			units = append(units, u)
+		}
+		for pic := 0; pic < 2; pic++ {
+			if e.Meta.Counters[pic].Event == hwc.EvNone {
+				continue
+			}
+			for si, sh := range e.Shards(pic) {
+				u := unit{kind: unitHWC, expIdx: xi, pic: pic, shard: si}
+				if keyed {
+					u.key = fmt.Sprintf("%s/hwc/%d/%d/%d/%d-%d",
+						cfg.Keys[xi], pic, si, sh.Count, sh.MinCycles, sh.MaxCycles)
+				}
+				units = append(units, u)
+			}
+		}
+	}
+	return units
+}
+
+// reduceUnit builds (or fetches from the cache) the partial aggregate
+// for one unit.
+func (a *Analyzer) reduceUnit(u unit, cache PartialCache) *partial {
+	if cache != nil && u.key != "" {
+		if sp, ok := cache.Get(u.key); ok && sp != nil && sp.p != nil {
+			return sp.p
+		}
+	}
+	p := newPartial()
+	e := a.Exps[u.expIdx]
+	switch u.kind {
+	case unitClock:
+		for _, ce := range e.Clock {
+			m := &Metrics{Ticks: 1}
+			p.accumulate(a, ce.PC, false, m, ce.Callstack)
+		}
+	case unitHWC:
+		spec := e.Meta.Counters[u.pic]
+		evs, err := e.ReadShard(u.pic, u.shard)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		for _, he := range evs {
+			ae := a.attribute(spec, he)
+			p.events = append(p.events, ae)
+			var m Metrics
+			m.Events[spec.Event] = 1
+			p.accumulate(a, ae.PC, ae.Artificial, &m, ae.Callstack)
+			bumpMap(p.byObj, ae.Obj, &m)
+			if ae.Obj.Kind == OKStruct && ae.Member >= 0 {
+				bumpMap(p.byMember, memberKey{ae.Obj.Type, ae.Member}, &m)
+			}
+			p.totalPerEv[spec.Event]++
+			if ae.Obj.Kind.IsUnknown() {
+				p.unknownPerEv[spec.Event][ae.Obj.Kind]++
+			}
+			if ae.HasEA {
+				p.eaEvents = append(p.eaEvents, ae)
+			}
+		}
+	}
+	if cache != nil && u.key != "" && p.err == nil {
+		cache.Put(u.key, &ShardPartial{p: p})
+	}
+	return p
+}
+
+// merge folds one partial into the analyzer's aggregates. p is never
+// mutated (cached partials are shared between analyzers). Map merges
+// add unsigned integer weights, so merge order cannot change any value;
+// the ordered slices are appended in canonical unit order by the
+// caller.
+func (a *Analyzer) merge(p *partial) {
+	a.Events = append(a.Events, p.events...)
+	a.eaEvents = append(a.eaEvents, p.eaEvents...)
+	for k, m := range p.byPC {
+		bumpMap(a.byPC, k, m)
+	}
+	for k, m := range p.byArtPC {
+		bumpMap(a.byArtPC, k, m)
+	}
+	for k, m := range p.byFunc {
+		bumpMap(a.byFunc, k, m)
+	}
+	for k, m := range p.byFuncIncl {
+		bumpMap(a.byFuncIncl, k, m)
+	}
+	for k, m := range p.byLine {
+		bumpMap(a.byLine, k, m)
+	}
+	for k, m := range p.byObj {
+		bumpMap(a.byObj, k, m)
+	}
+	for k, m := range p.byMember {
+		bumpMap(a.byMember, k, m)
+	}
+	for callee, callers := range p.callerOf {
+		if a.callerOf[callee] == nil {
+			a.callerOf[callee] = make(map[string]*Metrics, len(callers))
+		}
+		for caller, m := range callers {
+			bumpMap(a.callerOf[callee], caller, m)
+		}
+	}
+	for caller, callees := range p.calleeOf {
+		if a.calleeOf[caller] == nil {
+			a.calleeOf[caller] = make(map[string]*Metrics, len(callees))
+		}
+		for callee, m := range callees {
+			bumpMap(a.calleeOf[caller], callee, m)
+		}
+	}
+	for ev := range p.totalPerEv {
+		a.totalPerEv[ev] += p.totalPerEv[ev]
+	}
+	for ev := range p.unknownPerEv {
+		for k, n := range p.unknownPerEv[ev] {
+			a.unknownPerEv[ev][k] += n
+		}
+	}
+}
+
+// defaultWorkers is the zero-Config worker count.
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// reduce performs the full data reduction: fan the work units out to
+// cfg.Workers workers, then merge the partials in canonical order.
+func (a *Analyzer) reduce(cfg Config) error {
+	// The only floating-point accumulation happens here, serially in
+	// experiment order, so worker count can never perturb rounding.
+	// LWP/system time comes from the run's statistics: the analyzer
+	// displays them in the <Total> header like the paper's Figure 1.
+	for _, e := range a.Exps {
+		a.totalLWP += float64(e.Meta.Stats.Cycles) / float64(a.ClockHz)
+		a.totalSys += float64(e.Meta.Stats.SyscallCycles) / float64(a.ClockHz)
+	}
+
+	units := a.units(cfg)
+	parts := make([]*partial, len(units))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		// Serial reference path: one unit at a time, in order.
+		for i, u := range units {
+			parts[i] = a.reduceUnit(u, cfg.Cache)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(units) {
+						return
+					}
+					parts[i] = a.reduceUnit(units[i], cfg.Cache)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, p := range parts {
+		if p.err != nil {
+			return fmt.Errorf("analyzer: reducing events: %w", p.err)
+		}
+	}
+	for _, p := range parts {
+		a.merge(p)
+	}
+	// <Total> row: LWP seconds are known; total metric weight is the sum
+	// over all attributed weight.
+	for _, m := range a.byPC {
+		a.total.Add(m)
+	}
+	for _, m := range a.byArtPC {
+		a.total.Add(m)
+	}
+	return nil
+}

@@ -3,7 +3,10 @@ package collect
 import (
 	"testing"
 
+	"dsprof/internal/analyzer"
 	"dsprof/internal/asm"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/experiment"
 	"dsprof/internal/hwc"
 	"dsprof/internal/isa"
 	"dsprof/internal/machine"
@@ -150,6 +153,71 @@ func TestRecoverEANonMemoryCandidate(t *testing.T) {
 	var regs [isa.NumRegs]int64
 	if _, ok := RecoverEA(prog, pc(0), pc(1), &regs); ok {
 		t.Error("recovered an EA from a non-memory instruction")
+	}
+}
+
+// TestBacktrackAcrossJoinNode is the paper's §2.3 correctness rule end
+// to end: the collector's backtracking search deliberately ignores
+// branch targets ("too expensive to locate branch targets at data
+// collection time"), so when the skid window spans a join node the
+// candidate it records lies in a *preceding* basic block and does not
+// postdominate the delivered PC. The analyzer's validation must then
+// attribute the event to the artificial <branch target> PC at the join
+// — never to the stale candidate's struct member.
+func TestBacktrackAcrossJoinNode(t *testing.T) {
+	tab := dwarf.NewTable(dwarf.FormatDWARF)
+	long := tab.AddType(dwarf.Type{Name: "long", Kind: dwarf.KindBase, Size: 8})
+	node := tab.AddType(dwarf.Type{Name: "node", Kind: dwarf.KindStruct, Size: 120})
+	tab.Types[node].Members = []dwarf.Member{
+		{Name: "number", Off: 0, Type: long},
+		{Name: "orientation", Off: 56, Type: long},
+	}
+	tab.AddFunc(dwarf.Func{Name: "f", Start: pc(0), End: pc(6), File: "f.mc", HWCProf: true})
+	// Block A ends at 2; 3 is a join node (branch target) beginning the
+	// block that contains the delivered PC.
+	tab.Xrefs[pc(0)] = dwarf.DataXref{Type: node, Member: 1} // node.orientation
+	tab.BranchTargets[pc(3)] = true
+	prog := &asm.Program{
+		Name:  "join",
+		Base:  machine.TextBase,
+		Entry: machine.TextBase,
+		Text: []isa.Instr{
+			{Op: isa.LdX, Rd: isa.O2, Rs1: isa.O3, UseImm: true, Imm: 56}, // 0: block A
+			{Op: isa.Add, Rd: isa.O2, Rs1: isa.O2, UseImm: true, Imm: 1},  // 1
+			{Op: isa.Nop}, // 2
+			{Op: isa.Nop}, // 3: join node
+			{Op: isa.Add, Rd: isa.O1, Rs1: isa.O1, UseImm: true, Imm: 2}, // 4
+			{Op: isa.Nop}, // 5: delivered here
+		},
+		Debug: tab,
+	}
+
+	// The collector's search crosses the join and lands on the load.
+	cand, ok := Backtrack(prog, pc(5), hwc.EvECRdMiss, 8)
+	if !ok || cand != pc(0) {
+		t.Fatalf("Backtrack = %#x, %v; want the (stale) candidate %#x", cand, ok, pc(0))
+	}
+
+	// Analysis must catch the crossed join node and refuse the member.
+	e := &experiment.Experiment{Prog: prog}
+	e.Meta.ProgName = prog.Name
+	e.Meta.ClockHz = 900_000_000
+	e.Meta.Counters = []experiment.CounterSpec{
+		{Event: hwc.EvECRdMiss, Interval: 1000, Backtrack: true},
+		{},
+	}
+	e.HWC[0] = []experiment.HWCEvent{{PIC: 0, DeliveredPC: pc(5), CandidatePC: cand}}
+	a, err := analyzer.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae := a.Events[0]
+	if !ae.Artificial || ae.Val != analyzer.VArtificialBT || ae.PC != pc(3) {
+		t.Fatalf("attribution = %+v, want artificial <branch target> at %#x", ae, pc(3))
+	}
+	if ae.Obj.Kind != analyzer.OKUnresolvable || ae.Member >= 0 {
+		t.Errorf("event attributed to %v member %d; a crossed join node must never yield a member",
+			ae.Obj.Kind, ae.Member)
 	}
 }
 

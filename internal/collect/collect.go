@@ -12,6 +12,8 @@ package collect
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -41,6 +43,14 @@ type Options struct {
 	// Label tags the experiment's provenance (e.g. "baseline",
 	// "reorder:arc"); it is recorded in the experiment meta.
 	Label string
+	// SpoolDir, when non-empty, streams counter events into format-v2
+	// shard files in this directory as they are produced, instead of
+	// buffering the whole event stream in memory. Collection memory
+	// then stays flat however long the run, and a cancelled run still
+	// leaves every delivered event on disk (the partial tail shard is
+	// flushed on every exit path). Point it at the experiment output
+	// directory and Save will leave the files in place.
+	SpoolDir string
 }
 
 // Truth is the per-event ground truth the simulator knows but a real
@@ -216,6 +226,27 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	}
 	cmd.WriteString(" " + prog.Name)
 
+	// With a spool directory, counter events stream to v2 shard files
+	// as they are delivered instead of accumulating in exp.HWC.
+	var spool [2]*experiment.ShardWriter
+	var spoolErr error
+	if opts.SpoolDir != "" {
+		if err := os.MkdirAll(opts.SpoolDir, 0o755); err != nil {
+			return nil, fmt.Errorf("collect: spool dir: %w", err)
+		}
+		for pic, cs := range opts.Counters {
+			if cs.Event == hwc.EvNone {
+				continue
+			}
+			w, err := experiment.NewShardWriter(
+				filepath.Join(opts.SpoolDir, experiment.ShardFileName(pic)), pic)
+			if err != nil {
+				return nil, err
+			}
+			spool[pic] = w
+		}
+	}
+
 	m.OnOverflow = func(e *machine.OverflowEvent) {
 		rec := experiment.HWCEvent{
 			PIC:         e.PIC,
@@ -232,7 +263,13 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 				}
 			}
 		}
-		exp.HWC[e.PIC] = append(exp.HWC[e.PIC], rec)
+		if w := spool[e.PIC]; w != nil {
+			if err := w.Append(rec); err != nil && spoolErr == nil {
+				spoolErr = err
+			}
+		} else {
+			exp.HWC[e.PIC] = append(exp.HWC[e.PIC], rec)
+		}
 		res.Truth[e.PIC] = append(res.Truth[e.PIC], Truth{
 			PIC: e.PIC, TruePC: e.TruePC, TrueEA: e.TrueEA, HasEA: e.TrueHasEA,
 		})
@@ -251,6 +288,28 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	exp.Meta.Stats = m.Stats()
 	exp.Allocs = m.Allocs()
 	exp.Meta.Output = m.OutputLongs()
+
+	// Close the spool writers on every exit path — including
+	// cancellation — so the partial tail shard reaches disk and the
+	// experiment keeps every event delivered before the cut.
+	for pic, w := range spool {
+		if w == nil {
+			continue
+		}
+		path := filepath.Join(opts.SpoolDir, experiment.ShardFileName(pic))
+		if err := w.Close(); err != nil && spoolErr == nil {
+			spoolErr = err
+		}
+		if w.Count() == 0 {
+			os.Remove(path)
+			continue
+		}
+		exp.AdoptShards(pic, path, w.Shards())
+	}
+	if spoolErr != nil && runErr == nil {
+		runErr = fmt.Errorf("collect: spooling events: %w", spoolErr)
+	}
+
 	if runErr != nil {
 		exp.Meta.ExitStatus = runErr.Error()
 		return res, runErr

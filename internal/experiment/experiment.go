@@ -9,11 +9,19 @@
 // real hardware, only the delivered PC, the collector's candidate trigger
 // PC from apropos backtracking, and the recovered effective address are
 // recorded.
+//
+// Two format versions exist. Version 1 stored each PIC's events as one
+// monolithic gob blob (hwc0.gob/hwc1.gob); version 2 stores them as
+// sharded files (hwc0.ev2/hwc1.ev2, see shard.go) so events stream to
+// disk as collected and analysis can read disjoint shards in parallel.
+// Load and Open negotiate the version from the meta header: v1
+// experiments remain fully readable through a compatibility decoder.
 package experiment
 
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -61,11 +69,15 @@ type ClockEvent struct {
 	Cycles    uint64
 }
 
-// FormatVersion is the current on-disk experiment format version. It is
-// written into Meta by Save; Load rejects any other version so that a
-// truncated meta file (version 0) or a future format never decodes into
-// silently wrong data.
-const FormatVersion = 1
+// FormatVersion is the current on-disk experiment format version,
+// written into Meta by Save. Load still reads version 1 (monolithic gob
+// event blobs) through a compatibility decoder; any other version — a
+// truncated meta file (version 0) or a future format — is rejected so
+// it never decodes into silently wrong data.
+const FormatVersion = 2
+
+// oldestReadableVersion is the oldest format Load still understands.
+const oldestReadableVersion = 1
 
 // Meta is the experiment header (the log/loadobjects information).
 type Meta struct {
@@ -86,13 +98,27 @@ type Meta struct {
 	Output          []int64 // the program's output longs, for transform validation
 }
 
-// Experiment is a complete experiment, in memory.
+// Experiment is an experiment, in memory. Eagerly loaded (or freshly
+// collected) experiments hold every counter event in HWC; experiments
+// opened for streaming (Open, format v2) leave HWC empty and read
+// shards from disk on demand. Either way, Shards/ReadShard/Events/
+// EventCount present the same sharded view, so the analyzer does not
+// care which path produced the experiment.
 type Experiment struct {
 	Meta   Meta
 	Clock  []ClockEvent
 	HWC    [NumPICs][]HWCEvent
 	Allocs []machine.Alloc
 	Prog   *asm.Program
+
+	// Sharded event-stream backing. hwcPath[pic] is non-empty when the
+	// PIC's events live in a v2 shard file rather than in HWC;
+	// hwcShards is the shard index (real offsets for file-backed PICs,
+	// synthetic descriptors otherwise).
+	hwcPath   [NumPICs]string
+	hwcShards [NumPICs][]Shard
+	hwcCount  [NumPICs]int
+	hwcOwned  [NumPICs]bool // true for spooled files Save may rename away
 }
 
 // Interval returns the overflow interval for the counter on PIC pic.
@@ -107,11 +133,26 @@ const (
 	logFile    = "log.txt"
 	metaFile   = "meta.gob"
 	clockFile  = "clock.gob"
-	hwcFile0   = "hwc0.gob"
-	hwcFile1   = "hwc1.gob"
+	hwcFile0   = "hwc0.gob" // format v1
+	hwcFile1   = "hwc1.gob" // format v1
+	hwcEv2_0   = "hwc0.ev2" // format v2 (sharded)
+	hwcEv2_1   = "hwc1.ev2" // format v2 (sharded)
 	allocsFile = "allocs.gob"
 	progFile   = "program.obj"
 )
+
+// hwcV2Name returns the v2 shard file name for a PIC.
+func hwcV2Name(pic int) string {
+	if pic == 0 {
+		return hwcEv2_0
+	}
+	return hwcEv2_1
+}
+
+// ShardFileName returns the name of the v2 shard file for a PIC inside
+// an experiment directory ("hwc0.ev2"/"hwc1.ev2") — for collectors that
+// spool events straight into the output directory.
+func ShardFileName(pic int) string { return hwcV2Name(pic) }
 
 func writeGob(dir, name string, v any) error {
 	f, err := os.Create(filepath.Join(dir, name))
@@ -145,8 +186,125 @@ func readGob(dir, name string, v any) (err error) {
 	return nil
 }
 
-// Save writes the experiment as a directory, stamping the current
-// format version into the meta header.
+// AdoptShards attaches a spooled shard file (written by a ShardWriter
+// during collection) as the backing store for one PIC. The experiment
+// keeps HWC[pic] empty; Save will move or copy the file into the
+// experiment directory.
+func (e *Experiment) AdoptShards(pic int, path string, shards []Shard) {
+	e.hwcPath[pic] = path
+	e.hwcShards[pic] = shards
+	e.hwcOwned[pic] = true
+	n := 0
+	for _, sh := range shards {
+		n += sh.Count
+	}
+	e.hwcCount[pic] = n
+}
+
+// EventCount returns the number of counter events recorded for a PIC,
+// without decoding file-backed streams.
+func (e *Experiment) EventCount(pic int) int {
+	if pic < 0 || pic >= NumPICs {
+		return 0
+	}
+	if e.hwcPath[pic] != "" {
+		return e.hwcCount[pic]
+	}
+	return len(e.HWC[pic])
+}
+
+// Shards returns the shard table for a PIC: real file-backed shards for
+// streamed experiments, synthetic fixed-size slices of HWC otherwise.
+// The table is the unit of the analyzer's parallel reduction.
+func (e *Experiment) Shards(pic int) []Shard {
+	if pic < 0 || pic >= NumPICs {
+		return nil
+	}
+	if e.hwcPath[pic] != "" {
+		return e.hwcShards[pic]
+	}
+	if e.hwcShards[pic] == nil && len(e.HWC[pic]) > 0 {
+		e.hwcShards[pic] = syntheticShards(pic, e.HWC[pic])
+	}
+	return e.hwcShards[pic]
+}
+
+// ReadShard returns one shard's events. For file-backed experiments it
+// opens the shard file and decodes just that shard (safe to call from
+// concurrent workers: every call uses its own file handle); for
+// in-memory experiments it returns a subslice of HWC, which callers
+// must not modify. Events from file-backed shards are validated the
+// same way Load validates eager streams.
+func (e *Experiment) ReadShard(pic, i int) ([]HWCEvent, error) {
+	if pic < 0 || pic >= NumPICs {
+		return nil, fmt.Errorf("experiment: ReadShard: PIC %d out of range", pic)
+	}
+	shards := e.Shards(pic)
+	if i < 0 || i >= len(shards) {
+		return nil, fmt.Errorf("experiment: ReadShard: shard %d/%d out of range", i, len(shards))
+	}
+	if e.hwcPath[pic] == "" {
+		lo := i * DefaultShardEvents
+		hi := lo + shards[i].Count
+		return e.HWC[pic][lo:hi:hi], nil
+	}
+	evs, err := readShardFile(e.hwcPath[pic], shards[i])
+	if err != nil {
+		return nil, err
+	}
+	if err := validateEvents(pic, evs, e.Meta.Counters); err != nil {
+		return nil, fmt.Errorf("%s: shard %d: %w", e.hwcPath[pic], i, err)
+	}
+	return evs, nil
+}
+
+// Events streams every counter event of the experiment to fn, PIC 0
+// first then PIC 1, each in collection order, without materializing
+// file-backed streams in memory. fn returning an error stops the
+// iteration and Events returns that error.
+func (e *Experiment) Events(fn func(HWCEvent) error) error {
+	for pic := 0; pic < NumPICs; pic++ {
+		for i := range e.Shards(pic) {
+			evs, err := e.ReadShard(pic, i)
+			if err != nil {
+				return err
+			}
+			for _, ev := range evs {
+				if err := fn(ev); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateEvents checks decoded counter events against the experiment
+// header before they reach the analyzer: every event's PIC must match
+// the stream it was read from (and hence lie in [0,NumPICs)), and a
+// stream may only contain events if its counter is actually armed. A
+// corrupted or hand-edited file yields a descriptive error here instead
+// of an out-of-range index downstream.
+func validateEvents(pic int, evs []HWCEvent, counters []CounterSpec) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if pic >= len(counters) || counters[pic].Event == hwc.EvNone {
+		return fmt.Errorf("%d events recorded for PIC %d, but no counter is armed on it", len(evs), pic)
+	}
+	for i, ev := range evs {
+		if ev.PIC != pic {
+			return fmt.Errorf("event %d: PIC %d, want %d (stream/event mismatch)", i, ev.PIC, pic)
+		}
+	}
+	return nil
+}
+
+// Save writes the experiment as a directory in the current format,
+// stamping the format version into the meta header. Counter events held
+// in memory are sharded into v2 files; file-backed events (spooled
+// during collection or opened from another directory) are moved or
+// copied without re-encoding.
 func (e *Experiment) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -158,11 +316,10 @@ func (e *Experiment) Save(dir string) error {
 	if err := writeGob(dir, clockFile, e.Clock); err != nil {
 		return err
 	}
-	if err := writeGob(dir, hwcFile0, e.HWC[0]); err != nil {
-		return err
-	}
-	if err := writeGob(dir, hwcFile1, e.HWC[1]); err != nil {
-		return err
+	for pic := 0; pic < NumPICs; pic++ {
+		if err := e.saveHWC(dir, pic); err != nil {
+			return err
+		}
 	}
 	if err := writeGob(dir, allocsFile, e.Allocs); err != nil {
 		return err
@@ -173,6 +330,74 @@ func (e *Experiment) Save(dir string) error {
 		}
 	}
 	return e.writeLog(dir)
+}
+
+// saveHWC writes one PIC's events into dir as a v2 shard file. A
+// file-backed PIC whose shard file already lives at the target path is
+// left in place; one spooled elsewhere is renamed in (falling back to a
+// copy across filesystems). PICs with no events write no file.
+func (e *Experiment) saveHWC(dir string, pic int) error {
+	target := filepath.Join(dir, hwcV2Name(pic))
+	if src := e.hwcPath[pic]; src != "" {
+		if same, err := samePath(src, target); err == nil && same {
+			return nil
+		}
+		if e.hwcOwned[pic] {
+			// Spooled by the collector: move into place (copy across
+			// filesystems).
+			if err := os.Rename(src, target); err != nil {
+				if err := copyFile(src, target); err != nil {
+					return fmt.Errorf("experiment: moving spooled shards: %w", err)
+				}
+				os.Remove(src)
+			}
+		} else {
+			// Opened from another experiment directory: the source must
+			// stay readable, so copy.
+			if err := copyFile(src, target); err != nil {
+				return fmt.Errorf("experiment: copying shards: %w", err)
+			}
+		}
+		e.hwcPath[pic] = target
+		return nil
+	}
+	// No stale file from a previous Save into the same directory.
+	if len(e.HWC[pic]) == 0 {
+		os.Remove(target)
+		return nil
+	}
+	_, err := writeShardFile(target, pic, e.HWC[pic])
+	return err
+}
+
+// samePath reports whether two paths name the same file.
+func samePath(a, b string) (bool, error) {
+	sa, err := os.Stat(a)
+	if err != nil {
+		return false, err
+	}
+	sb, err := os.Stat(b)
+	if err != nil {
+		return false, err
+	}
+	return os.SameFile(sa, sb), nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // writeLog writes the human-readable log.txt.
@@ -195,7 +420,7 @@ func (e *Experiment) writeLog(dir string) error {
 	}
 	for pic, c := range e.Meta.Counters {
 		if c.Event != hwc.EvNone {
-			fmt.Fprintf(f, "counter %d: %s, %d overflow events\n", pic, c, len(e.HWC[pic]))
+			fmt.Fprintf(f, "counter %d: %s, %d overflow events\n", pic, c, e.EventCount(pic))
 		}
 	}
 	fmt.Fprintf(f, "instructions: %d\ncycles: %d\n", e.Meta.Stats.Instrs, e.Meta.Stats.Cycles)
@@ -203,11 +428,51 @@ func (e *Experiment) writeLog(dir string) error {
 	return f.Close()
 }
 
-// Load reads an experiment directory written by Save. It never panics:
-// a missing directory, a missing or truncated data file, a format
-// version mismatch, or an internally inconsistent meta header all
-// produce a descriptive error.
+// Load reads an experiment directory written by Save, eagerly: every
+// counter event is decoded into HWC. It reads both the current format
+// and version 1 via the compatibility decoder, and it never panics: a
+// missing directory, a missing or truncated data file, a format version
+// mismatch, an internally inconsistent meta header, or event records
+// inconsistent with the armed counters all produce a descriptive error.
 func Load(dir string) (*Experiment, error) {
+	e, err := open(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize file-backed streams.
+	for pic := 0; pic < NumPICs; pic++ {
+		if e.hwcPath[pic] == "" {
+			continue
+		}
+		evs := make([]HWCEvent, 0, e.hwcCount[pic])
+		for i := range e.hwcShards[pic] {
+			sevs, err := e.ReadShard(pic, i)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", dir, err)
+			}
+			evs = append(evs, sevs...)
+		}
+		e.HWC[pic] = evs
+		e.hwcPath[pic] = ""
+		e.hwcShards[pic] = nil
+		e.hwcCount[pic] = 0
+	}
+	return e, nil
+}
+
+// Open reads an experiment directory for streaming: the header, clock
+// data, allocations, and program load eagerly (they are small), but a
+// current-format experiment's counter events stay on disk, exposed
+// through Shards/ReadShard/Events. Version-1 experiments have no shard
+// files, so Open falls back to the eager compatibility path for them;
+// either way the returned experiment presents the same sharded view.
+// Like Load, Open never panics on corrupted input.
+func Open(dir string) (*Experiment, error) {
+	return open(dir)
+}
+
+// open is the shared loader: everything but file-backed event payloads.
+func open(dir string) (*Experiment, error) {
 	st, err := os.Stat(dir)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s: %w", dir, err)
@@ -219,9 +484,9 @@ func Load(dir string) (*Experiment, error) {
 	if err := readGob(dir, metaFile, &e.Meta); err != nil {
 		return nil, fmt.Errorf("experiment %s: reading meta: %w", dir, err)
 	}
-	if e.Meta.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("experiment %s: format version %d, want %d (re-collect the experiment)",
-			dir, e.Meta.FormatVersion, FormatVersion)
+	if v := e.Meta.FormatVersion; v < oldestReadableVersion || v > FormatVersion {
+		return nil, fmt.Errorf("experiment %s: format version %d, want %d..%d (re-collect the experiment)",
+			dir, v, oldestReadableVersion, FormatVersion)
 	}
 	if n := len(e.Meta.Counters); n != NumPICs {
 		return nil, fmt.Errorf("experiment %s: corrupted meta: %d counter slots, want %d", dir, n, NumPICs)
@@ -229,11 +494,44 @@ func Load(dir string) (*Experiment, error) {
 	if err := readGob(dir, clockFile, &e.Clock); err != nil {
 		return nil, fmt.Errorf("experiment %s: reading clock data: %w", dir, err)
 	}
-	if err := readGob(dir, hwcFile0, &e.HWC[0]); err != nil {
-		return nil, fmt.Errorf("experiment %s: reading hwc0 data: %w", dir, err)
-	}
-	if err := readGob(dir, hwcFile1, &e.HWC[1]); err != nil {
-		return nil, fmt.Errorf("experiment %s: reading hwc1 data: %w", dir, err)
+	switch e.Meta.FormatVersion {
+	case 1:
+		// v1 compatibility: monolithic gob blobs, decoded eagerly.
+		for pic := 0; pic < NumPICs; pic++ {
+			name := hwcFile0
+			if pic == 1 {
+				name = hwcFile1
+			}
+			if err := readGob(dir, name, &e.HWC[pic]); err != nil {
+				return nil, fmt.Errorf("experiment %s: reading hwc%d data: %w", dir, pic, err)
+			}
+			if err := validateEvents(pic, e.HWC[pic], e.Meta.Counters); err != nil {
+				return nil, fmt.Errorf("experiment %s: %s: %w", dir, name, err)
+			}
+		}
+	default:
+		// v2: scan the shard indexes; payloads stay on disk.
+		for pic := 0; pic < NumPICs; pic++ {
+			path := filepath.Join(dir, hwcV2Name(pic))
+			shards, err := readShardIndex(path, pic)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: reading hwc%d shards: %w", dir, pic, err)
+			}
+			if len(shards) == 0 {
+				continue
+			}
+			if e.Meta.Counters[pic].Event == hwc.EvNone {
+				return nil, fmt.Errorf("experiment %s: %s: events recorded for PIC %d, but no counter is armed on it",
+					dir, hwcV2Name(pic), pic)
+			}
+			n := 0
+			for _, sh := range shards {
+				n += sh.Count
+			}
+			e.hwcPath[pic] = path
+			e.hwcShards[pic] = shards
+			e.hwcCount[pic] = n
+		}
 	}
 	if err := readGob(dir, allocsFile, &e.Allocs); err != nil {
 		return nil, fmt.Errorf("experiment %s: reading allocs: %w", dir, err)
@@ -244,6 +542,19 @@ func Load(dir string) (*Experiment, error) {
 	}
 	e.Prog = prog
 	return e, nil
+}
+
+// ReadMeta reads just the meta header of an experiment directory,
+// without touching event data. It accepts any readable format version.
+func ReadMeta(dir string) (*Meta, error) {
+	var m Meta
+	if err := readGob(dir, metaFile, &m); err != nil {
+		return nil, fmt.Errorf("experiment %s: reading meta: %w", dir, err)
+	}
+	if v := m.FormatVersion; v < oldestReadableVersion || v > FormatVersion {
+		return nil, fmt.Errorf("experiment %s: format version %d, want %d..%d", dir, v, oldestReadableVersion, FormatVersion)
+	}
+	return &m, nil
 }
 
 // loadProgram reads the saved program object, converting any decoder

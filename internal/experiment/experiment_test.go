@@ -3,6 +3,7 @@ package experiment
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -139,9 +140,10 @@ func TestLoadCorrupted(t *testing.T) {
 
 // TestLoadNeverPanics corrupts every data file in turn — truncation,
 // garbage, and emptiness — and checks Load returns an error naming the
-// bad file instead of panicking.
+// bad file instead of panicking. A *missing* shard file is the one legal
+// absence: it means the armed counter recorded zero overflows.
 func TestLoadNeverPanics(t *testing.T) {
-	files := []string{"meta.gob", "clock.gob", "hwc0.gob", "hwc1.gob", "allocs.gob", "program.obj"}
+	files := []string{"meta.gob", "clock.gob", "hwc0.ev2", "allocs.gob", "program.obj"}
 	corruptions := map[string]func(path string) error{
 		"truncated": func(path string) error {
 			b, err := os.ReadFile(path)
@@ -173,7 +175,14 @@ func TestLoadNeverPanics(t *testing.T) {
 				if err := corrupt(filepath.Join(dir, name)); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := Load(dir); err == nil {
+				_, err := Load(dir)
+				if how == "missing" && name == "hwc0.ev2" {
+					if err != nil {
+						t.Errorf("Load without the (optional) shard file failed: %v", err)
+					}
+					return
+				}
+				if err == nil {
 					t.Errorf("Load of %s %s experiment succeeded", how, name)
 				}
 			})
@@ -219,6 +228,192 @@ func TestLoadRejectsBadCounterSlots(t *testing.T) {
 	}
 	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "counter slots") {
 		t.Errorf("Load of truncated counter table: %v", err)
+	}
+}
+
+// saveV1 writes an experiment in the legacy monolithic format, for
+// compatibility and corruption tests.
+func saveV1(t *testing.T, e *Experiment, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	meta := e.Meta
+	meta.FormatVersion = 1
+	if err := writeGob(dir, metaFile, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGob(dir, clockFile, e.Clock); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGob(dir, hwcFile0, e.HWC[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGob(dir, hwcFile1, e.HWC[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGob(dir, allocsFile, e.Allocs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Prog.SaveFile(filepath.Join(dir, progFile)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1Compat checks that legacy monolithic-gob experiments still load,
+// through both Load and Open, with identical events.
+func TestV1Compat(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "v1.er")
+	saveV1(t, e, dir)
+	for _, fn := range []func(string) (*Experiment, error){Load, Open} {
+		back, err := fn(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Meta.FormatVersion != 1 {
+			t.Errorf("FormatVersion = %d", back.Meta.FormatVersion)
+		}
+		if back.EventCount(0) != 1 || back.EventCount(1) != 0 {
+			t.Errorf("EventCount = %d,%d", back.EventCount(0), back.EventCount(1))
+		}
+		var got []HWCEvent
+		if err := back.Events(func(ev HWCEvent) error { got = append(got, ev); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].EA != 0x40000000 {
+			t.Errorf("Events = %+v", got)
+		}
+	}
+}
+
+// TestLoadRejectsBadPIC: a decoded event whose PIC doesn't match its
+// stream must be rejected on load, in both formats, before it can drive
+// an out-of-range index in the analyzer.
+func TestLoadRejectsBadPIC(t *testing.T) {
+	t.Run("v1", func(t *testing.T) {
+		e := sample()
+		e.HWC[0][0].PIC = 7
+		dir := filepath.Join(t.TempDir(), "v1.er")
+		saveV1(t, e, dir)
+		if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "PIC") {
+			t.Errorf("Load of event with PIC 7: %v", err)
+		}
+	})
+	t.Run("v2", func(t *testing.T) {
+		e := sample()
+		e.HWC[0][0].PIC = 1
+		dir := filepath.Join(t.TempDir(), "v2.er")
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "PIC") {
+			t.Errorf("Load of mis-PICed event: %v", err)
+		}
+	})
+}
+
+// TestLoadRejectsUnarmedPICEvents: events recorded for a PIC whose
+// counter spec says EvNone indicate a corrupted or mismatched
+// experiment; both formats must reject it.
+func TestLoadRejectsUnarmedPICEvents(t *testing.T) {
+	e := sample() // counter 1 is unarmed
+	e.HWC[1] = []HWCEvent{{PIC: 1, DeliveredPC: machine.TextBase, Cycles: 7}}
+	t.Run("v1", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "v1.er")
+		saveV1(t, e, dir)
+		if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "armed") {
+			t.Errorf("Load of unarmed-PIC events: %v", err)
+		}
+	})
+	t.Run("v2", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "v2.er")
+		if err := e.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "armed") {
+			t.Errorf("Load of unarmed-PIC events: %v", err)
+		}
+	})
+}
+
+// TestOpenStreaming checks that Open leaves v2 events on disk and that
+// the sharded view matches the eager load byte for byte.
+func TestOpenStreaming(t *testing.T) {
+	e := sample()
+	// Enough events for several shards.
+	e.HWC[0] = nil
+	for i := 0; i < 3*DefaultShardEvents+17; i++ {
+		e.HWC[0] = append(e.HWC[0], HWCEvent{
+			PIC: 0, DeliveredPC: machine.TextBase + 4, CandidatePC: machine.TextBase,
+			EA: 0x40000000 + uint64(i), HasEA: true, Cycles: uint64(i) * 3,
+		})
+	}
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	op, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.HWC[0]) != 0 {
+		t.Errorf("Open materialized %d events eagerly", len(op.HWC[0]))
+	}
+	if op.EventCount(0) != len(e.HWC[0]) {
+		t.Errorf("EventCount = %d, want %d", op.EventCount(0), len(e.HWC[0]))
+	}
+	shards := op.Shards(0)
+	if len(shards) != 4 {
+		t.Fatalf("Shards = %d, want 4", len(shards))
+	}
+	if shards[3].Count != 17 {
+		t.Errorf("tail shard count = %d, want 17", shards[3].Count)
+	}
+	if shards[1].MinCycles != uint64(DefaultShardEvents)*3 {
+		t.Errorf("shard 1 MinCycles = %d", shards[1].MinCycles)
+	}
+	var got []HWCEvent
+	if err := op.Events(func(ev HWCEvent) error { got = append(got, ev); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(e.HWC[0]) {
+		t.Fatalf("Events streamed %d, want %d", len(got), len(e.HWC[0]))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], e.HWC[0][i]) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[i], e.HWC[0][i])
+		}
+	}
+	// Re-saving an opened experiment to a new directory must not
+	// disturb the source.
+	dir2 := filepath.Join(t.TempDir(), "copy.er")
+	if err := op.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hwc0.ev2")); err != nil {
+		t.Errorf("source shard file vanished after Save-elsewhere: %v", err)
+	}
+	if back, err := Load(dir2); err != nil || len(back.HWC[0]) != len(e.HWC[0]) {
+		t.Errorf("copied experiment: %v, %d events", err, len(back.HWC[0]))
+	}
+}
+
+func TestReadMeta(t *testing.T) {
+	e := sample()
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Command != e.Meta.Command || m.FormatVersion != FormatVersion {
+		t.Errorf("ReadMeta = %+v", m)
+	}
+	if _, err := ReadMeta(filepath.Join(t.TempDir(), "nope.er")); err == nil {
+		t.Error("ReadMeta of missing dir succeeded")
 	}
 }
 

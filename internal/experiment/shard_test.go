@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func shardEvents(n int) []HWCEvent {
+	evs := make([]HWCEvent, n)
+	for i := range evs {
+		evs[i] = HWCEvent{PIC: 0, DeliveredPC: 0x1000 + uint64(4*i), Cycles: uint64(10 + i)}
+	}
+	return evs
+}
+
+func TestShardWriterRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hwc0.ev2")
+	w, err := NewShardWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := shardEvents(2*DefaultShardEvents + 5)
+	for _, ev := range evs {
+		if err := w.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(evs) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(evs))
+	}
+	shards := w.Shards()
+	if len(shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(shards))
+	}
+	if shards[2].Count != 5 {
+		t.Errorf("tail count = %d", shards[2].Count)
+	}
+	idx, err := readShardIndex(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != len(shards) {
+		t.Fatalf("index has %d shards, wrote %d", len(idx), len(shards))
+	}
+	var got []HWCEvent
+	for i, sh := range idx {
+		if sh != shards[i] {
+			t.Errorf("shard %d index mismatch: %+v vs %+v", i, sh, shards[i])
+		}
+		sevs, err := readShardFile(path, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, sevs...)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(evs))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], evs[i]) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestShardWriterFlushPartial: Flush mid-stream writes the partial
+// shard, so a cancelled collection keeps delivered events.
+func TestShardWriterFlushPartial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hwc1.ev2")
+	w, err := NewShardWriter(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range shardEvents(3) {
+		ev.PIC = 1
+		if err := w.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := readShardIndex(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0].Count != 3 || idx[0].PIC != 1 {
+		t.Fatalf("index = %+v", idx)
+	}
+	if idx[0].MinCycles != 10 || idx[0].MaxCycles != 12 {
+		t.Errorf("cycle range = [%d,%d]", idx[0].MinCycles, idx[0].MaxCycles)
+	}
+}
+
+func TestShardIndexTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hwc0.ev2")
+	if _, err := writeShardFile(path, 0, shardEvents(10)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(b) - 1, len(shardMagic) + shardHeaderBytes + 3, len(shardMagic) + 5, 3} {
+		if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readShardIndex(path, 0); err == nil {
+			t.Errorf("cut=%d: truncated shard file indexed without error", cut)
+		}
+	}
+}
+
+func TestSyntheticShards(t *testing.T) {
+	evs := shardEvents(DefaultShardEvents + 1)
+	shards := syntheticShards(0, evs)
+	if len(shards) != 2 || shards[0].Count != DefaultShardEvents || shards[1].Count != 1 {
+		t.Fatalf("shards = %+v", shards)
+	}
+	if shards[1].MinCycles != evs[len(evs)-1].Cycles {
+		t.Errorf("tail MinCycles = %d", shards[1].MinCycles)
+	}
+	if syntheticShards(0, nil) != nil {
+		t.Error("synthetic shards of empty stream")
+	}
+}

@@ -39,10 +39,57 @@ const indexFile = "index.json"
 // large (every attributed event), so the cache evicts beyond this.
 const maxCachedAnalyzers = 32
 
+// maxCachedPartials bounds the per-shard partial cache. A partial is
+// much smaller than a whole analyzer (one shard's worth of attributed
+// events), so the bound is correspondingly larger.
+const maxCachedPartials = 4096
+
 type analyzerEntry struct {
 	once sync.Once
 	a    *analyzer.Analyzer
 	err  error
+}
+
+// shardPartialCache memoizes per-shard reduction partials across
+// analyzer builds. Store experiments are immutable once committed, so a
+// shard key (experiment id + shard coordinates + cycle range) always
+// maps to the same partial: querying overlapping experiment sets — e.g.
+// {A1} then {A1,A2} — re-reduces only the shards not already seen.
+// It implements analyzer.PartialCache.
+type shardPartialCache struct {
+	mu     sync.Mutex
+	m      map[string]*analyzer.ShardPartial
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newShardPartialCache() *shardPartialCache {
+	return &shardPartialCache{m: make(map[string]*analyzer.ShardPartial)}
+}
+
+func (c *shardPartialCache) Get(key string) (*analyzer.ShardPartial, bool) {
+	c.mu.Lock()
+	p, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return p, ok
+}
+
+func (c *shardPartialCache) Put(key string, p *analyzer.ShardPartial) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= maxCachedPartials {
+		// Evict an arbitrary entry: partials are cheap to rebuild.
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = p
 }
 
 // Store is the on-disk experiment registry plus the analyzer memo.
@@ -57,6 +104,8 @@ type Store struct {
 	analyzers map[string]*analyzerEntry
 	hits      atomic.Uint64
 	misses    atomic.Uint64
+
+	partials *shardPartialCache
 }
 
 // OpenStore opens (creating if needed) a managed experiment root and
@@ -71,6 +120,7 @@ func OpenStore(root string) (*Store, error) {
 		root:      root,
 		exps:      make(map[string]*ExpRecord),
 		analyzers: make(map[string]*analyzerEntry),
+		partials:  newShardPartialCache(),
 	}
 	if err := s.loadIndex(); err != nil {
 		return nil, err
@@ -171,8 +221,19 @@ func (s *Store) Put(spec *JobSpec, exp *experiment.Experiment) (*ExpRecord, erro
 		return nil, fmt.Errorf("profd: saving experiment: %w", err)
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		os.RemoveAll(tmp)
-		return nil, fmt.Errorf("profd: committing experiment: %w", err)
+		// Two stores on the same root (or a crashed predecessor) can
+		// race persisting the same config hash: the loser's rename onto
+		// the existing experiment directory fails even though an
+		// identical experiment is already in place. Verify the resident
+		// directory really is the same program/config and treat that as
+		// success rather than failing the job spuriously.
+		if m, merr := experiment.ReadMeta(final); merr == nil &&
+			m.ProgName == exp.Meta.ProgName && m.Command == exp.Meta.Command {
+			os.RemoveAll(tmp)
+		} else {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("profd: committing experiment: %w", err)
+		}
 	}
 
 	s.mu.Lock()
@@ -266,14 +327,21 @@ func (s *Store) Analyzer(ids []string) (*analyzer.Analyzer, error) {
 		}
 		exps := make([]*experiment.Experiment, 0, len(dirs))
 		for _, d := range dirs {
-			exp, err := experiment.Load(d)
+			// Open, not Load: v2 counter events stay on disk and stream
+			// shard-by-shard through the parallel reduction below.
+			exp, err := experiment.Open(d)
 			if err != nil {
 				e.err = err
 				return
 			}
 			exps = append(exps, exp)
 		}
-		e.a, e.err = analyzer.New(exps...)
+		// Keys[i] names exps[i] for the per-shard partial cache: store
+		// experiments are immutable, so id+shard coordinates is stable.
+		e.a, e.err = analyzer.NewWithConfig(analyzer.Config{
+			Cache: s.partials,
+			Keys:  ids,
+		}, exps...)
 	})
 	if e.err != nil {
 		// Don't pin failures in the cache: a later query retries.
@@ -296,4 +364,10 @@ func cacheKey(ids []string) string {
 // CacheStats returns the analyzer memo's hit/miss counters.
 func (s *Store) CacheStats() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// ShardCacheStats returns the per-shard partial cache's hit/miss
+// counters (one probe per shard per analyzer build).
+func (s *Store) ShardCacheStats() (hits, misses uint64) {
+	return s.partials.hits.Load(), s.partials.misses.Load()
 }

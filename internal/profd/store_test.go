@@ -159,6 +159,82 @@ func TestAnalyzerMemo(t *testing.T) {
 	}
 }
 
+// TestStorePutRaceIdentical: two stores sharing one root race to
+// persist the same config. Both assign the same sequence number, so the
+// loser's rename lands on an existing directory that already holds the
+// identical experiment — that must count as success, not a spurious
+// commit failure.
+func TestStorePutRaceIdentical(t *testing.T) {
+	expA, _ := testExperiments(t)
+	root := t.TempDir()
+	s1, err := OpenStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := specA(32)
+	rec1, err := s1.Put(&sa, expA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := s2.Put(&sa, expA)
+	if err != nil {
+		t.Fatalf("losing Put of an identical experiment failed: %v", err)
+	}
+	if rec1.Dir != rec2.Dir {
+		t.Fatalf("stores did not collide (dirs %s vs %s); race not exercised", rec1.Dir, rec2.Dir)
+	}
+	if _, err := experiment.Load(filepath.Join(root, rec2.Dir)); err != nil {
+		t.Errorf("experiment unreadable after racing Put: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, rec2.Dir+".tmp")); !os.IsNotExist(err) {
+		t.Error("losing Put left its .tmp directory behind")
+	}
+
+	// A resident directory that is NOT the same experiment stays an error.
+	bogus := filepath.Join(root, "exp-2-"+sa.ConfigHash()+".er")
+	if err := os.MkdirAll(bogus, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bogus, "meta.gob"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Put(&sa, expA); err == nil {
+		t.Error("Put onto a non-matching resident directory succeeded")
+	}
+}
+
+// TestShardPartialCacheReuse: overlapping experiment selections
+// re-reduce only the shards not already seen — querying {A} then {A,B}
+// hits every one of A's cached partials.
+func TestShardPartialCacheReuse(t *testing.T) {
+	expA, expB := testExperiments(t)
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := specA(32), specB(32)
+	recA, _ := store.Put(&sa, expA)
+	recB, _ := store.Put(&sb, expB)
+
+	if _, err := store.Analyzer([]string{recA.ID}); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := store.ShardCacheStats()
+	if h0 != 0 || m0 == 0 {
+		t.Fatalf("after first build: shard hits=%d misses=%d, want 0 hits and >0 misses", h0, m0)
+	}
+	if _, err := store.Analyzer([]string{recA.ID, recB.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if h1, _ := store.ShardCacheStats(); h1 != m0 {
+		t.Errorf("querying {A,B} after {A} hit %d shard partials, want all %d of A's", h1, m0)
+	}
+}
+
 func TestOpenStoreSweepsTmp(t *testing.T) {
 	root := t.TempDir()
 	stray := filepath.Join(root, "exp-9-deadbeef.er.tmp")

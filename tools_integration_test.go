@@ -113,7 +113,10 @@ func TestToolPipeline(t *testing.T) {
 	for _, e := range entries {
 		names[e.Name()] = true
 	}
-	for _, want := range []string{"log.txt", "meta.gob", "clock.gob", "hwc0.gob", "hwc1.gob", "program.obj", "allocs.gob"} {
+	// Format v2: counter events live in sharded .ev2 files (only PICs
+	// that recorded events write one) instead of the v1 monolithic
+	// hwc{0,1}.gob blobs.
+	for _, want := range []string{"log.txt", "meta.gob", "clock.gob", "hwc0.ev2", "program.obj", "allocs.gob"} {
 		if !names[want] {
 			t.Errorf("experiment missing %s (have %v)", want, names)
 		}
