@@ -18,6 +18,7 @@ package dsprof_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -29,10 +30,14 @@ import (
 	"time"
 
 	"dsprof/internal/analyzer"
+	"dsprof/internal/asm"
 	"dsprof/internal/cc"
+	"dsprof/internal/collect"
 	"dsprof/internal/core"
 	"dsprof/internal/experiment"
 	"dsprof/internal/hwc"
+	"dsprof/internal/isa"
+	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
 	"dsprof/internal/profd"
 )
@@ -601,4 +606,242 @@ func BenchmarkAblationNoPadding(b *testing.B) {
 	s := benchStudy(b)
 	b.ReportMetric(100*eff, "%effectiveness(noHwcprof)")
 	b.ReportMetric(100*s.Analyzer.Effectiveness(hwc.EvECStall), "%effectiveness(withHwcprof)")
+}
+
+// --- interpreter fast path (DESIGN.md §7) ---
+
+// simcoreMu guards BENCH_simcore.json, which the fast-path benchmarks
+// below merge their numbers into (the CI bench-smoke job uploads it).
+var simcoreMu sync.Mutex
+
+func recordSimcore(b *testing.B, section string, vals map[string]float64) {
+	b.Helper()
+	simcoreMu.Lock()
+	defer simcoreMu.Unlock()
+	const path = "BENCH_simcore.json"
+	doc := map[string]map[string]float64{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			doc = map[string]map[string]float64{}
+		}
+	}
+	doc[section] = vals
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// simcoreProg compiles the MCF workload the fast-path benchmarks run.
+func simcoreProg(b *testing.B) (*asm.Program, []int64, machine.Config) {
+	b.Helper()
+	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := mcf.Generate(mcf.DefaultGenParams(benchTrips()/2, 20030717)).Encode()
+	return prog, input, core.StudyMachine()
+}
+
+func newSimcoreMachine(b *testing.B, prog *asm.Program, input []int64, cfg machine.Config) *machine.Machine {
+	b.Helper()
+	if prog.HeapPageSize != 0 {
+		cfg.HeapPageSize = prog.HeapPageSize
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+		b.Fatal(err)
+	}
+	m.SetInput(input)
+	return m
+}
+
+// BenchmarkMachineRun measures unarmed interpreter throughput: a full
+// unprofiled MCF run on the batched fast path (Run) against the
+// instruction-granular reference stepper, plus the steady-state
+// allocation count of the fast inner loop.
+func BenchmarkMachineRun(b *testing.B) {
+	prog, input, cfg := simcoreProg(b)
+
+	var fastSec, stepSec float64
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m := newSimcoreMachine(b, prog, input, cfg)
+		t0 := time.Now()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		fastSec = time.Since(t0).Seconds()
+		instrs = m.Stats().Instrs
+
+		m = newSimcoreMachine(b, prog, input, cfg)
+		t0 = time.Now()
+		for !m.Halted() {
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stepSec = time.Since(t0).Seconds()
+		if m.Stats().Instrs != instrs {
+			b.Fatalf("step loop retired %d instrs, fast path %d", m.Stats().Instrs, instrs)
+		}
+	}
+
+	// Steady-state allocations of the fast path: run a fresh machine past
+	// warm-up, then count allocations across large RunFor batches.
+	warm := newSimcoreMachine(b, prog, input, cfg)
+	if err := warm.RunFor(1 << 20); err != nil {
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(8, func() {
+		if !warm.Halted() {
+			if err := warm.RunFor(1 << 18); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	instrsPerSec := float64(instrs) / fastSec
+	nsPerInstr := fastSec * 1e9 / float64(instrs)
+	speedup := stepSec / fastSec
+	b.ReportMetric(instrsPerSec/1e6, "Minstrs/sec")
+	b.ReportMetric(nsPerInstr, "ns/instr")
+	b.ReportMetric(speedup, "xSpeedupVsStep")
+	b.ReportMetric(allocs, "steadyAllocs/op")
+	recordSimcore(b, "machine_run_unarmed", map[string]float64{
+		"instrs":               float64(instrs),
+		"instrs_per_sec":       instrsPerSec,
+		"ns_per_instr":         nsPerInstr,
+		"step_ns_per_instr":    stepSec * 1e9 / float64(instrs),
+		"speedup_vs_step":      speedup,
+		"steady_allocs_per_op": allocs,
+	})
+}
+
+// BenchmarkMachineRunALU measures unarmed throughput on an ALU-weighted
+// workload — the instruction blend of hot compute loops, with the memory
+// hierarchy in its cheap hit paths — isolating interpreter dispatch from
+// the cache-simulation floor that dominates the memory-bound MCF runs.
+func BenchmarkMachineRunALU(b *testing.B) {
+	const iters = 1_000_000
+	bb := asm.NewBuilder(machine.TextBase)
+	bb.Emit(isa.Instr{Op: isa.SetHi, Rd: isa.L0, UseImm: true, Imm: iters >> isa.SetHiShift})
+	bb.Emit(isa.Instr{Op: isa.Or, Rd: isa.L0, Rs1: isa.L0, UseImm: true, Imm: iters & (1<<isa.SetHiShift - 1)})
+	bb.Emit(isa.Instr{Op: isa.Or, Rd: isa.L1, Rs1: isa.G0, UseImm: true, Imm: 0})
+	bb.Label("loop")
+	bb.Emit(isa.Instr{Op: isa.Add, Rd: isa.L1, Rs1: isa.L1, Rs2: isa.L0})
+	bb.Emit(isa.Instr{Op: isa.Xor, Rd: isa.L2, Rs1: isa.L1, UseImm: true, Imm: 0x15})
+	bb.Emit(isa.Instr{Op: isa.StX, Rd: isa.L2, Rs1: isa.SP, UseImm: true, Imm: -16})
+	bb.Emit(isa.Instr{Op: isa.LdX, Rd: isa.L3, Rs1: isa.SP, UseImm: true, Imm: -16})
+	bb.Emit(isa.Instr{Op: isa.Sll, Rd: isa.L4, Rs1: isa.L3, UseImm: true, Imm: 3})
+	bb.EmitCall("fn")
+	bb.Emit(isa.Instr{Op: isa.Nop})
+	bb.Emit(isa.Instr{Op: isa.Sub, Rd: isa.L0, Rs1: isa.L0, UseImm: true, Imm: 1})
+	bb.Emit(isa.Instr{Op: isa.Cmp, Rs1: isa.L0, UseImm: true, Imm: 0})
+	bb.EmitBranch(isa.Bg, "loop")
+	bb.Emit(isa.Instr{Op: isa.Nop})
+	bb.Emit(isa.Instr{Op: isa.Halt})
+	bb.Label("fn")
+	bb.Emit(isa.Instr{Op: isa.Add, Rd: isa.O0, Rs1: isa.L4, Rs2: isa.L1})
+	bb.Emit(isa.Instr{Op: isa.Jmpl, Rd: isa.G0, Rs1: isa.O7, UseImm: true, Imm: 8})
+	bb.Emit(isa.Instr{Op: isa.Nop})
+	text, err := bb.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	newALU := func() *machine.Machine {
+		m, err := machine.New(machine.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadProgram(text, nil, machine.TextBase); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	var fastSec, stepSec float64
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m := newALU()
+		t0 := time.Now()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		fastSec = time.Since(t0).Seconds()
+		instrs = m.Stats().Instrs
+
+		m = newALU()
+		t0 = time.Now()
+		for !m.Halted() {
+			if err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stepSec = time.Since(t0).Seconds()
+		if m.Stats().Instrs != instrs {
+			b.Fatalf("step loop retired %d instrs, fast path %d", m.Stats().Instrs, instrs)
+		}
+	}
+	b.ReportMetric(float64(instrs)/fastSec/1e6, "Minstrs/sec")
+	b.ReportMetric(fastSec*1e9/float64(instrs), "ns/instr")
+	b.ReportMetric(stepSec/fastSec, "xSpeedupVsStep")
+	recordSimcore(b, "machine_run_alu", map[string]float64{
+		"instrs":            float64(instrs),
+		"instrs_per_sec":    float64(instrs) / fastSec,
+		"ns_per_instr":      fastSec * 1e9 / float64(instrs),
+		"step_ns_per_instr": stepSec * 1e9 / float64(instrs),
+		"speedup_vs_step":   stepSec / fastSec,
+	})
+}
+
+// BenchmarkCollectWallClock measures the wall-clock of a full armed MCF
+// collect (clock profiling plus the paper's E$ stall/read-miss counter
+// set with backtracking) on the fast path against the same collect
+// driven by the reference stepper. The two runs' experiments are
+// byte-equal (TestFastPathGolden); here only the time differs.
+func BenchmarkCollectWallClock(b *testing.B) {
+	prog, input, cfg := simcoreProg(b)
+	specs, err := collect.ParseCounterSpec("+ecstall,100003,+ecrm,2003")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(singleStep bool) (float64, uint64) {
+		opts := collect.Options{
+			ClockProfile: true,
+			Counters:     specs,
+			Machine:      &cfg,
+			Input:        input,
+			SingleStep:   singleStep,
+		}
+		t0 := time.Now()
+		res, err := collect.Run(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0).Seconds(), res.Exp.Meta.Stats.Instrs
+	}
+	var fastSec, stepSec float64
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		fastSec, instrs = runOnce(false)
+		stepSec, _ = runOnce(true)
+	}
+	speedup := stepSec / fastSec
+	b.ReportMetric(fastSec, "fastSec")
+	b.ReportMetric(stepSec, "singleStepSec")
+	b.ReportMetric(speedup, "xSpeedupVsStep")
+	b.ReportMetric(float64(instrs)/fastSec/1e6, "Minstrs/sec")
+	recordSimcore(b, "collect_wallclock_armed", map[string]float64{
+		"instrs":          float64(instrs),
+		"fast_sec":        fastSec,
+		"single_step_sec": stepSec,
+		"speedup_vs_step": speedup,
+		"instrs_per_sec":  float64(instrs) / fastSec,
+	})
 }

@@ -55,7 +55,17 @@ func (a *Analyzer) WriteFeedbackFile(w io.Writer, minShare float64) {
 			rows = append(rows, row{key, share})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].share > rows[j].share })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].share != rows[j].share {
+			return rows[i].share > rows[j].share
+		}
+		// Deterministic tie-break: rows come from a map, so without it
+		// equal-share lines would print in random order run to run.
+		if rows[i].key.file != rows[j].key.file {
+			return rows[i].key.file < rows[j].key.file
+		}
+		return rows[i].key.line < rows[j].key.line
+	})
 	fmt.Fprintf(w, "# prefetch feedback: source lines by E$ read-miss share (threshold %.1f%%)\n", 100*minShare)
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s:%d  %.1f%%\n", r.key.file, r.key.line, 100*r.share)

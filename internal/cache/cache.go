@@ -36,17 +36,27 @@ func (c *Config) Validate() error {
 // Sets returns the number of sets.
 func (c *Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
 
+// Tag-word flag bits. The valid and dirty state of each way is packed
+// into the top bits of its tag word instead of parallel []bool arrays, so
+// a probe touches one array instead of three and the probe working set
+// shrinks. Line numbers (full address >> lineShift) must fit the low 62
+// bits, i.e. addresses below 2^67 with the smallest legal line size.
+const (
+	tagValid   = uint64(1) << 63
+	tagDirty   = uint64(1) << 62
+	tagPayload = tagDirty - 1 // low 62 bits: the line number
+)
+
 // Cache is one set-associative cache level with true-LRU replacement.
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint64
 	assoc     int
-	tags      []uint64 // sets*assoc line tags (full line address >> lineShift)
-	valid     []bool
-	dirty     []bool
+	tags      []uint64 // sets*assoc packed tag words: valid|dirty|line
 	use       []uint64 // LRU stamps
 	tick      uint64
+	lastIdx   int // way of the most recent hit or install (MRU memo)
 
 	// Statistics (cumulative).
 	Reads       uint64
@@ -72,8 +82,6 @@ func New(cfg Config) (*Cache, error) {
 		setMask:   uint64(sets - 1),
 		assoc:     cfg.Assoc,
 		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
-		dirty:     make([]bool, n),
 		use:       make([]uint64, n),
 	}, nil
 }
@@ -87,34 +95,58 @@ func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 // lineOf returns the line number (full address >> lineShift).
 func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
 
+// HitMRU performs the access against the most-recently-used entry only:
+// it reports false — with no state change — unless addr hits the same way
+// the previous access touched. On a hit it applies exactly the updates a
+// full Access would (tick, read/write statistics, LRU stamp, dirty bit),
+// so callers can use it as an inlinable fast path in front of Access.
+func (c *Cache) HitMRU(addr uint64, write bool) bool {
+	line := addr >> c.lineShift
+	w := c.tags[c.lastIdx]
+	if w&(tagValid|tagPayload) != tagValid|line {
+		return false
+	}
+	c.tick++
+	if write {
+		c.Writes++
+		c.tags[c.lastIdx] = w | tagDirty
+	} else {
+		c.Reads++
+	}
+	c.use[c.lastIdx] = c.tick
+	return true
+}
+
 // Access performs a read or write access to addr. allocate controls
 // whether a miss installs the line (write-through no-write-allocate D$
 // stores pass allocate=false). It reports whether the access hit, and
 // whether installing the line evicted a dirty victim (write-back traffic).
 func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) {
+	// MRU memo: a line's payload encodes its set, so matching the way the
+	// last access touched proves this access hits the same entry a full
+	// scan would find, with identical stamp and statistics updates.
+	if c.HitMRU(addr, write) {
+		return true, false
+	}
 	line := c.lineOf(addr)
-	set := int(line & c.setMask)
-	base := set * c.assoc
+	base := int(line&c.setMask) * c.assoc
+	ways := c.tags[base : base+c.assoc] // one bounds check for the scan
 	c.tick++
 	if write {
 		c.Writes++
 	} else {
 		c.Reads++
 	}
-	victim := base
-	for i := base; i < base+c.assoc; i++ {
-		if c.valid[i] && c.tags[i] == line {
-			c.use[i] = c.tick
+	// Hit scan first, with none of the victim bookkeeping: hits are the
+	// overwhelmingly common case on the simulator's critical path.
+	for i, w := range ways {
+		if w&(tagValid|tagPayload) == tagValid|line {
+			c.lastIdx = base + i
+			c.use[base+i] = c.tick
 			if write {
-				c.dirty[i] = true
+				ways[i] = w | tagDirty
 			}
 			return true, false
-		}
-		if !c.valid[victim] {
-			continue // keep first invalid way as victim
-		}
-		if !c.valid[i] || c.use[i] < c.use[victim] {
-			victim = i
 		}
 	}
 	if write {
@@ -125,11 +157,25 @@ func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) 
 	if !allocate {
 		return false, false
 	}
-	writeback = c.valid[victim] && c.dirty[victim]
-	c.tags[victim] = line
-	c.valid[victim] = true
-	c.dirty[victim] = write
-	c.use[victim] = c.tick
+	// Miss: pick the victim — first invalid way, else true-LRU.
+	victim := 0
+	for i, w := range ways {
+		if ways[victim]&tagValid == 0 {
+			break
+		}
+		if w&tagValid == 0 || c.use[base+i] < c.use[base+victim] {
+			victim = i
+		}
+	}
+	old := ways[victim]
+	writeback = old&(tagValid|tagDirty) == tagValid|tagDirty
+	w := line | tagValid
+	if write {
+		w |= tagDirty
+	}
+	ways[victim] = w
+	c.use[base+victim] = c.tick
+	c.lastIdx = base + victim
 	return false, writeback
 }
 
@@ -139,7 +185,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	set := int(line & c.setMask)
 	base := set * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.valid[i] && c.tags[i] == line {
+		if w := c.tags[i]; w&tagValid != 0 && w&tagPayload == line {
 			return true
 		}
 	}
@@ -148,11 +194,11 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Flush invalidates every line and clears statistics.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
 		c.use[i] = 0
 	}
 	c.tick = 0
+	c.lastIdx = 0
 	c.Reads, c.Writes, c.ReadMisses, c.WriteMisses = 0, 0, 0, 0
 }

@@ -51,6 +51,11 @@ type Options struct {
 	// flushed on every exit path). Point it at the experiment output
 	// directory and Save will leave the files in place.
 	SpoolDir string
+	// SingleStep drives the machine with the instruction-granular
+	// reference stepper instead of the batched fast path. The produced
+	// experiment is identical either way (the differential golden test
+	// asserts this); the option exists for that test and for debugging.
+	SingleStep bool
 }
 
 // Truth is the per-event ground truth the simulator knows but a real
@@ -123,6 +128,18 @@ func ParseCounterSpec(spec string) ([]experiment.CounterSpec, error) {
 	return out, nil
 }
 
+// copyStack snapshots a machine-owned scratch callstack for retention in
+// the experiment. A nil stack stays nil (empty and absent callstacks
+// encode identically).
+func copyStack(cs []uint64) []uint64 {
+	if cs == nil {
+		return nil
+	}
+	out := make([]uint64, len(cs))
+	copy(out, cs)
+	return out
+}
+
 // Run executes prog under profiling and returns the experiment.
 func Run(prog *asm.Program, opts Options) (*Result, error) {
 	return RunContext(context.Background(), prog, opts)
@@ -135,8 +152,24 @@ func Run(prog *asm.Program, opts Options) (*Result, error) {
 const cancelCheckStride = 1 << 15
 
 // runMachine drives m to completion, honouring ctx cancellation. With a
-// non-cancellable context it defers to the machine's own run loop.
-func runMachine(ctx context.Context, m *machine.Machine) error {
+// non-cancellable context it defers to the machine's own run loop;
+// otherwise it runs fast-path batches of cancelCheckStride instructions
+// between cancellation checks, so a cancellable run keeps fast-path
+// throughput.
+func runMachine(ctx context.Context, m *machine.Machine, singleStep bool) error {
+	if singleStep {
+		for !m.Halted() {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("collect: run aborted: %w", err)
+			}
+			for i := 0; i < cancelCheckStride && !m.Halted(); i++ {
+				if err := m.Step(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	if ctx.Done() == nil {
 		return m.Run()
 	}
@@ -144,10 +177,8 @@ func runMachine(ctx context.Context, m *machine.Machine) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("collect: run aborted: %w", err)
 		}
-		for i := 0; i < cancelCheckStride && !m.Halted(); i++ {
-			if err := m.Step(); err != nil {
-				return err
-			}
+		if err := m.RunFor(cancelCheckStride); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -195,8 +226,9 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 		exp.Meta.ClockProfiling = true
 		exp.Meta.ClockTickCycles = tick
 		m.OnClockTick = func(ct *machine.ClockTick) {
+			// ct.Callstack is scratch, valid only during the callback.
 			exp.Clock = append(exp.Clock, experiment.ClockEvent{
-				PC: ct.PC, Callstack: ct.Callstack, Cycles: ct.Cycles,
+				PC: ct.PC, Callstack: copyStack(ct.Callstack), Cycles: ct.Cycles,
 			})
 		}
 		cmd.WriteString(" -p on")
@@ -251,7 +283,7 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 		rec := experiment.HWCEvent{
 			PIC:         e.PIC,
 			DeliveredPC: e.DeliveredPC,
-			Callstack:   e.Callstack,
+			Callstack:   copyStack(e.Callstack),
 			Cycles:      e.Cycles,
 		}
 		if backtrack[e.PIC] {
@@ -284,7 +316,7 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	exp.Meta.ECacheLine = cfg.ECache.LineBytes
 	exp.Meta.Label = opts.Label
 
-	runErr := runMachine(ctx, m)
+	runErr := runMachine(ctx, m, opts.SingleStep)
 	exp.Meta.Stats = m.Stats()
 	exp.Allocs = m.Allocs()
 	exp.Meta.Output = m.OutputLongs()

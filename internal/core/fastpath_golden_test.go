@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+	"dsprof/internal/collect"
+	"dsprof/internal/experiment"
+	"dsprof/internal/mcf"
+)
+
+// TestFastPathGolden is the differential golden test for the interpreter
+// fast path: a full MCF collect — both of the paper's counter sets, clock
+// profiling on — run once on the batched fast path and once on the
+// instruction-granular reference stepper must produce byte-identical
+// experiment directories and byte-identical rendered reports. Any drift
+// in event streams, skid draws, cycle counts, or attribution shows up as
+// a file diff here.
+func TestFastPathGolden(t *testing.T) {
+	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := mcf.Generate(mcf.DefaultGenParams(300, 20030717)).Encode()
+	cfg := StudyMachine()
+	cfg.TLB.Entries = 8 // scaled-down TLB so DTLB events appear at this scale
+
+	counterSets := []struct {
+		name  string
+		clock bool
+		spec  string
+	}{
+		{"A", true, "+ecstall,20011,+ecrm,997"},
+		{"B", false, "+ecref,2003,+dtlbm,499"},
+	}
+
+	collectPair := func(singleStep bool) ([]*experiment.Experiment, []string) {
+		var exps []*experiment.Experiment
+		var dirs []string
+		for _, cs := range counterSets {
+			specs, err := collect.ParseCounterSpec(cs.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := collect.Run(prog, collect.Options{
+				ClockProfile:        cs.clock,
+				ClockIntervalCycles: 900007,
+				Counters:            specs,
+				Machine:             &cfg,
+				Input:               input,
+				SingleStep:          singleStep,
+			})
+			if err != nil {
+				t.Fatalf("collect %s (singleStep=%v): %v", cs.name, singleStep, err)
+			}
+			// Pin the only intentionally non-deterministic field so the
+			// directories can be compared byte for byte.
+			res.Exp.Meta.When = time.Unix(1058400000, 0).UTC()
+			dir := filepath.Join(t.TempDir(), fmt.Sprintf("exp%s", cs.name))
+			if err := res.Exp.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			exps = append(exps, res.Exp)
+			dirs = append(dirs, dir)
+		}
+		return exps, dirs
+	}
+
+	refExps, refDirs := collectPair(true)
+	fastExps, fastDirs := collectPair(false)
+
+	// 1. The saved experiment directories must be byte-identical.
+	for i := range refDirs {
+		compareDirs(t, counterSets[i].name, refDirs[i], fastDirs[i])
+	}
+
+	// 2. Every registered report rendered from the merged pair must be
+	// byte-identical.
+	refA, err := Analyze(refExps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastA, err := Analyze(fastExps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := []string{
+		"total", "functions", "pcs", "lines", "objects", "addrspace",
+		"effect", "feedback",
+		"source=refresh_potential", "disasm=refresh_potential",
+		"members=node", "callers=refresh_potential",
+	}
+	for _, name := range analyzer.ReportNames() {
+		switch name {
+		case "total", "functions", "source", "disasm", "pcs", "lines",
+			"objects", "members", "callers", "addrspace", "feedback", "effect":
+			// covered (with arguments) above
+		default:
+			reports = append(reports, name) // registered extensions (advice)
+		}
+	}
+	for _, rep := range reports {
+		var refBuf, fastBuf bytes.Buffer
+		if err := refA.Render(&refBuf, rep, analyzer.RenderOpts{}); err != nil {
+			t.Fatalf("render %q (reference): %v", rep, err)
+		}
+		if err := fastA.Render(&fastBuf, rep, analyzer.RenderOpts{}); err != nil {
+			t.Fatalf("render %q (fast): %v", rep, err)
+		}
+		if !bytes.Equal(refBuf.Bytes(), fastBuf.Bytes()) {
+			t.Errorf("report %q differs between reference and fast path", rep)
+		}
+	}
+
+	// Sanity: the run must actually have produced events on both counters
+	// of both sets, or the test proves nothing.
+	for i, exp := range refExps {
+		for pic := 0; pic < 2; pic++ {
+			if exp.EventCount(pic) == 0 {
+				t.Errorf("experiment %s PIC%d produced no events", counterSets[i].name, pic)
+			}
+		}
+	}
+	if !refExps[0].Meta.ClockProfiling || len(refExps[0].Clock) == 0 {
+		t.Error("experiment A produced no clock ticks")
+	}
+}
+
+// compareDirs byte-compares every file in two directory trees.
+func compareDirs(t *testing.T, label, refDir, fastDir string) {
+	t.Helper()
+	refFiles := listFiles(t, refDir)
+	fastFiles := listFiles(t, fastDir)
+	if len(refFiles) == 0 {
+		t.Fatalf("%s: reference experiment directory is empty", label)
+	}
+	if fmt.Sprint(refFiles) != fmt.Sprint(fastFiles) {
+		t.Fatalf("%s: file sets differ: %v vs %v", label, refFiles, fastFiles)
+	}
+	for _, rel := range refFiles {
+		if rel == "program.obj" {
+			// The saved program is the collect *input*, identical by
+			// construction, but gob encodes its debug-table maps in
+			// random iteration order, so its bytes differ between any two
+			// saves. Compare it semantically instead.
+			refP, err := asm.LoadFile(filepath.Join(refDir, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastP, err := asm.LoadFile(filepath.Join(fastDir, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refP, fastP) {
+				t.Errorf("%s: %s decodes to different programs", label, rel)
+			}
+			continue
+		}
+		refB, err := os.ReadFile(filepath.Join(refDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastB, err := os.ReadFile(filepath.Join(fastDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refB, fastB) {
+			t.Errorf("%s: %s differs between reference and fast path (%d vs %d bytes)",
+				label, rel, len(refB), len(fastB))
+		}
+	}
+}
+
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			rel, _ := filepath.Rel(dir, path)
+			files = append(files, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}

@@ -152,6 +152,13 @@ func (c *Counter) Add(n uint64) int {
 	return over
 }
 
+// Remaining returns how many further events the counter accepts before
+// its next overflow fires. The Add invariant (Total < next between
+// calls) keeps it >= 1, so interpreters can batch Remaining()-1 events
+// with no overflow and still attribute the overflow to the exact
+// triggering event on the next single-event Add.
+func (c *Counter) Remaining() uint64 { return c.next - c.Total }
+
 // Skid models counter-overflow interrupt skid: how many further
 // instructions retire before the trap is delivered. Per-event ranges; the
 // paper observes that E$ references "have significantly greater skid than

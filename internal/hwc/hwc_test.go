@@ -132,3 +132,36 @@ func TestSkidDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterRemaining(t *testing.T) {
+	c := NewCounter(EvInstrs, 100)
+	if r := c.Remaining(); r != 100 {
+		t.Errorf("fresh Remaining = %d, want 100", r)
+	}
+	c.Add(99)
+	if r := c.Remaining(); r != 1 {
+		t.Errorf("Remaining = %d, want 1", r)
+	}
+	if over := c.Add(1); over != 1 {
+		t.Errorf("overflow count = %d, want 1", over)
+	}
+	if r := c.Remaining(); r != 100 {
+		t.Errorf("post-overflow Remaining = %d, want 100", r)
+	}
+	// The invariant interpreters batch against: Remaining()-1 events never
+	// overflow, however the counts arrive.
+	for i := 0; i < 1000; i++ {
+		r := c.Remaining()
+		if r < 1 {
+			t.Fatalf("Remaining = %d < 1", r)
+		}
+		if r > 1 {
+			if over := c.Add(r - 1); over != 0 {
+				t.Fatalf("batched Add(%d) overflowed %d times", r-1, over)
+			}
+		}
+		if over := c.Add(1); over != 1 {
+			t.Fatalf("single Add at boundary fired %d overflows, want 1", over)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package isa
+
+import "testing"
+
+func TestPredecodeClasses(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		in := Instr{Op: op}
+		d := Predecode(&in, 0x1000)
+		if op.IsLoad() != d.Class.IsLoad() {
+			t.Errorf("%v: IsLoad mismatch (class %d)", op, d.Class)
+		}
+		if op.IsStore() != d.Class.IsStore() {
+			t.Errorf("%v: IsStore mismatch (class %d)", op, d.Class)
+		}
+		if op.IsMem() != d.Class.IsMem() {
+			t.Errorf("%v: IsMem mismatch (class %d)", op, d.Class)
+		}
+		if op.IsMem() && int(d.MemSize) != op.MemBytes() {
+			t.Errorf("%v: MemSize = %d, want %d", op, d.MemSize, op.MemBytes())
+		}
+	}
+}
+
+func TestPredecodeBranchTarget(t *testing.T) {
+	const pc = 0x1000_0040
+	in := Instr{Op: Be, Imm: -4}
+	d := Predecode(&in, pc)
+	want, _ := in.BranchTarget(pc)
+	if uint64(d.Imm) != want {
+		t.Errorf("branch Imm = %#x, want %#x", d.Imm, want)
+	}
+	call := Instr{Op: Call, Imm: 10}
+	d = Predecode(&call, pc)
+	want, _ = call.BranchTarget(pc)
+	if d.Class != ClCall || uint64(d.Imm) != want {
+		t.Errorf("call: class %d Imm %#x, want ClCall %#x", d.Class, d.Imm, want)
+	}
+}
+
+func TestPredecodeSetHiFolding(t *testing.T) {
+	in := Instr{Op: SetHi, Rd: O0, UseImm: true, Imm: 0x1234}
+	d := Predecode(&in, 0x1000)
+	if d.Class != ClMovImm {
+		t.Fatalf("sethi imm class = %d, want ClMovImm", d.Class)
+	}
+	if d.Imm != int64(0x1234)<<SetHiShift {
+		t.Errorf("folded Imm = %#x, want %#x", d.Imm, int64(0x1234)<<SetHiShift)
+	}
+	// Register-operand sethi keeps the unfolded class.
+	reg := Instr{Op: SetHi, Rd: O0, Rs2: O1}
+	if d := Predecode(&reg, 0x1000); d.Class != ClSetHi {
+		t.Errorf("sethi reg class = %d, want ClSetHi", d.Class)
+	}
+}
+
+func TestPredecodeRetIdiom(t *testing.T) {
+	ret := Instr{Op: Jmpl, Rd: G0, Rs1: O7, UseImm: true, Imm: 8}
+	if d := Predecode(&ret, 0x1000); d.Flags&DFlagRet == 0 {
+		t.Error("jmpl o7+8, g0 not flagged as return")
+	}
+	jump := Instr{Op: Jmpl, Rd: O1, Rs1: O7, UseImm: true, Imm: 8}
+	if d := Predecode(&jump, 0x1000); d.Flags&DFlagRet != 0 {
+		t.Error("jmpl with a live link register wrongly flagged as return")
+	}
+}
+
+func TestPredecodeImmSelection(t *testing.T) {
+	imm := Instr{Op: Add, Rd: O0, Rs1: O1, UseImm: true, Imm: -7}
+	d := Predecode(&imm, 0x1000)
+	if d.Flags&DFlagImm == 0 || d.Imm != -7 {
+		t.Errorf("imm form: flags %#x Imm %d", d.Flags, d.Imm)
+	}
+	reg := Instr{Op: Add, Rd: O0, Rs1: O1, Rs2: O2}
+	d = Predecode(&reg, 0x1000)
+	if d.Flags&DFlagImm != 0 {
+		t.Errorf("reg form wrongly flagged UseImm")
+	}
+}
+
+func TestPredecodeAllAddressing(t *testing.T) {
+	text := []Instr{
+		{Op: Nop},
+		{Op: Ba, Imm: -1}, // branch to the instruction before itself
+		{Op: Halt},
+	}
+	const base = 0x1000_0000
+	dec := PredecodeAll(text, base)
+	if len(dec) != len(text) {
+		t.Fatalf("len = %d, want %d", len(dec), len(text))
+	}
+	// The branch sits at base+4 and targets base+0.
+	if uint64(dec[1].Imm) != base {
+		t.Errorf("branch target = %#x, want %#x", dec[1].Imm, uint64(base))
+	}
+}

@@ -1,12 +1,14 @@
 package machine
 
 import (
+	"dsprof/internal/cache"
 	"dsprof/internal/hwc"
 	"dsprof/internal/isa"
 	"dsprof/internal/tlb"
 )
 
 // Base pipeline cost of each opcode, in cycles, before memory stalls.
+// Fused into the predecoded text at load time.
 var baseCost = func() [isa.NumOps]uint8 {
 	var c [isa.NumOps]uint8
 	for op := isa.Op(0); op < isa.NumOps; op++ {
@@ -24,17 +26,280 @@ var baseCost = func() [isa.NumOps]uint8 {
 	return c
 }()
 
+// maxBaseCost is the largest per-opcode base cost, for the event-horizon
+// bound on cycle-counting overflow.
+var maxBaseCost = func() uint64 {
+	var m uint8
+	for _, c := range baseCost {
+		if c > m {
+			m = c
+		}
+	}
+	return uint64(m)
+}()
+
+// batchTarget caps one fast inner-loop batch. It only bounds how much
+// work runs between horizon recomputations; correctness never depends on
+// it.
+const batchTarget = 1 << 20
+
 // Run executes instructions until the program halts or a trap occurs.
+//
+// Run takes the fast path: between observable events (pending overflow
+// delivery, clock ticks, armed-counter overflows, the instruction
+// budget) it executes a tight inner loop with no per-instruction checks,
+// accumulating instruction and cycle counts locally and flushing them at
+// the event horizon. The produced execution — every counter overflow,
+// its skid draw, every delivered event and clock tick — is identical to
+// driving the machine with Step.
 func (m *Machine) Run() error {
 	for !m.halted {
-		if err := m.Step(); err != nil {
+		if _, err := m.runBatch(batchTarget); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Step executes one instruction.
+// RunFor executes at most budget instructions on the fast path, stopping
+// early on halt or trap. Drivers that interleave work with execution
+// (context cancellation checks, schedulers) call it in a loop instead of
+// stepping instruction by instruction.
+func (m *Machine) RunFor(budget uint64) error {
+	for budget > 0 && !m.halted {
+		n, err := m.runBatch(budget)
+		if err != nil {
+			return err
+		}
+		budget -= n
+	}
+	return nil
+}
+
+// runBatch executes up to limit instructions: one horizon computation
+// followed by a fast inner loop, or a single reference Step when an
+// observable event is due. It returns how many instructions were
+// retired (counting a trapping instruction).
+func (m *Machine) runBatch(limit uint64) (uint64, error) {
+	// Anything due now is delivered by the reference stepper so skid
+	// aging, tick delivery and budget traps happen exactly as when the
+	// machine is stepped instruction by instruction.
+	if len(m.pending) > 0 || (m.ClockTickCycles > 0 && m.stats.Cycles >= m.nextTick) {
+		return 1, m.Step()
+	}
+	maxN := limit
+	if m.Cfg.MaxInstrs > 0 {
+		if m.stats.Instrs >= m.Cfg.MaxInstrs {
+			return 1, m.Step() // next step raises the budget trap
+		}
+		if rem := m.Cfg.MaxInstrs - m.stats.Instrs; rem < maxN {
+			maxN = rem
+		}
+	}
+	// Horizon of an armed instruction counter: Remaining()-1 instructions
+	// are overflow-free, so the overflowing instruction is counted by a
+	// single-instruction Step and the trigger attribution is exact.
+	if mask := m.armed[hwc.EvInstrs]; mask != 0 {
+		r := m.counters[picOf(mask)].Remaining()
+		if r <= 1 {
+			return 1, m.Step()
+		}
+		if r-1 < maxN {
+			maxN = r - 1
+		}
+	}
+	// Cycle horizon: the inner loop stops before the machine cycle count
+	// reaches stop. Ticks may overshoot by one instruction's cost (the
+	// reference stepper fires them at the top of the next step); an armed
+	// cycle counter may not, so its bound backs off by the worst-case
+	// non-syscall instruction cost and syscalls break the loop.
+	stop := ^uint64(0)
+	if m.ClockTickCycles > 0 {
+		stop = m.nextTick
+	}
+	breakOnSyscall := false
+	if mask := m.armed[hwc.EvCycles]; mask != 0 {
+		r := m.counters[picOf(mask)].Remaining()
+		if r <= m.maxInstrCost {
+			return 1, m.Step()
+		}
+		if s := m.stats.Cycles + r - m.maxInstrCost; s < stop {
+			stop = s
+		}
+		breakOnSyscall = true
+	}
+	n, err := m.runInner(maxN, stop, breakOnSyscall)
+	if n == 0 && err == nil && !m.halted {
+		// The loop gave way immediately (syscall under a cycle-counter
+		// horizon): retire one instruction on the reference path.
+		return 1, m.Step()
+	}
+	return n, err
+}
+
+// picOf maps a one-bit armed mask to its PIC number.
+func picOf(mask uint8) int {
+	if mask&1 != 0 {
+		return 0
+	}
+	return 1
+}
+
+// runInner is the fast inner loop: no pending, tick, or budget checks
+// per instruction, just bounds established by the caller's horizon.
+// Instruction and cycle event counts accumulate locally and flush in one
+// Add at the boundary (the horizon guarantees the flush cannot overflow,
+// so no skid draw is reordered). Memory, I$, and TLB events still count
+// at their exact instruction through the armed-mask path, so their
+// overflows — which break the loop via the pending check — land with
+// exact trigger attribution and in reference order.
+// The dispatch below duplicates exec1's per-class semantics with the hot
+// architectural state — PC, NPC, cycle count, current fetch line — held in
+// locals, saving a call and a machine-state round trip per instruction.
+// Any change to exec1 must be mirrored here; TestFastPathEquivalence and
+// TestFastPathGolden hold the two interpreters to byte-identical runs.
+// The only inner-loop callee that observes state the locals shadow is
+// doSyscall (trap PCs, the cycle-count service), so the syscall case
+// flushes before the call.
+func (m *Machine) runInner(maxN, stop uint64, breakOnSyscall bool) (uint64, error) {
+	var (
+		n      uint64
+		lastPC uint64
+		retErr error
+	)
+	pc, npc := m.PC, m.NPC
+	cycles := m.stats.Cycles
+	startCycles := cycles
+	fetchLine := m.lastFetchLine
+loop:
+	for n < maxN && cycles < stop && len(m.pending) == 0 && !m.halted {
+		off := pc - TextBase
+		if off >= m.textSize || pc%isa.InstrBytes != 0 {
+			retErr = &Trap{Kind: TrapBadPC, PC: pc}
+			break
+		}
+		d := &m.dec[off/isa.InstrBytes]
+		if breakOnSyscall && d.Class == isa.ClSyscall {
+			break
+		}
+		cost := uint64(d.Cost)
+
+		// Instruction fetch: probe the I$ only when leaving the current
+		// fetch line (sequential fetches within a line are free).
+		if line := pc >> m.icLineShift; line != fetchLine {
+			fetchLine = line
+			if hit, _ := m.IC.Access(pc, false, true); !hit {
+				m.stats.ICMisses++
+				cost += uint64(m.Cfg.ICMissStall)
+				m.count(hwc.EvICMiss, 1, pc, 0, false)
+			}
+		}
+		nextNPC := npc + isa.InstrBytes
+
+		switch d.Class {
+		case isa.ClNop:
+			// nothing
+		case isa.ClLdB, isa.ClLdUB, isa.ClLdW, isa.ClLdX,
+			isa.ClStB, isa.ClStW, isa.ClStX, isa.ClPrefetch:
+			addr := uint64(m.Regs[d.Rs1] + m.src2(d))
+			extra, err := m.access(d, pc, addr)
+			if err != nil {
+				m.stats.Instrs++ // the trapping instruction still issued
+				retErr = err
+				break loop
+			}
+			cost += extra
+		case isa.ClAdd:
+			m.wreg(d.Rd, m.Regs[d.Rs1]+m.src2(d))
+		case isa.ClSub:
+			m.wreg(d.Rd, m.Regs[d.Rs1]-m.src2(d))
+		case isa.ClMul:
+			m.wreg(d.Rd, m.Regs[d.Rs1]*m.src2(d))
+		case isa.ClDiv:
+			b := m.src2(d)
+			if b == 0 {
+				m.wreg(d.Rd, 0)
+				m.stats.Instrs++
+				retErr = &Trap{Kind: TrapDivZero, PC: pc}
+				break loop
+			}
+			m.wreg(d.Rd, m.Regs[d.Rs1]/b)
+		case isa.ClRem:
+			b := m.src2(d)
+			if b == 0 {
+				m.wreg(d.Rd, 0)
+				m.stats.Instrs++
+				retErr = &Trap{Kind: TrapDivZero, PC: pc}
+				break loop
+			}
+			m.wreg(d.Rd, m.Regs[d.Rs1]%b)
+		case isa.ClAnd:
+			m.wreg(d.Rd, m.Regs[d.Rs1]&m.src2(d))
+		case isa.ClOr:
+			m.wreg(d.Rd, m.Regs[d.Rs1]|m.src2(d))
+		case isa.ClXor:
+			m.wreg(d.Rd, m.Regs[d.Rs1]^m.src2(d))
+		case isa.ClSll:
+			m.wreg(d.Rd, m.Regs[d.Rs1]<<(uint64(m.src2(d))&63))
+		case isa.ClSrl:
+			m.wreg(d.Rd, int64(uint64(m.Regs[d.Rs1])>>(uint64(m.src2(d))&63)))
+		case isa.ClSra:
+			m.wreg(d.Rd, m.Regs[d.Rs1]>>(uint64(m.src2(d))&63))
+		case isa.ClMovImm:
+			m.wreg(d.Rd, d.Imm) // sethi: immediate pre-shifted at decode
+		case isa.ClSetHi:
+			m.wreg(d.Rd, m.src2(d)<<isa.SetHiShift)
+		case isa.ClCmp:
+			m.setCC(m.Regs[d.Rs1], m.src2(d))
+		case isa.ClBranch:
+			if m.cond(d.Op) {
+				nextNPC = uint64(d.Imm) // absolute target, precomputed
+			}
+		case isa.ClCall:
+			m.Regs[isa.O7] = int64(pc)
+			m.callstack = append(m.callstack, pc)
+			nextNPC = uint64(d.Imm)
+		case isa.ClJmpl:
+			target := uint64(m.Regs[d.Rs1] + m.src2(d))
+			m.wreg(d.Rd, int64(pc))
+			if d.Flags&isa.DFlagRet != 0 && len(m.callstack) > 0 {
+				m.callstack = m.callstack[:len(m.callstack)-1]
+			}
+			nextNPC = target
+		case isa.ClSyscall:
+			m.PC, m.stats.Cycles = pc, cycles
+			res, extra, err := m.doSyscall(m.src2(d))
+			if err != nil {
+				m.stats.Instrs++
+				retErr = err
+				break loop
+			}
+			m.wreg(isa.O0, res)
+			cost += extra
+			m.stats.SyscallCycles += extra
+		case isa.ClHalt:
+			m.halted = true
+		}
+
+		cycles += cost
+		n++
+		lastPC = pc
+		pc, npc = npc, nextNPC
+	}
+	m.PC, m.NPC = pc, npc
+	m.stats.Cycles = cycles
+	m.lastFetchLine = fetchLine
+	m.stats.Instrs += n
+	if n > 0 {
+		m.count(hwc.EvInstrs, n, lastPC, 0, false)
+		m.count(hwc.EvCycles, cycles-startCycles, lastPC, 0, false)
+	}
+	return n, retErr
+}
+
+// Step executes one instruction, with every per-instruction check: it is
+// the reference interpreter the fast path must be indistinguishable
+// from, and the API for callers that need instruction granularity.
 func (m *Machine) Step() error {
 	// Deliver profiling interrupts whose skid has elapsed: the delivered
 	// PC is the next instruction to issue, i.e. the current PC.
@@ -42,31 +307,53 @@ func (m *Machine) Step() error {
 		m.deliverPending()
 	}
 	if m.ClockTickCycles > 0 && m.stats.Cycles >= m.nextTick {
+		// One callback per elapsed tick period: a single long-running
+		// instruction (a stalled syscall, say) that spans N periods
+		// yields N ticks, keeping clock profiles in step with
+		// stats.ClockTicks instead of undercounting.
 		for m.stats.Cycles >= m.nextTick {
 			m.nextTick += m.ClockTickCycles
 			m.stats.ClockTicks++
-		}
-		if m.OnClockTick != nil {
-			m.OnClockTick(&ClockTick{PC: m.PC, Callstack: m.Callstack(), Cycles: m.stats.Cycles})
+			if m.OnClockTick != nil {
+				m.OnClockTick(&ClockTick{PC: m.PC, Callstack: m.callstackScratch(), Cycles: m.stats.Cycles})
+			}
 		}
 	}
 
 	pc := m.PC
-	if pc < TextBase || pc >= m.textEnd || pc%isa.InstrBytes != 0 {
+	off := pc - TextBase
+	if off >= m.textSize || pc%isa.InstrBytes != 0 {
 		return &Trap{Kind: TrapBadPC, PC: pc}
 	}
-	in := &m.text[(pc-TextBase)/isa.InstrBytes]
+	d := &m.dec[off/isa.InstrBytes]
 
 	m.stats.Instrs++
 	if m.Cfg.MaxInstrs > 0 && m.stats.Instrs > m.Cfg.MaxInstrs {
 		return &Trap{Kind: TrapBudget, PC: pc}
 	}
 
-	cost := uint64(baseCost[in.Op])
+	cost, err := m.exec1(d, pc)
+	if err != nil {
+		return err
+	}
+	m.count(hwc.EvInstrs, 1, pc, 0, false)
+	m.count(hwc.EvCycles, cost, pc, 0, false)
+	return nil
+}
+
+// exec1 executes the predecoded instruction d at pc: instruction fetch,
+// dispatch, cycle accounting and the PC/NPC advance. Both the reference
+// stepper and the fast inner loop retire instructions through it, so the
+// two paths cannot diverge on architectural state. On a trap the PC does
+// not advance and no cycles are charged (matching the pre-decode
+// stepper), though fetch side effects already taken (I$ state, the icm
+// event) remain.
+func (m *Machine) exec1(d *isa.Decoded, pc uint64) (uint64, error) {
+	cost := uint64(d.Cost)
 
 	// Instruction fetch: probe the I$ only when leaving the current
 	// fetch line (sequential fetches within a line are free).
-	if line := pc / uint64(m.Cfg.ICache.LineBytes); line != m.lastFetchLine {
+	if line := pc >> m.icLineShift; line != m.lastFetchLine {
 		m.lastFetchLine = line
 		if hit, _ := m.IC.Access(pc, false, true); !hit {
 			m.stats.ICMisses++
@@ -75,106 +362,95 @@ func (m *Machine) Step() error {
 		}
 	}
 	nextNPC := m.NPC + isa.InstrBytes
-	var src2 int64
-	if in.UseImm {
-		src2 = int64(in.Imm)
-	} else {
-		src2 = m.Regs[in.Rs2]
-	}
 
-	switch {
-	case in.Op == isa.Nop:
+	switch d.Class {
+	case isa.ClNop:
 		// nothing
-	case in.Op.IsMem():
-		addr := uint64(m.Regs[in.Rs1] + src2)
-		extra, err := m.access(in, pc, addr)
+	case isa.ClLdB, isa.ClLdUB, isa.ClLdW, isa.ClLdX,
+		isa.ClStB, isa.ClStW, isa.ClStX, isa.ClPrefetch:
+		addr := uint64(m.Regs[d.Rs1] + m.src2(d))
+		extra, err := m.access(d, pc, addr)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		cost += extra
-	case in.Op.IsALU():
-		m.wreg(in.Rd, m.alu(in.Op, m.Regs[in.Rs1], src2, pc))
-		if m.trapped != nil {
-			t := m.trapped
-			m.trapped = nil
-			return t
+	case isa.ClAdd:
+		m.wreg(d.Rd, m.Regs[d.Rs1]+m.src2(d))
+	case isa.ClSub:
+		m.wreg(d.Rd, m.Regs[d.Rs1]-m.src2(d))
+	case isa.ClMul:
+		m.wreg(d.Rd, m.Regs[d.Rs1]*m.src2(d))
+	case isa.ClDiv:
+		b := m.src2(d)
+		if b == 0 {
+			m.wreg(d.Rd, 0)
+			return 0, &Trap{Kind: TrapDivZero, PC: pc}
 		}
-	case in.Op == isa.Cmp:
-		m.setCC(m.Regs[in.Rs1], src2)
-	case in.Op.IsBranch():
-		if m.cond(in.Op) {
-			t, _ := in.BranchTarget(pc)
-			nextNPC = t
+		m.wreg(d.Rd, m.Regs[d.Rs1]/b)
+	case isa.ClRem:
+		b := m.src2(d)
+		if b == 0 {
+			m.wreg(d.Rd, 0)
+			return 0, &Trap{Kind: TrapDivZero, PC: pc}
 		}
-	case in.Op == isa.Call:
+		m.wreg(d.Rd, m.Regs[d.Rs1]%b)
+	case isa.ClAnd:
+		m.wreg(d.Rd, m.Regs[d.Rs1]&m.src2(d))
+	case isa.ClOr:
+		m.wreg(d.Rd, m.Regs[d.Rs1]|m.src2(d))
+	case isa.ClXor:
+		m.wreg(d.Rd, m.Regs[d.Rs1]^m.src2(d))
+	case isa.ClSll:
+		m.wreg(d.Rd, m.Regs[d.Rs1]<<(uint64(m.src2(d))&63))
+	case isa.ClSrl:
+		m.wreg(d.Rd, int64(uint64(m.Regs[d.Rs1])>>(uint64(m.src2(d))&63)))
+	case isa.ClSra:
+		m.wreg(d.Rd, m.Regs[d.Rs1]>>(uint64(m.src2(d))&63))
+	case isa.ClMovImm:
+		m.wreg(d.Rd, d.Imm) // sethi: immediate pre-shifted at decode
+	case isa.ClSetHi:
+		m.wreg(d.Rd, m.src2(d)<<isa.SetHiShift)
+	case isa.ClCmp:
+		m.setCC(m.Regs[d.Rs1], m.src2(d))
+	case isa.ClBranch:
+		if m.cond(d.Op) {
+			nextNPC = uint64(d.Imm) // absolute target, precomputed
+		}
+	case isa.ClCall:
 		m.Regs[isa.O7] = int64(pc)
 		m.callstack = append(m.callstack, pc)
-		t, _ := in.BranchTarget(pc)
-		nextNPC = t
-	case in.Op == isa.Jmpl:
-		target := uint64(m.Regs[in.Rs1] + src2)
-		m.wreg(in.Rd, int64(pc))
-		if in.Rd == isa.G0 && in.Rs1 == isa.O7 && len(m.callstack) > 0 {
+		nextNPC = uint64(d.Imm)
+	case isa.ClJmpl:
+		target := uint64(m.Regs[d.Rs1] + m.src2(d))
+		m.wreg(d.Rd, int64(pc))
+		if d.Flags&isa.DFlagRet != 0 && len(m.callstack) > 0 {
 			m.callstack = m.callstack[:len(m.callstack)-1]
 		}
 		nextNPC = target
-	case in.Op == isa.Syscall:
-		res, extra, err := m.doSyscall(src2)
+	case isa.ClSyscall:
+		res, extra, err := m.doSyscall(m.src2(d))
 		if err != nil {
-			return err
+			return 0, err
 		}
 		m.wreg(isa.O0, res)
 		cost += extra
 		m.stats.SyscallCycles += extra
-	case in.Op == isa.Halt:
+	case isa.ClHalt:
 		m.halted = true
 	}
 
 	m.stats.Cycles += cost
-	m.count(hwc.EvInstrs, 1, pc, 0, false)
-	m.count(hwc.EvCycles, cost, pc, 0, false)
-
 	m.PC = m.NPC
 	m.NPC = nextNPC
-	return nil
+	return cost, nil
 }
 
-func (m *Machine) alu(op isa.Op, a, b int64, pc uint64) int64 {
-	switch op {
-	case isa.Add:
-		return a + b
-	case isa.Sub:
-		return a - b
-	case isa.Mul:
-		return a * b
-	case isa.Div:
-		if b == 0 {
-			m.trapped = &Trap{Kind: TrapDivZero, PC: pc}
-			return 0
-		}
-		return a / b
-	case isa.Rem:
-		if b == 0 {
-			m.trapped = &Trap{Kind: TrapDivZero, PC: pc}
-			return 0
-		}
-		return a % b
-	case isa.And:
-		return a & b
-	case isa.Or:
-		return a | b
-	case isa.Xor:
-		return a ^ b
-	case isa.Sll:
-		return a << (uint64(b) & 63)
-	case isa.Srl:
-		return int64(uint64(a) >> (uint64(b) & 63))
-	case isa.Sra:
-		return a >> (uint64(b) & 63)
-	case isa.SetHi:
-		return b << isa.SetHiShift
+// src2 selects the second operand: the predecoded immediate or Rs2.
+func (m *Machine) src2(d *isa.Decoded) int64 {
+	if d.Flags&isa.DFlagImm != 0 {
+		return d.Imm
 	}
-	return 0
+	return m.Regs[d.Rs2]
 }
 
 func (m *Machine) wreg(r isa.Reg, v int64) {
@@ -219,16 +495,15 @@ func (m *Machine) cond(op isa.Op) bool {
 	return false
 }
 
-// access performs the memory reference of in at effective address addr
+// access performs the memory reference of d at effective address addr
 // and returns the extra stall cycles.
-func (m *Machine) access(in *isa.Instr, pc, addr uint64) (uint64, error) {
-	size := in.Op.MemBytes()
-	if in.Op != isa.Prefetch && addr%uint64(size) != 0 {
+func (m *Machine) access(d *isa.Decoded, pc, addr uint64) (uint64, error) {
+	if d.Class != isa.ClPrefetch && addr&uint64(d.MemSize-1) != 0 {
 		return 0, &Trap{Kind: TrapMisaligned, PC: pc, Addr: addr}
 	}
 	seg, pageSize := m.segment(addr)
 	if seg == SegNone {
-		if in.Op == isa.Prefetch {
+		if d.Class == isa.ClPrefetch {
 			return 0, nil // prefetches never fault
 		}
 		return 0, &Trap{Kind: TrapSegv, PC: pc, Addr: addr}
@@ -241,88 +516,110 @@ func (m *Machine) access(in *isa.Instr, pc, addr uint64) (uint64, error) {
 		m.count(hwc.EvDTLBMiss, 1, pc, addr, true)
 	}
 
-	var r struct {
-		ecRef, ecRdMiss, dcRdMiss bool
-		stall                     int
+	// A D$ hit generates no counter events and no stall for loads, stores
+	// and prefetches alike, so the MRU fast path can absorb it without
+	// entering the hierarchy (the state updates are exactly Access's).
+	isStore := d.Class.IsStore()
+	if m.Hier.D.HitMRU(addr, isStore) {
+		if isStore {
+			m.stats.Stores++
+		} else if d.Class != isa.ClPrefetch {
+			m.stats.Loads++
+		}
+	} else {
+		// One Result covers all three access kinds: stores never report
+		// read misses and prefetches never report stall, so the
+		// unconditional checks below stay exact without copying fields
+		// through a second struct.
+		var res cache.Result
+		switch {
+		case d.Class.IsLoad():
+			m.stats.Loads++
+			res = m.Hier.Load(addr)
+		case isStore:
+			m.stats.Stores++
+			res = m.Hier.Store(addr)
+		default: // prefetch
+			res = m.Hier.Prefetch(addr)
+		}
+		if res.DCRdMiss {
+			m.stats.DCRdMisses++
+			m.count(hwc.EvDCRdMiss, 1, pc, addr, true)
+		}
+		if res.ECRef {
+			m.stats.ECRefs++
+			m.count(hwc.EvECRef, 1, pc, addr, true)
+		}
+		if res.ECRdMiss {
+			m.stats.ECRdMisses++
+			m.count(hwc.EvECRdMiss, 1, pc, addr, true)
+		}
+		if res.Stall > 0 {
+			m.stats.ECStallCycles += uint64(res.Stall)
+			m.count(hwc.EvECStall, uint64(res.Stall), pc, addr, true)
+		}
+		stall += uint64(res.Stall)
 	}
-	switch {
-	case in.Op.IsLoad():
-		m.stats.Loads++
-		res := m.Hier.Load(addr)
-		r.ecRef, r.ecRdMiss, r.dcRdMiss, r.stall = res.ECRef, res.ECRdMiss, res.DCRdMiss, res.Stall
-	case in.Op.IsStore():
-		m.stats.Stores++
-		res := m.Hier.Store(addr)
-		r.ecRef, r.stall = res.ECRef, res.Stall
-	default: // prefetch
-		res := m.Hier.Prefetch(addr)
-		r.ecRef = res.ECRef
-	}
-	if r.dcRdMiss {
-		m.stats.DCRdMisses++
-		m.count(hwc.EvDCRdMiss, 1, pc, addr, true)
-	}
-	if r.ecRef {
-		m.stats.ECRefs++
-		m.count(hwc.EvECRef, 1, pc, addr, true)
-	}
-	if r.ecRdMiss {
-		m.stats.ECRdMisses++
-		m.count(hwc.EvECRdMiss, 1, pc, addr, true)
-	}
-	if r.stall > 0 {
-		m.stats.ECStallCycles += uint64(r.stall)
-		m.count(hwc.EvECStall, uint64(r.stall), pc, addr, true)
-	}
-	stall += uint64(r.stall)
 
 	// Perform the architectural access.
-	switch in.Op {
-	case isa.LdB:
-		m.wreg(in.Rd, int64(int8(m.Mem.Read8(addr))))
-	case isa.LdUB:
-		m.wreg(in.Rd, int64(m.Mem.Read8(addr)))
-	case isa.LdW:
-		m.wreg(in.Rd, int64(int32(m.Mem.Read32(addr))))
-	case isa.LdX:
-		m.wreg(in.Rd, int64(m.Mem.Read64(addr)))
-	case isa.StB:
-		m.Mem.Write8(addr, uint8(m.Regs[in.Rd]))
-	case isa.StW:
-		m.Mem.Write32(addr, uint32(m.Regs[in.Rd]))
-	case isa.StX:
-		m.Mem.Write64(addr, uint64(m.Regs[in.Rd]))
+	switch d.Class {
+	case isa.ClLdB:
+		m.wreg(d.Rd, int64(int8(m.Mem.Read8(addr))))
+	case isa.ClLdUB:
+		m.wreg(d.Rd, int64(m.Mem.Read8(addr)))
+	case isa.ClLdW:
+		m.wreg(d.Rd, int64(int32(m.Mem.Read32(addr))))
+	case isa.ClLdX:
+		m.wreg(d.Rd, int64(m.Mem.Read64(addr)))
+	case isa.ClStB:
+		m.Mem.Write8(addr, uint8(m.Regs[d.Rd]))
+	case isa.ClStW:
+		m.Mem.Write32(addr, uint32(m.Regs[d.Rd]))
+	case isa.ClStX:
+		m.Mem.Write64(addr, uint64(m.Regs[d.Rd]))
 	}
 	return stall, nil
 }
 
 // count feeds n events into whichever PIC registers are armed for ev, and
-// schedules overflow signal delivery with per-event skid.
+// schedules overflow signal delivery with per-event skid. The armed-event
+// mask makes the common case — no counter interested — a single load and
+// branch instead of a scan of both registers.
 func (m *Machine) count(ev hwc.Event, n uint64, trigPC, ea uint64, hasEA bool) {
-	for pic := 0; pic < 2; pic++ {
-		c := m.counters[pic]
-		if c == nil || c.Event != ev {
-			continue
-		}
-		overflows := c.Add(n)
-		for i := 0; i < overflows; i++ {
-			m.pending = append(m.pending, pendingSig{
-				remaining: m.skid.Instrs(ev),
-				ev: OverflowEvent{
-					PIC:       pic,
-					Event:     ev,
-					TruePC:    trigPC,
-					TrueEA:    ea,
-					TrueHasEA: hasEA,
-				},
-			})
-		}
+	if mask := m.armed[ev]; mask != 0 {
+		m.countArmed(mask, ev, n, trigPC, ea, hasEA)
+	}
+}
+
+func (m *Machine) countArmed(mask uint8, ev hwc.Event, n uint64, trigPC, ea uint64, hasEA bool) {
+	if mask&1 != 0 {
+		m.countOn(0, ev, n, trigPC, ea, hasEA)
+	}
+	if mask&2 != 0 {
+		m.countOn(1, ev, n, trigPC, ea, hasEA)
+	}
+}
+
+func (m *Machine) countOn(pic int, ev hwc.Event, n uint64, trigPC, ea uint64, hasEA bool) {
+	overflows := m.counters[pic].Add(n)
+	for i := 0; i < overflows; i++ {
+		m.pending = append(m.pending, pendingSig{
+			remaining: m.skid.Instrs(ev),
+			ev: OverflowEvent{
+				PIC:       pic,
+				Event:     ev,
+				TruePC:    trigPC,
+				TrueEA:    ea,
+				TrueHasEA: hasEA,
+			},
+		})
 	}
 }
 
 // deliverPending ages pending overflow signals and fires those whose skid
 // has elapsed. Delivered state (PC, registers, callstack) is the live
-// machine state at delivery time.
+// machine state at delivery time. The callstack is a reusable scratch
+// buffer — see OverflowEvent.Callstack — keeping delivery allocation-free.
 func (m *Machine) deliverPending() {
 	kept := m.pending[:0]
 	for i := range m.pending {
@@ -336,10 +633,18 @@ func (m *Machine) deliverPending() {
 			e := p.ev
 			e.DeliveredPC = m.PC
 			e.Regs = m.Regs
-			e.Callstack = m.Callstack()
+			e.Callstack = m.callstackScratch()
 			e.Cycles = m.stats.Cycles
 			m.OnOverflow(&e)
 		}
 	}
 	m.pending = kept
+}
+
+// callstackScratch snapshots the shadow call stack into a reusable
+// buffer. The result is only valid until the next snapshot; event
+// callbacks must copy it to retain it.
+func (m *Machine) callstackScratch() []uint64 {
+	m.csScratch = append(m.csScratch[:0], m.callstack...)
+	return m.csScratch
 }

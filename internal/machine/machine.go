@@ -26,8 +26,11 @@ type OverflowEvent struct {
 	Event       hwc.Event
 	DeliveredPC uint64
 	Regs        [isa.NumRegs]int64
-	Callstack   []uint64 // call-site PCs, outermost first
-	Cycles      uint64   // machine cycle count at delivery
+	// Callstack holds the call-site PCs, outermost first. It aliases a
+	// reusable scratch buffer and is valid only for the duration of the
+	// callback; handlers that retain it must copy.
+	Callstack []uint64
+	Cycles    uint64 // machine cycle count at delivery
 
 	TruePC    uint64 // ground truth: the triggering instruction
 	TrueEA    uint64 // ground truth: its effective address
@@ -36,7 +39,9 @@ type OverflowEvent struct {
 
 // ClockTick is delivered to the profiling layer on each clock-profiling
 // tick. Like real clock interrupts, the PC is the next instruction to
-// issue, and no backtracking correction is possible.
+// issue, and no backtracking correction is possible. Callstack aliases a
+// reusable scratch buffer, valid only during the callback (copy to
+// retain), like OverflowEvent.Callstack.
 type ClockTick struct {
 	PC        uint64
 	Callstack []uint64
@@ -94,10 +99,29 @@ type Machine struct {
 	// fetches within one I$ line cost nothing and are not re-probed.
 	lastFetchLine uint64
 
-	text     []isa.Instr
+	// dec is the predecoded text segment, one entry per instruction, with
+	// the base pipeline cost fused in. The interpreter executes only from
+	// this array; the raw text is not retained.
+	dec      []isa.Decoded
+	textSize uint64 // textEnd - TextBase, for the one-compare fetch bound
 	textEnd  uint64
 	dataEnd  uint64
 	stackLow uint64
+
+	// icLineShift is log2 of the I$ line size, so the fetch-line check is
+	// a shift instead of a divide.
+	icLineShift uint
+
+	// maxInstrCost bounds the cycle cost of any single non-syscall
+	// instruction (worst-case fetch miss + TLB miss + memory stalls). The
+	// event-horizon computation backs a cycle-armed counter's bound off by
+	// this much so the fast inner loop can never overflow it mid-batch.
+	maxInstrCost uint64
+
+	// armed[ev] is a bitmask of PIC registers (bit 0 = PIC0, bit 1 = PIC1)
+	// currently counting ev. The hot-path count() is a load and branch on
+	// it; events nobody is counting cost nothing.
+	armed [hwc.NumEvents]uint8
 
 	heap *allocator
 
@@ -117,11 +141,13 @@ type Machine struct {
 	nextTick uint64
 
 	callstack []uint64
+	// csScratch is the reusable buffer callstackScratch snapshots into,
+	// keeping event delivery allocation-free on the hot path.
+	csScratch []uint64
 	allocs    []Alloc
 
-	stats   Stats
-	halted  bool
-	trapped *Trap // trap raised from inside an ALU helper (div by zero)
+	stats  Stats
+	halted bool
 }
 
 // New builds a machine from cfg. Load a program with LoadProgram before
@@ -142,6 +168,10 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var icShift uint
+	for 1<<icShift != cfg.ICache.LineBytes {
+		icShift++
+	}
 	m := &Machine{
 		Cfg:           cfg,
 		Mem:           mem.New(),
@@ -149,9 +179,15 @@ func New(cfg Config) (*Machine, error) {
 		IC:            ic,
 		DTLB:          t,
 		lastFetchLine: ^uint64(0),
+		icLineShift:   icShift,
 		skid:          hwc.NewSkid(cfg.SkidSeed),
 		stackLow:      StackTop - cfg.StackBytes,
 	}
+	// Worst-case cost of one non-syscall instruction: deliberately a loose
+	// upper bound (an access cannot take every stall at once); the horizon
+	// only batches a hair less per overflow interval.
+	m.maxInstrCost = maxBaseCost + uint64(cfg.ICMissStall) + tlb.MissPenaltyCycles +
+		uint64(cfg.Costs.EHitStall+cfg.Costs.MemStall+cfg.Costs.StoreMissStall+cfg.Costs.WritebackStall)
 	m.heap = newAllocator(HeapBase, HeapBase+cfg.HeapBytes)
 	return m, nil
 }
@@ -163,8 +199,12 @@ func (m *Machine) LoadProgram(text []isa.Instr, data []byte, entry uint64) error
 	if len(text) == 0 {
 		return fmt.Errorf("machine: empty text")
 	}
-	m.text = text
-	m.textEnd = TextBase + uint64(len(text))*isa.InstrBytes
+	m.textSize = uint64(len(text)) * isa.InstrBytes
+	m.textEnd = TextBase + m.textSize
+	m.dec = isa.PredecodeAll(text, TextBase)
+	for i := range m.dec {
+		m.dec[i].Cost = baseCost[m.dec[i].Op]
+	}
 	if entry < TextBase || entry >= m.textEnd || entry%isa.InstrBytes != 0 {
 		return fmt.Errorf("machine: entry %#x outside text [%#x,%#x)", entry, TextBase, m.textEnd)
 	}
@@ -222,7 +262,19 @@ func (m *Machine) ArmCounter(pic int, ev hwc.Event, interval uint64) error {
 		return fmt.Errorf("machine: event %v already armed on the other register", ev)
 	}
 	m.counters[pic] = hwc.NewCounter(ev, interval)
+	m.rebuildArmed()
 	return nil
+}
+
+// rebuildArmed recomputes the per-event armed-PIC bitmasks from the
+// counter registers.
+func (m *Machine) rebuildArmed() {
+	m.armed = [hwc.NumEvents]uint8{}
+	for pic, c := range m.counters {
+		if c != nil {
+			m.armed[c.Event] |= 1 << pic
+		}
+	}
 }
 
 // CounterTotal returns the cumulative count of the armed counter.

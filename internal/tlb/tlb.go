@@ -29,10 +29,20 @@ type entry struct {
 }
 
 // TLB is a set-associative translation cache with LRU replacement.
+// Entries are stored in one flat slice indexed by set*assoc+way, so a
+// lookup — on the critical path of every simulated memory access — costs
+// no pointer hop through a per-set slice header.
 type TLB struct {
-	sets    [][]entry
+	entries []entry
+	assoc   int
 	setMask uint64
 	tick    uint64
+
+	// MRU memo: the entry the previous Lookup hit or installed, so a
+	// repeat translation of the same page skips the set scan. lastSize
+	// disambiguates lookups that alias on page base across page sizes.
+	lastIdx  int
+	lastSize uint64
 
 	Lookups uint64
 	Misses  uint64
@@ -47,11 +57,11 @@ func New(cfg Config) (*TLB, error) {
 	if nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("tlb: set count %d not a power of two", nsets)
 	}
-	sets := make([][]entry, nsets)
-	for i := range sets {
-		sets[i] = make([]entry, cfg.Assoc)
-	}
-	return &TLB{sets: sets, setMask: uint64(nsets - 1)}, nil
+	return &TLB{
+		entries: make([]entry, cfg.Entries),
+		assoc:   cfg.Assoc,
+		setMask: uint64(nsets - 1),
+	}, nil
 }
 
 // Lookup translates the page starting at pageBase (already aligned to
@@ -60,26 +70,41 @@ func New(cfg Config) (*TLB, error) {
 func (t *TLB) Lookup(pageBase, pageSize uint64) bool {
 	t.Lookups++
 	t.tick++
+	// MRU memo: only a Lookup mutates entries, and every Lookup refreshes
+	// the memo, so a match here repeats the previous translation exactly —
+	// same entry a set scan would find, same use-stamp update.
+	if e := &t.entries[t.lastIdx]; e.valid && e.base == pageBase && t.lastSize == pageSize {
+		e.use = t.tick
+		return true
+	}
+	t.lastSize = pageSize
 	// Index by the page number so pages of any size spread over the sets.
-	set := t.sets[(pageBase/pageSize)&t.setMask]
-	victim := 0
+	base := int((pageBase/pageSize)&t.setMask) * t.assoc
+	set := t.entries[base : base+t.assoc]
+	// Hit scan first — the common case pays none of the victim tracking.
 	for i := range set {
 		if set[i].valid && set[i].base == pageBase {
+			t.lastIdx = base + i
 			set[i].use = t.tick
 			return true
 		}
+	}
+	victim := 0
+	for i := range set {
 		if set[victim].valid && (!set[i].valid || set[i].use < set[victim].use) {
 			victim = i
 		}
 	}
 	t.Misses++
 	set[victim] = entry{base: pageBase, valid: true, use: t.tick}
+	t.lastIdx = base + victim
 	return false
 }
 
 // Contains probes without side effects.
 func (t *TLB) Contains(pageBase, pageSize uint64) bool {
-	set := t.sets[(pageBase/pageSize)&t.setMask]
+	base := int((pageBase/pageSize)&t.setMask) * t.assoc
+	set := t.entries[base : base+t.assoc]
 	for i := range set {
 		if set[i].valid && set[i].base == pageBase {
 			return true
@@ -90,10 +115,9 @@ func (t *TLB) Contains(pageBase, pageSize uint64) bool {
 
 // Flush invalidates all entries and clears statistics.
 func (t *TLB) Flush() {
-	for _, s := range t.sets {
-		for i := range s {
-			s[i] = entry{}
-		}
+	for i := range t.entries {
+		t.entries[i] = entry{}
 	}
 	t.tick, t.Lookups, t.Misses = 0, 0, 0
+	t.lastIdx, t.lastSize = 0, 0
 }
