@@ -1,6 +1,7 @@
 // Command erprint analyzes experiments, like the paper's er_print:
 //
 //	erprint [-sort metric] [-n 20] [-o FILE] report... expt.er...
+//	erprint -recover expt.er...
 //
 // Reports:
 //
@@ -17,6 +18,12 @@
 //	feedback    prefetch feedback file (paper §4)
 //	effect      apropos backtracking effectiveness
 //	advice      ranked data-layout recommendations (internal/advisor)
+//
+// -recover salvages experiment directories left behind by a crashed or
+// interrupted collect/save before analyzing them: the manifest's
+// checksums pick the longest validated shard prefix, the directory is
+// rewritten in place, and the losses are reported. With no reports,
+// -recover just salvages and exits.
 //
 // Multiple experiments merge, as with the paper's two collect runs.
 // Unknown report names are rejected up front with the list of valid
@@ -42,6 +49,7 @@ func main() {
 	sortName := flag.String("sort", "", "sort metric: cpu, ecstall, ecrm, ecref, dtlbm, ...")
 	topN := flag.Int("n", 20, "rows in top-N reports")
 	outPath := flag.String("o", "", "write report output to FILE instead of stdout")
+	doRecover := flag.Bool("recover", false, "salvage interrupted experiment directories before analyzing (usable with no reports)")
 	showVersion := flag.Bool("version", false, "print the suite version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -63,11 +71,32 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if len(dirs) == 0 || len(reports) == 0 {
+	if len(dirs) == 0 || (len(reports) == 0 && !*doRecover) {
 		fmt.Fprintln(os.Stderr, "usage: erprint [flags] report... experiment.er...")
+		fmt.Fprintln(os.Stderr, "       erprint -recover experiment.er...")
 		fmt.Fprintf(os.Stderr, "valid reports:\n%s", analyzer.ReportUsage())
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *doRecover {
+		// Salvage each directory in place before analysis: validate the
+		// manifest, keep the longest good shard prefix, rewrite the
+		// directory, and say exactly what (if anything) was lost.
+		for _, d := range dirs {
+			rep, err := experiment.Recover(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "erprint: recovering %s: %v\n", d, err)
+				os.Exit(1)
+			}
+			if rep.Clean {
+				fmt.Fprintf(os.Stderr, "erprint: %s: intact, nothing to recover\n", d)
+			} else {
+				fmt.Fprintf(os.Stderr, "erprint: %s: %s\n", d, rep.Summary())
+			}
+		}
+		if len(reports) == 0 {
+			return
+		}
 	}
 	var exps []*experiment.Experiment
 	for _, d := range dirs {

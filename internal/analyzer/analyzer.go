@@ -146,6 +146,12 @@ type Analyzer struct {
 	TickCycles uint64
 	Intervals  map[hwc.Event]uint64
 
+	// Degraded carries the recovery note of every loaded experiment that
+	// was salvaged after an interrupted write (Meta.Degraded), one entry
+	// per affected experiment. Reports surface these as WARNING lines so
+	// a partially-recovered profile is never mistaken for a complete one.
+	Degraded []string
+
 	Events []AEvent
 
 	total        Metrics
@@ -207,6 +213,13 @@ func NewWithConfig(cfg Config, exps ...*experiment.Experiment) (*Analyzer, error
 		}
 		if e.Meta.ClockHz != a.ClockHz {
 			return nil, fmt.Errorf("analyzer: experiments ran at different clock rates")
+		}
+		if e.Meta.Degraded != "" {
+			name := e.Meta.Label
+			if name == "" {
+				name = e.Meta.ProgName
+			}
+			a.Degraded = append(a.Degraded, fmt.Sprintf("experiment %q is incomplete (%s)", name, e.Meta.Degraded))
 		}
 		if e.Meta.ClockProfiling {
 			if a.TickCycles != 0 && a.TickCycles != e.Meta.ClockTickCycles {

@@ -293,7 +293,11 @@ func (a *Analyzer) RenderJSON(report string, opts RenderOpts) (any, error) {
 	rows := func(n int) []NamedRowJSON { return make([]NamedRowJSON, 0, n) }
 	switch name {
 	case "total":
-		return map[string]any{"total": a.metricsJSON(&a.total)}, nil
+		out := map[string]any{"total": a.metricsJSON(&a.total)}
+		if len(a.Degraded) > 0 {
+			out["warnings"] = a.Degraded
+		}
+		return out, nil
 	case "functions":
 		out := rows(0)
 		for _, r := range a.Functions(sortBy) {

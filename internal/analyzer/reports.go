@@ -41,6 +41,9 @@ func (a *Analyzer) pct(part, whole uint64) float64 {
 // TotalReport renders the paper's Figure 1: the performance metrics of
 // the artificial <Total> function.
 func (a *Analyzer) TotalReport(w io.Writer) {
+	for _, d := range a.Degraded {
+		fmt.Fprintf(w, "WARNING: %s\n", d)
+	}
 	t := a.total
 	fmt.Fprintf(w, "%-36s %12.3f secs.\n", "Exclusive Total LWP Time:", a.totalLWP)
 	if a.HasClock() {

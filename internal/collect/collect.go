@@ -12,13 +12,13 @@ package collect
 import (
 	"context"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"dsprof/internal/asm"
 	"dsprof/internal/experiment"
+	"dsprof/internal/faultfs"
 	"dsprof/internal/hwc"
 	"dsprof/internal/isa"
 	"dsprof/internal/machine"
@@ -56,6 +56,14 @@ type Options struct {
 	// experiment is identical either way (the differential golden test
 	// asserts this); the option exists for that test and for debugging.
 	SingleStep bool
+	// FS is the filesystem spooled writes go through; nil means the real
+	// filesystem. The fault-injection tests and the crash-point soak
+	// harness plug in faultfs.Injected / faultfs.Recorder here.
+	FS faultfs.FS
+	// SpoolShardEvents overrides the spool's shard size (0 = the format
+	// default). Small shards make short test runs cross many shard
+	// boundaries, which is what the crash-recovery soak wants.
+	SpoolShardEvents int
 }
 
 // Truth is the per-event ground truth the simulator knows but a real
@@ -258,23 +266,38 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	}
 	cmd.WriteString(" " + prog.Name)
 
+	exp.Meta.ProgName = prog.Name
+	exp.Meta.Command = cmd.String()
+	exp.Meta.When = time.Now()
+	exp.Meta.ClockHz = cfg.ClockHz
+	exp.Meta.HeapPageSize = cfg.HeapPageSize
+	exp.Meta.DCacheLine = cfg.DCache.LineBytes
+	exp.Meta.ECacheLine = cfg.ECache.LineBytes
+	exp.Meta.Label = opts.Label
+
 	// With a spool directory, counter events stream to v2 shard files
-	// as they are delivered instead of accumulating in exp.HWC.
+	// as they are delivered instead of accumulating in exp.HWC. The
+	// provisional header (meta marked "in progress" + program object)
+	// goes in first: from that moment a crash anywhere mid-run leaves a
+	// directory experiment.Recover can turn back into an analyzable
+	// experiment.
+	fsys := faultfs.Or(opts.FS)
 	var spool [2]*experiment.ShardWriter
 	var spoolErr error
 	if opts.SpoolDir != "" {
-		if err := os.MkdirAll(opts.SpoolDir, 0o755); err != nil {
+		if err := exp.WriteProvisional(fsys, opts.SpoolDir); err != nil {
 			return nil, fmt.Errorf("collect: spool dir: %w", err)
 		}
 		for pic, cs := range opts.Counters {
 			if cs.Event == hwc.EvNone {
 				continue
 			}
-			w, err := experiment.NewShardWriter(
+			w, err := experiment.NewShardWriterFS(fsys,
 				filepath.Join(opts.SpoolDir, experiment.ShardFileName(pic)), pic)
 			if err != nil {
 				return nil, err
 			}
+			w.SetShardEvents(opts.SpoolShardEvents)
 			spool[pic] = w
 		}
 	}
@@ -307,15 +330,6 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 		})
 	}
 
-	exp.Meta.ProgName = prog.Name
-	exp.Meta.Command = cmd.String()
-	exp.Meta.When = time.Now()
-	exp.Meta.ClockHz = cfg.ClockHz
-	exp.Meta.HeapPageSize = cfg.HeapPageSize
-	exp.Meta.DCacheLine = cfg.DCache.LineBytes
-	exp.Meta.ECacheLine = cfg.ECache.LineBytes
-	exp.Meta.Label = opts.Label
-
 	runErr := runMachine(ctx, m, opts.SingleStep)
 	exp.Meta.Stats = m.Stats()
 	exp.Allocs = m.Allocs()
@@ -333,7 +347,7 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 			spoolErr = err
 		}
 		if w.Count() == 0 {
-			os.Remove(path)
+			fsys.Remove(path)
 			continue
 		}
 		exp.AdoptShards(pic, path, w.Shards())

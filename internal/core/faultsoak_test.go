@@ -1,0 +1,412 @@
+package core
+
+// faultsoak_test.go is the crash-point soak for the experiment
+// pipeline: record the complete I/O trace of one spooled MCF collect
+// (provisional header, shard spool, final save) through
+// faultfs.Recorder, then for every operation boundary k — plus a torn
+// variant for every write — materialize the directory a crash after
+// operation k would leave behind, run experiment.Recover over it, and
+// hold recovery to its contract:
+//
+//   - before the recovery floor (meta + program renamed into place)
+//     Recover may refuse; after it, recovery must always succeed;
+//   - the salvaged events are exactly the golden prefix the op trace
+//     proves was durably written — no validated shard is ever lost and
+//     none is ever fabricated;
+//   - every registered report rendered from the salvaged directory
+//     (the streamed, checksum-verified Open path) is byte-identical to
+//     a reference reduction over the same golden prefix in memory.
+//
+// DSPROF_SOAK_TRIPS overrides the MCF input scale; DSPROF_SOAK_REPORT
+// names a file to write the per-schedule recovery report to (the CI
+// fault-soak job uploads it as an artifact).
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/cc"
+	"dsprof/internal/collect"
+	"dsprof/internal/experiment"
+	"dsprof/internal/faultfs"
+	"dsprof/internal/mcf"
+)
+
+// soakSchedule is one deterministic crash point: die after ops[:n]
+// applied, optionally with half of write ops[n] reaching the disk.
+type soakSchedule struct {
+	n    int
+	torn bool
+}
+
+// soakResult is one line of the recovery report artifact.
+type soakResult struct {
+	sched   soakSchedule
+	outcome string // "unrecoverable" (pre-floor) or "recovered"
+	detail  string
+}
+
+// soakReports is the report set compared between the recovered
+// directory and the in-memory reference — the fixed paper reports with
+// arguments, plus every registered extension.
+func soakReports() []string {
+	reports := []string{
+		"total", "functions", "pcs", "lines", "objects", "addrspace",
+		"effect", "feedback",
+		"source=refresh_potential", "disasm=refresh_potential",
+		"members=node", "callers=refresh_potential",
+	}
+	for _, name := range analyzer.ReportNames() {
+		switch name {
+		case "total", "functions", "source", "disasm", "pcs", "lines",
+			"objects", "members", "callers", "addrspace", "feedback", "effect":
+		default:
+			reports = append(reports, name)
+		}
+	}
+	return reports
+}
+
+func TestFaultSoakRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault soak replays hundreds of crash images; skipped with -short")
+	}
+
+	trips := 60
+	if s := os.Getenv("DSPROF_SOAK_TRIPS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("DSPROF_SOAK_TRIPS=%q: want a positive integer", s)
+		}
+		trips = v
+	}
+
+	// --- Record one full spooled collect + save. ---
+	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := mcf.Generate(mcf.DefaultGenParams(trips, 20030717)).Encode()
+	cfg := StudyMachine()
+	cfg.TLB.Entries = 8 // scaled-down TLB so DTLB events appear at this scale
+	specs, err := collect.ParseCounterSpec("+ecstall,2003,+dtlbm,127")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := faultfs.NewRecorder(faultfs.OS)
+	goldenDir := filepath.Join(t.TempDir(), "golden.er")
+	res, err := collect.Run(prog, collect.Options{
+		ClockProfile:        true,
+		ClockIntervalCycles: 900007,
+		Counters:            specs,
+		Machine:             &cfg,
+		Input:               input,
+		SpoolDir:            goldenDir,
+		SpoolShardEvents:    64,
+		FS:                  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Exp.SaveFS(rec, goldenDir); err != nil {
+		t.Fatal(err)
+	}
+	ops := rec.Ops()
+
+	golden, err := experiment.Load(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := experiment.ReadManifest(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pic := 0; pic < experiment.NumPICs; pic++ {
+		if len(golden.HWC[pic]) == 0 {
+			t.Fatalf("golden collect produced no PIC%d events; the soak would prove nothing", pic)
+		}
+	}
+	if len(golden.Clock) == 0 {
+		t.Fatal("golden collect produced no clock ticks")
+	}
+
+	// --- Derive, from the trace alone, when the recovery floor became
+	// durable and how many spool shards each prefix completed. ---
+	metaFinal := filepath.Join(goldenDir, "meta.gob")
+	progFinal := filepath.Join(goldenDir, "program.obj")
+	spoolPath := [experiment.NumPICs]string{}
+	for pic := range spoolPath {
+		spoolPath[pic] = filepath.Join(goldenDir, experiment.ShardFileName(pic))
+	}
+	// floorAt[n]: after ops[:n], both meta.gob and program.obj have been
+	// renamed into place. shardsAt[n][pic]: spool shards whose header
+	// and payload writes both completed within ops[:n]. The spool write
+	// sequence per file is [magic][hdr0][pay0][hdr1][pay1]..., so w
+	// completed writes mean (w-1)/2 whole shards.
+	floorAt := make([]bool, len(ops)+1)
+	shardsAt := make([][experiment.NumPICs]int, len(ops)+1)
+	var metaDone, progDone bool
+	var writes [experiment.NumPICs]int
+	for n := 0; n <= len(ops); n++ {
+		if n > 0 {
+			op := ops[n-1]
+			if op.Kind == faultfs.OpRename {
+				metaDone = metaDone || op.Path2 == metaFinal
+				progDone = progDone || op.Path2 == progFinal
+			}
+			if op.Kind == faultfs.OpWrite {
+				for pic := range spoolPath {
+					if op.Path == spoolPath[pic] {
+						writes[pic]++
+					}
+				}
+			}
+		}
+		floorAt[n] = metaDone && progDone
+		for pic := range writes {
+			if w := writes[pic]; w > 1 {
+				shardsAt[n][pic] = (w - 1) / 2
+			}
+		}
+	}
+	if !floorAt[len(ops)] {
+		t.Fatal("trace never renamed meta.gob and program.obj into place")
+	}
+	for pic := range writes {
+		if shardsAt[len(ops)][pic] != len(man.Shards[pic]) {
+			t.Fatalf("trace accounting says %d PIC%d shards, manifest certifies %d",
+				shardsAt[len(ops)][pic], pic, len(man.Shards[pic]))
+		}
+	}
+
+	// --- Enumerate the schedules: every prefix, plus a torn variant of
+	// every write whose payload can actually be halved. ---
+	var schedules []soakSchedule
+	for n := 0; n <= len(ops); n++ {
+		schedules = append(schedules, soakSchedule{n: n})
+		if n < len(ops) && ops[n].Kind == faultfs.OpWrite && len(ops[n].Data) > 1 {
+			schedules = append(schedules, soakSchedule{n: n, torn: true})
+		}
+	}
+	if len(schedules) < 200 {
+		t.Fatalf("only %d distinct crash schedules from %d recorded ops; the soak needs at least 200",
+			len(schedules), len(ops))
+	}
+
+	reports := soakReports()
+	scratch := t.TempDir()
+	results := make([]soakResult, len(schedules))
+
+	// refCache memoizes the reference renders: many crash points
+	// salvage the same prefix, and the reference side depends only on
+	// what was salvaged, not on which operation died.
+	type refKey struct {
+		shards [experiment.NumPICs]int
+		events [experiment.NumPICs]int
+		clock  int
+		allocs int
+		meta   string // degradation note + exit status
+	}
+	refCache := make(map[refKey]map[string][]byte)
+	var refMu sync.Mutex
+
+	// renderAll renders every report; a report that refuses (e.g. advice
+	// over a salvaged prefix with no stall events) contributes its error
+	// text instead, which must then match the reference side exactly.
+	renderAll := func(a *analyzer.Analyzer) map[string][]byte {
+		out := make(map[string][]byte, len(reports))
+		for _, rep := range reports {
+			var buf bytes.Buffer
+			if err := a.Render(&buf, rep, analyzer.RenderOpts{}); err != nil {
+				out[rep] = []byte("ERROR: " + err.Error())
+				continue
+			}
+			out[rep] = buf.Bytes()
+		}
+		return out
+	}
+
+	runOne := func(t *testing.T, idx int) {
+		sc := schedules[idx]
+		imageDir := filepath.Join(scratch, fmt.Sprintf("img-%d-%v", sc.n, sc.torn))
+		defer os.RemoveAll(imageDir)
+		if err := faultfs.Replay(faultfs.OS, ops, sc.n, sc.torn,
+			faultfs.RemapPrefix(goldenDir, imageDir)); err != nil {
+			t.Errorf("schedule n=%d torn=%v: replay: %v", sc.n, sc.torn, err)
+			return
+		}
+
+		rep, err := experiment.Recover(imageDir)
+		if err != nil {
+			if floorAt[sc.n] {
+				t.Errorf("schedule n=%d torn=%v: recovery floor was durable but Recover failed: %v",
+					sc.n, sc.torn, err)
+			}
+			results[idx] = soakResult{sched: sc, outcome: "unrecoverable", detail: err.Error()}
+			return
+		}
+		if !floorAt[sc.n] {
+			t.Errorf("schedule n=%d torn=%v: Recover succeeded before meta+program were durable",
+				sc.n, sc.torn)
+			return
+		}
+
+		// Zero validated shards lost: what the trace proves was durably
+		// spooled is exactly what recovery kept.
+		loaded, err := experiment.Load(imageDir)
+		if err != nil {
+			t.Errorf("schedule n=%d torn=%v: recovered experiment does not load: %v",
+				sc.n, sc.torn, err)
+			return
+		}
+		var kept [experiment.NumPICs]int
+		for pic := 0; pic < experiment.NumPICs; pic++ {
+			wantShards := shardsAt[sc.n][pic]
+			if rep.ShardsKept[pic] != wantShards {
+				t.Errorf("schedule n=%d torn=%v: PIC%d kept %d shards, trace proves %d were durable",
+					sc.n, sc.torn, pic, rep.ShardsKept[pic], wantShards)
+				return
+			}
+			wantEvents := 0
+			for _, s := range man.Shards[pic][:wantShards] {
+				wantEvents += s.Count
+			}
+			if rep.EventsKept[pic] != wantEvents || len(loaded.HWC[pic]) != wantEvents {
+				t.Errorf("schedule n=%d torn=%v: PIC%d kept %d events (loaded %d), want %d",
+					sc.n, sc.torn, pic, rep.EventsKept[pic], len(loaded.HWC[pic]), wantEvents)
+				return
+			}
+			if wantEvents > 0 && !reflect.DeepEqual(loaded.HWC[pic], golden.HWC[pic][:wantEvents]) {
+				t.Errorf("schedule n=%d torn=%v: PIC%d salvaged events differ from the golden prefix",
+					sc.n, sc.torn, pic)
+				return
+			}
+			kept[pic] = wantEvents
+		}
+		// Side data is all-or-nothing: either the golden stream or lost.
+		if len(loaded.Clock) != 0 && !reflect.DeepEqual(loaded.Clock, golden.Clock) {
+			t.Errorf("schedule n=%d torn=%v: recovered clock stream differs from golden", sc.n, sc.torn)
+			return
+		}
+		if len(loaded.Allocs) != 0 && !reflect.DeepEqual(loaded.Allocs, golden.Allocs) {
+			t.Errorf("schedule n=%d torn=%v: recovered alloc records differ from golden", sc.n, sc.torn)
+			return
+		}
+
+		// Reports from the salvaged directory (streamed Open path,
+		// checksums attached) must match a reference reduction over the
+		// same golden prefix held in memory.
+		opened, err := experiment.Open(imageDir)
+		if err != nil {
+			t.Errorf("schedule n=%d torn=%v: Open after Recover: %v", sc.n, sc.torn, err)
+			return
+		}
+		recA, err := analyzer.New(opened)
+		if err != nil {
+			t.Errorf("schedule n=%d torn=%v: analyzer over recovered dir: %v", sc.n, sc.torn, err)
+			return
+		}
+		got := renderAll(recA)
+
+		key := refKey{
+			shards: rep.ShardsKept, events: kept,
+			clock: len(loaded.Clock), allocs: len(loaded.Allocs),
+			meta: loaded.Meta.Degraded + "\x00" + loaded.Meta.ExitStatus,
+		}
+		refMu.Lock()
+		want, ok := refCache[key]
+		refMu.Unlock()
+		if !ok {
+			ref := &experiment.Experiment{Prog: loaded.Prog, Meta: loaded.Meta}
+			for pic := 0; pic < experiment.NumPICs; pic++ {
+				ref.HWC[pic] = golden.HWC[pic][:kept[pic]]
+			}
+			if len(loaded.Clock) != 0 {
+				ref.Clock = golden.Clock
+			}
+			if len(loaded.Allocs) != 0 {
+				ref.Allocs = golden.Allocs
+			}
+			refA, err := analyzer.New(ref)
+			if err != nil {
+				t.Errorf("schedule n=%d torn=%v: reference analyzer: %v", sc.n, sc.torn, err)
+				return
+			}
+			want = renderAll(refA)
+			refMu.Lock()
+			refCache[key] = want
+			refMu.Unlock()
+		}
+		for _, name := range reports {
+			if !bytes.Equal(got[name], want[name]) {
+				t.Errorf("schedule n=%d torn=%v: report %q differs between recovered dir and reference prefix",
+					sc.n, sc.torn, name)
+			}
+		}
+		results[idx] = soakResult{
+			sched:   sc,
+			outcome: "recovered",
+			detail: fmt.Sprintf("shards=%v events=%v clock=%d note=%q",
+				rep.ShardsKept, kept, len(loaded.Clock), loaded.Meta.Degraded),
+		}
+	}
+
+	// The schedules are independent; sweep them on a worker pool.
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				runOne(t, idx)
+			}
+		}()
+	}
+	for idx := range schedules {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	recovered, unrecoverable := 0, 0
+	for _, r := range results {
+		switch r.outcome {
+		case "recovered":
+			recovered++
+		case "unrecoverable":
+			unrecoverable++
+		}
+	}
+	t.Logf("fault soak: %d schedules over %d recorded ops: %d recovered, %d pre-floor unrecoverable",
+		len(schedules), len(ops), recovered, unrecoverable)
+
+	if path := os.Getenv("DSPROF_SOAK_REPORT"); path != "" && !t.Failed() {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "fault soak recovery report (trips=%d)\n", trips)
+		fmt.Fprintf(&buf, "%d schedules over %d recorded ops; %d recovered, %d pre-floor unrecoverable\n",
+			len(schedules), len(ops), recovered, unrecoverable)
+		fmt.Fprintf(&buf, "zero validated shards lost across all schedules\n\n")
+		sort.SliceStable(results, func(i, j int) bool {
+			if results[i].sched.n != results[j].sched.n {
+				return results[i].sched.n < results[j].sched.n
+			}
+			return !results[i].sched.torn && results[j].sched.torn
+		})
+		for _, r := range results {
+			fmt.Fprintf(&buf, "n=%4d torn=%-5v %-13s %s\n", r.sched.n, r.sched.torn, r.outcome, r.detail)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Errorf("writing soak report %s: %v", path, err)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package experiment
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"dsprof/internal/asm"
+	"dsprof/internal/faultfs"
 	"dsprof/internal/hwc"
 	"dsprof/internal/machine"
 )
@@ -96,6 +98,12 @@ type Meta struct {
 	ExitStatus      string
 	Label           string  // caller-supplied provenance tag (e.g. "baseline", "reorder:arc")
 	Output          []int64 // the program's output longs, for transform validation
+
+	// Degraded is empty for intact experiments. Recover sets it to a
+	// human-readable summary of what a crash or corruption cost (e.g.
+	// "recovered: pic0 lost 1 shard (312 events)"), and the analyzer
+	// annotates reports built from such experiments.
+	Degraded string
 }
 
 // Experiment is an experiment, in memory. Eagerly loaded (or freshly
@@ -154,16 +162,25 @@ func hwcV2Name(pic int) string {
 // spool events straight into the output directory.
 func ShardFileName(pic int) string { return hwcV2Name(pic) }
 
-func writeGob(dir, name string, v any) error {
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
+// writeFileAtomic writes dir/name via a same-directory temp file and a
+// rename, so a crash at any point leaves either the old complete file or
+// the new complete file — never a truncated one. (The temp name ends in
+// ".tmp"; Recover sweeps strays left by a crash between write and
+// rename.)
+func writeFileAtomic(fsys faultfs.FS, dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := faultfs.WriteFile(fsys, tmp, data); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(v); err != nil {
+	return fsys.Rename(tmp, filepath.Join(dir, name))
+}
+
+func writeGob(fsys faultfs.FS, dir, name string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return err
 	}
-	return f.Close()
+	return writeFileAtomic(fsys, dir, name, buf.Bytes())
 }
 
 // readGob decodes one data file. Decoding never panics even on
@@ -305,38 +322,62 @@ func validateEvents(pic int, evs []HWCEvent, counters []CounterSpec) error {
 // in memory are sharded into v2 files; file-backed events (spooled
 // during collection or opened from another directory) are moved or
 // copied without re-encoding.
+//
+// Save is crash-safe: every data file is written via temp-and-rename,
+// the integrity manifest is written last (its presence certifies the
+// directory complete), and the directory is fsynced so a committed
+// experiment survives power loss. A crash mid-Save leaves either the
+// previous complete file or a recoverable partial state, never a
+// silently truncated experiment.
 func (e *Experiment) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return e.SaveFS(faultfs.OS, dir)
+}
+
+// SaveFS is Save through a pluggable filesystem — the fault-injection
+// and crash-trace-recording seam.
+func (e *Experiment) SaveFS(fsys faultfs.FS, dir string) error {
+	fsys = faultfs.Or(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	e.Meta.FormatVersion = FormatVersion
-	if err := writeGob(dir, metaFile, &e.Meta); err != nil {
+	if err := writeGob(fsys, dir, metaFile, &e.Meta); err != nil {
 		return err
 	}
-	if err := writeGob(dir, clockFile, e.Clock); err != nil {
+	if err := writeGob(fsys, dir, clockFile, e.Clock); err != nil {
 		return err
 	}
 	for pic := 0; pic < NumPICs; pic++ {
-		if err := e.saveHWC(dir, pic); err != nil {
+		if err := e.saveHWC(fsys, dir, pic); err != nil {
 			return err
 		}
 	}
-	if err := writeGob(dir, allocsFile, e.Allocs); err != nil {
+	if err := writeGob(fsys, dir, allocsFile, e.Allocs); err != nil {
 		return err
 	}
 	if e.Prog != nil {
-		if err := e.Prog.SaveFile(filepath.Join(dir, progFile)); err != nil {
+		var buf bytes.Buffer
+		if err := e.Prog.Save(&buf); err != nil {
+			return err
+		}
+		if err := writeFileAtomic(fsys, dir, progFile, buf.Bytes()); err != nil {
 			return err
 		}
 	}
-	return e.writeLog(dir)
+	if err := e.writeLog(fsys, dir); err != nil {
+		return err
+	}
+	if err := WriteManifest(fsys, dir); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // saveHWC writes one PIC's events into dir as a v2 shard file. A
 // file-backed PIC whose shard file already lives at the target path is
 // left in place; one spooled elsewhere is renamed in (falling back to a
 // copy across filesystems). PICs with no events write no file.
-func (e *Experiment) saveHWC(dir string, pic int) error {
+func (e *Experiment) saveHWC(fsys faultfs.FS, dir string, pic int) error {
 	target := filepath.Join(dir, hwcV2Name(pic))
 	if src := e.hwcPath[pic]; src != "" {
 		if same, err := samePath(src, target); err == nil && same {
@@ -345,16 +386,16 @@ func (e *Experiment) saveHWC(dir string, pic int) error {
 		if e.hwcOwned[pic] {
 			// Spooled by the collector: move into place (copy across
 			// filesystems).
-			if err := os.Rename(src, target); err != nil {
-				if err := copyFile(src, target); err != nil {
+			if err := fsys.Rename(src, target); err != nil {
+				if err := copyFile(fsys, src, target); err != nil {
 					return fmt.Errorf("experiment: moving spooled shards: %w", err)
 				}
-				os.Remove(src)
+				fsys.Remove(src)
 			}
 		} else {
 			// Opened from another experiment directory: the source must
 			// stay readable, so copy.
-			if err := copyFile(src, target); err != nil {
+			if err := copyFile(fsys, src, target); err != nil {
 				return fmt.Errorf("experiment: copying shards: %w", err)
 			}
 		}
@@ -363,10 +404,12 @@ func (e *Experiment) saveHWC(dir string, pic int) error {
 	}
 	// No stale file from a previous Save into the same directory.
 	if len(e.HWC[pic]) == 0 {
-		os.Remove(target)
+		if _, err := os.Stat(target); err == nil {
+			fsys.Remove(target)
+		}
 		return nil
 	}
-	_, err := writeShardFile(target, pic, e.HWC[pic])
+	_, err := writeShardFile(fsys, target, pic, e.HWC[pic])
 	return err
 }
 
@@ -383,13 +426,16 @@ func samePath(a, b string) (bool, error) {
 	return os.SameFile(sa, sb), nil
 }
 
-func copyFile(src, dst string) error {
+// copyFile copies src (read from the real filesystem) to dst through
+// fsys — sources are always readable experiment data; only the write
+// side goes through the pluggable seam.
+func copyFile(fsys faultfs.FS, src, dst string) error {
 	in, err := os.Open(src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	out, err := os.Create(dst)
+	out, err := fsys.Create(dst)
 	if err != nil {
 		return err
 	}
@@ -401,12 +447,8 @@ func copyFile(src, dst string) error {
 }
 
 // writeLog writes the human-readable log.txt.
-func (e *Experiment) writeLog(dir string) error {
-	f, err := os.Create(filepath.Join(dir, logFile))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+func (e *Experiment) writeLog(fsys faultfs.FS, dir string) error {
+	f := &bytes.Buffer{}
 	fmt.Fprintf(f, "experiment: %s\n", e.Meta.Command)
 	fmt.Fprintf(f, "target: %s\n", e.Meta.ProgName)
 	fmt.Fprintf(f, "when: %s\n", e.Meta.When.Format(time.RFC3339))
@@ -425,7 +467,10 @@ func (e *Experiment) writeLog(dir string) error {
 	}
 	fmt.Fprintf(f, "instructions: %d\ncycles: %d\n", e.Meta.Stats.Instrs, e.Meta.Stats.Cycles)
 	fmt.Fprintf(f, "exit: %s\n", e.Meta.ExitStatus)
-	return f.Close()
+	if e.Meta.Degraded != "" {
+		fmt.Fprintf(f, "degraded: %s\n", e.Meta.Degraded)
+	}
+	return writeFileAtomic(fsys, dir, logFile, f.Bytes())
 }
 
 // Load reads an experiment directory written by Save, eagerly: every
@@ -531,6 +576,12 @@ func open(dir string) (*Experiment, error) {
 			e.hwcPath[pic] = path
 			e.hwcShards[pic] = shards
 			e.hwcCount[pic] = n
+		}
+		// Attach the manifest's shard checksums when one exists, so
+		// every shard read is integrity-checked. Pre-manifest and
+		// recovered-without-manifest experiments load unverified.
+		if m, err := ReadManifest(dir); err == nil {
+			e.attachManifest(m)
 		}
 	}
 	if err := readGob(dir, allocsFile, &e.Allocs); err != nil {

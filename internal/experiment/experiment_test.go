@@ -10,6 +10,7 @@ import (
 
 	"dsprof/internal/asm"
 	"dsprof/internal/dwarf"
+	"dsprof/internal/faultfs"
 	"dsprof/internal/hwc"
 	"dsprof/internal/isa"
 	"dsprof/internal/machine"
@@ -203,7 +204,7 @@ func TestFormatVersion(t *testing.T) {
 	// reject it with an error that names both versions.
 	bad := e.Meta
 	bad.FormatVersion = FormatVersion + 7
-	if err := writeGob(dir, "meta.gob", &bad); err != nil {
+	if err := writeGob(faultfs.OS, dir, "meta.gob", &bad); err != nil {
 		t.Fatal(err)
 	}
 	_, err := Load(dir)
@@ -223,7 +224,7 @@ func TestLoadRejectsBadCounterSlots(t *testing.T) {
 	}
 	bad := e.Meta
 	bad.Counters = bad.Counters[:1]
-	if err := writeGob(dir, "meta.gob", &bad); err != nil {
+	if err := writeGob(faultfs.OS, dir, "meta.gob", &bad); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "counter slots") {
@@ -240,19 +241,19 @@ func saveV1(t *testing.T, e *Experiment, dir string) {
 	}
 	meta := e.Meta
 	meta.FormatVersion = 1
-	if err := writeGob(dir, metaFile, &meta); err != nil {
+	if err := writeGob(faultfs.OS, dir, metaFile, &meta); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeGob(dir, clockFile, e.Clock); err != nil {
+	if err := writeGob(faultfs.OS, dir, clockFile, e.Clock); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeGob(dir, hwcFile0, e.HWC[0]); err != nil {
+	if err := writeGob(faultfs.OS, dir, hwcFile0, e.HWC[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeGob(dir, hwcFile1, e.HWC[1]); err != nil {
+	if err := writeGob(faultfs.OS, dir, hwcFile1, e.HWC[1]); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeGob(dir, allocsFile, e.Allocs); err != nil {
+	if err := writeGob(faultfs.OS, dir, allocsFile, e.Allocs); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Prog.SaveFile(filepath.Join(dir, progFile)); err != nil {

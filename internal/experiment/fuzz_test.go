@@ -56,7 +56,7 @@ func FuzzExperimentLoad(f *testing.F) {
 	if err := fuzzSample().Save(v2); err != nil {
 		f.Fatal(err)
 	}
-	v2files := []string{metaFile, clockFile, hwcEv2_0, allocsFile, progFile}
+	v2files := []string{metaFile, clockFile, hwcEv2_0, allocsFile, progFile, ManifestName}
 	for _, name := range v2files {
 		if b, err := os.ReadFile(filepath.Join(v2, name)); err == nil {
 			f.Add(name, b[:len(b)/2])
@@ -65,10 +65,15 @@ func FuzzExperimentLoad(f *testing.F) {
 	}
 	f.Add(hwcFile0, []byte{0xff, 0x13, 0x01})
 	f.Add(metaFile, []byte{})
+	// Manifest seeds that stress the checksum-verification path: valid
+	// JSON shape with wrong sums, and non-JSON garbage.
+	f.Add(ManifestName, []byte(`{"format_version":2,"files":{"meta.gob":{"bytes":1,"crc32":7}},"shards":[[{"count":1,"bytes":9999,"crc32":1}],[]]}`))
+	f.Add(ManifestName, []byte{0x7b, 0xff, 0x00})
 
 	allNames := map[string]bool{
 		metaFile: true, clockFile: true, allocsFile: true, progFile: true,
 		hwcEv2_0: true, hwcEv2_1: true, hwcFile0: true, hwcFile1: true,
+		ManifestName: true,
 	}
 
 	f.Fuzz(func(t *testing.T, name string, data []byte) {

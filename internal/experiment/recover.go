@@ -1,0 +1,347 @@
+package experiment
+
+// recover.go salvages crash-damaged experiment directories. The write
+// path makes exactly one promise (see Save): every data file is either
+// complete or detectably partial, and the manifest — written last —
+// certifies completeness and carries per-shard checksums. Recover holds
+// the read side of that promise: given a directory left behind by a
+// crash (mid-collect, mid-Save, or mid-commit), it keeps the longest
+// prefix of counter-event shards that is structurally whole, decodable,
+// and checksum-clean, drops everything after the first damage, rewrites
+// the directory so Load succeeds, and reports exactly what was lost with
+// a typed error per loss.
+//
+// The floor for recovery is a readable meta header and program object:
+// without the armed-counter specs and the profiled program no report can
+// be built, so such directories are ErrUnrecoverable. Everything else —
+// clock data, allocation data, the manifest, any suffix of the event
+// stream — degrades gracefully.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dsprof/internal/faultfs"
+)
+
+// Typed recovery losses. Each Loss.Err in a RecoveryReport wraps one of
+// these (or carries a descriptive validation error); errors.Is selects
+// the category.
+var (
+	// ErrTruncatedHeader: a shard file ends inside a shard header (or
+	// its magic), or the header bytes are implausible.
+	ErrTruncatedHeader = errors.New("truncated shard header")
+	// ErrTornShard: a shard's payload is cut off mid-write, or its gob
+	// stream does not decode.
+	ErrTornShard = errors.New("torn shard write")
+	// ErrChecksumMismatch: a shard's payload bytes disagree with the
+	// manifest checksum.
+	ErrChecksumMismatch = errors.New("shard checksum mismatch")
+	// ErrMissingManifest: the directory has no manifest.json, so shards
+	// could only be validated structurally, not against checksums.
+	ErrMissingManifest = errors.New("missing manifest")
+	// ErrUnrecoverable: the meta header or program object is unreadable;
+	// no report can be built from what remains.
+	ErrUnrecoverable = errors.New("experiment unrecoverable")
+)
+
+// Loss records one thing recovery could not keep.
+type Loss struct {
+	File string // file the loss occurred in
+	Err  error  // wraps a typed recovery error
+}
+
+// RecoveryReport says what Recover kept and what it lost.
+type RecoveryReport struct {
+	Dir        string
+	Losses     []Loss
+	ShardsKept [NumPICs]int
+	ShardsLost [NumPICs]int // -1 when unknowable (no manifest and no structural evidence)
+	EventsKept [NumPICs]int
+	EventsLost [NumPICs]int // -1 when unknowable without a manifest
+	ClockLost  bool
+	AllocsLost bool
+	Clean      bool // nothing was wrong; the directory was left untouched
+}
+
+// Degraded reports whether anything was lost.
+func (r *RecoveryReport) Degraded() bool { return len(r.Losses) > 0 }
+
+// Summary renders the report's one-line degradation note — what Meta.
+// Degraded is set to and what report headers warn with.
+func (r *RecoveryReport) Summary() string {
+	if !r.Degraded() {
+		return ""
+	}
+	var parts []string
+	for pic := 0; pic < NumPICs; pic++ {
+		if r.ShardsLost[pic] == 0 && r.EventsLost[pic] == 0 {
+			continue
+		}
+		switch {
+		case r.EventsLost[pic] >= 0:
+			parts = append(parts, fmt.Sprintf("pic%d lost %d shards (%d events)",
+				pic, r.ShardsLost[pic], r.EventsLost[pic]))
+		case r.ShardsLost[pic] >= 0:
+			parts = append(parts, fmt.Sprintf("pic%d lost %d shards (event count unknown)",
+				pic, r.ShardsLost[pic]))
+		default:
+			parts = append(parts, fmt.Sprintf("pic%d lost an unknown tail after shard %d",
+				pic, r.ShardsKept[pic]-1))
+		}
+	}
+	if r.ClockLost {
+		parts = append(parts, "clock data lost")
+	}
+	if r.AllocsLost {
+		parts = append(parts, "alloc data lost")
+	}
+	for _, l := range r.Losses {
+		if errors.Is(l.Err, ErrMissingManifest) {
+			parts = append(parts, "manifest missing (shards unverified)")
+			break
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "recovered after interrupted write")
+	}
+	return "recovered: " + strings.Join(parts, "; ")
+}
+
+func (r *RecoveryReport) addLoss(file string, err error) {
+	r.Losses = append(r.Losses, Loss{File: file, Err: err})
+}
+
+// ProvisionalExitStatus marks a meta header written before its run
+// completed. A spooled collect writes such a header (plus the program
+// object) into the spool directory up front, so a crash at any point
+// mid-run leaves a directory Recover can salvage: the spooled shard
+// prefix becomes a degraded but analyzable experiment instead of an
+// undiagnosable pile of files.
+const ProvisionalExitStatus = "in progress"
+
+// WriteProvisional writes the recovery floor into dir before a spooled
+// run starts: the meta header (ExitStatus forced to
+// ProvisionalExitStatus) and the program object. Save later overwrites
+// both with their final contents.
+func (e *Experiment) WriteProvisional(fsys faultfs.FS, dir string) error {
+	fsys = faultfs.Or(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := e.Meta
+	meta.FormatVersion = FormatVersion
+	meta.ExitStatus = ProvisionalExitStatus
+	if err := writeGob(fsys, dir, metaFile, &meta); err != nil {
+		return err
+	}
+	if e.Prog != nil {
+		var buf bytes.Buffer
+		if err := e.Prog.Save(&buf); err != nil {
+			return err
+		}
+		if err := writeFileAtomic(fsys, dir, progFile, buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover salvages dir in place: it validates every file against the
+// manifest, keeps the longest clean shard prefix per PIC, rewrites the
+// directory (marking Meta.Degraded when anything was lost) so Load
+// succeeds, and returns a report of exactly what was kept and lost. An
+// intact directory is reported Clean and not rewritten. Only a
+// directory without a readable meta header and program object fails,
+// with an error wrapping ErrUnrecoverable.
+func Recover(dir string) (*RecoveryReport, error) {
+	return RecoverFS(faultfs.OS, dir)
+}
+
+// RecoverFS is Recover through a pluggable filesystem (reads stay on the
+// real filesystem; only the repair writes go through fsys).
+func RecoverFS(fsys faultfs.FS, dir string) (*RecoveryReport, error) {
+	fsys = faultfs.Or(fsys)
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", dir, err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("experiment %s: not a directory", dir)
+	}
+	rep := &RecoveryReport{Dir: dir}
+
+	// Sweep temp files stranded between write and rename.
+	strays, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	for _, s := range strays {
+		fsys.Remove(s)
+	}
+	dirty := len(strays) > 0
+
+	// The recovery floor: header and program.
+	e := &Experiment{}
+	if err := readGob(dir, metaFile, &e.Meta); err != nil {
+		return nil, fmt.Errorf("experiment %s: %w: reading meta: %v", dir, ErrUnrecoverable, err)
+	}
+	if v := e.Meta.FormatVersion; v < oldestReadableVersion || v > FormatVersion {
+		return nil, fmt.Errorf("experiment %s: %w: format version %d, want %d..%d",
+			dir, ErrUnrecoverable, v, oldestReadableVersion, FormatVersion)
+	}
+	if n := len(e.Meta.Counters); n != NumPICs {
+		return nil, fmt.Errorf("experiment %s: %w: corrupted meta: %d counter slots, want %d",
+			dir, ErrUnrecoverable, n, NumPICs)
+	}
+	prog, err := loadProgram(filepath.Join(dir, progFile))
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w: reading program: %v", dir, ErrUnrecoverable, err)
+	}
+	e.Prog = prog
+
+	// Small side files degrade to empty.
+	if err := readGob(dir, clockFile, &e.Clock); err != nil {
+		rep.addLoss(clockFile, fmt.Errorf("%w (clock data dropped)", ErrTornShard))
+		e.Clock, rep.ClockLost = nil, true
+	}
+	if err := readGob(dir, allocsFile, &e.Allocs); err != nil {
+		rep.addLoss(allocsFile, fmt.Errorf("%w (alloc data dropped)", ErrTornShard))
+		e.Allocs, rep.AllocsLost = nil, true
+	}
+
+	man, err := ReadManifest(dir)
+	if err != nil {
+		man = nil
+		rep.addLoss(ManifestName, err)
+	}
+
+	for pic := 0; pic < NumPICs; pic++ {
+		kept, shardsKept, lost, eventsLost, loss := recoverPIC(dir, pic, e.Meta, man)
+		if loss != nil {
+			rep.addLoss(shardLossFile(e.Meta.FormatVersion, pic), loss)
+		}
+		e.HWC[pic] = kept
+		rep.ShardsKept[pic] = shardsKept
+		rep.ShardsLost[pic] = lost
+		rep.EventsKept[pic] = len(kept)
+		rep.EventsLost[pic] = eventsLost
+	}
+
+	if !dirty && !rep.Degraded() {
+		rep.Clean = true
+		return rep, nil
+	}
+	if rep.Degraded() {
+		e.Meta.Degraded = rep.Summary()
+	}
+	if e.Meta.ExitStatus == "" {
+		e.Meta.ExitStatus = "unknown (recovered)"
+	}
+	if err := e.SaveFS(fsys, dir); err != nil {
+		return rep, fmt.Errorf("experiment %s: rewriting recovered experiment: %w", dir, err)
+	}
+	return rep, nil
+}
+
+// shardLossFile names the event file a PIC's loss is attributed to.
+func shardLossFile(version, pic int) string {
+	if version == 1 {
+		if pic == 0 {
+			return hwcFile0
+		}
+		return hwcFile1
+	}
+	return hwcV2Name(pic)
+}
+
+// recoverPIC salvages one PIC's event stream: the longest prefix of
+// shards that is structurally whole, checksum-clean against the
+// manifest (when one exists), gob-decodable, and consistent with the
+// armed counters. It returns the kept events, the number of shards and
+// events known lost (-1 when unknowable), and the typed loss that cut
+// the prefix (nil if nothing was cut).
+func recoverPIC(dir string, pic int, meta Meta, man *Manifest) (kept []HWCEvent, shardsKept, shardsLost, eventsLost int, loss error) {
+	if meta.FormatVersion == 1 {
+		// v1: one monolithic gob blob — it decodes whole or not at all.
+		var evs []HWCEvent
+		name := shardLossFile(1, pic)
+		if err := readGob(dir, name, &evs); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil, 0, 0, 0, nil
+			}
+			return nil, 0, -1, -1, fmt.Errorf("%w: %v (whole v1 event blob dropped)", ErrTornShard, err)
+		}
+		if err := validateEvents(pic, evs, meta.Counters); err != nil {
+			return nil, 0, -1, -1, fmt.Errorf("%s: %v (whole v1 event blob dropped)", name, err)
+		}
+		return evs, 1, 0, 0, nil
+	}
+
+	path := filepath.Join(dir, hwcV2Name(pic))
+	shards, structLoss := scanShardPrefix(path, pic)
+
+	// Checksum-validate the structural prefix against the manifest; the
+	// first mismatch cuts the prefix there.
+	var sums []ShardSum
+	if man != nil {
+		sums = man.Shards[pic]
+		for i := range shards {
+			if i >= len(sums) {
+				// More shards on disk than the manifest certifies (a
+				// stale manifest from an interrupted re-Save): the
+				// uncertified tail cannot be trusted.
+				shards = shards[:i]
+				structLoss = fmt.Errorf("%s: shard %d: %w: shard not in manifest", path, i, ErrChecksumMismatch)
+				break
+			}
+			if shards[i].length != sums[i].Bytes || shards[i].Count != sums[i].Count {
+				shards = shards[:i]
+				structLoss = fmt.Errorf("%s: shard %d: %w: size/count disagree with manifest", path, i, ErrChecksumMismatch)
+				break
+			}
+			shards[i].crc = sums[i].CRC32
+			shards[i].hasCRC = true
+		}
+		// A file cut exactly at a shard boundary scans clean but is
+		// still short of what the manifest certifies.
+		if structLoss == nil && len(shards) < len(sums) {
+			structLoss = fmt.Errorf("%s: %w: %d shards on disk, manifest certifies %d",
+				path, ErrTornShard, len(shards), len(sums))
+		}
+	}
+
+	// Decode the prefix; ReadShard-level verification (checksum, gob,
+	// header/event count agreement) can still cut it further.
+	for i, sh := range shards {
+		evs, err := readShardFile(path, sh)
+		if err == nil {
+			err = validateEvents(pic, evs, meta.Counters)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrChecksumMismatch) {
+				err = fmt.Errorf("%w: %v", ErrTornShard, err)
+			}
+			shards = shards[:i]
+			structLoss = err
+			break
+		}
+		kept = append(kept, evs...)
+	}
+
+	if structLoss == nil {
+		return kept, len(shards), 0, 0, nil
+	}
+	// Quantify the cut. With a manifest the exact event deficit is
+	// known; without one, the tail length is unknowable.
+	if sums != nil {
+		shardsLost = len(sums) - len(shards)
+		eventsLost = 0
+		for _, s := range sums[len(shards):] {
+			eventsLost += s.Count
+		}
+		return kept, len(shards), shardsLost, eventsLost, structLoss
+	}
+	return kept, len(shards), -1, -1, structLoss
+}

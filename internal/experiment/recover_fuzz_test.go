@@ -1,0 +1,130 @@
+package experiment_test
+
+// recover_fuzz_test.go fuzzes experiment.Recover from outside the
+// package, so the corpus can be seeded from a real (small) MCF collect
+// — the same program, counters, and spooled shard layout the paper's
+// study produces — without an import cycle. The fuzzer replaces one
+// experiment file at a time with arbitrary bytes and checks Recover's
+// contract: it never panics, it fails only with ErrUnrecoverable (a
+// destroyed meta header or program object), and whatever it salvages
+// must load cleanly.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsprof/internal/cc"
+	"dsprof/internal/collect"
+	"dsprof/internal/core"
+	"dsprof/internal/experiment"
+	"dsprof/internal/mcf"
+)
+
+// buildGoldenMCF collects one small spooled MCF experiment into dir.
+func buildGoldenMCF(tb testing.TB, dir string) {
+	tb.Helper()
+	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	input := mcf.Generate(mcf.DefaultGenParams(60, 20030717)).Encode()
+	cfg := core.StudyMachine()
+	cfg.TLB.Entries = 8
+	// Intervals low enough that both PICs cross several 64-event spool
+	// shards even at this small scale.
+	specs, err := collect.ParseCounterSpec("+ecstall,2003,+dtlbm,127")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := collect.Run(prog, collect.Options{
+		ClockProfile:        true,
+		ClockIntervalCycles: 900007,
+		Counters:            specs,
+		Machine:             &cfg,
+		Input:               input,
+		SpoolDir:            dir,
+		SpoolShardEvents:    64,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := res.Exp.Save(dir); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+var recoverFuzzFiles = []string{
+	"meta.gob", "clock.gob", "allocs.gob", "program.obj",
+	"hwc0.ev2", "hwc1.ev2", "manifest.json", "log.txt",
+}
+
+// FuzzExperimentRecover: replace any one file of a golden MCF
+// experiment with fuzz bytes; Recover must either salvage a loadable
+// experiment or refuse with ErrUnrecoverable — never panic, never
+// rewrite a directory Load then rejects.
+func FuzzExperimentRecover(f *testing.F) {
+	golden := filepath.Join(f.TempDir(), "golden.er")
+	buildGoldenMCF(f, golden)
+
+	for _, name := range recoverFuzzFiles {
+		b, err := os.ReadFile(filepath.Join(golden, name))
+		if err != nil {
+			continue
+		}
+		f.Add(name, b)            // intact file (mutation source)
+		f.Add(name, b[:len(b)/2]) // torn in half
+		if len(b) > 3 {
+			f.Add(name, b[:len(b)-3]) // truncated tail
+		}
+	}
+	f.Add("hwc0.ev2", []byte("dsprofe2")) // magic only
+	f.Add("manifest.json", []byte(`{"format_version":2}`))
+	f.Add("meta.gob", []byte{})
+
+	known := map[string]bool{}
+	for _, n := range recoverFuzzFiles {
+		known[n] = true
+	}
+
+	f.Fuzz(func(t *testing.T, name string, data []byte) {
+		if !known[name] {
+			t.Skip()
+		}
+		dir := filepath.Join(t.TempDir(), "f.er")
+		if err := os.CopyFS(dir, os.DirFS(golden)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Recover panicked on fuzzed %s: %v", name, r)
+			}
+		}()
+		rep, err := experiment.Recover(dir)
+		if err != nil {
+			if !errors.Is(err, experiment.ErrUnrecoverable) {
+				t.Fatalf("Recover failed with an untyped error on fuzzed %s: %v", name, err)
+			}
+			return
+		}
+		exp, err := experiment.Load(dir)
+		if err != nil {
+			t.Fatalf("recovered experiment does not load (fuzzed %s, report %+v): %v", name, rep, err)
+		}
+		for pic := 0; pic < experiment.NumPICs; pic++ {
+			for _, ev := range exp.HWC[pic] {
+				if ev.PIC != pic {
+					t.Fatalf("recovered event with PIC %d in stream %d", ev.PIC, pic)
+				}
+			}
+			if rep.EventsKept[pic] != len(exp.HWC[pic]) {
+				t.Fatalf("report says %d events kept on pic %d, load sees %d",
+					rep.EventsKept[pic], pic, len(exp.HWC[pic]))
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dsprof/internal/machine"
+)
+
+// multiShardSample returns a sample experiment with enough PIC-0 events
+// for exactly four v2 shards (three full, one 17-event tail).
+func multiShardSample() *Experiment {
+	e := sample()
+	e.HWC[0] = nil
+	for i := 0; i < 3*DefaultShardEvents+17; i++ {
+		e.HWC[0] = append(e.HWC[0], HWCEvent{
+			PIC: 0, DeliveredPC: machine.TextBase + 4, CandidatePC: machine.TextBase,
+			EA: 0x40000000 + uint64(i), HasEA: true, Cycles: uint64(i) * 3,
+		})
+	}
+	return e
+}
+
+// shardOffsets computes, from the manifest, the file offset where each
+// PIC-0 shard's header begins (and, one past the end, where the file
+// ends): offsets[k] = 8-byte magic + preceding (24-byte header + payload)
+// records.
+func shardOffsets(t *testing.T, man *Manifest) []int64 {
+	t.Helper()
+	offs := []int64{8}
+	for _, s := range man.Shards[0] {
+		offs = append(offs, offs[len(offs)-1]+24+s.Bytes)
+	}
+	return offs
+}
+
+func truncateAt(t *testing.T, path string, n int64) {
+	t.Helper()
+	if err := os.Truncate(path, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByteAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[off] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverTable drives Recover over every damage category the fault
+// model defines. Each case must salvage exactly the validated shard
+// prefix, report the loss with the right typed error, and leave a
+// directory that loads with the prefix's events intact.
+func TestRecoverTable(t *testing.T) {
+	cases := []struct {
+		name string
+		// corrupt damages the saved directory; evPath is hwc0.ev2,
+		// offs the shard-boundary offsets from the intact manifest.
+		corrupt    func(t *testing.T, dir, evPath string, offs []int64, counts []int)
+		wantErr    error                  // typed error the pic-0 (or manifest) loss must wrap
+		keptShards int                    // shards salvaged on pic 0 (4 = all)
+		lostEvents func(counts []int) int // -1 = unknowable
+	}{
+		{
+			name: "truncated header",
+			corrupt: func(t *testing.T, dir, evPath string, offs []int64, counts []int) {
+				// Cut inside shard 2's 24-byte header.
+				truncateAt(t, evPath, offs[2]+9)
+			},
+			wantErr:    ErrTruncatedHeader,
+			keptShards: 2,
+			lostEvents: func(c []int) int { return c[2] + c[3] },
+		},
+		{
+			name: "torn mid-shard write",
+			corrupt: func(t *testing.T, dir, evPath string, offs []int64, counts []int) {
+				// Cut midway through shard 1's payload.
+				truncateAt(t, evPath, offs[1]+24+(offs[2]-offs[1]-24)/2)
+			},
+			wantErr:    ErrTornShard,
+			keptShards: 1,
+			lostEvents: func(c []int) int { return c[1] + c[2] + c[3] },
+		},
+		{
+			name: "truncated at shard boundary",
+			corrupt: func(t *testing.T, dir, evPath string, offs []int64, counts []int) {
+				// The file scans structurally clean at 3 shards; only the
+				// manifest knows a 4th was certified.
+				truncateAt(t, evPath, offs[3])
+			},
+			wantErr:    ErrTornShard,
+			keptShards: 3,
+			lostEvents: func(c []int) int { return c[3] },
+		},
+		{
+			name: "missing manifest",
+			corrupt: func(t *testing.T, dir, evPath string, offs []int64, counts []int) {
+				if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr:    ErrMissingManifest,
+			keptShards: 4,
+			lostEvents: func(c []int) int { return 0 },
+		},
+		{
+			name: "checksum mismatch",
+			corrupt: func(t *testing.T, dir, evPath string, offs []int64, counts []int) {
+				// Flip one payload byte in shard 2: structure stays whole,
+				// only the manifest checksum can catch it.
+				flipByteAt(t, evPath, offs[2]+24+5)
+			},
+			wantErr:    ErrChecksumMismatch,
+			keptShards: 2,
+			lostEvents: func(c []int) int { return c[2] + c[3] },
+		},
+		{
+			name: "stale manifest certifies fewer shards",
+			corrupt: func(t *testing.T, dir, evPath string, offs []int64, counts []int) {
+				// A manifest from before a re-Save appended shards: the
+				// uncertified tail cannot be trusted.
+				man, err := ReadManifest(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				man.Shards[0] = man.Shards[0][:2]
+				if err := writeManifestRaw(dir, man); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr:    ErrChecksumMismatch,
+			keptShards: 2,
+			// The uncertified tail never counted as validated data, so
+			// zero *validated* events are reported lost.
+			lostEvents: func(c []int) int { return 0 },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := multiShardSample()
+			dir := filepath.Join(t.TempDir(), "s.er")
+			if err := e.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			man, err := ReadManifest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offs := shardOffsets(t, man)
+			counts := make([]int, len(man.Shards[0]))
+			for i, s := range man.Shards[0] {
+				counts[i] = s.Count
+			}
+			evPath := filepath.Join(dir, hwcV2Name(0))
+			tc.corrupt(t, dir, evPath, offs, counts)
+
+			rep, err := Recover(dir)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if rep.Clean {
+				t.Fatal("damaged directory reported Clean")
+			}
+			var match bool
+			for _, l := range rep.Losses {
+				if errors.Is(l.Err, tc.wantErr) {
+					match = true
+				}
+			}
+			if !match {
+				t.Errorf("losses %v carry no %v", rep.Losses, tc.wantErr)
+			}
+			if rep.ShardsKept[0] != tc.keptShards {
+				t.Errorf("ShardsKept[0] = %d, want %d", rep.ShardsKept[0], tc.keptShards)
+			}
+			wantKept := 0
+			for _, c := range counts[:tc.keptShards] {
+				wantKept += c
+			}
+			if rep.EventsKept[0] != wantKept {
+				t.Errorf("EventsKept[0] = %d, want %d", rep.EventsKept[0], wantKept)
+			}
+			if want := tc.lostEvents(counts); rep.EventsLost[0] != want {
+				t.Errorf("EventsLost[0] = %d, want %d", rep.EventsLost[0], want)
+			}
+
+			// The rewritten directory must load, carry the degradation
+			// note, and hold exactly the validated event prefix.
+			back, err := Load(dir)
+			if err != nil {
+				t.Fatalf("Load after Recover: %v", err)
+			}
+			if back.Meta.Degraded == "" || !strings.HasPrefix(back.Meta.Degraded, "recovered:") {
+				t.Errorf("Meta.Degraded = %q, want a recovery note", back.Meta.Degraded)
+			}
+			if len(back.HWC[0]) != wantKept {
+				t.Fatalf("recovered experiment has %d events, want %d", len(back.HWC[0]), wantKept)
+			}
+			for i := range back.HWC[0] {
+				if !reflect.DeepEqual(back.HWC[0][i], e.HWC[0][i]) {
+					t.Fatalf("recovered event %d differs: %+v vs %+v", i, back.HWC[0][i], e.HWC[0][i])
+				}
+			}
+
+			// A second recovery finds nothing more to fix (the degradation
+			// note in meta is expected and not a defect).
+			rep2, err := Recover(dir)
+			if err != nil {
+				t.Fatalf("second Recover: %v", err)
+			}
+			if !rep2.Clean {
+				t.Errorf("second Recover not Clean: losses %v", rep2.Losses)
+			}
+		})
+	}
+}
+
+// writeManifestRaw writes an explicit (possibly wrong) manifest, for
+// stale-manifest tests.
+func writeManifestRaw(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+// TestRecoverUnrecoverable: without a readable meta header or program
+// object no report can be built; Recover must refuse with
+// ErrUnrecoverable rather than fabricate an empty experiment.
+func TestRecoverUnrecoverable(t *testing.T) {
+	for _, file := range []string{metaFile, progFile} {
+		t.Run(file, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "s.er")
+			if err := sample().Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, file), []byte("garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Recover(dir)
+			if !errors.Is(err, ErrUnrecoverable) {
+				t.Errorf("Recover with corrupt %s: %v, want ErrUnrecoverable", file, err)
+			}
+		})
+	}
+}
+
+// TestRecoverSideFilesDegrade: damaged clock/alloc gobs degrade to empty
+// with a loss entry instead of failing recovery.
+func TestRecoverSideFilesDegrade(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s.er")
+	if err := sample().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{clockFile, allocsFile} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte{0x13}, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ClockLost || !rep.AllocsLost {
+		t.Errorf("ClockLost=%v AllocsLost=%v, want both true", rep.ClockLost, rep.AllocsLost)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after Recover: %v", err)
+	}
+	if len(back.Clock) != 0 || len(back.Allocs) != 0 {
+		t.Errorf("degraded side data not emptied: %d clock, %d allocs", len(back.Clock), len(back.Allocs))
+	}
+	for _, want := range []string{"clock data lost", "alloc data lost"} {
+		if !strings.Contains(back.Meta.Degraded, want) {
+			t.Errorf("Meta.Degraded = %q, missing %q", back.Meta.Degraded, want)
+		}
+	}
+}
+
+// TestRecoverProvisional: a spool directory holding only the provisional
+// header, program, and a shard prefix — the state a crash mid-collect
+// leaves behind — recovers into a loadable degraded experiment.
+func TestRecoverProvisional(t *testing.T) {
+	e := multiShardSample()
+	dir := filepath.Join(t.TempDir(), "spool.er")
+	if err := e.WriteProvisional(nil, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Spool two full shards, as the collector would have before dying.
+	w, err := NewShardWriter(filepath.Join(dir, hwcV2Name(0)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range e.HWC[0][:2*DefaultShardEvents] {
+		if err := w.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean {
+		t.Error("provisional directory reported Clean")
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after Recover: %v", err)
+	}
+	if len(back.HWC[0]) != 2*DefaultShardEvents {
+		t.Errorf("recovered %d spooled events, want %d", len(back.HWC[0]), 2*DefaultShardEvents)
+	}
+	if back.Meta.ExitStatus != ProvisionalExitStatus {
+		t.Errorf("ExitStatus = %q, want the provisional marker preserved", back.Meta.ExitStatus)
+	}
+	if back.Meta.Degraded == "" {
+		t.Error("recovered provisional experiment carries no degradation note")
+	}
+}

@@ -29,8 +29,11 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+
+	"dsprof/internal/faultfs"
 )
 
 // shardMagic begins every v2 counter-event file.
@@ -62,6 +65,13 @@ type Shard struct {
 
 	offset int64 // payload offset in the shard file (0 for in-memory shards)
 	length int64 // payload length in bytes (0 for in-memory shards)
+
+	// Manifest-sourced payload checksum. When hasCRC is set, ReadShard
+	// verifies the raw payload bytes against crc before decoding, so a
+	// bit flip inside a shard is reported as a checksum mismatch rather
+	// than a gob decode error (or worse, silently wrong events).
+	crc    uint32
+	hasCRC bool
 }
 
 // ShardWriter appends counter events to a v2 shard file, flushing a
@@ -70,7 +80,7 @@ type Shard struct {
 // not grow with run length, and Flush writes the partial tail shard so
 // a cancelled run still leaves a readable experiment.
 type ShardWriter struct {
-	f      *os.File
+	f      faultfs.File
 	pic    int
 	limit  int
 	buf    []HWCEvent
@@ -81,13 +91,19 @@ type ShardWriter struct {
 }
 
 // NewShardWriter creates (truncating) the shard file at path for the
-// given PIC.
+// given PIC on the real filesystem.
 func NewShardWriter(path string, pic int) (*ShardWriter, error) {
-	f, err := os.Create(path)
+	return NewShardWriterFS(faultfs.OS, path, pic)
+}
+
+// NewShardWriterFS is NewShardWriter through a pluggable filesystem, the
+// collector's spool seam for fault injection and crash-trace recording.
+func NewShardWriterFS(fsys faultfs.FS, path string, pic int) (*ShardWriter, error) {
+	f, err := faultfs.Or(fsys).Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: shard file: %w", err)
 	}
-	if _, err := f.WriteString(shardMagic); err != nil {
+	if _, err := f.Write([]byte(shardMagic)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("experiment: shard file: %w", err)
 	}
@@ -98,6 +114,15 @@ func NewShardWriter(path string, pic int) (*ShardWriter, error) {
 		buf:   make([]HWCEvent, 0, DefaultShardEvents),
 		off:   int64(len(shardMagic)),
 	}, nil
+}
+
+// SetShardEvents overrides the shard size for subsequently flushed
+// shards. The fault soak uses small shards so a short collect still
+// crosses many shard boundaries; n <= 0 keeps the current size.
+func (w *ShardWriter) SetShardEvents(n int) {
+	if n > 0 {
+		w.limit = n
+	}
 }
 
 // Append buffers one event, writing a full shard to disk whenever the
@@ -240,8 +265,10 @@ func readShardIndex(path string, pic int) ([]Shard, error) {
 	}
 }
 
-// readShardFile decodes one shard's payload from a v2 shard file.
-// Decoding never panics even on corrupted payload bytes.
+// readShardFile decodes one shard's payload from a v2 shard file,
+// first verifying the payload checksum when the shard carries one (from
+// the experiment manifest). Decoding never panics even on corrupted
+// payload bytes.
 func readShardFile(path string, sh Shard) (evs []HWCEvent, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -253,8 +280,19 @@ func readShardFile(path string, sh Shard) (evs []HWCEvent, err error) {
 			evs, err = nil, fmt.Errorf("corrupted %s: shard %d: %v", path, sh.Index, r)
 		}
 	}()
-	sec := io.NewSectionReader(f, sh.offset, sh.length)
-	if err := gob.NewDecoder(sec).Decode(&evs); err != nil {
+	var payload io.Reader = io.NewSectionReader(f, sh.offset, sh.length)
+	if sh.hasCRC {
+		raw := make([]byte, sh.length)
+		if _, err := io.ReadFull(payload.(*io.SectionReader), raw); err != nil {
+			return nil, fmt.Errorf("corrupted %s: shard %d: truncated payload", path, sh.Index)
+		}
+		if got := crc32.ChecksumIEEE(raw); got != sh.crc {
+			return nil, fmt.Errorf("corrupted %s: shard %d: %w (crc %08x, manifest says %08x)",
+				path, sh.Index, ErrChecksumMismatch, got, sh.crc)
+		}
+		payload = bytes.NewReader(raw)
+	}
+	if err := gob.NewDecoder(payload).Decode(&evs); err != nil {
 		return nil, fmt.Errorf("corrupted %s: shard %d: %w", path, sh.Index, err)
 	}
 	if len(evs) != sh.Count {
@@ -266,11 +304,11 @@ func readShardFile(path string, sh Shard) (evs []HWCEvent, err error) {
 
 // writeShardFile writes one PIC's in-memory events as a v2 shard file
 // and returns the shard table. No file is written when evs is empty.
-func writeShardFile(path string, pic int, evs []HWCEvent) ([]Shard, error) {
+func writeShardFile(fsys faultfs.FS, path string, pic int, evs []HWCEvent) ([]Shard, error) {
 	if len(evs) == 0 {
 		return nil, nil
 	}
-	w, err := NewShardWriter(path, pic)
+	w, err := NewShardWriterFS(fsys, path, pic)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +322,69 @@ func writeShardFile(path string, pic int, evs []HWCEvent) ([]Shard, error) {
 		return nil, err
 	}
 	return w.Shards(), nil
+}
+
+// scanShardPrefix is the recovery-path variant of readShardIndex: it
+// scans as many structurally valid shards as the file holds and, instead
+// of failing on a damaged tail, returns the good prefix plus a typed
+// loss describing the cut — ErrTruncatedHeader for a short or
+// implausible header (including a missing/short magic), ErrTornShard for
+// a payload cut off mid-write. A missing file is zero shards and no
+// loss. The returned prefix is structural only; checksum validation
+// against the manifest is the caller's job.
+func scanShardPrefix(path string, pic int) (shards []Shard, loss error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w: %v", path, ErrTornShard, err)
+	}
+	defer f.Close()
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	var magic [len(shardMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != shardMagic {
+		return nil, fmt.Errorf("%s: %w: bad or short magic", path, ErrTruncatedHeader)
+	}
+	off := int64(len(shardMagic))
+	for off < size {
+		if size-off < shardHeaderBytes {
+			return shards, fmt.Errorf("%s: shard %d: %w: %d trailing bytes",
+				path, len(shards), ErrTruncatedHeader, size-off)
+		}
+		var hdr [shardHeaderBytes]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return shards, fmt.Errorf("%s: shard %d: %w", path, len(shards), ErrTruncatedHeader)
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:]))
+		count := int(binary.LittleEndian.Uint32(hdr[4:]))
+		if length <= 0 || length > maxShardPayload || count <= 0 {
+			return shards, fmt.Errorf("%s: shard %d: %w: implausible header (len %d, count %d)",
+				path, len(shards), ErrTruncatedHeader, length, count)
+		}
+		if size-off-shardHeaderBytes < length {
+			return shards, fmt.Errorf("%s: shard %d: %w: payload %d bytes, %d on disk",
+				path, len(shards), ErrTornShard, length, size-off-shardHeaderBytes)
+		}
+		sh := Shard{
+			PIC:       pic,
+			Index:     len(shards),
+			Count:     count,
+			MinCycles: binary.LittleEndian.Uint64(hdr[8:]),
+			MaxCycles: binary.LittleEndian.Uint64(hdr[16:]),
+			offset:    off + shardHeaderBytes,
+			length:    length,
+		}
+		if _, err := f.Seek(length, io.SeekCurrent); err != nil {
+			return shards, fmt.Errorf("%s: shard %d: %w: %v", path, len(shards), ErrTornShard, err)
+		}
+		off = sh.offset + length
+		shards = append(shards, sh)
+	}
+	return shards, nil
 }
 
 // syntheticShards slices an in-memory event stream into fixed-size

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"dsprof/internal/faultfs"
 )
 
 func shardEvents(n int) []HWCEvent {
@@ -102,7 +104,7 @@ func TestShardWriterFlushPartial(t *testing.T) {
 
 func TestShardIndexTruncated(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "hwc0.ev2")
-	if _, err := writeShardFile(path, 0, shardEvents(10)); err != nil {
+	if _, err := writeShardFile(faultfs.OS, path, 0, shardEvents(10)); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)

@@ -1,0 +1,105 @@
+// Package faultfs is the collector pipeline's pluggable filesystem: a
+// small interface over the mutating operations the experiment writer,
+// the spool, and the profd store perform (create/write/sync/rename/
+// remove), with three implementations:
+//
+//   - OS, the passthrough to the real filesystem;
+//   - Injected, a deterministic fault injector (fail the Nth operation
+//     with an error, ENOSPC, a torn write, a short write, or a crash
+//     point that freezes all further I/O) for testing every error path
+//     of the experiment pipeline;
+//   - Recorder/Replay, which capture a run's complete mutation trace and
+//     re-materialize the filesystem state as of any operation boundary —
+//     the engine of the crash-point soak harness, which replays hundreds
+//     of crash points over one recorded collect without re-running it.
+//
+// Read paths stay on the real filesystem: torn and truncated *reads* are
+// already covered by the experiment loader's corruption handling and its
+// fuzz targets; what needed a seam was the write side.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable handle the pipeline uses: sequential writes, an
+// explicit durability point, and close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the mutating-filesystem interface threaded through the
+// experiment writer, the collector spool, and the profd store.
+type FS interface {
+	// Create creates (truncating) the named file for writing.
+	Create(name string) (File, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// RemoveAll deletes the named tree.
+	RemoveAll(path string) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs the named directory, making preceding renames and
+	// creates in it durable across power loss.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough implementation over the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) SyncDir(dir string) error                     { return syncDir(dir) }
+
+// syncDir fsyncs a directory. Filesystems that do not support fsync on
+// directories report EINVAL/ENOTSUP; that is not a durability failure
+// the caller can act on, so sync errors are swallowed — only a missing
+// or unreadable directory is reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}
+
+// WriteFile writes data to the named file through fsys, syncing it
+// before close — the faultfs analogue of os.WriteFile.
+func WriteFile(fsys FS, name string, data []byte) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Or returns fsys, or OS when fsys is nil — the idiom option structs use
+// to make the real filesystem the zero-value default.
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

@@ -1,0 +1,241 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeTwo runs a fixed small workload — mkdir, two files of two writes
+// each with sync, a rename, a dir sync — and returns the first error.
+// Its deterministic op sequence is:
+//
+//	1 MkdirAll, 2 Create a, 3 Write a, 4 Write a, 5 Sync a,
+//	6 Create b, 7 Write b, 8 Write b, 9 Sync b, 10 Rename b->c,
+//	11 SyncDir
+func writeTwo(fsys FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string) error {
+		f, err := fsys.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		for _, chunk := range []string{"hello ", "world"} {
+			if _, err := f.Write([]byte(chunk)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("a"); err != nil {
+		return err
+	}
+	if err := write("b"); err != nil {
+		return err
+	}
+	if err := fsys.Rename(filepath.Join(dir, "b"), filepath.Join(dir, "c")); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+const writeTwoOps = 11
+
+func TestOSPassthrough(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w")
+	if err := writeTwo(OS, dir); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]string{"a": "hello world", "c": "hello world"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != want {
+			t.Errorf("%s = %q, want %q", name, b, want)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Error("rename left the source behind")
+	}
+}
+
+func TestInjectedOpCount(t *testing.T) {
+	inj := NewInjected(OS, Schedule{Op: 1 << 30})
+	if err := writeTwo(inj, filepath.Join(t.TempDir(), "w")); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Ops() != writeTwoOps {
+		t.Fatalf("workload counted %d ops, want %d", inj.Ops(), writeTwoOps)
+	}
+	if inj.Fired() {
+		t.Error("out-of-range schedule fired")
+	}
+}
+
+// TestInjectedEveryOp fails the workload at each op index in each
+// "fail once" mode and checks the error surfaces and later runs of the
+// same FS instance are unaffected only for non-freezing modes.
+func TestInjectedEveryOp(t *testing.T) {
+	for op := 1; op <= writeTwoOps; op++ {
+		for _, mode := range []Mode{ModeError, ModeENOSPC, ModeCrash} {
+			inj := NewInjected(OS, Schedule{Op: op, Mode: mode})
+			err := writeTwo(inj, filepath.Join(t.TempDir(), "w"))
+			if err == nil {
+				t.Fatalf("op %d mode %v: workload succeeded", op, mode)
+			}
+			if !inj.Fired() {
+				t.Fatalf("op %d mode %v: fault did not fire", op, mode)
+			}
+			switch mode {
+			case ModeError:
+				if !errors.Is(err, ErrInjected) {
+					t.Errorf("op %d: err = %v, want ErrInjected", op, err)
+				}
+			case ModeENOSPC:
+				if !errors.Is(err, syscall.ENOSPC) {
+					t.Errorf("op %d: err = %v, want ENOSPC", op, err)
+				}
+			case ModeCrash:
+				if !errors.Is(err, ErrCrashed) {
+					t.Errorf("op %d: err = %v, want ErrCrashed", op, err)
+				}
+				if !inj.Crashed() {
+					t.Errorf("op %d: crash point did not freeze the FS", op)
+				}
+			}
+		}
+	}
+}
+
+func TestInjectedTornWrite(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w")
+	// Op 4 is the second write to file a ("world").
+	inj := NewInjected(OS, Schedule{Op: 4, Mode: ModeTorn})
+	err := writeTwo(inj, dir)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("torn write did not freeze the FS")
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello wo" { // "hello " + half of "world"
+		t.Errorf("torn file = %q, want %q", b, "hello wo")
+	}
+	// The freeze must hold: no further I/O works.
+	if _, err := inj.Create(filepath.Join(dir, "later")); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash Create = %v, want ErrCrashed", err)
+	}
+}
+
+func TestInjectedShortWrite(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "w")
+	inj := NewInjected(OS, Schedule{Op: 4, Mode: ModeShort})
+	err := writeTwo(inj, dir)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v, want ErrInjected", err)
+	}
+	if inj.Crashed() {
+		t.Fatal("short write froze the FS; only torn writes crash")
+	}
+	// Later I/O still works.
+	if err := WriteFile(inj, filepath.Join(dir, "later"), []byte("x")); err != nil {
+		t.Errorf("post-short-write I/O failed: %v", err)
+	}
+}
+
+func TestReplayPrefixes(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "src")
+	rec := NewRecorder(OS)
+	if err := writeTwo(rec, src); err != nil {
+		t.Fatal(err)
+	}
+	ops := rec.Ops()
+	// Close ops are recorded too, so the trace is longer than the
+	// counted mutations.
+	if len(ops) <= writeTwoOps {
+		t.Fatalf("trace has %d ops, want > %d", len(ops), writeTwoOps)
+	}
+
+	// Full replay reproduces the directory byte-for-byte.
+	dst := filepath.Join(t.TempDir(), "dst")
+	if err := Replay(OS, ops, len(ops), false, RemapPrefix(src, dst)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "c"} {
+		want, _ := os.ReadFile(filepath.Join(src, name))
+		got, err := os.ReadFile(filepath.Join(dst, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("replayed %s = %q, want %q", name, got, want)
+		}
+	}
+
+	// Every prefix replays cleanly, and file sizes grow monotonically
+	// with the prefix.
+	lastA := int64(-1)
+	for n := 0; n <= len(ops); n++ {
+		d := filepath.Join(t.TempDir(), "p")
+		if err := Replay(OS, ops, n, false, RemapPrefix(src, d)); err != nil {
+			t.Fatalf("prefix %d: %v", n, err)
+		}
+		if st, err := os.Stat(filepath.Join(d, "a")); err == nil {
+			if st.Size() < lastA {
+				t.Fatalf("prefix %d: file a shrank (%d -> %d)", n, lastA, st.Size())
+			}
+			lastA = st.Size()
+		}
+	}
+
+	// A torn replay of a write op leaves half its payload.
+	var writeIdx = -1
+	for i, op := range ops {
+		if op.Kind == OpWrite && op.Path == filepath.Join(src, "a") {
+			writeIdx = i // second write to a wins
+		}
+	}
+	d := filepath.Join(t.TempDir(), "torn")
+	if err := Replay(OS, ops, writeIdx, true, RemapPrefix(src, d)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(d, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello wo" {
+		t.Errorf("torn replay of a = %q, want %q", b, "hello wo")
+	}
+}
+
+func TestWriteFileAndOr(t *testing.T) {
+	if Or(nil) != OS {
+		t.Error("Or(nil) != OS")
+	}
+	inj := NewInjected(OS, Schedule{Op: 1 << 30})
+	if fs := Or(inj); fs != FS(inj) {
+		t.Error("Or(fs) != fs")
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFile(OS, path, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "data" {
+		t.Errorf("WriteFile wrote %q", b)
+	}
+}

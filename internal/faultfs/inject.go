@@ -1,0 +1,244 @@
+package faultfs
+
+// inject.go is the deterministic fault injector: an FS wrapper that
+// counts mutating operations and makes exactly one of them misbehave
+// according to a schedule — an injected error, ENOSPC, a torn write
+// (half the bytes reach the disk, then the machine "dies"), a short
+// write, or a crash point after which every further operation fails as
+// if the process had been killed. Because the experiment pipeline's
+// write sequence is deterministic, (schedule, workload) reproduces the
+// same failure byte-for-byte on every run.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Mode selects what happens at the scheduled operation.
+type Mode int
+
+// Fault modes.
+const (
+	// ModeError fails the scheduled operation with ErrInjected; later
+	// operations proceed normally (a transient fault).
+	ModeError Mode = iota
+	// ModeENOSPC fails the scheduled operation with ENOSPC; later
+	// operations proceed normally (the disk-full window passed).
+	ModeENOSPC
+	// ModeShort performs half of the scheduled write, returns a short
+	// count with ErrInjected, and lets later operations proceed.
+	ModeShort
+	// ModeTorn performs half of the scheduled write and then freezes:
+	// the write fails and every later operation fails with ErrCrashed,
+	// as if power was lost mid-write.
+	ModeTorn
+	// ModeCrash freezes before the scheduled operation: it and every
+	// later operation fail with ErrCrashed and touch nothing.
+	ModeCrash
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeENOSPC:
+		return "enospc"
+	case ModeShort:
+		return "short"
+	case ModeTorn:
+		return "torn"
+	case ModeCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Injection errors.
+var (
+	// ErrInjected is the generic injected failure.
+	ErrInjected = errors.New("faultfs: injected fault")
+	// ErrCrashed is returned by every operation after a crash point.
+	ErrCrashed = errors.New("faultfs: crashed (I/O frozen)")
+)
+
+// Schedule names one fault: the 1-based index of the mutating operation
+// to hit, and how it misbehaves. Operations are counted across the
+// whole FS in call order: Create, each Write, Sync, Rename, Remove,
+// RemoveAll, MkdirAll and SyncDir are one operation each (Close is
+// free). Op 0 with ModeCrash crashes before any I/O.
+type Schedule struct {
+	Op   int
+	Mode Mode
+}
+
+// Injected wraps an FS with one scheduled fault.
+type Injected struct {
+	inner FS
+
+	mu      sync.Mutex
+	sched   Schedule
+	ops     int
+	fired   bool
+	crashed bool
+}
+
+// NewInjected returns an FS that behaves like inner except at the
+// scheduled operation.
+func NewInjected(inner FS, sched Schedule) *Injected {
+	inj := &Injected{inner: inner, sched: sched}
+	if sched.Mode == ModeCrash && sched.Op <= 0 {
+		inj.crashed = true
+	}
+	return inj
+}
+
+// Ops returns how many mutating operations have been attempted so far —
+// run a workload over an Injected with an out-of-range schedule (or over
+// a Recorder) to discover a workload's operation count.
+func (i *Injected) Ops() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// Fired reports whether the scheduled fault has triggered.
+func (i *Injected) Fired() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fired
+}
+
+// Crashed reports whether the FS is frozen (a torn write or crash point
+// triggered).
+func (i *Injected) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// step accounts one operation and decides its fate: err non-nil means
+// the operation must fail with that error without touching the inner
+// FS; tear true means a write must deliver only half its payload (and,
+// for ModeTorn, freeze afterwards).
+func (i *Injected) step() (tear bool, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return false, ErrCrashed
+	}
+	i.ops++
+	if i.fired || i.ops != i.sched.Op {
+		return false, nil
+	}
+	i.fired = true
+	switch i.sched.Mode {
+	case ModeError:
+		return false, ErrInjected
+	case ModeENOSPC:
+		return false, fmt.Errorf("faultfs: injected fault: %w", syscall.ENOSPC)
+	case ModeShort, ModeTorn:
+		return true, nil
+	case ModeCrash:
+		i.crashed = true
+		return false, ErrCrashed
+	}
+	return false, nil
+}
+
+func (i *Injected) Create(name string) (File, error) {
+	if _, err := i.step(); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{fs: i, f: f}, nil
+}
+
+func (i *Injected) Rename(oldpath, newpath string) error {
+	if _, err := i.step(); err != nil {
+		return err
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injected) Remove(name string) error {
+	if _, err := i.step(); err != nil {
+		return err
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injected) RemoveAll(path string) error {
+	if _, err := i.step(); err != nil {
+		return err
+	}
+	return i.inner.RemoveAll(path)
+}
+
+func (i *Injected) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := i.step(); err != nil {
+		return err
+	}
+	return i.inner.MkdirAll(path, perm)
+}
+
+func (i *Injected) SyncDir(dir string) error {
+	if _, err := i.step(); err != nil {
+		return err
+	}
+	return i.inner.SyncDir(dir)
+}
+
+type injectedFile struct {
+	fs *Injected
+	f  File
+}
+
+func (f *injectedFile) Write(p []byte) (int, error) {
+	tear, err := f.fs.step()
+	if err != nil {
+		return 0, err
+	}
+	if tear {
+		n, werr := f.f.Write(p[:len(p)/2])
+		if f.fs.sched.Mode == ModeTorn {
+			f.fs.mu.Lock()
+			f.fs.crashed = true
+			f.fs.mu.Unlock()
+			if werr == nil {
+				werr = ErrCrashed
+			}
+			return n, werr
+		}
+		if werr == nil {
+			werr = fmt.Errorf("faultfs: injected short write: %w", ErrInjected)
+		}
+		return n, werr
+	}
+	return f.f.Write(p)
+}
+
+func (f *injectedFile) Sync() error {
+	if _, err := f.fs.step(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close is not a counted operation, but a crashed FS refuses it too so
+// no buffered state is flushed "after death".
+func (f *injectedFile) Close() error {
+	f.fs.mu.Lock()
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	closeErr := f.f.Close()
+	if crashed {
+		return ErrCrashed
+	}
+	return closeErr
+}

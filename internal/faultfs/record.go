@@ -1,0 +1,272 @@
+package faultfs
+
+// record.go captures a workload's complete mutation trace and replays
+// any prefix of it into a fresh directory tree. This is how the
+// crash-point soak harness turns one recorded collect run into hundreds
+// of deterministic crash images: record the ~N I/O operations of a full
+// run once, then for every boundary k materialize "the filesystem the
+// moment the machine died after operation k" (optionally tearing the
+// k-th write in half) and drive recovery over it — no re-simulation.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// OpKind identifies one recorded filesystem mutation.
+type OpKind int
+
+// Recorded operation kinds.
+const (
+	OpCreate OpKind = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpRemoveAll
+	OpMkdirAll
+	OpSyncDir
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpRemoveAll:
+		return "removeall"
+	case OpMkdirAll:
+		return "mkdirall"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one recorded mutation. Path2 is the rename target; Data is the
+// written payload (a private copy); Perm is the MkdirAll mode.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string
+	Data  []byte
+	Perm  os.FileMode
+}
+
+// Recorder is an FS that forwards every operation to an inner FS while
+// appending it to a trace.
+type Recorder struct {
+	inner FS
+
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns a recording wrapper around inner.
+func NewRecorder(inner FS) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Ops returns a snapshot of the trace recorded so far.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+func (r *Recorder) record(op Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) Create(name string) (File, error) {
+	f, err := r.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	r.record(Op{Kind: OpCreate, Path: name})
+	return &recordedFile{r: r, path: name, f: f}, nil
+}
+
+func (r *Recorder) Rename(oldpath, newpath string) error {
+	if err := r.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRename, Path: oldpath, Path2: newpath})
+	return nil
+}
+
+func (r *Recorder) Remove(name string) error {
+	if err := r.inner.Remove(name); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRemove, Path: name})
+	return nil
+}
+
+func (r *Recorder) RemoveAll(path string) error {
+	if err := r.inner.RemoveAll(path); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpRemoveAll, Path: path})
+	return nil
+}
+
+func (r *Recorder) MkdirAll(path string, perm os.FileMode) error {
+	if err := r.inner.MkdirAll(path, perm); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpMkdirAll, Path: path, Perm: perm})
+	return nil
+}
+
+func (r *Recorder) SyncDir(dir string) error {
+	if err := r.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	r.record(Op{Kind: OpSyncDir, Path: dir})
+	return nil
+}
+
+type recordedFile struct {
+	r    *Recorder
+	path string
+	f    File
+}
+
+func (f *recordedFile) Write(p []byte) (int, error) {
+	n, err := f.f.Write(p)
+	if err != nil {
+		return n, err
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	f.r.record(Op{Kind: OpWrite, Path: f.path, Data: data})
+	return n, nil
+}
+
+func (f *recordedFile) Sync() error {
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.r.record(Op{Kind: OpSync, Path: f.path})
+	return nil
+}
+
+func (f *recordedFile) Close() error {
+	if err := f.f.Close(); err != nil {
+		return err
+	}
+	f.r.record(Op{Kind: OpClose, Path: f.path})
+	return nil
+}
+
+// RemapPrefix returns a path-rewriting function replacing the from
+// directory prefix with to — the usual way to replay a trace recorded
+// in one directory into another.
+func RemapPrefix(from, to string) func(string) string {
+	return func(p string) string {
+		if p == from {
+			return to
+		}
+		if strings.HasPrefix(p, from+string(os.PathSeparator)) {
+			return to + p[len(from):]
+		}
+		return p
+	}
+}
+
+// Replay applies the first n operations of a recorded trace to fsys,
+// remapping every path through remap (nil = identity). With torn set
+// and ops[n] a write, half of that write's payload is applied too —
+// the crash image of a machine dying mid-write. Any handles still open
+// after the prefix are closed (the data written through them stays, as
+// it would on a real crash). Replay fails only on filesystem errors:
+// a well-formed trace prefix always applies cleanly.
+func Replay(fsys FS, ops []Op, n int, torn bool, remap func(string) string) error {
+	if remap == nil {
+		remap = func(p string) string { return p }
+	}
+	if n < 0 || n > len(ops) {
+		return fmt.Errorf("faultfs: replay prefix %d out of range (trace has %d ops)", n, len(ops))
+	}
+	handles := make(map[string]File)
+	defer func() {
+		for _, f := range handles {
+			f.Close()
+		}
+	}()
+	apply := func(op Op, tear bool) error {
+		switch op.Kind {
+		case OpCreate:
+			f, err := fsys.Create(remap(op.Path))
+			if err != nil {
+				return err
+			}
+			if old, ok := handles[op.Path]; ok {
+				old.Close()
+			}
+			handles[op.Path] = f
+			return nil
+		case OpWrite:
+			f, ok := handles[op.Path]
+			if !ok {
+				return fmt.Errorf("faultfs: replay: write to %s with no open handle", op.Path)
+			}
+			data := op.Data
+			if tear {
+				data = data[:len(data)/2]
+			}
+			_, err := f.Write(data)
+			return err
+		case OpSync:
+			if f, ok := handles[op.Path]; ok {
+				return f.Sync()
+			}
+			return nil
+		case OpClose:
+			if f, ok := handles[op.Path]; ok {
+				delete(handles, op.Path)
+				return f.Close()
+			}
+			return nil
+		case OpRename:
+			return fsys.Rename(remap(op.Path), remap(op.Path2))
+		case OpRemove:
+			return fsys.Remove(remap(op.Path))
+		case OpRemoveAll:
+			return fsys.RemoveAll(remap(op.Path))
+		case OpMkdirAll:
+			return fsys.MkdirAll(remap(op.Path), op.Perm)
+		case OpSyncDir:
+			return fsys.SyncDir(remap(op.Path))
+		}
+		return fmt.Errorf("faultfs: replay: unknown op kind %v", op.Kind)
+	}
+	for k := 0; k < n; k++ {
+		if err := apply(ops[k], false); err != nil {
+			return fmt.Errorf("faultfs: replay op %d (%v %s): %w", k, ops[k].Kind, ops[k].Path, err)
+		}
+	}
+	if torn && n < len(ops) && ops[n].Kind == OpWrite {
+		if err := apply(ops[n], true); err != nil {
+			return fmt.Errorf("faultfs: replay torn op %d (%s): %w", n, ops[n].Path, err)
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 
 	"dsprof/internal/collect"
 	"dsprof/internal/core"
+	"dsprof/internal/xrand"
 )
 
 // SchedulerConfig sizes the worker pool and queue.
@@ -28,6 +29,13 @@ type SchedulerConfig struct {
 	QueueDepth int
 	// DefaultTimeout applies to jobs that set no TimeoutSec (0 = none).
 	DefaultTimeout time.Duration
+	// RetryBackoff is the delay before the first retry of a transiently
+	// failed job; each further retry doubles it, capped at
+	// RetryBackoffMax, with ±25% deterministic jitter so a burst of
+	// same-fault jobs does not retry in lockstep (default 50ms).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default 2s).
+	RetryBackoffMax time.Duration
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -37,7 +45,31 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 2 * time.Second
+	}
 	return c
+}
+
+// clock abstracts the retry delay so tests drive backoff with a fake
+// clock instead of real sleeps.
+type clock interface {
+	// Sleep waits for d or until ctx is cancelled.
+	Sleep(ctx context.Context, d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // Job is one scheduled profiling run.
@@ -123,6 +155,10 @@ type Scheduler struct {
 	wg         sync.WaitGroup
 
 	runner Runner
+	clock  clock
+
+	jitterMu sync.Mutex
+	jitter   *xrand.Rand
 
 	queued   atomic.Int64
 	running  atomic.Int64
@@ -148,6 +184,8 @@ func NewScheduler(store *Store, cfg SchedulerConfig) *Scheduler {
 		baseCancel: cancel,
 	}
 	s.runner = s.collectJob
+	s.clock = realClock{}
+	s.jitter = xrand.New(0x9e3779b97f4a7c15)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -308,6 +346,16 @@ func (s *Scheduler) runOne(j *Job) {
 			break
 		}
 		s.retried.Add(1)
+		// Back off before the retry: exponential in the attempt number,
+		// capped, jittered. The sleep honours cancellation, so a Cancel
+		// or shutdown mid-backoff ends the job promptly.
+		s.clock.Sleep(ctx, s.backoff(attempt))
+	}
+	// A cancellation that landed during backoff (rather than inside the
+	// runner) leaves the transient error in err; classify it as the
+	// cancellation it is.
+	if err != nil && errors.Is(ctx.Err(), context.Canceled) {
+		err = ctx.Err()
 	}
 
 	finish := func(state JobState, msg string) {
@@ -347,6 +395,24 @@ func (s *Scheduler) runOne(j *Job) {
 		s.done.Add(1)
 		finish(JobDone, "")
 	}
+}
+
+// backoff computes the delay before the retry following failed attempt
+// number attempt (0-based): RetryBackoff << attempt, capped at
+// RetryBackoffMax, scaled by a deterministic jitter factor in
+// [0.75, 1.25).
+func (s *Scheduler) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBackoff
+	for i := 0; i < attempt && d < s.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.RetryBackoffMax {
+		d = s.cfg.RetryBackoffMax
+	}
+	s.jitterMu.Lock()
+	f := 0.75 + 0.5*s.jitter.Float64()
+	s.jitterMu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 // Metrics is a snapshot of the service counters.

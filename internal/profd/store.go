@@ -7,6 +7,7 @@ package profd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 
 	"dsprof/internal/analyzer"
 	"dsprof/internal/experiment"
+	"dsprof/internal/faultfs"
 )
 
 // ExpRecord is one completed experiment in the store's index.
@@ -31,6 +33,9 @@ type ExpRecord struct {
 	Label    string    `json:"label,omitempty"` // collector provenance (e.g. "reorder:node")
 	When     time.Time `json:"when"`
 	Cycles   uint64    `json:"cycles"`
+	// Degraded carries the experiment's recovery note when the store
+	// salvaged it from a failed save instead of failing the job.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 const indexFile = "index.json"
@@ -95,6 +100,7 @@ func (c *shardPartialCache) Put(key string, p *analyzer.ShardPartial) {
 // Store is the on-disk experiment registry plus the analyzer memo.
 type Store struct {
 	root string
+	fsys faultfs.FS // write-side filesystem (faultfs.OS in production)
 
 	mu   sync.Mutex
 	exps map[string]*ExpRecord // by ID
@@ -113,11 +119,19 @@ type Store struct {
 // have vanished are dropped; stray *.tmp directories from interrupted
 // writes are removed.
 func OpenStore(root string) (*Store, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	return OpenStoreFS(faultfs.OS, root)
+}
+
+// OpenStoreFS is OpenStore with a pluggable write-side filesystem — the
+// store's fault-injection seam.
+func OpenStoreFS(fsys faultfs.FS, root string) (*Store, error) {
+	fsys = faultfs.Or(fsys)
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("profd: store root: %w", err)
 	}
 	s := &Store{
 		root:      root,
+		fsys:      fsys,
 		exps:      make(map[string]*ExpRecord),
 		analyzers: make(map[string]*analyzerEntry),
 		partials:  newShardPartialCache(),
@@ -132,7 +146,7 @@ func OpenStore(root string) (*Store, error) {
 	}
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			os.RemoveAll(filepath.Join(root, e.Name()))
+			fsys.RemoveAll(filepath.Join(root, e.Name()))
 		}
 	}
 	return s, nil
@@ -187,10 +201,14 @@ func (s *Store) writeIndex() error {
 		return err
 	}
 	tmp := filepath.Join(s.root, indexFile+".tmp")
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if err := faultfs.WriteFile(s.fsys, tmp, b); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(s.root, indexFile))
+	if err := s.fsys.Rename(tmp, filepath.Join(s.root, indexFile)); err != nil {
+		return err
+	}
+	// Make the committed index durable across power loss.
+	return s.fsys.SyncDir(s.root)
 }
 
 // Put persists a completed experiment under the managed root and
@@ -216,11 +234,26 @@ func (s *Store) Put(spec *JobSpec, exp *experiment.Experiment) (*ExpRecord, erro
 	}
 	final := filepath.Join(s.root, rec.Dir)
 	tmp := final + ".tmp"
-	if err := exp.Save(tmp); err != nil {
-		os.RemoveAll(tmp)
-		return nil, fmt.Errorf("profd: saving experiment: %w", err)
+	if err := exp.SaveFS(s.fsys, tmp); err != nil {
+		// Graceful degradation: a fault mid-save may still have left a
+		// salvageable directory (the manifest-validated shard prefix).
+		// Recover it and commit the degraded experiment rather than
+		// failing the whole job; only an unrecoverable directory (or a
+		// still-failing filesystem) fails the Put.
+		rrep, rerr := experiment.RecoverFS(s.fsys, tmp)
+		if rerr != nil {
+			s.fsys.RemoveAll(tmp)
+			if !errors.Is(rerr, experiment.ErrUnrecoverable) {
+				return nil, fmt.Errorf("profd: saving experiment: %w (recovery also failed: %v)", err, rerr)
+			}
+			return nil, fmt.Errorf("profd: saving experiment: %w", err)
+		}
+		rec.Degraded = rrep.Summary()
+	} else if exp.Meta.Degraded != "" {
+		rec.Degraded = exp.Meta.Degraded
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	ownFinal := true
+	if err := s.fsys.Rename(tmp, final); err != nil {
 		// Two stores on the same root (or a crashed predecessor) can
 		// race persisting the same config hash: the loser's rename onto
 		// the existing experiment directory fails even though an
@@ -229,18 +262,39 @@ func (s *Store) Put(spec *JobSpec, exp *experiment.Experiment) (*ExpRecord, erro
 		// success rather than failing the job spuriously.
 		if m, merr := experiment.ReadMeta(final); merr == nil &&
 			m.ProgName == exp.Meta.ProgName && m.Command == exp.Meta.Command {
-			os.RemoveAll(tmp)
+			s.fsys.RemoveAll(tmp)
+			ownFinal = false // the resident directory is the racer's
 		} else {
-			os.RemoveAll(tmp)
+			s.fsys.RemoveAll(tmp)
 			return nil, fmt.Errorf("profd: committing experiment: %w", err)
 		}
 	}
+	// A failure past this point must roll the commit back: a Put that
+	// reports an error while leaving a committed-but-unindexed (or
+	// indexed-in-memory-only) experiment behind would let a retried job
+	// store the data twice.
+	rollback := func() {
+		if ownFinal {
+			s.fsys.RemoveAll(final)
+		}
+	}
+	// Make the committed experiment directory durable: the rename is only
+	// guaranteed to survive power loss once the parent is fsynced.
+	if err := s.fsys.SyncDir(s.root); err != nil {
+		rollback()
+		return nil, fmt.Errorf("profd: committing experiment: %w", err)
+	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.exps[id] = rec
-	if err := s.writeIndex(); err != nil {
-		return nil, fmt.Errorf("profd: writing index: %w", err)
+	werr := s.writeIndex()
+	if werr != nil {
+		delete(s.exps, id)
+	}
+	s.mu.Unlock()
+	if werr != nil {
+		rollback()
+		return nil, fmt.Errorf("profd: writing index: %w", werr)
 	}
 	return rec, nil
 }
