@@ -13,6 +13,17 @@
 //	      "counters":"+ecref,10007,+dtlbm,997"}'
 //	curl -s localhost:7070/jobs                     # wait for "done"
 //	curl -s 'localhost:7070/reports/objects?exp=exp-1,exp-2&sort=ecstall'
+//
+// Cluster mode splits the daemon across machines. A coordinator owns
+// the job queue and the report API; workers run the collections:
+//
+//	profd -role coordinator -addr :7070 -root coord.data
+//	profd -role worker -addr :7071 -coordinator http://coord:7070 \
+//	      -advertise http://worker1:7071 -node-id worker1 -capacity 2
+//
+// Clients talk to the coordinator exactly as in single-node mode; jobs
+// fan out to registered workers, experiments replicate back, and
+// reports reduce across the cluster (GET /cluster/nodes shows health).
 package main
 
 import (
@@ -23,9 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dsprof/internal/cluster"
 	"dsprof/internal/profd"
 )
 
@@ -37,37 +50,90 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent VM workers")
 	queue := flag.Int("queue", 256, "job queue depth")
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+	role := flag.String("role", "", `cluster role: "coordinator" or "worker" (default standalone)`)
+	coordinatorURL := flag.String("coordinator", "", "coordinator base URL (worker role)")
+	advertise := flag.String("advertise", "", "base URL this worker is reachable at (worker role)")
+	nodeID := flag.String("node-id", "", "worker node ID (default hostname)")
+	capacity := flag.Int("capacity", 0, "advertised job capacity (default -workers)")
 	flag.Parse()
 
 	store, err := profd.OpenStore(*root)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched := profd.NewScheduler(store, profd.SchedulerConfig{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-	})
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: profd.NewServer(sched, store).Handler(),
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var sched *profd.Scheduler
+	var handler http.Handler
+	switch *role {
+	case "", "standalone":
+		sched = profd.NewScheduler(store, profd.SchedulerConfig{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+		})
+		handler = profd.NewServer(sched, store).Handler()
+
+	case "coordinator":
+		coord := cluster.NewCoordinator(store, cluster.Config{})
+		sched = profd.NewScheduler(store, profd.SchedulerConfig{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+			Runner:         coord.Run,
+		})
+		api := profd.NewServer(sched, store)
+		coord.Mount(api)
+		coord.Start(ctx)
+		handler = api.Handler()
+
+	case "worker":
+		if *coordinatorURL == "" {
+			log.Fatal("-role worker requires -coordinator")
+		}
+		self := *advertise
+		if self == "" {
+			host, _ := os.Hostname()
+			self = "http://" + host + *addr
+			log.Printf("no -advertise given; advertising %s", self)
+		}
+		id := *nodeID
+		if id == "" {
+			id, _ = os.Hostname()
+		}
+		sched = profd.NewScheduler(store, profd.SchedulerConfig{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+		})
+		w := cluster.NewWorker(id, store, sched)
+		go w.RegisterLoop(ctx, strings.TrimRight(*coordinatorURL, "/"), self, *capacity, nil)
+		handler = w.Handler()
+
+	default:
+		log.Fatalf("unknown -role %q (want coordinator or worker)", *role)
+	}
+
+	srv := profd.NewHTTPServer(*addr, handler)
 	go func() {
 		<-ctx.Done()
 		log.Print("shutting down...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
+		sched.Drain(shutdownCtx) // let running collections finish
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving on %s (root=%s, workers=%d, %d experiments indexed)",
-		*addr, *root, *workers, len(store.List()))
+	roleName := *role
+	if roleName == "" {
+		roleName = "standalone"
+	}
+	log.Printf("serving on %s (role=%s, root=%s, workers=%d, %d experiments indexed)",
+		*addr, roleName, *root, *workers, len(store.List()))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	sched.Close()
 	log.Print("stopped")
 }

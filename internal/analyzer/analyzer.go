@@ -154,6 +154,8 @@ type Analyzer struct {
 
 	Events []AEvent
 
+	cfg          Config // reduction configuration (cache/keys for ReducePartial)
+	reduced      bool   // set once a reduction (local or from partials) ran
 	total        Metrics
 	totalLWP     float64 // seconds
 	totalSys     float64
@@ -182,11 +184,31 @@ func New(exps ...*experiment.Experiment) (*Analyzer, error) {
 // configuration affects only speed: reports are byte-identical for
 // every worker count.
 func NewWithConfig(cfg Config, exps ...*experiment.Experiment) (*Analyzer, error) {
+	a, err := NewContext(cfg, exps...)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.reduce(cfg); err != nil {
+		return nil, err
+	}
+	a.reduced = true
+	return a, nil
+}
+
+// NewContext builds the analyzer shell — symbol tables, interval
+// validation, degradation notes — without running the reduction. It is
+// the entry point of the distributed reduce: a worker node builds a
+// context over its local experiment replica and serves ReducePartial;
+// a coordinator builds one over the full experiment set and completes
+// it with ReduceFromPartials. Until one of those runs, the analyzer
+// holds no aggregates and must not render reports.
+func NewContext(cfg Config, exps ...*experiment.Experiment) (*Analyzer, error) {
 	if len(exps) == 0 {
 		return nil, fmt.Errorf("analyzer: no experiments")
 	}
 	a := &Analyzer{
 		Exps:       exps,
+		cfg:        cfg,
 		Prog:       exps[0].Prog,
 		Intervals:  make(map[hwc.Event]uint64),
 		byPC:       make(map[uint64]*Metrics),
@@ -236,9 +258,6 @@ func NewWithConfig(cfg Config, exps ...*experiment.Experiment) (*Analyzer, error
 			}
 			a.Intervals[cs.Event] = cs.Interval
 		}
-	}
-	if err := a.reduce(cfg); err != nil {
-		return nil, err
 	}
 	return a, nil
 }

@@ -1,0 +1,158 @@
+package analyzer
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"dsprof/internal/cc"
+	"dsprof/internal/experiment"
+)
+
+// TestReduceFromPartialsByteIdentical is the in-package model of the
+// distributed reduce: every work unit's partial is computed by a
+// context that sees only that unit's experiment (exactly what a worker
+// node holding one replica does), serialized, and merged by a
+// coordinator context over the full set. Every registered report must
+// be byte-identical to the serial single-process reference.
+func TestReduceFromPartialsByteIdentical(t *testing.T) {
+	prog := buildWorkload(t, cc.Options{HWCProf: true})
+	expA, expB := collectPair(t, prog, 30000)
+
+	// Persist and re-open so the partials are computed over real
+	// file-backed shards, like a worker's store replica.
+	root := t.TempDir()
+	dirA := filepath.Join(root, "a.er")
+	dirB := filepath.Join(root, "b.er")
+	if err := expA.Save(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := expB.Save(dirB); err != nil {
+		t.Fatal(err)
+	}
+	openOne := func(dir string) *experiment.Experiment {
+		e, err := experiment.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	serial, err := NewWithConfig(Config{Workers: 1}, openOne(dirA), openOne(dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Workers": one single-experiment context per replica.
+	workers := []*Analyzer{}
+	for _, dir := range []string{dirA, dirB} {
+		w, err := NewContext(Config{}, openOne(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+
+	// "Coordinator": context over the full set, completed from shipped
+	// partials.
+	coord, err := NewContext(Config{}, openOne(dirA), openOne(dirB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.Reduced() {
+		t.Fatal("context reports reduced before any reduction")
+	}
+	refs := Units(coord.Exps)
+	if len(refs) == 0 {
+		t.Fatal("no work units")
+	}
+	wires := make([][]byte, len(refs))
+	for i, r := range refs {
+		local := r
+		local.Exp = 0 // the worker sees only its own experiment
+		w, err := workers[r.Exp].ReducePartial(local)
+		if err != nil {
+			t.Fatalf("unit %v: %v", r, err)
+		}
+		wires[i] = w
+	}
+	if err := coord.ReduceFromPartials(wires); err != nil {
+		t.Fatal(err)
+	}
+	if !coord.Reduced() {
+		t.Fatal("context not marked reduced")
+	}
+	if err := coord.ReduceFromPartials(wires); err == nil {
+		t.Fatal("second ReduceFromPartials did not fail")
+	}
+
+	args := map[string]string{
+		"source": "chase", "disasm": "chase", "members": "item", "callers": "chase",
+	}
+	for _, name := range ReportNames() {
+		token := name
+		if arg, ok := args[name]; ok {
+			token += "=" + arg
+		}
+		var want, got bytes.Buffer
+		if err := serial.Render(&want, token, RenderOpts{TopN: 20}); err != nil {
+			t.Fatalf("serial %s: %v", token, err)
+		}
+		if err := coord.Render(&got, token, RenderOpts{TopN: 20}); err != nil {
+			t.Fatalf("distributed %s: %v", token, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("report %s differs between serial and distributed reduction\n--- serial ---\n%s\n--- distributed ---\n%s",
+				token, want.String(), got.String())
+		}
+	}
+}
+
+// TestPartialWireDeterministic asserts two independently built contexts
+// produce identical bytes for the same unit — the property that lets a
+// coordinator content-address partials and cross-check worker results.
+func TestPartialWireDeterministic(t *testing.T) {
+	prog := buildWorkload(t, cc.Options{HWCProf: true})
+	expA, _ := collectPair(t, prog, 12000)
+	root := t.TempDir()
+	dir := filepath.Join(root, "a.er")
+	if err := expA.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Analyzer {
+		e, err := experiment.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewContext(Config{}, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	c1, c2 := mk(), mk()
+	for _, r := range Units(c1.Exps) {
+		w1, err := c1.ReducePartial(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := c2.ReducePartial(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1, w2) {
+			t.Errorf("unit %v: wire bytes differ between contexts", r)
+		}
+	}
+	// Corrupted partials must fail cleanly, not panic.
+	w, err := c1.ReducePartial(Units(c1.Exps)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePartial(w[:len(w)/2]); err == nil {
+		t.Error("truncated partial decoded without error")
+	}
+	if _, err := decodePartial([]byte("garbage")); err == nil {
+		t.Error("garbage partial decoded without error")
+	}
+}

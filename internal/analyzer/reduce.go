@@ -166,31 +166,35 @@ func (p *partial) accumulate(a *Analyzer, pc uint64, artificial bool, m *Metrics
 // then PIC 1's. Merging partials in this order reproduces the serial
 // loop's event order exactly.
 func (a *Analyzer) units(cfg Config) []unit {
-	keyed := cfg.Cache != nil && len(cfg.Keys) == len(a.Exps)
-	var units []unit
-	for xi, e := range a.Exps {
-		if len(e.Clock) > 0 {
-			u := unit{kind: unitClock, expIdx: xi}
-			if keyed {
-				u.key = fmt.Sprintf("%s/clock/%d/%d", cfg.Keys[xi], len(e.Clock), e.Clock[len(e.Clock)-1].Cycles)
-			}
-			units = append(units, u)
-		}
-		for pic := 0; pic < 2; pic++ {
-			if e.Meta.Counters[pic].Event == hwc.EvNone {
-				continue
-			}
-			for si, sh := range e.Shards(pic) {
-				u := unit{kind: unitHWC, expIdx: xi, pic: pic, shard: si}
-				if keyed {
-					u.key = fmt.Sprintf("%s/hwc/%d/%d/%d/%d-%d",
-						cfg.Keys[xi], pic, si, sh.Count, sh.MinCycles, sh.MaxCycles)
-				}
-				units = append(units, u)
-			}
-		}
+	refs := Units(a.Exps)
+	units := make([]unit, 0, len(refs))
+	for _, r := range refs {
+		units = append(units, a.unitFor(r, cfg))
 	}
 	return units
+}
+
+// unitFor converts one exported unit reference into the internal work
+// unit, attaching its memoization key when cfg carries a keyed cache.
+// The ref is trusted to come from Units (or be range-checked by the
+// caller).
+func (a *Analyzer) unitFor(r UnitRef, cfg Config) unit {
+	keyed := cfg.Cache != nil && len(cfg.Keys) == len(a.Exps)
+	e := a.Exps[r.Exp]
+	if r.Clock {
+		u := unit{kind: unitClock, expIdx: r.Exp}
+		if keyed {
+			u.key = fmt.Sprintf("%s/clock/%d/%d", cfg.Keys[r.Exp], len(e.Clock), e.Clock[len(e.Clock)-1].Cycles)
+		}
+		return u
+	}
+	u := unit{kind: unitHWC, expIdx: r.Exp, pic: r.PIC, shard: r.Shard}
+	if keyed {
+		sh := e.Shards(r.PIC)[r.Shard]
+		u.key = fmt.Sprintf("%s/hwc/%d/%d/%d/%d-%d",
+			cfg.Keys[r.Exp], r.PIC, r.Shard, sh.Count, sh.MinCycles, sh.MaxCycles)
+	}
+	return u
 }
 
 // reduceUnit builds (or fetches from the cache) the partial aggregate

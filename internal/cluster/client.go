@@ -1,0 +1,128 @@
+package cluster
+
+// client.go: minimal JSON-over-HTTP helpers shared by the coordinator
+// (dispatch, polling, health probes) and the worker (registration).
+// Error bodies follow the profd convention {"error": "..."}.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxErrorBody bounds how much of an error response is read back into
+// an error message.
+const maxErrorBody = 4 << 10
+
+// httpStatusError preserves the status code so callers can
+// distinguish back-pressure (503) from hard failures.
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.code, e.msg)
+}
+
+// statusCode extracts the HTTP status from an error chain (0 if the
+// error is not an HTTP status error, e.g. a transport failure).
+func statusCode(err error) int {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
+}
+
+// checkStatus turns a non-2xx response into an httpStatusError,
+// extracting the profd JSON error body when present.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := string(body)
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &httpStatusError{code: resp.StatusCode, msg: msg}
+}
+
+// doJSON issues a request with an optional JSON body and decodes a
+// JSON response into out (when non-nil).
+func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	return doJSON(ctx, client, http.MethodGet, url, nil, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	return doJSON(ctx, client, http.MethodPost, url, in, out)
+}
+
+// jsonBody marshals v into a request body reader.
+func jsonBody(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// jsonDecode decodes a strict JSON request body.
+func jsonDecode(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// jsonWrite mirrors the profd server's JSON response convention.
+func jsonWrite(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// jsonError mirrors the profd server's error body convention.
+func jsonError(w http.ResponseWriter, code int, err error) {
+	jsonWrite(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,58 @@
+// Package cluster turns the single-node profd service into a
+// multi-node profiling cluster. One coordinator node owns the public
+// API (job submission, experiment registry, report queries) and fans
+// work out to registered worker nodes, each running an ordinary profd
+// scheduler + store behind the same HTTP surface plus a few
+// /cluster/... endpoints:
+//
+//	coordinator                      worker
+//	POST /cluster/register  <──────  self-registration (retry+backoff)
+//	GET  /cluster/nodes              node table
+//	                        ──────>  POST /jobs            (dispatch)
+//	                        ──────>  GET  /jobs/{id}       (poll)
+//	                        ──────>  GET  /cluster/experiments/{id}/archive
+//	                        ──────>  POST /cluster/partial (distributed reduce)
+//	                        ──────>  GET  /cluster/stats   (health probe)
+//
+// Dispatch installs a remote executor into the coordinator's profd
+// scheduler (SchedulerConfig.Runner): every job is assigned to the
+// least-loaded live worker under a per-node concurrency bound, and a
+// worker that dies mid-job has the job reassigned to another node.
+// Completed experiments replicate back as content-addressed archives
+// (experiment.WriteArchive) and are admitted only after the replica's
+// manifest checksums verify (experiment.VerifyDir).
+//
+// Report queries run a distributed reduction: the coordinator builds
+// an analyzer context over its replicas, asks each experiment's origin
+// worker for serialized per-shard partials (analyzer.ReducePartial),
+// and merges them in canonical unit order (ReduceFromPartials). Any
+// partial whose origin is dead is recomputed locally, so the rendered
+// reports are byte-identical to a single-process reduction even when a
+// worker crashes mid-reduce.
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts delay so tests drive registration retries, health
+// probes, and job polling with a fake clock instead of real sleeps —
+// the same seam the profd scheduler uses for retry backoff.
+type Clock interface {
+	// Sleep waits for d or until ctx is cancelled.
+	Sleep(ctx context.Context, d time.Duration)
+}
+
+// RealClock is the production Clock.
+type RealClock struct{}
+
+// Sleep waits for d or until ctx is cancelled.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

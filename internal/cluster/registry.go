@@ -1,0 +1,306 @@
+package cluster
+
+// registry.go is the coordinator's node table: which workers exist,
+// which are alive, and how loaded each one is. Acquire hands out
+// dispatch slots under a per-node concurrency bound (least-loaded
+// first); a health loop probes every node with timeout, marks nodes
+// dead after consecutive failures, and backs probing off exponentially
+// for nodes that stay down, reviving them the moment a probe succeeds.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeInfo is a worker's registration payload.
+type NodeInfo struct {
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL of the worker's HTTP API
+	// Capacity bounds concurrent jobs dispatched to the node (its
+	// scheduler worker count, normally).
+	Capacity int `json:"capacity"`
+}
+
+// WorkerStats is a worker's self-reported state, served at
+// /cluster/stats and collected by the coordinator's health probes.
+type WorkerStats struct {
+	ID                 string `json:"id"`
+	Experiments        int    `json:"experiments"`
+	JobsRunning        int64  `json:"jobsRunning"`
+	PartialsServed     uint64 `json:"partialsServed"`
+	PartialCacheHits   uint64 `json:"partialCacheHits"`
+	PartialCacheMisses uint64 `json:"partialCacheMisses"`
+	ArchiveBytes       uint64 `json:"archiveBytes"`
+}
+
+// HitRate returns the worker's partial-cache hit rate in [0,1].
+func (s WorkerStats) HitRate() float64 {
+	total := s.PartialCacheHits + s.PartialCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PartialCacheHits) / float64(total)
+}
+
+// NodeState is a node's liveness as judged by the health loop.
+type NodeState string
+
+const (
+	NodeLive NodeState = "live"
+	NodeDead NodeState = "dead"
+)
+
+// NodeStatus is a snapshot of one registered node.
+type NodeStatus struct {
+	NodeInfo
+	State    NodeState   `json:"state"`
+	InFlight int         `json:"inFlight"`
+	Fails    int         `json:"fails"`
+	Reason   string      `json:"reason,omitempty"` // why the node is dead
+	LastSeen time.Time   `json:"lastSeen,omitzero"`
+	Stats    WorkerStats `json:"stats"`
+}
+
+// Node is one registered worker. Fields are guarded by the owning
+// registry's mutex.
+type Node struct {
+	info     NodeInfo
+	state    NodeState
+	inflight int
+	fails    int
+	skip     int // health-probe rounds to skip (backoff)
+	reason   string
+	lastSeen time.Time
+	stats    WorkerStats
+}
+
+// ID returns the node's registered identifier.
+func (n *Node) ID() string { return n.info.ID }
+
+// URL returns the node's base URL.
+func (n *Node) URL() string { return n.info.URL }
+
+// Registry is the coordinator's table of worker nodes.
+type Registry struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	// change is closed and replaced on every availability change so
+	// Acquire waiters re-evaluate without polling.
+	change chan struct{}
+}
+
+// NewRegistry returns an empty node table.
+func NewRegistry() *Registry {
+	return &Registry{
+		nodes:  make(map[string]*Node),
+		change: make(chan struct{}),
+	}
+}
+
+// signalLocked wakes every Acquire waiter. Callers hold r.mu.
+func (r *Registry) signalLocked() {
+	close(r.change)
+	r.change = make(chan struct{})
+}
+
+// Register adds a node or refreshes an existing one. Re-registration
+// is the worker's heartbeat of last resort: it revives a node the
+// health loop declared dead (e.g. after a worker restart) and updates
+// its advertised URL and capacity in place.
+func (r *Registry) Register(info NodeInfo) error {
+	if info.ID == "" || info.URL == "" {
+		return fmt.Errorf("cluster: registration needs id and url")
+	}
+	if info.Capacity <= 0 {
+		info.Capacity = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.nodes[info.ID]
+	if n == nil {
+		n = &Node{}
+		r.nodes[info.ID] = n
+	}
+	n.info = info
+	n.state = NodeLive
+	n.fails = 0
+	n.skip = 0
+	n.reason = ""
+	n.lastSeen = time.Now()
+	r.signalLocked()
+	return nil
+}
+
+// pickLocked chooses the least-loaded live node with a free slot,
+// skipping excluded IDs; ties break by ID so dispatch is
+// deterministic. Callers hold r.mu.
+func (r *Registry) pickLocked(exclude map[string]bool) *Node {
+	var best *Node
+	for _, n := range r.nodes {
+		if n.state != NodeLive || n.inflight >= n.info.Capacity || exclude[n.info.ID] {
+			continue
+		}
+		if best == nil || n.inflight < best.inflight ||
+			(n.inflight == best.inflight && n.info.ID < best.info.ID) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Acquire blocks until a live node with a free dispatch slot is
+// available (or ctx ends) and claims the slot. Nodes in exclude are
+// avoided while an alternative exists — the reassignment path passes
+// the nodes that already failed this job — but are used as a last
+// resort rather than failing outright.
+func (r *Registry) Acquire(ctx context.Context, exclude map[string]bool) (*Node, error) {
+	for {
+		r.mu.Lock()
+		n := r.pickLocked(exclude)
+		if n == nil && len(exclude) > 0 {
+			n = r.pickLocked(nil)
+		}
+		if n != nil {
+			n.inflight++
+			r.mu.Unlock()
+			return n, nil
+		}
+		ch := r.change
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: waiting for a worker node: %w", ctx.Err())
+		}
+	}
+}
+
+// Release returns a dispatch slot claimed by Acquire.
+func (r *Registry) Release(n *Node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n.inflight > 0 {
+		n.inflight--
+	}
+	r.signalLocked()
+}
+
+// MarkDead declares a node dead (dispatch avoids it; the distributed
+// reduce falls back to local recomputation for its partials). The
+// health loop or a re-registration revives it.
+func (r *Registry) MarkDead(id, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.nodes[id]
+	if n == nil || n.state == NodeDead {
+		return
+	}
+	n.state = NodeDead
+	n.reason = reason
+	r.signalLocked()
+}
+
+// Live reports whether the node is registered and currently live.
+func (r *Registry) Live(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.nodes[id]
+	return n != nil && n.state == NodeLive
+}
+
+// Snapshot returns every registered node, sorted by ID.
+func (r *Registry) Snapshot() []NodeStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeStatus, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, NodeStatus{
+			NodeInfo: n.info,
+			State:    n.state,
+			InFlight: n.inflight,
+			Fails:    n.fails,
+			Reason:   n.reason,
+			LastSeen: n.lastSeen,
+			Stats:    n.stats,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Counts returns the live/dead node counts and total in-flight jobs.
+func (r *Registry) Counts() (live, dead, inflight int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		if n.state == NodeLive {
+			live++
+		} else {
+			dead++
+		}
+		inflight += n.inflight
+	}
+	return
+}
+
+// probeTargets returns the nodes due for a probe this round, counting
+// down the backoff of the rest.
+func (r *Registry) probeTargets() []NodeInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var due []NodeInfo
+	for _, n := range r.nodes {
+		if n.skip > 0 {
+			n.skip--
+			continue
+		}
+		due = append(due, n.info)
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].ID < due[j].ID })
+	return due
+}
+
+// maxProbeBackoffRounds caps the health-probe backoff for a node that
+// stays dead: probe at most every 2^4 = 16 intervals.
+const maxProbeBackoffRounds = 16
+
+// probeResult records one probe's outcome: a success refreshes the
+// node's stats and revives it; maxFails consecutive failures kill it,
+// with exponentially backed-off re-probing (1, 2, 4, ... rounds) so a
+// long-dead node is not hammered every interval.
+func (r *Registry) probeResult(id string, stats WorkerStats, err error, maxFails int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.nodes[id]
+	if n == nil {
+		return
+	}
+	if err == nil {
+		n.fails = 0
+		n.skip = 0
+		n.stats = stats
+		n.lastSeen = time.Now()
+		if n.state != NodeLive {
+			n.state = NodeLive
+			n.reason = ""
+			r.signalLocked()
+		}
+		return
+	}
+	n.fails++
+	if n.fails >= maxFails {
+		if n.state != NodeDead {
+			n.state = NodeDead
+			n.reason = fmt.Sprintf("%d failed health probes: %v", n.fails, err)
+			r.signalLocked()
+		}
+		backoff := 1 << (n.fails - maxFails)
+		if backoff > maxProbeBackoffRounds {
+			backoff = maxProbeBackoffRounds
+		}
+		n.skip = backoff
+	}
+}

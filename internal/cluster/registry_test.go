@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dsprof/internal/profd"
+)
+
+func info(id string, capacity int) NodeInfo {
+	return NodeInfo{ID: id, URL: "http://" + id + ".invalid", Capacity: capacity}
+}
+
+func TestRegistryAcquireBounds(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(info("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(info("b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	n1, err := r.Acquire(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := r.Acquire(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID() == n2.ID() {
+		t.Fatalf("both slots on %s despite capacity 1", n1.ID())
+	}
+	// Capacity exhausted: a third Acquire blocks until a release.
+	acquired := make(chan *Node)
+	go func() {
+		n, err := r.Acquire(ctx, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- n
+	}()
+	select {
+	case n := <-acquired:
+		t.Fatalf("Acquire returned %s with no free slots", n.ID())
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Release(n1)
+	select {
+	case n := <-acquired:
+		if n.ID() != n1.ID() {
+			t.Errorf("freed slot on %s, acquired %s", n1.ID(), n.ID())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire still blocked after release")
+	}
+	// A cancelled context unblocks a waiter with an error (both nodes'
+	// slots are held at this point, so the Acquire must block).
+	cctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error)
+	go func() {
+		_, err := r.Acquire(cctx, nil)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Error("cancelled Acquire returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Acquire never returned")
+	}
+}
+
+func TestRegistryLeastLoadedAndExclusion(t *testing.T) {
+	r := NewRegistry()
+	r.Register(info("a", 4))
+	r.Register(info("b", 4))
+	ctx := context.Background()
+	// Ties break by ID: first slot lands on a, second (a loaded) on b.
+	n1, _ := r.Acquire(ctx, nil)
+	if n1.ID() != "a" {
+		t.Fatalf("first acquire on %s, want a", n1.ID())
+	}
+	n2, _ := r.Acquire(ctx, nil)
+	if n2.ID() != "b" {
+		t.Fatalf("second acquire on %s, want b (least-loaded)", n2.ID())
+	}
+	// Exclusion avoids a node while an alternative exists...
+	n3, _ := r.Acquire(ctx, map[string]bool{"a": true})
+	if n3.ID() != "b" {
+		t.Fatalf("excluded acquire on %s, want b", n3.ID())
+	}
+	// ...but falls back to the excluded node as a last resort.
+	r.MarkDead("b", "test")
+	n4, _ := r.Acquire(ctx, map[string]bool{"a": true})
+	if n4.ID() != "a" {
+		t.Fatalf("last-resort acquire on %s, want a", n4.ID())
+	}
+	live, dead, inflight := r.Counts()
+	if live != 1 || dead != 1 || inflight != 4 {
+		t.Errorf("counts live=%d dead=%d inflight=%d, want 1/1/4", live, dead, inflight)
+	}
+}
+
+// TestRegistryProbeBackoff drives the health state machine directly:
+// consecutive failures kill a node and back its probing off
+// exponentially; one success revives it.
+func TestRegistryProbeBackoff(t *testing.T) {
+	r := NewRegistry()
+	r.Register(info("a", 1))
+	fail := func() { r.probeResult("a", WorkerStats{}, context.DeadlineExceeded, 3) }
+
+	fail()
+	fail()
+	if !r.Live("a") {
+		t.Fatal("node dead before maxFails")
+	}
+	fail() // third consecutive failure
+	if r.Live("a") {
+		t.Fatal("node live after maxFails failures")
+	}
+	// Dead node skips 1 round, then 2, then 4... capped.
+	wantSkips := []int{1, 2, 4, 8, 16, 16}
+	for i, want := range wantSkips {
+		// Drain the scheduled skips: the node must be absent from the
+		// due list exactly `want` times.
+		for s := 0; s < want; s++ {
+			if due := r.probeTargets(); len(due) != 0 {
+				t.Fatalf("round %d: node probed during backoff (skip %d/%d)", i, s, want)
+			}
+		}
+		if due := r.probeTargets(); len(due) != 1 {
+			t.Fatalf("round %d: node not due after backoff", i)
+		}
+		fail()
+	}
+	// Revival: one good probe and the node is live and probed every
+	// round again.
+	r.probeResult("a", WorkerStats{ID: "a", PartialCacheHits: 3, PartialCacheMisses: 1}, nil, 3)
+	if !r.Live("a") {
+		t.Fatal("node not revived by successful probe")
+	}
+	if due := r.probeTargets(); len(due) != 1 {
+		t.Fatal("revived node not probed")
+	}
+	st := r.Snapshot()
+	if len(st) != 1 || st[0].Stats.HitRate() != 0.75 {
+		t.Errorf("snapshot stats %+v, want hit rate 0.75", st)
+	}
+}
+
+// TestCoordinatorHealthLoop covers the live probe path end-to-end: a
+// stub worker's /cluster/stats keeps it live; killing it gets it
+// declared dead within a few intervals.
+func TestCoordinatorHealthLoop(t *testing.T) {
+	store, err := profd.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(store, Config{
+		HealthInterval: 2 * time.Millisecond,
+		HealthTimeout:  500 * time.Millisecond,
+		MaxNodeFails:   2,
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		jsonWrite(w, http.StatusOK, WorkerStats{ID: "w0"})
+	})
+	stub := httptest.NewServer(mux)
+	defer stub.Close()
+	if err := c.reg.Register(NodeInfo{ID: "w0", URL: stub.URL, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Start(ctx)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := c.reg.Snapshot(); len(st) == 1 && !st[0].LastSeen.IsZero() && st[0].Stats.ID == "w0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never refreshed node stats")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stub.Close()
+	for c.reg.Live("w0") {
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker never declared dead by health loop")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -36,6 +36,12 @@ type SchedulerConfig struct {
 	RetryBackoff time.Duration
 	// RetryBackoffMax caps the exponential backoff (default 2s).
 	RetryBackoffMax time.Duration
+	// Runner, when non-nil, replaces the local VM pool's executor: each
+	// worker slot calls it instead of compiling and simulating in
+	// process. The cluster coordinator installs a remote executor here
+	// that fans jobs out to registered worker nodes; the returned
+	// result may carry only the experiment (Machine nil).
+	Runner Runner
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -184,6 +190,9 @@ func NewScheduler(store *Store, cfg SchedulerConfig) *Scheduler {
 		baseCancel: cancel,
 	}
 	s.runner = s.collectJob
+	if cfg.Runner != nil {
+		s.runner = cfg.Runner
+	}
 	s.clock = realClock{}
 	s.jitter = xrand.New(0x9e3779b97f4a7c15)
 	s.wg.Add(cfg.Workers)
@@ -233,7 +242,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.seq--
 		s.mu.Unlock()
 		cancel()
-		return nil, fmt.Errorf("profd: queue full (%d jobs)", s.cfg.QueueDepth)
+		return nil, fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 }
 
@@ -284,6 +293,45 @@ func (s *Scheduler) Cancel(id string) error {
 		j.mu.Unlock()
 		return nil
 	}
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 503 + Retry-After.
+var ErrQueueFull = errors.New("profd: queue full")
+
+// Drain gracefully shuts the scheduler down: it stops accepting new
+// jobs, lets every queued and running job finish (rather than
+// cancelling them, as Close does), then closes the pool. If ctx expires
+// first, the remaining jobs are cancelled Close-style. Either way the
+// scheduler is fully stopped on return.
+func (s *Scheduler) Drain(ctx context.Context) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true // Submit now refuses; queued jobs keep draining
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Jobs cannot be added anymore, so one pass over the current
+		// table waits for everything in flight.
+		for _, j := range s.Jobs() {
+			select {
+			case <-j.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	s.baseCancel() // cancels stragglers only when ctx expired
+	close(s.queue)
+	s.wg.Wait()
 }
 
 // Close stops accepting jobs, cancels everything in flight, and waits
@@ -380,7 +428,13 @@ func (s *Scheduler) runOne(j *Job) {
 			finish(JobFailed, err.Error())
 		}
 	default:
-		st := res.Machine.Stats()
+		// A remote executor ships back the experiment without the
+		// machine it ran on; the run statistics live in the experiment
+		// header either way.
+		st := res.Exp.Meta.Stats
+		if res.Machine != nil {
+			st = res.Machine.Stats()
+		}
 		s.cycles.Add(st.Cycles)
 		rec, perr := s.store.Put(&j.Spec, res.Exp)
 		if perr != nil {
@@ -446,7 +500,7 @@ func (s *Scheduler) Metrics() Metrics {
 		SimulatedCycles: s.cycles.Load(),
 		CacheHits:       hits,
 		CacheMisses:     misses,
-		Experiments:     len(s.store.List()),
+		Experiments:     s.store.Count(),
 	}
 }
 

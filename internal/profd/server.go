@@ -24,25 +24,76 @@ package profd
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dsprof/internal/analyzer"
 	"dsprof/internal/hwc"
 )
 
+// AnalyzerProvider resolves a set of experiment IDs to a reduced
+// analyzer. The store is the default provider (local reduction with
+// per-shard memoization); the cluster coordinator substitutes its
+// distributed reduce so report queries fan partial computation out to
+// the worker nodes that hold the experiment replicas.
+type AnalyzerProvider interface {
+	Analyzer(ids []string) (*analyzer.Analyzer, error)
+}
+
 // Server serves the profiling service API.
 type Server struct {
-	sched   *Scheduler
-	store   *Store
-	adviser *Adviser
+	sched     *Scheduler
+	store     *Store
+	adviser   *Adviser
+	analyzers AnalyzerProvider
+	// extraMetrics, when set, appends additional lines to /metrics —
+	// the cluster roles install their gauges here.
+	extraMetrics func(io.Writer)
+	// extraRoutes, when set, registers additional handlers on the mux —
+	// the cluster roles mount /cluster/... endpoints here.
+	extraRoutes func(*http.ServeMux)
 }
 
 // NewServer wires the API over a scheduler and its store.
 func NewServer(sched *Scheduler, store *Store) *Server {
-	return &Server{sched: sched, store: store, adviser: NewAdviser(sched, store)}
+	return &Server{sched: sched, store: store, adviser: NewAdviser(sched, store), analyzers: store}
+}
+
+// SetAnalyzerProvider replaces the report path's analyzer source (the
+// store's local reduction by default).
+func (s *Server) SetAnalyzerProvider(p AnalyzerProvider) {
+	if p != nil {
+		s.analyzers = p
+	}
+}
+
+// SetMetricsExtra installs a hook that appends lines to /metrics.
+func (s *Server) SetMetricsExtra(fn func(io.Writer)) { s.extraMetrics = fn }
+
+// SetExtraRoutes installs a hook that mounts additional routes on the
+// handler returned by Handler.
+func (s *Server) SetExtraRoutes(fn func(*http.ServeMux)) { s.extraRoutes = fn }
+
+// NewHTTPServer wraps a handler in an http.Server hardened for
+// multi-node use: header-read and write deadlines so a slow or stalled
+// peer cannot pin a handler goroutine forever, and an idle timeout so
+// abandoned keep-alive connections are reaped. The write timeout is
+// generous because report renderings over large experiment sets are
+// legitimately slow.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -62,6 +113,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.extraRoutes != nil {
+		s.extraRoutes(mux)
+	}
 	return mux
 }
 
@@ -88,8 +142,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.sched.Submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "queue full") {
+		if errors.Is(err, ErrQueueFull) {
+			// Back-pressure, not rejection: tell the client when to come
+			// back instead of letting it hot-loop on resubmission.
 			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, code, err)
 		return
@@ -233,7 +290,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		opts.Sort = &sortBy
 	}
 
-	a, err := s.store.Analyzer(ids)
+	a, err := s.analyzers.Analyzer(ids)
 	if err != nil {
 		code := http.StatusBadRequest
 		if strings.Contains(err.Error(), "no experiment") {
@@ -284,8 +341,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "profd_analyzer_cache_hits %d\n", m.CacheHits)
 	fmt.Fprintf(w, "profd_analyzer_cache_misses %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "profd_experiments %d\n", m.Experiments)
+	sh, sm := s.store.ShardCacheStats()
+	fmt.Fprintf(w, "profd_shard_cache_hits %d\n", sh)
+	fmt.Fprintf(w, "profd_shard_cache_misses %d\n", sm)
 	ar, ad, af := s.adviser.Counters()
 	fmt.Fprintf(w, "profd_advise_jobs_running %d\n", ar)
 	fmt.Fprintf(w, "profd_advise_jobs_done %d\n", ad)
 	fmt.Fprintf(w, "profd_advise_jobs_failed %d\n", af)
+	if s.extraMetrics != nil {
+		s.extraMetrics(w)
+	}
 }

@@ -307,6 +307,15 @@ func (s *Store) Get(id string) (*ExpRecord, bool) {
 	return r, ok
 }
 
+// Count returns the number of indexed experiments. Unlike List it does
+// not build the sorted listing — the metrics path reads it on every
+// scrape, concurrently with stores from the scheduler.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.exps)
+}
+
 // List returns every indexed experiment, oldest first.
 func (s *Store) List() []*ExpRecord {
 	s.mu.Lock()
@@ -425,3 +434,9 @@ func (s *Store) CacheStats() (hits, misses uint64) {
 func (s *Store) ShardCacheStats() (hits, misses uint64) {
 	return s.partials.hits.Load(), s.partials.misses.Load()
 }
+
+// PartialCache exposes the store's per-shard partial cache so cluster
+// worker nodes serving remote partial requests share memoization with
+// local report queries: a shard reduced for either path is never
+// re-attributed for the other.
+func (s *Store) PartialCache() analyzer.PartialCache { return s.partials }
