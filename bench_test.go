@@ -845,3 +845,62 @@ func BenchmarkCollectWallClock(b *testing.B) {
 		"instrs_per_sec":  float64(instrs) / fastSec,
 	})
 }
+
+// BenchmarkProvenanceOverhead measures what allocation-site provenance
+// recording adds to an armed MCF collect: the identical run with
+// provenance off and on, best of two runs each to suppress scheduler
+// noise. Recording is a handful of host-side appends per malloc (MCF
+// allocates a few large blocks), so the enabled overhead must stay in
+// the low single digits; disabled, the provenance path is never entered
+// and the event shards are byte-identical (provenance_golden_test.go).
+func BenchmarkProvenanceOverhead(b *testing.B) {
+	prog, input, cfg := simcoreProg(b)
+	specs, err := collect.ParseCounterSpec("+ecstall,100003,+ecrm,2003")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func(provenance bool) (float64, uint64, int) {
+		opts := collect.Options{
+			ClockProfile: true,
+			Counters:     specs,
+			Machine:      &cfg,
+			Input:        input,
+			Provenance:   provenance,
+		}
+		t0 := time.Now()
+		res, err := collect.Run(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0).Seconds(), res.Exp.Meta.Stats.Instrs, res.Exp.ProvCount()
+	}
+	best := func(provenance bool) (float64, uint64, int) {
+		sec1, instrs, records := runOnce(provenance)
+		sec2, _, _ := runOnce(provenance)
+		if sec2 < sec1 {
+			sec1 = sec2
+		}
+		return sec1, instrs, records
+	}
+	var offSec, onSec float64
+	var instrs uint64
+	var records int
+	for i := 0; i < b.N; i++ {
+		offSec, instrs, _ = best(false)
+		onSec, _, records = best(true)
+	}
+	if records == 0 {
+		b.Fatal("provenance-enabled collect recorded no allocations")
+	}
+	overheadPct := (onSec/offSec - 1) * 100
+	b.ReportMetric(offSec, "offSec")
+	b.ReportMetric(onSec, "onSec")
+	b.ReportMetric(overheadPct, "overhead%")
+	recordSimcore(b, "collect_provenance", map[string]float64{
+		"instrs":       float64(instrs),
+		"off_sec":      offSec,
+		"on_sec":       onSec,
+		"overhead_pct": overheadPct,
+		"records":      float64(records),
+	})
+}

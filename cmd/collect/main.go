@@ -2,7 +2,7 @@
 // paper's collect(1):
 //
 //	collect [-o expt.er] [-p on|off] [-h +ecstall,lo,+ecrm,on]
-//	        [-scaled] [-input file] prog.obj
+//	        [-prov on|off] [-scaled] [-input file] prog.obj
 //
 // With no arguments it lists the available hardware counters, as the
 // paper describes. The -h counter specification takes up to two
@@ -67,6 +67,7 @@ func main() {
 	out := flag.String("o", "test.1.er", "experiment directory to write")
 	clock := flag.String("p", "on", "clock profiling: on or off")
 	counters := flag.String("h", "", "hardware counter spec, e.g. +ecstall,lo,+ecrm,on")
+	prov := flag.String("prov", "off", "allocation-site provenance recording: on or off")
 	inputPath := flag.String("input", "", "program input file (whitespace-separated integers)")
 	scaled := flag.Bool("scaled", false, "use the scaled machine configuration")
 	flag.Parse()
@@ -114,6 +115,7 @@ func main() {
 		Machine:      &cfg,
 		Input:        input,
 		SpoolDir:     *out,
+		Provenance:   *prov == "on",
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "collect: target failed: %v\n", err)

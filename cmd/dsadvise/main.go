@@ -3,9 +3,11 @@
 // (member reordering, hot/cold splitting, padding) and validates them
 // by recompiling with the proposed layout and measuring the re-run.
 //
-//	dsadvise advice [-n 20] [-o FILE] expt.er...
+//	dsadvise advice [-pools] [-n 20] [-o FILE] expt.er...
 //	    render the advice report for existing experiments
-//	    (byte-identical to `erprint advice` and profd's /reports/advice)
+//	    (byte-identical to `erprint advice` and profd's /reports/advice);
+//	    -pools renders allocation-site split-pool advice instead, which
+//	    needs experiments collected with provenance enabled
 //
 //	dsadvise loop [-trips 1200] [-seed S] [-layout paper] [-machine study]
 //	              [-window 16] [-minshare 0.05] [-n 20] [-o FILE]
@@ -55,7 +57,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: dsadvise {advice|loop} [flags]
-  advice [-n 20] [-o FILE] expt.er...                    advise from existing experiments
+  advice [-pools] [-n 20] [-o FILE] expt.er...           advise from existing experiments
   loop   [-trips N] [-seed S] [-layout L] [-machine M]   closed loop on the MCF workload
          [-window W] [-minshare F] [-n 20] [-o FILE]
   -version                                               print the suite version`)
@@ -87,6 +89,7 @@ func fatal(err error) {
 func runAdvice(args []string) {
 	fs := flag.NewFlagSet("advice", flag.ExitOnError)
 	topN := fs.Int("n", 20, "maximum recommendations")
+	pools := fs.Bool("pools", false, "allocation-site split-pool advice (needs provenance in the experiments)")
 	outPath := fs.String("o", "", "write the report to FILE instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -117,8 +120,12 @@ func runAdvice(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	report := "advice"
+	if *pools {
+		report = "pool-advice"
+	}
 	out, closeOut := openOut(*outPath)
-	if err := a.Render(out, "advice", analyzer.RenderOpts{TopN: *topN}); err != nil {
+	if err := a.Render(out, report, analyzer.RenderOpts{TopN: *topN}); err != nil {
 		fatal(err)
 	}
 	closeOut()

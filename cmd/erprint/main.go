@@ -19,6 +19,13 @@
 //	effect      apropos backtracking effectiveness
 //	advice      ranked data-layout recommendations (internal/advisor)
 //
+// With allocation-site provenance collected (collect -prov on):
+//
+//	site-heat        allocation sites ranked by joined counter events
+//	obj-timeline=FN  per-instance access timelines for blocks born in FN
+//	dead-objects     dead-on-arrival / write-only / single-use blocks
+//	pool-advice      allocation-site split-pool recommendations
+//
 // -recover salvages experiment directories left behind by a crashed or
 // interrupted collect/save before analyzing them: the manifest's
 // checksums pick the longest validated shard prefix, the directory is
@@ -38,10 +45,11 @@ import (
 	"os"
 	"strings"
 
-	_ "dsprof/internal/advisor" // registers the "advice" report
+	_ "dsprof/internal/advisor" // registers the "advice" and "pool-advice" reports
 	"dsprof/internal/analyzer"
 	"dsprof/internal/experiment"
 	"dsprof/internal/hwc"
+	_ "dsprof/internal/objtrack" // registers the object-centric reports
 	"dsprof/internal/version"
 )
 

@@ -17,6 +17,7 @@ import (
 	"dsprof/internal/cc"
 	"dsprof/internal/dwarf"
 	"dsprof/internal/hwc"
+	"dsprof/internal/objtrack"
 )
 
 // Options tune the advisor.
@@ -34,6 +35,11 @@ type Options struct {
 	HotCoverage float64
 	// MaxRecs caps the recommendation list (0 = unlimited).
 	MaxRecs int
+	// SitePools adds allocation-site split-pool recommendations, which
+	// need provenance records in the experiments (objtrack). Off by
+	// default so the classic "advice" report is byte-identical whether or
+	// not a run collected provenance.
+	SitePools bool
 }
 
 func (o Options) withDefaults() Options {
@@ -51,9 +57,10 @@ func (o Options) withDefaults() Options {
 
 // Recommendation kinds.
 const (
-	KindReorder = "reorder"
-	KindSplit   = "split"
-	KindPad     = "pad"
+	KindReorder   = "reorder"
+	KindSplit     = "split"
+	KindPad       = "pad"
+	KindSplitPool = "split-pool"
 )
 
 // Recommendation is one proposed layout change, machine-readable.
@@ -74,6 +81,10 @@ type Recommendation struct {
 	Size      int64  `json:"size"`               // current struct size
 	HotBytes  int64  `json:"hotBytes,omitempty"` // packed bytes of the hot set
 	Rationale string `json:"rationale"`
+
+	// Sites is the per-allocation-site evidence behind a split-pool
+	// recommendation (pool.go).
+	Sites []PoolSite `json:"sites,omitempty"`
 }
 
 // Override compiles the recommendation into the layout override the
@@ -81,6 +92,8 @@ type Recommendation struct {
 // the hot members are packed at the front so they share lines, which is
 // the measurable part of a hot/cold partition a compiler can apply
 // without introducing indirection (a true split changes source types).
+// Split-pool recommendations are advisory-only (they propose changing
+// allocation strategy, not layout) and compile to no override.
 func (r *Recommendation) Override() *cc.LayoutOverride {
 	switch r.Kind {
 	case KindReorder, KindSplit:
@@ -131,6 +144,17 @@ func Analyze(a *analyzer.Analyzer, opts Options) (*Advice, error) {
 		return nil, fmt.Errorf("advisor: no %v events attributed", metric)
 	}
 
+	// Site-pool advice needs the provenance join; build it once. A run
+	// without provenance records is an error here (not a silent no-op) so
+	// the "pool-advice" report fails the same way everywhere.
+	var idx *objtrack.Index
+	if opts.SitePools {
+		var err error
+		if idx, err = objtrack.Build(a); err != nil {
+			return nil, err
+		}
+	}
+
 	adv := &Advice{Metric: metric.String(), Window: opts.Window, MinShare: opts.MinShare}
 	for id := dwarf.TypeID(1); int(id) < len(a.Tab.Types); id++ {
 		ty := a.Tab.TypeByID(id)
@@ -147,6 +171,11 @@ func Analyze(a *analyzer.Analyzer, opts Options) (*Advice, error) {
 			return nil, err
 		}
 		adv.Recs = append(adv.Recs, recs...)
+		if idx != nil {
+			if rec, ok := advisePool(a, idx, ty, metric, share, opts); ok {
+				adv.Recs = append(adv.Recs, rec)
+			}
+		}
 	}
 	sort.SliceStable(adv.Recs, func(i, j int) bool {
 		ri, rj := &adv.Recs[i], &adv.Recs[j]

@@ -1,0 +1,99 @@
+package advisor
+
+// pool.go is the advisor's object-centric extension: where the classic
+// recommendations reshape a struct's layout, a split-pool recommendation
+// reshapes its allocation strategy. The evidence comes from the objtrack
+// provenance join — when a minority of a hot struct's allocation sites
+// carries nearly all of its joined counter events, the instances born at
+// those sites are the hot working set, and giving them a dedicated pool
+// (instead of interleaving them with cold instances from the other
+// sites) densifies the lines and pages the hot loop actually touches.
+
+import (
+	"fmt"
+	"sort"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/dwarf"
+	"dsprof/internal/hwc"
+	"dsprof/internal/objtrack"
+)
+
+// PoolSite is one allocation site's evidence row inside a split-pool
+// recommendation.
+type PoolSite struct {
+	Site   string  `json:"site"`   // rendered allocation-site PC
+	Hot    bool    `json:"hot"`    // member of the proposed dedicated pool
+	Allocs int     `json:"allocs"` // blocks allocated at the site
+	Bytes  uint64  `json:"bytes"`  // requested bytes at the site
+	Count  uint64  `json:"count"`  // joined metric count at the site
+	Share  float64 `json:"share"`  // site's share of the type's joined metric
+}
+
+// advisePool derives a split-pool recommendation for one hot struct, or
+// reports none: the struct must be allocated from at least two sites
+// whose block sizes match the type, and a strict minority of those sites
+// must carry the hot-coverage fraction of the joined metric.
+func advisePool(a *analyzer.Analyzer, idx *objtrack.Index, ty *dwarf.Type, metric hwc.Event, share float64, opts Options) (Recommendation, bool) {
+	sites := idx.TypeSites(ty.Size)
+	if len(sites) < 2 {
+		return Recommendation{}, false
+	}
+	weight := func(s *objtrack.Site) uint64 { return s.Events[metric] }
+	sort.SliceStable(sites, func(i, j int) bool {
+		wi, wj := weight(&sites[i]), weight(&sites[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return sites[i].PC < sites[j].PC
+	})
+	var totalEv uint64
+	for i := range sites {
+		totalEv += weight(&sites[i])
+	}
+	if totalEv == 0 {
+		return Recommendation{}, false
+	}
+	var acc uint64
+	hotN := len(sites)
+	for i := range sites {
+		acc += weight(&sites[i])
+		if float64(acc) >= opts.HotCoverage*float64(totalEv) {
+			hotN = i + 1
+			break
+		}
+	}
+	// Pooling only pays when the hot set is a strict minority: if most
+	// sites are hot, the pool would be the heap.
+	if hotN*2 > len(sites) {
+		return Recommendation{}, false
+	}
+	var hotEv uint64
+	evidence := make([]PoolSite, len(sites))
+	for i := range sites {
+		s := &sites[i]
+		ev := weight(s)
+		if i < hotN {
+			hotEv += ev
+		}
+		evidence[i] = PoolSite{
+			Site:   objtrack.SiteName(a, s.PC),
+			Hot:    i < hotN,
+			Allocs: s.Allocs,
+			Bytes:  s.Bytes,
+			Count:  a.Count(metric, ev),
+			Share:  float64(ev) / float64(totalEv),
+		}
+	}
+	coverage := float64(hotEv) / float64(totalEv)
+	return Recommendation{
+		Kind:   KindSplitPool,
+		Struct: ty.Name,
+		Score:  share * coverage * (1 - float64(hotN)/float64(len(sites))),
+		Share:  share,
+		Size:   ty.Size,
+		Sites:  evidence,
+		Rationale: fmt.Sprintf("%d of %d allocation sites carry %.0f%% of the struct's joined %v; a dedicated pool for those sites separates the hot instances from %d cold one(s)",
+			hotN, len(sites), 100*coverage, metric, len(sites)-hotN),
+	}, true
+}

@@ -18,6 +18,12 @@ func init() {
 		Text: renderAdvice,
 		JSON: adviceJSON,
 	})
+	analyzer.RegisterReport(analyzer.RegisteredReport{
+		Name: "pool-advice",
+		Desc: "allocation-site split-pool recommendations (needs provenance)",
+		Text: renderPoolAdvice,
+		JSON: poolAdviceJSON,
+	})
 }
 
 // reportOptions maps the generic render options onto advisor options.
@@ -51,6 +57,45 @@ func adviceJSON(a *analyzer.Analyzer, arg string, opts analyzer.RenderOpts) (any
 	return adv, nil
 }
 
+// poolAnalyze runs the advisor with site pools on and keeps only the
+// split-pool recommendations: the "pool-advice" report is the
+// object-centric view, the classic "advice" report stays provenance-free
+// (and therefore byte-identical whether or not provenance was
+// collected).
+func poolAnalyze(a *analyzer.Analyzer, opts analyzer.RenderOpts) (*Advice, error) {
+	o := reportOptions(opts)
+	o.SitePools = true
+	o.MaxRecs = 0 // cap after filtering, not before
+	adv, err := Analyze(a, o)
+	if err != nil {
+		return nil, err
+	}
+	pools := adv.Recs[:0:0]
+	for _, r := range adv.Recs {
+		if r.Kind == KindSplitPool {
+			pools = append(pools, r)
+		}
+	}
+	if max := reportOptions(opts).MaxRecs; max > 0 && len(pools) > max {
+		pools = pools[:max]
+	}
+	adv.Recs = pools
+	return adv, nil
+}
+
+func renderPoolAdvice(a *analyzer.Analyzer, w io.Writer, arg string, opts analyzer.RenderOpts) error {
+	adv, err := poolAnalyze(a, opts)
+	if err != nil {
+		return err
+	}
+	WriteAdvice(w, adv)
+	return nil
+}
+
+func poolAdviceJSON(a *analyzer.Analyzer, arg string, opts analyzer.RenderOpts) (any, error) {
+	return poolAnalyze(a, opts)
+}
+
 // WriteAdvice renders the advice as text, one ranked block per
 // recommendation.
 func WriteAdvice(w io.Writer, adv *Advice) {
@@ -69,6 +114,15 @@ func WriteAdvice(w io.Writer, adv *Advice) {
 			fmt.Fprintf(w, "    cold: %s\n", joinNames(r.Cold))
 		case KindPad:
 			fmt.Fprintf(w, "    pad: %d -> %d bytes\n", r.Size, r.PadTo)
+		case KindSplitPool:
+			for _, s := range r.Sites {
+				mark := "keep"
+				if s.Hot {
+					mark = "pool"
+				}
+				fmt.Fprintf(w, "    %s  %-44s %6d alloc(s) %10d bytes  %10d (%.1f%%)\n",
+					mark, s.Site, s.Allocs, s.Bytes, s.Count, 100*s.Share)
+			}
 		}
 	}
 }

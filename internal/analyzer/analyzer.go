@@ -392,6 +392,13 @@ func (a *Analyzer) TickSeconds(ticks uint64) float64 {
 // Total returns the <Total> metrics row.
 func (a *Analyzer) Total() Metrics { return a.total }
 
+// EAEvents returns the counter events that carry recovered effective
+// addresses, in the reduction's canonical order (so the slice is
+// identical whether the reduction ran serially, sharded in parallel, or
+// distributed across cluster workers). Callers must not modify it. The
+// object-provenance reports join these against allocation records.
+func (a *Analyzer) EAEvents() []AEvent { return a.eaEvents }
+
 // HasClock reports whether any experiment recorded clock profiles.
 func (a *Analyzer) HasClock() bool { return a.TickCycles != 0 }
 

@@ -143,24 +143,27 @@ func fetchReport(t *testing.T, client *http.Client, base, name, arg string, ids 
 }
 
 // reportArgs supplies arguments for the arg-taking reports (the MCF
-// workload's hot function and struct).
+// workload's hot function, struct, and allocating function).
 var reportArgs = map[string]string{
-	"source":  "refresh_potential",
-	"disasm":  "refresh_potential",
-	"members": "node",
-	"callers": "refresh_potential",
+	"source":       "refresh_potential",
+	"disasm":       "refresh_potential",
+	"members":      "node",
+	"callers":      "refresh_potential",
+	"obj-timeline": "read_min",
 }
 
 // clusterSpecs are three distinct jobs (distinct config hashes) small
 // enough for CI: the paper's two-pass counter split plus a third
-// instance size.
+// instance size. Provenance is on so the replicated experiments carry
+// prov.pv2 shards and the object-centric reports render over the
+// cluster.
 func clusterSpecs() []profd.JobSpec {
 	return []profd.JobSpec{
-		{Program: profd.ProgramMCF, Trips: 100, Clock: true,
+		{Program: profd.ProgramMCF, Trips: 100, Clock: true, Provenance: true,
 			Counters: "+ecstall,10007,+ecrm,503", MachineConfig: "scaled"},
-		{Program: profd.ProgramMCF, Trips: 100,
+		{Program: profd.ProgramMCF, Trips: 100, Provenance: true,
 			Counters: "+ecref,997,+dtlbm,251", MachineConfig: "scaled"},
-		{Program: profd.ProgramMCF, Trips: 130, Clock: true,
+		{Program: profd.ProgramMCF, Trips: 130, Clock: true, Provenance: true,
 			Counters: "+ecstall,10007,+ecrm,503", MachineConfig: "scaled"},
 	}
 }

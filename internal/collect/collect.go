@@ -51,6 +51,12 @@ type Options struct {
 	// flushed on every exit path). Point it at the experiment output
 	// directory and Save will leave the files in place.
 	SpoolDir string
+	// Provenance records allocation-site provenance: every heap block's
+	// (site, instance, addr, size, birth, death) streams into the
+	// experiment as a provenance shard file (prov.pv2) alongside the
+	// counter-event shards. Off by default; the counter-event stream,
+	// reports, and fast-path behaviour are byte-identical either way.
+	Provenance bool
 	// SingleStep drives the machine with the instruction-granular
 	// reference stepper instead of the batched fast path. The produced
 	// experiment is identical either way (the differential golden test
@@ -283,6 +289,7 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	// experiment.
 	fsys := faultfs.Or(opts.FS)
 	var spool [2]*experiment.ShardWriter
+	var provSpool *experiment.ProvWriter
 	var spoolErr error
 	if opts.SpoolDir != "" {
 		if err := exp.WriteProvisional(fsys, opts.SpoolDir); err != nil {
@@ -299,6 +306,27 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 			}
 			w.SetShardEvents(opts.SpoolShardEvents)
 			spool[pic] = w
+		}
+		if opts.Provenance {
+			w, err := experiment.NewProvWriterFS(fsys,
+				filepath.Join(opts.SpoolDir, experiment.ProvFileName))
+			if err != nil {
+				return nil, err
+			}
+			w.SetShardEvents(opts.SpoolShardEvents)
+			provSpool = w
+		}
+	}
+
+	if opts.Provenance {
+		m.OnProv = func(rec machine.ProvRecord) {
+			if provSpool != nil {
+				if err := provSpool.Append(rec); err != nil && spoolErr == nil {
+					spoolErr = err
+				}
+				return
+			}
+			exp.Prov = append(exp.Prov, rec)
 		}
 	}
 
@@ -331,6 +359,9 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 	}
 
 	runErr := runMachine(ctx, m, opts.SingleStep)
+	// Records for blocks still live at halt (or at the cancellation cut)
+	// drain into the provenance sink before the writers close.
+	m.DrainProv()
 	exp.Meta.Stats = m.Stats()
 	exp.Allocs = m.Allocs()
 	exp.Meta.Output = m.OutputLongs()
@@ -351,6 +382,17 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 			continue
 		}
 		exp.AdoptShards(pic, path, w.Shards())
+	}
+	if provSpool != nil {
+		path := filepath.Join(opts.SpoolDir, experiment.ProvFileName)
+		if err := provSpool.Close(); err != nil && spoolErr == nil {
+			spoolErr = err
+		}
+		if provSpool.Count() == 0 {
+			fsys.Remove(path)
+		} else {
+			exp.AdoptProvShards(path, provSpool.Shards())
+		}
 	}
 	if spoolErr != nil && runErr == nil {
 		runErr = fmt.Errorf("collect: spooling events: %w", spoolErr)

@@ -54,6 +54,15 @@ func CollectRun(prog *asm.Program, input []int64, cfg *machine.Config, clockProf
 // (internal/profd) use for each scheduled run. A zero clockTick picks
 // the collector's default.
 func CollectRunContext(ctx context.Context, prog *asm.Program, input []int64, cfg *machine.Config, clockProfile bool, clockTick uint64, counterSpec string) (*collect.Result, error) {
+	return CollectRunContextProv(ctx, prog, input, cfg, clockProfile, clockTick, counterSpec, false)
+}
+
+// CollectRunContextProv is CollectRunContext with allocation-site
+// provenance collection switchable: with provenance on, the run also
+// records every heap block's (site, instance, lifetime) into the
+// experiment's prov.pv2 shards, feeding the object-centric reports.
+// With it off the result is byte-identical to CollectRunContext.
+func CollectRunContextProv(ctx context.Context, prog *asm.Program, input []int64, cfg *machine.Config, clockProfile bool, clockTick uint64, counterSpec string, provenance bool) (*collect.Result, error) {
 	specs, err := collect.ParseCounterSpec(counterSpec)
 	if err != nil {
 		return nil, err
@@ -64,6 +73,7 @@ func CollectRunContext(ctx context.Context, prog *asm.Program, input []int64, cf
 		Counters:            specs,
 		Machine:             cfg,
 		Input:               input,
+		Provenance:          provenance,
 	})
 }
 

@@ -57,6 +57,7 @@ func TestFastPathGolden(t *testing.T) {
 				Machine:             &cfg,
 				Input:               input,
 				SingleStep:          singleStep,
+				Provenance:          true,
 			})
 			if err != nil {
 				t.Fatalf("collect %s (singleStep=%v): %v", cs.name, singleStep, err)
@@ -97,11 +98,13 @@ func TestFastPathGolden(t *testing.T) {
 		"effect", "feedback",
 		"source=refresh_potential", "disasm=refresh_potential",
 		"members=node", "callers=refresh_potential",
+		"obj-timeline=read_min",
 	}
 	for _, name := range analyzer.ReportNames() {
 		switch name {
 		case "total", "functions", "source", "disasm", "pcs", "lines",
-			"objects", "members", "callers", "addrspace", "feedback", "effect":
+			"objects", "members", "callers", "addrspace", "feedback", "effect",
+			"obj-timeline":
 			// covered (with arguments) above
 		default:
 			reports = append(reports, name) // registered extensions (advice)

@@ -117,6 +117,7 @@ type Experiment struct {
 	Clock  []ClockEvent
 	HWC    [NumPICs][]HWCEvent
 	Allocs []machine.Alloc
+	Prov   []machine.ProvRecord // allocation-site provenance (empty unless collected)
 	Prog   *asm.Program
 
 	// Sharded event-stream backing. hwcPath[pic] is non-empty when the
@@ -127,6 +128,12 @@ type Experiment struct {
 	hwcShards [NumPICs][]Shard
 	hwcCount  [NumPICs]int
 	hwcOwned  [NumPICs]bool // true for spooled files Save may rename away
+
+	// Provenance shard backing, the prov.pv2 analogue of the above.
+	provPath   string
+	provShards []Shard
+	provCount  int
+	provOwned  bool
 }
 
 // Interval returns the overflow interval for the counter on PIC pic.
@@ -175,6 +182,28 @@ func writeFileAtomic(fsys faultfs.FS, dir, name string, data []byte) error {
 	return fsys.Rename(tmp, filepath.Join(dir, name))
 }
 
+// init pins the process-global gob type IDs of every experiment wire
+// type in a canonical order. gob allocates stream type IDs from one
+// global counter on first encode, so without this the byte encoding of
+// a data file would depend on which file a run happened to encode first
+// — e.g. a provenance-enabled collect spools ProvRecord payloads before
+// Save writes clock.gob, shifting ClockEvent's ID and breaking
+// cross-process byte-identity of otherwise identical files.
+func init() {
+	enc := gob.NewEncoder(io.Discard)
+	for _, v := range []any{
+		&Meta{},
+		[]ClockEvent{{}},
+		[]HWCEvent{{}},
+		[]machine.Alloc{{}},
+		[]machine.ProvRecord{{}},
+	} {
+		if err := enc.Encode(v); err != nil {
+			panic(err)
+		}
+	}
+}
+
 func writeGob(fsys faultfs.FS, dir, name string, v any) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -216,6 +245,78 @@ func (e *Experiment) AdoptShards(pic int, path string, shards []Shard) {
 		n += sh.Count
 	}
 	e.hwcCount[pic] = n
+}
+
+// AdoptProvShards attaches a spooled provenance shard file (written by a
+// ProvWriter during collection) as the experiment's provenance backing.
+// The experiment keeps Prov empty; Save will move or copy the file into
+// the experiment directory.
+func (e *Experiment) AdoptProvShards(path string, shards []Shard) {
+	e.provPath = path
+	e.provShards = shards
+	e.provOwned = true
+	n := 0
+	for _, sh := range shards {
+		n += sh.Count
+	}
+	e.provCount = n
+}
+
+// ProvCount returns the number of provenance records recorded, without
+// decoding file-backed streams. Zero means provenance was not collected.
+func (e *Experiment) ProvCount() int {
+	if e.provPath != "" {
+		return e.provCount
+	}
+	return len(e.Prov)
+}
+
+// ProvShards returns the provenance shard table: real file-backed shards
+// for streamed experiments, synthetic fixed-size slices of Prov
+// otherwise.
+func (e *Experiment) ProvShards() []Shard {
+	if e.provPath != "" {
+		return e.provShards
+	}
+	if e.provShards == nil && len(e.Prov) > 0 {
+		e.provShards = syntheticProvShards(e.Prov)
+	}
+	return e.provShards
+}
+
+// ReadProvShard returns one provenance shard's records. Like ReadShard,
+// file-backed reads use their own file handle (safe from concurrent
+// workers) and in-memory reads return a subslice callers must not
+// modify.
+func (e *Experiment) ReadProvShard(i int) ([]machine.ProvRecord, error) {
+	shards := e.ProvShards()
+	if i < 0 || i >= len(shards) {
+		return nil, fmt.Errorf("experiment: ReadProvShard: shard %d/%d out of range", i, len(shards))
+	}
+	if e.provPath == "" {
+		lo := i * DefaultShardEvents
+		hi := lo + shards[i].Count
+		return e.Prov[lo:hi:hi], nil
+	}
+	return readProvShardFile(e.provPath, shards[i])
+}
+
+// ProvRecords streams every provenance record to fn in collection order
+// without materializing file-backed streams. fn returning an error stops
+// the iteration and ProvRecords returns that error.
+func (e *Experiment) ProvRecords(fn func(machine.ProvRecord) error) error {
+	for i := range e.ProvShards() {
+		recs, err := e.ReadProvShard(i)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // EventCount returns the number of counter events recorded for a PIC,
@@ -355,6 +456,9 @@ func (e *Experiment) SaveFS(fsys faultfs.FS, dir string) error {
 	if err := writeGob(fsys, dir, allocsFile, e.Allocs); err != nil {
 		return err
 	}
+	if err := e.saveProv(fsys, dir); err != nil {
+		return err
+	}
 	if e.Prog != nil {
 		var buf bytes.Buffer
 		if err := e.Prog.Save(&buf); err != nil {
@@ -413,6 +517,41 @@ func (e *Experiment) saveHWC(fsys faultfs.FS, dir string, pic int) error {
 	return err
 }
 
+// saveProv writes the provenance stream into dir as prov.pv2, with the
+// same leave/move/copy semantics as saveHWC. Experiments without
+// provenance write no file (and remove a stale one), so a
+// provenance-free Save is byte-identical to the pre-provenance format.
+func (e *Experiment) saveProv(fsys faultfs.FS, dir string) error {
+	target := filepath.Join(dir, ProvFileName)
+	if src := e.provPath; src != "" {
+		if same, err := samePath(src, target); err == nil && same {
+			return nil
+		}
+		if e.provOwned {
+			if err := fsys.Rename(src, target); err != nil {
+				if err := copyFile(fsys, src, target); err != nil {
+					return fmt.Errorf("experiment: moving spooled prov shards: %w", err)
+				}
+				fsys.Remove(src)
+			}
+		} else {
+			if err := copyFile(fsys, src, target); err != nil {
+				return fmt.Errorf("experiment: copying prov shards: %w", err)
+			}
+		}
+		e.provPath = target
+		return nil
+	}
+	if len(e.Prov) == 0 {
+		if _, err := os.Stat(target); err == nil {
+			fsys.Remove(target)
+		}
+		return nil
+	}
+	_, err := writeProvFile(fsys, target, e.Prov)
+	return err
+}
+
 // samePath reports whether two paths name the same file.
 func samePath(a, b string) (bool, error) {
 	sa, err := os.Stat(a)
@@ -465,6 +604,9 @@ func (e *Experiment) writeLog(fsys faultfs.FS, dir string) error {
 			fmt.Fprintf(f, "counter %d: %s, %d overflow events\n", pic, c, e.EventCount(pic))
 		}
 	}
+	if n := e.ProvCount(); n > 0 {
+		fmt.Fprintf(f, "provenance: %d records\n", n)
+	}
 	fmt.Fprintf(f, "instructions: %d\ncycles: %d\n", e.Meta.Stats.Instrs, e.Meta.Stats.Cycles)
 	fmt.Fprintf(f, "exit: %s\n", e.Meta.ExitStatus)
 	if e.Meta.Degraded != "" {
@@ -501,6 +643,20 @@ func Load(dir string) (*Experiment, error) {
 		e.hwcPath[pic] = ""
 		e.hwcShards[pic] = nil
 		e.hwcCount[pic] = 0
+	}
+	if e.provPath != "" {
+		recs := make([]machine.ProvRecord, 0, e.provCount)
+		for i := range e.provShards {
+			srecs, err := e.ReadProvShard(i)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", dir, err)
+			}
+			recs = append(recs, srecs...)
+		}
+		e.Prov = recs
+		e.provPath = ""
+		e.provShards = nil
+		e.provCount = 0
 	}
 	return e, nil
 }
@@ -576,6 +732,20 @@ func open(dir string) (*Experiment, error) {
 			e.hwcPath[pic] = path
 			e.hwcShards[pic] = shards
 			e.hwcCount[pic] = n
+		}
+		provPath := filepath.Join(dir, ProvFileName)
+		provShards, err := readProvIndex(provPath)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: reading prov shards: %w", dir, err)
+		}
+		if len(provShards) > 0 {
+			n := 0
+			for _, sh := range provShards {
+				n += sh.Count
+			}
+			e.provPath = provPath
+			e.provShards = provShards
+			e.provCount = n
 		}
 		// Attach the manifest's shard checksums when one exists, so
 		// every shard read is integrity-checked. Pre-manifest and

@@ -40,6 +40,10 @@ func fuzzSample() *Experiment {
 	}
 	e.Clock = []ClockEvent{{PC: machine.TextBase, Cycles: 100}}
 	e.HWC[0] = []HWCEvent{{PIC: 0, DeliveredPC: machine.TextBase + 4, Cycles: 42}}
+	e.Prov = []machine.ProvRecord{
+		{Site: machine.TextBase, Addr: 0x20000000, Size: 64, Seq: 0, Birth: 10},
+		{Site: machine.TextBase + 4, Addr: 0x20000040, Size: 16, Seq: 1, Birth: 20, Death: 80, Freed: true},
+	}
 	return e
 }
 
@@ -56,7 +60,7 @@ func FuzzExperimentLoad(f *testing.F) {
 	if err := fuzzSample().Save(v2); err != nil {
 		f.Fatal(err)
 	}
-	v2files := []string{metaFile, clockFile, hwcEv2_0, allocsFile, progFile, ManifestName}
+	v2files := []string{metaFile, clockFile, hwcEv2_0, allocsFile, progFile, ProvFileName, ManifestName}
 	for _, name := range v2files {
 		if b, err := os.ReadFile(filepath.Join(v2, name)); err == nil {
 			f.Add(name, b[:len(b)/2])
@@ -73,7 +77,7 @@ func FuzzExperimentLoad(f *testing.F) {
 	allNames := map[string]bool{
 		metaFile: true, clockFile: true, allocsFile: true, progFile: true,
 		hwcEv2_0: true, hwcEv2_1: true, hwcFile0: true, hwcFile1: true,
-		ManifestName: true,
+		ProvFileName: true, ManifestName: true,
 	}
 
 	f.Fuzz(func(t *testing.T, name string, data []byte) {
@@ -109,5 +113,8 @@ func FuzzExperimentLoad(f *testing.F) {
 				}
 			}
 		}
+		// Streaming the provenance records must never panic either; an
+		// error is fine (ProvCount promised more than the shards held).
+		_ = exp.ProvRecords(func(machine.ProvRecord) error { return nil })
 	})
 }

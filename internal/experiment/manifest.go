@@ -44,6 +44,10 @@ type Manifest struct {
 	FormatVersion int                 `json:"format_version"`
 	Files         map[string]FileSum  `json:"files"`
 	Shards        [NumPICs][]ShardSum `json:"shards"`
+	// Prov covers the provenance shard file (prov.pv2) when the
+	// experiment carries one; omitted otherwise, so provenance-free
+	// manifests are byte-identical to the pre-provenance format.
+	Prov []ShardSum `json:"prov,omitempty"`
 }
 
 // manifestDataFiles are the experiment files the manifest covers, beyond
@@ -114,6 +118,31 @@ func BuildManifest(dir string) (*Manifest, error) {
 		}
 		f.Close()
 	}
+	provPath := filepath.Join(dir, ProvFileName)
+	provShards, err := readProvIndex(provPath)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: manifest: %w", err)
+	}
+	if len(provShards) > 0 {
+		sum, err := fileSum(provPath)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: manifest: %s: %w", ProvFileName, err)
+		}
+		m.Files[ProvFileName] = sum
+		f, err := os.Open(provPath)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: manifest: %w", err)
+		}
+		for _, sh := range provShards {
+			h := crc32.NewIEEE()
+			if _, err := io.Copy(h, io.NewSectionReader(f, sh.offset, sh.length)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("experiment: manifest: %s shard %d: %w", ProvFileName, sh.Index, err)
+			}
+			m.Prov = append(m.Prov, ShardSum{Count: sh.Count, Bytes: sh.length, CRC32: h.Sum32()})
+		}
+		f.Close()
+	}
 	return m, nil
 }
 
@@ -162,6 +191,12 @@ func (e *Experiment) attachManifest(m *Manifest) {
 				e.hwcShards[pic][i].crc = sums[i].CRC32
 				e.hwcShards[pic][i].hasCRC = true
 			}
+		}
+	}
+	for i := range e.provShards {
+		if i < len(m.Prov) && e.provShards[i].length == m.Prov[i].Bytes {
+			e.provShards[i].crc = m.Prov[i].CRC32
+			e.provShards[i].hasCRC = true
 		}
 	}
 }

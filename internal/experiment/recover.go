@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"dsprof/internal/faultfs"
+	"dsprof/internal/machine"
 )
 
 // Typed recovery losses. Each Loss.Err in a RecoveryReport wraps one of
@@ -63,9 +64,14 @@ type RecoveryReport struct {
 	ShardsLost [NumPICs]int // -1 when unknowable (no manifest and no structural evidence)
 	EventsKept [NumPICs]int
 	EventsLost [NumPICs]int // -1 when unknowable without a manifest
-	ClockLost  bool
-	AllocsLost bool
-	Clean      bool // nothing was wrong; the directory was left untouched
+	// Provenance salvage, same semantics as the per-PIC fields.
+	ProvShardsKept int
+	ProvShardsLost int // -1 when unknowable
+	ProvKept       int
+	ProvLost       int // -1 when unknowable without a manifest
+	ClockLost      bool
+	AllocsLost     bool
+	Clean          bool // nothing was wrong; the directory was left untouched
 }
 
 // Degraded reports whether anything was lost.
@@ -92,6 +98,19 @@ func (r *RecoveryReport) Summary() string {
 		default:
 			parts = append(parts, fmt.Sprintf("pic%d lost an unknown tail after shard %d",
 				pic, r.ShardsKept[pic]-1))
+		}
+	}
+	if r.ProvShardsLost != 0 || r.ProvLost != 0 {
+		switch {
+		case r.ProvLost >= 0:
+			parts = append(parts, fmt.Sprintf("provenance lost %d shards (%d records)",
+				r.ProvShardsLost, r.ProvLost))
+		case r.ProvShardsLost >= 0:
+			parts = append(parts, fmt.Sprintf("provenance lost %d shards (record count unknown)",
+				r.ProvShardsLost))
+		default:
+			parts = append(parts, fmt.Sprintf("provenance lost an unknown tail after shard %d",
+				r.ProvShardsKept-1))
 		}
 	}
 	if r.ClockLost {
@@ -229,6 +248,18 @@ func RecoverFS(fsys faultfs.FS, dir string) (*RecoveryReport, error) {
 		rep.EventsLost[pic] = eventsLost
 	}
 
+	if e.Meta.FormatVersion >= 2 {
+		kept, shardsKept, lost, recsLost, loss := recoverProv(dir, man)
+		if loss != nil {
+			rep.addLoss(ProvFileName, loss)
+		}
+		e.Prov = kept
+		rep.ProvShardsKept = shardsKept
+		rep.ProvShardsLost = lost
+		rep.ProvKept = len(kept)
+		rep.ProvLost = recsLost
+	}
+
 	if !dirty && !rep.Degraded() {
 		rep.Clean = true
 		return rep, nil
@@ -342,6 +373,64 @@ func recoverPIC(dir string, pic int, meta Meta, man *Manifest) (kept []HWCEvent,
 			eventsLost += s.Count
 		}
 		return kept, len(shards), shardsLost, eventsLost, structLoss
+	}
+	return kept, len(shards), -1, -1, structLoss
+}
+
+// recoverProv salvages the provenance stream the same way recoverPIC
+// salvages a PIC's events: longest structurally whole prefix, cut at the
+// first manifest disagreement or decode failure, exact losses when the
+// manifest quantifies them.
+func recoverProv(dir string, man *Manifest) (kept []machine.ProvRecord, shardsKept, shardsLost, recsLost int, loss error) {
+	path := filepath.Join(dir, ProvFileName)
+	shards, structLoss := scanShardPrefixMagic(path, provMagic, provPIC)
+
+	var sums []ShardSum
+	if man != nil {
+		sums = man.Prov
+		for i := range shards {
+			if i >= len(sums) {
+				shards = shards[:i]
+				structLoss = fmt.Errorf("%s: shard %d: %w: shard not in manifest", path, i, ErrChecksumMismatch)
+				break
+			}
+			if shards[i].length != sums[i].Bytes || shards[i].Count != sums[i].Count {
+				shards = shards[:i]
+				structLoss = fmt.Errorf("%s: shard %d: %w: size/count disagree with manifest", path, i, ErrChecksumMismatch)
+				break
+			}
+			shards[i].crc = sums[i].CRC32
+			shards[i].hasCRC = true
+		}
+		if structLoss == nil && len(shards) < len(sums) {
+			structLoss = fmt.Errorf("%s: %w: %d shards on disk, manifest certifies %d",
+				path, ErrTornShard, len(shards), len(sums))
+		}
+	}
+
+	for i, sh := range shards {
+		recs, err := readProvShardFile(path, sh)
+		if err != nil {
+			if !errors.Is(err, ErrChecksumMismatch) {
+				err = fmt.Errorf("%w: %v", ErrTornShard, err)
+			}
+			shards = shards[:i]
+			structLoss = err
+			break
+		}
+		kept = append(kept, recs...)
+	}
+
+	if structLoss == nil {
+		return kept, len(shards), 0, 0, nil
+	}
+	if sums != nil {
+		shardsLost = len(sums) - len(shards)
+		recsLost = 0
+		for _, s := range sums[len(shards):] {
+			recsLost += s.Count
+		}
+		return kept, len(shards), shardsLost, recsLost, structLoss
 	}
 	return kept, len(shards), -1, -1, structLoss
 }

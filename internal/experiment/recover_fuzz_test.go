@@ -19,6 +19,7 @@ import (
 	"dsprof/internal/collect"
 	"dsprof/internal/core"
 	"dsprof/internal/experiment"
+	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
 )
 
@@ -46,6 +47,7 @@ func buildGoldenMCF(tb testing.TB, dir string) {
 		Input:               input,
 		SpoolDir:            dir,
 		SpoolShardEvents:    64,
+		Provenance:          true,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -57,7 +59,7 @@ func buildGoldenMCF(tb testing.TB, dir string) {
 
 var recoverFuzzFiles = []string{
 	"meta.gob", "clock.gob", "allocs.gob", "program.obj",
-	"hwc0.ev2", "hwc1.ev2", "manifest.json", "log.txt",
+	"hwc0.ev2", "hwc1.ev2", "prov.pv2", "manifest.json", "log.txt",
 }
 
 // FuzzExperimentRecover: replace any one file of a golden MCF
@@ -80,6 +82,7 @@ func FuzzExperimentRecover(f *testing.F) {
 		}
 	}
 	f.Add("hwc0.ev2", []byte("dsprofe2")) // magic only
+	f.Add("prov.pv2", []byte("dsprofp2")) // magic only
 	f.Add("manifest.json", []byte(`{"format_version":2}`))
 	f.Add("meta.gob", []byte{})
 
@@ -125,6 +128,12 @@ func FuzzExperimentRecover(f *testing.F) {
 				t.Fatalf("report says %d events kept on pic %d, load sees %d",
 					rep.EventsKept[pic], pic, len(exp.HWC[pic]))
 			}
+		}
+		// The salvaged provenance stream must be readable end to end:
+		// Recover either kept a validated prov.pv2 prefix or dropped the
+		// file, never left a torn one behind.
+		if err := exp.ProvRecords(func(machine.ProvRecord) error { return nil }); err != nil {
+			t.Fatalf("recovered provenance stream unreadable (fuzzed %s, report %+v): %v", name, rep, err)
 		}
 	})
 }

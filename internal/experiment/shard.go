@@ -210,6 +210,12 @@ func (w *ShardWriter) Count() int { return w.count }
 // payloads) and returns the shard table. A missing file means zero
 // events (a PIC with no armed counter writes no file).
 func readShardIndex(path string, pic int) ([]Shard, error) {
+	return readShardIndexMagic(path, shardMagic, pic)
+}
+
+// readShardIndexMagic is readShardIndex for any shard-kind magic; the
+// header layout is shared between counter-event and provenance files.
+func readShardIndexMagic(path, wantMagic string, pic int) ([]Shard, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -218,15 +224,15 @@ func readShardIndex(path string, pic int) ([]Shard, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var magic [len(shardMagic)]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
+	magic := make([]byte, len(wantMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
 		return nil, fmt.Errorf("corrupted %s: short magic", path)
 	}
-	if string(magic[:]) != shardMagic {
+	if string(magic) != wantMagic {
 		return nil, fmt.Errorf("corrupted %s: bad magic %q", path, magic)
 	}
 	var shards []Shard
-	off := int64(len(shardMagic))
+	off := int64(len(wantMagic))
 	for {
 		var hdr [shardHeaderBytes]byte
 		_, err := io.ReadFull(f, hdr[:])
@@ -269,7 +275,14 @@ func readShardIndex(path string, pic int) ([]Shard, error) {
 // first verifying the payload checksum when the shard carries one (from
 // the experiment manifest). Decoding never panics even on corrupted
 // payload bytes.
-func readShardFile(path string, sh Shard) (evs []HWCEvent, err error) {
+func readShardFile(path string, sh Shard) ([]HWCEvent, error) {
+	return decodeShardPayload[HWCEvent](path, sh)
+}
+
+// decodeShardPayload is the shard-kind-independent payload reader: CRC
+// verification against the manifest when present, panic-safe gob decode,
+// record-count cross-check against the header.
+func decodeShardPayload[T any](path string, sh Shard) (recs []T, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -277,7 +290,7 @@ func readShardFile(path string, sh Shard) (evs []HWCEvent, err error) {
 	defer f.Close()
 	defer func() {
 		if r := recover(); r != nil {
-			evs, err = nil, fmt.Errorf("corrupted %s: shard %d: %v", path, sh.Index, r)
+			recs, err = nil, fmt.Errorf("corrupted %s: shard %d: %v", path, sh.Index, r)
 		}
 	}()
 	var payload io.Reader = io.NewSectionReader(f, sh.offset, sh.length)
@@ -292,14 +305,14 @@ func readShardFile(path string, sh Shard) (evs []HWCEvent, err error) {
 		}
 		payload = bytes.NewReader(raw)
 	}
-	if err := gob.NewDecoder(payload).Decode(&evs); err != nil {
+	if err := gob.NewDecoder(payload).Decode(&recs); err != nil {
 		return nil, fmt.Errorf("corrupted %s: shard %d: %w", path, sh.Index, err)
 	}
-	if len(evs) != sh.Count {
-		return nil, fmt.Errorf("corrupted %s: shard %d: %d events, header says %d",
-			path, sh.Index, len(evs), sh.Count)
+	if len(recs) != sh.Count {
+		return nil, fmt.Errorf("corrupted %s: shard %d: %d records, header says %d",
+			path, sh.Index, len(recs), sh.Count)
 	}
-	return evs, nil
+	return recs, nil
 }
 
 // writeShardFile writes one PIC's in-memory events as a v2 shard file
@@ -333,6 +346,11 @@ func writeShardFile(fsys faultfs.FS, path string, pic int, evs []HWCEvent) ([]Sh
 // loss. The returned prefix is structural only; checksum validation
 // against the manifest is the caller's job.
 func scanShardPrefix(path string, pic int) (shards []Shard, loss error) {
+	return scanShardPrefixMagic(path, shardMagic, pic)
+}
+
+// scanShardPrefixMagic is scanShardPrefix for any shard-kind magic.
+func scanShardPrefixMagic(path, wantMagic string, pic int) (shards []Shard, loss error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -345,11 +363,11 @@ func scanShardPrefix(path string, pic int) (shards []Shard, loss error) {
 	if st, err := f.Stat(); err == nil {
 		size = st.Size()
 	}
-	var magic [len(shardMagic)]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != shardMagic {
+	magic := make([]byte, len(wantMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != wantMagic {
 		return nil, fmt.Errorf("%s: %w: bad or short magic", path, ErrTruncatedHeader)
 	}
-	off := int64(len(shardMagic))
+	off := int64(len(wantMagic))
 	for off < size {
 		if size-off < shardHeaderBytes {
 			return shards, fmt.Errorf("%s: shard %d: %w: %d trailing bytes",

@@ -298,5 +298,14 @@ func VerifyDir(dir string) error {
 			}
 		}
 	}
+	if len(got.Prov) != len(m.Prov) {
+		return fmt.Errorf("experiment %s: verify: %d prov shards, manifest says %d",
+			dir, len(got.Prov), len(m.Prov))
+	}
+	for i, want := range m.Prov {
+		if got.Prov[i] != want {
+			return fmt.Errorf("experiment %s: verify: prov shard %d does not match manifest", dir, i)
+		}
+	}
 	return nil
 }

@@ -14,6 +14,7 @@ type allocator struct {
 
 	live map[uint64]uint64 // addr -> size
 	free []block           // reusable blocks
+	used uint64            // running total of live bytes
 }
 
 type block struct {
@@ -38,6 +39,7 @@ func (a *allocator) alloc(size uint64) uint64 {
 			a.free[i] = a.free[len(a.free)-1]
 			a.free = a.free[:len(a.free)-1]
 			a.live[b.addr] = b.size
+			a.used += b.size
 			return b.addr
 		}
 	}
@@ -47,6 +49,7 @@ func (a *allocator) alloc(size uint64) uint64 {
 	addr := a.brk
 	a.brk += size
 	a.live[addr] = size
+	a.used += size
 	return addr
 }
 
@@ -58,17 +61,14 @@ func (a *allocator) release(addr uint64) {
 		return
 	}
 	delete(a.live, addr)
+	a.used -= size
 	a.free = append(a.free, block{addr, size})
 }
 
 // sizeOf reports the size of a live block (0 if unknown).
 func (a *allocator) sizeOf(addr uint64) uint64 { return a.live[addr] }
 
-// inUse reports the total bytes currently allocated.
-func (a *allocator) inUse() uint64 {
-	var n uint64
-	for _, s := range a.live {
-		n += s
-	}
-	return n
-}
+// inUse reports the total bytes currently allocated. The counter is
+// maintained by alloc/release, so this is O(1) — it used to walk the
+// whole live map, which is called on hot syscall paths.
+func (a *allocator) inUse() uint64 { return a.used }

@@ -85,6 +85,95 @@ func TestAllocatorInUse(t *testing.T) {
 	}
 }
 
+// A block reused from the free list comes back at its full rounded size,
+// and the in-use counter tracks that rounded size, not the new request.
+func TestAllocatorReuseKeepsBlockSize(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	p := a.alloc(250) // rounds to 256
+	if got := a.sizeOf(p); got != 256 {
+		t.Fatalf("sizeOf(fresh) = %d, want 256", got)
+	}
+	a.release(p)
+	if got := a.inUse(); got != 0 {
+		t.Fatalf("inUse after free = %d, want 0", got)
+	}
+	q := a.alloc(40) // first-fit reuse of the 256-byte block
+	if q != p {
+		t.Fatalf("freed block not reused: %#x vs %#x", q, p)
+	}
+	if got := a.sizeOf(q); got != 256 {
+		t.Errorf("sizeOf(reused) = %d, want full block size 256", got)
+	}
+	if got := a.inUse(); got != 256 {
+		t.Errorf("inUse after reuse = %d, want 256", got)
+	}
+}
+
+// Zero-size allocations are distinct, aligned, minimum-sized blocks.
+func TestAllocatorZeroSizeAlignment(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	p := a.alloc(0)
+	q := a.alloc(0)
+	if p == 0 || q == 0 || p == q {
+		t.Fatalf("zero-size allocations: %#x %#x", p, q)
+	}
+	if p%allocAlign != 0 || q%allocAlign != 0 {
+		t.Errorf("zero-size allocations not %d-aligned: %#x %#x", allocAlign, p, q)
+	}
+	if got := a.sizeOf(p); got != allocAlign {
+		t.Errorf("sizeOf(alloc(0)) = %d, want %d", got, allocAlign)
+	}
+	if got := a.inUse(); got != 2*allocAlign {
+		t.Errorf("inUse = %d, want %d", got, 2*allocAlign)
+	}
+}
+
+// Double frees and bogus frees must not disturb the in-use counter.
+func TestAllocatorDoubleFreeInUse(t *testing.T) {
+	a := newAllocator(0x1000, 0x10000)
+	keep := a.alloc(64)
+	p := a.alloc(128)
+	a.release(p)
+	a.release(p)    // double free: ignored
+	a.release(0)    // free(NULL): ignored
+	a.release(9999) // unknown address: ignored
+	if got := a.inUse(); got != 64 {
+		t.Errorf("inUse = %d, want 64", got)
+	}
+	if got := a.sizeOf(keep); got != 64 {
+		t.Errorf("surviving block sizeOf = %d, want 64", got)
+	}
+}
+
+// The running counter stays consistent with a from-scratch walk of the
+// live map across a random alloc/free sequence.
+func TestAllocatorInUseCounterConsistent(t *testing.T) {
+	a := newAllocator(0x4000_0000, 0x4100_0000)
+	r := xrand.New(41)
+	var addrs []uint64
+	for i := 0; i < 2000; i++ {
+		if len(addrs) > 0 && r.Intn(3) == 0 {
+			k := r.Intn(len(addrs))
+			a.release(addrs[k])
+			addrs[k] = addrs[len(addrs)-1]
+			addrs = addrs[:len(addrs)-1]
+		} else {
+			p := a.alloc(uint64(r.Intn(2048)))
+			if p == 0 {
+				t.Fatal("heap exhausted unexpectedly")
+			}
+			addrs = append(addrs, p)
+		}
+		var want uint64
+		for _, sz := range a.live {
+			want += sz
+		}
+		if got := a.inUse(); got != want {
+			t.Fatalf("step %d: inUse = %d, live map total = %d", i, got, want)
+		}
+	}
+}
+
 // Property: live allocations never overlap and stay within the heap
 // bounds, across random alloc/free sequences.
 func TestAllocatorNoOverlapProperty(t *testing.T) {

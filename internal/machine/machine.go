@@ -134,6 +134,10 @@ type Machine struct {
 	OnOverflow      func(*OverflowEvent)
 	OnClockTick     func(*ClockTick)
 	ClockTickCycles uint64
+	// OnProv, when set, receives one ProvRecord per heap block: at free
+	// time for freed blocks, from DrainProv for blocks live at halt.
+	// Nil (the default) keeps the allocator syscalls provenance-free.
+	OnProv func(ProvRecord)
 
 	counters [2]*hwc.Counter
 	skid     *hwc.Skid
@@ -145,6 +149,9 @@ type Machine struct {
 	// keeping event delivery allocation-free on the hot path.
 	csScratch []uint64
 	allocs    []Alloc
+	// provLive holds the open provenance record for each live heap block
+	// while OnProv is set; see prov.go.
+	provLive map[uint64]ProvRecord
 
 	stats  Stats
 	halted bool

@@ -1,0 +1,162 @@
+package machine
+
+import (
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/isa"
+)
+
+// provProgram mallocs 64 bytes, mallocs 32 bytes, frees the first block,
+// then halts: one freed record, one surviving record.
+func provProgram(b *asm.Builder) {
+	b.Emit(movImm(isa.O0, 64))
+	b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc}) // PC TextBase+4
+	b.Emit(isa.Instr{Op: isa.Or, Rd: isa.L0, Rs1: isa.G0, Rs2: isa.O0})
+	b.Emit(movImm(isa.O0, 32))
+	b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc}) // PC TextBase+16
+	b.Emit(isa.Instr{Op: isa.Or, Rd: isa.O0, Rs1: isa.G0, Rs2: isa.L0})
+	b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysFree})
+	b.Emit(isa.Instr{Op: isa.Halt})
+}
+
+func TestProvRecords(t *testing.T) {
+	m := build(t, DefaultConfig(), provProgram)
+	var recs []ProvRecord
+	m.OnProv = func(r ProvRecord) { recs = append(recs, r) }
+	run(t, m)
+	m.DrainProv()
+
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	freed, live := recs[0], recs[1]
+	if !freed.Freed || freed.Seq != 0 || freed.Size != 64 {
+		t.Errorf("freed record = %+v", freed)
+	}
+	if freed.Site != TextBase+1*isa.InstrBytes {
+		t.Errorf("freed.Site = %#x, want first malloc syscall PC %#x", freed.Site, TextBase+1*isa.InstrBytes)
+	}
+	if freed.Death == 0 || freed.Death <= freed.Birth {
+		t.Errorf("freed lifetime [%d,%d] not ordered", freed.Birth, freed.Death)
+	}
+	if live.Freed || live.Death != 0 || live.Seq != 1 || live.Size != 32 {
+		t.Errorf("surviving record = %+v", live)
+	}
+	if live.Site != TextBase+4*isa.InstrBytes {
+		t.Errorf("live.Site = %#x, want second malloc syscall PC %#x", live.Site, TextBase+4*isa.InstrBytes)
+	}
+	if freed.Caller != 0 || live.Caller != 0 {
+		t.Errorf("top-level callers = %#x %#x, want 0", freed.Caller, live.Caller)
+	}
+	if live.Birth <= freed.Birth {
+		t.Errorf("birth stamps not monotonic: %d then %d", freed.Birth, live.Birth)
+	}
+	// Records line up with the allocation log.
+	allocs := m.Allocs()
+	if len(allocs) != 2 || allocs[0].Addr != freed.Addr || allocs[1].Addr != live.Addr {
+		t.Errorf("allocs %+v do not match prov records", allocs)
+	}
+}
+
+// The same program with no hook installed must leave the shadow map
+// untouched and still record allocations normally.
+func TestProvNilHook(t *testing.T) {
+	m := build(t, DefaultConfig(), provProgram)
+	run(t, m)
+	if m.provLive != nil {
+		t.Errorf("provLive allocated with nil hook: %v", m.provLive)
+	}
+	m.DrainProv() // no-op, must not panic
+	if got := len(m.Allocs()); got != 2 {
+		t.Errorf("allocs = %d, want 2", got)
+	}
+}
+
+// Double frees, free(NULL) and unknown addresses emit no extra records.
+func TestProvDoubleFree(t *testing.T) {
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Emit(movImm(isa.O0, 64))
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc})
+		b.Emit(isa.Instr{Op: isa.Or, Rd: isa.L0, Rs1: isa.G0, Rs2: isa.O0})
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysFree}) // first free (o0 = ptr)
+		b.Emit(isa.Instr{Op: isa.Or, Rd: isa.O0, Rs1: isa.G0, Rs2: isa.L0})
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysFree}) // double free
+		b.Emit(movImm(isa.O0, 0))
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysFree}) // free(NULL)
+		b.Emit(movImm(isa.O0, 12345))
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysFree}) // unknown addr
+		b.Emit(isa.Instr{Op: isa.Halt})
+	})
+	var recs []ProvRecord
+	m.OnProv = func(r ProvRecord) { recs = append(recs, r) }
+	run(t, m)
+	m.DrainProv()
+	if len(recs) != 1 || !recs[0].Freed {
+		t.Fatalf("records = %+v, want exactly one freed record", recs)
+	}
+}
+
+// A malloc performed inside a called function records the call-site PC of
+// the caller on the shadow stack.
+func TestProvCaller(t *testing.T) {
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.EmitCall("fn") // PC TextBase
+		b.Emit(isa.Instr{Op: isa.Nop})
+		b.Emit(isa.Instr{Op: isa.Halt})
+		b.Label("fn")
+		b.Emit(movImm(isa.O0, 48))
+		b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc})
+		b.Emit(isa.Instr{Op: isa.Jmpl, Rd: isa.G0, Rs1: isa.O7, UseImm: true, Imm: 8}) // retl
+		b.Emit(isa.Instr{Op: isa.Nop})
+	})
+	var recs []ProvRecord
+	m.OnProv = func(r ProvRecord) { recs = append(recs, r) }
+	run(t, m)
+	m.DrainProv()
+	if len(recs) != 1 {
+		t.Fatalf("records = %+v, want 1", recs)
+	}
+	if recs[0].Caller != TextBase {
+		t.Errorf("Caller = %#x, want call instruction PC %#x", recs[0].Caller, uint64(TextBase))
+	}
+	if recs[0].Site != TextBase+4*isa.InstrBytes {
+		t.Errorf("Site = %#x, want malloc syscall PC %#x", recs[0].Site, TextBase+4*isa.InstrBytes)
+	}
+}
+
+// DrainProv emits surviving records in allocation order regardless of map
+// iteration, and leaves the machine clean.
+func TestProvDrainOrder(t *testing.T) {
+	m := build(t, DefaultConfig(), func(b *asm.Builder) {
+		for i := 0; i < 8; i++ {
+			b.Emit(movImm(isa.O0, int32(16*(i+1))))
+			b.Emit(isa.Instr{Op: isa.Syscall, UseImm: true, Imm: SysMalloc})
+		}
+		b.Emit(isa.Instr{Op: isa.Halt})
+	})
+	var recs []ProvRecord
+	m.OnProv = func(r ProvRecord) { recs = append(recs, r) }
+	run(t, m)
+	m.DrainProv()
+	if len(recs) != 8 {
+		t.Fatalf("records = %d, want 8", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("record %d has Seq %d; drain not in allocation order: %+v", i, r.Seq, recs)
+		}
+		if r.Size != uint64(16*(i+1)) {
+			t.Errorf("record %d size = %d, want %d", i, r.Size, 16*(i+1))
+		}
+	}
+	if m.provLive != nil {
+		t.Error("provLive not cleared after drain")
+	}
+	// Second drain is a no-op.
+	n := len(recs)
+	m.DrainProv()
+	if len(recs) != n {
+		t.Error("second DrainProv emitted records")
+	}
+}

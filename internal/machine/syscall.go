@@ -41,7 +41,9 @@ func (m *Machine) doSyscall(service int64) (result int64, cost uint64, err error
 		if addr == 0 {
 			return 0, cost, &Trap{Kind: TrapOutOfMemory, PC: m.PC}
 		}
-		m.allocs = append(m.allocs, Alloc{Addr: addr, Size: uint64(m.Regs[isa.O0]), Seq: len(m.allocs)})
+		seq := len(m.allocs)
+		m.allocs = append(m.allocs, Alloc{Addr: addr, Size: uint64(m.Regs[isa.O0]), Seq: seq})
+		m.recordProv(addr, uint64(m.Regs[isa.O0]), seq)
 		return int64(addr), cost, nil
 	case SysCalloc:
 		n := uint64(m.Regs[isa.O0]) * uint64(m.Regs[isa.O1])
@@ -52,9 +54,12 @@ func (m *Machine) doSyscall(service int64) (result int64, cost uint64, err error
 		// Fresh simulated memory is already zero, but blocks reused from
 		// the free list are not.
 		m.Mem.WriteBytes(addr, make([]byte, n))
-		m.allocs = append(m.allocs, Alloc{Addr: addr, Size: n, Seq: len(m.allocs)})
+		seq := len(m.allocs)
+		m.allocs = append(m.allocs, Alloc{Addr: addr, Size: n, Seq: seq})
+		m.recordProv(addr, n, seq)
 		return int64(addr), cost + n/callocCycleDivisor, nil
 	case SysFree:
+		m.completeProv(uint64(m.Regs[isa.O0]))
 		m.heap.release(uint64(m.Regs[isa.O0]))
 		return 0, cost, nil
 	case SysReadLong:

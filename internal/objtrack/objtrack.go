@@ -1,0 +1,272 @@
+// Package objtrack is the object-centric attribution subsystem: it joins
+// counter events that carry recovered effective addresses against the
+// allocation-site provenance records the VM allocator streams into the
+// experiment (machine.ProvRecord, spooled as prov.pv2 shards), so every
+// sampled miss lands on a (site, instance) pair instead of stopping at a
+// static struct type. On top of the join it registers three analyzer
+// reports — per-allocation-site heat, per-instance access timelines, and
+// dead-object detection — and feeds the advisor per-site evidence for
+// split-pool recommendations.
+package objtrack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/hwc"
+	"dsprof/internal/machine"
+)
+
+// ErrNoProvenance reports that the loaded experiments carry no
+// allocation-site provenance records (the run was collected without
+// provenance enabled).
+var ErrNoProvenance = errors.New("no provenance records collected (re-collect with provenance enabled)")
+
+// allocAlign mirrors the VM allocator's block alignment: a block's
+// reserved extent is its requested size rounded up to this, which is the
+// interval an effective address must fall in to join the block.
+const allocAlign = 16
+
+// roundedSize returns the allocator's reserved extent for a requested
+// size.
+func roundedSize(size uint64) uint64 {
+	if size == 0 {
+		size = allocAlign
+	}
+	return (size + allocAlign - 1) &^ uint64(allocAlign-1)
+}
+
+// Instance is one heap block with its joined counter events.
+type Instance struct {
+	machine.ProvRecord
+	Events [hwc.NumEvents]uint64 // joined overflow counts per event
+	Total  uint64                // total joined overflow events
+	Reads  uint64                // joined events whose attribution PC is a load
+	Writes uint64                // joined events whose attribution PC is a store
+}
+
+// Site aggregates the instances (and their joined events) of one
+// allocation-site PC.
+type Site struct {
+	PC        uint64
+	Allocs    int    // number of blocks allocated at the site
+	Bytes     uint64 // requested bytes over all its blocks
+	LiveBytes uint64 // requested bytes never freed
+	Events    [hwc.NumEvents]uint64
+	Total     uint64
+}
+
+// Index is the provenance join: every EA-carrying counter event resolved
+// to the heap block (and hence allocation site) it landed in. It is
+// built from the analyzer's canonical EA-event order and the first
+// experiment carrying provenance records, so the same experiments
+// produce an identical index whether the reduction ran serially, sharded
+// in parallel, or distributed across cluster workers.
+type Index struct {
+	Records   int        // provenance records indexed
+	Instances []Instance // by allocation sequence number
+	Sites     []Site     // by site PC
+	Joined    int        // EA events that landed in a known block
+	Unjoined  int        // EA events outside any known block
+
+	bases  []uint64         // sorted distinct block base addresses
+	byBase map[uint64][]int // base -> Instances indexes, by birth cycle
+}
+
+// Build constructs the index for a loaded analysis. Provenance comes
+// from the first experiment that carries records — the deterministic
+// simulator produces the identical allocation stream in every run of a
+// study, so one experiment's records describe them all (the same
+// convention the instance-level addrspace analyses use for Allocs).
+// It returns ErrNoProvenance (wrapped) when no experiment carries any.
+func Build(a *analyzer.Analyzer) (*Index, error) {
+	var recs []machine.ProvRecord
+	for _, e := range a.Exps {
+		if e.ProvCount() == 0 {
+			continue
+		}
+		recs = make([]machine.ProvRecord, 0, e.ProvCount())
+		err := e.ProvRecords(func(r machine.ProvRecord) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("objtrack: reading provenance: %w", err)
+		}
+		break
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("objtrack: %w", ErrNoProvenance)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+
+	idx := &Index{
+		Records:   len(recs),
+		Instances: make([]Instance, len(recs)),
+		byBase:    make(map[uint64][]int),
+	}
+	for i, r := range recs {
+		idx.Instances[i] = Instance{ProvRecord: r}
+		idx.byBase[r.Addr] = append(idx.byBase[r.Addr], i)
+	}
+	idx.bases = make([]uint64, 0, len(idx.byBase))
+	for base, is := range idx.byBase {
+		idx.bases = append(idx.bases, base)
+		sort.Slice(is, func(x, y int) bool {
+			a, b := &idx.Instances[is[x]], &idx.Instances[is[y]]
+			if a.Birth != b.Birth {
+				return a.Birth < b.Birth
+			}
+			return a.Seq < b.Seq
+		})
+	}
+	sort.Slice(idx.bases, func(i, j int) bool { return idx.bases[i] < idx.bases[j] })
+
+	// Join the canonical EA-event stream.
+	for _, ae := range a.EAEvents() {
+		i := idx.Lookup(ae.EA, ae.Cycles)
+		if i < 0 {
+			idx.Unjoined++
+			continue
+		}
+		idx.Joined++
+		inst := &idx.Instances[i]
+		inst.Events[ae.Event]++
+		inst.Total++
+		if in := a.Prog.InstrAt(ae.PC); in != nil && !ae.Artificial {
+			switch {
+			case in.Op.IsLoad():
+				inst.Reads++
+			case in.Op.IsStore():
+				inst.Writes++
+			}
+		}
+	}
+
+	// Aggregate per allocation site.
+	byPC := make(map[uint64]*Site)
+	for i := range idx.Instances {
+		inst := &idx.Instances[i]
+		s := byPC[inst.Site]
+		if s == nil {
+			s = &Site{PC: inst.Site}
+			byPC[inst.Site] = s
+		}
+		s.Allocs++
+		s.Bytes += inst.Size
+		if !inst.Freed {
+			s.LiveBytes += inst.Size
+		}
+		for ev, n := range inst.Events {
+			s.Events[ev] += n
+		}
+		s.Total += inst.Total
+	}
+	idx.Sites = make([]Site, 0, len(byPC))
+	for _, s := range byPC {
+		idx.Sites = append(idx.Sites, *s)
+	}
+	sort.Slice(idx.Sites, func(i, j int) bool { return idx.Sites[i].PC < idx.Sites[j].PC })
+	return idx, nil
+}
+
+// Lookup resolves an effective address at a point in machine time to an
+// instance index, or -1 when the address lies outside every known block.
+// Block extents at distinct bases never overlap (the allocator bumps
+// fresh blocks forward and reuses freed blocks only at their original
+// base and full rounded size), so the candidate is the block with the
+// largest base not above the address; among the instances that lived at
+// that base, the one born most recently at or before the event wins
+// (falling back to the earliest, for events attributed slightly before
+// their block's birth by backtracking skid).
+func (idx *Index) Lookup(ea, cycles uint64) int {
+	// Largest base <= ea.
+	lo, hi := 0, len(idx.bases)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx.bases[mid] <= ea {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return -1
+	}
+	base := idx.bases[lo-1]
+	is := idx.byBase[base]
+	best := -1
+	for _, i := range is {
+		inst := &idx.Instances[i]
+		if ea >= inst.Addr+roundedSize(inst.Size) {
+			return -1 // all records at one base share the block extent
+		}
+		if inst.Birth <= cycles {
+			best = i // keep the latest birth at or before the event
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return is[0]
+}
+
+// SiteName renders an allocation site the way the PC reports do
+// ("global_malloc + 0x0000001C").
+func SiteName(a *analyzer.Analyzer, pc uint64) string {
+	return a.PCName(pc, false)
+}
+
+// SiteFunc returns the name of the function containing an allocation
+// site ("<unknown>" when the debug tables place it nowhere).
+func SiteFunc(a *analyzer.Analyzer, pc uint64) string {
+	if fn := a.Tab.FuncAt(pc); fn != nil {
+		return fn.Name
+	}
+	return "<unknown>"
+}
+
+// RankEvent picks the event site heat is ranked by: E$ stall cycles when
+// collected (the paper's optimization target), otherwise the first
+// collected memory-related event, otherwise the first collected event.
+// An armed counter that recorded no events at all cannot rank anything
+// and is skipped.
+func RankEvent(a *analyzer.Analyzer) hwc.Event {
+	has := func(ev hwc.Event) bool {
+		return a.HasEvent(ev) && a.Total().Events[ev] > 0
+	}
+	for _, ev := range []hwc.Event{hwc.EvECStall, hwc.EvECRdMiss, hwc.EvDCRdMiss, hwc.EvDTLBMiss, hwc.EvECRef} {
+		if has(ev) {
+			return ev
+		}
+	}
+	for ev := hwc.Event(0); ev < hwc.NumEvents; ev++ {
+		if ev != hwc.EvNone && has(ev) {
+			return ev
+		}
+	}
+	return hwc.EvNone
+}
+
+// TypeSites returns the sites plausibly allocating instances of a struct
+// type — those whose blocks' requested sizes are non-zero multiples of
+// the type size — in site-PC order. This is the advisor's per-site
+// evidence seam.
+func (idx *Index) TypeSites(typeSize int64) []Site {
+	if typeSize <= 0 {
+		return nil
+	}
+	var out []Site
+	for _, s := range idx.Sites {
+		if s.Allocs == 0 {
+			continue
+		}
+		per := s.Bytes / uint64(s.Allocs)
+		if per > 0 && per%uint64(typeSize) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

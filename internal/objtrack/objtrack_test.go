@@ -1,0 +1,298 @@
+package objtrack_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dsprof/internal/analyzer"
+	"dsprof/internal/cc"
+	"dsprof/internal/collect"
+	"dsprof/internal/machine"
+	"dsprof/internal/objtrack"
+)
+
+// deadSrc is the purpose-built dead-object workload: three heap blocks
+// with three distinct fates. deadbuf is written and never read
+// (write-only), ghostbuf is never touched at all (dead-on-arrival), and
+// hotbuf is initialized then chased hard (healthy). None are freed, so
+// every flagged byte is also leaked. The hot block is chased through a
+// pointer variable (p->value) rather than indexed (buf[i]): an indexed
+// load's address lives in a scratch register the load itself overwrites,
+// so its EA can never be recovered after the skid, while the pointer
+// variable keeps the base in a callee-saved register.
+const deadSrc = `
+struct node { long value; struct node *next; long pad1; long pad2; long pad3; long pad4; long pad5; long pad6; };
+long *deadbuf;
+long *ghostbuf;
+struct node *hotbuf;
+long build_dead(long n) {
+	long i;
+	deadbuf = (long *) malloc(n * 8);
+	for (i = 0; i < n; i++) {
+		deadbuf[i] = i;
+	}
+	return 0;
+}
+long build_ghost() {
+	ghostbuf = (long *) malloc(1024);
+	return 0;
+}
+long use_hot(long n, long steps) {
+	long i;
+	long j;
+	long sum;
+	struct node *p;
+	hotbuf = (struct node *) malloc(n * sizeof(struct node));
+	j = 0;
+	for (i = 0; i < n; i++) {
+		hotbuf[j].value = i;
+		hotbuf[j].next = &hotbuf[(j + 97) % n];
+		j = (j + 97) % n;
+	}
+	sum = 0;
+	p = hotbuf;
+	while (steps > 0) {
+		sum += p->value;
+		p = p->next;
+		steps--;
+	}
+	return sum;
+}
+long main() {
+	long sum;
+	build_dead(2048);
+	build_ghost();
+	sum = use_hot(512, 20000);
+	write_long(sum);
+	return 0;
+}
+`
+
+// deadLongs/hotNodes mirror the main() calls above; nodeBytes is
+// sizeof(struct node). The hot list (512 x 64 B = 32 KB) exceeds the
+// scaled 8 KB D$, so the shuffled chase misses constantly and E$
+// reference samples land on its loads; the dead buffer's cold-miss
+// stores are its only traffic.
+const (
+	deadLongs = 2048
+	hotNodes  = 512
+	nodeBytes = 64
+)
+
+// deadSmoke collects the workload once per test binary, with a tiny
+// backtracking +ecref interval so the sampled events blanket the heap
+// accesses. The run is deterministic, so every test shares it.
+var (
+	smokeOnce sync.Once
+	smokeA    *analyzer.Analyzer
+	smokeErr  error
+)
+
+func deadAnalyzer(t *testing.T) *analyzer.Analyzer {
+	t.Helper()
+	smokeOnce.Do(func() {
+		res, err := collectDead(true)
+		if err != nil {
+			smokeErr = err
+			return
+		}
+		smokeA, smokeErr = analyzer.New(res.Exp)
+	})
+	if smokeErr != nil {
+		t.Fatal(smokeErr)
+	}
+	return smokeA
+}
+
+func collectDead(provenance bool) (*collect.Result, error) {
+	prog, err := cc.Compile([]cc.Source{{Name: "dead.mc", Text: deadSrc}}, cc.Options{Name: "dead", HWCProf: true})
+	if err != nil {
+		return nil, err
+	}
+	specs, err := collect.ParseCounterSpec("+ecref,41")
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.ScaledConfig()
+	return collect.Run(prog, collect.Options{
+		Counters:   specs,
+		Machine:    &cfg,
+		Provenance: provenance,
+	})
+}
+
+func TestBuildJoinsHeapEvents(t *testing.T) {
+	a := deadAnalyzer(t)
+	idx, err := objtrack.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Records != 3 {
+		t.Fatalf("Records = %d, want 3 (deadbuf, ghostbuf, hotbuf)", idx.Records)
+	}
+	if len(idx.Sites) != 3 {
+		t.Fatalf("got %d sites, want 3: %+v", len(idx.Sites), idx.Sites)
+	}
+	if idx.Joined == 0 {
+		t.Fatal("no EA events joined to heap blocks")
+	}
+
+	byFunc := map[string]*objtrack.Instance{}
+	for i := range idx.Instances {
+		in := &idx.Instances[i]
+		byFunc[objtrack.SiteFunc(a, in.Site)] = in
+	}
+	for _, fn := range []string{"build_dead", "build_ghost", "use_hot"} {
+		if byFunc[fn] == nil {
+			t.Fatalf("no allocation attributed to %s (have %v)", fn, byFunc)
+		}
+	}
+
+	ghost := byFunc["build_ghost"]
+	if ghost.Size != 1024 || ghost.Total != 0 || ghost.Freed {
+		t.Errorf("ghost block = size %d total %d freed %v, want 1024/0/false", ghost.Size, ghost.Total, ghost.Freed)
+	}
+	dead := byFunc["build_dead"]
+	if dead.Size != deadLongs*8 {
+		t.Errorf("dead block size = %d, want %d", dead.Size, deadLongs*8)
+	}
+	if dead.Writes == 0 || dead.Reads != 0 {
+		t.Errorf("dead block reads/writes = %d/%d, want 0 reads and >0 writes", dead.Reads, dead.Writes)
+	}
+	hot := byFunc["use_hot"]
+	if hot.Reads == 0 {
+		t.Errorf("hot block saw no sampled reads (total %d)", hot.Total)
+	}
+	if hot.Total <= dead.Total {
+		t.Errorf("hot block (%d events) not hotter than the write-only one (%d)", hot.Total, dead.Total)
+	}
+
+	// Every instance's blocks are disjoint: each joined event resolves
+	// to exactly the block containing its EA.
+	for i := range idx.Instances {
+		in := &idx.Instances[i]
+		if got := idx.Lookup(in.Addr, in.Birth); got != i {
+			t.Errorf("Lookup(base of seq %d) = %d, want %d", in.Seq, got, i)
+		}
+		if got := idx.Lookup(in.Addr+in.Size-1, in.Birth); got != i {
+			t.Errorf("Lookup(last byte of seq %d) = %d, want %d", in.Seq, got, i)
+		}
+	}
+	if got := idx.Lookup(0, 0); got != -1 {
+		t.Errorf("Lookup(0) = %d, want -1", got)
+	}
+}
+
+func TestDeadObjectsReportExactBytes(t *testing.T) {
+	a := deadAnalyzer(t)
+	var buf bytes.Buffer
+	if err := a.Render(&buf, "dead-objects", analyzer.RenderOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The never-touched ghost block: exactly one block, exactly its 1024
+	// requested bytes, all leaked (never freed).
+	if want := "dead-on-arrival (no sampled event ever landed in the block): 1 block(s), 1024 bytes, 1024 leaked"; !strings.Contains(out, want) {
+		t.Errorf("report missing %q:\n%s", want, out)
+	}
+	// The written-never-read block: its exact requested bytes, leaked.
+	if want := fmt.Sprintf("write-only (sampled stores but never a sampled load): 1 block(s), %d bytes, %d leaked", deadLongs*8, deadLongs*8); !strings.Contains(out, want) {
+		t.Errorf("report missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "build_ghost") || !strings.Contains(out, "build_dead") {
+		t.Errorf("report does not name the offending sites:\n%s", out)
+	}
+}
+
+func TestSiteHeatReport(t *testing.T) {
+	a := deadAnalyzer(t)
+	var one, two bytes.Buffer
+	if err := a.Render(&one, "site-heat", analyzer.RenderOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Render(&two, "site-heat", analyzer.RenderOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Error("site-heat report not deterministic")
+	}
+	out := one.String()
+	if !strings.Contains(out, "use_hot") {
+		t.Errorf("hot site missing from report:\n%s", out)
+	}
+	if !strings.Contains(out, "provenance: 3 allocation records across 3 sites") {
+		t.Errorf("provenance header missing:\n%s", out)
+	}
+	// The hot site must rank first: it carries most joined events.
+	lines := strings.Split(out, "\n")
+	firstRow := ""
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "count") && i+1 < len(lines) {
+			firstRow = lines[i+1]
+			break
+		}
+	}
+	if !strings.Contains(firstRow, "use_hot") {
+		t.Errorf("top-ranked site row %q does not mention use_hot:\n%s", firstRow, out)
+	}
+}
+
+func TestObjTimelineReport(t *testing.T) {
+	a := deadAnalyzer(t)
+	var buf bytes.Buffer
+	if err := a.Render(&buf, "obj-timeline=use_hot", analyzer.RenderOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Object timelines for function use_hot: 1 instance(s)") {
+		t.Errorf("timeline header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "live at exit") {
+		t.Errorf("unfreed block not marked live at exit:\n%s", out)
+	}
+	// The strip must show joined activity (a digit or saturation mark).
+	if !strings.ContainsAny(out, "123456789*") {
+		t.Errorf("timeline strip shows no activity:\n%s", out)
+	}
+	if err := a.Render(&bytes.Buffer{}, "obj-timeline", analyzer.RenderOpts{}); err == nil {
+		t.Error("obj-timeline without a function accepted")
+	}
+	if err := a.Render(&bytes.Buffer{}, "obj-timeline=nosuchfn", analyzer.RenderOpts{}); err == nil {
+		t.Error("obj-timeline for a function with no allocations accepted")
+	}
+}
+
+func TestReportsJSON(t *testing.T) {
+	a := deadAnalyzer(t)
+	for _, name := range []string{"site-heat", "dead-objects", "obj-timeline=use_hot"} {
+		if _, err := a.RenderJSON(name, analyzer.RenderOpts{}); err != nil {
+			t.Errorf("%s JSON rendering: %v", name, err)
+		}
+	}
+	for _, name := range []string{"site-heat", "obj-timeline", "dead-objects"} {
+		if !analyzer.ValidReport(name) {
+			t.Errorf("report %s not registered", name)
+		}
+	}
+}
+
+func TestNoProvenanceErrors(t *testing.T) {
+	res, err := collectDead(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analyzer.New(res.Exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"site-heat", "dead-objects", "obj-timeline=use_hot"} {
+		err := a.Render(&bytes.Buffer{}, name, analyzer.RenderOpts{})
+		if !errors.Is(err, objtrack.ErrNoProvenance) {
+			t.Errorf("%s without provenance: err = %v, want ErrNoProvenance", name, err)
+		}
+	}
+}

@@ -64,6 +64,12 @@ type JobSpec struct {
 	// or "study" (the paper-scale study machine). Default: "study".
 	MachineConfig string `json:"machine,omitempty"`
 
+	// Provenance also records allocation-site provenance (heap block
+	// birth/death with site PCs) into the experiment, enabling the
+	// object-centric reports (site-heat, obj-timeline, dead-objects,
+	// pool-advice). Counter event shards are unaffected either way.
+	Provenance bool `json:"provenance,omitempty"`
+
 	// TimeoutSec bounds the run's wall-clock time (0 = scheduler default).
 	TimeoutSec float64 `json:"timeoutSec,omitempty"`
 	// MaxRetries re-runs the job after a transient failure (default 0).
@@ -136,11 +142,13 @@ func (s *JobSpec) ConfigHash() string {
 		Input                         []int64
 		Clock                         bool
 		Counters, Machine             string
+		Provenance                    bool
 	}{
 		Program: s.Program, Source: s.Source, Name: s.Name, Layout: s.Layout,
 		Trips: s.Trips, Seed: s.Seed, PageSizeHeap: s.PageSizeHeap,
 		ClockTick: s.ClockIntervalCycles, Input: s.Input, Clock: s.Clock,
 		Counters: s.Counters, Machine: s.MachineConfig,
+		Provenance: s.Provenance,
 	}
 	b, _ := json.Marshal(&canon)
 	sum := sha256.Sum256(b)

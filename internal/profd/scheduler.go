@@ -209,7 +209,7 @@ func (s *Scheduler) collectJob(ctx context.Context, spec *JobSpec) (*collect.Res
 	if err != nil {
 		return nil, err
 	}
-	return core.CollectRunContext(ctx, prog, input, cfg, spec.Clock, spec.ClockIntervalCycles, spec.Counters)
+	return core.CollectRunContextProv(ctx, prog, input, cfg, spec.Clock, spec.ClockIntervalCycles, spec.Counters, spec.Provenance)
 }
 
 // Submit validates and queues a job, returning it immediately.

@@ -7,12 +7,13 @@ package dsprof_test
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 
-	_ "dsprof/internal/advisor" // registers the "advice" report
+	_ "dsprof/internal/advisor" // registers the "advice" and "pool-advice" reports
 	"dsprof/internal/analyzer"
 	"dsprof/internal/cc"
 	"dsprof/internal/core"
@@ -43,18 +44,24 @@ func goldenPair(t *testing.T) (dirA, dirB string) {
 		}
 		input := mcf.Generate(mcf.DefaultGenParams(160, 20030717)).Encode()
 		cfg := core.StudyMachine()
-		resA, err := core.CollectRun(prog, input, &cfg, true, "+ecstall,10007,+ecrm,503")
+		// Provenance on: the report loop below covers the object-centric
+		// reports (site-heat, obj-timeline, dead-objects, pool-advice),
+		// which need allocation records. Provenance never perturbs the
+		// counter streams (provenance_golden_test.go), so the pre-existing
+		// reports see the same data either way.
+		ctx := context.Background()
+		resA, err := core.CollectRunContextProv(ctx, prog, input, &cfg, true, 0, "+ecstall,10007,+ecrm,503", true)
 		if err != nil {
 			goldenErr = err
 			return
 		}
-		resB, err := core.CollectRun(prog, input, &cfg, false, "+ecref,997,+dtlbm,251")
+		resB, err := core.CollectRunContextProv(ctx, prog, input, &cfg, false, 0, "+ecref,997,+dtlbm,251", true)
 		if err != nil {
 			goldenErr = err
 			return
 		}
 		input2 := mcf.Generate(mcf.DefaultGenParams(160, 20030718)).Encode()
-		resA2, err := core.CollectRun(prog, input2, &cfg, true, "+ecstall,10007,+ecrm,503")
+		resA2, err := core.CollectRunContextProv(ctx, prog, input2, &cfg, true, 0, "+ecstall,10007,+ecrm,503", true)
 		if err != nil {
 			goldenErr = err
 			return
@@ -116,10 +123,11 @@ func openAll(t *testing.T, dirs ...string) []*experiment.Experiment {
 // reportArgs supplies the argument for the arg-taking reports, chosen to
 // hit the paper's hot function and struct.
 var reportArgs = map[string]string{
-	"source":  "refresh_potential",
-	"disasm":  "refresh_potential",
-	"members": "node",
-	"callers": "refresh_potential",
+	"source":       "refresh_potential",
+	"disasm":       "refresh_potential",
+	"members":      "node",
+	"callers":      "refresh_potential",
+	"obj-timeline": "read_min",
 }
 
 func TestShardedReductionByteIdentical(t *testing.T) {
