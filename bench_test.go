@@ -662,8 +662,28 @@ func newSimcoreMachine(b *testing.B, prog *asm.Program, input []int64, cfg machi
 	return m
 }
 
+// steadyAllocs reports the steady-state allocation count of a machine's
+// batched loop: run a fresh machine past warm-up (for the translated
+// backend that includes translating the hot blocks), then count
+// allocations across large RunFor batches.
+func steadyAllocs(b *testing.B, m *machine.Machine) float64 {
+	b.Helper()
+	if err := m.RunFor(1 << 22); err != nil {
+		b.Fatal(err)
+	}
+	return testing.AllocsPerRun(8, func() {
+		if !m.Halted() {
+			if err := m.RunFor(1 << 18); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMachineRun measures unarmed interpreter throughput: a full
-// unprofiled MCF run on the batched fast path (Run) against the
+// unprofiled MCF run on the event-horizon fast path (Run with the
+// backend pinned to "fast" — the PR 4 interpreter, the baseline the
+// translated backend is measured against) versus the
 // instruction-granular reference stepper, plus the steady-state
 // allocation count of the fast inner loop.
 func BenchmarkMachineRun(b *testing.B) {
@@ -673,6 +693,7 @@ func BenchmarkMachineRun(b *testing.B) {
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
 		m := newSimcoreMachine(b, prog, input, cfg)
+		m.SetBackend(machine.BackendFast)
 		t0 := time.Now()
 		if err := m.Run(); err != nil {
 			b.Fatal(err)
@@ -693,19 +714,9 @@ func BenchmarkMachineRun(b *testing.B) {
 		}
 	}
 
-	// Steady-state allocations of the fast path: run a fresh machine past
-	// warm-up, then count allocations across large RunFor batches.
 	warm := newSimcoreMachine(b, prog, input, cfg)
-	if err := warm.RunFor(1 << 20); err != nil {
-		b.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(8, func() {
-		if !warm.Halted() {
-			if err := warm.RunFor(1 << 18); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	warm.SetBackend(machine.BackendFast)
+	allocs := steadyAllocs(b, warm)
 
 	instrsPerSec := float64(instrs) / fastSec
 	nsPerInstr := fastSec * 1e9 / float64(instrs)
@@ -720,6 +731,59 @@ func BenchmarkMachineRun(b *testing.B) {
 		"ns_per_instr":         nsPerInstr,
 		"step_ns_per_instr":    stepSec * 1e9 / float64(instrs),
 		"speedup_vs_step":      speedup,
+		"steady_allocs_per_op": allocs,
+	})
+}
+
+// BenchmarkMachineRunTranslated measures the superblock-translating
+// backend on the same full unprofiled MCF run, against the fast
+// interpreter it replaces as the default. The produced executions are
+// identical (TestFastPathGolden runs this exact workload three ways);
+// only the wall-clock differs. speedup_vs_fast is the number the CI
+// bench-smoke gate watches.
+func BenchmarkMachineRunTranslated(b *testing.B) {
+	prog, input, cfg := simcoreProg(b)
+
+	var transSec, fastSec float64
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m := newSimcoreMachine(b, prog, input, cfg)
+		m.SetBackend(machine.BackendTranslated)
+		t0 := time.Now()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		transSec = time.Since(t0).Seconds()
+		instrs = m.Stats().Instrs
+
+		m = newSimcoreMachine(b, prog, input, cfg)
+		m.SetBackend(machine.BackendFast)
+		t0 = time.Now()
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		fastSec = time.Since(t0).Seconds()
+		if m.Stats().Instrs != instrs {
+			b.Fatalf("fast path retired %d instrs, translated %d", m.Stats().Instrs, instrs)
+		}
+	}
+
+	warm := newSimcoreMachine(b, prog, input, cfg)
+	warm.SetBackend(machine.BackendTranslated)
+	allocs := steadyAllocs(b, warm)
+
+	nsPerInstr := transSec * 1e9 / float64(instrs)
+	speedup := fastSec / transSec
+	b.ReportMetric(float64(instrs)/transSec/1e6, "Minstrs/sec")
+	b.ReportMetric(nsPerInstr, "ns/instr")
+	b.ReportMetric(speedup, "xSpeedupVsFast")
+	b.ReportMetric(allocs, "steadyAllocs/op")
+	recordSimcore(b, "machine_run_translated", map[string]float64{
+		"instrs":               float64(instrs),
+		"instrs_per_sec":       float64(instrs) / transSec,
+		"ns_per_instr":         nsPerInstr,
+		"fast_ns_per_instr":    fastSec * 1e9 / float64(instrs),
+		"speedup_vs_fast":      speedup,
 		"steady_allocs_per_op": allocs,
 	})
 }

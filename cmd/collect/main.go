@@ -2,7 +2,8 @@
 // paper's collect(1):
 //
 //	collect [-o expt.er] [-p on|off] [-h +ecstall,lo,+ecrm,on]
-//	        [-prov on|off] [-scaled] [-input file] prog.obj
+//	        [-prov on|off] [-scaled] [-backend translated|fast]
+//	        [-input file] prog.obj
 //
 // With no arguments it lists the available hardware counters, as the
 // paper describes. The -h counter specification takes up to two
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"dsprof/internal/asm"
+	"dsprof/internal/cli"
 	"dsprof/internal/collect"
 	"dsprof/internal/hwc"
 	"dsprof/internal/machine"
@@ -64,38 +66,42 @@ func readInput(path string) ([]int64, error) {
 }
 
 func main() {
+	cli.Main("collect", run)
+}
+
+func run() error {
 	out := flag.String("o", "test.1.er", "experiment directory to write")
 	clock := flag.String("p", "on", "clock profiling: on or off")
 	counters := flag.String("h", "", "hardware counter spec, e.g. +ecstall,lo,+ecrm,on")
 	prov := flag.String("prov", "off", "allocation-site provenance recording: on or off")
 	inputPath := flag.String("input", "", "program input file (whitespace-separated integers)")
 	scaled := flag.Bool("scaled", false, "use the scaled machine configuration")
+	backend := flag.String("backend", "", "execution engine: translated (default) or fast")
 	flag.Parse()
 
 	if flag.NArg() == 0 && *counters == "" {
 		listCounters()
-		return
+		return nil
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "collect: exactly one program object expected")
-		os.Exit(2)
+		return cli.Usagef("exactly one program object expected")
 	}
 	prog, err := asm.LoadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	specs, err := collect.ParseCounterSpec(*counters)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
-		os.Exit(2)
+		return cli.UsageError{Err: err}
+	}
+	if _, err := machine.ParseBackend(*backend); err != nil {
+		return cli.UsageError{Err: err}
 	}
 	var input []int64
 	if *inputPath != "" {
 		input, err = readInput(*inputPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "collect: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	cfg := machine.DefaultConfig()
@@ -106,8 +112,7 @@ func main() {
 	// are produced: memory stays flat on long runs, and Save finds the
 	// shard files already in place.
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	res, err := collect.Run(prog, collect.Options{
 		ClockProfile: *clock == "on",
@@ -116,16 +121,18 @@ func main() {
 		Input:        input,
 		SpoolDir:     *out,
 		Provenance:   *prov == "on",
+		Backend:      *backend,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "collect: target failed: %v\n", err)
 		if res == nil {
-			os.Exit(1)
+			return fmt.Errorf("target failed: %w", err)
 		}
+		// The target trapped but the partial experiment is still worth
+		// saving; report the failure on stderr and fall through.
+		fmt.Fprintf(os.Stderr, "collect: target failed: %v\n", err)
 	}
 	if err := res.Exp.Save(*out); err != nil {
-		fmt.Fprintf(os.Stderr, "collect: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	st := res.Machine.Stats()
 	fmt.Printf("collect: %s: %d instructions, %d cycles (%.3f s simulated)\n",
@@ -138,4 +145,5 @@ func main() {
 	if longs := res.Machine.OutputLongs(); len(longs) > 0 {
 		fmt.Printf("program output: %v\n", longs)
 	}
+	return nil
 }

@@ -29,6 +29,7 @@ import (
 
 	"dsprof/internal/advisor"
 	"dsprof/internal/analyzer"
+	"dsprof/internal/cli"
 	"dsprof/internal/core"
 	"dsprof/internal/experiment"
 	"dsprof/internal/machine"
@@ -37,62 +38,62 @@ import (
 )
 
 func main() {
+	cli.Main("dsadvise", run)
+}
+
+func run() error {
 	if len(os.Args) >= 2 && os.Args[1] == "-version" {
 		version.Print(os.Stdout, "dsadvise")
-		return
+		return nil
 	}
 	if len(os.Args) < 2 {
-		usage()
+		return usage()
 	}
 	switch os.Args[1] {
 	case "advice":
-		runAdvice(os.Args[2:])
+		return runAdvice(os.Args[2:])
 	case "loop":
-		runLoop(os.Args[2:])
+		return runLoop(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "dsadvise: unknown command %q\n", os.Args[1])
-		usage()
+		return usage()
 	}
 }
 
-func usage() {
+func usage() error {
 	fmt.Fprintln(os.Stderr, `usage: dsadvise {advice|loop} [flags]
   advice [-pools] [-n 20] [-o FILE] expt.er...           advise from existing experiments
   loop   [-trips N] [-seed S] [-layout L] [-machine M]   closed loop on the MCF workload
          [-window W] [-minshare F] [-n 20] [-o FILE]
   -version                                               print the suite version`)
-	os.Exit(2)
+	return cli.Usagef("unknown or missing subcommand")
 }
 
-// openOut returns the report destination and a close func that exits on
-// write-back failure, matching erprint's -o handling.
-func openOut(path string) (io.Writer, func()) {
+// withOut renders through f to -o FILE (or stdout when path is empty),
+// returning any render or close error so deferred cleanup in the caller
+// still runs — no os.Exit buried in the output path.
+func withOut(path string, f func(io.Writer) error) error {
 	if path == "" {
-		return os.Stdout, func() {}
+		return f(os.Stdout)
 	}
-	f, err := os.Create(path)
+	out, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	return f, func() {
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+	if err := f(out); err != nil {
+		out.Close()
+		return err
 	}
+	return out.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dsadvise: %v\n", err)
-	os.Exit(1)
-}
-
-func runAdvice(args []string) {
-	fs := flag.NewFlagSet("advice", flag.ExitOnError)
+func runAdvice(args []string) error {
+	fs := flag.NewFlagSet("advice", flag.ContinueOnError)
 	topN := fs.Int("n", 20, "maximum recommendations")
 	pools := fs.Bool("pools", false, "allocation-site split-pool advice (needs provenance in the experiments)")
 	outPath := fs.String("o", "", "write the report to FILE instead of stdout")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return cli.UsageError{Err: err}
 	}
 	var dirs []string
 	for _, arg := range fs.Args() {
@@ -100,39 +101,37 @@ func runAdvice(args []string) {
 			dirs = append(dirs, arg)
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "dsadvise: %q is not an experiment directory\nvalid reports:\n%s", arg, analyzer.ReportUsage())
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "valid reports:\n%s", analyzer.ReportUsage())
+		return cli.Usagef("%q is not an experiment directory", arg)
 	}
 	if len(dirs) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dsadvise advice [-n 20] [-o FILE] expt.er...")
-		os.Exit(2)
+		return cli.Usagef("no experiments given")
 	}
 	var exps []*experiment.Experiment
 	for _, d := range dirs {
 		// Open streams v2 counter events from disk during reduction.
 		e, err := experiment.Open(d)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		exps = append(exps, e)
 	}
 	a, err := analyzer.New(exps...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	report := "advice"
 	if *pools {
 		report = "pool-advice"
 	}
-	out, closeOut := openOut(*outPath)
-	if err := a.Render(out, report, analyzer.RenderOpts{TopN: *topN}); err != nil {
-		fatal(err)
-	}
-	closeOut()
+	return withOut(*outPath, func(out io.Writer) error {
+		return a.Render(out, report, analyzer.RenderOpts{TopN: *topN})
+	})
 }
 
-func runLoop(args []string) {
-	fs := flag.NewFlagSet("loop", flag.ExitOnError)
+func runLoop(args []string) error {
+	fs := flag.NewFlagSet("loop", flag.ContinueOnError)
 	trips := fs.Int("trips", 1200, "MCF instance size (timetabled trips)")
 	seed := fs.Uint64("seed", 20030717, "MCF instance seed")
 	layout := fs.String("layout", "paper", "baseline struct layout: paper or optimized")
@@ -142,11 +141,10 @@ func runLoop(args []string) {
 	topN := fs.Int("n", 20, "maximum recommendations")
 	outPath := fs.String("o", "", "write the report to FILE instead of stdout")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return cli.UsageError{Err: err}
 	}
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "dsadvise: loop takes no positional arguments, got %q\n", fs.Arg(0))
-		os.Exit(2)
+		return cli.Usagef("loop takes no positional arguments, got %q", fs.Arg(0))
 	}
 	var l mcf.Layout
 	switch *layout {
@@ -155,8 +153,7 @@ func runLoop(args []string) {
 	case "optimized":
 		l = mcf.LayoutOptimized
 	default:
-		fmt.Fprintf(os.Stderr, "dsadvise: unknown layout %q (paper or optimized)\n", *layout)
-		os.Exit(2)
+		return cli.Usagef("unknown layout %q (paper or optimized)", *layout)
 	}
 	var cfg machine.Config
 	switch *machineName {
@@ -167,8 +164,7 @@ func runLoop(args []string) {
 	case "default":
 		cfg = machine.DefaultConfig()
 	default:
-		fmt.Fprintf(os.Stderr, "dsadvise: unknown machine %q (study, scaled or default)\n", *machineName)
-		os.Exit(2)
+		return cli.Usagef("unknown machine %q (study, scaled or default)", *machineName)
 	}
 
 	run, err := core.AdviseMCF(context.Background(), core.AdviseParams{
@@ -179,13 +175,11 @@ func runLoop(args []string) {
 		Advisor:   advisor.Options{Window: *window, MinShare: *minShare, MaxRecs: *topN},
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	out, closeOut := openOut(*outPath)
-	if err := run.WriteReport(out, *topN); err != nil {
-		fatal(err)
-	}
-	closeOut()
+	return withOut(*outPath, func(out io.Writer) error {
+		return run.WriteReport(out, *topN)
+	})
 }
 
 func dirExists(path string) bool {

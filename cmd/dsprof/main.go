@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"dsprof/internal/analyzer"
+	"dsprof/internal/cli"
 	"dsprof/internal/core"
 	"dsprof/internal/hwc"
 	"dsprof/internal/mcf"
@@ -27,105 +28,134 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsprof: ")
+	cli.Main("dsprof", run)
+}
+
+func run() error {
 	if len(os.Args) < 2 {
-		usage()
+		return usage()
 	}
 	if os.Args[1] == "-version" {
 		version.Print(os.Stdout, "dsprof")
-		return
+		return nil
 	}
 	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	trips := fs.Int("trips", 1200, "instance size (timetabled trips)")
 	outDir := fs.String("o", "figures", "output directory (study)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+		return cli.UsageError{Err: err}
 	}
 	switch cmd {
 	case "study":
-		runStudy(*trips, *outDir)
+		return runStudy(*trips, *outDir)
 	case "speedups":
-		runSpeedups(*trips)
+		return runSpeedups(*trips)
 	default:
-		usage()
+		return usage()
 	}
 }
 
-func usage() {
+func usage() error {
 	fmt.Fprintln(os.Stderr, "usage: dsprof {study|speedups} [-trips N] [-o dir]")
 	fmt.Fprintln(os.Stderr, "       dsprof -version")
-	os.Exit(2)
+	return cli.Usagef("unknown or missing subcommand")
 }
 
-func runStudy(trips int, outDir string) {
+func runStudy(trips int, outDir string) error {
 	p := core.DefaultStudy()
 	p.Trips = trips
 	log.Printf("running the two-experiment study (trips=%d)...", trips)
 	s, err := core.RunStudy(p)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	write := func(name string, f func(io.Writer) error) {
+	write := func(name string, f func(io.Writer) error) error {
 		path := filepath.Join(outDir, name)
 		file, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f(file); err != nil {
-			log.Fatalf("%s: %v", name, err)
+			file.Close()
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		if err := file.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %s", path)
+		return nil
 	}
-	write("fig1-total.txt", func(f io.Writer) error { s.Figure1(f); return nil })
-	write("fig2-functions.txt", func(f io.Writer) error { s.Figure2(f); return nil })
-	write("fig3-annotated-source.txt", s.Figure3)
-	write("fig4-annotated-disasm.txt", s.Figure4)
-	write("fig5-pcs.txt", func(f io.Writer) error { s.Figure5(f, 17); return nil })
-	write("fig6-data-objects.txt", func(f io.Writer) error { s.Figure6(f); return nil })
-	write("fig7-node-members.txt", s.Figure7)
-	write("addrspace.txt", func(f io.Writer) error {
-		s.Analyzer.AddressSpaceReport(f, analyzer.ByEvent(hwc.EvECRdMiss), 10)
-		return nil
-	})
-	write("lines.txt", func(f io.Writer) error {
-		s.Analyzer.LineList(f, analyzer.ByEvent(hwc.EvECStall), 20)
-		return nil
-	})
-	write("feedback.txt", func(f io.Writer) error {
-		s.Analyzer.WriteFeedbackFile(f, 0.01)
-		return nil
-	})
+	figures := []struct {
+		name string
+		f    func(io.Writer) error
+	}{
+		{"fig1-total.txt", func(f io.Writer) error { s.Figure1(f); return nil }},
+		{"fig2-functions.txt", func(f io.Writer) error { s.Figure2(f); return nil }},
+		{"fig3-annotated-source.txt", s.Figure3},
+		{"fig4-annotated-disasm.txt", s.Figure4},
+		{"fig5-pcs.txt", func(f io.Writer) error { s.Figure5(f, 17); return nil }},
+		{"fig6-data-objects.txt", func(f io.Writer) error { s.Figure6(f); return nil }},
+		{"fig7-node-members.txt", s.Figure7},
+		{"addrspace.txt", func(f io.Writer) error {
+			s.Analyzer.AddressSpaceReport(f, analyzer.ByEvent(hwc.EvECRdMiss), 10)
+			return nil
+		}},
+		{"lines.txt", func(f io.Writer) error {
+			s.Analyzer.LineList(f, analyzer.ByEvent(hwc.EvECStall), 20)
+			return nil
+		}},
+		{"feedback.txt", func(f io.Writer) error {
+			s.Analyzer.WriteFeedbackFile(f, 0.01)
+			return nil
+		}},
+	}
+	for _, fig := range figures {
+		if err := write(fig.name, fig.f); err != nil {
+			return err
+		}
+	}
 	log.Printf("solved: cost=%d pivots=%d (%.3f simulated seconds)", s.Output.Cost, s.Output.Pivots, s.Seconds)
+	return nil
 }
 
-func runSpeedups(trips int) {
+func runSpeedups(trips int) error {
 	base := core.DefaultStudy()
 	base.Trips = trips
-	variant := func(name string, p core.StudyParams) {
+	variant := func(name string, p core.StudyParams) error {
 		cycles, out, err := core.TimeMCF(p)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("%-36s %14d cycles  cost=%d\n", name, cycles, out.Cost)
+		return nil
 	}
 	fmt.Printf("timing MCF variants (trips=%d, unprofiled)...\n", trips)
-	variant("baseline (-xhwcprof, paper layout)", base)
 	noProf := base
 	noProf.HWCProf = false
-	variant("without -xhwcprof (§2.1)", noProf)
 	opt := base
 	opt.Layout = mcf.LayoutOptimized
-	variant("optimized struct layout (§3.3)", opt)
 	pages := base
 	pages.PageSizeHeap = 512 << 10
-	variant("-xpagesize_heap=512k (§3.3)", pages)
 	both := opt
 	both.PageSizeHeap = 512 << 10
-	variant("combined (§3.3)", both)
+	variants := []struct {
+		name string
+		p    core.StudyParams
+	}{
+		{"baseline (-xhwcprof, paper layout)", base},
+		{"without -xhwcprof (§2.1)", noProf},
+		{"optimized struct layout (§3.3)", opt},
+		{"-xpagesize_heap=512k (§3.3)", pages},
+		{"combined (§3.3)", both},
+	}
+	for _, v := range variants {
+		if err := variant(v.name, v.p); err != nil {
+			return err
+		}
+	}
+	return nil
 }

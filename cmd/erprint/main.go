@@ -32,6 +32,10 @@
 // rewritten in place, and the losses are reported. With no reports,
 // -recover just salvages and exits.
 //
+// -o FILE is all-or-nothing: reports render into memory and reach FILE
+// through a same-directory temp file and rename, so a rendering failure
+// can never leave a truncated report behind (or clobber a previous one).
+//
 // Multiple experiments merge, as with the paper's two collect runs.
 // Unknown report names are rejected up front with the list of valid
 // reports; an argument that is neither a known report nor an existing
@@ -39,14 +43,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	_ "dsprof/internal/advisor" // registers the "advice" and "pool-advice" reports
 	"dsprof/internal/analyzer"
+	"dsprof/internal/cli"
 	"dsprof/internal/experiment"
 	"dsprof/internal/hwc"
 	_ "dsprof/internal/objtrack" // registers the object-centric reports
@@ -54,6 +61,10 @@ import (
 )
 
 func main() {
+	cli.Main("erprint", run)
+}
+
+func run() error {
 	sortName := flag.String("sort", "", "sort metric: cpu, ecstall, ecrm, ecref, dtlbm, ...")
 	topN := flag.Int("n", 20, "rows in top-N reports")
 	outPath := flag.String("o", "", "write report output to FILE instead of stdout")
@@ -62,7 +73,7 @@ func main() {
 	flag.Parse()
 	if *showVersion {
 		version.Print(os.Stdout, "erprint")
-		return
+		return nil
 	}
 
 	var reports []string
@@ -75,8 +86,8 @@ func main() {
 		case strings.HasSuffix(arg, ".er") || dirExists(arg):
 			dirs = append(dirs, arg)
 		default:
-			fmt.Fprintf(os.Stderr, "erprint: %q is neither a report nor an experiment directory\nvalid reports:\n%s", arg, analyzer.ReportUsage())
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "valid reports:\n%s", analyzer.ReportUsage())
+			return cli.Usagef("%q is neither a report nor an experiment directory", arg)
 		}
 	}
 	if len(dirs) == 0 || (len(reports) == 0 && !*doRecover) {
@@ -84,7 +95,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       erprint -recover experiment.er...")
 		fmt.Fprintf(os.Stderr, "valid reports:\n%s", analyzer.ReportUsage())
 		flag.Usage()
-		os.Exit(2)
+		return cli.Usagef("nothing to do")
 	}
 	if *doRecover {
 		// Salvage each directory in place before analysis: validate the
@@ -93,8 +104,7 @@ func main() {
 		for _, d := range dirs {
 			rep, err := experiment.Recover(d)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "erprint: recovering %s: %v\n", d, err)
-				os.Exit(1)
+				return fmt.Errorf("recovering %s: %w", d, err)
 			}
 			if rep.Clean {
 				fmt.Fprintf(os.Stderr, "erprint: %s: intact, nothing to recover\n", d)
@@ -103,7 +113,7 @@ func main() {
 			}
 		}
 		if len(reports) == 0 {
-			return
+			return nil
 		}
 	}
 	var exps []*experiment.Experiment
@@ -112,15 +122,13 @@ func main() {
 		// analyzer's sharded reduction streams them in parallel.
 		e, err := experiment.Open(d)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		exps = append(exps, e)
 	}
 	a, err := analyzer.New(exps...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	opts := analyzer.RenderOpts{TopN: *topN}
@@ -129,44 +137,61 @@ func main() {
 		if *sortName != "cpu" {
 			ev, err := hwc.ParseEvent(*sortName)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-				os.Exit(2)
+				return cli.UsageError{Err: err}
 			}
 			sortBy = analyzer.ByEvent(ev)
 		}
 		opts.Sort = &sortBy
 	}
 
-	var out io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-			os.Exit(1)
-		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-				os.Exit(1)
+	render := func(out io.Writer) error {
+		// A single report renders bare (byte-identical to the profd HTTP
+		// report endpoint, and pipeable); multiple reports get banners.
+		for _, rep := range reports {
+			if len(reports) > 1 {
+				fmt.Fprintf(out, "==== %s ====\n", rep)
 			}
-		}()
-		out = f
+			if err := a.Render(out, rep, opts); err != nil {
+				return err
+			}
+			if len(reports) > 1 {
+				fmt.Fprintln(out)
+			}
+		}
+		return nil
 	}
+	if *outPath == "" {
+		return render(os.Stdout)
+	}
+	return writeFileAtomic(*outPath, render)
+}
 
-	// A single report renders bare (byte-identical to the profd HTTP
-	// report endpoint, and pipeable); multiple reports get banners.
-	for _, rep := range reports {
-		if len(reports) > 1 {
-			fmt.Fprintf(out, "==== %s ====\n", rep)
-		}
-		if err := a.Render(out, rep, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "erprint: %v\n", err)
-			os.Exit(1)
-		}
-		if len(reports) > 1 {
-			fmt.Fprintln(out)
-		}
+// writeFileAtomic renders into memory and publishes the bytes to path
+// with a same-directory temp file and rename, so path is either the
+// complete new report or untouched — a mid-render failure (bad member
+// name, missing provenance, I/O error) never leaves a truncated file.
+func writeFileAtomic(path string, render func(io.Writer) error) (err error) {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		return err
 	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func dirExists(path string) bool {

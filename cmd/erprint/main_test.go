@@ -1,0 +1,73 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomicFailure is the regression test for the truncated
+// -o FILE bug: a rendering failure partway through (after some output
+// was already produced) must leave the target file exactly as it was —
+// previous contents intact, no partial report, no stray temp files.
+func TestWriteFileAtomicFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.txt")
+	const prev = "previous good report\n"
+	if err := os.WriteFile(path, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("bad member name")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a report...")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the render error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != prev {
+		t.Errorf("target file changed on failed render:\n%q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stray temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicSuccess checks the happy path publishes the full
+// rendered bytes and cleans up its temp file.
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.txt")
+	const want = "==== functions ====\nall of it\n"
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, want)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("directory has %d entries, want just the report", len(ents))
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"dsprof/internal/asm"
 	"dsprof/internal/cc"
+	"dsprof/internal/cli"
 	"dsprof/internal/dwarf"
 	"dsprof/internal/isa"
 )
@@ -41,6 +42,10 @@ func parsePageSize(s string) (uint64, error) {
 }
 
 func main() {
+	cli.Main("mcc", run)
+}
+
+func run() error {
 	out := flag.String("o", "a.obj", "output object file")
 	asmList := flag.Bool("S", false, "print the generated assembly listing instead of writing an object")
 	hwcprof := flag.Bool("xhwcprof", false, "emit memory-profiling support (data xrefs, branch targets, padding)")
@@ -50,8 +55,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "mcc: no input files")
-		os.Exit(2)
+		return cli.Usagef("no input files")
 	}
 	opts := cc.Options{HWCProf: *hwcprof, Name: *name}
 	switch *debugFormat {
@@ -60,14 +64,12 @@ func main() {
 	case "stabs":
 		opts.DebugFormat = dwarf.FormatSTABS
 	default:
-		fmt.Fprintf(os.Stderr, "mcc: unknown debug format %q\n", *debugFormat)
-		os.Exit(2)
+		return cli.Usagef("unknown debug format %q", *debugFormat)
 	}
 	if *pageSizeHeap != "" {
 		ps, err := parsePageSize(*pageSizeHeap)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
-			os.Exit(2)
+			return cli.UsageError{Err: err}
 		}
 		opts.PageSizeHeap = ps
 	}
@@ -76,26 +78,24 @@ func main() {
 	for _, path := range flag.Args() {
 		text, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		srcs = append(srcs, cc.Source{Name: filepath.Base(path), Text: string(text)})
 	}
 	prog, err := cc.Compile(srcs, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if *asmList {
 		printListing(prog)
-		return
+		return nil
 	}
 	if err := prog.SaveFile(*out); err != nil {
-		fmt.Fprintf(os.Stderr, "mcc: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("mcc: wrote %s (%d instructions, %d bytes data, debug=%v)\n",
 		*out, len(prog.Text), len(prog.Data), prog.Debug.Format)
+	return nil
 }
 
 // printListing dumps the generated code with function headers, source

@@ -9,14 +9,20 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"dsprof/internal/cli"
 	"dsprof/internal/mcf"
 )
 
 func main() {
+	cli.Main("mcfgen", run)
+}
+
+func run() error {
 	trips := flag.Int("trips", 1200, "number of timetabled trips")
 	seed := flag.Uint64("seed", 20030717, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
@@ -29,8 +35,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcfgen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -45,35 +50,32 @@ func main() {
 		case "optimized":
 			l = mcf.LayoutOptimized
 		default:
-			fmt.Fprintf(os.Stderr, "mcfgen: unknown layout %q\n", *layout)
-			os.Exit(2)
+			return cli.Usagef("unknown layout %q", *layout)
 		}
 		fmt.Fprint(bw, mcf.Source(l))
-		return
+		return nil
 	}
 
 	ins := mcf.Generate(mcf.DefaultGenParams(*trips, *seed))
 	if *solve {
 		ns, stats, err := mcf.SolveNetSimplex(ins)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcfgen: netsimplex: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("netsimplex: %w", err)
 		}
 		ssp, err := mcf.SolveSSP(ins)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcfgen: ssp: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("ssp: %w", err)
 		}
 		fmt.Fprintf(bw, "trips=%d nodes=%d arcs=%d\n", *trips, ins.N, len(ins.Arcs))
 		fmt.Fprintf(bw, "netsimplex optimum=%d (pivots=%d)\n", ns, stats.Pivots)
 		fmt.Fprintf(bw, "ssp        optimum=%d\n", ssp)
 		if ns != ssp {
-			fmt.Fprintln(os.Stderr, "mcfgen: SOLVERS DISAGREE")
-			os.Exit(1)
+			return errors.New("SOLVERS DISAGREE")
 		}
-		return
+		return nil
 	}
 	for _, v := range ins.Encode() {
 		fmt.Fprintln(bw, v)
 	}
+	return nil
 }

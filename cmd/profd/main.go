@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"dsprof/internal/cli"
 	"dsprof/internal/cluster"
 	"dsprof/internal/profd"
 )
@@ -45,6 +46,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("profd: ")
+	cli.Main("profd", run)
+}
+
+func run() error {
 	addr := flag.String("addr", ":7070", "HTTP listen address")
 	root := flag.String("root", "profd.data", "managed experiment root directory")
 	workers := flag.Int("workers", 4, "concurrent VM workers")
@@ -59,7 +64,7 @@ func main() {
 
 	store, err := profd.OpenStore(*root)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -91,7 +96,7 @@ func main() {
 
 	case "worker":
 		if *coordinatorURL == "" {
-			log.Fatal("-role worker requires -coordinator")
+			return cli.Usagef("-role worker requires -coordinator")
 		}
 		self := *advertise
 		if self == "" {
@@ -113,7 +118,7 @@ func main() {
 		handler = w.Handler()
 
 	default:
-		log.Fatalf("unknown -role %q (want coordinator or worker)", *role)
+		return cli.Usagef("unknown -role %q (want coordinator or worker)", *role)
 	}
 
 	srv := profd.NewHTTPServer(*addr, handler)
@@ -133,7 +138,8 @@ func main() {
 	log.Printf("serving on %s (role=%s, root=%s, workers=%d, %d experiments indexed)",
 		*addr, roleName, *root, *workers, len(store.List()))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		return err
 	}
 	log.Print("stopped")
+	return nil
 }

@@ -38,7 +38,7 @@ func (c *Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
 
 // Tag-word flag bits. The valid and dirty state of each way is packed
 // into the top bits of its tag word instead of parallel []bool arrays, so
-// a probe touches one array instead of three and the probe working set
+// a probe touches one word instead of three and the probe working set
 // shrinks. Line numbers (full address >> lineShift) must fit the low 62
 // bits, i.e. addresses below 2^67 with the smallest legal line size.
 const (
@@ -47,16 +47,23 @@ const (
 	tagPayload = tagDirty - 1 // low 62 bits: the line number
 )
 
+// way is one cache way: the packed tag word and its LRU stamp, adjacent
+// so a probe's tag match and stamp update touch the same host cache
+// line. A 4-way set is exactly one 64-byte line of metadata.
+type way struct {
+	tag uint64
+	use uint64
+}
+
 // Cache is one set-associative cache level with true-LRU replacement.
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint64
 	assoc     int
-	tags      []uint64 // sets*assoc packed tag words: valid|dirty|line
-	use       []uint64 // LRU stamps
+	ways      []way // sets*assoc way records
 	tick      uint64
-	lastIdx   int // way of the most recent hit or install (MRU memo)
+	lastIdx   int // index of the most recent hit or install (MRU memo)
 
 	// Statistics (cumulative).
 	Reads       uint64
@@ -71,7 +78,6 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	sets := cfg.Sets()
-	n := sets * cfg.Assoc
 	var shift uint
 	for 1<<shift != cfg.LineBytes {
 		shift++
@@ -81,8 +87,7 @@ func New(cfg Config) (*Cache, error) {
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
 		assoc:     cfg.Assoc,
-		tags:      make([]uint64, n),
-		use:       make([]uint64, n),
+		ways:      make([]way, sets*cfg.Assoc),
 	}, nil
 }
 
@@ -102,20 +107,50 @@ func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
 // so callers can use it as an inlinable fast path in front of Access.
 func (c *Cache) HitMRU(addr uint64, write bool) bool {
 	line := addr >> c.lineShift
-	w := c.tags[c.lastIdx]
-	if w&(tagValid|tagPayload) != tagValid|line {
+	e := &c.ways[c.lastIdx]
+	if e.tag&(tagValid|tagPayload) != tagValid|line {
 		return false
 	}
 	c.tick++
 	if write {
 		c.Writes++
-		c.tags[c.lastIdx] = w | tagDirty
+		e.tag |= tagDirty
 	} else {
 		c.Reads++
 	}
-	c.use[c.lastIdx] = c.tick
+	e.use = c.tick
 	return true
 }
+
+// WayHit performs the access against one specific way: it reports false —
+// with no state change — unless addr's line currently occupies ways[way].
+// On a hit it applies exactly the updates a full Access would, like
+// HitMRU but with a caller-remembered way instead of the MRU memo, so
+// per-site way caches (the translated backend's memory ops) can verify
+// and retire repeat hits inline. The way index is a performance hint
+// only: a stale one fails the tag compare and the caller falls back.
+func (c *Cache) WayHit(way int, addr uint64, write bool) bool {
+	line := addr >> c.lineShift
+	e := &c.ways[way]
+	if e.tag&(tagValid|tagPayload) != tagValid|line {
+		return false
+	}
+	c.tick++
+	if write {
+		c.Writes++
+		e.tag |= tagDirty
+	} else {
+		c.Reads++
+	}
+	e.use = c.tick
+	return true
+}
+
+// LastWay reports the way index of the most recent hit or install — the
+// value a per-site way cache should remember after a fallback Access.
+// Like the MRU memo it feeds, it is pure optimization state: no
+// architectural or statistics update depends on it.
+func (c *Cache) LastWay() int { return c.lastIdx }
 
 // Access performs a read or write access to addr. allocate controls
 // whether a miss installs the line (write-through no-write-allocate D$
@@ -128,9 +163,16 @@ func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) 
 	if c.HitMRU(addr, write) {
 		return true, false
 	}
+	return c.AccessFull(addr, write, allocate)
+}
+
+// AccessFull is Access without the leading MRU-memo probe. Callers that
+// just failed HitMRU on the same address use it to skip the redundant
+// re-check (a failed probe mutates nothing); it is otherwise identical.
+func (c *Cache) AccessFull(addr uint64, write, allocate bool) (hit, writeback bool) {
 	line := c.lineOf(addr)
 	base := int(line&c.setMask) * c.assoc
-	ways := c.tags[base : base+c.assoc] // one bounds check for the scan
+	set := c.ways[base : base+c.assoc] // one bounds check for the scan
 	c.tick++
 	if write {
 		c.Writes++
@@ -139,12 +181,12 @@ func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) 
 	}
 	// Hit scan first, with none of the victim bookkeeping: hits are the
 	// overwhelmingly common case on the simulator's critical path.
-	for i, w := range ways {
-		if w&(tagValid|tagPayload) == tagValid|line {
+	for i := range set {
+		if set[i].tag&(tagValid|tagPayload) == tagValid|line {
 			c.lastIdx = base + i
-			c.use[base+i] = c.tick
+			set[i].use = c.tick
 			if write {
-				ways[i] = w | tagDirty
+				set[i].tag |= tagDirty
 			}
 			return true, false
 		}
@@ -159,22 +201,21 @@ func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) 
 	}
 	// Miss: pick the victim — first invalid way, else true-LRU.
 	victim := 0
-	for i, w := range ways {
-		if ways[victim]&tagValid == 0 {
+	for i := range set {
+		if set[victim].tag&tagValid == 0 {
 			break
 		}
-		if w&tagValid == 0 || c.use[base+i] < c.use[base+victim] {
+		if set[i].tag&tagValid == 0 || set[i].use < set[victim].use {
 			victim = i
 		}
 	}
-	old := ways[victim]
+	old := set[victim].tag
 	writeback = old&(tagValid|tagDirty) == tagValid|tagDirty
 	w := line | tagValid
 	if write {
 		w |= tagDirty
 	}
-	ways[victim] = w
-	c.use[base+victim] = c.tick
+	set[victim] = way{tag: w, use: c.tick}
 	c.lastIdx = base + victim
 	return false, writeback
 }
@@ -182,10 +223,9 @@ func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) 
 // Contains probes for addr without disturbing LRU state or statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	line := c.lineOf(addr)
-	set := int(line & c.setMask)
-	base := set * c.assoc
+	base := int(line&c.setMask) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if w := c.tags[i]; w&tagValid != 0 && w&tagPayload == line {
+		if w := c.ways[i].tag; w&tagValid != 0 && w&tagPayload == line {
 			return true
 		}
 	}
@@ -194,9 +234,8 @@ func (c *Cache) Contains(addr uint64) bool {
 
 // Flush invalidates every line and clears statistics.
 func (c *Cache) Flush() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.use[i] = 0
+	for i := range c.ways {
+		c.ways[i] = way{}
 	}
 	c.tick = 0
 	c.lastIdx = 0

@@ -1,0 +1,43 @@
+// Package cli holds the suite's command-line entry conventions: every
+// command's main is a thin wrapper over a run() error function, so error
+// paths return through normal control flow — deferred cleanup (spool
+// tail flushes, temp files, HTTP drains) runs — and the process exit
+// code is assigned in exactly one place. Exit codes follow cmd/collect:
+// 2 for usage errors, 1 for runtime failures.
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// UsageError marks a command-line usage problem; Main exits 2 for it
+// (the same code flag.ExitOnError uses) instead of the runtime 1.
+type UsageError struct{ Err error }
+
+func (e UsageError) Error() string { return e.Err.Error() }
+func (e UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// Main runs fn and exits the process with the conventional code: 0 on
+// nil, 2 for usage errors, 1 otherwise. The error is printed to stderr
+// prefixed with the command name. It must be the last call in main —
+// nothing after it runs on failure — and fn must do its own cleanup via
+// defer, which is the point: returning an error unwinds fn normally.
+func Main(name string, fn func() error) {
+	err := fn()
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	var ue UsageError
+	if errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

@@ -17,13 +17,14 @@ import (
 	"dsprof/internal/mcf"
 )
 
-// TestFastPathGolden is the differential golden test for the interpreter
-// fast path: a full MCF collect — both of the paper's counter sets, clock
-// profiling on — run once on the batched fast path and once on the
-// instruction-granular reference stepper must produce byte-identical
-// experiment directories and byte-identical rendered reports. Any drift
-// in event streams, skid draws, cycle counts, or attribution shows up as
-// a file diff here.
+// TestFastPathGolden is the differential golden test for the batched
+// execution engines: a full MCF collect — both of the paper's counter
+// sets, clock profiling on — run on the instruction-granular reference
+// stepper, the event-horizon interpreter ("fast"), and the
+// superblock-translating backend ("translated") must produce
+// byte-identical experiment directories and byte-identical rendered
+// reports. Any drift in event streams, skid draws, cycle counts, or
+// attribution shows up as a file diff here.
 func TestFastPathGolden(t *testing.T) {
 	prog, err := mcf.Program(mcf.LayoutPaper, cc.Options{HWCProf: true})
 	if err != nil {
@@ -42,7 +43,7 @@ func TestFastPathGolden(t *testing.T) {
 		{"B", false, "+ecref,2003,+dtlbm,499"},
 	}
 
-	collectPair := func(singleStep bool) ([]*experiment.Experiment, []string) {
+	collectPair := func(singleStep bool, backend string) ([]*experiment.Experiment, []string) {
 		var exps []*experiment.Experiment
 		var dirs []string
 		for _, cs := range counterSets {
@@ -57,10 +58,11 @@ func TestFastPathGolden(t *testing.T) {
 				Machine:             &cfg,
 				Input:               input,
 				SingleStep:          singleStep,
+				Backend:             backend,
 				Provenance:          true,
 			})
 			if err != nil {
-				t.Fatalf("collect %s (singleStep=%v): %v", cs.name, singleStep, err)
+				t.Fatalf("collect %s (singleStep=%v, backend=%q): %v", cs.name, singleStep, backend, err)
 			}
 			// Pin the only intentionally non-deterministic field so the
 			// directories can be compared byte for byte.
@@ -75,12 +77,15 @@ func TestFastPathGolden(t *testing.T) {
 		return exps, dirs
 	}
 
-	refExps, refDirs := collectPair(true)
-	fastExps, fastDirs := collectPair(false)
+	refExps, refDirs := collectPair(true, "")
+	fastExps, fastDirs := collectPair(false, "fast")
+	transExps, transDirs := collectPair(false, "translated")
 
-	// 1. The saved experiment directories must be byte-identical.
+	// 1. The saved experiment directories must be byte-identical across
+	// all three engines.
 	for i := range refDirs {
-		compareDirs(t, counterSets[i].name, refDirs[i], fastDirs[i])
+		compareDirs(t, counterSets[i].name+"/fast", refDirs[i], fastDirs[i])
+		compareDirs(t, counterSets[i].name+"/translated", refDirs[i], transDirs[i])
 	}
 
 	// 2. Every registered report rendered from the merged pair must be
@@ -90,6 +95,10 @@ func TestFastPathGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	fastA, err := Analyze(fastExps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transA, err := Analyze(transExps...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,15 +120,21 @@ func TestFastPathGolden(t *testing.T) {
 		}
 	}
 	for _, rep := range reports {
-		var refBuf, fastBuf bytes.Buffer
+		var refBuf, fastBuf, transBuf bytes.Buffer
 		if err := refA.Render(&refBuf, rep, analyzer.RenderOpts{}); err != nil {
 			t.Fatalf("render %q (reference): %v", rep, err)
 		}
 		if err := fastA.Render(&fastBuf, rep, analyzer.RenderOpts{}); err != nil {
 			t.Fatalf("render %q (fast): %v", rep, err)
 		}
+		if err := transA.Render(&transBuf, rep, analyzer.RenderOpts{}); err != nil {
+			t.Fatalf("render %q (translated): %v", rep, err)
+		}
 		if !bytes.Equal(refBuf.Bytes(), fastBuf.Bytes()) {
 			t.Errorf("report %q differs between reference and fast path", rep)
+		}
+		if !bytes.Equal(refBuf.Bytes(), transBuf.Bytes()) {
+			t.Errorf("report %q differs between reference and translated backend", rep)
 		}
 	}
 

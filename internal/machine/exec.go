@@ -128,6 +128,9 @@ func (m *Machine) runBatch(limit uint64) (uint64, error) {
 		}
 		breakOnSyscall = true
 	}
+	if m.backend == BackendTranslated && !m.transBlocked {
+		return m.runMixed(maxN, stop, breakOnSyscall)
+	}
 	n, err := m.runInner(maxN, stop, breakOnSyscall)
 	if n == 0 && err == nil && !m.halted {
 		// The loop gave way immediately (syscall under a cycle-counter

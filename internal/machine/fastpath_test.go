@@ -99,6 +99,22 @@ func driveMachine(t *testing.T, cfg Config, prog func(b *asm.Builder), arm func(
 	return lg
 }
 
+// withBackend wraps an arming function so the same driveMachine workload
+// runs on an explicitly chosen backend. heat > 0 also lowers the
+// translation threshold so short test workloads actually reach the
+// translated blocks rather than staying on the interpreter warm-up path.
+func withBackend(b Backend, heat uint32, arm func(m *Machine)) func(m *Machine) {
+	return func(m *Machine) {
+		m.SetBackend(b)
+		if heat > 0 {
+			m.SetTranslationHeat(heat)
+		}
+		if arm != nil {
+			arm(m)
+		}
+	}
+}
+
 func stepLoop(m *Machine) error {
 	for !m.Halted() {
 		if err := m.Step(); err != nil {
@@ -196,8 +212,10 @@ func TestFastPathEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ref := driveMachine(t, tc.cfg(), equivProg, tc.arm, stepLoop)
-			fast := driveMachine(t, tc.cfg(), equivProg, tc.arm, (*Machine).Run)
-			sliced := driveMachine(t, tc.cfg(), equivProg, tc.arm, runForLoop)
+			fast := driveMachine(t, tc.cfg(), equivProg, withBackend(BackendFast, 0, tc.arm), (*Machine).Run)
+			sliced := driveMachine(t, tc.cfg(), equivProg, withBackend(BackendFast, 0, tc.arm), runForLoop)
+			trans := driveMachine(t, tc.cfg(), equivProg, withBackend(BackendTranslated, 1, tc.arm), (*Machine).Run)
+			transSliced := driveMachine(t, tc.cfg(), equivProg, withBackend(BackendTranslated, 1, tc.arm), runForLoop)
 			if ref.stats.Instrs < 10000 && tc.name != "budget" {
 				t.Fatalf("workload too small to be meaningful: %d instrs", ref.stats.Instrs)
 			}
@@ -205,10 +223,16 @@ func TestFastPathEquivalence(t *testing.T) {
 				t.Fatalf("workload produced no events")
 			}
 			if !reflect.DeepEqual(ref, fast) {
-				diffLogs(t, "Run", ref, fast)
+				diffLogs(t, "Run/fast", ref, fast)
 			}
 			if !reflect.DeepEqual(ref, sliced) {
-				diffLogs(t, "RunFor", ref, sliced)
+				diffLogs(t, "RunFor/fast", ref, sliced)
+			}
+			if !reflect.DeepEqual(ref, trans) {
+				diffLogs(t, "Run/translated", ref, trans)
+			}
+			if !reflect.DeepEqual(ref, transSliced) {
+				diffLogs(t, "RunFor/translated", ref, transSliced)
 			}
 		})
 	}
@@ -270,11 +294,15 @@ func TestFastPathTrapEquivalence(t *testing.T) {
 	}
 	arm := func(m *Machine) { mustArm(t, m, 0, hwc.EvInstrs, 3) }
 	ref := driveMachine(t, DefaultConfig(), divProg, arm, stepLoop)
-	fast := driveMachine(t, DefaultConfig(), divProg, arm, (*Machine).Run)
+	fast := driveMachine(t, DefaultConfig(), divProg, withBackend(BackendFast, 0, arm), (*Machine).Run)
+	trans := driveMachine(t, DefaultConfig(), divProg, withBackend(BackendTranslated, 1, arm), (*Machine).Run)
 	if ref.err == "" {
 		t.Fatal("expected a div-zero trap")
 	}
 	if !reflect.DeepEqual(ref, fast) {
-		diffLogs(t, "Run", ref, fast)
+		diffLogs(t, "Run/fast", ref, fast)
+	}
+	if !reflect.DeepEqual(ref, trans) {
+		diffLogs(t, "Run/translated", ref, trans)
 	}
 }

@@ -123,6 +123,21 @@ type Machine struct {
 	// it; events nobody is counting cost nothing.
 	armed [hwc.NumEvents]uint8
 
+	// backend selects the execution engine behind Run/RunFor; the zero
+	// value is BackendTranslated. See translate.go.
+	backend Backend
+	// transBlocked is recomputed with the armed masks: true when some
+	// armed event is one translated blocks do not count per instruction
+	// (anything but EvInstrs/EvCycles), forcing every horizon onto the
+	// interpreter. See the eligibility invariant in translate.go.
+	transBlocked bool
+	// trans is the translation cache, built lazily and dropped whole on
+	// LoadProgram (its threaded-code blocks hold register pointers and
+	// successor links valid only for this program's decode). transHeat
+	// overrides the translation threshold for tests.
+	trans     *transState
+	transHeat uint32
+
 	heap *allocator
 
 	input   []int64
@@ -209,6 +224,12 @@ func (m *Machine) LoadProgram(text []isa.Instr, data []byte, entry uint64) error
 	m.textSize = uint64(len(text)) * isa.InstrBytes
 	m.textEnd = TextBase + m.textSize
 	m.dec = isa.PredecodeAll(text, TextBase)
+	// Drop the translation cache with the old decode: translated blocks
+	// bake in register pointers, immediates, and successor-block links of
+	// the program they were compiled from. (Stores never invalidate
+	// translations — execution reads only from dec, never from data
+	// memory, on every backend.)
+	m.trans = nil
 	for i := range m.dec {
 		m.dec[i].Cost = baseCost[m.dec[i].Op]
 	}
@@ -274,12 +295,19 @@ func (m *Machine) ArmCounter(pic int, ev hwc.Event, interval uint64) error {
 }
 
 // rebuildArmed recomputes the per-event armed-PIC bitmasks from the
-// counter registers.
+// counter registers, and whether the armed set is compatible with the
+// translating backend (only EvInstrs/EvCycles are counted by a
+// translated stretch's boundary flush; anything else must execute on the
+// interpreter, which counts it at its exact instruction).
 func (m *Machine) rebuildArmed() {
 	m.armed = [hwc.NumEvents]uint8{}
+	m.transBlocked = false
 	for pic, c := range m.counters {
 		if c != nil {
 			m.armed[c.Event] |= 1 << pic
+			if c.Event != hwc.EvInstrs && c.Event != hwc.EvCycles {
+				m.transBlocked = true
+			}
 		}
 	}
 }

@@ -7,6 +7,8 @@
 // alignment traps before calling into this package.
 package mem
 
+import "encoding/binary"
+
 const (
 	// HostPageBits is the log2 size of the host-side backing pages.
 	// This is an implementation detail of the simulator and independent
@@ -14,35 +16,87 @@ const (
 	HostPageBits = 16
 	hostPageSize = 1 << HostPageBits
 	hostPageMask = hostPageSize - 1
+
+	// HostPageMask masks an address down to its offset within the host
+	// page Page returns, for callers that inline their own accesses.
+	HostPageMask = hostPageMask
 )
 
 // Memory is a sparse byte-addressable simulated memory.
 type Memory struct {
 	pages map[uint64][]byte
 
-	// One-entry lookup cache: the vast majority of consecutive accesses
-	// hit the same host page.
-	lastBase uint64
+	// Two-level lookup cache over the host pages. The single-entry memo
+	// is the only check small enough to inline into the Read/Write
+	// accessors; behind it, a direct-mapped array indexed by the low
+	// page-number bits catches the handful of pages an access pattern
+	// alternates between (current heap region, stack, data) without
+	// paying the map's hashing. Pages are never deallocated, so memoized
+	// slices cannot go stale. Empty memo slots hold an impossible page
+	// number, so the hit checks are one compare each.
+	lastNum  uint64
 	lastPage []byte
+	memoNum  [memoSlots]uint64
+	memoPage [memoSlots][]byte
 }
+
+// memoSlots is the size of the second-level page memo; a power of two so
+// the slot index is a mask.
+const memoSlots = 8
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[uint64][]byte)}
+	m := &Memory{pages: make(map[uint64][]byte)}
+	m.lastNum = ^uint64(0) // no 64-bit address shifts down to this
+	for i := range m.memoNum {
+		m.memoNum[i] = ^uint64(0)
+	}
+	return m
 }
 
+// page resolves addr's host page. The memo hit is small enough to inline
+// into the Read/Write accessors, so accesses to recently used pages — the
+// overwhelmingly common case — pay no call into the map path.
 func (m *Memory) page(addr uint64) []byte {
-	base := addr &^ uint64(hostPageMask)
-	if m.lastPage != nil && base == m.lastBase {
+	n := addr >> HostPageBits
+	if n == m.lastNum {
 		return m.lastPage
 	}
-	p, ok := m.pages[base]
-	if !ok {
-		p = make([]byte, hostPageSize)
-		m.pages[base] = p
+	return m.pageSlow(n)
+}
+
+// pageSlow refreshes the first-level memo from the direct-mapped array,
+// falling to the page map (allocating on first touch) only when both
+// levels miss. Kept out of line so the memo hit in page stays under the
+// inlining budget of the Read/Write accessors.
+//
+//go:noinline
+func (m *Memory) pageSlow(n uint64) []byte {
+	i := n & (memoSlots - 1)
+	p := m.memoPage[i]
+	if n != m.memoNum[i] {
+		base := n << HostPageBits
+		var ok bool
+		if p, ok = m.pages[base]; !ok {
+			p = make([]byte, hostPageSize)
+			m.pages[base] = p
+		}
+		m.memoNum[i], m.memoPage[i] = n, p
 	}
-	m.lastBase, m.lastPage = base, p
+	m.lastNum, m.lastPage = n, p
 	return p
+}
+
+// Page returns the host page backing addr, allocating it on first touch.
+// The memo hit stays under the inlining budget, so hot callers (the
+// machine's translated memory ops) can combine it with HostPageMask and
+// perform wide accesses without paying a call per access.
+func (m *Memory) Page(addr uint64) []byte {
+	n := addr >> HostPageBits
+	if n == m.lastNum {
+		return m.lastPage
+	}
+	return m.pageSlow(n)
 }
 
 // Read8 reads one byte.
@@ -57,41 +111,26 @@ func (m *Memory) Write8(addr uint64, v uint8) {
 
 // Read32 reads a naturally aligned 32-bit value.
 func (m *Memory) Read32(addr uint64) uint32 {
-	p := m.page(addr)
 	off := addr & hostPageMask
-	return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	return binary.LittleEndian.Uint32(m.page(addr)[off:])
 }
 
 // Write32 writes a naturally aligned 32-bit value.
 func (m *Memory) Write32(addr uint64, v uint32) {
-	p := m.page(addr)
 	off := addr & hostPageMask
-	p[off] = byte(v)
-	p[off+1] = byte(v >> 8)
-	p[off+2] = byte(v >> 16)
-	p[off+3] = byte(v >> 24)
+	binary.LittleEndian.PutUint32(m.page(addr)[off:], v)
 }
 
 // Read64 reads a naturally aligned 64-bit value.
 func (m *Memory) Read64(addr uint64) uint64 {
-	p := m.page(addr)
 	off := addr & hostPageMask
-	return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
-		uint64(p[off+4])<<32 | uint64(p[off+5])<<40 | uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+	return binary.LittleEndian.Uint64(m.page(addr)[off:])
 }
 
 // Write64 writes a naturally aligned 64-bit value.
 func (m *Memory) Write64(addr uint64, v uint64) {
-	p := m.page(addr)
 	off := addr & hostPageMask
-	p[off] = byte(v)
-	p[off+1] = byte(v >> 8)
-	p[off+2] = byte(v >> 16)
-	p[off+3] = byte(v >> 24)
-	p[off+4] = byte(v >> 32)
-	p[off+5] = byte(v >> 40)
-	p[off+6] = byte(v >> 48)
-	p[off+7] = byte(v >> 56)
+	binary.LittleEndian.PutUint64(m.page(addr)[off:], v)
 }
 
 // ReadBytes copies n bytes starting at addr into a new slice. It may cross
