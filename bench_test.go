@@ -864,9 +864,31 @@ func BenchmarkMachineRunALU(b *testing.B) {
 	})
 }
 
+// bestOf runs f n times and returns the fastest timing plus the spread —
+// how far the slowest run sat above the fastest, in percent. The armed
+// collect and provenance benchmarks compare two timings of the same
+// work, so a single noisy run used to produce impossible figures
+// (negative overhead); the best-of-n minimum is the stable estimate of
+// the true cost, and the recorded spread documents how noisy the box
+// was.
+func bestOf(n int, f func() float64) (best, spreadPct float64) {
+	best = f()
+	worst := best
+	for i := 1; i < n; i++ {
+		s := f()
+		if s < best {
+			best = s
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return best, (worst/best - 1) * 100
+}
+
 // BenchmarkCollectWallClock measures the wall-clock of a full armed MCF
 // collect (clock profiling plus the paper's E$ stall/read-miss counter
-// set with backtracking) on the fast path against the same collect
+// set with backtracking) on the default backend against the same collect
 // driven by the reference stepper. The two runs' experiments are
 // byte-equal (TestFastPathGolden); here only the time differs.
 func BenchmarkCollectWallClock(b *testing.B) {
@@ -875,7 +897,8 @@ func BenchmarkCollectWallClock(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runOnce := func(singleStep bool) (float64, uint64) {
+	var instrs uint64
+	runOnce := func(singleStep bool) float64 {
 		opts := collect.Options{
 			ClockProfile: true,
 			Counters:     specs,
@@ -888,13 +911,13 @@ func BenchmarkCollectWallClock(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return time.Since(t0).Seconds(), res.Exp.Meta.Stats.Instrs
+		instrs = res.Exp.Meta.Stats.Instrs
+		return time.Since(t0).Seconds()
 	}
-	var fastSec, stepSec float64
-	var instrs uint64
+	var fastSec, stepSec, spread float64
 	for i := 0; i < b.N; i++ {
-		fastSec, instrs = runOnce(false)
-		stepSec, _ = runOnce(true)
+		fastSec, spread = bestOf(5, func() float64 { return runOnce(false) })
+		stepSec, _ = bestOf(2, func() float64 { return runOnce(true) })
 	}
 	speedup := stepSec / fastSec
 	b.ReportMetric(fastSec, "fastSec")
@@ -906,24 +929,92 @@ func BenchmarkCollectWallClock(b *testing.B) {
 		"fast_sec":        fastSec,
 		"single_step_sec": stepSec,
 		"speedup_vs_step": speedup,
+		"spread_pct":      spread,
 		"instrs_per_sec":  float64(instrs) / fastSec,
+	})
+}
+
+// BenchmarkCollectArmedTranslated measures the armed MCF collect — the
+// configuration every experiment in the paper actually runs — on all
+// three engines: the reference stepper, the event-horizon interpreter,
+// and the translated backend executing superblocks under the armed-event
+// budget. The fast interpreter is the measured stand-in for the
+// pre-budget default: before the budget existed, arming any memory event
+// forced the translated backend to run every horizon on exactly that
+// interpreter path, so speedup_vs_default is the win over what the
+// default backend used to do on this workload. All three runs produce
+// byte-identical experiments (TestFastPathGolden); best-of-5 timings
+// with the recorded spread keep the CI gate on a stable figure.
+func BenchmarkCollectArmedTranslated(b *testing.B) {
+	prog, input, cfg := simcoreProg(b)
+	specs, err := collect.ParseCounterSpec("+ecstall,100003,+ecrm,2003")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs uint64
+	runOnce := func(singleStep bool, backend string) float64 {
+		opts := collect.Options{
+			ClockProfile: true,
+			Counters:     specs,
+			Machine:      &cfg,
+			Input:        input,
+			SingleStep:   singleStep,
+			Backend:      backend,
+		}
+		t0 := time.Now()
+		res, err := collect.Run(prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Exp.Meta.Stats.Instrs
+		return time.Since(t0).Seconds()
+	}
+	var transSec, fastSec, stepSec float64
+	var transSpread, fastSpread float64
+	for i := 0; i < b.N; i++ {
+		transSec, transSpread = bestOf(5, func() float64 { return runOnce(false, "translated") })
+		fastSec, fastSpread = bestOf(5, func() float64 { return runOnce(false, "fast") })
+		stepSec, _ = bestOf(2, func() float64 { return runOnce(true, "") })
+	}
+	vsDefault := fastSec / transSec
+	vsStep := stepSec / transSec
+	b.ReportMetric(transSec, "translatedSec")
+	b.ReportMetric(fastSec, "fastSec")
+	b.ReportMetric(stepSec, "singleStepSec")
+	b.ReportMetric(vsDefault, "xSpeedupVsDefault")
+	b.ReportMetric(vsStep, "xSpeedupVsStep")
+	b.ReportMetric(float64(instrs)/transSec/1e6, "Minstrs/sec")
+	recordSimcore(b, "collect_armed_translated", map[string]float64{
+		"instrs":             float64(instrs),
+		"translated_sec":     transSec,
+		"fast_sec":           fastSec,
+		"single_step_sec":    stepSec,
+		"speedup_vs_default": vsDefault,
+		"speedup_vs_step":    vsStep,
+		"spread_pct":         transSpread,
+		"spread_pct_fast":    fastSpread,
 	})
 }
 
 // BenchmarkProvenanceOverhead measures what allocation-site provenance
 // recording adds to an armed MCF collect: the identical run with
-// provenance off and on, best of two runs each to suppress scheduler
-// noise. Recording is a handful of host-side appends per malloc (MCF
-// allocates a few large blocks), so the enabled overhead must stay in
-// the low single digits; disabled, the provenance path is never entered
-// and the event shards are byte-identical (provenance_golden_test.go).
+// provenance off and on, best of five runs each to suppress scheduler
+// noise (a single noisy pair once produced an impossible negative
+// overhead; the recorded spread shows the jitter the minimum discards).
+// Recording is a handful of host-side appends per malloc (MCF allocates
+// a few large blocks), so the enabled overhead must stay in the low
+// single digits; disabled, the provenance path is never entered and the
+// event shards are byte-identical (provenance_golden_test.go). The CI
+// <=5% gate reads the best-of-5 overhead_pct.
 func BenchmarkProvenanceOverhead(b *testing.B) {
 	prog, input, cfg := simcoreProg(b)
 	specs, err := collect.ParseCounterSpec("+ecstall,100003,+ecrm,2003")
 	if err != nil {
 		b.Fatal(err)
 	}
-	runOnce := func(provenance bool) (float64, uint64, int) {
+	var instrs uint64
+	var records int
+	runOnce := func(provenance bool) float64 {
 		opts := collect.Options{
 			ClockProfile: true,
 			Counters:     specs,
@@ -936,22 +1027,16 @@ func BenchmarkProvenanceOverhead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		return time.Since(t0).Seconds(), res.Exp.Meta.Stats.Instrs, res.Exp.ProvCount()
-	}
-	best := func(provenance bool) (float64, uint64, int) {
-		sec1, instrs, records := runOnce(provenance)
-		sec2, _, _ := runOnce(provenance)
-		if sec2 < sec1 {
-			sec1 = sec2
+		instrs = res.Exp.Meta.Stats.Instrs
+		if provenance {
+			records = res.Exp.ProvCount()
 		}
-		return sec1, instrs, records
+		return time.Since(t0).Seconds()
 	}
-	var offSec, onSec float64
-	var instrs uint64
-	var records int
+	var offSec, onSec, offSpread, onSpread float64
 	for i := 0; i < b.N; i++ {
-		offSec, instrs, _ = best(false)
-		onSec, _, records = best(true)
+		offSec, offSpread = bestOf(5, func() float64 { return runOnce(false) })
+		onSec, onSpread = bestOf(5, func() float64 { return runOnce(true) })
 	}
 	if records == 0 {
 		b.Fatal("provenance-enabled collect recorded no allocations")
@@ -961,10 +1046,12 @@ func BenchmarkProvenanceOverhead(b *testing.B) {
 	b.ReportMetric(onSec, "onSec")
 	b.ReportMetric(overheadPct, "overhead%")
 	recordSimcore(b, "collect_provenance", map[string]float64{
-		"instrs":       float64(instrs),
-		"off_sec":      offSec,
-		"on_sec":       onSec,
-		"overhead_pct": overheadPct,
-		"records":      float64(records),
+		"instrs":         float64(instrs),
+		"off_sec":        offSec,
+		"on_sec":         onSec,
+		"overhead_pct":   overheadPct,
+		"spread_pct_off": offSpread,
+		"spread_pct_on":  onSpread,
+		"records":        float64(records),
 	})
 }

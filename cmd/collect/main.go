@@ -3,6 +3,7 @@
 //
 //	collect [-o expt.er] [-p on|off] [-h +ecstall,lo,+ecrm,on]
 //	        [-prov on|off] [-scaled] [-backend translated|fast]
+//	        [-cpuprofile host.pprof] [-memprofile heap.pprof]
 //	        [-input file] prog.obj
 //
 // With no arguments it lists the available hardware counters, as the
@@ -77,6 +78,8 @@ func run() error {
 	inputPath := flag.String("input", "", "program input file (whitespace-separated integers)")
 	scaled := flag.Bool("scaled", false, "use the scaled machine configuration")
 	backend := flag.String("backend", "", "execution engine: translated (default) or fast")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the collection run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile of the collector at run end to this file")
 	flag.Parse()
 
 	if flag.NArg() == 0 && *counters == "" {
@@ -122,6 +125,8 @@ func run() error {
 		SpoolDir:     *out,
 		Provenance:   *prov == "on",
 		Backend:      *backend,
+		CPUProfile:   *cpuprofile,
+		MemProfile:   *memprofile,
 	})
 	if err != nil {
 		if res == nil {

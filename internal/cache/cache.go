@@ -62,12 +62,18 @@ type Cache struct {
 	setMask   uint64
 	assoc     int
 	ways      []way // sets*assoc way records
-	tick      uint64
-	lastIdx   int // index of the most recent hit or install (MRU memo)
+	lastIdx   int   // index of the most recent hit or install (MRU memo)
 
-	// Statistics (cumulative).
-	Reads       uint64
-	Writes      uint64
+	// tick is the LRU clock and doubles as the access counter: every
+	// counted access — hit or miss, read or write — advances it by
+	// exactly one (failed probes and Contains touch nothing), so
+	// Reads() derives as tick-writes and the hit paths pay one counter
+	// update instead of two.
+	tick   uint64
+	writes uint64
+
+	// Statistics (cumulative). Misses are off the hit path, so they
+	// stay plain fields.
 	ReadMisses  uint64
 	WriteMisses uint64
 }
@@ -100,6 +106,15 @@ func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 // lineOf returns the line number (full address >> lineShift).
 func (c *Cache) lineOf(addr uint64) uint64 { return addr >> c.lineShift }
 
+// Reads reports the cumulative read (and prefetch) access count. It is
+// derived from the LRU clock — every access ticks once, so reads are
+// the ticks that were not writes — keeping the per-access hot paths to
+// a single counter update.
+func (c *Cache) Reads() uint64 { return c.tick - c.writes }
+
+// Writes reports the cumulative write access count.
+func (c *Cache) Writes() uint64 { return c.writes }
+
 // HitMRU performs the access against the most-recently-used entry only:
 // it reports false — with no state change — unless addr hits the same way
 // the previous access touched. On a hit it applies exactly the updates a
@@ -113,10 +128,8 @@ func (c *Cache) HitMRU(addr uint64, write bool) bool {
 	}
 	c.tick++
 	if write {
-		c.Writes++
+		c.writes++
 		e.tag |= tagDirty
-	} else {
-		c.Reads++
 	}
 	e.use = c.tick
 	return true
@@ -137,10 +150,8 @@ func (c *Cache) WayHit(way int, addr uint64, write bool) bool {
 	}
 	c.tick++
 	if write {
-		c.Writes++
+		c.writes++
 		e.tag |= tagDirty
-	} else {
-		c.Reads++
 	}
 	e.use = c.tick
 	return true
@@ -169,26 +180,120 @@ func (c *Cache) Access(addr uint64, write, allocate bool) (hit, writeback bool) 
 // AccessFull is Access without the leading MRU-memo probe. Callers that
 // just failed HitMRU on the same address use it to skip the redundant
 // re-check (a failed probe mutates nothing); it is otherwise identical.
+//
+// The hit test and the victim tracking read the same tag and stamp
+// words, so they fold into one pass over the set (the old
+// hit-then-victim double walk re-read every way on a miss), and the two
+// associativities the modeled hierarchy actually uses (4-way D$/I$,
+// 2-way E$) get unrolled scans — the generic loop's induction and
+// bounds machinery costs as much as the tag compares themselves. An
+// invalid way's stamp reads as 0 — ways are stamped on every install
+// and tick starts at 1 — so "lowest use wins" alone also picks the
+// first invalid way, and the victim needs no validity tie-break. Victim
+// choice is the first way with the minimum stamp, in way order, exactly
+// like the generic scan.
 func (c *Cache) AccessFull(addr uint64, write, allocate bool) (hit, writeback bool) {
 	line := c.lineOf(addr)
 	base := int(line&c.setMask) * c.assoc
-	set := c.ways[base : base+c.assoc] // one bounds check for the scan
 	c.tick++
 	if write {
-		c.Writes++
-	} else {
-		c.Reads++
+		c.writes++
 	}
-	// Hit scan first, with none of the victim bookkeeping: hits are the
-	// overwhelmingly common case on the simulator's critical path.
-	for i := range set {
-		if set[i].tag&(tagValid|tagPayload) == tagValid|line {
-			c.lastIdx = base + i
-			set[i].use = c.tick
+	match := tagValid | line
+	var victim int
+	switch c.assoc {
+	case 4:
+		set := c.ways[base : base+4 : base+4]
+		w := -1
+		switch {
+		case set[0].tag&(tagValid|tagPayload) == match:
+			w = 0
+		case set[1].tag&(tagValid|tagPayload) == match:
+			w = 1
+		case set[2].tag&(tagValid|tagPayload) == match:
+			w = 2
+		case set[3].tag&(tagValid|tagPayload) == match:
+			w = 3
+		}
+		if w >= 0 {
+			c.lastIdx = base + w
+			set[w].use = c.tick
 			if write {
-				set[i].tag |= tagDirty
+				set[w].tag |= tagDirty
 			}
 			return true, false
+		}
+		u0, u1, u2, u3 := set[0].use, set[1].use, set[2].use, set[3].use
+		if set[0].tag&tagValid == 0 {
+			u0 = 0
+		}
+		if set[1].tag&tagValid == 0 {
+			u1 = 0
+		}
+		if set[2].tag&tagValid == 0 {
+			u2 = 0
+		}
+		if set[3].tag&tagValid == 0 {
+			u3 = 0
+		}
+		vuse := u0
+		if u1 < vuse {
+			victim, vuse = 1, u1
+		}
+		if u2 < vuse {
+			victim, vuse = 2, u2
+		}
+		if u3 < vuse {
+			victim = 3
+		}
+	case 2:
+		set := c.ways[base : base+2 : base+2]
+		if set[0].tag&(tagValid|tagPayload) == match {
+			c.lastIdx = base
+			set[0].use = c.tick
+			if write {
+				set[0].tag |= tagDirty
+			}
+			return true, false
+		}
+		if set[1].tag&(tagValid|tagPayload) == match {
+			c.lastIdx = base + 1
+			set[1].use = c.tick
+			if write {
+				set[1].tag |= tagDirty
+			}
+			return true, false
+		}
+		u0, u1 := set[0].use, set[1].use
+		if set[0].tag&tagValid == 0 {
+			u0 = 0
+		}
+		if set[1].tag&tagValid == 0 {
+			u1 = 0
+		}
+		if u1 < u0 {
+			victim = 1
+		}
+	default:
+		set := c.ways[base : base+c.assoc]
+		vuse := ^uint64(0)
+		for i := range set {
+			tag := set[i].tag
+			if tag&(tagValid|tagPayload) == match {
+				c.lastIdx = base + i
+				set[i].use = c.tick
+				if write {
+					set[i].tag = tag | tagDirty
+				}
+				return true, false
+			}
+			use := set[i].use
+			if tag&tagValid == 0 {
+				use = 0
+			}
+			if use < vuse {
+				victim, vuse = i, use
+			}
 		}
 	}
 	if write {
@@ -199,23 +304,14 @@ func (c *Cache) AccessFull(addr uint64, write, allocate bool) (hit, writeback bo
 	if !allocate {
 		return false, false
 	}
-	// Miss: pick the victim — first invalid way, else true-LRU.
-	victim := 0
-	for i := range set {
-		if set[victim].tag&tagValid == 0 {
-			break
-		}
-		if set[i].tag&tagValid == 0 || set[i].use < set[victim].use {
-			victim = i
-		}
-	}
-	old := set[victim].tag
+	e := &c.ways[base+victim]
+	old := e.tag
 	writeback = old&(tagValid|tagDirty) == tagValid|tagDirty
 	w := line | tagValid
 	if write {
 		w |= tagDirty
 	}
-	set[victim] = way{tag: w, use: c.tick}
+	*e = way{tag: w, use: c.tick}
 	c.lastIdx = base + victim
 	return false, writeback
 }
@@ -239,5 +335,5 @@ func (c *Cache) Flush() {
 	}
 	c.tick = 0
 	c.lastIdx = 0
-	c.Reads, c.Writes, c.ReadMisses, c.WriteMisses = 0, 0, 0, 0
+	c.writes, c.ReadMisses, c.WriteMisses = 0, 0, 0
 }

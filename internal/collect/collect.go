@@ -12,7 +12,10 @@ package collect
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -77,6 +80,15 @@ type Options struct {
 	// default). Small shards make short test runs cross many shard
 	// boundaries, which is what the crash-recovery soak wants.
 	SpoolShardEvents int
+	// CPUProfile, when non-empty, writes a pprof CPU profile of the
+	// profiled run — machine execution plus event delivery, excluding
+	// setup and experiment Save — to this host file. MemProfile writes a
+	// heap profile when the run ends. Both profile the collector itself
+	// (the host Go process), not the simulated target; they exist for
+	// performance work on the execution backends. CPU profiling is
+	// process-global, so concurrent collects cannot both request it.
+	CPUProfile string
+	MemProfile string
 }
 
 // Truth is the per-event ground truth the simulator knows but a real
@@ -164,6 +176,26 @@ func copyStack(cs []uint64) []uint64 {
 // Run executes prog under profiling and returns the experiment.
 func Run(prog *asm.Program, opts Options) (*Result, error) {
 	return RunContext(context.Background(), prog, opts)
+}
+
+// writeMemProfile snapshots the host heap into a pprof profile after a
+// garbage collection, so the profile shows live retention (the spool
+// buffers, translation cache, experiment event slices) rather than
+// collectable garbage.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("collect: mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("collect: mem profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("collect: mem profile: %w", err)
+	}
+	return nil
 }
 
 // cancelCheckStride is how many instructions execute between context
@@ -370,7 +402,29 @@ func RunContext(ctx context.Context, prog *asm.Program, opts Options) (*Result, 
 		})
 	}
 
+	var cpuProf *os.File
+	if opts.CPUProfile != "" {
+		cpuProf, err = os.Create(opts.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("collect: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuProf); err != nil {
+			cpuProf.Close()
+			return nil, fmt.Errorf("collect: cpu profile: %w", err)
+		}
+	}
 	runErr := runMachine(ctx, m, opts.SingleStep)
+	if cpuProf != nil {
+		pprof.StopCPUProfile()
+		if err := cpuProf.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("collect: cpu profile: %w", err)
+		}
+	}
+	if opts.MemProfile != "" {
+		if err := writeMemProfile(opts.MemProfile); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	// Records for blocks still live at halt (or at the cancellation cut)
 	// drain into the provenance sink before the writers close.
 	m.DrainProv()

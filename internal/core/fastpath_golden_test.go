@@ -41,6 +41,10 @@ func TestFastPathGolden(t *testing.T) {
 	}{
 		{"A", true, "+ecstall,20011,+ecrm,997"},
 		{"B", false, "+ecref,2003,+dtlbm,499"},
+		// I$ misses alongside D$ read misses: the two event classes whose
+		// translated-block budgets are armed per-instruction and
+		// per-access respectively, in one run.
+		{"C", true, "+icm,61,+dcrm,757"},
 	}
 
 	collectPair := func(singleStep bool, backend string) ([]*experiment.Experiment, []string) {

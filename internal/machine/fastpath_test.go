@@ -195,6 +195,17 @@ func TestFastPathEquivalence(t *testing.T) {
 			mustArm(t, m, 0, hwc.EvECStall, 503)
 			mustArm(t, m, 1, hwc.EvDCRdMiss, 101)
 		}},
+		// Tiny intervals keep Remaining() within a block's worst-case
+		// event bound, forcing the translated engine's block-entry budget
+		// refusals (and the re-armed batches behind them) near-constantly.
+		{"mem-tight", DefaultConfig, func(m *Machine) {
+			mustArm(t, m, 0, hwc.EvDCRdMiss, 3)
+			mustArm(t, m, 1, hwc.EvECRdMiss, 5)
+		}},
+		{"icm+dtlb-tight", DefaultConfig, func(m *Machine) {
+			mustArm(t, m, 0, hwc.EvICMiss, 2)
+			mustArm(t, m, 1, hwc.EvDTLBMiss, 3)
+		}},
 		{"clock", func() Config {
 			return DefaultConfig()
 		}, func(m *Machine) {

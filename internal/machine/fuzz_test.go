@@ -159,6 +159,14 @@ func FuzzBackendDifferential(f *testing.F) {
 	f.Add([]byte{0, 0, 16, 3, 9, 12, 11, 200, 3, 0, 16, 250})
 	f.Add([]byte{40, 7, 36, 129, 9, 16, 14, 66, 16, 1, 17, 5, 18, 0})
 	f.Add([]byte{203, 31, 16, 0, 14, 99, 16, 90, 11, 48, 9, 16, 3, 3})
+	// Armed-memory corpus: the first four bytes select memory-event PICs
+	// (D$/E$/TLB/I$ read misses and stalls) at the smallest intervals, so
+	// the translated engine runs against block-entry budget refusals from
+	// the first block, over bodies dense with loads, stores, and calls.
+	f.Add([]byte{3, 5, 0, 0, 14, 0, 15, 8, 14, 16, 17, 0, 14, 32, 15, 40, 16, 1})
+	f.Add([]byte{8, 7, 0, 1, 16, 3, 14, 0, 9, 12, 17, 0, 14, 8, 3, 200, 16, 90})
+	f.Add([]byte{4, 6, 1, 0, 14, 0, 14, 64, 15, 128, 14, 8, 16, 250, 11, 48, 15, 0})
+	f.Add([]byte{6, 3, 0, 2, 15, 0, 15, 8, 15, 16, 14, 24, 17, 0, 16, 5, 14, 0})
 	seed := make([]byte, 120)
 	for i := range seed {
 		seed[i] = byte(i*37 + 11)

@@ -117,20 +117,21 @@ type Machine struct {
 	// event-horizon computation backs a cycle-armed counter's bound off by
 	// this much so the fast inner loop can never overflow it mid-batch.
 	maxInstrCost uint64
-
 	// armed[ev] is a bitmask of PIC registers (bit 0 = PIC0, bit 1 = PIC1)
 	// currently counting ev. The hot-path count() is a load and branch on
 	// it; events nobody is counting cost nothing.
 	armed [hwc.NumEvents]uint8
+	// evBatch, while a budgeted translated batch runs, routes armed-event
+	// counts into evDelta instead of the live counters; evFlush feeds the
+	// deltas to the counters at the batch boundary. The batch budget
+	// guarantees no delta can reach an overflow threshold, so the deferred
+	// Adds never fire and exact trigger attribution is never needed.
+	evBatch bool
+	evDelta [hwc.NumEvents]uint64
 
 	// backend selects the execution engine behind Run/RunFor; the zero
 	// value is BackendTranslated. See translate.go.
 	backend Backend
-	// transBlocked is recomputed with the armed masks: true when some
-	// armed event is one translated blocks do not count per instruction
-	// (anything but EvInstrs/EvCycles), forcing every horizon onto the
-	// interpreter. See the eligibility invariant in translate.go.
-	transBlocked bool
 	// trans is the translation cache, built lazily and dropped whole on
 	// LoadProgram (its threaded-code blocks hold register pointers and
 	// successor links valid only for this program's decode). transHeat
@@ -295,19 +296,15 @@ func (m *Machine) ArmCounter(pic int, ev hwc.Event, interval uint64) error {
 }
 
 // rebuildArmed recomputes the per-event armed-PIC bitmasks from the
-// counter registers, and whether the armed set is compatible with the
-// translating backend (only EvInstrs/EvCycles are counted by a
-// translated stretch's boundary flush; anything else must execute on the
-// interpreter, which counts it at its exact instruction).
+// counter registers. Any event combination runs on any backend: the
+// translated engine counts memory, I$, and TLB events inline under the
+// armed-event budget (see the horizon in runBatch and the eligibility
+// invariant in translate.go).
 func (m *Machine) rebuildArmed() {
 	m.armed = [hwc.NumEvents]uint8{}
-	m.transBlocked = false
 	for pic, c := range m.counters {
 		if c != nil {
 			m.armed[c.Event] |= 1 << pic
-			if c.Event != hwc.EvInstrs && c.Event != hwc.EvCycles {
-				m.transBlocked = true
-			}
 		}
 	}
 }

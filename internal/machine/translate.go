@@ -21,16 +21,23 @@ import (
 // Safety rests on three invariants, checked before any translated code
 // runs (see DESIGN.md §11):
 //
-//  1. Eligibility. Translated blocks count no per-instruction events, so
-//     they only run while every armed counter event is one the stretch
-//     flush covers exactly: EvInstrs or EvCycles. Arming anything
-//     EA-carrying (or EvICMiss) sets transBlocked and the whole horizon
-//     falls back to runInner, which counts those events at their exact
-//     instruction.
-//  2. Horizon. A block is entered only when the remaining instruction
-//     and cycle horizon covers its worst-case footprint (ninstr and wc),
-//     so the boundary flush can never overflow a counter mid-stretch and
-//     no clock tick is due inside a block.
+//  1. Eligibility. Every counter event is covered at the batch boundary:
+//     EvInstrs/EvCycles by the stretch flush, and armed memory, I$, and
+//     TLB events by inline count() calls on the probe and miss paths
+//     (routed into the machine's per-batch event deltas). The armed-event
+//     budget in runBatch shrinks the horizon so no armed counter can
+//     overflow anywhere inside the batch, which is what lets a deferred
+//     delta stand in for exact per-event Adds: an Add that cannot
+//     overflow needs no trigger attribution and draws no skid.
+//  2. Horizon. A block is entered only when the remaining horizon covers
+//     its worst-case footprint — instructions (ninstr), cycles (wc), and
+//     memory accesses (nmem) — so the boundary flush can never overflow
+//     a counter mid-stretch and no clock tick is due inside a block. The
+//     armed-event budget binds each event class at its tightest sound
+//     bound: I$ misses at one per instruction (maxN), the per-access
+//     events — D$/E$ misses, E$ references, DTLB misses — at one per
+//     memory access (maxMem), and E$ stall cycles by the cycle horizon
+//     itself (stall cycles are a subset of elapsed cycles).
 //  3. Trap-free bodies. Any instruction that could trap (divide by zero,
 //     misalignment, segmentation) evaluates its trap predicate first and
 //     bails out *before* architectural effects; the interpreter then
@@ -95,6 +102,9 @@ const (
 type tstate struct {
 	cycles    uint64
 	n         uint64
+	mem       uint64 // memory accesses retired (charged per block, see exec)
+	loads     uint64 // retired loads, batched into m.stats at stretch end
+	stores    uint64 // retired stores, likewise
 	fetchLine uint64
 	// target is the CTI successor for the in-flight block: the taken
 	// target, or the fall-through PC of a not-taken branch. The delay
@@ -201,6 +211,7 @@ const (
 	opIsDiv      uint8 = 1 << 0
 	opJmplRet    uint8 = 1 << 0
 	opProbeShift       = 4 // 2 bits: probeNone/probeFirst/probeAlways
+	opProbeMask  uint8 = 3 << opProbeShift
 	opDelay      uint8 = 1 << 6
 	opRegOff     uint8 = 1 << 7 // second operand is *rs2, not imm
 )
@@ -246,7 +257,9 @@ type tinstr struct {
 	pc   uint64
 	// prefix is the block's static base-cost sum before this instruction,
 	// charged on a bail so a partial block costs exactly what the
-	// reference interpreter charged.
+	// reference interpreter charged. Only trap-capable ops (tMem,
+	// tDivRem) can bail; for never-bailing ops that carry a folded fetch
+	// probe, the field is reused as the probe's I$ way cache.
 	prefix uint64
 }
 
@@ -267,6 +280,9 @@ type tblock struct {
 	entry  uint64
 	code   []tinstr
 	ninstr uint64
+	nmem   uint64 // memory-access instructions (loads, stores, prefetches)
+	nload  uint64 // load instructions, for the batched Loads statistic
+	nstore uint64 // store instructions, for the batched Stores statistic
 	static uint64 // sum of base pipeline costs
 	wc     uint64 // worst-case cycle footprint (static + max stalls)
 	kind   uint8
@@ -328,17 +344,35 @@ func (m *Machine) heatThreshold() uint32 {
 
 // runMixed fills one event horizon with translated stretches interleaved
 // with bounded interpreter chunks. Bounds and fallback semantics are
-// exactly runBatch's: maxN caps retired instructions, stop caps
-// m.stats.Cycles, and anything the translator declines — cold code,
-// syscalls, trap retries, delay-slot entry states — runs on runInner.
-func (m *Machine) runMixed(maxN, stop uint64, breakOnSyscall bool) (uint64, error) {
-	var total uint64
-	for total < maxN && !m.halted && len(m.pending) == 0 {
-		k := m.runTranslated(maxN-total, stop)
+// exactly runBatch's: maxN caps retired instructions, maxMem caps
+// retired memory accesses (the budget unit of the armed per-access
+// events), stop caps m.stats.Cycles, and anything the translator
+// declines — cold code, syscalls, trap retries, delay-slot entry states
+// — runs on runInner. Interpreter chunks charge the memory budget one
+// access per instruction — the interpreter does not pre-count its
+// instruction mix, and an instruction performs at most one access — so
+// the cap holds across both engines.
+//
+// A stretch that made progress and then hit a budget refusal ends the
+// batch instead of draining the budget tail interpreted: the caller
+// re-arms the horizons from the counters' actual event counts, which
+// sheds both the worst-case cycle pessimism of the refused block and
+// the one-access-per-instruction pessimism of interpreter charging, and
+// the next batch resumes translated at full speed. The interpreter runs
+// only when the translator made no progress at all (an obstacle or a
+// genuinely exhausted horizon), where it is the sole way forward.
+func (m *Machine) runMixed(maxN, maxMem, stop uint64, breakOnSyscall bool) (uint64, error) {
+	var total, mem uint64
+	for total < maxN && mem < maxMem && !m.halted && len(m.pending) == 0 {
+		k, km, refused := m.runTranslated(maxN-total, maxMem-mem, stop)
 		total += k
+		mem += km
 		// Translated stretches cannot halt, syscall, or append pending
 		// events, so only the budgets and the interpreter below decide
 		// the loop.
+		if refused && k > 0 {
+			break // batch ends here; the caller re-arms tighter horizons
+		}
 		chunk := uint64(transColdChunk)
 		if k > 0 {
 			chunk = transWarmChunk
@@ -346,18 +380,20 @@ func (m *Machine) runMixed(maxN, stop uint64, breakOnSyscall bool) (uint64, erro
 		if rem := maxN - total; chunk > rem {
 			chunk = rem
 		}
+		if rem := maxMem - mem; chunk > rem {
+			chunk = rem
+		}
 		n, err := m.runInner(chunk, stop, breakOnSyscall)
 		total += n
+		mem += n
 		if err != nil {
 			return total, err
 		}
 		if n == 0 {
-			if total == 0 && !m.halted {
-				// Immediate give-way (syscall under a cycle-counter
-				// horizon): retire one instruction on the reference path,
-				// exactly like the untranslated batch.
-				return 1, m.Step()
-			}
+			// Immediate give-way with total == 0 (syscall under a
+			// cycle-counter horizon) is handled by the caller, which must
+			// flush the batch's event deltas before stepping the reference
+			// path.
 			break
 		}
 		if m.halted || len(m.pending) > 0 {
@@ -370,20 +406,23 @@ func (m *Machine) runMixed(maxN, stop uint64, breakOnSyscall bool) (uint64, erro
 // runTranslated executes translated superblocks from the current PC until
 // the horizon cannot cover the next block's worst-case footprint, control
 // reaches untranslated (or untranslatable) code, or a block bails out for
-// a trap retry. It returns how many instructions retired and leaves
-// PC/NPC, stats, and the fetch line exactly as runInner would after the
-// same instructions.
-func (m *Machine) runTranslated(maxN, stop uint64) uint64 {
+// a trap retry. It returns how many instructions retired, the memory
+// accesses charged against the per-access event budget, and whether the
+// stretch ended on a budget refusal (so the caller can re-arm rather
+// than interpret), and leaves PC/NPC, stats, and the fetch line exactly
+// as runInner would after the same instructions.
+func (m *Machine) runTranslated(maxN, maxMem, stop uint64) (uint64, uint64, bool) {
 	if m.NPC != m.PC+isa.InstrBytes {
 		// Mid-delay-slot entry state: only the interpreter tracks a split
 		// PC/NPC pair.
-		return 0
+		return 0, 0, false
 	}
 	t := m.ensureTrans()
 	st := &t.st
 	*st = tstate{fetchLine: m.lastFetchLine}
 	pc := m.PC
 	baseCycles := m.stats.Cycles
+	refused := false
 	var prev *tblock
 	for {
 		var blk *tblock
@@ -427,10 +466,17 @@ func (m *Machine) runTranslated(maxN, stop uint64) uint64 {
 				}
 			}
 		}
-		if st.n+blk.ninstr > maxN || baseCycles+st.cycles+blk.wc > stop {
+		if st.n+blk.ninstr > maxN || st.mem+blk.nmem > maxMem ||
+			baseCycles+st.cycles+blk.wc > stop {
+			refused = true
 			break // worst-case footprint does not fit the horizon
 		}
-		if !blk.exec(m, st) {
+		ok := blk.exec(m, st)
+		// Charge the block's full access count even on a bail: the executed
+		// prefix performed at most nmem accesses, and the budget only needs
+		// an upper bound.
+		st.mem += blk.nmem
+		if !ok {
 			break // bailed: st.bailPC/bailNPC hold the resume point
 		}
 		if blk.kind == tEndCTI {
@@ -448,6 +494,8 @@ func (m *Machine) runTranslated(maxN, stop uint64) uint64 {
 	m.lastFetchLine = st.fetchLine
 	m.stats.Cycles = baseCycles + st.cycles
 	m.stats.Instrs += st.n
+	m.stats.Loads += st.loads
+	m.stats.Stores += st.stores
 	if st.n > 0 {
 		// One flush per stretch, like runInner's boundary flush. The
 		// horizon guarantees neither counter can overflow mid-stretch, so
@@ -455,7 +503,7 @@ func (m *Machine) runTranslated(maxN, stop uint64) uint64 {
 		m.count(hwc.EvInstrs, st.n, m.PC, 0, false)
 		m.count(hwc.EvCycles, st.cycles, m.PC, 0, false)
 	}
-	return st.n
+	return st.n, st.mem, refused
 }
 
 // exec is the threaded-code dispatch loop: one switch per pre-resolved
@@ -468,6 +516,28 @@ func (b *tblock) exec(m *Machine, st *tstate) bool {
 	code := b.code
 	for i := 0; i < len(code); i++ {
 		t := &code[i]
+		// Folded fetch probe for never-bailing kinds: their fetch stall is
+		// unconditional, so the probe rides in the op's spare op2 bits
+		// instead of a standalone probe op ahead of it (probes were a
+		// quarter of all dispatches). Trap-capable ops — tMem, tDivRem —
+		// keep the probe inside their exec funcs, where the stall stays
+		// provisional until the bail predicates pass.
+		if t.op2&opProbeMask != 0 && t.kind < tDivRem {
+			ppc := t.pc
+			if t.kind >= tFBeRR && t.kind <= tFBleuRI {
+				ppc -= 2 * isa.InstrBytes // fused ops carry the fall-through in pc
+			}
+			line := ppc >> m.icLineShift
+			if t.op2&opProbeMask == probeAlways<<opProbeShift || line != st.fetchLine {
+				st.fetchLine = line
+				// prefix doubles as the site's I$ way cache: only bailing
+				// ops read it as a cycle prefix, and never-bailing ops are
+				// the only probe carriers.
+				if !m.IC.WayHit(int(t.prefix), ppc, false) {
+					m.icFoldProbeSlow(t, ppc, st)
+				}
+			}
+		}
 		switch t.kind {
 		case tAddRR:
 			*t.rd = *t.rs1 + *t.rs2
@@ -672,12 +742,12 @@ func (b *tblock) exec(m *Machine, st *tstate) bool {
 			st.target = target
 		case tDivRem:
 			if !m.execDivRem(t, st) {
-				st.n += (st.bailPC - b.entry) / isa.InstrBytes
+				b.bailStats(m, st)
 				return false
 			}
 		case tMem:
 			if !m.execMem(t, st) {
-				st.n += (st.bailPC - b.entry) / isa.InstrBytes
+				b.bailStats(m, st)
 				return false
 			}
 		case tProbeFirst:
@@ -696,7 +766,30 @@ func (b *tblock) exec(m *Machine, st *tstate) bool {
 	}
 	st.n += b.ninstr
 	st.cycles += b.static
+	st.loads += b.nload
+	st.stores += b.nstore
 	return true
+}
+
+// bailStats charges the statistics of a bailing block's completed prefix:
+// the instruction count recovers from the bail PC (ops are emitted in PC
+// order), and the load/store counts recount from the predecoded text —
+// bails are trap retries and syscall handoffs, far off the hot path, so
+// the rare rescan is cheaper than per-access increments in execMem. The
+// bailing instruction itself is excluded: the interpreter re-executes it
+// and performs its accounting on the reference path.
+func (b *tblock) bailStats(m *Machine, st *tstate) {
+	k := (st.bailPC - b.entry) / isa.InstrBytes
+	st.n += k
+	idx := (b.entry - TextBase) / isa.InstrBytes
+	for i := idx; i < idx+k; i++ {
+		switch cl := m.dec[i].Class; {
+		case cl.IsLoad():
+			st.loads++
+		case cl.IsStore():
+			st.stores++
+		}
+	}
 }
 
 // icProbeSlow is the fetch probe's fallback when the probe site's way
@@ -711,6 +804,21 @@ func (m *Machine) icProbeSlow(t *tinstr, st *tstate) {
 	if !hit {
 		m.stats.ICMisses++
 		st.cycles += uint64(m.Cfg.ICMissStall)
+		m.count(hwc.EvICMiss, 1, t.pc, 0, false)
+	}
+}
+
+// icFoldProbeSlow is icProbeSlow for a probe folded into a never-bailing
+// op, whose way cache lives in the op's (otherwise unread) prefix field.
+//
+//go:noinline
+func (m *Machine) icFoldProbeSlow(t *tinstr, ppc uint64, st *tstate) {
+	hit, _ := m.IC.AccessFull(ppc, false, true)
+	t.prefix = uint64(m.IC.LastWay())
+	if !hit {
+		m.stats.ICMisses++
+		st.cycles += uint64(m.Cfg.ICMissStall)
+		m.count(hwc.EvICMiss, 1, ppc, 0, false)
 	}
 }
 
@@ -743,6 +851,7 @@ func (m *Machine) execDivRem(t *tinstr, st *tstate) bool {
 			if hit, _ := m.IC.AccessFull(t.pc, false, true); !hit {
 				m.stats.ICMisses++
 				fs = uint64(m.Cfg.ICMissStall)
+				m.count(hwc.EvICMiss, 1, t.pc, 0, false)
 			}
 		}
 	}
@@ -765,12 +874,12 @@ func (m *Machine) execDivRem(t *tinstr, st *tstate) bool {
 }
 
 // execMem executes a translated memory access: runInner's access() with
-// the fetch probe folded in, the trap checks turned into bails, the
-// per-event count() calls elided (the eligibility invariant guarantees no
-// EA-carrying event is armed while this runs), and the cache hierarchy
-// entered through the specialized stall paths below instead of the
-// Result-returning API. Simulation state updates — DTLB, D$/E$,
-// statistics — are exactly the reference path's.
+// the fetch probe folded in, the trap checks turned into bails, and the
+// cache hierarchy entered through the specialized stall paths below
+// instead of the Result-returning API. Armed events count through the
+// same count() calls as the reference path (the armed-event budget
+// routes them into the batch deltas); simulation state updates — DTLB,
+// D$/E$, statistics — are exactly the reference path's.
 func (m *Machine) execMem(t *tinstr, st *tstate) bool {
 	op2 := t.op2
 	var fs uint64
@@ -781,6 +890,7 @@ func (m *Machine) execMem(t *tinstr, st *tstate) bool {
 			if hit, _ := m.IC.AccessFull(t.pc, false, true); !hit {
 				m.stats.ICMisses++
 				fs = uint64(m.Cfg.ICMissStall)
+				m.count(hwc.EvICMiss, 1, t.pc, 0, false)
 			}
 		}
 	}
@@ -810,6 +920,7 @@ func (m *Machine) execMem(t *tinstr, st *tstate) bool {
 		if !m.DTLB.Lookup(pageBase, pageSize) {
 			m.stats.DTLBMisses++
 			stall += tlb.MissPenaltyCycles
+			m.count(hwc.EvDTLBMiss, 1, t.pc, addr, true)
 		}
 		t.prefix = t.prefix&sitePrefixMask | uint64(uint32(m.DTLB.LastIdx()))<<siteTLBShift
 	}
@@ -820,51 +931,37 @@ func (m *Machine) execMem(t *tinstr, st *tstate) bool {
 	d := m.Hier.D
 	switch cl {
 	case isa.ClLdB:
-		if d.HitMRU(addr, false) || d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
-			m.stats.Loads++
-		} else {
+		if !d.HitMRU(addr, false) && !d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
 			stall += m.loadMissStall(t, addr)
 		}
 		*t.rd = int64(int8(m.Mem.Page(addr)[addr&mem.HostPageMask]))
 	case isa.ClLdUB:
-		if d.HitMRU(addr, false) || d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
-			m.stats.Loads++
-		} else {
+		if !d.HitMRU(addr, false) && !d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
 			stall += m.loadMissStall(t, addr)
 		}
 		*t.rd = int64(m.Mem.Page(addr)[addr&mem.HostPageMask])
 	case isa.ClLdW:
-		if d.HitMRU(addr, false) || d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
-			m.stats.Loads++
-		} else {
+		if !d.HitMRU(addr, false) && !d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
 			stall += m.loadMissStall(t, addr)
 		}
 		*t.rd = int64(int32(binary.LittleEndian.Uint32(m.Mem.Page(addr)[addr&mem.HostPageMask:])))
 	case isa.ClLdX:
-		if d.HitMRU(addr, false) || d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
-			m.stats.Loads++
-		} else {
+		if !d.HitMRU(addr, false) && !d.WayHit(int(t.aux>>siteDWayShift), addr, false) {
 			stall += m.loadMissStall(t, addr)
 		}
 		*t.rd = int64(binary.LittleEndian.Uint64(m.Mem.Page(addr)[addr&mem.HostPageMask:]))
 	case isa.ClStB:
-		if d.HitMRU(addr, true) || d.WayHit(int(t.aux>>siteDWayShift), addr, true) {
-			m.stats.Stores++
-		} else {
+		if !d.HitMRU(addr, true) && !d.WayHit(int(t.aux>>siteDWayShift), addr, true) {
 			stall += m.storeMissStall(t, addr)
 		}
 		m.Mem.Page(addr)[addr&mem.HostPageMask] = uint8(*t.rd)
 	case isa.ClStW:
-		if d.HitMRU(addr, true) || d.WayHit(int(t.aux>>siteDWayShift), addr, true) {
-			m.stats.Stores++
-		} else {
+		if !d.HitMRU(addr, true) && !d.WayHit(int(t.aux>>siteDWayShift), addr, true) {
 			stall += m.storeMissStall(t, addr)
 		}
 		binary.LittleEndian.PutUint32(m.Mem.Page(addr)[addr&mem.HostPageMask:], uint32(*t.rd))
 	case isa.ClStX:
-		if d.HitMRU(addr, true) || d.WayHit(int(t.aux>>siteDWayShift), addr, true) {
-			m.stats.Stores++
-		} else {
+		if !d.HitMRU(addr, true) && !d.WayHit(int(t.aux>>siteDWayShift), addr, true) {
 			stall += m.storeMissStall(t, addr)
 		}
 		binary.LittleEndian.PutUint64(m.Mem.Page(addr)[addr&mem.HostPageMask:], uint64(*t.rd))
@@ -877,13 +974,12 @@ func (m *Machine) execMem(t *tinstr, st *tstate) bool {
 	return true
 }
 
-// loadMissStall is Hierarchy.Load plus access()'s statistics updates for
-// a load whose MRU-way probe missed: no Result struct crosses the call
-// and no count() calls run (eligibility). Access re-runs the same MRU
-// probe first — the failed probe above mutated nothing — so state
-// evolution is identical to the interpreter's HitMRU-then-Load sequence.
+// loadMissStall is Hierarchy.Load plus access()'s statistics and count()
+// updates for a load whose MRU-way probe missed: no Result struct
+// crosses the call. Access re-runs the same MRU probe first — the failed
+// probe above mutated nothing — so state evolution is identical to the
+// interpreter's HitMRU-then-Load sequence.
 func (m *Machine) loadMissStall(t *tinstr, addr uint64) uint64 {
-	m.stats.Loads++
 	h := m.Hier
 	hit, _ := h.D.AccessFull(addr, false, true)
 	t.aux = t.aux&^siteDWayMask | uint64(uint32(h.D.LastWay()))<<siteDWayShift
@@ -891,7 +987,9 @@ func (m *Machine) loadMissStall(t *tinstr, addr uint64) uint64 {
 		return 0
 	}
 	m.stats.DCRdMisses++
+	m.count(hwc.EvDCRdMiss, 1, t.pc, addr, true)
 	m.stats.ECRefs++
+	m.count(hwc.EvECRef, 1, t.pc, addr, true)
 	// Per-site E$ way cache (aux bits 8..31): a striding site revisits
 	// the same (long) E$ line for many consecutive D$ misses.
 	ehit, wb := true, false
@@ -904,6 +1002,7 @@ func (m *Machine) loadMissStall(t *tinstr, addr uint64) uint64 {
 		stall = h.Costs.EHitStall
 	} else {
 		m.stats.ECRdMisses++
+		m.count(hwc.EvECRdMiss, 1, t.pc, addr, true)
 		stall = h.Costs.MemStall
 	}
 	if wb {
@@ -912,6 +1011,7 @@ func (m *Machine) loadMissStall(t *tinstr, addr uint64) uint64 {
 	h.ECStallCycles += uint64(stall)
 	if stall > 0 {
 		m.stats.ECStallCycles += uint64(stall)
+		m.count(hwc.EvECStall, uint64(stall), t.pc, addr, true)
 	}
 	return uint64(stall)
 }
@@ -921,7 +1021,6 @@ func (m *Machine) loadMissStall(t *tinstr, addr uint64) uint64 {
 // reference), store misses write-allocating in E$. E$ misses on stores
 // count no ECRdMiss, matching Result's loads-only flag.
 func (m *Machine) storeMissStall(t *tinstr, addr uint64) uint64 {
-	m.stats.Stores++
 	h := m.Hier
 	hit, _ := h.D.AccessFull(addr, true, false)
 	if hit {
@@ -931,6 +1030,7 @@ func (m *Machine) storeMissStall(t *tinstr, addr uint64) uint64 {
 		return 0
 	}
 	m.stats.ECRefs++
+	m.count(hwc.EvECRef, 1, t.pc, addr, true)
 	ehit, wb := true, false
 	if !h.E.WayHit(int(t.aux&siteEWayMask)>>siteEWayShift, addr, true) {
 		ehit, wb = h.E.AccessFull(addr, true, true)
@@ -946,6 +1046,7 @@ func (m *Machine) storeMissStall(t *tinstr, addr uint64) uint64 {
 	h.ECStallCycles += uint64(stall)
 	if stall > 0 {
 		m.stats.ECStallCycles += uint64(stall)
+		m.count(hwc.EvECStall, uint64(stall), t.pc, addr, true)
 	}
 	return uint64(stall)
 }
@@ -960,6 +1061,7 @@ func (m *Machine) prefetchFill(t *tinstr, addr uint64) {
 		return
 	}
 	m.stats.ECRefs++
+	m.count(hwc.EvECRef, 1, t.pc, addr, true)
 	if !h.E.WayHit(int(t.aux&siteEWayMask)>>siteEWayShift, addr, false) {
 		h.E.AccessFull(addr, false, true)
 		t.aux = t.aux&^siteEWayMask | uint64(uint32(h.E.LastWay()))<<siteEWayShift&siteEWayMask
@@ -1008,9 +1110,12 @@ func (m *Machine) translateBlock(idx int) *tblock {
 			// so popping it and re-emitting it inside the fused op at the
 			// branch position preserves the execution exactly; costs,
 			// ninstr, and bail prefixes are per-instruction and unchanged.
+			// The compare must not itself carry a folded probe: popping it
+			// would move that probe past the branch position.
 			var fused *tinstr
 			if d.Class == isa.ClBranch && d.Op != isa.Ba && len(b.code) > 0 {
-				if k := b.code[len(b.code)-1].kind; k == tCmpRR || k == tCmpRI {
+				if k := b.code[len(b.code)-1].kind; (k == tCmpRR || k == tCmpRI) &&
+					b.code[len(b.code)-1].op2&opProbeMask == 0 {
 					cmp := b.code[len(b.code)-1]
 					b.code = b.code[:len(b.code)-1]
 					fused = &tinstr{
@@ -1021,13 +1126,15 @@ func (m *Machine) translateBlock(idx int) *tblock {
 				}
 			}
 			if probe != probeNone {
-				b.code = append(b.code, tinstr{kind: tProbeFirst - 1 + probe, pc: pc, aux: line})
 				b.wc += uint64(m.Cfg.ICMissStall)
 			}
 			if fused != nil {
+				fused.op2 = probe << opProbeShift
 				b.code = append(b.code, *fused)
 			} else {
-				b.code = append(b.code, m.emitCTI(d, pc))
+				ti := m.emitCTI(d, pc)
+				ti.op2 |= probe << opProbeShift
+				b.code = append(b.code, ti)
 			}
 			b.static += uint64(d.Cost)
 			b.wc += uint64(d.Cost)
@@ -1065,7 +1172,9 @@ func (m *Machine) translateBlock(idx int) *tblock {
 
 // emitInstr appends the ops for one non-CTI instruction: a combined
 // probe+op for trap-capable classes (the fetch stall must be discarded if
-// the trap predicate bails), a standalone probe plus a bare op otherwise.
+// the trap predicate bails), an op carrying the probe in its spare op2
+// bits otherwise (standalone probes survive only ahead of nops, which
+// emit no op to carry one).
 // The block's running static sum becomes the op's bail prefix; stallMax
 // is the worst per-access memory stall, for the block's wc bound.
 func (m *Machine) emitInstr(b *tblock, d *isa.Decoded, pc uint64, probe uint8, delay bool, stallMax uint64) {
@@ -1083,6 +1192,13 @@ func (m *Machine) emitInstr(b *tblock, d *isa.Decoded, pc uint64, probe uint8, d
 			b.wc += uint64(m.Cfg.ICMissStall)
 		}
 		b.wc += stallMax
+		b.nmem++
+		switch {
+		case d.Class.IsLoad():
+			b.nload++
+		case d.Class.IsStore():
+			b.nstore++
+		}
 		b.code = append(b.code, tinstr{
 			kind: tMem, op2: flags | uint8(d.Class),
 			rd: m.memReg(d), rs1: &m.Regs[d.Rs1], rs2: &m.Regs[d.Rs2],
@@ -1106,12 +1222,19 @@ func (m *Machine) emitInstr(b *tblock, d *isa.Decoded, pc uint64, probe uint8, d
 	}
 	if probe != probeNone {
 		b.wc += uint64(m.Cfg.ICMissStall)
-		b.code = append(b.code, tinstr{kind: tProbeFirst - 1 + probe, pc: pc, aux: line})
+		if d.Class == isa.ClNop {
+			// A nop emits no op to carry the probe; keep it standalone.
+			b.code = append(b.code, tinstr{kind: tProbeFirst - 1 + probe, pc: pc, aux: line})
+			return
+		}
 	}
 	if d.Class == isa.ClNop {
 		return // base cost is in the static sum; nothing executes
 	}
-	b.code = append(b.code, m.emitALU(d))
+	ti := m.emitALU(d)
+	ti.op2 = probe << opProbeShift
+	ti.pc = pc
+	b.code = append(b.code, ti)
 }
 
 // memReg resolves the register the memory op moves data through: the

@@ -41,8 +41,11 @@ type Memory struct {
 }
 
 // memoSlots is the size of the second-level page memo; a power of two so
-// the slot index is a mask.
-const memoSlots = 8
+// the slot index is a mask. 256 slots (4 KB of slice headers) cover the
+// working page set of a pointer-chasing heap workload; at 8 the random
+// page stream of an MCF pricing sweep thrashed the memo and fell to the
+// map on a third of page switches.
+const memoSlots = 256
 
 // New returns an empty memory.
 func New() *Memory {

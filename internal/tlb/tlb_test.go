@@ -137,3 +137,139 @@ func TestMatchesReferenceLRUModel(t *testing.T) {
 		}
 	}
 }
+
+// refTLB is the naive reference model of the TLB's observable state
+// machine, retained from before the flat-entry and memo rework: per-set
+// MRU-first lists of page bases and plain counters. The step-equivalence
+// property below drives it in lockstep with TLB and requires identical
+// hits, misses, victims, and statistics on randomized traces.
+type refTLB struct {
+	assoc   int
+	sets    [][]uint64 // each set MRU-first
+	lookups uint64
+	misses  uint64
+	last    uint64 // page base of the most recent lookup hit or install
+	lastOK  bool
+}
+
+func newRefTLB(cfg Config) *refTLB {
+	return &refTLB{assoc: cfg.Assoc, sets: make([][]uint64, cfg.Entries/cfg.Assoc)}
+}
+
+func (r *refTLB) setOf(pageBase, pageSize uint64) int {
+	return int((pageBase / pageSize) % uint64(len(r.sets)))
+}
+
+func (r *refTLB) lookup(pageBase, pageSize uint64) bool {
+	r.lookups++
+	s := r.setOf(pageBase, pageSize)
+	for i, b := range r.sets[s] {
+		if b == pageBase {
+			r.sets[s] = append(append([]uint64{b}, r.sets[s][:i]...), r.sets[s][i+1:]...)
+			r.last, r.lastOK = pageBase, true
+			return true
+		}
+	}
+	r.misses++
+	if len(r.sets[s]) == r.assoc {
+		r.sets[s] = r.sets[s][:len(r.sets[s])-1]
+	}
+	r.sets[s] = append([]uint64{pageBase}, r.sets[s]...)
+	r.last, r.lastOK = pageBase, true
+	return false
+}
+
+// entryHit is the reference for the per-site EntryHit shortcut driven
+// with the entry index of the most recent lookup: it retires iff that
+// page is still resident.
+func (r *refTLB) entryHit(pageBase, pageSize uint64) bool {
+	if !r.lastOK || r.last != pageBase {
+		return false
+	}
+	s := r.setOf(pageBase, pageSize)
+	for i, b := range r.sets[s] {
+		if b == pageBase {
+			r.lookups++
+			r.sets[s] = append(append([]uint64{b}, r.sets[s][:i]...), r.sets[s][i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refTLB) contains(pageBase, pageSize uint64) bool {
+	for _, b := range r.sets[r.setOf(pageBase, pageSize)] {
+		if b == pageBase {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refTLB) flush() {
+	r.sets = make([][]uint64, len(r.sets))
+	r.lookups, r.misses = 0, 0
+	r.lastOK = false
+}
+
+// TestTLBStepEquivalence drives the flat memoized TLB and the naive
+// list-LRU reference through identical randomized traces of lookups,
+// per-site entry probes, flushes, and side-effect-free Contains checks,
+// over a two-segment address layout with distinct page sizes (the
+// heap/stack shape the machine actually presents), asserting identical
+// hits and statistics throughout.
+func TestTLBStepEquivalence(t *testing.T) {
+	for _, cfg := range []Config{{Entries: 8, Assoc: 2}, {Entries: 16, Assoc: 4}, {Entries: 4, Assoc: 1}} {
+		tl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefTLB(cfg)
+		r := xrand.New(uint64(977 + cfg.Entries))
+		// Two segments with different page sizes, like heap and stack.
+		page := func() (uint64, uint64) {
+			if r.Intn(3) == 0 {
+				const ps = 1 << 19 // big-page segment
+				return (uint64(0x10000000) + uint64(r.Intn(8))*ps) &^ (ps - 1), ps
+			}
+			const ps = 8192
+			return uint64(0x1000000) + uint64(r.Intn(64))*ps, ps
+		}
+		var lastIdx int
+		var lastBase, lastSize uint64
+		haveLast := false
+		for n := 0; n < 20000; n++ {
+			pb, ps := page()
+			switch k := r.Intn(10); {
+			case k < 6:
+				h1 := tl.Lookup(pb, ps)
+				h2 := ref.lookup(pb, ps)
+				if h1 != h2 {
+					t.Fatalf("cfg %+v op %d: Lookup(%#x,%d) = %v, ref %v", cfg, n, pb, ps, h1, h2)
+				}
+				lastIdx, lastBase, lastSize, haveLast = tl.LastIdx(), pb, ps, true
+			case k < 8 && haveLast:
+				h1 := tl.EntryHit(lastIdx, lastBase)
+				h2 := ref.entryHit(lastBase, lastSize)
+				if h1 != h2 {
+					t.Fatalf("cfg %+v op %d: EntryHit(%d,%#x) = %v, ref %v", cfg, n, lastIdx, lastBase, h1, h2)
+				}
+			case k < 9:
+				if tl.Contains(pb, ps) != ref.contains(pb, ps) {
+					t.Fatalf("cfg %+v op %d: Contains(%#x,%d) = %v, ref %v",
+						cfg, n, pb, ps, tl.Contains(pb, ps), ref.contains(pb, ps))
+				}
+			default:
+				if r.Intn(100) == 0 {
+					tl.Flush()
+					ref.flush()
+					haveLast = false
+				}
+			}
+			if tl.Lookups != ref.lookups || tl.Misses != ref.misses {
+				t.Fatalf("cfg %+v op %d: stats diverge: tlb %d/%d, ref %d/%d",
+					cfg, n, tl.Lookups, tl.Misses, ref.lookups, ref.misses)
+			}
+		}
+	}
+}
