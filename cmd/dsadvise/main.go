@@ -9,11 +9,14 @@
 //	    -pools renders allocation-site split-pool advice instead, which
 //	    needs experiments collected with provenance enabled
 //
-//	dsadvise loop [-trips 1200] [-seed S] [-layout paper] [-machine study]
+//	dsadvise loop [-workload mcf] [-trips 1200] [-papers 2000] [-seed S]
+//	              [-layout paper] [-variant baseline] [-machine study]
 //	              [-window 16] [-minshare 0.05] [-n 20] [-o FILE]
-//	    full loop on the bundled MCF workload: profile a baseline,
-//	    derive recommendations, re-run each with the layout override
-//	    applied, and report measured accepted/rejected verdicts
+//	    full loop on a bundled workload (mcf or nbody): profile a
+//	    baseline, derive recommendations, re-run each with the layout
+//	    override applied, and report measured accepted/rejected verdicts;
+//	    -trips/-layout size the MCF instance, -papers/-variant the
+//	    n-body one
 //
 // Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
 // (unknown command, bad token) — erprint's conventions.
@@ -34,6 +37,7 @@ import (
 	"dsprof/internal/experiment"
 	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
+	"dsprof/internal/nbody"
 	"dsprof/internal/version"
 )
 
@@ -63,7 +67,9 @@ func run() error {
 func usage() error {
 	fmt.Fprintln(os.Stderr, `usage: dsadvise {advice|loop} [flags]
   advice [-pools] [-n 20] [-o FILE] expt.er...           advise from existing experiments
-  loop   [-trips N] [-seed S] [-layout L] [-machine M]   closed loop on the MCF workload
+  loop   [-workload mcf|nbody] [-seed S] [-machine M]    closed loop on a bundled workload
+         [-trips N] [-layout L]                          (MCF instance size and layout)
+         [-papers N] [-variant V]                        (n-body size and link encoding)
          [-window W] [-minshare F] [-n 20] [-o FILE]
   -version                                               print the suite version`)
 	return cli.Usagef("unknown or missing subcommand")
@@ -132,8 +138,11 @@ func runAdvice(args []string) error {
 
 func runLoop(args []string) error {
 	fs := flag.NewFlagSet("loop", flag.ContinueOnError)
+	workload := fs.String("workload", "mcf", "bundled workload: mcf or nbody")
 	trips := fs.Int("trips", 1200, "MCF instance size (timetabled trips)")
-	seed := fs.Uint64("seed", 20030717, "MCF instance seed")
+	papers := fs.Int("papers", 2000, "n-body instance size (papers)")
+	variant := fs.String("variant", "baseline", "n-body link encoding: baseline or compressed")
+	seed := fs.Uint64("seed", 20030717, "instance seed")
 	layout := fs.String("layout", "paper", "baseline struct layout: paper or optimized")
 	machineName := fs.String("machine", "study", "machine configuration: study, scaled or default")
 	window := fs.Int("window", 16, "co-access affinity window (events)")
@@ -146,15 +155,6 @@ func runLoop(args []string) error {
 	if fs.NArg() > 0 {
 		return cli.Usagef("loop takes no positional arguments, got %q", fs.Arg(0))
 	}
-	var l mcf.Layout
-	switch *layout {
-	case "paper":
-		l = mcf.LayoutPaper
-	case "optimized":
-		l = mcf.LayoutOptimized
-	default:
-		return cli.Usagef("unknown layout %q (paper or optimized)", *layout)
-	}
 	var cfg machine.Config
 	switch *machineName {
 	case "study":
@@ -166,14 +166,48 @@ func runLoop(args []string) error {
 	default:
 		return cli.Usagef("unknown machine %q (study, scaled or default)", *machineName)
 	}
+	opts := advisor.Options{Window: *window, MinShare: *minShare, MaxRecs: *topN}
 
-	run, err := core.AdviseMCF(context.Background(), core.AdviseParams{
-		Study: core.StudyParams{
-			Trips: *trips, Seed: *seed, Layout: l, HWCProf: true, Machine: &cfg,
-		},
-		Intervals: core.ScaledIntervals(*trips),
-		Advisor:   advisor.Options{Window: *window, MinShare: *minShare, MaxRecs: *topN},
-	})
+	var run *core.AdviseRun
+	var err error
+	switch *workload {
+	case "mcf":
+		var l mcf.Layout
+		switch *layout {
+		case "paper":
+			l = mcf.LayoutPaper
+		case "optimized":
+			l = mcf.LayoutOptimized
+		default:
+			return cli.Usagef("unknown layout %q (paper or optimized)", *layout)
+		}
+		run, err = core.AdviseMCF(context.Background(), core.AdviseParams{
+			Study: core.StudyParams{
+				Trips: *trips, Seed: *seed, Layout: l, HWCProf: true, Machine: &cfg,
+			},
+			Intervals: core.ScaledIntervals(*trips),
+			Advisor:   opts,
+		})
+	case "nbody":
+		var v nbody.Variant
+		switch *variant {
+		case "baseline":
+			v = nbody.VariantBaseline
+		case "compressed":
+			v = nbody.VariantCompressed
+		default:
+			return cli.Usagef("unknown variant %q (baseline or compressed)", *variant)
+		}
+		run, err = core.AdviseNBody(context.Background(), core.NBodyAdviseParams{
+			Study: core.NBodyStudyParams{
+				Papers: *papers, Seed: *seed, Variant: v, HWCProf: true, Machine: &cfg,
+			},
+			Intervals: core.NBodyIntervals(*papers),
+			Advisor:   opts,
+		})
+	default:
+		return cli.Usagef("unknown workload %q (mcf or nbody)", *workload)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,80 @@
+// Command nbgen generates n-body inputs: seeded citation graphs for the
+// paperscape-style force-layout kernel, plus the kernel source itself:
+//
+//	nbgen -papers 2000 -seed 7 -o nbody.in            # instance (input vector)
+//	nbgen -emit-source -variant baseline -o nbody.mc  # the MC program
+//	nbgen -papers 200 -model                          # print the Go model's output
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dsprof/internal/cli"
+	"dsprof/internal/nbody"
+)
+
+func main() {
+	cli.Main("nbgen", run)
+}
+
+func parseVariant(s string) (nbody.Variant, error) {
+	switch s {
+	case "baseline":
+		return nbody.VariantBaseline, nil
+	case "compressed":
+		return nbody.VariantCompressed, nil
+	}
+	return 0, cli.Usagef("unknown variant %q (baseline or compressed)", s)
+}
+
+func run() error {
+	papers := flag.Int("papers", 2000, "number of papers (leaf nodes; rounded up to even)")
+	seed := flag.Uint64("seed", 20030717, "generator seed")
+	coarse := flag.Int("coarse", 30, "coarse relaxation iterations")
+	fine := flag.Int("fine", 60, "fine relaxation iterations")
+	out := flag.String("o", "", "output file (default stdout)")
+	emitSource := flag.Bool("emit-source", false, "write the kernel source instead of an instance")
+	variant := flag.String("variant", "baseline", "link encoding for -emit-source: baseline or compressed")
+	model := flag.Bool("model", false, "run the Go reference model on the generated instance and print its output")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	if *emitSource {
+		v, err := parseVariant(*variant)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(bw, nbody.SourceText(v))
+		return nil
+	}
+
+	p := nbody.DefaultGenParams(*papers, *seed)
+	p.CoarseIters = *coarse
+	p.FineIters = *fine
+	ins := nbody.Generate(p)
+	if *model {
+		o := nbody.Simulate(ins)
+		fmt.Fprintf(bw, "papers=%d links=%d coarse=%d fine=%d\n",
+			ins.N, len(ins.Links), ins.CoarseIters, ins.FineIters)
+		fmt.Fprintf(bw, "output=%v\n", o.Longs())
+		return nil
+	}
+	for _, v := range ins.Encode() {
+		fmt.Fprintln(bw, v)
+	}
+	return nil
+}

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"dsprof/internal/cc"
+	"dsprof/internal/collect"
 	"dsprof/internal/experiment"
+	"dsprof/internal/nbody"
 )
 
 // TestReduceFromPartialsByteIdentical is the in-package model of the
@@ -18,6 +20,50 @@ import (
 func TestReduceFromPartialsByteIdentical(t *testing.T) {
 	prog := buildWorkload(t, cc.Options{HWCProf: true})
 	expA, expB := collectPair(t, prog, 30000)
+	reducePartialsGolden(t, expA, expB, map[string]string{
+		"source": "chase", "disasm": "chase", "members": "item", "callers": "chase",
+	})
+}
+
+// TestReduceFromPartialsNBody is the same distributed-reduce golden
+// over the second workload family: the analyzer only merges experiments
+// of one program, so the n-body kernel (unions, Q16.16 floats) gets its
+// own partial-reduction check with the paper's two-pass counter split.
+func TestReduceFromPartialsNBody(t *testing.T) {
+	prog, err := nbody.Program(nbody.VariantBaseline, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := nbody.Generate(nbody.DefaultGenParams(150, 7)).Encode()
+	runOne := func(clock bool, spec string) *experiment.Experiment {
+		specs, err := collect.ParseCounterSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := collect.Run(prog, collect.Options{
+			ClockProfile: clock,
+			Counters:     specs,
+			Machine:      scaledCfg(),
+			Input:        input,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Exp
+	}
+	expA := runOne(true, "+ecstall,2003,+ecrm,251")
+	expB := runOne(false, "+ecref,1009,+dtlbm,127")
+	reducePartialsGolden(t, expA, expB, map[string]string{
+		"source": "force_pass", "disasm": "force_pass", "members": "lnode", "callers": "force_pass",
+	})
+}
+
+// reducePartialsGolden persists the pair, computes every work unit's
+// partial in a single-experiment worker context, merges them in a
+// coordinator context, and requires byte identity with the serial
+// reference on every registered report.
+func reducePartialsGolden(t *testing.T, expA, expB *experiment.Experiment, args map[string]string) {
+	t.Helper()
 
 	// Persist and re-open so the partials are computed over real
 	// file-backed shards, like a worker's store replica.
@@ -86,9 +132,6 @@ func TestReduceFromPartialsByteIdentical(t *testing.T) {
 		t.Fatal("second ReduceFromPartials did not fail")
 	}
 
-	args := map[string]string{
-		"source": "chase", "disasm": "chase", "members": "item", "callers": "chase",
-	}
 	for _, name := range ReportNames() {
 		token := name
 		if arg, ok := args[name]; ok {

@@ -54,10 +54,13 @@ func (*varDecl) declNode()     {}
 func (*funcDecl) declNode()    {}
 
 // paramDecl is a name/type pair (function parameter or struct field).
+// union is a non-zero per-struct group id when the field was declared
+// inside an anonymous union.
 type paramDecl struct {
-	name string
-	typ  typeExpr
-	line int
+	name  string
+	typ   typeExpr
+	union int
+	line  int
 }
 
 // typeExpr is an unresolved syntactic type: base name plus deriving
@@ -162,6 +165,11 @@ type intLit struct {
 	line int
 }
 
+type floatLit struct { // Q16.16 raw bits, already lowered by the lexer
+	raw  int64
+	line int
+}
+
 type strLit struct {
 	val  string
 	line int
@@ -219,6 +227,7 @@ type sizeofExpr struct {
 }
 
 func (*intLit) exprNode()     {}
+func (*floatLit) exprNode()   {}
 func (*strLit) exprNode()     {}
 func (*identExpr) exprNode()  {}
 func (*unaryExpr) exprNode()  {}
@@ -231,6 +240,7 @@ func (*castExpr) exprNode()   {}
 func (*sizeofExpr) exprNode() {}
 
 func (e *intLit) pos() int     { return e.line }
+func (e *floatLit) pos() int   { return e.line }
 func (e *strLit) pos() int     { return e.line }
 func (e *identExpr) pos() int  { return e.line }
 func (e *unaryExpr) pos() int  { return e.line }

@@ -33,6 +33,9 @@ func (g *fnGen) constOf(e expr) (int64, bool) {
 	if il, ok := e.(*intLit); ok {
 		return il.val, true
 	}
+	if fl, ok := e.(*floatLit); ok {
+		return fl.raw, true
+	}
 	return 0, false
 }
 
@@ -159,6 +162,21 @@ func (g *fnGen) genExpr(e expr) (val, error) {
 			return val{}, err
 		}
 		to := g.chk.exprType[e]
+		from := decay(g.chk.exprType[e.x])
+		fromFloat := from != nil && from.Kind == KFloat
+		if to.Kind == KFloat {
+			if fromFloat {
+				return v, nil
+			}
+			return g.shiftConst(v, isa.Sll, 16, e.line) // enter Q16.16
+		}
+		if fromFloat {
+			// Leave Q16.16 (truncating toward negative infinity), then
+			// narrow to the destination width below if needed.
+			if v, err = g.shiftConst(v, isa.Sra, 16, e.line); err != nil {
+				return val{}, err
+			}
+		}
 		switch to.Kind {
 		case KChar:
 			return g.truncate(v, 56, e.line)
@@ -182,6 +200,19 @@ func (g *fnGen) maybePrefetch(t *CType, reg isa.Reg) {
 	if lines := fb[g.fn.File]; lines != nil && lines[int(g.curLine)] {
 		g.emitMem(isa.Instr{Op: isa.Prefetch, Rs1: reg, UseImm: true, Imm: 0}, nil)
 	}
+}
+
+// shiftConst applies a single shift-by-constant to v.
+func (g *fnGen) shiftConst(v val, op isa.Op, n int32, line int) (val, error) {
+	tgt, err := g.target(v, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: op, Rd: tgt.reg, Rs1: v.reg, UseImm: true, Imm: n})
+	if tgt.reg != v.reg {
+		g.free(v)
+	}
+	return tgt, nil
 }
 
 // truncate sign-extends the low bits of v (shift left then arithmetic
@@ -326,6 +357,9 @@ func (g *fnGen) genBinary(e *binaryExpr) (val, error) {
 // lhs. lt is the (decayed) type of the left side, used for pointer
 // operand scaling.
 func (g *fnGen) genBinOpInto(lhs val, op string, rhs expr, lt *CType, line int) (val, error) {
+	if lt != nil && lt.Kind == KFloat && (op == "*" || op == "/") {
+		return g.genFloatMulDiv(lhs, op, rhs, line)
+	}
 	aop, ok := aluOps[op]
 	if !ok {
 		return val{}, g.errf(line, "unsupported operator %s", op)
@@ -366,6 +400,64 @@ func (g *fnGen) genBinOpInto(lhs val, op string, rhs expr, lt *CType, line int) 
 		return val{}, err
 	}
 	g.emit(isa.Instr{Op: aop, Rd: tgt.reg, Rs1: lhs.reg, Rs2: v.reg})
+	g.free(v)
+	if tgt.reg != lhs.reg {
+		g.free(lhs)
+	}
+	return tgt, nil
+}
+
+// genFloatMulDiv compiles Q16.16 multiply and divide, consuming lhs.
+// Registers hold 64-bit raw values, so the widened intermediates
+// (product before the >>16, dividend after the <<16) do not overflow at
+// kernel-scale magnitudes; the result re-enters Q16.16 directly.
+func (g *fnGen) genFloatMulDiv(lhs val, op string, rhs expr, line int) (val, error) {
+	if op == "*" {
+		if c, isConst := g.constOf(rhs); isConst && fitsImm13(c) {
+			tgt, err := g.target(lhs, line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit(isa.Instr{Op: isa.Mul, Rd: tgt.reg, Rs1: lhs.reg, UseImm: true, Imm: int32(c)})
+			g.emit(isa.Instr{Op: isa.Sra, Rd: tgt.reg, Rs1: tgt.reg, UseImm: true, Imm: 16})
+			return tgt, nil
+		}
+		v, err := g.genExpr(rhs)
+		if err != nil {
+			return val{}, err
+		}
+		tgt, err := g.target(lhs, line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Instr{Op: isa.Mul, Rd: tgt.reg, Rs1: lhs.reg, Rs2: v.reg})
+		g.emit(isa.Instr{Op: isa.Sra, Rd: tgt.reg, Rs1: tgt.reg, UseImm: true, Imm: 16})
+		g.free(v)
+		if tgt.reg != lhs.reg {
+			g.free(lhs)
+		}
+		return tgt, nil
+	}
+	// Division: (lhs << 16) / rhs.
+	if c, isConst := g.constOf(rhs); isConst && c != 0 && fitsImm13(c) {
+		tgt, err := g.target(lhs, line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Instr{Op: isa.Sll, Rd: tgt.reg, Rs1: lhs.reg, UseImm: true, Imm: 16})
+		g.emit(isa.Instr{Op: isa.Div, Rd: tgt.reg, Rs1: tgt.reg, UseImm: true, Imm: int32(c)})
+		return tgt, nil
+	}
+	v, err := g.genExpr(rhs)
+	if err != nil {
+		return val{}, err
+	}
+	tgt, err := g.target(lhs, line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit(isa.Instr{Op: isa.Sll, Rd: tgt.reg, Rs1: lhs.reg, UseImm: true, Imm: 16})
+	g.emit(isa.Instr{Op: isa.Div, Rd: tgt.reg, Rs1: tgt.reg, Rs2: v.reg})
 	g.free(v)
 	if tgt.reg != lhs.reg {
 		g.free(lhs)

@@ -226,7 +226,7 @@ func (co *compiler) typeID(t *CType) dwarf.TypeID {
 		id := co.tab.AddType(dwarf.Type{Kind: dwarf.KindArray, Size: t.Size(), Elem: elem, Count: t.Count})
 		co.namedIDs[key] = id
 		return id
-	case KLong, KInt, KChar:
+	case KLong, KInt, KChar, KFloat:
 		name := t.displayName()
 		if id, ok := co.namedIDs[name]; ok {
 			return id

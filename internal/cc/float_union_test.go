@@ -1,0 +1,285 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// raw() in these programs extracts the Q16.16 raw bits of a float value:
+// f * 65536.0 shifts the value up 16 bits inside the representation, and
+// the (long) cast shifts back down, leaving exactly the raw bits.
+const rawHelper = `
+long raw(float f) {
+	return (long)(f * 65536.0);
+}
+`
+
+func TestFloatLiteralsAndArithmetic(t *testing.T) {
+	out := run(t, rawHelper+`
+long main() {
+	float a;
+	float b;
+	a = 1.5;
+	b = 2.25;
+	write_long(raw(a + b));
+	write_long(raw(a - b));
+	write_long(raw(a * 2.5));
+	write_long(raw(7.5 / 2.0));
+	write_long(raw(0.0 - a));
+	write_long(raw(1 + 0.5));
+	write_long((long)(a + b));
+	write_long((long)a + (long)b);
+	return 0;
+}`)
+	expect(t, out,
+		3*65536+49152,    // 3.75
+		-49152,           // -0.75
+		3*65536+49152,    // 1.5*2.5 = 3.75
+		3*65536+49152,    // 7.5/2 = 3.75
+		-(65536 + 32768), // -1.5
+		65536+32768,      // 1.5
+		3,                // (long)3.75 floors
+		3,                // 1 + 2
+	)
+}
+
+func TestFloatComparisonsAndConds(t *testing.T) {
+	out := run(t, `
+long main() {
+	float a;
+	float b;
+	a = 1.5;
+	b = 1.25;
+	write_long(a > b);
+	write_long(a < b);
+	write_long(a == 1.5);
+	write_long(a != a);
+	write_long(b >= 2);
+	if (a - b > 0.2) { write_long(1); } else { write_long(0); }
+	write_long((long)(a > b ? a : b));
+	while (a > 0.5) { a -= 1.0; }
+	write_long(a == 0.5);
+	return 0;
+}`)
+	expect(t, out, 1, 0, 1, 0, 0, 1, 1, 1)
+}
+
+func TestFloatConversionsAndCompound(t *testing.T) {
+	out := run(t, rawHelper+`
+float gf = 2.5;
+float gi = 3;
+long gl = 1.5;
+long scale2(long v) { return v * 2; }
+long main() {
+	float f;
+	long l;
+	f = 7;
+	write_long(raw(f));
+	f = (float)5 / 2;
+	write_long(raw(f));
+	l = (long)(0.0 - 1.5);
+	write_long(l);
+	f = 0.5;
+	f += 1; write_long(raw(f));
+	f -= 0.25; write_long(raw(f));
+	f *= 2.0; write_long(raw(f));
+	f /= 0.5; write_long(raw(f));
+	write_long(raw(gf));
+	write_long(raw(gi));
+	write_long(gl);
+	write_long(scale2(2.75));
+	write_long(!0.0);
+	write_long(!0.5);
+	return 0;
+}`)
+	expect(t, out,
+		7*65536,
+		2*65536+32768, // 5/2 = 2.5 in float
+		-2,            // Sra floors toward negative infinity
+		98304,         // 1.5
+		81920,         // 1.25
+		163840,        // 2.5
+		327680,        // 5.0
+		163840,        // 2.5
+		196608,        // 3.0 (integer initializer shifted into Q16.16)
+		1,             // float initializer floored into a long global
+		4,             // 2.75 floored to 2 at the call boundary, times 2
+		1, 0,
+	)
+}
+
+func TestFloatStructMembers(t *testing.T) {
+	out := run(t, rawHelper+`
+struct body { long id; float x; float fx; };
+long main() {
+	struct body *b;
+	b = (struct body *) malloc(sizeof(struct body));
+	b->id = 9;
+	b->x = 1.25;
+	b->fx = 0.0;
+	b->fx += b->x * 0.5;
+	b->x += b->fx;
+	write_long(sizeof(struct body));
+	write_long(b->id);
+	write_long(raw(b->x));
+	write_long(raw(b->fx));
+	free((char *) b);
+	return 0;
+}`)
+	expect(t, out,
+		16, // 8 + 4 + 4
+		9,
+		122880, // 1.875
+		40960,  // 0.625
+	)
+}
+
+func TestFloatErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`long main() { float f; f = 1.5; f %= 2.0; return 0; }`, "not supported on float"},
+		{`long main() { write_long(1.5 % 2.0); return 0; }`, "not supported on float"},
+		{`long main() { write_long(1.5 << 2); return 0; }`, "not supported on float"},
+		{`long main() { float f; f = 0.5; f++; return 0; }`, "requires integer or pointer"},
+		{`long main() { write_long(~1.5); return 0; }`, "requires integer"},
+		{`long main() { float f; f = (float)(char *)0; return 0; }`, "float and pointer"},
+		{`long main() { char *p; p = (char *)1.5; return 0; }`, "float and pointer"},
+		{`long main() { long v; v = 1.0000000001; return 0; }`, "fractional digits"},
+	}
+	for _, tc := range cases {
+		_, err := Compile([]Source{{Name: "t.mc", Text: tc.src}}, Options{})
+		if err == nil {
+			t.Errorf("%q compiled; want error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+const unionSrc = `
+struct node {
+	long tag;
+	union {
+		long a;
+		struct node *p;
+	};
+	char c;
+};
+long main() {
+	struct node *n;
+	n = (struct node *) malloc(sizeof(struct node));
+	n->tag = 1;
+	n->a = 77;
+	n->c = 3;
+	write_long(sizeof(struct node));
+	write_long(n->a);
+	n->p = n;
+	write_long(n->p->tag);
+	write_long((long)&n->a - (long)n);
+	write_long((long)&n->p - (long)n);
+	write_long(n->c);
+	free((char *) n);
+	return 0;
+}`
+
+func TestAnonymousUnion(t *testing.T) {
+	out := run(t, unionSrc)
+	expect(t, out,
+		24, // 8 tag + 8 union + 1 char, padded to align 8
+		77,
+		1, // n->p aliases n->a's storage and points back at n
+		8, 8,
+		3,
+	)
+}
+
+// A union group must keep its members co-located under any advisor
+// reorder of the surrounding struct.
+func TestAnonymousUnionUnderOverride(t *testing.T) {
+	prog := compileSrc(t, unionSrc, Options{
+		HWCProf: true,
+		LayoutOverrides: map[string]*LayoutOverride{
+			"node": {Order: []string{"c", "p", "tag", "a"}},
+		},
+	})
+	_, ty := prog.Debug.TypeByName("node")
+	if ty == nil {
+		t.Fatal("struct node missing from debug tables")
+	}
+	off := map[string]int64{}
+	for _, m := range ty.Members {
+		off[m.Name] = m.Off
+	}
+	// c at 0; the union group is placed where its first member (p)
+	// lands, and a reuses that slot; tag follows the 8-byte group.
+	if off["c"] != 0 || off["p"] != 8 || off["a"] != 8 || off["tag"] != 16 {
+		t.Errorf("override offsets = %v, want c=0 p=8 a=8 tag=16", off)
+	}
+	want := runProg(t, compileSrc(t, unionSrc, Options{HWCProf: true}), nil).OutputLongs()
+	got := runProg(t, prog, nil).OutputLongs()
+	// The two longs recording member offsets legitimately differ under
+	// the override; everything else must match.
+	if len(want) != len(got) || len(want) != 6 {
+		t.Fatalf("output %v, want %v", got, want)
+	}
+	for _, i := range []int{0, 1, 2, 5} {
+		if got[i] != want[i] {
+			t.Fatalf("output %v, want %v (index %d)", got, want, i)
+		}
+	}
+	if got[3] != 8 || got[4] != 8 {
+		t.Errorf("overridden union offsets = %d,%d, want 8,8", got[3], got[4])
+	}
+}
+
+func TestUnionFloatAliasing(t *testing.T) {
+	out := run(t, `
+struct v {
+	union {
+		float f;
+		int i;
+	};
+	long pad;
+};
+long main() {
+	struct v *x;
+	x = (struct v *) malloc(sizeof(struct v));
+	x->f = 1.5;
+	write_long(x->i);
+	x->i = 65536;
+	write_long((long)(x->f * 2.0));
+	write_long(sizeof(struct v));
+	free((char *) x);
+	return 0;
+}`)
+	expect(t, out,
+		98304, // raw Q16.16 bits of 1.5 seen through the int arm
+		2,     // 65536 raw is 1.0; times 2
+		16,    // union 4 (padded to 8 for long align) + long 8
+	)
+}
+
+func TestUnionErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`struct s { union { } ; long x; }; long main() { return 0; }`, "empty anonymous union"},
+		{`struct s { union { long a; long a; }; }; long main() { return 0; }`, "duplicate field"},
+		{`union { long a; }; long main() { return 0; }`, "expected"},
+	}
+	for _, tc := range cases {
+		_, err := Compile([]Source{{Name: "t.mc", Text: tc.src}}, Options{})
+		if err == nil {
+			t.Errorf("%q compiled; want error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}

@@ -76,7 +76,7 @@ func (p *parser) atTypeStart() bool {
 	t := p.cur()
 	if t.kind == tokKeyword {
 		switch t.text {
-		case "long", "int", "char", "void", "struct":
+		case "long", "int", "char", "float", "void", "struct":
 			return true
 		}
 	}
@@ -89,7 +89,7 @@ func (p *parser) parseType() (typeExpr, error) {
 	te := typeExpr{arrayLen: -1, line: p.cur().line}
 	t := p.cur()
 	switch {
-	case t.kind == tokKeyword && (t.text == "long" || t.text == "int" || t.text == "char" || t.text == "void"):
+	case t.kind == tokKeyword && (t.text == "long" || t.text == "int" || t.text == "char" || t.text == "float" || t.text == "void"):
 		te.base = t.text
 		p.pos++
 	case t.kind == tokKeyword && t.text == "struct":
@@ -165,7 +165,43 @@ func (p *parser) topDecl() (topDecl, error) {
 			return nil, err
 		}
 		var fields []paramDecl
+		unionGroup := 0
 		for !p.accept(tokPunct, "}") {
+			// Anonymous union: `union { TYPE name; ... };` — members share
+			// storage. Only allowed inside a struct body.
+			if p.accept(tokKeyword, "union") {
+				unionGroup++
+				if _, err := p.expect(tokPunct, "{"); err != nil {
+					return nil, err
+				}
+				members := 0
+				for !p.accept(tokPunct, "}") {
+					fl := p.cur().line
+					te, err := p.parseType()
+					if err != nil {
+						return nil, err
+					}
+					fname, err := p.expect(tokIdent, "")
+					if err != nil {
+						return nil, err
+					}
+					if err := p.arraySuffix(&te); err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(tokPunct, ";"); err != nil {
+						return nil, err
+					}
+					fields = append(fields, paramDecl{name: fname.text, typ: te, union: unionGroup, line: fl})
+					members++
+				}
+				if members == 0 {
+					return nil, p.errf("empty anonymous union in struct %s", name.text)
+				}
+				if _, err := p.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			fl := p.cur().line
 			te, err := p.parseType()
 			if err != nil {
@@ -631,6 +667,9 @@ func (p *parser) primary() (expr, error) {
 	switch t.kind {
 	case tokNumber:
 		p.pos++
+		if t.isFloat {
+			return &floatLit{raw: t.val, line: t.line}, nil
+		}
 		return &intLit{val: t.val, line: t.line}, nil
 	case tokChar:
 		p.pos++

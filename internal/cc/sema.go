@@ -204,7 +204,7 @@ func (c *checker) declStruct(d *structDecl) error {
 		if _, f := si.Field(fd.name); f != nil {
 			return c.errf(fd.line, "duplicate field %s in struct %s", fd.name, d.name)
 		}
-		si.Fields = append(si.Fields, Field{Name: fd.name, Type: ty})
+		si.Fields = append(si.Fields, Field{Name: fd.name, Type: ty, Union: fd.union})
 	}
 	if ov := c.overrides[d.name]; ov != nil {
 		c.usedOv[d.name] = true
@@ -230,6 +230,8 @@ func (c *checker) resolveType(te typeExpr) (*CType, error) {
 		base = tyInt
 	case "char":
 		base = tyChar
+	case "float":
+		base = tyFloat
 	case "void":
 		base = tyVoid
 	default:
@@ -285,6 +287,15 @@ func (c *checker) declGlobal(d *varDecl) error {
 		}
 		if !ty.IsScalar() {
 			return c.errf(d.line, "cannot initialize aggregate %s", d.name)
+		}
+		// Cross the Q16.16 representation boundary at compile time when
+		// the initializer's float-ness differs from the global's type.
+		if it := c.exprType[d.init]; it != nil {
+			if ty.Kind == KFloat && it.Kind != KFloat {
+				v <<= 16
+			} else if ty.Kind != KFloat && it.Kind == KFloat {
+				v >>= 16
+			}
 		}
 		g.Init, g.HasInit = v, true
 	}
@@ -416,6 +427,9 @@ func (c *checker) checkStmt(s stmt) error {
 			if err := c.assignable(ty, it, s.init, s.line); err != nil {
 				return err
 			}
+			if s.init, err = c.coerce(ty, s.init); err != nil {
+				return err
+			}
 		}
 	case *exprStmt:
 		_, err := c.checkExpr(s.x)
@@ -433,7 +447,11 @@ func (c *checker) checkStmt(s stmt) error {
 			return err
 		}
 		if s.op == "=" {
-			return c.assignable(lt, rt, s.rhs, s.line)
+			if err := c.assignable(lt, rt, s.rhs, s.line); err != nil {
+				return err
+			}
+			s.rhs, err = c.coerce(lt, s.rhs)
+			return err
 		}
 		// Compound: lhs op rhs must type-check like the binary op.
 		if lt.Kind == KPtr && (s.op == "+=" || s.op == "-=") {
@@ -441,6 +459,21 @@ func (c *checker) checkStmt(s stmt) error {
 				return c.errf(s.line, "pointer %s requires integer operand", s.op)
 			}
 			return nil
+		}
+		if lt.Kind == KFloat || decay(rt).Kind == KFloat {
+			// Fixed-point compound assignment: the operation is performed
+			// in the lhs type, with the rhs coerced across the Q16.16
+			// boundary when needed.
+			switch s.op {
+			case "+=", "-=", "*=", "/=":
+			default:
+				return c.errf(s.line, "operator %s not supported on float", s.op)
+			}
+			if !lt.IsArith() || !decay(rt).IsArith() {
+				return c.errf(s.line, "compound assignment requires arithmetic operands")
+			}
+			s.rhs, err = c.coerce(lt, s.rhs)
+			return err
 		}
 		if !lt.IsInteger() || !rt.IsInteger() {
 			return c.errf(s.line, "compound assignment requires integer operands")
@@ -509,7 +542,11 @@ func (c *checker) checkStmt(s stmt) error {
 		if err != nil {
 			return err
 		}
-		return c.assignable(c.curFn.Ret, rt, s.x, s.line)
+		if err := c.assignable(c.curFn.Ret, rt, s.x, s.line); err != nil {
+			return err
+		}
+		s.x, err = c.coerce(c.curFn.Ret, s.x)
+		return err
 	case *breakStmt, *continueStmt:
 		// Loop-nesting validation happens in codegen, which tracks labels.
 	}
@@ -528,10 +565,12 @@ func (c *checker) checkCond(e expr, line int) error {
 }
 
 // assignable checks whether a value of type from can be assigned to type
-// to. Integer types interconvert; pointers must match exactly, except the
-// constant 0 and char* (the malloc result type) convert to any pointer.
+// to. Arithmetic types (integers and the Q16.16 float) interconvert —
+// callers insert the representation-changing coercion via coerce —
+// pointers must match exactly, except the constant 0 and char* (the
+// malloc result type) convert to any pointer.
 func (c *checker) assignable(to, from *CType, fromExpr expr, line int) error {
-	if to.IsInteger() && from.IsInteger() {
+	if to.IsArith() && from.IsArith() {
 		return nil
 	}
 	if to.Kind == KPtr {
@@ -546,6 +585,31 @@ func (c *checker) assignable(to, from *CType, fromExpr expr, line int) error {
 		}
 	}
 	return c.errf(line, "cannot assign %s to %s", from, to)
+}
+
+// coerce wraps e in a synthesized cast to `to` when the value crosses
+// the float/integer representation boundary, so codegen emits the Q16.16
+// shift. Returns e unchanged when no representation change is needed.
+func (c *checker) coerce(to *CType, e expr) (expr, error) {
+	from := c.exprType[e]
+	if from == nil || to == nil {
+		return e, nil
+	}
+	from = decay(from)
+	var base string
+	switch {
+	case to.Kind == KFloat && from.IsInteger():
+		base = "float"
+	case to.IsInteger() && from.Kind == KFloat:
+		base = map[CKind]string{KLong: "long", KInt: "int", KChar: "char"}[to.Kind]
+	default:
+		return e, nil
+	}
+	cast := &castExpr{typ: typeExpr{base: base, arrayLen: -1, line: e.pos()}, x: e, line: e.pos()}
+	if _, err := c.checkExpr(cast); err != nil {
+		return nil, err
+	}
+	return cast, nil
 }
 
 func (c *checker) isLvalue(e expr) bool {

@@ -43,6 +43,8 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 	switch e := e.(type) {
 	case *intLit:
 		return tyLong, nil
+	case *floatLit:
+		return tyFloat, nil
 	case *strLit:
 		c.internString(e)
 		return ptrTo(tyChar), nil
@@ -62,7 +64,15 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 			return nil, err
 		}
 		switch e.op {
-		case "-", "~":
+		case "-":
+			if xt.Kind == KFloat {
+				return tyFloat, nil // negation is raw-exact in Q16.16
+			}
+			if !xt.IsInteger() {
+				return nil, c.errf(e.line, "unary %s requires integer", e.op)
+			}
+			return tyLong, nil
+		case "~":
 			if !xt.IsInteger() {
 				return nil, c.errf(e.line, "unary %s requires integer", e.op)
 			}
@@ -128,6 +138,19 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 			if okPtr || (xt.IsInteger() && yt.IsInteger()) {
 				return tyLong, nil
 			}
+			if xt.IsArith() && yt.IsArith() {
+				// Fixed-point comparison: Q16.16 order matches value
+				// order, so a raw integer compare is exact once both
+				// sides share the representation.
+				var err error
+				if e.x, err = c.coerce(tyFloat, e.x); err != nil {
+					return nil, err
+				}
+				if e.y, err = c.coerce(tyFloat, e.y); err != nil {
+					return nil, err
+				}
+				return tyLong, nil
+			}
 			return nil, c.errf(e.line, "invalid comparison %s %s %s", xt, e.op, yt)
 		case "&&", "||":
 			if xt.IsScalar() && yt.IsScalar() {
@@ -137,6 +160,22 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 		}
 		if xt.IsInteger() && yt.IsInteger() {
 			return tyLong, nil
+		}
+		if xt.IsArith() && yt.IsArith() {
+			// Mixed float/integer arithmetic: both operands move to the
+			// Q16.16 representation and the result is float.
+			switch e.op {
+			case "+", "-", "*", "/":
+				var err error
+				if e.x, err = c.coerce(tyFloat, e.x); err != nil {
+					return nil, err
+				}
+				if e.y, err = c.coerce(tyFloat, e.y); err != nil {
+					return nil, err
+				}
+				return tyFloat, nil
+			}
+			return nil, c.errf(e.line, "operator %s not supported on float", e.op)
 		}
 		return nil, c.errf(e.line, "invalid operands to %s: %s and %s", e.op, xt, yt)
 	case *condExpr:
@@ -154,6 +193,16 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 		tt, et = decay(tt), decay(et)
 		if tt.IsInteger() && et.IsInteger() {
 			return tyLong, nil
+		}
+		if (tt.Kind == KFloat || et.Kind == KFloat) && tt.IsArith() && et.IsArith() {
+			var err error
+			if e.then, err = c.coerce(tyFloat, e.then); err != nil {
+				return nil, err
+			}
+			if e.els, err = c.coerce(tyFloat, e.els); err != nil {
+				return nil, err
+			}
+			return tyFloat, nil
 		}
 		if tt.same(et) {
 			return tt, nil
@@ -182,6 +231,9 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 				return nil, err
 			}
 			if err := c.assignable(fn.Params[i].Type, decay(at), a, e.line); err != nil {
+				return nil, err
+			}
+			if e.args[i], err = c.coerce(fn.Params[i].Type, a); err != nil {
 				return nil, err
 			}
 		}
@@ -242,6 +294,9 @@ func (c *checker) checkExprInner(e expr) (*CType, error) {
 		if !to.IsScalar() || !xt.IsScalar() {
 			return nil, c.errf(e.line, "invalid cast from %s to %s", xt, to)
 		}
+		if to.Kind == KFloat && xt.Kind == KPtr || to.Kind == KPtr && xt.Kind == KFloat {
+			return nil, c.errf(e.line, "invalid cast between float and pointer")
+		}
 		return to, nil
 	case *sizeofExpr:
 		t, err := c.resolveType(e.typ)
@@ -273,7 +328,10 @@ func (c *checker) checkBuiltin(e *callExpr, b *builtin) (*CType, error) {
 			}
 			continue
 		}
-		if want.IsInteger() && at.IsInteger() {
+		if want.IsArith() && at.IsArith() {
+			if e.args[i], err = c.coerce(want, a); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		if want.Kind == KPtr && at.Kind == KPtr {
@@ -295,6 +353,8 @@ func (c *checker) fold(e expr) (int64, bool) {
 	switch e := e.(type) {
 	case *intLit:
 		return e.val, true
+	case *floatLit:
+		return e.raw, true // Q16.16 raw bits are the runtime representation
 	case *sizeofExpr:
 		t, err := c.resolveType(e.typ)
 		if err != nil {
@@ -375,12 +435,22 @@ func (c *checker) fold(e expr) (int64, bool) {
 			return 0, false
 		}
 		if t := c.exprType[e]; t != nil {
+			from := c.exprType[e.x]
+			fromFloat := from != nil && decay(from).Kind == KFloat
+			if fromFloat && t.Kind != KFloat {
+				v >>= 16 // leave the Q16.16 representation
+			}
 			switch t.Kind {
 			case KChar:
 				return int64(int8(v)), true
 			case KInt:
 				return int64(int32(v)), true
 			case KLong:
+				return v, true
+			case KFloat:
+				if !fromFloat {
+					v <<= 16 // enter the Q16.16 representation
+				}
 				return v, true
 			}
 		}

@@ -39,15 +39,16 @@ var keywords = map[string]bool{
 	"struct": true, "typedef": true, "long": true, "int": true,
 	"char": true, "void": true, "if": true, "else": true, "while": true,
 	"for": true, "do": true, "return": true, "break": true,
-	"continue": true, "sizeof": true,
+	"continue": true, "sizeof": true, "union": true, "float": true,
 }
 
 // token is one lexical token.
 type token struct {
-	kind tokKind
-	text string
-	val  int64 // numeric / char value
-	line int
+	kind    tokKind
+	text    string
+	val     int64 // numeric / char value; Q16.16 raw bits when isFloat
+	isFloat bool  // numeric literal contained a fractional part
+	line    int
 }
 
 func (t token) String() string {
@@ -147,6 +148,31 @@ func lex(file, src string) ([]token, error) {
 			}
 			if err != nil {
 				return nil, errf("bad numeric literal %q", text)
+			}
+			// Fractional part: base-10 literals may carry `.digits`,
+			// lowered to Q16.16 fixed point with pure integer math so the
+			// result is bit-exact on every host.
+			if base == 10 && i+1 < n && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				i++ // consume '.'
+				fracStart := i
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+				frac := src[fracStart:i]
+				if len(frac) > 9 {
+					return nil, errf("float literal %q has more than 9 fractional digits", src[start:i])
+				}
+				var fv, pow int64 = 0, 1
+				for k := 0; k < len(frac); k++ {
+					fv = fv*10 + int64(frac[k]-'0')
+					pow *= 10
+				}
+				if v > (1<<47)-1 {
+					return nil, errf("float literal %q out of Q16.16 range", src[start:i])
+				}
+				raw := v<<16 + fv*65536/pow
+				toks = append(toks, token{kind: tokNumber, text: src[start:i], val: raw, isFloat: true, line: line})
+				break
 			}
 			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line})
 		case c == '"':

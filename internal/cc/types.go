@@ -10,10 +10,11 @@ type CKind uint8
 
 // Type kinds.
 const (
-	KVoid CKind = iota
-	KChar       // 1 byte, signed
-	KInt        // 4 bytes, signed
-	KLong       // 8 bytes, signed
+	KVoid  CKind = iota
+	KChar        // 1 byte, signed
+	KInt         // 4 bytes, signed
+	KLong        // 8 bytes, signed
+	KFloat       // 4 bytes, Q16.16 fixed point (deterministic "float")
 	KPtr
 	KStruct
 	KArray
@@ -37,19 +38,23 @@ type StructInfo struct {
 	Complete bool
 }
 
-// Field is one struct member after layout.
+// Field is one struct member after layout. Union is a non-zero group id
+// when the member was declared inside an anonymous union: all members of
+// one group share storage (the same offset).
 type Field struct {
-	Name string
-	Type *CType
-	Off  int64
+	Name  string
+	Type  *CType
+	Off   int64
+	Union int
 }
 
 // Predefined types.
 var (
-	tyVoid = &CType{Kind: KVoid}
-	tyChar = &CType{Kind: KChar}
-	tyInt  = &CType{Kind: KInt}
-	tyLong = &CType{Kind: KLong}
+	tyVoid  = &CType{Kind: KVoid}
+	tyChar  = &CType{Kind: KChar}
+	tyInt   = &CType{Kind: KInt}
+	tyLong  = &CType{Kind: KLong}
+	tyFloat = &CType{Kind: KFloat}
 )
 
 // ptrTo returns a pointer type.
@@ -60,7 +65,7 @@ func (t *CType) Size() int64 {
 	switch t.Kind {
 	case KChar:
 		return 1
-	case KInt:
+	case KInt, KFloat:
 		return 4
 	case KLong, KPtr:
 		return 8
@@ -81,7 +86,7 @@ func (t *CType) Align() int64 {
 	switch t.Kind {
 	case KChar:
 		return 1
-	case KInt:
+	case KInt, KFloat:
 		return 4
 	case KLong, KPtr:
 		return 8
@@ -102,8 +107,12 @@ func (t *CType) IsInteger() bool {
 	return t.Kind == KChar || t.Kind == KInt || t.Kind == KLong
 }
 
-// IsScalar reports whether t fits in a register (integer or pointer).
-func (t *CType) IsScalar() bool { return t.IsInteger() || t.Kind == KPtr }
+// IsArith reports whether t supports arithmetic (integer or fixed-point
+// float).
+func (t *CType) IsArith() bool { return t.IsInteger() || t.Kind == KFloat }
+
+// IsScalar reports whether t fits in a register (arithmetic or pointer).
+func (t *CType) IsScalar() bool { return t.IsArith() || t.Kind == KPtr }
 
 // Field looks up a member by name.
 func (s *StructInfo) Field(name string) (int, *Field) {
@@ -118,20 +127,53 @@ func (s *StructInfo) Field(name string) (int, *Field) {
 // layout computes field offsets, size and alignment. Natural alignment,
 // size rounded up to alignment — the usual C ABI rules the paper's
 // analysis of node/arc offsets depends on.
+//
+// Members of one anonymous-union group share storage: the first member of
+// a group encountered in declaration order places the whole group (sized
+// and aligned to the group's largest member) and later members of the
+// same group reuse that offset without advancing. Because placement is
+// keyed on the group id, the rule stays valid under any LayoutOverride
+// permutation of the fields.
 func (s *StructInfo) layout() error {
-	var off, maxAlign int64 = 0, 1
+	groupSize := map[int]int64{}
+	groupAlign := map[int]int64{}
 	for i := range s.Fields {
 		f := &s.Fields[i]
 		if f.Type.Size() == 0 {
 			return fmt.Errorf("struct %s: field %s has incomplete type", s.Name, f.Name)
 		}
+		if f.Union != 0 {
+			if f.Type.Size() > groupSize[f.Union] {
+				groupSize[f.Union] = f.Type.Size()
+			}
+			if f.Type.Align() > groupAlign[f.Union] {
+				groupAlign[f.Union] = f.Type.Align()
+			}
+		}
+	}
+	groupOff := map[int]int64{}
+	var off, maxAlign int64 = 0, 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
 		a := f.Type.Align()
+		sz := f.Type.Size()
+		if f.Union != 0 {
+			if at, placed := groupOff[f.Union]; placed {
+				f.Off = at
+				continue
+			}
+			a = groupAlign[f.Union]
+			sz = groupSize[f.Union]
+		}
 		if a > maxAlign {
 			maxAlign = a
 		}
 		off = (off + a - 1) &^ (a - 1)
 		f.Off = off
-		off += f.Type.Size()
+		if f.Union != 0 {
+			groupOff[f.Union] = off
+		}
+		off += sz
 	}
 	s.Align = maxAlign
 	s.Size = (off + maxAlign - 1) &^ (maxAlign - 1)
@@ -175,6 +217,11 @@ func (t *CType) String() string {
 			return t.Typedef
 		}
 		return "long"
+	case KFloat:
+		if t.Typedef != "" {
+			return t.Typedef
+		}
+		return "float"
 	case KPtr:
 		return t.Elem.String() + " *"
 	case KStruct:
@@ -189,8 +236,8 @@ func (t *CType) String() string {
 // "cost_t=long" for typedefs of base types.
 func (t *CType) displayName() string {
 	switch t.Kind {
-	case KLong, KInt, KChar:
-		base := map[CKind]string{KLong: "long", KInt: "int", KChar: "char"}[t.Kind]
+	case KLong, KInt, KChar, KFloat:
+		base := map[CKind]string{KLong: "long", KInt: "int", KChar: "char", KFloat: "float"}[t.Kind]
 		if t.Typedef != "" && t.Typedef != base {
 			return t.Typedef + "=" + base
 		}

@@ -142,9 +142,9 @@ func fetchReport(t *testing.T, client *http.Client, base, name, arg string, ids 
 	return resp.StatusCode, body
 }
 
-// reportArgs supplies arguments for the arg-taking reports (the MCF
+// mcfReportArgs supplies arguments for the arg-taking reports (the MCF
 // workload's hot function, struct, and allocating function).
-var reportArgs = map[string]string{
+var mcfReportArgs = map[string]string{
 	"source":       "refresh_potential",
 	"disasm":       "refresh_potential",
 	"members":      "node",
@@ -152,11 +152,22 @@ var reportArgs = map[string]string{
 	"obj-timeline": "read_min",
 }
 
-// clusterSpecs are three distinct jobs (distinct config hashes) small
-// enough for CI: the paper's two-pass counter split plus a third
-// instance size. Provenance is on so the replicated experiments carry
-// prov.pv2 shards and the object-centric reports render over the
-// cluster.
+// nbodyReportArgs is the same for the n-body workload: the force loop
+// and the layout struct the advisor splits.
+var nbodyReportArgs = map[string]string{
+	"source":       "force_pass",
+	"disasm":       "force_pass",
+	"members":      "lnode",
+	"callers":      "force_pass",
+	"obj-timeline": "main",
+}
+
+// clusterSpecs are four distinct jobs (distinct config hashes) small
+// enough for CI: the paper's two-pass counter split, a third MCF
+// instance size, and an n-body collect — the second workload family
+// goes through the same distributed reduction. Provenance is on so the
+// replicated experiments carry prov.pv2 shards and the object-centric
+// reports render over the cluster.
 func clusterSpecs() []profd.JobSpec {
 	return []profd.JobSpec{
 		{Program: profd.ProgramMCF, Trips: 100, Clock: true, Provenance: true,
@@ -165,6 +176,8 @@ func clusterSpecs() []profd.JobSpec {
 			Counters: "+ecref,997,+dtlbm,251", MachineConfig: "scaled"},
 		{Program: profd.ProgramMCF, Trips: 130, Clock: true, Provenance: true,
 			Counters: "+ecstall,10007,+ecrm,503", MachineConfig: "scaled"},
+		{Program: profd.ProgramNBody, Trips: 150, Clock: true, Provenance: true,
+			Counters: "+ecstall,2003,+ecrm,251", MachineConfig: "scaled"},
 	}
 }
 
@@ -194,7 +207,7 @@ func serialReference(t *testing.T, store *profd.Store, ids []string) *analyzer.A
 
 // compareReports renders every registered report both ways and
 // requires byte identity.
-func compareReports(t *testing.T, ref *analyzer.Analyzer, client *http.Client, base string, ids []string, phase string) {
+func compareReports(t *testing.T, ref *analyzer.Analyzer, client *http.Client, base string, ids []string, phase string, reportArgs map[string]string) {
 	t.Helper()
 	for _, name := range analyzer.ReportNames() {
 		token, arg := name, reportArgs[name]
@@ -265,10 +278,12 @@ func TestClusterGolden(t *testing.T) {
 		t.Errorf("jobs landed on %d nodes, want ≥ 2", onNodes)
 	}
 
-	// Phase 1: healthy cluster, single-experiment queries.
+	// Phase 1: healthy cluster, single-experiment queries — two MCF
+	// experiments and the n-body one, each against its serial reference.
 	for _, id := range ids[:2] {
-		compareReports(t, serialReference(t, tc.store, []string{id}), tc.client, tc.srv.URL, []string{id}, "healthy")
+		compareReports(t, serialReference(t, tc.store, []string{id}), tc.client, tc.srv.URL, []string{id}, "healthy", mcfReportArgs)
 	}
+	compareReports(t, serialReference(t, tc.store, ids[3:]), tc.client, tc.srv.URL, ids[3:], "healthy-nbody", nbodyReportArgs)
 	if remote := tc.coord.partialsRemote.Load(); remote == 0 {
 		t.Error("healthy phase used no remote partials")
 	}
@@ -314,14 +329,15 @@ func TestClusterGolden(t *testing.T) {
 			killOnce.Do(victim.srv.Close)
 		}
 	})
-	compareReports(t, serialReference(t, tc.store, ids), tc.client, tc.srv.URL, ids, "crash")
+	mcfIDs := ids[:3]
+	compareReports(t, serialReference(t, tc.store, mcfIDs), tc.client, tc.srv.URL, mcfIDs, "crash", mcfReportArgs)
 	tc.coord.setOnPartial(nil)
 	if local := tc.coord.partialsLocal.Load(); local == 0 {
 		t.Error("crash phase recomputed no partials locally (worker kill had no effect)")
 	}
 
 	// The memoized analyzer keeps serving identical bytes afterwards.
-	compareReports(t, serialReference(t, tc.store, ids), tc.client, tc.srv.URL, ids, "after-crash")
+	compareReports(t, serialReference(t, tc.store, mcfIDs), tc.client, tc.srv.URL, mcfIDs, "after-crash", mcfReportArgs)
 }
 
 // TestClusterReassignsDeadWorker drives the reassignment path without
@@ -373,7 +389,7 @@ func TestClusterReassignsDeadWorker(t *testing.T) {
 	}
 	// The rescued experiment serves reports.
 	compareReports(t, serialReference(t, tc.store, []string{st.Experiment}),
-		tc.client, tc.srv.URL, []string{st.Experiment}, "reassigned")
+		tc.client, tc.srv.URL, []string{st.Experiment}, "reassigned", mcfReportArgs)
 }
 
 // TestClusterReassignsFaultedStore injects a storage crash (faultfs)
@@ -400,5 +416,5 @@ func TestClusterReassignsFaultedStore(t *testing.T) {
 		t.Error("reassignment counter is zero")
 	}
 	compareReports(t, serialReference(t, tc.store, []string{st.Experiment}),
-		tc.client, tc.srv.URL, []string{st.Experiment}, "store-fault")
+		tc.client, tc.srv.URL, []string{st.Experiment}, "store-fault", mcfReportArgs)
 }

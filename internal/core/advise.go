@@ -8,12 +8,16 @@ import (
 	"dsprof/internal/advisor"
 	"dsprof/internal/analyzer"
 	"dsprof/internal/cc"
+	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
+	"dsprof/internal/nbody"
 )
 
-// advise.go is the closed-loop MCF harness shared by cmd/dsadvise and
-// internal/profd: profile a baseline, run the data-layout advisor over
-// it, and validate every recommendation with a measured re-run.
+// advise.go is the closed-loop advisor harness shared by cmd/dsadvise
+// and internal/profd: profile a baseline, run the data-layout advisor
+// over it, and validate every recommendation with a measured re-run.
+// Two bundled workloads plug into the same loop: the MCF network
+// simplex (§3's case study) and the n-body force-layout kernel.
 
 // MCFTarget builds the advisor's rebuild-and-re-run target for an MCF
 // study configuration.
@@ -45,6 +49,52 @@ func ScaledIntervals(trips int) PaperIntervals {
 	return PaperIntervals{ECStall: 20011, ECRdMiss: 1009, ECRef: 4001, DTLBMiss: 503}
 }
 
+// NBodyStudyParams configure one n-body profiling study.
+type NBodyStudyParams struct {
+	Papers  int
+	Seed    uint64
+	Variant nbody.Variant
+	// HWCProf disables -xhwcprof when false.
+	HWCProf bool
+	Machine *machine.Config
+}
+
+// DefaultNBodyStudy returns the standard scaled n-body study: a graph
+// whose node array is ~36× the study machine's D$, so the force loop's
+// member accesses dominate the miss profile the way MCF's node walk
+// does in §3.1.
+func DefaultNBodyStudy() NBodyStudyParams {
+	return NBodyStudyParams{Papers: 2000, Seed: 20030717, Variant: nbody.VariantBaseline, HWCProf: true}
+}
+
+// NBodyTarget builds the advisor's rebuild-and-re-run target for an
+// n-body study configuration.
+func NBodyTarget(p NBodyStudyParams) advisor.Target {
+	cfg := StudyMachine()
+	if p.Machine != nil {
+		cfg = *p.Machine
+	}
+	return advisor.Target{
+		Sources: nbody.Source(p.Variant),
+		Options: cc.Options{
+			Name:    "nbody-" + p.Variant.String(),
+			HWCProf: p.HWCProf,
+		},
+		Input:   nbody.Generate(nbody.DefaultGenParams(p.Papers, p.Seed)).Encode(),
+		Machine: &cfg,
+	}
+}
+
+// NBodyIntervals picks overflow intervals for an n-body baseline: the
+// kernel is an order of magnitude shorter than a scaled MCF run, so
+// sub-paper instances use proportionally smaller primes.
+func NBodyIntervals(papers int) PaperIntervals {
+	if papers >= 10000 {
+		return PaperIntervals{}
+	}
+	return PaperIntervals{ECStall: 2003, ECRdMiss: 251, ECRef: 1009, DTLBMiss: 127, ClockTick: 90001}
+}
+
 // AdviseParams configure one closed advisor loop.
 type AdviseParams struct {
 	Study     StudyParams
@@ -52,11 +102,21 @@ type AdviseParams struct {
 	Advisor   advisor.Options
 }
 
+// NBodyAdviseParams configure one closed advisor loop on the n-body
+// workload.
+type NBodyAdviseParams struct {
+	Study     NBodyStudyParams
+	Intervals PaperIntervals
+	Advisor   advisor.Options
+}
+
 // AdviseRun is a completed loop: baseline profile, ranked advice, and
-// the measured validation of each recommendation.
+// the measured validation of each recommendation. Exactly one of
+// Output (MCF) and NBody (n-body) is set, per the workload advised.
 type AdviseRun struct {
 	Baseline *analyzer.Analyzer
 	Output   *mcf.Output
+	NBody    *nbody.Output
 	Advice   *advisor.Advice
 	Valid    *advisor.Validation
 }
@@ -93,6 +153,41 @@ func AdviseMCF(ctx context.Context, p AdviseParams) (*AdviseRun, error) {
 		return nil, err
 	}
 	return &AdviseRun{Baseline: a, Output: out, Advice: adv, Valid: valid}, nil
+}
+
+// AdviseNBody runs the same closed loop on the n-body workload:
+// two-experiment baseline profile, advisor analysis, and one validated
+// re-run per recommendation. The kernel's output vector is layout
+// invariant, so the output-identity gate applies unchanged.
+func AdviseNBody(ctx context.Context, p NBodyAdviseParams) (*AdviseRun, error) {
+	if p.Study.Papers == 0 {
+		p.Study = DefaultNBodyStudy()
+	}
+	target := NBodyTarget(p.Study)
+	prog, err := cc.Compile(target.Sources, target.Options)
+	if err != nil {
+		return nil, err
+	}
+	a, resA, _, err := ProfilePaperStyle(prog, target.Input, target.Machine, p.Intervals)
+	if err != nil {
+		return nil, err
+	}
+	out, err := nbody.ParseOutput(resA.Machine.OutputLongs())
+	if err != nil {
+		return nil, err
+	}
+	if out.Status != 0 {
+		return nil, fmt.Errorf("nbody baseline run failed with status %d", out.Status)
+	}
+	adv, err := advisor.Analyze(a, p.Advisor)
+	if err != nil {
+		return nil, err
+	}
+	valid, err := advisor.Validate(ctx, target, adv, a)
+	if err != nil {
+		return nil, err
+	}
+	return &AdviseRun{Baseline: a, NBody: out, Advice: adv, Valid: valid}, nil
 }
 
 // WriteReport renders the loop's report: the advice report (through the

@@ -14,8 +14,17 @@ import (
 	"dsprof/internal/cc"
 	"dsprof/internal/collect"
 	"dsprof/internal/experiment"
+	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
+	"dsprof/internal/nbody"
 )
+
+// goldenSet is one collect invocation of a three-way backend golden.
+type goldenSet struct {
+	name  string
+	clock bool
+	spec  string
+}
 
 // TestFastPathGolden is the differential golden test for the batched
 // execution engines: a full MCF collect — both of the paper's counter
@@ -34,11 +43,7 @@ func TestFastPathGolden(t *testing.T) {
 	cfg := StudyMachine()
 	cfg.TLB.Entries = 8 // scaled-down TLB so DTLB events appear at this scale
 
-	counterSets := []struct {
-		name  string
-		clock bool
-		spec  string
-	}{
+	counterSets := []goldenSet{
 		{"A", true, "+ecstall,20011,+ecrm,997"},
 		{"B", false, "+ecref,2003,+dtlbm,499"},
 		// I$ misses alongside D$ read misses: the two event classes whose
@@ -46,7 +51,51 @@ func TestFastPathGolden(t *testing.T) {
 		// per-access respectively, in one run.
 		{"C", true, "+icm,61,+dcrm,757"},
 	}
+	reports := []string{
+		"total", "functions", "pcs", "lines", "objects", "addrspace",
+		"effect", "feedback",
+		"source=refresh_potential", "disasm=refresh_potential",
+		"members=node", "callers=refresh_potential",
+		"obj-timeline=read_min",
+	}
+	runThreeWayGolden(t, prog, input, cfg, counterSets, reports)
+}
 
+// TestFastPathGoldenNBody is the same three-way golden over the second
+// workload family: the n-body force-layout kernel, whose Q16.16 float
+// lowering and anonymous-union members must simulate identically on all
+// three engines. Byte-identical experiment directories here are what
+// let profd's ConfigHash keep excluding Backend for nbody jobs too.
+func TestFastPathGoldenNBody(t *testing.T) {
+	prog, err := nbody.Program(nbody.VariantBaseline, cc.Options{HWCProf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := nbody.Generate(nbody.DefaultGenParams(400, 20030717)).Encode()
+	cfg := StudyMachine()
+	cfg.TLB.Entries = 8            // scaled-down TLB so DTLB events appear
+	cfg.ECache.SizeBytes = 1 << 15 // 32 KB E$ so the small graph still misses it
+
+	counterSets := []goldenSet{
+		{"A", true, "+ecstall,2003,+ecrm,251"},
+		{"B", false, "+ecref,1009,+dtlbm,127"},
+	}
+	reports := []string{
+		"total", "functions", "pcs", "lines", "objects", "addrspace",
+		"effect", "feedback",
+		"source=force_pass", "disasm=force_pass",
+		"members=lnode", "callers=force_pass",
+		"obj-timeline=main",
+	}
+	runThreeWayGolden(t, prog, input, cfg, counterSets, reports)
+}
+
+// runThreeWayGolden collects every counter set on the reference
+// stepper, the fast interpreter and the translated backend, then
+// requires byte-identical experiment directories and byte-identical
+// renderings of every registered report.
+func runThreeWayGolden(t *testing.T, prog *asm.Program, input []int64, cfg machine.Config, counterSets []goldenSet, reports []string) {
+	t.Helper()
 	collectPair := func(singleStep bool, backend string) ([]*experiment.Experiment, []string) {
 		var exps []*experiment.Experiment
 		var dirs []string
@@ -105,13 +154,6 @@ func TestFastPathGolden(t *testing.T) {
 	transA, err := Analyze(transExps...)
 	if err != nil {
 		t.Fatal(err)
-	}
-	reports := []string{
-		"total", "functions", "pcs", "lines", "objects", "addrspace",
-		"effect", "feedback",
-		"source=refresh_potential", "disasm=refresh_potential",
-		"members=node", "callers=refresh_potential",
-		"obj-timeline=read_min",
 	}
 	for _, name := range analyzer.ReportNames() {
 		switch name {

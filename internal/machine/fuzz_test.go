@@ -167,6 +167,13 @@ func FuzzBackendDifferential(f *testing.F) {
 	f.Add([]byte{8, 7, 0, 1, 16, 3, 14, 0, 9, 12, 17, 0, 14, 8, 3, 200, 16, 90})
 	f.Add([]byte{4, 6, 1, 0, 14, 0, 14, 64, 15, 128, 14, 8, 16, 250, 11, 48, 15, 0})
 	f.Add([]byte{6, 3, 0, 2, 15, 0, 15, 8, 15, 16, 14, 24, 17, 0, 16, 5, 14, 0})
+	// Fixed-point corpus: Q16.16-style Mul/Div/Sll/Sra chains, the op mix
+	// the cc float lowering emits, under E$-stall + D$-miss arming.
+	f.Add([]byte{6, 3, 2, 17, 6, 16, 7, 48, 3, 9, 2, 130, 6, 240, 7, 32, 16, 2})
+	f.Add([]byte{8, 7, 8, 200, 2, 40, 7, 16, 6, 16, 3, 50, 11, 8, 9, 8, 2, 3, 7, 63, 16, 250})
+	// Mixed-width same-offset stores and loads (the union aliasing shape):
+	// StW@128/LdW@129 and StX@0/LdX@1 also cross the misalignment path.
+	f.Add([]byte{3, 5, 11, 16, 9, 16, 12, 32, 10, 32, 11, 48, 9, 48, 12, 0, 10, 0, 16, 4})
 	seed := make([]byte, 120)
 	for i := range seed {
 		seed[i] = byte(i*37 + 11)

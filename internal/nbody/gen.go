@@ -1,0 +1,150 @@
+// Package nbody provides the second bundled workload: a
+// paperscape-style hierarchical n-body force layout over a citation
+// graph. Each paper is a leaf node with hot position/force fields and
+// cold metadata; pairs of leaves aggregate into coarse nodes whose
+// duplicate links are combined, the coarse graph relaxes first, and the
+// result seeds the fine relaxation — a pointer-chasing kernel whose
+// struct-layout behavior differs sharply from MCF's.
+//
+// The package contains:
+//
+//   - a seeded deterministic citation-graph generator,
+//   - the layout/force kernel written in the MC source dialect, with the
+//     link representation as a compile-time variant (pointer+float
+//     baseline vs the hand-packed compressed-links encoding),
+//   - a Go reference model mirroring the kernel's Q16.16 fixed-point
+//     arithmetic bit for bit, used to validate outputs.
+package nbody
+
+import (
+	"fmt"
+
+	"dsprof/internal/xrand"
+)
+
+// Link is one citation edge a -> b (a cites b, a > b) with an integer
+// weight in [1, 9].
+type Link struct {
+	A, B   int32
+	Weight int32
+}
+
+// Instance is a citation graph plus iteration counts.
+type Instance struct {
+	N           int     // papers (always even; leaves pair into coarse nodes)
+	Masses      []int64 // length N, values in [1, 8]
+	Links       []Link
+	CoarseIters int
+	FineIters   int
+}
+
+// GenParams control the citation-graph generator.
+type GenParams struct {
+	Papers      int    // leaf count (rounded up to even)
+	Seed        uint64 // PRNG seed
+	CoarseIters int
+	FineIters   int
+	MaxDegree   int // citations generated per paper, in [1, MaxDegree]
+}
+
+// DefaultGenParams sizes an instance of the given paper count with
+// iteration counts that keep the coarse and fine relaxations both
+// prominent in the profile.
+func DefaultGenParams(papers int, seed uint64) GenParams {
+	return GenParams{
+		Papers:      papers,
+		Seed:        seed,
+		CoarseIters: 30,
+		FineIters:   60,
+		MaxDegree:   3,
+	}
+}
+
+// Generate builds a citation graph: paper i cites 1..MaxDegree earlier
+// papers (uniformly among 0..i-1), so edges always point from the higher
+// index to the lower and the graph is connected and acyclic.
+func Generate(p GenParams) *Instance {
+	if p.Papers < 2 {
+		p.Papers = 2
+	}
+	if p.Papers%2 == 1 {
+		p.Papers++
+	}
+	if p.MaxDegree < 1 {
+		p.MaxDegree = 1
+	}
+	if p.CoarseIters < 0 {
+		p.CoarseIters = 0
+	}
+	if p.FineIters < 0 {
+		p.FineIters = 0
+	}
+	r := xrand.New(p.Seed)
+	ins := &Instance{
+		N:           p.Papers,
+		Masses:      make([]int64, p.Papers),
+		CoarseIters: p.CoarseIters,
+		FineIters:   p.FineIters,
+	}
+	for i := range ins.Masses {
+		ins.Masses[i] = 1 + int64(r.Intn(8))
+	}
+	for i := 1; i < p.Papers; i++ {
+		deg := 1 + r.Intn(p.MaxDegree)
+		for d := 0; d < deg; d++ {
+			j := r.Intn(i)
+			w := 1 + r.Intn(9)
+			ins.Links = append(ins.Links, Link{A: int32(i), B: int32(j), Weight: int32(w)})
+		}
+	}
+	return ins
+}
+
+// Encode serializes the instance as the input vector of the MC program:
+//
+//	n, m, coarse_iters, fine_iters,
+//	masses[0..n-1],
+//	m * (a, b, weight)
+func (ins *Instance) Encode() []int64 {
+	out := make([]int64, 0, 4+ins.N+3*len(ins.Links))
+	out = append(out, int64(ins.N), int64(len(ins.Links)),
+		int64(ins.CoarseIters), int64(ins.FineIters))
+	out = append(out, ins.Masses...)
+	for _, l := range ins.Links {
+		out = append(out, int64(l.A), int64(l.B), int64(l.Weight))
+	}
+	return out
+}
+
+// Decode parses an encoded instance (inverse of Encode).
+func Decode(in []int64) (*Instance, error) {
+	if len(in) < 4 {
+		return nil, fmt.Errorf("nbody: truncated instance")
+	}
+	n, m := int(in[0]), int(in[1])
+	ci, fi := int(in[2]), int(in[3])
+	if n < 2 || n%2 != 0 || m < 0 || ci < 0 || fi < 0 || len(in) != 4+n+3*m {
+		return nil, fmt.Errorf("nbody: malformed instance (n=%d m=%d len=%d)", n, m, len(in))
+	}
+	ins := &Instance{N: n, Masses: make([]int64, n), CoarseIters: ci, FineIters: fi}
+	for i := 0; i < n; i++ {
+		mass := in[4+i]
+		if mass < 1 || mass > 8 {
+			return nil, fmt.Errorf("nbody: paper %d has mass %d outside [1,8]", i, mass)
+		}
+		ins.Masses[i] = mass
+	}
+	off := 4 + n
+	for i := 0; i < m; i++ {
+		a, b, w := in[off], in[off+1], in[off+2]
+		off += 3
+		if a <= b || b < 0 || a >= int64(n) {
+			return nil, fmt.Errorf("nbody: bad link %d -> %d", a, b)
+		}
+		if w < 1 || w > 9 {
+			return nil, fmt.Errorf("nbody: link %d -> %d has weight %d outside [1,9]", a, b, w)
+		}
+		ins.Links = append(ins.Links, Link{A: int32(a), B: int32(b), Weight: int32(w)})
+	}
+	return ins, nil
+}

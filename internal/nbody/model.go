@@ -1,0 +1,186 @@
+package nbody
+
+// Go reference model of the kernel, mirroring the MC program statement
+// for statement at the Q16.16 bit level:
+//
+//   - float struct members are 4 bytes: every store truncates to int32
+//     and every load sign-extends — modeled by typing the fields int32;
+//   - register temporaries are 64-bit — modeled as int64 locals;
+//   - float multiply lowers to Mul;Sra 16 (floor), divide to Sll 16;Div
+//     (machine Div truncates toward zero, exactly Go's /);
+//   - (float)i is i<<16, (long)f is f>>16 (arithmetic, floors).
+//
+// Both source variants (pointer+float links and compressed long links)
+// compute identical values, so one model covers both.
+
+// Q16.16 raw constants appearing in the kernel source.
+const (
+	rawSpring  = 4096      // 0.0625
+	rawAttract = 256       // 0.00390625
+	rawQuarter = 16384     // 0.25
+	rawHalf    = 32768     // 0.5
+	raw4       = 4 << 16   // 4.0
+	raw256     = 256 << 16 // 256.0
+	raw4096    = 4096 << 16
+)
+
+func fmul(a, b int64) int64 { return (a * b) >> 16 }
+func toLong(f int64) int64  { return f >> 16 }
+
+type mlink struct {
+	target int
+	weight int64 // integer weight; raw float value is weight<<16
+}
+
+type mnode struct {
+	flags        int64
+	numLinks     int64
+	links        []mlink
+	paper        int // leaf: index into masses
+	child0       int // coarse: child indices in the fine array
+	child1       int
+	mass, radius int64
+	x, y, fx, fy int32
+}
+
+func forcePass(ns []mnode) {
+	for i := range ns {
+		p := &ns[i]
+		p.fx = int32(0 - fmul(int64(p.x), rawSpring))
+		p.fy = int32(0 - fmul(int64(p.y), rawSpring))
+	}
+	for i := range ns {
+		// Links are stored in both directions, so the force accumulates
+		// only into the owning node.
+		for k := int64(0); k < ns[i].numLinks; k++ {
+			l := ns[i].links[k]
+			q := l.target
+			w := l.weight << 16
+			dx := int64(ns[q].x) - int64(ns[i].x)
+			dy := int64(ns[q].y) - int64(ns[i].y)
+			ns[i].fx = int32(int64(ns[i].fx) + fmul(fmul(dx, w), rawAttract))
+			ns[i].fy = int32(int64(ns[i].fy) + fmul(fmul(dy, w), rawAttract))
+		}
+	}
+	for i := range ns {
+		p := &ns[i]
+		p.x = int32(int64(p.x) + fmul(int64(p.fx), rawQuarter))
+		p.y = int32(int64(p.y) + fmul(int64(p.fy), rawQuarter))
+	}
+}
+
+func combineLinks(p *mnode) {
+	pl := p.links
+	for k := int64(0); k < p.numLinks; k++ {
+		q2 := k + 1
+		for q2 < p.numLinks {
+			if pl[q2].target == pl[k].target {
+				pl[k].weight += pl[q2].weight
+				for t := q2; t+1 < p.numLinks; t++ {
+					pl[t] = pl[t+1]
+				}
+				p.numLinks--
+			} else {
+				q2++
+			}
+		}
+	}
+}
+
+// Simulate runs the reference model and returns the output the MC
+// kernel writes for the same instance.
+func Simulate(ins *Instance) *Output {
+	_, out := simulateNodes(ins)
+	return out
+}
+
+// simulateNodes additionally exposes the final fine-node state, which
+// the property tests compare against a float64 reference.
+func simulateNodes(ins *Instance) ([]mnode, *Output) {
+	n := ins.N
+	nodes := make([]mnode, n)
+	for i := 0; i < n; i++ {
+		p := &nodes[i]
+		p.flags = 1
+		p.paper = i
+		p.mass = ins.Masses[i]
+		p.radius = p.mass / 2
+		p.x = int32((int64(i)*37%101 - 50) << 16)
+		p.y = int32((int64(i)*53%89 - 44) << 16)
+	}
+	for _, e := range ins.Links {
+		a, b := int(e.A), int(e.B)
+		nodes[a].links = append(nodes[a].links, mlink{target: b, weight: int64(e.Weight)})
+		nodes[a].numLinks++
+		nodes[b].links = append(nodes[b].links, mlink{target: a, weight: int64(e.Weight)})
+		nodes[b].numLinks++
+	}
+
+	cn := n / 2
+	cnodes := make([]mnode, cn)
+	for i := 0; i < cn; i++ {
+		c := &cnodes[i]
+		c.flags = 2
+		c.child0 = 2 * i
+		c.child1 = 2*i + 1
+		a, b := &nodes[c.child0], &nodes[c.child1]
+		c.mass = a.mass + b.mass
+		c.radius = c.mass / 2
+		c.x = int32(fmul(int64(a.x)+int64(b.x), rawHalf))
+		c.y = int32(fmul(int64(a.y)+int64(b.y), rawHalf))
+	}
+	for _, e := range ins.Links {
+		pa, pb := int(e.A)/2, int(e.B)/2
+		if pa != pb {
+			cnodes[pa].links = append(cnodes[pa].links, mlink{target: pb, weight: int64(e.Weight)})
+			cnodes[pa].numLinks++
+			cnodes[pb].links = append(cnodes[pb].links, mlink{target: pa, weight: int64(e.Weight)})
+			cnodes[pb].numLinks++
+		}
+	}
+	for i := range cnodes {
+		combineLinks(&cnodes[i])
+	}
+	var clinks int64
+	for i := range cnodes {
+		clinks += cnodes[i].numLinks
+	}
+
+	for it := 0; it < ins.CoarseIters; it++ {
+		forcePass(cnodes)
+	}
+	for i := range cnodes {
+		c := &cnodes[i]
+		off := fmul(c.radius<<16, rawQuarter)
+		nodes[c.child0].x = int32(int64(c.x) - off)
+		nodes[c.child0].y = int32(int64(c.y) - off)
+		nodes[c.child1].x = int32(int64(c.x) + off)
+		nodes[c.child1].y = int32(int64(c.y) + off)
+	}
+	for it := 0; it < ins.FineIters; it++ {
+		forcePass(nodes)
+	}
+
+	var poschk, forcechk, paperchk, masschk int64
+	for i := 0; i < n; i++ {
+		p := &nodes[i]
+		poschk += toLong(fmul(int64(p.x), raw256))*int64(i+1) + toLong(fmul(int64(p.y), raw256))
+		forcechk += toLong(fmul(int64(p.fx), raw4096)) + toLong(fmul(int64(p.fy), raw4096))
+		paperchk += ins.Masses[p.paper] * (toLong(fmul(int64(p.x), raw4)) + int64(i))
+	}
+	for i := range cnodes {
+		c := &cnodes[i]
+		masschk += c.mass + nodes[c.child1].flags
+	}
+
+	return nodes, &Output{
+		Status:      0,
+		N:           int64(n),
+		CoarseLinks: clinks,
+		PosChk:      poschk,
+		ForceChk:    forcechk,
+		PaperChk:    paperchk,
+		MassChk:     masschk,
+		CN:          int64(cn),
+	}
+}

@@ -1,0 +1,56 @@
+package nbody
+
+import (
+	"fmt"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+)
+
+// Source returns the kernel as a compiler input for the variant.
+func Source(v Variant) []cc.Source {
+	return []cc.Source{{Name: "nbody.mc", Text: SourceText(v)}}
+}
+
+// Program compiles the kernel for the variant with the given options.
+func Program(v Variant, opts cc.Options) (*asm.Program, error) {
+	if opts.Name == "" {
+		opts.Name = "nbody-" + v.String()
+	}
+	return cc.Compile(Source(v), opts)
+}
+
+// Output is the kernel's result vector: eight longs, all invariant
+// under struct-layout changes (no addresses, no cycle counts).
+type Output struct {
+	Status      int64 // 0 on success
+	N           int64 // fine node count
+	CoarseLinks int64 // coarse links remaining after combine_links
+	PosChk      int64 // position checksum over fine nodes
+	ForceChk    int64 // residual-force checksum over fine nodes
+	PaperChk    int64 // checksum mixing positions with paper metadata
+	MassChk     int64 // coarse mass + child-flags checksum
+	CN          int64 // coarse node count
+}
+
+// ParseOutput decodes the kernel's output vector.
+func ParseOutput(longs []int64) (*Output, error) {
+	if len(longs) != 8 {
+		return nil, fmt.Errorf("nbody: output has %d longs, want 8", len(longs))
+	}
+	return &Output{
+		Status:      longs[0],
+		N:           longs[1],
+		CoarseLinks: longs[2],
+		PosChk:      longs[3],
+		ForceChk:    longs[4],
+		PaperChk:    longs[5],
+		MassChk:     longs[6],
+		CN:          longs[7],
+	}, nil
+}
+
+func (o *Output) Longs() []int64 {
+	return []int64{o.Status, o.N, o.CoarseLinks, o.PosChk, o.ForceChk,
+		o.PaperChk, o.MassChk, o.CN}
+}

@@ -1,0 +1,255 @@
+package nbody
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dsprof/internal/asm"
+	"dsprof/internal/cc"
+	"dsprof/internal/machine"
+)
+
+func runKernel(t *testing.T, prog *asm.Program, input []int64) []int64 {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.MaxInstrs = 500_000_000
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog.Text, prog.Data, prog.Entry); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInput(input)
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m.OutputLongs()
+}
+
+func compileVariant(t *testing.T, v Variant, opts cc.Options) *asm.Program {
+	t.Helper()
+	prog, err := Program(v, opts)
+	if err != nil {
+		t.Fatalf("Program(%v): %v", v, err)
+	}
+	return prog
+}
+
+func TestGenerateEncodeDecode(t *testing.T) {
+	ins := Generate(DefaultGenParams(50, 7)) // odd count rounds up
+	if ins.N != 50 {
+		t.Fatalf("N = %d, want 50", ins.N)
+	}
+	back, err := Decode(ins.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(ins, back) {
+		t.Fatal("Decode(Encode(ins)) != ins")
+	}
+	if _, err := Decode([]int64{3, 0, 1, 1, 1, 1, 1}); err == nil {
+		t.Fatal("odd n decoded without error")
+	}
+}
+
+// The two link encodings and the Go twin must agree bit for bit: the
+// output vector is layout- and variant-invariant.
+func TestVariantsMatchModel(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 20030717} {
+		ins := Generate(DefaultGenParams(60, seed))
+		input := ins.Encode()
+		want := Simulate(ins).Longs()
+		for _, v := range []Variant{VariantBaseline, VariantCompressed} {
+			prog := compileVariant(t, v, cc.Options{HWCProf: true})
+			got := runKernel(t, prog, input)
+			out, err := ParseOutput(got)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, v, err)
+			}
+			if out.Status != 0 {
+				t.Fatalf("seed %d %v: status %d", seed, v, out.Status)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d %v: output %v, want %v (Go model)", seed, v, got, want)
+			}
+		}
+	}
+}
+
+// Advisor-style layout overrides on struct lnode must not change the
+// output: every output long is layout-invariant, which is what lets the
+// closed loop validate recompiles by output identity.
+func TestLayoutOverrideInvariance(t *testing.T) {
+	ins := Generate(DefaultGenParams(40, 9))
+	input := ins.Encode()
+	want := runKernel(t, compileVariant(t, VariantBaseline, cc.Options{HWCProf: true}), input)
+	overrides := []*cc.LayoutOverride{
+		// Hot force-loop members first (the split/reorder the advisor
+		// should rediscover), cold metadata last.
+		{Order: []string{"num_links", "links", "x", "y", "fx", "fy",
+			"mass", "radius", "parent", "paper", "child0", "child1", "flags"}},
+		// Same plus padding to a power of two.
+		{Order: []string{"num_links", "links", "x", "y", "fx", "fy",
+			"mass", "radius", "parent", "paper", "child0", "child1", "flags"}, PadTo: 128},
+		// A hostile permutation: the union's arms land wherever their
+		// first member is seen and must stay co-located.
+		{Order: []string{"paper", "fy", "flags", "x", "child1", "links",
+			"mass", "num_links", "child0", "parent", "radius", "y", "fx"}},
+	}
+	for i, ov := range overrides {
+		prog := compileVariant(t, VariantBaseline, cc.Options{
+			HWCProf:         true,
+			LayoutOverrides: map[string]*cc.LayoutOverride{"lnode": ov},
+		})
+		got := runKernel(t, prog, input)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("override %d: output %v, want %v", i, got, want)
+		}
+	}
+}
+
+// float64 reference of the kernel, same algorithm in real arithmetic.
+// The fixed-point lowering must track it within a bounded error.
+func simulateFloat(ins *Instance) (xs, ys []float64) {
+	n := ins.N
+	type fnode struct {
+		numLinks     int
+		links        []mlink
+		mass, radius float64
+		x, y, fx, fy float64
+	}
+	nodes := make([]fnode, n)
+	for i := 0; i < n; i++ {
+		p := &nodes[i]
+		p.mass = float64(ins.Masses[i])
+		p.radius = float64(ins.Masses[i] / 2) // kernel divides integers
+		p.x = float64(int64(i)*37%101 - 50)
+		p.y = float64(int64(i)*53%89 - 44)
+	}
+	for _, e := range ins.Links {
+		a, b := int(e.A), int(e.B)
+		nodes[a].links = append(nodes[a].links, mlink{target: b, weight: int64(e.Weight)})
+		nodes[a].numLinks++
+		nodes[b].links = append(nodes[b].links, mlink{target: a, weight: int64(e.Weight)})
+		nodes[b].numLinks++
+	}
+	cn := n / 2
+	cnodes := make([]fnode, cn)
+	for i := 0; i < cn; i++ {
+		c := &cnodes[i]
+		a, b := &nodes[2*i], &nodes[2*i+1]
+		c.mass = a.mass + b.mass
+		c.radius = float64(int64(c.mass) / 2)
+		c.x = (a.x + b.x) * 0.5
+		c.y = (a.y + b.y) * 0.5
+	}
+	addCoarse := func(from, to int, w int64) {
+		for j := range cnodes[from].links {
+			if cnodes[from].links[j].target == to {
+				cnodes[from].links[j].weight += w
+				return
+			}
+		}
+		cnodes[from].links = append(cnodes[from].links, mlink{target: to, weight: w})
+		cnodes[from].numLinks++
+	}
+	for _, e := range ins.Links {
+		pa, pb := int(e.A)/2, int(e.B)/2
+		if pa != pb {
+			addCoarse(pa, pb, int64(e.Weight))
+			addCoarse(pb, pa, int64(e.Weight))
+		}
+	}
+	pass := func(ns []fnode) {
+		for i := range ns {
+			ns[i].fx = -ns[i].x * 0.0625
+			ns[i].fy = -ns[i].y * 0.0625
+		}
+		for i := range ns {
+			for _, l := range ns[i].links[:ns[i].numLinks] {
+				q := l.target
+				w := float64(l.weight)
+				ns[i].fx += (ns[q].x - ns[i].x) * w * 0.00390625
+				ns[i].fy += (ns[q].y - ns[i].y) * w * 0.00390625
+			}
+		}
+		for i := range ns {
+			ns[i].x += ns[i].fx * 0.25
+			ns[i].y += ns[i].fy * 0.25
+		}
+	}
+	for it := 0; it < ins.CoarseIters; it++ {
+		pass(cnodes)
+	}
+	for i := range cnodes {
+		c := &cnodes[i]
+		nodes[2*i].x = c.x - c.radius*0.25
+		nodes[2*i].y = c.y - c.radius*0.25
+		nodes[2*i+1].x = c.x + c.radius*0.25
+		nodes[2*i+1].y = c.y + c.radius*0.25
+	}
+	for it := 0; it < ins.FineIters; it++ {
+		pass(nodes)
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range nodes {
+		xs[i] = nodes[i].x
+		ys[i] = nodes[i].y
+	}
+	return xs, ys
+}
+
+// Property: across seeds, the Q16.16 lowering stays within a bounded
+// error of the float64 reference, and is bit-exact run to run.
+func TestFixedPointTracksFloat(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 2003, 987654321} {
+		ins := Generate(DefaultGenParams(80, seed))
+		nodes, _ := simulateNodes(ins)
+		xs, ys := simulateFloat(ins)
+		var worst float64
+		for i := range nodes {
+			fx := float64(nodes[i].x) / 65536
+			fy := float64(nodes[i].y) / 65536
+			ex := math.Abs(fx - xs[i])
+			ey := math.Abs(fy - ys[i])
+			// Bounded absolute-or-relative error: the layout uses
+			// coordinates in the tens, so 0.05 absolute (or 1% of the
+			// magnitude for large coordinates) is far tighter than any
+			// placement consumer needs.
+			tolX := math.Max(0.05, 0.01*math.Abs(xs[i]))
+			tolY := math.Max(0.05, 0.01*math.Abs(ys[i]))
+			if ex > tolX || ey > tolY {
+				t.Errorf("seed %d node %d: fixed (%.5f, %.5f) vs float (%.5f, %.5f)",
+					seed, i, fx, fy, xs[i], ys[i])
+			}
+			worst = math.Max(worst, math.Max(ex, ey))
+		}
+		t.Logf("seed %d: worst coordinate error %.6f", seed, worst)
+
+		// Bit-exact determinism: identical reruns, seed-sensitive output.
+		if !reflect.DeepEqual(Simulate(ins).Longs(), Simulate(ins).Longs()) {
+			t.Fatalf("seed %d: model not deterministic", seed)
+		}
+	}
+	a := Simulate(Generate(DefaultGenParams(80, 3))).Longs()
+	b := Simulate(Generate(DefaultGenParams(80, 11))).Longs()
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical outputs")
+	}
+}
+
+func TestParseOutputErrors(t *testing.T) {
+	if _, err := ParseOutput([]int64{0, 1, 2}); err == nil {
+		t.Fatal("short output parsed without error")
+	}
+	out, err := ParseOutput([]int64{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Longs(), []int64{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("Longs round trip mismatch")
+	}
+}

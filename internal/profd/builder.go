@@ -16,6 +16,7 @@ import (
 	"dsprof/internal/core"
 	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
+	"dsprof/internal/nbody"
 )
 
 // progEntry is one memoized compile (singleflight: the first goroutine
@@ -75,8 +76,13 @@ func (b *builder) Resolve(spec *JobSpec) (*asm.Program, []int64, *machine.Config
 		return nil, nil, nil, err
 	}
 	input := spec.Input
-	if spec.Program == ProgramMCF && len(input) == 0 {
-		input = b.mcfInput(spec)
+	if len(input) == 0 {
+		switch spec.Program {
+		case ProgramMCF:
+			input = b.mcfInput(spec)
+		case ProgramNBody:
+			input = b.nbodyInput(spec)
+		}
 	}
 	cfg := machineFor(spec.MachineConfig)
 	return prog, input, cfg, nil
@@ -89,6 +95,16 @@ func (b *builder) program(spec *JobSpec) (*asm.Program, error) {
 		e := b.progEntryFor(key)
 		e.once.Do(func() {
 			e.prog, e.err = mcf.Program(spec.mcfLayout(), cc.Options{
+				HWCProf:      true,
+				PageSizeHeap: spec.PageSizeHeap,
+			})
+		})
+		return e.prog, e.err
+	case spec.Program == ProgramNBody:
+		key := fmt.Sprintf("nbody/%s/%d", spec.Layout, spec.PageSizeHeap)
+		e := b.progEntryFor(key)
+		e.once.Do(func() {
+			e.prog, e.err = nbody.Program(spec.nbodyVariant(), cc.Options{
 				HWCProf:      true,
 				PageSizeHeap: spec.PageSizeHeap,
 			})
@@ -127,6 +143,23 @@ func (b *builder) mcfInput(spec *JobSpec) []int64 {
 	e := b.inputEntryFor(key)
 	e.once.Do(func() {
 		e.input = mcf.Generate(mcf.DefaultGenParams(trips, seed)).Encode()
+	})
+	return e.input
+}
+
+func (b *builder) nbodyInput(spec *JobSpec) []int64 {
+	papers := spec.Trips
+	if papers == 0 {
+		papers = 2000
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 20030717
+	}
+	key := fmt.Sprintf("nbody/%d/%d", papers, seed)
+	e := b.inputEntryFor(key)
+	e.once.Do(func() {
+		e.input = nbody.Generate(nbody.DefaultGenParams(papers, seed)).Encode()
 	})
 	return e.input
 }

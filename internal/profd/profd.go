@@ -22,6 +22,7 @@ import (
 	"dsprof/internal/collect"
 	"dsprof/internal/machine"
 	"dsprof/internal/mcf"
+	"dsprof/internal/nbody"
 )
 
 // Program selectors understood by JobSpec.Program.
@@ -29,6 +30,11 @@ const (
 	// ProgramMCF is the built-in MCF workload (the paper's case study);
 	// Layout/Trips/Seed select the variant and instance.
 	ProgramMCF = "mcf"
+	// ProgramNBody is the built-in n-body force-layout workload. It
+	// reuses the same spec fields: Layout selects the link encoding
+	// ("baseline" or "compressed"), Trips the instance size in papers,
+	// Seed the graph seed.
+	ProgramNBody = "nbody"
 )
 
 // JobSpec describes one profiling job: a program, its input, and the
@@ -43,10 +49,14 @@ type JobSpec struct {
 	Source string `json:"source,omitempty"`
 	Name   string `json:"name,omitempty"`
 
-	// MCF workload parameters (Program == "mcf").
-	Layout string `json:"layout,omitempty"` // "paper" (default) or "optimized"
-	Trips  int    `json:"trips,omitempty"`  // instance size (default 1200)
-	Seed   uint64 `json:"seed,omitempty"`   // instance seed (default 20030717)
+	// Built-in workload parameters (Program == "mcf" or "nbody").
+	// For mcf, Layout is "paper" (default) or "optimized" and Trips the
+	// instance size in timetabled trips (default 1200); for nbody,
+	// Layout is "baseline" (default) or "compressed" and Trips the
+	// instance size in papers (default 2000).
+	Layout string `json:"layout,omitempty"`
+	Trips  int    `json:"trips,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"` // instance seed (default 20030717)
 
 	// PageSizeHeap compiles with -xpagesize_heap (0 = default 8 KB).
 	PageSizeHeap uint64 `json:"pageSizeHeap,omitempty"`
@@ -101,11 +111,19 @@ func (s *JobSpec) Validate() error {
 	if selectors > 1 {
 		return errors.New("profd: program and source are mutually exclusive")
 	}
-	if s.Program == ProgramMCF {
-		switch s.Layout {
-		case "", "paper", "optimized":
-		default:
-			return fmt.Errorf("profd: unknown mcf layout %q (want paper or optimized)", s.Layout)
+	if s.Program == ProgramMCF || s.Program == ProgramNBody {
+		if s.Program == ProgramMCF {
+			switch s.Layout {
+			case "", "paper", "optimized":
+			default:
+				return fmt.Errorf("profd: unknown mcf layout %q (want paper or optimized)", s.Layout)
+			}
+		} else {
+			switch s.Layout {
+			case "", "baseline", "compressed":
+			default:
+				return fmt.Errorf("profd: unknown nbody layout %q (want baseline or compressed)", s.Layout)
+			}
 		}
 		if s.Trips < 0 {
 			return fmt.Errorf("profd: negative trips %d", s.Trips)
@@ -140,6 +158,14 @@ func (s *JobSpec) mcfLayout() mcf.Layout {
 		return mcf.LayoutOptimized
 	}
 	return mcf.LayoutPaper
+}
+
+// nbodyVariant maps the spec's layout name to the link encoding.
+func (s *JobSpec) nbodyVariant() nbody.Variant {
+	if s.Layout == "compressed" {
+		return nbody.VariantCompressed
+	}
+	return nbody.VariantBaseline
 }
 
 // ConfigHash is the experiment-store index key: a digest of every field
